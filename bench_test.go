@@ -1,0 +1,459 @@
+// Package repro's benchmark harness regenerates every table and figure
+// of the paper's evaluation (§7) plus the DESIGN.md ablations. Each
+// benchmark prints the series/rows it reproduces (once) and then times
+// the underlying measurement.
+//
+// Run everything:
+//
+//	go test -bench=. -benchmem
+//
+// The headline reproductions:
+//
+//	BenchmarkFigure2            Takeaway 1 curve (Figure 2)
+//	BenchmarkFigure4            Takeaway 2 curve (Figure 4)
+//	BenchmarkUseCase1GCD        99.3%-accuracy leakage experiment (§7.2)
+//	BenchmarkUseCase1BnCmp      100%-accuracy leakage experiment (§7.2)
+//	BenchmarkFigure12           fingerprinting vs corpus (Figure 12)
+//	BenchmarkFigure12FullCorpus the paper-scale 175,168-function corpus
+//	BenchmarkFigure13Versions   Figure 13 (left)
+//	BenchmarkFigure13OptLevels  Figure 13 (right)
+//	BenchmarkNVSTraversal       Figure 9/10 full-trace extraction cost
+//	BenchmarkMitigationsIBRSIBPB§4.1: hardware mitigations do not help
+//	BenchmarkAblation*          design-choice ablations from DESIGN.md
+package repro
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/btb"
+	"repro/internal/codegen"
+	"repro/internal/experiments"
+	"repro/internal/isa"
+	"repro/internal/stats"
+	"repro/internal/victim"
+)
+
+// printOnce guards the one-time figure dump of each benchmark.
+var printOnce sync.Map
+
+func once(name string, f func()) {
+	if _, loaded := printOnce.LoadOrStore(name, true); !loaded {
+		f()
+	}
+}
+
+func BenchmarkFigure2(b *testing.B) {
+	cfg := experiments.Config{Iters: 50}
+	once("fig2", func() {
+		with, without, err := experiments.Figure2(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		in, out := experiments.Figure2Gap(with, without)
+		fmt.Printf("\n=== Figure 2 (Takeaway 1: non-branch BTB deallocation) ===\n")
+		fmt.Print(stats.Table("F2 offset", with, without))
+		fmt.Printf("gap: collision %.2f cyc, outside %.2f cyc (paper: clear gap iff F2 < F1+2)\n", in, out)
+	})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := experiments.Figure2(experiments.Config{Iters: 3}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFigure4(b *testing.B) {
+	cfg := experiments.Config{Iters: 50}
+	once("fig4", func() {
+		with, without, err := experiments.Figure4(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		in, out, slope := experiments.Figure4Gap(with, without)
+		fmt.Printf("\n=== Figure 4 (Takeaway 2: PW range semantics) ===\n")
+		fmt.Print(stats.Table("F1 offset", with, without))
+		fmt.Printf("gap: range-hit %.2f cyc, outside %.2f; control slope %.2f cyc/nop (paper: gap iff F1 < F2+2, declining control)\n", in, out, slope)
+	})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := experiments.Figure4(experiments.Config{Iters: 3}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkUseCase1GCD(b *testing.B) {
+	once("uc1gcd", func() {
+		res, err := experiments.UseCase1GCD(experiments.Config{Iters: 1, Seed: 5}, 100, experiments.AllDefenses())
+		if err != nil {
+			b.Fatal(err)
+		}
+		fmt.Printf("\n=== Use case 1: GCD leakage, 100 runs, all defenses (§7.2) ===\n%v\n(paper: 99.3%% accuracy, ~30 iterations/run)\n", res)
+	})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.UseCase1GCD(experiments.Config{Iters: 1, Seed: uint64(i + 1)}, 2, experiments.AllDefenses()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkUseCase1BnCmp(b *testing.B) {
+	once("uc1bn", func() {
+		res, err := experiments.UseCase1BnCmp(experiments.Config{Iters: 1, Seed: 23}, 100, experiments.AllDefenses())
+		if err != nil {
+			b.Fatal(err)
+		}
+		fmt.Printf("\n=== Use case 1: bn_cmp leakage, 100 runs (§7.2) ===\n%v\n(paper: 100%% accuracy)\n", res)
+	})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.UseCase1BnCmp(experiments.Config{Iters: 1, Seed: uint64(i + 1)}, 2, experiments.AllDefenses()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func printFig12(results []experiments.Figure12Result, corpusN int) {
+	fmt.Printf("\n=== Figure 12: fingerprinting vs %d-function corpus (§7.3) ===\n", corpusN)
+	for _, r := range results {
+		fmt.Printf("reference %-16s self-similarity %.3f rank %d, best impostor %.3f\n",
+			r.Reference, r.SelfSimilarity, r.SelfRank, r.BestImpostor)
+		for i, s := range r.Top {
+			if i >= 5 {
+				break
+			}
+			fmt.Printf("  #%-3d %-16s %.3f\n", i+1, s.Label, s.Score)
+		}
+	}
+	fmt.Println("(paper: true function ranks #1; self-similarity 75.8% GCD / 88.2% bn_cmp —")
+	fmt.Println(" our exact simulator measures 1.0; the margin over impostors is the shape)")
+}
+
+func BenchmarkFigure12(b *testing.B) {
+	once("fig12", func() {
+		results, err := experiments.Figure12(experiments.Config{Iters: 1, Seed: 13}, 5000, 100)
+		if err != nil {
+			b.Fatal(err)
+		}
+		printFig12(results, 5000)
+	})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Figure12(experiments.Config{Iters: 1, Seed: 13}, 300, 10); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFigure12FullCorpus runs the paper-scale corpus (175,168
+// functions). Expect on the order of two minutes per iteration.
+func BenchmarkFigure12FullCorpus(b *testing.B) {
+	if testing.Short() {
+		b.Skip("full corpus skipped in -short mode")
+	}
+	for i := 0; i < b.N; i++ {
+		results, err := experiments.Figure12(experiments.Config{Iters: 1, Seed: 13}, victim.PaperCorpusN, 100)
+		if err != nil {
+			b.Fatal(err)
+		}
+		once("fig12full", func() { printFig12(results, victim.PaperCorpusN) })
+	}
+}
+
+func printMatrix(title string, m *experiments.SimilarityMatrix) {
+	fmt.Printf("\n=== %s ===\n%-8s", title, "")
+	for _, l := range m.Labels {
+		fmt.Printf(" %6s", l)
+	}
+	fmt.Println()
+	for i, row := range m.Cells {
+		fmt.Printf("%-8s", m.Labels[i])
+		for _, v := range row {
+			fmt.Printf(" %6.3f", v)
+		}
+		fmt.Println()
+	}
+}
+
+func BenchmarkFigure13Versions(b *testing.B) {
+	once("fig13v", func() {
+		m, err := experiments.Figure13Versions(experiments.Config{Iters: 1, Seed: 17})
+		if err != nil {
+			b.Fatal(err)
+		}
+		printMatrix("Figure 13 (left): GCD across mbedTLS versions", m)
+		fmt.Println("(paper: 2.5-2.15 cluster high; 2.16 and 3.0 break compatibility)")
+	})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Figure13Versions(experiments.Config{Iters: 1, Seed: 17}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFigure13OptLevels(b *testing.B) {
+	once("fig13o", func() {
+		m, err := experiments.Figure13OptLevels(experiments.Config{Iters: 1, Seed: 19})
+		if err != nil {
+			b.Fatal(err)
+		}
+		printMatrix("Figure 13 (right): GCD across optimization flags", m)
+		fmt.Println("(paper: same-flag diagonal high, cross-flag low)")
+	})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Figure13OptLevels(experiments.Config{Iters: 1, Seed: 19}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkNVSTraversal measures the Figure 9/10 pipeline: full
+// byte-exact trace extraction of an enclave function, reporting the
+// enclave-execution cost model.
+func BenchmarkNVSTraversal(b *testing.B) {
+	fn := victim.BnCmp(false)
+	opts := codegen.Options{Opt: codegen.O2}
+	args := []uint64{0x0123_4567_89AB_CDEF, 0x0123_4567_89AB_0000}
+	once("nvs", func() {
+		pcs, _, runs, err := experiments.NVSTrace(experiments.Config{Iters: 1, Seed: 11}, fn, opts, args)
+		if err != nil {
+			b.Fatal(err)
+		}
+		fmt.Printf("\n=== NV-S traversal (Figures 9/10) ===\n")
+		fmt.Printf("extracted %d dynamic PCs in %d enclave executions (1 discovery + 128/N coarse + refinement)\n", len(pcs), runs)
+	})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, _, err := experiments.NVSTrace(experiments.Config{Iters: 1, Seed: 11}, fn, opts, args); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMitigationsIBRSIBPB reproduces §4.1: the leakage accuracy is
+// unchanged with IBRS enabled (IBPB coverage is asserted in unit tests;
+// both touch only indirect-branch entries).
+func BenchmarkMitigationsIBRSIBPB(b *testing.B) {
+	run := func(seed uint64) float64 {
+		cfg := experiments.Config{Iters: 1, Seed: seed}
+		res, err := experiments.UseCase1GCD(cfg, 3, experiments.AllDefenses())
+		if err != nil {
+			b.Fatal(err)
+		}
+		return res.Accuracy
+	}
+	once("mitig", func() {
+		fmt.Printf("\n=== §4.1: IBRS/IBPB do not stop NightVision ===\n")
+		fmt.Printf("leakage accuracy with hardware mitigations modeled: %.3f (paper: unaffected)\n", run(41))
+	})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		run(uint64(i + 1))
+	}
+}
+
+// BenchmarkAblationFullTag: with full BTB tags there is no aliasing and
+// both Figure 2 series coincide — the attack's precondition vanishes
+// (DESIGN.md ablation 4).
+func BenchmarkAblationFullTag(b *testing.B) {
+	cfg := experiments.Config{Iters: 5}
+	cfg.CPU.BTB = btb.ConfigFullTag()
+	once("ablTag", func() {
+		with, without, err := experiments.Figure2(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		in, out := experiments.Figure2Gap(with, without)
+		fmt.Printf("\n=== Ablation: full BTB tags (no truncation) ===\n")
+		fmt.Printf("Figure 2 gap: collision %.2f cyc, outside %.2f — signal gone (SkyLake shows ~8)\n", in, out)
+	})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := experiments.Figure2(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationExactMatchBTB: without range-query lookups (Takeaway
+// 2) the Figure 4 aliased entry never fires for smaller offsets.
+func BenchmarkAblationExactMatchBTB(b *testing.B) {
+	cfg := experiments.Config{Iters: 5}
+	cfg.CPU.BTB = btb.ConfigSkyLake()
+	cfg.CPU.BTB.ExactMatch = true
+	once("ablExact", func() {
+		with, without, err := experiments.Figure4(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		in, out, _ := experiments.Figure4Gap(with, without)
+		fmt.Printf("\n=== Ablation: exact-match BTB (no range semantics) ===\n")
+		fmt.Printf("Figure 4 gap: range %.2f cyc, outside %.2f — range semantics are load-bearing\n", in, out)
+	})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := experiments.Figure4(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationNoDealloc: keeping entries alive across false hits
+// (no Takeaway 1) removes the Figure 2 signal entirely.
+func BenchmarkAblationNoDealloc(b *testing.B) {
+	cfg := experiments.Config{Iters: 5}
+	cfg.CPU.NoFalseHitDealloc = true
+	once("ablDealloc", func() {
+		with, without, err := experiments.Figure2(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		in, out := experiments.Figure2Gap(with, without)
+		fmt.Printf("\n=== Ablation: no false-hit deallocation ===\n")
+		fmt.Printf("Figure 2 gap: collision %.2f cyc, outside %.2f — the deallocation IS the channel\n", in, out)
+	})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := experiments.Figure2(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Micro-benchmarks of the substrates.
+
+func BenchmarkBTBLookup(b *testing.B) {
+	t := btb.New(btb.ConfigSkyLake())
+	for i := uint64(0); i < 1000; i++ {
+		t.Update(0x40_0000+i*64+31, i, isa.KindJump)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t.Lookup(0x40_0000 + uint64(i%1000)*64)
+	}
+}
+
+func BenchmarkCoreStepThroughput(b *testing.B) {
+	pcs, _, err := experiments.ModelTrace(victim.MustGCDVersion("3.0", false),
+		codegen.Options{Opt: codegen.O2}, []uint64{65537, 0xDEAD_BEEF_1234_5677})
+	if err != nil {
+		b.Fatal(err)
+	}
+	steps := len(pcs)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := experiments.ModelTrace(victim.MustGCDVersion("3.0", false),
+			codegen.Options{Opt: codegen.O2}, []uint64{65537, 0xDEAD_BEEF_1234_5677}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(steps), "steps/op")
+}
+
+func BenchmarkCorpusGeneration(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		victim.Corpus(victim.CorpusSpec{N: 100, Seed: uint64(i)})
+	}
+}
+
+// BenchmarkBaselineGranularity compares fingerprinting power across
+// observation granularities: NightVision's byte channel vs the
+// fetch-block, icache-line and page channels of prior attacks.
+func BenchmarkBaselineGranularity(b *testing.B) {
+	once("granularity", func() {
+		results, err := experiments.GranularityComparison(experiments.Config{Iters: 1, Seed: 29}, 500)
+		if err != nil {
+			b.Fatal(err)
+		}
+		fmt.Printf("\n=== Baseline: fingerprinting vs observation granularity ===\n")
+		for _, r := range results {
+			fmt.Println(r.String())
+		}
+		fmt.Println("(paper intro: coarse channels are \"too coarse to be useful\" — separation collapses)")
+	})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.GranularityComparison(experiments.Config{Iters: 1, Seed: 29}, 100); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSequenceVsSet evaluates the §8.3 future-work extension:
+// sequence alignment versus the paper's set intersection.
+func BenchmarkSequenceVsSet(b *testing.B) {
+	once("seqvset", func() {
+		res, err := experiments.SequenceVsSet(experiments.Config{Iters: 1, Seed: 31}, 500)
+		if err != nil {
+			b.Fatal(err)
+		}
+		fmt.Printf("\n=== §8.3 extension: sequence alignment vs set intersection ===\n")
+		fmt.Printf("set:      self %.3f, best impostor %.3f, separation %.3f\n", res.SetSelf, res.SetImpostor, res.SetSeparation())
+		fmt.Printf("sequence: self %.3f, best impostor %.3f, separation %.3f\n", res.SeqSelf, res.SeqImpostor, res.SeqSeparation())
+	})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.SequenceVsSet(experiments.Config{Iters: 1, Seed: 31}, 100); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFragmentPressure reproduces the §4.2 constraint: long victim
+// time slices evict the attacker's BTB entries and drown the channel.
+func BenchmarkFragmentPressure(b *testing.B) {
+	once("pressure", func() {
+		hit, falsePos, err := experiments.FragmentPressure(experiments.Config{Iters: 1, Seed: 37},
+			[]int{0, 64, 512, 2048, 4096, 8192}, 8)
+		if err != nil {
+			b.Fatal(err)
+		}
+		fmt.Printf("\n=== §4.2: BTB pressure vs victim fragment length ===\n")
+		fmt.Print(stats.Table("filler", hit, falsePos))
+		fmt.Println("(paper: fragments must stay short or attacker entries are evicted)")
+	})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := experiments.FragmentPressure(experiments.Config{Iters: 1, Seed: 37}, []int{0, 512}, 2); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkNVSBlocksPerCall sweeps N of Figure 10: monitoring more PWs
+// per NV-Core call divides the coarse-pass run count by N.
+func BenchmarkNVSBlocksPerCall(b *testing.B) {
+	for _, n := range []int{2, 4, 8, 16} {
+		b.Run(fmt.Sprintf("N=%d", n), func(b *testing.B) {
+			fn := victim.BnCmp(false)
+			opts := codegen.Options{Opt: codegen.O2}
+			args := []uint64{0xAAAA_BBBB_CCCC_DDDD, 0xAAAA_BBBB_0000_0000}
+			once(fmt.Sprintf("nvsN%d", n), func() {
+				runs, steps, err := nvsRunsWithN(n, fn, opts, args)
+				if err != nil {
+					b.Fatal(err)
+				}
+				fmt.Printf("N=%2d: %d enclave executions for %d steps (coarse pass = 128/N = %d)\n",
+					n, runs, steps, 128/n)
+			})
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := nvsRunsWithN(n, fn, opts, args); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// nvsRunsWithN runs a full NV-S extraction with the given Figure-10 N.
+func nvsRunsWithN(n int, fn *codegen.Func, opts codegen.Options, args []uint64) (runs, steps int, err error) {
+	cfg := experiments.Config{Iters: 1, Seed: 11, NVSBlocksPerCall: n}
+	pcs, _, runs, err := experiments.NVSTrace(cfg, fn, opts, args)
+	return runs, len(pcs), err
+}

@@ -1,0 +1,50 @@
+// Command nvasm assembles simulator assembly source and prints the
+// listing, or disassembles with -d.
+//
+// Usage:
+//
+//	nvasm file.s          assemble and print a listing
+//	nvasm -d file.s       assemble, then disassemble the output
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/asm"
+)
+
+func main() {
+	dis := flag.Bool("d", false, "disassemble the assembled output")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: nvasm [-d] file.s")
+		os.Exit(2)
+	}
+	src, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "nvasm:", err)
+		os.Exit(1)
+	}
+	prog, err := asm.Assemble(string(src))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "nvasm:", err)
+		os.Exit(1)
+	}
+	for _, c := range prog.Chunks {
+		fmt.Printf("chunk %#012x: %d bytes\n", c.Addr, len(c.Code))
+		if *dis {
+			fmt.Print(asm.Disassemble(c.Addr, c.Code))
+		} else {
+			for i := 0; i < len(c.Code); i += 16 {
+				end := i + 16
+				if end > len(c.Code) {
+					end = len(c.Code)
+				}
+				fmt.Printf("%#012x: % x\n", c.Addr+uint64(i), c.Code[i:end])
+			}
+		}
+	}
+	fmt.Printf("labels: %d, total %d bytes\n", len(prog.Labels), prog.Size())
+}

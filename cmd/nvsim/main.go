@@ -1,0 +1,78 @@
+// Command nvsim runs a program on the simulated core and reports its
+// retired-instruction trace, LBR contents and BTB statistics — the
+// observability surface the NightVision experiments build on.
+//
+// Usage:
+//
+//	nvsim [-entry label] [-trace] [-lbr] [-max steps] file.s
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/asm"
+	"repro/internal/cpu"
+	"repro/internal/isa"
+	"repro/internal/mem"
+)
+
+func main() {
+	entry := flag.String("entry", "start", "entry label")
+	showTrace := flag.Bool("trace", false, "print the retired-PC trace")
+	showLBR := flag.Bool("lbr", false, "print the final LBR contents")
+	maxSteps := flag.Uint64("max", 1_000_000, "step budget")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: nvsim [flags] file.s")
+		os.Exit(2)
+	}
+	src, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	prog, err := asm.Assemble(string(src))
+	if err != nil {
+		fatal(err)
+	}
+	entryPC, err := prog.LabelAddr(*entry)
+	if err != nil {
+		fatal(err)
+	}
+	m := mem.New()
+	prog.LoadInto(m)
+	m.Map(0x7f_0000, 0x10000, mem.PermRW)
+	c := cpu.New(cpu.Config{}, m)
+	c.SetReg(isa.SP, 0x80_0000)
+	c.SetPC(entryPC)
+	if *showTrace {
+		c.OnRetire = func(pc uint64, in isa.Inst) {
+			fmt.Printf("%#012x: %s\n", pc, in)
+		}
+	}
+	steps, err := c.Run(*maxSteps)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("halted after %d steps, %d retired instructions, %d cycles\n",
+		steps, c.Retired(), c.Cycle())
+	fmt.Printf("squashes=%d false-hits=%d\n", c.Squashes(), c.FalseHits())
+	s := c.BTB.Stats()
+	fmt.Printf("btb: lookups=%d hits=%d allocs=%d invalidates=%d evictions=%d\n",
+		s.Lookups, s.Hits, s.Allocs, s.Invalidates, s.Evictions)
+	if *showLBR {
+		for _, r := range c.LBR.Records() {
+			flag := " "
+			if r.Mispredicted && r.MispredValid {
+				flag = "M"
+			}
+			fmt.Printf("lbr %s %#012x -> %#012x  +%d\n", flag, r.From, r.To, r.Cycles)
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "nvsim:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,19 @@
+// Package repro is a from-scratch Go reproduction of "All Your PC Are
+// Belong to Us: Exploiting Non-control-Transfer Instruction BTB Updates
+// for Dynamic PC Extraction" (Yu, Jaeger, Fletcher — ISCA 2023).
+//
+// The repository contains two halves:
+//
+//   - a deterministic micro-architectural simulator that implements the
+//     paper's reverse-engineered Intel BTB behaviors (internal/btb,
+//     internal/cpu) plus the OS/SGX environment the attacks assume
+//     (internal/mem, internal/osmodel, internal/sgx), and
+//   - the NightVision attack framework itself (internal/core) with the
+//     full evaluation (internal/experiments) — every figure regenerates
+//     from `go test -bench=.`.
+//
+// See README.md for a tour, DESIGN.md for the substitution rationale and
+// per-experiment index, and EXPERIMENTS.md for paper-vs-measured numbers.
+// The root package holds only the integration tests and the benchmark
+// harness.
+package repro

@@ -1,0 +1,92 @@
+// Quickstart: the NV-Core primitive in ~60 lines.
+//
+// An attacker monitors a range of victim code addresses through the BTB:
+// it plants branch-target-buffer entries at *aliased* addresses (same
+// low 32 bits, 4 GiB away — the BTB cannot tell them apart because its
+// tags are truncated), lets the victim run, and probes. If the victim
+// fetched any byte of the watched range, the entry was deallocated by a
+// decode-time false hit and the probe sees a misprediction bubble.
+//
+// Run: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/asm"
+	"repro/internal/core"
+	"repro/internal/cpu"
+	"repro/internal/isa"
+	"repro/internal/mem"
+)
+
+func main() {
+	// A victim whose secret selects one of two code paths through a
+	// branchless indirect dispatch (the shape control-flow-randomization
+	// defenses produce — and exactly what NightVision still sees).
+	prog := asm.MustAssemble(`
+		.org 0x400000
+	start:
+		movabs r2, hotpath
+		movabs r3, coldpath
+		cmpi r1, 0          ; r1 holds the secret
+		cmovz r2, r3
+		callr r2
+		hlt
+		.org 0x400100
+	hotpath:
+		.space 20, 0x01     ; 20 nops
+		ret
+		.org 0x400200
+	coldpath:
+		.space 20, 0x01
+		ret
+	`)
+
+	m := mem.New()
+	prog.LoadInto(m)
+	m.Map(0x7f_0000, 0x1000, mem.PermRW)
+	c := cpu.New(cpu.Config{}, m)
+
+	// The attacker aliases the victim 4 GiB up (SkyLake BTB geometry).
+	attacker, err := core.NewAttacker(c, 1<<32)
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Watch 16 bytes inside the hot path.
+	monitor, err := attacker.NewMonitor([]core.PW{{Base: 0x40_0100, Len: 16}})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	for _, secret := range []uint64{1, 0} {
+		// The attacker clears stale predictor state (the paper's
+		// flushBTB jump slide) and plants fresh entries.
+		c.BTB.Flush()
+		if err := monitor.Prime(); err != nil {
+			log.Fatal(err)
+		}
+
+		// Victim runs with its secret in r1.
+		var saved cpu.ArchState
+		st := cpu.ArchState{PC: prog.MustLabel("start")}
+		st.Regs[isa.SP] = 0x7f_1000
+		st.Regs[isa.R1] = secret
+		c.ContextSwitch(&saved, &st)
+		for !c.Halted() {
+			if _, err := c.Step(); err != nil && err != cpu.ErrHalted {
+				log.Fatal(err)
+			}
+		}
+		c.ContextSwitch(nil, &saved)
+
+		match, err := monitor.Probe()
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("secret=%d  hot path observed by BTB probe: %v\n", secret, match[0])
+	}
+	fmt.Println("\nThe attacker never read victim memory or registers —")
+	fmt.Println("only the timing of its own jumps after the victim ran.")
+}

@@ -1,0 +1,163 @@
+package repro
+
+// End-to-end integration tests crossing every module boundary: the full
+// NV-S pipeline against a compiled cryptographic victim inside an
+// enclave, verified against simulator ground truth and identified by
+// fingerprinting. These are the "does the whole paper hold together"
+// tests; per-figure assertions live in internal/experiments.
+
+import (
+	"testing"
+
+	"repro/internal/codegen"
+	"repro/internal/experiments"
+	"repro/internal/fingerprint"
+	"repro/internal/victim"
+)
+
+// TestEndToEndPrivateCodeIdentification runs the complete use-case-2
+// story: a private enclave executes bn_cmp; NV-S extracts the byte-
+// exact PC trace without reading the code; slicing plus fingerprinting
+// identify the function out of a reference library with decoys.
+func TestEndToEndPrivateCodeIdentification(t *testing.T) {
+	cfg := experiments.Config{Iters: 1, Seed: 101}
+	opts := codegen.Options{Opt: codegen.O2}
+	secretFn := victim.BnCmp(false)
+	args := []uint64{0xFEDC_BA98_7654_3210, 0xFEDC_BA98_0000_0000}
+
+	// 1. Ground truth from a plain simulation.
+	wantPCs, _, err := experiments.ModelTrace(secretFn, opts, args)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// 2. The attack, end to end.
+	gotPCs, data, runs, err := experiments.NVSTrace(cfg, secretFn, opts, args)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(gotPCs) != len(wantPCs) {
+		t.Fatalf("NV-S reconstructed %d steps, ground truth %d", len(gotPCs), len(wantPCs))
+	}
+	correct := 0
+	for i := range wantPCs {
+		if gotPCs[i] == wantPCs[i] {
+			correct++
+		}
+	}
+	if rate := float64(correct) / float64(len(wantPCs)); rate < 0.97 {
+		t.Errorf("trace accuracy %.3f below 0.97", rate)
+	}
+	t.Logf("NV-S: %d/%d PCs exact in %d enclave executions", correct, len(wantPCs), runs)
+
+	// 3. Identification among decoys.
+	traces := fingerprint.Slice(gotPCs, data)
+	if len(traces) == 0 {
+		t.Fatal("no traces sliced")
+	}
+	victimTrace := traces[0]
+	for _, tr := range traces {
+		if len(tr.PCs) > len(victimTrace.PCs) {
+			victimTrace = tr
+		}
+	}
+	refs := []fingerprint.Reference{}
+	bnRef, err := experiments.ReferenceFor(victim.BnCmp(false), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refs = append(refs, bnRef)
+	for _, v := range victim.GCDVersionNames {
+		r, err := experiments.ReferenceFor(victim.MustGCDVersion(v, false), opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r.Name = "gcd-" + v
+		refs = append(refs, r)
+	}
+	for i, fn := range victim.Corpus(victim.CorpusSpec{N: 40, Seed: 202}) {
+		r, err := experiments.ReferenceFor(fn, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_ = i
+		refs = append(refs, r)
+	}
+	name, score := fingerprint.BestMatch(victimTrace, refs)
+	if name != "bn_cmp" {
+		t.Errorf("identified %q (%.3f), want bn_cmp", name, score)
+	}
+	if score < 0.95 {
+		t.Errorf("match score %.3f below 0.95", score)
+	}
+}
+
+// TestEndToEndNoiseDegradation sweeps measurement noise across the
+// bubble scale: near-perfect at LBR noise levels, degraded once σ
+// reaches the misprediction penalties (footnote 2's rationale for
+// preferring LBR over rdtsc).
+func TestEndToEndNoiseDegradation(t *testing.T) {
+	acc, err := experiments.NoiseSweep(experiments.Config{Iters: 1, Seed: 303},
+		[]float64{0, 2, 30}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range acc.X {
+		t.Logf("sigma=%4.1f accuracy=%.3f", acc.X[i], acc.Y[i])
+	}
+	if acc.Y[0] < 0.99 {
+		t.Errorf("noiseless accuracy %.3f, want ~1", acc.Y[0])
+	}
+	if acc.Y[1] < 0.9 {
+		t.Errorf("LBR-grade noise (sigma=2) accuracy %.3f, want >= 0.9", acc.Y[1])
+	}
+	if acc.Y[2] >= acc.Y[1] {
+		t.Errorf("rdtsc-grade noise should degrade accuracy: %.3f vs %.3f", acc.Y[2], acc.Y[1])
+	}
+}
+
+// TestEndToEndDeterminism: the same seed reproduces the same attack
+// outcome bit for bit — the property every experiment relies on.
+func TestEndToEndDeterminism(t *testing.T) {
+	run := func() []uint64 {
+		pcs, _, _, err := experiments.NVSTrace(experiments.Config{Iters: 1, Seed: 404},
+			victim.MustGCDVersion("2.16", false), codegen.Options{Opt: codegen.O2},
+			[]uint64{65537, 0x1234_5678_9ABC_DEF1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return pcs
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("step %d differs: %#x vs %#x", i, a[i], b[i])
+		}
+	}
+}
+
+// TestEndToEndAveragingRecoversAccuracy: with rdtsc-grade noise the
+// single-shot attack degrades; the paper's repeat-and-average
+// methodology recovers it.
+func TestEndToEndAveragingRecoversAccuracy(t *testing.T) {
+	single, err := experiments.UseCase1GCD(
+		experiments.Config{Iters: 1, Seed: 505, Noise: 5}, 2, experiments.AllDefenses())
+	if err != nil {
+		t.Fatal(err)
+	}
+	averaged, err := experiments.UseCase1GCD(
+		experiments.Config{Iters: 1, Seed: 505, Noise: 5, Repeats: 9}, 2, experiments.AllDefenses())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("sigma=5: single-shot %.3f, 9-vote %.3f", single.Accuracy, averaged.Accuracy)
+	if averaged.Accuracy <= single.Accuracy {
+		t.Errorf("averaging should improve accuracy: %.3f vs %.3f", averaged.Accuracy, single.Accuracy)
+	}
+	if averaged.Accuracy < 0.9 {
+		t.Errorf("averaged accuracy %.3f below 0.9", averaged.Accuracy)
+	}
+}

@@ -1,0 +1,410 @@
+package asm
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/isa"
+)
+
+// Assemble parses assembler source text and returns the program. The
+// syntax is line-oriented:
+//
+//	; comment                  # comment
+//	.org 0x400000              start a chunk at an absolute address
+//	.align 32 [, fill]         pad to an alignment boundary
+//	.space 16 [, fill]         emit fill bytes
+//	.byte 1, 0x90, 3           emit literal bytes
+//	label:                     define a label (may share a line with code)
+//	    movi r1, 42
+//	    cmp r1, r2
+//	    jnz loop               rel32 conditional; jnz8 for rel8
+//	    ld r3, [r2+8]
+//	    st [sp-16], r3
+//	    movabs r4, table+8     labels may appear in movabs immediates
+//	    ret
+func Assemble(src string) (*Program, error) {
+	b := NewBuilder(0)
+	for lineNo, raw := range strings.Split(src, "\n") {
+		line := stripComment(raw)
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		// Peel off any leading "label:" prefixes.
+		for {
+			idx := strings.Index(line, ":")
+			if idx < 0 {
+				break
+			}
+			head := strings.TrimSpace(line[:idx])
+			if !isIdent(head) {
+				break
+			}
+			b.Label(head)
+			line = strings.TrimSpace(line[idx+1:])
+		}
+		if line == "" {
+			continue
+		}
+		if err := assembleLine(b, line); err != nil {
+			return nil, fmt.Errorf("asm: line %d: %w", lineNo+1, err)
+		}
+	}
+	return b.Build()
+}
+
+// MustAssemble is Assemble for static sources; it panics on error.
+func MustAssemble(src string) *Program {
+	p, err := Assemble(src)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+func stripComment(s string) string {
+	for _, sep := range []string{";", "#"} {
+		if i := strings.Index(s, sep); i >= 0 {
+			s = s[:i]
+		}
+	}
+	return s
+}
+
+func isIdent(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r == '_', r == '.':
+		case r >= '0' && r <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+func assembleLine(b *Builder, line string) error {
+	mnemonic := line
+	rest := ""
+	if i := strings.IndexAny(line, " \t"); i >= 0 {
+		mnemonic, rest = line[:i], strings.TrimSpace(line[i+1:])
+	}
+	mnemonic = strings.ToLower(mnemonic)
+	ops := splitOperands(rest)
+
+	if strings.HasPrefix(mnemonic, ".") {
+		return assembleDirective(b, mnemonic, ops)
+	}
+	return assembleInst(b, mnemonic, ops)
+}
+
+// splitOperands splits on top-level commas; commas never occur inside
+// the []-bracketed memory operands of this ISA, so a plain split works.
+func splitOperands(s string) []string {
+	if s == "" {
+		return nil
+	}
+	parts := strings.Split(s, ",")
+	for i := range parts {
+		parts[i] = strings.TrimSpace(parts[i])
+	}
+	return parts
+}
+
+func assembleDirective(b *Builder, dir string, ops []string) error {
+	switch dir {
+	case ".org":
+		if len(ops) != 1 {
+			return fmt.Errorf(".org wants 1 operand, got %d", len(ops))
+		}
+		v, err := parseUint(ops[0])
+		if err != nil {
+			return err
+		}
+		b.Org(v)
+		return nil
+	case ".align":
+		n, fill, err := sizeAndFill(ops)
+		if err != nil {
+			return err
+		}
+		b.Align(n, fill)
+		return nil
+	case ".space":
+		n, fill, err := sizeAndFill(ops)
+		if err != nil {
+			return err
+		}
+		b.Space(n, fill)
+		return nil
+	case ".byte":
+		if len(ops) == 0 {
+			return fmt.Errorf(".byte wants at least one operand")
+		}
+		for _, o := range ops {
+			v, err := parseUint(o)
+			if err != nil {
+				return err
+			}
+			if v > 255 {
+				return fmt.Errorf(".byte value %d out of range", v)
+			}
+			b.Bytes(byte(v))
+		}
+		return nil
+	}
+	return fmt.Errorf("unknown directive %s", dir)
+}
+
+func sizeAndFill(ops []string) (uint64, byte, error) {
+	if len(ops) < 1 || len(ops) > 2 {
+		return 0, 0, fmt.Errorf("directive wants 1 or 2 operands, got %d", len(ops))
+	}
+	n, err := parseUint(ops[0])
+	if err != nil {
+		return 0, 0, err
+	}
+	fill := byte(isa.OpNop) // pad with nops by default: padding may execute
+	if len(ops) == 2 {
+		f, err := parseUint(ops[1])
+		if err != nil {
+			return 0, 0, err
+		}
+		if f > 255 {
+			return 0, 0, fmt.Errorf("fill %d out of range", f)
+		}
+		fill = byte(f)
+	}
+	return n, fill, nil
+}
+
+// mnemonicOps maps each assembler mnemonic to its opcode. Built from the
+// isa package's canonical names so the two cannot drift.
+var mnemonicOps = func() map[string]isa.Op {
+	m := make(map[string]isa.Op)
+	for op := isa.Op(0); op < 0xFF; op++ {
+		if op.Valid() {
+			m[op.Name()] = op
+		}
+	}
+	return m
+}()
+
+func assembleInst(b *Builder, mnemonic string, ops []string) error {
+	op, ok := mnemonicOps[mnemonic]
+	if !ok {
+		return fmt.Errorf("unknown mnemonic %q", mnemonic)
+	}
+	nWant := operandCount(op)
+	if len(ops) != nWant {
+		return fmt.Errorf("%s wants %d operands, got %d", mnemonic, nWant, len(ops))
+	}
+	switch op.Format() {
+	case isa.FmtNone:
+		b.Inst(isa.Inst{Op: op, Size: op.Len()})
+	case isa.FmtReg:
+		r, err := parseReg(ops[0])
+		if err != nil {
+			return err
+		}
+		b.Inst(isa.Inst{Op: op, Dst: r, Size: op.Len()})
+	case isa.FmtRegReg:
+		d, err := parseReg(ops[0])
+		if err != nil {
+			return err
+		}
+		s, err := parseReg(ops[1])
+		if err != nil {
+			return err
+		}
+		b.Inst(isa.Inst{Op: op, Dst: d, Src: s, Size: op.Len()})
+	case isa.FmtRegImm8, isa.FmtRegImm32:
+		d, err := parseReg(ops[0])
+		if err != nil {
+			return err
+		}
+		v, err := parseInt(ops[1])
+		if err != nil {
+			return err
+		}
+		b.Inst(isa.Inst{Op: op, Dst: d, Imm: v, Size: op.Len()})
+	case isa.FmtRegImm64:
+		d, err := parseReg(ops[0])
+		if err != nil {
+			return err
+		}
+		if label, delta, ok := parseLabelExpr(ops[1]); ok {
+			b.MovLabel(d, label, delta)
+			return nil
+		}
+		v, err := parseInt(ops[1])
+		if err != nil {
+			return err
+		}
+		b.Inst(isa.Inst{Op: op, Dst: d, Imm: v, Size: op.Len()})
+	case isa.FmtRel8, isa.FmtRel32, isa.FmtRel32J:
+		if label, delta, ok := parseLabelExpr(ops[0]); ok {
+			b.Br(op, label, delta)
+			return nil
+		}
+		v, err := parseInt(ops[0])
+		if err != nil {
+			return err
+		}
+		b.Inst(isa.Inst{Op: op, Imm: v, Size: op.Len()})
+	case isa.FmtMem8, isa.FmtMem32:
+		// st/st32: "st [base+disp], src"; loads and lea: "ld dst, [base+disp]".
+		memIdx, regIdx := 1, 0
+		if op == isa.OpSt8 || op == isa.OpSt32 {
+			memIdx, regIdx = 0, 1
+		}
+		base, disp, err := parseMem(ops[memIdx])
+		if err != nil {
+			return err
+		}
+		r, err := parseReg(ops[regIdx])
+		if err != nil {
+			return err
+		}
+		b.Inst(isa.Inst{Op: op, Dst: r, Src: base, Imm: disp, Size: op.Len()})
+	case isa.FmtImm8:
+		v, err := parseInt(ops[0])
+		if err != nil {
+			return err
+		}
+		b.Inst(isa.Inst{Op: op, Imm: v, Size: op.Len()})
+	}
+	return nil
+}
+
+func operandCount(op isa.Op) int {
+	switch op.Format() {
+	case isa.FmtNone:
+		return 0
+	case isa.FmtReg, isa.FmtRel8, isa.FmtRel32, isa.FmtRel32J, isa.FmtImm8:
+		return 1
+	default:
+		return 2
+	}
+}
+
+func parseReg(s string) (isa.Reg, error) {
+	s = strings.ToLower(s)
+	if s == "sp" {
+		return isa.SP, nil
+	}
+	if strings.HasPrefix(s, "r") {
+		n, err := strconv.Atoi(s[1:])
+		if err == nil && n >= 0 && n < isa.NumRegs {
+			return isa.Reg(n), nil
+		}
+	}
+	return 0, fmt.Errorf("bad register %q", s)
+}
+
+func parseUint(s string) (uint64, error) {
+	v, err := strconv.ParseUint(strings.TrimSpace(s), 0, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad number %q", s)
+	}
+	return v, nil
+}
+
+func parseInt(s string) (int64, error) {
+	s = strings.TrimSpace(s)
+	neg := false
+	switch {
+	case strings.HasPrefix(s, "-"):
+		neg = true
+		s = s[1:]
+	case strings.HasPrefix(s, "+"):
+		s = s[1:]
+	}
+	v, err := strconv.ParseUint(s, 0, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad number %q", s)
+	}
+	if neg {
+		return -int64(v), nil
+	}
+	return int64(v), nil
+}
+
+// parseLabelExpr recognizes "label", "label+N" and "label-N".
+func parseLabelExpr(s string) (label string, delta int64, ok bool) {
+	s = strings.TrimSpace(s)
+	base := s
+	rest := ""
+	if i := strings.IndexAny(s, "+-"); i > 0 {
+		base, rest = s[:i], s[i:]
+	}
+	if !isIdent(base) || isNumber(base) {
+		return "", 0, false
+	}
+	if rest != "" {
+		v, err := parseInt(rest)
+		if err != nil {
+			return "", 0, false
+		}
+		delta = v
+	}
+	return base, delta, true
+}
+
+func isNumber(s string) bool {
+	_, err := strconv.ParseUint(s, 0, 64)
+	return err == nil
+}
+
+// parseMem parses "[reg]", "[reg+disp]" or "[reg-disp]".
+func parseMem(s string) (base isa.Reg, disp int64, err error) {
+	s = strings.TrimSpace(s)
+	if !strings.HasPrefix(s, "[") || !strings.HasSuffix(s, "]") {
+		return 0, 0, fmt.Errorf("bad memory operand %q", s)
+	}
+	inner := s[1 : len(s)-1]
+	regPart := inner
+	dispPart := ""
+	if i := strings.IndexAny(inner, "+-"); i > 0 {
+		regPart, dispPart = inner[:i], inner[i:]
+	}
+	base, err = parseReg(strings.TrimSpace(regPart))
+	if err != nil {
+		return 0, 0, err
+	}
+	if dispPart != "" {
+		disp, err = parseInt(dispPart)
+		if err != nil {
+			return 0, 0, err
+		}
+	}
+	return base, disp, nil
+}
+
+// Disassemble decodes code bytes starting at addr into a listing, one
+// instruction per line. Undecodable bytes appear as ".byte" lines; the
+// disassembler resynchronizes at the next byte.
+func Disassemble(addr uint64, code []byte) string {
+	var sb strings.Builder
+	for len(code) > 0 {
+		in, err := isa.Decode(code)
+		if err != nil {
+			fmt.Fprintf(&sb, "%#012x: .byte %#02x\n", addr, code[0])
+			addr++
+			code = code[1:]
+			continue
+		}
+		fmt.Fprintf(&sb, "%#012x: %s\n", addr, in)
+		addr += uint64(in.Size)
+		code = code[in.Size:]
+	}
+	return sb.String()
+}

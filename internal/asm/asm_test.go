@@ -1,0 +1,281 @@
+package asm
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/isa"
+	"repro/internal/mem"
+)
+
+func TestBuilderBasics(t *testing.T) {
+	b := NewBuilder(0x40_0000)
+	b.Label("start").Nop().Nop().Ret()
+	p, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Chunks) != 1 {
+		t.Fatalf("chunks = %d", len(p.Chunks))
+	}
+	c := p.Chunks[0]
+	if c.Addr != 0x40_0000 || len(c.Code) != 3 {
+		t.Fatalf("chunk = %#x len %d", c.Addr, len(c.Code))
+	}
+	if p.MustLabel("start") != 0x40_0000 {
+		t.Errorf("label start = %#x", p.MustLabel("start"))
+	}
+}
+
+func TestBuilderForwardAndBackwardBranches(t *testing.T) {
+	b := NewBuilder(0x1000)
+	b.Label("top").Nop()
+	b.Jmp("bottom") // forward rel32
+	b.Nops(3)
+	b.Label("bottom")
+	b.Jmp8("top") // backward rel8
+	p, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	code := p.Chunks[0].Code
+	// jmp at 0x1001 is 5 bytes; target = 0x1009 → rel = 0x1009-0x1006 = 3.
+	in, err := isa.Decode(code[1:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if in.Op != isa.OpJmp32 || in.Imm != 3 {
+		t.Errorf("forward jmp = %+v", in)
+	}
+	// jmp8 at 0x1009: target 0x1000 → rel = 0x1000-0x100b = -11.
+	in, err = isa.Decode(code[9:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if in.Op != isa.OpJmp8 || in.Imm != -11 {
+		t.Errorf("backward jmp8 = %+v", in)
+	}
+}
+
+func TestBuilderRel8OutOfRange(t *testing.T) {
+	b := NewBuilder(0)
+	b.Jmp8("far")
+	b.Space(300, byte(isa.OpNop))
+	b.Label("far")
+	if _, err := b.Build(); err == nil {
+		t.Fatal("rel8 branch over 300 bytes must fail")
+	}
+}
+
+func TestBuilderUndefinedLabel(t *testing.T) {
+	b := NewBuilder(0)
+	b.Jmp("nowhere")
+	if _, err := b.Build(); err == nil || !strings.Contains(err.Error(), "nowhere") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestBuilderDuplicateLabel(t *testing.T) {
+	b := NewBuilder(0)
+	b.Label("x").Nop().Label("x")
+	if _, err := b.Build(); err == nil {
+		t.Fatal("duplicate label must fail")
+	}
+}
+
+func TestBuilderOrgChunks(t *testing.T) {
+	b := NewBuilder(0x40_0000)
+	b.Label("f1").Nop().Ret()
+	b.Org(0x40_0000 + (1 << 32)) // 4 GiB away, the aliasing setup
+	b.Label("f2").Nops(4).Ret()
+	p, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Chunks) != 2 {
+		t.Fatalf("chunks = %d", len(p.Chunks))
+	}
+	if p.MustLabel("f2") != 0x1_0040_0000 {
+		t.Errorf("f2 = %#x", p.MustLabel("f2"))
+	}
+}
+
+func TestBuilderOverlapDetection(t *testing.T) {
+	b := NewBuilder(0x1000)
+	b.Nops(10)
+	b.Org(0x1004)
+	b.Nop()
+	if _, err := b.Build(); err == nil {
+		t.Fatal("overlapping chunks must fail")
+	}
+}
+
+func TestBuilderMovLabel(t *testing.T) {
+	b := NewBuilder(0x2000)
+	b.MovLabel(isa.R3, "target", 8)
+	b.Label("target").Nop()
+	p, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	in, err := isa.Decode(p.Chunks[0].Code)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := int64(p.MustLabel("target")) + 8
+	if in.Op != isa.OpMovImm64 || in.Imm != want {
+		t.Errorf("movabs = %+v, want imm %#x", in, want)
+	}
+}
+
+func TestBuilderAlign(t *testing.T) {
+	b := NewBuilder(0x1001)
+	b.Align(32, byte(isa.OpNop))
+	b.Label("aligned")
+	p, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := p.MustLabel("aligned"); got != 0x1020 {
+		t.Errorf("aligned = %#x, want 0x1020", got)
+	}
+	b2 := NewBuilder(0)
+	b2.Align(31, 0)
+	if _, err := b2.Build(); err == nil {
+		t.Error("non-power-of-two align must fail")
+	}
+}
+
+func TestAssembleFullSyntax(t *testing.T) {
+	p, err := Assemble(`
+		; experiment scaffold
+		.org 0x400000
+	start:
+		movi r1, 42        # decimal immediate
+		movabs r2, data+4
+		cmp r1, r2
+		jnz start
+		ld r3, [r2+8]
+		st [sp-16], r3
+		lea r4, [r2+100]
+		push r3
+		pop r4
+		shl r1, 3
+		cmovz r5, r1
+		syscall 2
+		call fn
+		hlt
+	fn:
+		addi r1, 1
+		ret
+		.align 32
+	data:
+		.byte 1, 2, 0xff
+		.space 5, 0x90
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.MustLabel("start") != 0x40_0000 {
+		t.Errorf("start = %#x", p.MustLabel("start"))
+	}
+	if p.MustLabel("data")&31 != 0 {
+		t.Errorf("data = %#x not 32-aligned", p.MustLabel("data"))
+	}
+	// movabs immediate must resolve to data+4.
+	code := p.Chunks[0].Code
+	movabs, err := isa.Decode(code[isa.OpMovImm32.Len():])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if uint64(movabs.Imm) != p.MustLabel("data")+4 {
+		t.Errorf("movabs imm = %#x, want data+4 = %#x", movabs.Imm, p.MustLabel("data")+4)
+	}
+}
+
+func TestAssembleErrors(t *testing.T) {
+	cases := []string{
+		"frob r1",           // unknown mnemonic
+		"movi r99, 1",       // bad register
+		"movi r1",           // operand count
+		".org",              // directive operand count
+		".byte 300",         // byte range
+		"jmp",               // missing target
+		"ld r1, [r2+8], r3", // too many operands
+		".bogus 1",          // unknown directive
+		"movi r1, zzz",      // unparseable immediate that is also a label use in the wrong slot
+	}
+	for _, src := range cases {
+		if _, err := Assemble(src); err == nil {
+			t.Errorf("Assemble(%q) should fail", src)
+		}
+	}
+}
+
+func TestAssembleLabelSameLine(t *testing.T) {
+	p, err := Assemble("x: nop\ny: ret")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.MustLabel("y") != p.MustLabel("x")+1 {
+		t.Errorf("labels: x=%#x y=%#x", p.MustLabel("x"), p.MustLabel("y"))
+	}
+}
+
+func TestLoadInto(t *testing.T) {
+	p := MustAssemble(".org 0x400000\nnop\nret")
+	m := mem.New()
+	p.LoadInto(m)
+	var buf [2]byte
+	if err := m.FetchBytes(0x40_0000, buf[:]); err != nil {
+		t.Fatal(err)
+	}
+	if buf[0] != byte(isa.OpNop) || buf[1] != byte(isa.OpRet) {
+		t.Errorf("code = %#x %#x", buf[0], buf[1])
+	}
+}
+
+func TestProgramSizeAndLabelErr(t *testing.T) {
+	p := MustAssemble("nop\nnop\nret")
+	if p.Size() != 3 {
+		t.Errorf("Size = %d", p.Size())
+	}
+	if _, err := p.LabelAddr("missing"); err == nil {
+		t.Error("LabelAddr of missing label should error")
+	}
+}
+
+func TestDisassemble(t *testing.T) {
+	p := MustAssemble("nop\nmovi r1, 7\nret")
+	text := Disassemble(0x100, p.Chunks[0].Code)
+	for _, want := range []string{"nop", "movi r1, 7", "ret"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("disassembly missing %q:\n%s", want, text)
+		}
+	}
+	// Byte soup resynchronizes.
+	text = Disassemble(0, []byte{0xFF, byte(isa.OpNop)})
+	if !strings.Contains(text, ".byte") || !strings.Contains(text, "nop") {
+		t.Errorf("soup disassembly:\n%s", text)
+	}
+}
+
+// TestRoundTripThroughText assembles a program, disassembles it, and
+// reassembles the listing's mnemonics, checking instruction-level
+// equality. This guards parser/printer drift.
+func TestRoundTripThroughText(t *testing.T) {
+	src := "movi r1, 10\naddi r1, -3\ncmp r1, r2\nmul r3, r1\nret"
+	p1 := MustAssemble(src)
+	text := Disassemble(0, p1.Chunks[0].Code)
+	var rebuilt []string
+	for _, line := range strings.Split(strings.TrimSpace(text), "\n") {
+		parts := strings.SplitN(line, ": ", 2)
+		if len(parts) == 2 {
+			rebuilt = append(rebuilt, strings.ReplaceAll(parts[1], ".+", "")) // branches not in this source
+		}
+	}
+	p2 := MustAssemble(strings.Join(rebuilt, "\n"))
+	if string(p1.Chunks[0].Code) != string(p2.Chunks[0].Code) {
+		t.Error("text round trip changed the encoding")
+	}
+}

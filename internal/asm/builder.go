@@ -1,0 +1,275 @@
+// Package asm provides assembly facilities for the simulator ISA: a
+// programmatic Builder used by the code generator and the attack
+// framework, and a small two-pass text assembler for hand-written
+// victims and experiments.
+//
+// Both produce a Program: a set of (address, bytes) chunks plus a label
+// table. Chunks can sit anywhere in the 64-bit address space, which the
+// NightVision experiments rely on to place aliasing code exactly 4 or
+// 8 GiB apart.
+package asm
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/isa"
+	"repro/internal/mem"
+)
+
+// Chunk is a contiguous span of assembled bytes at a fixed address.
+type Chunk struct {
+	Addr uint64
+	Code []byte
+}
+
+// Program is the output of assembly: chunks plus resolved labels.
+type Program struct {
+	Chunks []Chunk
+	Labels map[string]uint64
+}
+
+// LabelAddr returns the address of a label, or an error naming it.
+func (p *Program) LabelAddr(name string) (uint64, error) {
+	a, ok := p.Labels[name]
+	if !ok {
+		return 0, fmt.Errorf("asm: unknown label %q", name)
+	}
+	return a, nil
+}
+
+// MustLabel returns the address of a label, panicking if undefined.
+// Intended for experiment harnesses where the label set is static.
+func (p *Program) MustLabel(name string) uint64 {
+	a, err := p.LabelAddr(name)
+	if err != nil {
+		panic(err)
+	}
+	return a
+}
+
+// LoadInto maps and writes every chunk into m as executable code.
+func (p *Program) LoadInto(m *mem.Memory) {
+	for _, c := range p.Chunks {
+		m.LoadProgram(c.Addr, c.Code)
+	}
+}
+
+// Size returns the total number of assembled code bytes.
+func (p *Program) Size() int {
+	n := 0
+	for _, c := range p.Chunks {
+		n += len(c.Code)
+	}
+	return n
+}
+
+// fixup records a reference to a label that needs patching once all
+// label addresses are known.
+type fixup struct {
+	chunk int // chunk index
+	off   int // byte offset of the instruction start within the chunk
+	inst  isa.Inst
+	label string
+	delta int64 // constant added to the label address
+	kind  fixupKind
+}
+
+type fixupKind uint8
+
+const (
+	fixRel fixupKind = iota // branch relative displacement
+	fixAbs                  // absolute address immediate (movabs)
+)
+
+// Builder assembles a program instruction by instruction. Addresses are
+// assigned as instructions are appended, so label references may be
+// forward or backward; unresolved references fail at Build.
+type Builder struct {
+	chunks []Chunk
+	labels map[string]uint64
+	fixups []fixup
+	err    error
+}
+
+// NewBuilder returns a Builder with an initial chunk at base.
+func NewBuilder(base uint64) *Builder {
+	b := &Builder{labels: make(map[string]uint64)}
+	b.chunks = append(b.chunks, Chunk{Addr: base})
+	return b
+}
+
+func (b *Builder) cur() *Chunk { return &b.chunks[len(b.chunks)-1] }
+
+// PC returns the address the next byte will be assembled at.
+func (b *Builder) PC() uint64 {
+	c := b.cur()
+	return c.Addr + uint64(len(c.Code))
+}
+
+// setErr records the first error; later calls become no-ops.
+func (b *Builder) setErr(err error) {
+	if b.err == nil {
+		b.err = err
+	}
+}
+
+// Org starts a new chunk at addr. Subsequent instructions assemble there.
+func (b *Builder) Org(addr uint64) *Builder {
+	if c := b.cur(); len(c.Code) == 0 {
+		c.Addr = addr
+		return b
+	}
+	b.chunks = append(b.chunks, Chunk{Addr: addr})
+	return b
+}
+
+// Label defines name at the current PC.
+func (b *Builder) Label(name string) *Builder {
+	if _, dup := b.labels[name]; dup {
+		b.setErr(fmt.Errorf("asm: duplicate label %q", name))
+		return b
+	}
+	b.labels[name] = b.PC()
+	return b
+}
+
+// Inst appends a fully specified instruction.
+func (b *Builder) Inst(in isa.Inst) *Builder {
+	c := b.cur()
+	c.Code = in.Encode(c.Code)
+	return b
+}
+
+// Bytes appends raw bytes.
+func (b *Builder) Bytes(raw ...byte) *Builder {
+	c := b.cur()
+	c.Code = append(c.Code, raw...)
+	return b
+}
+
+// Align pads with fill bytes until the PC is a multiple of n.
+func (b *Builder) Align(n uint64, fill byte) *Builder {
+	if n == 0 || n&(n-1) != 0 {
+		b.setErr(fmt.Errorf("asm: align %d is not a power of two", n))
+		return b
+	}
+	for b.PC()&(n-1) != 0 {
+		b.Bytes(fill)
+	}
+	return b
+}
+
+// Space appends n fill bytes.
+func (b *Builder) Space(n uint64, fill byte) *Builder {
+	c := b.cur()
+	for i := uint64(0); i < n; i++ {
+		c.Code = append(c.Code, fill)
+	}
+	return b
+}
+
+// Nop appends a nop. Nops appears in nearly every NightVision snippet,
+// hence the dedicated helper.
+func (b *Builder) Nop() *Builder { return b.Inst(isa.Nop()) }
+
+// Nops appends n nops.
+func (b *Builder) Nops(n int) *Builder {
+	for i := 0; i < n; i++ {
+		b.Nop()
+	}
+	return b
+}
+
+// Ret appends a ret.
+func (b *Builder) Ret() *Builder { return b.Inst(isa.Ret()) }
+
+// Br appends a direct control transfer (jmp/call/Jcc of either width)
+// targeting label+delta. The displacement is backpatched at Build.
+func (b *Builder) Br(op isa.Op, label string, delta int64) *Builder {
+	if !op.Kind().IsControlTransfer() || op.Kind().IsIndirect() {
+		b.setErr(fmt.Errorf("asm: Br with non-direct-branch opcode %s", op.Name()))
+		return b
+	}
+	in := isa.Inst{Op: op, Size: op.Len()}
+	b.fixups = append(b.fixups, fixup{
+		chunk: len(b.chunks) - 1,
+		off:   len(b.cur().Code),
+		inst:  in,
+		label: label,
+		delta: delta,
+		kind:  fixRel,
+	})
+	// Reserve space with a zero displacement; patched later.
+	return b.Inst(in)
+}
+
+// Jmp appends a rel32 jump to label.
+func (b *Builder) Jmp(label string) *Builder { return b.Br(isa.OpJmp32, label, 0) }
+
+// Jmp8 appends a rel8 jump to label.
+func (b *Builder) Jmp8(label string) *Builder { return b.Br(isa.OpJmp8, label, 0) }
+
+// Call appends a rel32 call to label.
+func (b *Builder) Call(label string) *Builder { return b.Br(isa.OpCall32, label, 0) }
+
+// MovLabel appends a movabs loading the 64-bit address of label+delta.
+func (b *Builder) MovLabel(dst isa.Reg, label string, delta int64) *Builder {
+	in := isa.MovImm64(dst, 0)
+	b.fixups = append(b.fixups, fixup{
+		chunk: len(b.chunks) - 1,
+		off:   len(b.cur().Code),
+		inst:  in,
+		label: label,
+		delta: delta,
+		kind:  fixAbs,
+	})
+	return b.Inst(in)
+}
+
+// Build resolves all label references and returns the program. The
+// Builder must not be reused after Build.
+func (b *Builder) Build() (*Program, error) {
+	if b.err != nil {
+		return nil, b.err
+	}
+	for _, f := range b.fixups {
+		target, ok := b.labels[f.label]
+		if !ok {
+			return nil, fmt.Errorf("asm: undefined label %q", f.label)
+		}
+		target += uint64(f.delta)
+		c := &b.chunks[f.chunk]
+		pc := c.Addr + uint64(f.off)
+		in := f.inst
+		switch f.kind {
+		case fixRel:
+			rel := int64(target) - int64(pc) - int64(in.Size)
+			if in.Op.Format() == isa.FmtRel8 && (rel < -128 || rel > 127) {
+				return nil, fmt.Errorf("asm: rel8 branch to %q out of range (%d)", f.label, rel)
+			}
+			if rel < -(1<<31) || rel > 1<<31-1 {
+				return nil, fmt.Errorf("asm: rel32 branch to %q out of range (%d)", f.label, rel)
+			}
+			in.Imm = rel
+		case fixAbs:
+			in.Imm = int64(target)
+		}
+		patched := in.Encode(nil)
+		copy(c.Code[f.off:], patched)
+	}
+	chunks := make([]Chunk, 0, len(b.chunks))
+	for _, c := range b.chunks {
+		if len(c.Code) > 0 {
+			chunks = append(chunks, c)
+		}
+	}
+	sort.Slice(chunks, func(i, j int) bool { return chunks[i].Addr < chunks[j].Addr })
+	for i := 1; i < len(chunks); i++ {
+		prev := chunks[i-1]
+		if prev.Addr+uint64(len(prev.Code)) > chunks[i].Addr {
+			return nil, fmt.Errorf("asm: chunks at %#x and %#x overlap", prev.Addr, chunks[i].Addr)
+		}
+	}
+	return &Program{Chunks: chunks, Labels: b.labels}, nil
+}

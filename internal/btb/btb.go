@@ -1,0 +1,371 @@
+// Package btb models the Branch Target Buffer of a modern Intel core as
+// reverse-engineered by the NightVision paper (§2).
+//
+// Three properties distinguish this model from a textbook BTB, and all
+// three are what the attack exploits:
+//
+//  1. Truncated tags (§2.1): only address bits below a per-generation
+//     top bit (32 on SkyLake..CascadeLake, 33 on IceLake) participate in
+//     the set index and tag. Code placed 4 (or 8) GiB apart therefore
+//     aliases onto the same entries.
+//
+//  2. Range-semantics lookup (Takeaway 2, §2.4): because superscalar
+//     fetch operates on 32-byte prediction windows, a lookup with fetch
+//     PC p hits any entry with the same tag and set whose offset is
+//     greater than or equal to p's offset; among multiple hits, the
+//     smallest offset wins. Entries are keyed on the *last byte* of the
+//     branch.
+//
+//  3. Deallocation on false hit (Takeaway 1, §2.3): when decode discovers
+//     that a predicted branch location does not actually hold a
+//     control-transfer instruction, the entry is deallocated immediately —
+//     even though the instruction that triggered the false hit never
+//     retires. The CPU front end (internal/cpu) drives this via
+//     Invalidate.
+//
+// The model also implements IBRS/IBPB with their documented semantics:
+// they constrain or flush only entries for *indirect* branches (§4.1),
+// which is why they do not stop NightVision.
+package btb
+
+import (
+	"fmt"
+	"math/bits"
+
+	"repro/internal/isa"
+)
+
+// Domain identifies a predictor security domain for IBRS. User and
+// supervisor code, or different processes, can be modeled as different
+// domains.
+type Domain uint8
+
+// Config describes a BTB geometry. The zero value is invalid; use one of
+// the generation constructors or fill every field.
+type Config struct {
+	// Sets is the number of sets; must be a power of two.
+	Sets int
+	// Ways is the associativity.
+	Ways int
+	// OffsetBits is the width of the intra-block offset field; 5 on all
+	// modeled generations (32-byte prediction windows).
+	OffsetBits int
+	// TagTopBit is the lowest ignored address bit: lookup uses address
+	// bits [0, TagTopBit). 32 → 4 GiB aliasing, 33 → 8 GiB aliasing.
+	TagTopBit int
+	// ExactMatch disables the range-query semantics: a lookup hits only
+	// an entry whose offset equals the fetch offset. No real processor
+	// works this way (superscalar fetch needs range queries); the flag
+	// exists for the DESIGN.md ablation showing the attack's binary
+	// search depends on Takeaway 2.
+	ExactMatch bool
+}
+
+// Generation constructors, matching the paper's footnote 1.
+
+// ConfigSkyLake returns the geometry used for the SkyLake, KabyLake,
+// CoffeeLake and CascadeLake experiments: 4 GiB aliasing distance.
+func ConfigSkyLake() Config {
+	return Config{Sets: 512, Ways: 8, OffsetBits: 5, TagTopBit: 32}
+}
+
+// ConfigIceLake returns the IceLake geometry: 8 GiB aliasing distance.
+func ConfigIceLake() Config {
+	return Config{Sets: 1024, Ways: 8, OffsetBits: 5, TagTopBit: 33}
+}
+
+// ConfigFullTag returns a SkyLake-sized BTB whose tag covers the entire
+// 64-bit address. No cross-region aliasing exists with this geometry; it
+// exists for the ablation benchmarks showing the attack depends on tag
+// truncation.
+func ConfigFullTag() Config {
+	return Config{Sets: 512, Ways: 8, OffsetBits: 5, TagTopBit: 64}
+}
+
+// BlockSize returns the prediction-window block size in bytes.
+func (c Config) BlockSize() uint64 { return 1 << c.OffsetBits }
+
+func (c Config) validate() error {
+	if c.Sets <= 0 || c.Sets&(c.Sets-1) != 0 {
+		return fmt.Errorf("btb: Sets must be a positive power of two, got %d", c.Sets)
+	}
+	if c.Ways <= 0 {
+		return fmt.Errorf("btb: Ways must be positive, got %d", c.Ways)
+	}
+	if c.OffsetBits <= 0 || c.OffsetBits > 8 {
+		return fmt.Errorf("btb: OffsetBits must be in [1,8], got %d", c.OffsetBits)
+	}
+	setBits := bits.TrailingZeros(uint(c.Sets))
+	if c.TagTopBit < c.OffsetBits+setBits || c.TagTopBit > 64 {
+		return fmt.Errorf("btb: TagTopBit %d out of range", c.TagTopBit)
+	}
+	return nil
+}
+
+// Entry is one BTB entry. Entries are keyed on the address of the last
+// byte of the branch they describe.
+type Entry struct {
+	Valid  bool
+	Tag    uint64
+	Offset uint8 // intra-block offset of the branch's last byte
+	Target uint64
+	Kind   isa.Kind
+	Domain Domain
+	lru    uint64
+}
+
+// Hit describes the outcome of a successful Lookup.
+type Hit struct {
+	// BranchPC is the predicted branch position reconstructed in the
+	// *fetch* block: same block as the fetch PC, entry's offset. When the
+	// entry was allocated by aliased code 4 GiB away, this points at
+	// whatever bytes happen to live there — the false-hit mechanism.
+	BranchPC uint64
+	Target   uint64
+	Kind     isa.Kind
+	set, way int
+}
+
+// Stats counts BTB events for experiments and debugging.
+type Stats struct {
+	Lookups     uint64
+	Hits        uint64
+	Allocs      uint64
+	Updates     uint64
+	Invalidates uint64
+	Evictions   uint64
+}
+
+// BTB is the branch target buffer. Not safe for concurrent use.
+type BTB struct {
+	cfg      Config
+	sets     [][]Entry
+	setBits  int
+	lruClock uint64
+	ibrs     bool
+	domain   Domain
+	stats    Stats
+}
+
+// New returns an empty BTB with the given geometry. It panics on an
+// invalid configuration (geometries are compile-time constants in
+// practice).
+func New(cfg Config) *BTB {
+	if err := cfg.validate(); err != nil {
+		panic(err)
+	}
+	sets := make([][]Entry, cfg.Sets)
+	backing := make([]Entry, cfg.Sets*cfg.Ways)
+	for i := range sets {
+		sets[i], backing = backing[:cfg.Ways], backing[cfg.Ways:]
+	}
+	return &BTB{
+		cfg:     cfg,
+		sets:    sets,
+		setBits: bits.TrailingZeros(uint(cfg.Sets)),
+	}
+}
+
+// Config returns the geometry the BTB was built with.
+func (b *BTB) Config() Config { return b.cfg }
+
+// Stats returns a copy of the event counters.
+func (b *BTB) Stats() Stats { return b.stats }
+
+// ResetStats zeroes the event counters.
+func (b *BTB) ResetStats() { b.stats = Stats{} }
+
+// index splits a (last-byte) PC into set index, tag and offset, using
+// only address bits below TagTopBit.
+func (b *BTB) index(pc uint64) (set int, tag uint64, offset uint8) {
+	truncated := pc
+	if b.cfg.TagTopBit < 64 {
+		truncated &= (1 << b.cfg.TagTopBit) - 1
+	}
+	offset = uint8(truncated & (b.cfg.BlockSize() - 1))
+	block := truncated >> b.cfg.OffsetBits
+	set = int(block & uint64(b.cfg.Sets-1))
+	tag = block >> b.setBits
+	return set, tag, offset
+}
+
+// SetIBRS enables or disables Indirect Branch Restricted Speculation.
+// While enabled, Lookup refuses to use indirect-branch entries allocated
+// in a different domain — and nothing else, matching Intel's documented
+// scope (§4.1).
+func (b *BTB) SetIBRS(on bool) { b.ibrs = on }
+
+// SetDomain sets the current predictor domain used to tag new entries
+// and filter indirect entries under IBRS.
+func (b *BTB) SetDomain(d Domain) { b.domain = d }
+
+// Domain returns the current predictor domain.
+func (b *BTB) Domain() Domain { return b.domain }
+
+// IBPB issues an Indirect Branch Predictor Barrier: it invalidates
+// entries for indirect branches only. Direct-branch entries — the ones
+// NightVision uses — survive, matching the official security claims.
+func (b *BTB) IBPB() {
+	for s := range b.sets {
+		for w := range b.sets[s] {
+			e := &b.sets[s][w]
+			if e.Valid && e.Kind.IsIndirect() {
+				e.Valid = false
+				b.stats.Invalidates++
+			}
+		}
+	}
+}
+
+// Flush invalidates every entry. Real processors expose no such
+// instruction (the paper's flushBTB routine executes a jump slide to
+// evict entries; see internal/asm/snippets); Flush exists for experiment
+// setup and for the BTB-flushing defense ablation.
+func (b *BTB) Flush() {
+	for s := range b.sets {
+		for w := range b.sets[s] {
+			b.sets[s][w].Valid = false
+		}
+	}
+}
+
+// Lookup performs a fetch-time prediction lookup at fetchPC.
+//
+// Per Takeaway 2 it returns the valid entry with matching tag and set
+// whose offset is >= the fetch PC's offset, preferring the smallest such
+// offset. The returned Hit reconstructs the predicted branch position
+// within the fetch block.
+func (b *BTB) Lookup(fetchPC uint64) (Hit, bool) {
+	b.stats.Lookups++
+	set, tag, offset := b.index(fetchPC)
+	best := -1
+	for w := range b.sets[set] {
+		e := &b.sets[set][w]
+		if !e.Valid || e.Tag != tag || e.Offset < offset {
+			continue
+		}
+		if b.cfg.ExactMatch && e.Offset != offset {
+			continue
+		}
+		if b.ibrs && e.Kind.IsIndirect() && e.Domain != b.domain {
+			continue // IBRS: cross-domain indirect predictions restricted
+		}
+		if best < 0 || e.Offset < b.sets[set][best].Offset {
+			best = w
+		}
+	}
+	if best < 0 {
+		return Hit{}, false
+	}
+	b.stats.Hits++
+	e := &b.sets[set][best]
+	b.lruClock++
+	e.lru = b.lruClock
+	blockBase := fetchPC &^ (b.cfg.BlockSize() - 1)
+	return Hit{
+		BranchPC: blockBase | uint64(e.Offset),
+		Target:   e.Target,
+		Kind:     e.Kind,
+		set:      set,
+		way:      best,
+	}, true
+}
+
+// Update allocates or refreshes the entry for a taken branch whose last
+// byte is at lastBytePC. The execution engine calls this when a taken
+// control transfer resolves without a correct BTB prediction.
+func (b *BTB) Update(lastBytePC, target uint64, kind isa.Kind) {
+	set, tag, offset := b.index(lastBytePC)
+	b.lruClock++
+	// Exact re-use of an existing entry for this branch.
+	for w := range b.sets[set] {
+		e := &b.sets[set][w]
+		if e.Valid && e.Tag == tag && e.Offset == offset {
+			e.Target = target
+			e.Kind = kind
+			e.Domain = b.domain
+			e.lru = b.lruClock
+			b.stats.Updates++
+			return
+		}
+	}
+	// Allocate: first invalid way, else LRU victim.
+	victim := 0
+	foundInvalid := false
+	for w := range b.sets[set] {
+		e := &b.sets[set][w]
+		if !e.Valid {
+			victim = w
+			foundInvalid = true
+			break
+		}
+		if e.lru < b.sets[set][victim].lru {
+			victim = w
+		}
+	}
+	if !foundInvalid {
+		b.stats.Evictions++
+	}
+	b.sets[set][victim] = Entry{
+		Valid:  true,
+		Tag:    tag,
+		Offset: offset,
+		Target: target,
+		Kind:   kind,
+		Domain: b.domain,
+		lru:    b.lruClock,
+	}
+	b.stats.Allocs++
+}
+
+// Invalidate deallocates the entry keyed at lastBytePC, if present, and
+// reports whether an entry was removed. The CPU front end calls this on
+// decode-time false hits (Takeaway 1).
+func (b *BTB) Invalidate(lastBytePC uint64) bool {
+	set, tag, offset := b.index(lastBytePC)
+	for w := range b.sets[set] {
+		e := &b.sets[set][w]
+		if e.Valid && e.Tag == tag && e.Offset == offset {
+			e.Valid = false
+			b.stats.Invalidates++
+			return true
+		}
+	}
+	return false
+}
+
+// InvalidateHit deallocates the exact entry a Lookup returned. Equivalent
+// to Invalidate on the hit's entry key but immune to re-indexing races.
+func (b *BTB) InvalidateHit(h Hit) {
+	e := &b.sets[h.set][h.way]
+	if e.Valid {
+		e.Valid = false
+		b.stats.Invalidates++
+	}
+}
+
+// EntryAt reports the entry keyed at lastBytePC, if one exists. Intended
+// for tests and experiment instrumentation; attacks must not use it.
+func (b *BTB) EntryAt(lastBytePC uint64) (Entry, bool) {
+	set, tag, offset := b.index(lastBytePC)
+	for w := range b.sets[set] {
+		e := b.sets[set][w]
+		if e.Valid && e.Tag == tag && e.Offset == offset {
+			return e, true
+		}
+	}
+	return Entry{}, false
+}
+
+// ValidCount returns the number of valid entries; for tests.
+func (b *BTB) ValidCount() int {
+	n := 0
+	for s := range b.sets {
+		for w := range b.sets[s] {
+			if b.sets[s][w].Valid {
+				n++
+			}
+		}
+	}
+	return n
+}

@@ -1,0 +1,305 @@
+package btb
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/isa"
+)
+
+func skylake() *BTB { return New(ConfigSkyLake()) }
+
+func TestConfigValidate(t *testing.T) {
+	bad := []Config{
+		{Sets: 0, Ways: 8, OffsetBits: 5, TagTopBit: 32},
+		{Sets: 3, Ways: 8, OffsetBits: 5, TagTopBit: 32},
+		{Sets: 512, Ways: 0, OffsetBits: 5, TagTopBit: 32},
+		{Sets: 512, Ways: 8, OffsetBits: 0, TagTopBit: 32},
+		{Sets: 512, Ways: 8, OffsetBits: 5, TagTopBit: 10},
+		{Sets: 512, Ways: 8, OffsetBits: 5, TagTopBit: 65},
+	}
+	for _, cfg := range bad {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("New(%+v) should panic", cfg)
+				}
+			}()
+			New(cfg)
+		}()
+	}
+	// Good configs must not panic.
+	for _, cfg := range []Config{ConfigSkyLake(), ConfigIceLake(), ConfigFullTag()} {
+		New(cfg)
+	}
+}
+
+func TestExactHit(t *testing.T) {
+	b := skylake()
+	// A branch whose last byte is at 0x40_001f, targeting 0x40_1000.
+	b.Update(0x40_001f, 0x40_1000, isa.KindJump)
+	h, ok := b.Lookup(0x40_0000)
+	if !ok {
+		t.Fatal("expected hit")
+	}
+	if h.BranchPC != 0x40_001f {
+		t.Errorf("BranchPC = %#x, want 0x40001f", h.BranchPC)
+	}
+	if h.Target != 0x40_1000 {
+		t.Errorf("Target = %#x", h.Target)
+	}
+	if h.Kind != isa.KindJump {
+		t.Errorf("Kind = %v", h.Kind)
+	}
+}
+
+// TestRangeSemantics encodes Takeaway 2: a hit requires entry offset >=
+// fetch offset; among multiple hits the smallest qualifying offset wins.
+func TestRangeSemantics(t *testing.T) {
+	b := skylake()
+	b.Update(0x40_0010, 0x1000, isa.KindJump) // entry at offset 0x10
+	b.Update(0x40_001e, 0x2000, isa.KindJump) // entry at offset 0x1e
+
+	// Fetch at offset 0x00: both qualify, smallest offset (0x10) wins.
+	h, ok := b.Lookup(0x40_0000)
+	if !ok || h.BranchPC != 0x40_0010 {
+		t.Fatalf("fetch@0: hit=%v pc=%#x, want 0x400010", ok, h.BranchPC)
+	}
+	// Fetch at offset 0x10: equal offset still hits.
+	h, ok = b.Lookup(0x40_0010)
+	if !ok || h.BranchPC != 0x40_0010 {
+		t.Fatalf("fetch@0x10: hit=%v pc=%#x, want 0x400010", ok, h.BranchPC)
+	}
+	// Fetch at offset 0x11: first entry no longer qualifies.
+	h, ok = b.Lookup(0x40_0011)
+	if !ok || h.BranchPC != 0x40_001e {
+		t.Fatalf("fetch@0x11: hit=%v pc=%#x, want 0x40001e", ok, h.BranchPC)
+	}
+	// Fetch at offset 0x1f: nothing qualifies.
+	if _, ok = b.Lookup(0x40_001f); ok {
+		t.Fatal("fetch@0x1f: expected miss")
+	}
+}
+
+// TestTagTruncationAliasing verifies that code 4 GiB apart collides on
+// SkyLake geometry (bits >= 32 ignored) but not with full tags.
+func TestTagTruncationAliasing(t *testing.T) {
+	const lo = uint64(0x40_001f)
+	const hi = lo + (1 << 32)
+
+	b := skylake()
+	b.Update(lo, 0x1000, isa.KindJump)
+	if h, ok := b.Lookup(hi &^ 0x1f); !ok || h.BranchPC != hi {
+		t.Errorf("SkyLake: lookup 4GiB away should alias (hit=%v, pc=%#x)", ok, h.BranchPC)
+	}
+
+	full := New(ConfigFullTag())
+	full.Update(lo, 0x1000, isa.KindJump)
+	if _, ok := full.Lookup(hi &^ 0x1f); ok {
+		t.Error("full tags: lookup 4GiB away must miss")
+	}
+}
+
+// TestIceLakeAliasDistance verifies the 8 GiB aliasing distance of the
+// IceLake geometry (bits >= 33 ignored).
+func TestIceLakeAliasDistance(t *testing.T) {
+	b := New(ConfigIceLake())
+	const lo = uint64(0x40_001f)
+	b.Update(lo, 0x1000, isa.KindJump)
+	if _, ok := b.Lookup((lo + 1<<32) &^ 0x1f); ok {
+		t.Error("IceLake: 4 GiB apart must NOT alias")
+	}
+	if h, ok := b.Lookup((lo + 1<<33) &^ 0x1f); !ok || h.BranchPC != lo+1<<33 {
+		t.Errorf("IceLake: 8 GiB apart should alias (hit=%v pc=%#x)", ok, h.BranchPC)
+	}
+}
+
+func TestInvalidate(t *testing.T) {
+	b := skylake()
+	b.Update(0x40_001f, 0x1000, isa.KindJump)
+	if !b.Invalidate(0x40_001f) {
+		t.Fatal("Invalidate should report removal")
+	}
+	if b.Invalidate(0x40_001f) {
+		t.Fatal("second Invalidate should report nothing to remove")
+	}
+	if _, ok := b.Lookup(0x40_0000); ok {
+		t.Fatal("entry should be gone")
+	}
+}
+
+// TestInvalidateAliased is the Figure 1 scenario reduced to the BTB: an
+// entry allocated at a low address is deallocated via its alias 4 GiB
+// higher, as happens when a victim's non-branch bytes false-hit it.
+func TestInvalidateAliased(t *testing.T) {
+	b := skylake()
+	b.Update(0x40_001f, 0x1000, isa.KindJump)
+	if !b.Invalidate(0x40_001f + 1<<32) {
+		t.Fatal("aliased Invalidate should remove the entry")
+	}
+	if b.ValidCount() != 0 {
+		t.Fatal("no entries should remain")
+	}
+}
+
+func TestInvalidateHit(t *testing.T) {
+	b := skylake()
+	b.Update(0x40_001f, 0x1000, isa.KindJump)
+	h, ok := b.Lookup(0x40_0000)
+	if !ok {
+		t.Fatal("expected hit")
+	}
+	b.InvalidateHit(h)
+	if _, ok := b.Lookup(0x40_0000); ok {
+		t.Fatal("entry should be gone after InvalidateHit")
+	}
+	b.InvalidateHit(h) // double-invalidate is a no-op
+}
+
+func TestUpdateRefreshesExistingEntry(t *testing.T) {
+	b := skylake()
+	b.Update(0x40_001f, 0x1000, isa.KindJump)
+	b.Update(0x40_001f, 0x2000, isa.KindJump)
+	if b.ValidCount() != 1 {
+		t.Fatalf("ValidCount = %d, want 1 (update must not duplicate)", b.ValidCount())
+	}
+	h, _ := b.Lookup(0x40_0000)
+	if h.Target != 0x2000 {
+		t.Errorf("Target = %#x, want updated 0x2000", h.Target)
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	cfg := Config{Sets: 2, Ways: 2, OffsetBits: 5, TagTopBit: 32}
+	b := New(cfg)
+	// Three branches mapping to the same set (set stride = Sets*32 = 64B).
+	pcs := []uint64{0x1f, 0x1f + 64, 0x1f + 128}
+	b.Update(pcs[0], 1, isa.KindJump)
+	b.Update(pcs[1], 2, isa.KindJump)
+	// Touch pcs[0] so pcs[1] is LRU.
+	if _, ok := b.Lookup(pcs[0] &^ 0x1f); !ok {
+		t.Fatal("expected hit on pcs[0]")
+	}
+	b.Update(pcs[2], 3, isa.KindJump) // evicts pcs[1]
+	if _, ok := b.EntryAt(pcs[1]); ok {
+		t.Error("LRU entry should have been evicted")
+	}
+	if _, ok := b.EntryAt(pcs[0]); !ok {
+		t.Error("recently used entry should survive")
+	}
+	if b.Stats().Evictions != 1 {
+		t.Errorf("Evictions = %d, want 1", b.Stats().Evictions)
+	}
+}
+
+// TestIBPBOnlyFlushesIndirect encodes the §4.1 finding: IBPB invalidates
+// indirect-branch entries and leaves direct ones — so NV-Core survives.
+func TestIBPBOnlyFlushesIndirect(t *testing.T) {
+	b := skylake()
+	b.Update(0x40_001f, 0x1000, isa.KindJump)    // direct
+	b.Update(0x41_001f, 0x2000, isa.KindIndJump) // indirect
+	b.Update(0x42_001f, 0x3000, isa.KindIndCall) // indirect
+	b.IBPB()
+	if _, ok := b.EntryAt(0x40_001f); !ok {
+		t.Error("IBPB must not remove direct-branch entries")
+	}
+	if _, ok := b.EntryAt(0x41_001f); ok {
+		t.Error("IBPB must remove indirect-jump entries")
+	}
+	if _, ok := b.EntryAt(0x42_001f); ok {
+		t.Error("IBPB must remove indirect-call entries")
+	}
+}
+
+// TestIBRSRestrictsOnlyCrossDomainIndirect encodes the other half of
+// §4.1: IBRS hides indirect entries from other domains but direct
+// entries keep predicting across domains.
+func TestIBRSRestrictsOnlyCrossDomainIndirect(t *testing.T) {
+	b := skylake()
+	b.SetDomain(0)
+	b.Update(0x40_001f, 0x1000, isa.KindJump)
+	b.Update(0x41_001f, 0x2000, isa.KindIndJump)
+	b.SetIBRS(true)
+	b.SetDomain(1)
+	if _, ok := b.Lookup(0x40_0000); !ok {
+		t.Error("IBRS must not restrict direct-branch entries")
+	}
+	if _, ok := b.Lookup(0x41_0000); ok {
+		t.Error("IBRS must restrict cross-domain indirect entries")
+	}
+	b.SetDomain(0)
+	if _, ok := b.Lookup(0x41_0000); !ok {
+		t.Error("IBRS must allow same-domain indirect entries")
+	}
+}
+
+func TestFlush(t *testing.T) {
+	b := skylake()
+	for i := uint64(0); i < 100; i++ {
+		b.Update(0x40_0000+i*64+0x1f, i, isa.KindJump)
+	}
+	if b.ValidCount() == 0 {
+		t.Fatal("setup: expected entries")
+	}
+	b.Flush()
+	if b.ValidCount() != 0 {
+		t.Errorf("ValidCount after Flush = %d", b.ValidCount())
+	}
+}
+
+func TestStats(t *testing.T) {
+	b := skylake()
+	b.Update(0x40_001f, 0x1000, isa.KindJump)
+	b.Lookup(0x40_0000) // hit
+	b.Lookup(0x50_0000) // miss
+	s := b.Stats()
+	if s.Allocs != 1 || s.Lookups != 2 || s.Hits != 1 {
+		t.Errorf("stats = %+v", s)
+	}
+	b.ResetStats()
+	if b.Stats() != (Stats{}) {
+		t.Error("ResetStats should zero counters")
+	}
+}
+
+// TestQuickUpdateLookupConsistency property-tests that after Update at a
+// random PC, a Lookup from the containing block base always finds an
+// entry at or below that PC's offset, and Invalidate at the same PC
+// removes it.
+func TestQuickUpdateLookupConsistency(t *testing.T) {
+	f := func(pc uint64, target uint64) bool {
+		b := skylake()
+		b.Update(pc, target, isa.KindJump)
+		blockBase := pc &^ 0x1f
+		h, ok := b.Lookup(blockBase)
+		if !ok {
+			return false
+		}
+		// The hit must reconstruct the entry's position in this block.
+		if h.BranchPC&0x1f != pc&0x1f {
+			return false
+		}
+		if h.Target != target {
+			return false
+		}
+		return b.Invalidate(pc) && b.ValidCount() == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickAliasing property-tests that any two addresses whose low
+// TagTopBit bits agree alias to the same entry on SkyLake geometry.
+func TestQuickAliasing(t *testing.T) {
+	f := func(pc uint64, hiBits uint32) bool {
+		b := skylake()
+		b.Update(pc, 0x1234, isa.KindJump)
+		alias := (pc & ((1 << 32) - 1)) | uint64(hiBits)<<32
+		h, ok := b.Lookup(alias &^ 0x1f)
+		return ok && h.Target == 0x1234
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Error(err)
+	}
+}

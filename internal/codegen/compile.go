@@ -1,0 +1,665 @@
+package codegen
+
+import (
+	"fmt"
+
+	"repro/internal/asm"
+	"repro/internal/isa"
+	"repro/internal/nvrand"
+)
+
+// OptLevel selects the optimization recipe, standing in for gcc's -O
+// flags in the Figure 13 experiments.
+type OptLevel int
+
+// Optimization levels.
+const (
+	// O0 keeps every variable in a stack slot with loads and stores
+	// around each operation.
+	O0 OptLevel = iota
+	// O2 keeps variables in registers and uses immediate operand forms.
+	O2
+	// O3 is O2 plus constant folding and 2x loop unrolling.
+	O3
+)
+
+func (o OptLevel) String() string {
+	switch o {
+	case O0:
+		return "-O0"
+	case O2:
+		return "-O2"
+	case O3:
+		return "-O3"
+	}
+	return "-O?"
+}
+
+// CFRConfig configures control-flow randomization (Hosseinzadeh et al.,
+// the paper's [25]): secret-dependent conditional branches are replaced
+// by branchless target selection plus an indirect jump through a
+// trampoline allocated at a randomized address per build.
+type CFRConfig struct {
+	// Rng drives trampoline placement; required.
+	Rng *nvrand.Rand
+	// Region is the base of a 64 KiB area for trampolines.
+	Region uint64
+
+	used map[uint64]bool
+}
+
+// Options bundles the code generation knobs.
+type Options struct {
+	Opt OptLevel
+	// AlignTargets pads branch-target labels to this alignment: the
+	// -falign-jumps analog of the Frontal countermeasure (§7.2).
+	AlignTargets uint64
+	// Balance pads the shorter arm of every If with nops until both
+	// arms occupy the same byte length (branch balancing, CopyCat's
+	// countermeasure).
+	Balance bool
+	// CFR enables control-flow randomization.
+	CFR *CFRConfig
+}
+
+// Calling convention: arguments in r1..r3, return value in r0, r10..r13
+// are caller-saved scratch used by the generated code, r14 is the frame
+// pointer at -O0, sp (r15) is the stack pointer.
+const maxParams = 3
+
+// register plan for O2/O3.
+var varRegs = []isa.Reg{isa.R1, isa.R2, isa.R3, isa.R4, isa.R5, isa.R6, isa.R7, isa.R8, isa.R9}
+
+// Emit compiles f into b at the current location. The function's entry
+// gets the label f.Name and its end f.Name+".end", so callers can slice
+// the emitted range for static fingerprints.
+func Emit(b *asm.Builder, f *Func, opts Options) error {
+	if err := f.Validate(); err != nil {
+		return err
+	}
+	if len(f.Params) > maxParams {
+		return fmt.Errorf("codegen: %s: at most %d parameters", f.Name, maxParams)
+	}
+	if opts.CFR != nil {
+		if opts.CFR.Rng == nil {
+			return fmt.Errorf("codegen: CFR requires an Rng")
+		}
+		if opts.CFR.used == nil {
+			opts.CFR.used = make(map[uint64]bool)
+		}
+	}
+	body := f.Body
+	if opts.Opt >= O3 {
+		body = unrollBlock(body)
+	}
+	em := &emitter{b: b, f: f, opts: opts}
+	if err := em.plan(); err != nil {
+		return err
+	}
+	em.prologue()
+	if err := em.block(body); err != nil {
+		return err
+	}
+	// Implicit `return 0` for falling off the end.
+	em.b.Inst(isa.Inst{Op: isa.OpMovImm32, Dst: isa.R0, Size: isa.OpMovImm32.Len()})
+	em.label("epilogue")
+	em.epilogue()
+	em.b.Label(f.Name + ".end")
+	return em.err
+}
+
+// unrollBlock applies 2x unrolling to every While: the body is
+// duplicated behind a guard, roughly what -funroll-loops produces.
+func unrollBlock(body []Stmt) []Stmt {
+	out := make([]Stmt, 0, len(body))
+	for _, st := range body {
+		switch s := st.(type) {
+		case While:
+			inner := unrollBlock(s.Body)
+			dup := append(append([]Stmt{}, inner...), If{Cond: s.Cond, Then: inner})
+			out = append(out, While{Cond: s.Cond, Body: dup})
+		case If:
+			out = append(out, If{Cond: s.Cond, Then: unrollBlock(s.Then), Else: unrollBlock(s.Else)})
+		default:
+			out = append(out, st)
+		}
+	}
+	return out
+}
+
+// emitter carries compilation state for one function.
+type emitter struct {
+	b    *asm.Builder
+	f    *Func
+	opts Options
+	err  error
+
+	nLabels int
+
+	// O2/O3: variable -> register.
+	regOf map[string]isa.Reg
+	// O0: variable -> frame offset (negative from r14).
+	slotOf map[string]int64
+}
+
+func (em *emitter) fail(format string, args ...any) {
+	if em.err == nil {
+		em.err = fmt.Errorf("codegen: %s: "+format, append([]any{em.f.Name}, args...)...)
+	}
+}
+
+func (em *emitter) newLabel(kind string) string {
+	em.nLabels++
+	return fmt.Sprintf("%s.%s%d", em.f.Name, kind, em.nLabels)
+}
+
+func (em *emitter) label(name string) {
+	em.b.Label(em.f.Name + "." + name)
+}
+
+// plan assigns homes to variables.
+func (em *emitter) plan() error {
+	vars := em.f.Vars()
+	if em.opts.Opt == O0 {
+		em.slotOf = make(map[string]int64)
+		for i, v := range vars {
+			off := int64(8 * (i + 1))
+			if off > 120 {
+				return fmt.Errorf("codegen: %s: too many locals for -O0 frame", em.f.Name)
+			}
+			em.slotOf[v] = -off
+		}
+		return nil
+	}
+	if len(vars) > len(varRegs) {
+		return fmt.Errorf("codegen: %s: %d variables exceed the register budget %d", em.f.Name, len(vars), len(varRegs))
+	}
+	em.regOf = make(map[string]isa.Reg)
+	for i, v := range vars {
+		em.regOf[v] = varRegs[i]
+	}
+	// Params must live where the convention put them: r1..r3 in order.
+	// Vars() lists params first, so this holds by construction.
+	for i, p := range em.f.Params {
+		if em.regOf[p] != varRegs[i] {
+			return fmt.Errorf("codegen: %s: parameter register mismatch", em.f.Name)
+		}
+	}
+	return nil
+}
+
+func (em *emitter) prologue() {
+	em.b.Label(em.f.Name)
+	if em.opts.Opt == O0 {
+		// push fp; fp = sp; sp -= frame
+		em.b.Inst(isa.Inst{Op: isa.OpPush, Dst: isa.R14, Size: 2})
+		em.b.Inst(isa.Inst{Op: isa.OpMovRR, Dst: isa.R14, Src: isa.SP, Size: 2})
+		frame := int64(8 * (len(em.slotOf) + 1))
+		em.b.Inst(isa.Inst{Op: isa.OpSubI32, Dst: isa.SP, Imm: frame, Size: isa.OpSubI32.Len()})
+		// Spill incoming parameters to their slots.
+		for i, p := range em.f.Params {
+			em.store(isa.Reg(1+i), p)
+		}
+	}
+}
+
+func (em *emitter) epilogue() {
+	if em.opts.Opt == O0 {
+		em.b.Inst(isa.Inst{Op: isa.OpMovRR, Dst: isa.SP, Src: isa.R14, Size: 2})
+		em.b.Inst(isa.Inst{Op: isa.OpPop, Dst: isa.R14, Size: 2})
+	}
+	em.b.Ret()
+}
+
+// store writes reg into the variable's home.
+func (em *emitter) store(src isa.Reg, name string) {
+	if em.opts.Opt == O0 {
+		em.b.Inst(isa.Inst{Op: isa.OpSt8, Dst: src, Src: isa.R14, Imm: em.slotOf[name], Size: 3})
+		return
+	}
+	if home := em.regOf[name]; home != src {
+		em.b.Inst(isa.Inst{Op: isa.OpMovRR, Dst: home, Src: src, Size: 2})
+	}
+}
+
+// load reads the variable's home into reg.
+func (em *emitter) load(dst isa.Reg, name string) {
+	if em.opts.Opt == O0 {
+		em.b.Inst(isa.Inst{Op: isa.OpLd8, Dst: dst, Src: isa.R14, Imm: em.slotOf[name], Size: 3})
+		return
+	}
+	if home := em.regOf[name]; home != dst {
+		em.b.Inst(isa.Inst{Op: isa.OpMovRR, Dst: dst, Src: home, Size: 2})
+	}
+}
+
+func (em *emitter) block(body []Stmt) error {
+	for _, st := range body {
+		switch s := st.(type) {
+		case Assign:
+			em.eval(s.Expr, isa.R10, isa.R11)
+			em.store(isa.R10, s.Dst)
+		case Return:
+			em.eval(s.Expr, isa.R10, isa.R11)
+			em.b.Inst(isa.Inst{Op: isa.OpMovRR, Dst: isa.R0, Src: isa.R10, Size: 2})
+			em.b.Jmp(em.f.Name + ".epilogue")
+		case If:
+			em.emitIf(s)
+		case While:
+			em.emitWhile(s)
+		case Yield:
+			em.b.Inst(isa.Syscall(1))
+		default:
+			em.fail("unknown statement %T", st)
+		}
+		if em.err != nil {
+			return em.err
+		}
+	}
+	return em.err
+}
+
+func (em *emitter) emitWhile(s While) {
+	head := em.newLabel("loop")
+	end := em.newLabel("endloop")
+	em.alignTarget()
+	em.b.Label(head)
+	em.condJumpFalse(s.Cond, end)
+	if em.block(s.Body) != nil {
+		return
+	}
+	em.b.Jmp(head)
+	em.alignTarget()
+	em.b.Label(end)
+}
+
+func (em *emitter) emitIf(s If) {
+	if em.opts.CFR != nil {
+		em.emitIfCFR(s)
+		return
+	}
+	elseL := em.newLabel("else")
+	endL := em.newLabel("endif")
+
+	// Branch balancing (CopyCat's countermeasure): pre-measure both
+	// arms and pad each to the larger byte length so instruction count
+	// and footprint are identical on either path.
+	target := 0
+	if em.opts.Balance {
+		t := em.measureBlock(s.Then)
+		e := em.measureBlock(s.Else)
+		target = t
+		if e > t {
+			target = e
+		}
+	}
+
+	em.condJumpFalse(s.Cond, elseL)
+	tStart := em.markLen()
+	if em.block(s.Then) != nil {
+		return
+	}
+	for em.markLen()-tStart < target {
+		em.b.Nop()
+	}
+	em.b.Jmp(endL)
+	em.alignTarget()
+	em.b.Label(elseL)
+	eStart := em.markLen()
+	if em.block(s.Else) != nil {
+		return
+	}
+	for em.markLen()-eStart < target {
+		em.b.Nop()
+	}
+	em.alignTarget()
+	em.b.Label(endL)
+}
+
+// measureBlock emits body into a throwaway builder to learn its byte
+// length without affecting the real output.
+func (em *emitter) measureBlock(body []Stmt) int {
+	saved := em.b
+	scratch := asm.NewBuilder(saved.PC())
+	em.b = scratch
+	start := scratch.PC()
+	_ = em.block(body)
+	size := int(scratch.PC() - start)
+	em.b = saved
+	return size
+}
+
+// emitIfCFR lowers an If through control-flow randomization: select the
+// target branchlessly with cmov, then dispatch through an indirect jump
+// at a randomized trampoline address. No conditional branch with a
+// secret-dependent direction remains.
+func (em *emitter) emitIfCFR(s If) {
+	thenL := em.newLabel("then")
+	elseL := em.newLabel("else")
+	endL := em.newLabel("endif")
+
+	// r12 = &then, r13 = &else; cmov-negate picks r12 := r13 when the
+	// condition fails.
+	em.b.MovLabel(isa.R12, thenL, 0)
+	em.b.MovLabel(isa.R13, elseL, 0)
+	cmov := em.condCmovFalse(s.Cond)
+	em.b.Inst(isa.Inst{Op: cmov, Dst: isa.R12, Src: isa.R13, Size: 2})
+
+	// Dispatch through the randomized trampoline: jmp La; La: jmpr r12.
+	tramp := em.allocTrampoline()
+	em.b.MovLabel(isa.R11, tramp, 0)
+	em.b.Inst(isa.Inst{Op: isa.OpJmpReg, Dst: isa.R11, Size: 2})
+
+	em.alignTarget()
+	em.b.Label(thenL)
+	if em.block(s.Then) != nil {
+		return
+	}
+	em.b.Jmp(endL)
+	em.alignTarget()
+	em.b.Label(elseL)
+	if em.block(s.Else) != nil {
+		return
+	}
+	em.alignTarget()
+	em.b.Label(endL)
+}
+
+// allocTrampoline emits `jmpr r12` at a fresh random address inside the
+// CFR region and returns its label.
+func (em *emitter) allocTrampoline() string {
+	cfg := em.opts.CFR
+	var addr uint64
+	for {
+		addr = cfg.Region + cfg.Rng.Uint64n(1<<16)&^0xF
+		if !cfg.used[addr] {
+			cfg.used[addr] = true
+			break
+		}
+	}
+	label := em.newLabel("tramp")
+	cur := em.b.PC()
+	em.b.Org(addr)
+	em.b.Label(label)
+	em.b.Inst(isa.Inst{Op: isa.OpJmpReg, Dst: isa.R12, Size: 2})
+	em.b.Org(cur)
+	return label
+}
+
+// markLen returns the bytes emitted so far (for balancing).
+func (em *emitter) markLen() int {
+	return int(em.b.PC())
+}
+
+func (em *emitter) alignTarget() {
+	if em.opts.AlignTargets > 1 {
+		em.b.Align(em.opts.AlignTargets, byte(isa.OpNop))
+	}
+}
+
+// condJumpFalse emits the condition evaluation and a jump to label when
+// the condition is FALSE. Unsigned relations beyond the flag set are
+// synthesized by swapping operands.
+func (em *emitter) condJumpFalse(c Cond, label string) {
+	a, b, rel := c.A, c.B, c.Rel
+	// a <= b  <=>  !(b < a);  a > b  <=>  b < a.
+	if rel == RelLe || rel == RelGt {
+		a, b = b, a
+		if rel == RelLe {
+			rel = RelGe // jump-false on b < a
+		} else {
+			rel = RelLt
+		}
+	}
+	em.evalCmp(a, b)
+	var op isa.Op
+	switch rel {
+	case RelEq:
+		op = isa.OpJnz32
+	case RelNe:
+		op = isa.OpJz32
+	case RelLt:
+		op = isa.OpJnc32 // false when !(a < b)
+	case RelGe:
+		op = isa.OpJc32
+	default:
+		em.fail("unhandled relation")
+		return
+	}
+	em.b.Br(op, label, 0)
+}
+
+// condCmovFalse evaluates the condition and returns the cmov opcode that
+// fires when the condition is FALSE.
+func (em *emitter) condCmovFalse(c Cond) isa.Op {
+	a, b, rel := c.A, c.B, c.Rel
+	if rel == RelLe || rel == RelGt {
+		a, b = b, a
+		if rel == RelLe {
+			rel = RelGe
+		} else {
+			rel = RelLt
+		}
+	}
+	em.evalCmp(a, b)
+	switch rel {
+	case RelEq:
+		return isa.OpCmovnz
+	case RelNe:
+		return isa.OpCmovz
+	case RelLt:
+		return isa.OpCmovnc
+	case RelGe:
+		return isa.OpCmovc
+	}
+	em.fail("unhandled relation")
+	return isa.OpCmovz
+}
+
+// evalCmp computes flags for a ? b.
+func (em *emitter) evalCmp(a, b Expr) {
+	em.eval(a, isa.R10, isa.R11)
+	if c, ok := em.constOf(b); ok && fitsImm32(c) {
+		em.b.Inst(cmpImm(isa.R10, c))
+		return
+	}
+	em.b.Inst(isa.Inst{Op: isa.OpPush, Dst: isa.R10, Size: 2})
+	em.eval(b, isa.R10, isa.R11)
+	em.b.Inst(isa.Inst{Op: isa.OpMovRR, Dst: isa.R11, Src: isa.R10, Size: 2})
+	em.b.Inst(isa.Inst{Op: isa.OpPop, Dst: isa.R10, Size: 2})
+	em.b.Inst(isa.Inst{Op: isa.OpCmpRR, Dst: isa.R10, Src: isa.R11, Size: 2})
+}
+
+func cmpImm(r isa.Reg, v int64) isa.Inst {
+	if v >= -128 && v <= 127 {
+		return isa.Inst{Op: isa.OpCmpI8, Dst: r, Imm: v, Size: 3}
+	}
+	return isa.Inst{Op: isa.OpCmpI32, Dst: r, Imm: v, Size: isa.OpCmpI32.Len()}
+}
+
+func fitsImm32(v int64) bool { return v >= -(1<<31) && v <= 1<<31-1 }
+
+// constOf folds constants at O3.
+func (em *emitter) constOf(e Expr) (int64, bool) {
+	switch x := e.(type) {
+	case Const:
+		return x.Value, true
+	case Bin:
+		if em.opts.Opt < O3 {
+			return 0, false
+		}
+		a, ok1 := em.constOf(x.A)
+		b, ok2 := em.constOf(x.B)
+		if !ok1 || !ok2 {
+			return 0, false
+		}
+		return foldConst(x.Op, a, b)
+	}
+	return 0, false
+}
+
+func foldConst(op BinOp, a, b int64) (int64, bool) {
+	switch op {
+	case OpAdd:
+		return a + b, true
+	case OpSub:
+		return a - b, true
+	case OpMul:
+		return a * b, true
+	case OpDiv:
+		if b == 0 {
+			return 0, false
+		}
+		return int64(uint64(a) / uint64(b)), true
+	case OpAnd:
+		return a & b, true
+	case OpOr:
+		return a | b, true
+	case OpXor:
+		return a ^ b, true
+	case OpShl:
+		return int64(uint64(a) << (uint64(b) & 63)), true
+	case OpShr:
+		return int64(uint64(a) >> (uint64(b) & 63)), true
+	}
+	return 0, false
+}
+
+// eval computes e into dst, using aux as the second scratch register.
+func (em *emitter) eval(e Expr, dst, aux isa.Reg) {
+	if v, ok := em.constOf(e); ok {
+		em.emitConst(dst, v)
+		return
+	}
+	switch x := e.(type) {
+	case Var:
+		em.load(dst, x.Name)
+	case Const:
+		em.emitConst(dst, x.Value)
+	case Bin:
+		em.eval(x.A, dst, aux)
+		// Immediate and register fast paths avoid the push/pop dance.
+		if c, ok := em.constOf(x.B); ok {
+			if em.emitOpImm(x.Op, dst, c) {
+				return
+			}
+		}
+		if v, ok := x.B.(Var); ok && em.opts.Opt >= O2 {
+			em.emitOpReg(x.Op, dst, em.regOf[v.Name])
+			return
+		}
+		em.b.Inst(isa.Inst{Op: isa.OpPush, Dst: dst, Size: 2})
+		em.eval(x.B, dst, aux)
+		em.b.Inst(isa.Inst{Op: isa.OpMovRR, Dst: aux, Src: dst, Size: 2})
+		em.b.Inst(isa.Inst{Op: isa.OpPop, Dst: dst, Size: 2})
+		em.emitOpReg(x.Op, dst, aux)
+	default:
+		em.fail("unknown expression %T", e)
+	}
+}
+
+func (em *emitter) emitConst(dst isa.Reg, v int64) {
+	if fitsImm32(v) {
+		em.b.Inst(isa.Inst{Op: isa.OpMovImm32, Dst: dst, Imm: v, Size: isa.OpMovImm32.Len()})
+		return
+	}
+	em.b.Inst(isa.MovImm64(dst, uint64(v)))
+}
+
+// emitOpImm emits dst = dst OP imm when an immediate form exists.
+func (em *emitter) emitOpImm(op BinOp, dst isa.Reg, v int64) bool {
+	type forms struct{ i8, i32 isa.Op }
+	var f forms
+	switch op {
+	case OpAdd:
+		f = forms{isa.OpAddI8, isa.OpAddI32}
+	case OpSub:
+		f = forms{isa.OpSubI8, isa.OpSubI32}
+	case OpAnd:
+		f = forms{isa.OpAndI8, isa.OpAndI32}
+	case OpOr:
+		f = forms{isa.OpOrI8, isa.OpOrI32}
+	case OpXor:
+		f = forms{isa.OpXorI8, isa.OpXorI32}
+	case OpShl:
+		em.b.Inst(isa.Inst{Op: isa.OpShlI8, Dst: dst, Imm: v & 63, Size: 3})
+		return true
+	case OpShr:
+		em.b.Inst(isa.Inst{Op: isa.OpShrI8, Dst: dst, Imm: v & 63, Size: 3})
+		return true
+	default:
+		return false // mul/div have no immediate forms
+	}
+	if v >= -128 && v <= 127 {
+		em.b.Inst(isa.Inst{Op: f.i8, Dst: dst, Imm: v, Size: 3})
+		return true
+	}
+	if fitsImm32(v) {
+		em.b.Inst(isa.Inst{Op: f.i32, Dst: dst, Imm: v, Size: f.i32.Len()})
+		return true
+	}
+	return false
+}
+
+// emitOpReg emits dst = dst OP src.
+func (em *emitter) emitOpReg(op BinOp, dst, src isa.Reg) {
+	var o isa.Op
+	switch op {
+	case OpAdd:
+		o = isa.OpAddRR
+	case OpSub:
+		o = isa.OpSubRR
+	case OpMul:
+		o = isa.OpMulRR
+	case OpDiv:
+		o = isa.OpDivRR
+	case OpAnd:
+		o = isa.OpAndRR
+	case OpOr:
+		o = isa.OpOrRR
+	case OpXor:
+		o = isa.OpXorRR
+	case OpShl:
+		o = isa.OpShlRR
+	case OpShr:
+		o = isa.OpShrRR
+	}
+	em.b.Inst(isa.Inst{Op: o, Dst: dst, Src: src, Size: 2})
+}
+
+// StaticPCs returns the instruction start offsets (relative to the
+// function label) of the emitted range [name, name+".end") — the static
+// reference set used by fingerprinting.
+func StaticPCs(p *asm.Program, name string) ([]uint64, error) {
+	start, err := p.LabelAddr(name)
+	if err != nil {
+		return nil, err
+	}
+	end, err := p.LabelAddr(name + ".end")
+	if err != nil {
+		return nil, err
+	}
+	var chunk *asm.Chunk
+	for i := range p.Chunks {
+		c := &p.Chunks[i]
+		if start >= c.Addr && end <= c.Addr+uint64(len(c.Code)) {
+			chunk = c
+			break
+		}
+	}
+	if chunk == nil {
+		return nil, fmt.Errorf("codegen: function %s spans chunks", name)
+	}
+	code := chunk.Code[start-chunk.Addr : end-chunk.Addr]
+	var pcs []uint64
+	off := uint64(0)
+	for int(off) < len(code) {
+		in, err := isa.Decode(code[off:])
+		if err != nil {
+			return nil, fmt.Errorf("codegen: undecodable byte at %s+%#x", name, off)
+		}
+		pcs = append(pcs, off)
+		off += uint64(in.Size)
+	}
+	return pcs, nil
+}

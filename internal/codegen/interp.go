@@ -1,0 +1,167 @@
+package codegen
+
+import "fmt"
+
+// Interpret executes an IR function directly in Go, with the same
+// semantics the compiled code must have (64-bit unsigned arithmetic,
+// shift amounts mod 64, unsigned comparisons). It is the differential-
+// testing oracle: TestQuickCompiledMatchesInterpreter runs random
+// corpus functions both ways and demands identical results.
+func Interpret(f *Func, args []uint64) (uint64, error) {
+	if err := f.Validate(); err != nil {
+		return 0, err
+	}
+	if len(args) != len(f.Params) {
+		return 0, fmt.Errorf("codegen: %s wants %d args, got %d", f.Name, len(f.Params), len(args))
+	}
+	env := make(map[string]uint64)
+	for i, p := range f.Params {
+		env[p] = args[i]
+	}
+	it := &interp{env: env}
+	ret, returned, err := it.block(f.Body)
+	if err != nil {
+		return 0, err
+	}
+	if !returned {
+		return 0, nil // the compiler's implicit `return 0`
+	}
+	return ret, nil
+}
+
+type interp struct {
+	env   map[string]uint64
+	steps int
+}
+
+// interpBudget bounds runaway loops; corpus loops are all bounded, so
+// hitting this means a generator or interpreter bug.
+const interpBudget = 10_000_000
+
+func (it *interp) block(body []Stmt) (ret uint64, returned bool, err error) {
+	for _, st := range body {
+		it.steps++
+		if it.steps > interpBudget {
+			return 0, false, fmt.Errorf("codegen: interpreter budget exceeded")
+		}
+		switch s := st.(type) {
+		case Assign:
+			v, err := it.expr(s.Expr)
+			if err != nil {
+				return 0, false, err
+			}
+			it.env[s.Dst] = v
+		case Return:
+			v, err := it.expr(s.Expr)
+			if err != nil {
+				return 0, false, err
+			}
+			return v, true, nil
+		case If:
+			ok, err := it.cond(s.Cond)
+			if err != nil {
+				return 0, false, err
+			}
+			arm := s.Else
+			if ok {
+				arm = s.Then
+			}
+			ret, returned, err = it.block(arm)
+			if err != nil || returned {
+				return ret, returned, err
+			}
+		case While:
+			for {
+				it.steps++
+				if it.steps > interpBudget {
+					return 0, false, fmt.Errorf("codegen: interpreter budget exceeded")
+				}
+				ok, err := it.cond(s.Cond)
+				if err != nil {
+					return 0, false, err
+				}
+				if !ok {
+					break
+				}
+				ret, returned, err = it.block(s.Body)
+				if err != nil || returned {
+					return ret, returned, err
+				}
+			}
+		case Yield:
+			// no scheduling semantics under interpretation
+		default:
+			return 0, false, fmt.Errorf("codegen: interpreter: unknown statement %T", st)
+		}
+	}
+	return 0, false, nil
+}
+
+func (it *interp) cond(c Cond) (bool, error) {
+	a, err := it.expr(c.A)
+	if err != nil {
+		return false, err
+	}
+	b, err := it.expr(c.B)
+	if err != nil {
+		return false, err
+	}
+	switch c.Rel {
+	case RelEq:
+		return a == b, nil
+	case RelNe:
+		return a != b, nil
+	case RelLt:
+		return a < b, nil
+	case RelLe:
+		return a <= b, nil
+	case RelGt:
+		return a > b, nil
+	case RelGe:
+		return a >= b, nil
+	}
+	return false, fmt.Errorf("codegen: interpreter: unknown relation %d", c.Rel)
+}
+
+func (it *interp) expr(e Expr) (uint64, error) {
+	switch x := e.(type) {
+	case Var:
+		return it.env[x.Name], nil
+	case Const:
+		return uint64(x.Value), nil
+	case Bin:
+		a, err := it.expr(x.A)
+		if err != nil {
+			return 0, err
+		}
+		b, err := it.expr(x.B)
+		if err != nil {
+			return 0, err
+		}
+		switch x.Op {
+		case OpAdd:
+			return a + b, nil
+		case OpSub:
+			return a - b, nil
+		case OpMul:
+			return a * b, nil
+		case OpDiv:
+			if b == 0 {
+				return 0, fmt.Errorf("codegen: interpreter: divide by zero")
+			}
+			return a / b, nil
+		case OpAnd:
+			return a & b, nil
+		case OpOr:
+			return a | b, nil
+		case OpXor:
+			return a ^ b, nil
+		case OpShl:
+			return a << (b & 63), nil
+		case OpShr:
+			return a >> (b & 63), nil
+		}
+		return 0, fmt.Errorf("codegen: interpreter: unknown operator %v", x.Op)
+	}
+	return 0, fmt.Errorf("codegen: interpreter: unknown expression %T", e)
+}

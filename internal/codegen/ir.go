@@ -1,0 +1,280 @@
+// Package codegen compiles a small imperative IR to the simulator ISA.
+//
+// It stands in for the gcc toolchain of the paper's evaluation: victims
+// (mbedTLS-style GCD, IPP-style bn_cmp) and the synthetic function
+// corpus are written once in IR and compiled at -O0/-O2/-O3 analogs.
+// Optimization levels change instruction selection, code length and
+// layout — which is exactly the effect Figure 13 (right) measures on
+// fingerprint similarity.
+package codegen
+
+import "fmt"
+
+// Func is one IR function. Arguments arrive in registers r1..r3 and the
+// return value leaves in r0 (see the calling convention in compile.go).
+type Func struct {
+	Name   string
+	Params []string
+	Body   []Stmt
+}
+
+// Stmt is an IR statement.
+type Stmt interface{ stmt() }
+
+// Assign stores the value of Expr into the named variable.
+type Assign struct {
+	Dst  string
+	Expr Expr
+}
+
+// If branches on Cond.
+type If struct {
+	Cond Cond
+	Then []Stmt
+	Else []Stmt
+}
+
+// While loops while Cond holds.
+type While struct {
+	Cond Cond
+	Body []Stmt
+}
+
+// Return exits the function with the value of Expr.
+type Return struct {
+	Expr Expr
+}
+
+// Yield emits a sched_yield syscall: the paper's proof-of-concept
+// victims yield after each protected branch body so the attacker can
+// probe per loop iteration (§7.2).
+type Yield struct{}
+
+func (Assign) stmt() {}
+func (If) stmt()     {}
+func (While) stmt()  {}
+func (Return) stmt() {}
+func (Yield) stmt()  {}
+
+// Expr is an IR expression over 64-bit integers.
+type Expr interface{ expr() }
+
+// Var reads a variable.
+type Var struct{ Name string }
+
+// Const is an integer literal.
+type Const struct{ Value int64 }
+
+// Bin applies a binary operator.
+type Bin struct {
+	Op   BinOp
+	A, B Expr
+}
+
+func (Var) expr()   {}
+func (Const) expr() {}
+func (Bin) expr()   {}
+
+// BinOp enumerates binary operators.
+type BinOp uint8
+
+// Binary operators.
+const (
+	OpAdd BinOp = iota
+	OpSub
+	OpMul
+	OpDiv
+	OpAnd
+	OpOr
+	OpXor
+	OpShl
+	OpShr
+)
+
+func (op BinOp) String() string {
+	switch op {
+	case OpAdd:
+		return "+"
+	case OpSub:
+		return "-"
+	case OpMul:
+		return "*"
+	case OpDiv:
+		return "/"
+	case OpAnd:
+		return "&"
+	case OpOr:
+		return "|"
+	case OpXor:
+		return "^"
+	case OpShl:
+		return "<<"
+	case OpShr:
+		return ">>"
+	}
+	return "?"
+}
+
+// Rel enumerates comparison relations for conditions. Comparisons are
+// unsigned, matching the bignum semantics of the victims.
+type Rel uint8
+
+// Relations.
+const (
+	RelEq Rel = iota
+	RelNe
+	RelLt
+	RelLe
+	RelGt
+	RelGe
+)
+
+// Cond is a conditional test A rel B.
+type Cond struct {
+	A   Expr
+	Rel Rel
+	B   Expr
+}
+
+// Helper constructors keep victim definitions compact.
+
+// V reads variable name.
+func V(name string) Expr { return Var{Name: name} }
+
+// C is an integer literal.
+func C(v int64) Expr { return Const{Value: v} }
+
+// B applies op to a and b.
+func B(op BinOp, a, b Expr) Expr { return Bin{Op: op, A: a, B: b} }
+
+// Set assigns expr to dst.
+func Set(dst string, e Expr) Stmt { return Assign{Dst: dst, Expr: e} }
+
+// Cmp builds a condition.
+func Cmp(a Expr, rel Rel, b Expr) Cond { return Cond{A: a, Rel: rel, B: b} }
+
+// Validate checks structural well-formedness: every variable is
+// assigned or a parameter before use, and expressions are non-nil.
+func (f *Func) Validate() error {
+	defined := map[string]bool{}
+	for _, p := range f.Params {
+		defined[p] = true
+	}
+	return validateBlock(f.Body, defined)
+}
+
+func validateBlock(body []Stmt, defined map[string]bool) error {
+	for _, st := range body {
+		switch s := st.(type) {
+		case Assign:
+			if err := validateExpr(s.Expr, defined); err != nil {
+				return err
+			}
+			defined[s.Dst] = true
+		case If:
+			if err := validateCond(s.Cond, defined); err != nil {
+				return err
+			}
+			// Optimistic: definitions inside arms escape (the victims
+			// assign in both arms and read after the join).
+			if err := validateBlock(s.Then, defined); err != nil {
+				return err
+			}
+			if err := validateBlock(s.Else, defined); err != nil {
+				return err
+			}
+		case While:
+			if err := validateCond(s.Cond, defined); err != nil {
+				return err
+			}
+			if err := validateBlock(s.Body, defined); err != nil {
+				return err
+			}
+		case Return:
+			if err := validateExpr(s.Expr, defined); err != nil {
+				return err
+			}
+		case Yield:
+		default:
+			return fmt.Errorf("codegen: unknown statement %T", st)
+		}
+	}
+	return nil
+}
+
+func validateCond(c Cond, defined map[string]bool) error {
+	if err := validateExpr(c.A, defined); err != nil {
+		return err
+	}
+	return validateExpr(c.B, defined)
+}
+
+func validateExpr(e Expr, defined map[string]bool) error {
+	switch x := e.(type) {
+	case Var:
+		if !defined[x.Name] {
+			return fmt.Errorf("codegen: variable %q used before assignment", x.Name)
+		}
+		return nil
+	case Const:
+		return nil
+	case Bin:
+		if err := validateExpr(x.A, defined); err != nil {
+			return err
+		}
+		return validateExpr(x.B, defined)
+	case nil:
+		return fmt.Errorf("codegen: nil expression")
+	default:
+		return fmt.Errorf("codegen: unknown expression %T", e)
+	}
+}
+
+// Vars returns every variable name referenced by the function, params
+// first, in first-appearance order.
+func (f *Func) Vars() []string {
+	seen := map[string]bool{}
+	var out []string
+	add := func(name string) {
+		if !seen[name] {
+			seen[name] = true
+			out = append(out, name)
+		}
+	}
+	for _, p := range f.Params {
+		add(p)
+	}
+	var walkExpr func(Expr)
+	walkExpr = func(e Expr) {
+		switch x := e.(type) {
+		case Var:
+			add(x.Name)
+		case Bin:
+			walkExpr(x.A)
+			walkExpr(x.B)
+		}
+	}
+	var walkBlock func([]Stmt)
+	walkBlock = func(body []Stmt) {
+		for _, st := range body {
+			switch s := st.(type) {
+			case Assign:
+				walkExpr(s.Expr)
+				add(s.Dst)
+			case If:
+				walkExpr(s.Cond.A)
+				walkExpr(s.Cond.B)
+				walkBlock(s.Then)
+				walkBlock(s.Else)
+			case While:
+				walkExpr(s.Cond.A)
+				walkExpr(s.Cond.B)
+				walkBlock(s.Body)
+			case Return:
+				walkExpr(s.Expr)
+			}
+		}
+	}
+	walkBlock(f.Body)
+	return out
+}

@@ -1,0 +1,133 @@
+// Package core implements NightVision, the paper's contribution: a BTB
+// Prime+Probe framework that extracts the byte-granular PCs of victim
+// dynamic instructions — including non-control-transfer instructions —
+// from the BTB side effects described in §2.
+//
+// The package offers three layers:
+//
+//   - Attacker/Monitor: the NV-Core primitive (§4.1). A Monitor plants
+//     BTB entries whose keys alias chosen victim addresses (4/8 GiB
+//     away, exploiting truncated tags) and detects, through its own
+//     probe timing, whether the victim's execution touched those
+//     addresses.
+//   - UserAttack: NV-U (§4.2), interleaving probes with victim
+//     scheduling fragments to leak control-flow decisions.
+//   - SupervisorAttack: NV-S (§4.3, §6.3), single-stepping an SGX
+//     enclave and binary-searching each dynamic instruction's PC via
+//     the BTB's range-query semantics, with page numbers recovered
+//     through the controlled channel.
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/cpu"
+	"repro/internal/isa"
+)
+
+// Attacker owns the attacker-controlled execution context on a core: a
+// virtual address region whose low address bits can be made to collide
+// with any victim address, plus the machinery to run short snippets and
+// read the measurement channel.
+type Attacker struct {
+	Core *cpu.Core
+
+	// aliasBits is OR-ed over the victim address's low bits to form the
+	// attacker-space address: a high region the victim does not occupy.
+	// Because the BTB ignores bits at and above Config.TagTopBit, the
+	// BTB cannot tell the two apart.
+	aliasBits uint64
+
+	// scratch is where sentinel jumps and other support code live.
+	scratch     uint64
+	scratchUsed uint64
+
+	// monitorCache reuses monitors (and their calibration) keyed by
+	// their PW sets; see CachedMonitor.
+	monitorCache map[string]*Monitor
+}
+
+// NewAttacker prepares an attacker on core. aliasBits must be non-zero
+// only at or above the BTB's TagTopBit (checked), and is typically
+// 1 << TagTopBit: "4 GiB above" on SkyLake geometry.
+func NewAttacker(core *cpu.Core, aliasBits uint64) (*Attacker, error) {
+	top := core.BTB.Config().TagTopBit
+	if top >= 64 {
+		return nil, fmt.Errorf("core: BTB uses full tags — no aliasing distance exists and the attack is impossible")
+	}
+	if aliasBits&((uint64(1)<<top)-1) != 0 {
+		return nil, fmt.Errorf("core: aliasBits %#x has bits below TagTopBit %d", aliasBits, top)
+	}
+	if aliasBits == 0 {
+		return nil, fmt.Errorf("core: aliasBits must be non-zero (attacker must not overlay the victim)")
+	}
+	return &Attacker{
+		Core:         core,
+		aliasBits:    aliasBits,
+		scratch:      aliasBits | 0x7FFF_0000, // high in the alias region
+		monitorCache: make(map[string]*Monitor),
+	}, nil
+}
+
+// Alias maps a victim-space address to the attacker-space address with
+// identical BTB-visible bits.
+func (a *Attacker) Alias(victimAddr uint64) uint64 {
+	top := a.Core.BTB.Config().TagTopBit
+	low := victimAddr
+	if top < 64 {
+		low &= (uint64(1) << top) - 1
+	}
+	return low | a.aliasBits
+}
+
+// allocScratch reserves n bytes of scratch space.
+func (a *Attacker) allocScratch(n uint64) uint64 {
+	addr := a.scratch + a.scratchUsed
+	a.scratchUsed += n
+	return addr
+}
+
+// runSnippet executes attacker code at entry on the core until it halts,
+// preserving whatever context was running. The snippet's branches are
+// recorded by the LBR (the attacker measures itself, never the victim
+// directly).
+func (a *Attacker) runSnippet(entry uint64) error {
+	var saved cpu.ArchState
+	st := cpu.ArchState{PC: entry}
+	a.Core.ContextSwitch(&saved, &st)
+	for {
+		_, err := a.Core.Step()
+		if err == cpu.ErrHalted {
+			break
+		}
+		if err != nil {
+			a.Core.ContextSwitch(nil, &saved)
+			return fmt.Errorf("core: attacker snippet at %#x: %w", entry, err)
+		}
+	}
+	a.Core.ContextSwitch(nil, &saved)
+	return nil
+}
+
+// writeInst encodes in at addr as executable attacker code.
+func (a *Attacker) writeInst(addr uint64, in isa.Inst) {
+	a.Core.Mem.LoadProgram(addr, in.Encode(nil))
+}
+
+// CachedMonitor returns a monitor for the given PW set, reusing an
+// earlier one when available. Reuse re-writes the snippet bytes (another
+// monitor may have overwritten shared blocks) but keeps the calibration,
+// which depends only on the layout.
+func (a *Attacker) CachedMonitor(pws []PW) (*Monitor, error) {
+	key := fmt.Sprint(pws)
+	if m, ok := a.monitorCache[key]; ok {
+		m.layout()
+		return m, nil
+	}
+	m, err := a.NewMonitor(pws)
+	if err != nil {
+		return nil, err
+	}
+	a.monitorCache[key] = m
+	return m, nil
+}

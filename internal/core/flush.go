@@ -1,0 +1,59 @@
+package core
+
+import (
+	"repro/internal/isa"
+)
+
+// FlushSlide is the software BTB-flushing routine the paper borrows
+// from BranchScope [18] and uses in every §2 experiment ("flushBTB()"):
+// a slide of jumps engineered to allocate one entry in every way of
+// every BTB set, evicting whatever was there.
+//
+// Layout: the BTB's set index comes from PC bits [5, 5+log2(sets)), and
+// its (truncated) tag from the bits above. One jump per 32-byte block
+// walks every set once; repeating the walk in Ways regions with
+// different tag bits fills every way. LRU replacement then guarantees
+// all prior entries are gone.
+type FlushSlide struct {
+	entry uint64
+	jumps int
+}
+
+// NewFlushSlide lays the slide out in the attacker's scratch space and
+// returns it. The slide costs sets*ways executed jumps per flush.
+func (a *Attacker) NewFlushSlide() (*FlushSlide, error) {
+	cfg := a.Core.BTB.Config()
+	blockSize := cfg.BlockSize()
+	setStride := blockSize                     // consecutive blocks hit consecutive sets
+	regionSize := uint64(cfg.Sets) * setStride // one full walk of all sets
+	base := a.allocScratch(uint64(cfg.Ways)*regionSize + 64)
+	// Round up so jump placement within blocks is uniform.
+	base = (base + blockSize - 1) &^ (blockSize - 1)
+
+	fs := &FlushSlide{entry: base}
+	// Each block holds one jmp32 at its start, targeting the next
+	// block's start; region boundaries chain seamlessly because regions
+	// are laid out back to back. The final jump lands on a hlt.
+	total := cfg.Sets * cfg.Ways
+	addr := base
+	for i := 0; i < total; i++ {
+		next := addr + setStride
+		rel := int64(next) - int64(addr) - 5
+		a.writeInst(addr, isa.Inst{Op: isa.OpJmp32, Imm: rel, Size: 5})
+		addr = next
+		fs.jumps++
+	}
+	a.writeInst(addr, isa.Hlt())
+	return fs, nil
+}
+
+// Jumps returns the number of jumps one flush executes.
+func (fs *FlushSlide) Jumps() int { return fs.jumps }
+
+// Flush executes the slide, evicting every BTB entry the architectural
+// way — no privileged state needed, exactly as a user-level attacker
+// would. (BTB.Flush() is the instant test-harness shortcut; this is the
+// deployable version.)
+func (fs *FlushSlide) Flush(a *Attacker) error {
+	return a.runSnippet(fs.entry)
+}

@@ -1,0 +1,69 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/isa"
+)
+
+// TestFlushSlideEvictsEverything: the software flush slide (no
+// privileged BTB access) evicts arbitrary victim entries from every set.
+func TestFlushSlideEvictsEverything(t *testing.T) {
+	c, _ := victimHarness(t, nopVictim)
+	a := newAttacker(t, c)
+	fs, err := a.NewFlushSlide()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := c.BTB.Config()
+	if fs.Jumps() != cfg.Sets*cfg.Ways {
+		t.Errorf("Jumps = %d, want %d", fs.Jumps(), cfg.Sets*cfg.Ways)
+	}
+
+	// Plant victim entries across many sets.
+	var planted []uint64
+	for i := uint64(0); i < 64; i++ {
+		pc := 0x40_0000 + i*64 + 17
+		c.BTB.Update(pc, 0x1000, isa.KindJump)
+		planted = append(planted, pc)
+	}
+	if err := fs.Flush(a); err != nil {
+		t.Fatal(err)
+	}
+	for _, pc := range planted {
+		if _, ok := c.BTB.EntryAt(pc); ok {
+			t.Errorf("entry at %#x survived the flush slide", pc)
+		}
+	}
+}
+
+// TestFlushSlideEnablesCleanMeasurement: after a software flush, a
+// monitor probe behaves exactly as after the instant harness flush.
+func TestFlushSlideEnablesCleanMeasurement(t *testing.T) {
+	c, runVictim := victimHarness(t, nopVictim)
+	a := newAttacker(t, c)
+	fs, err := a.NewFlushSlide()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := a.NewMonitor([]PW{{Base: 0x40_0100, Len: 16}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Flush(a); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Prime(); err != nil {
+		t.Fatal(err)
+	}
+	if err := runVictim(); err != nil {
+		t.Fatal(err)
+	}
+	match, err := m.Probe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !match[0] {
+		t.Error("monitor must still detect the victim after a software flush")
+	}
+}

@@ -1,0 +1,272 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/isa"
+)
+
+// PW is a prediction-window address range in victim space: the unit
+// NV-Core monitors. Base is the first byte, Len the length in bytes;
+// the range is [Base, Base+Len).
+//
+// A PW of length >= 5 must lie within one 32-byte block (the fetch
+// granularity); the minimal 2-byte PW may straddle a block boundary,
+// which is how NightVision distinguishes instructions starting at
+// offset 0 of a block.
+type PW struct {
+	Base uint64
+	Len  int
+}
+
+// Hi returns the address of the last byte of the range.
+func (p PW) Hi() uint64 { return p.Base + uint64(p.Len) - 1 }
+
+// Contains reports whether addr is inside the range.
+func (p PW) Contains(addr uint64) bool {
+	return addr >= p.Base && addr <= p.Hi()
+}
+
+func (p PW) String() string { return fmt.Sprintf("PW[%#x,%#x]", p.Base, p.Hi()) }
+
+// blockOf returns the 32-byte block index of addr.
+func blockOf(addr uint64) uint64 { return addr >> 5 }
+
+// Monitor is the NV-Core primitive (§4.1): a Prime+Probe detector over
+// one or more PW ranges.
+//
+// For each PW the attacker lays out, at the aliased addresses (same
+// BTB-visible bits, different high bits), a run of nops ending in a
+// direct jump whose last byte aliases the PW's last byte. Priming
+// executes the chain, allocating one BTB entry per PW. A victim
+// execution overlapping a PW then perturbs that state in one of the two
+// ways of Figure 5:
+//
+//   - the victim's non-branch bytes false-hit the attacker's entry and
+//     deallocate it (Takeaway 1), or
+//   - the victim's own taken branch plants/retargets an entry inside
+//     the range, which the probe's nop-walk then false-hits.
+//
+// Either way the next Probe sees a misprediction bubble attributable to
+// that PW.
+type Monitor struct {
+	a *Attacker
+	// PWs are the monitored ranges, in chain order.
+	PWs []PW
+
+	entry    uint64   // attacker pc starting the chain
+	jmpPCs   []uint64 // attacker pc of each PW's jump, then the sentinel
+	sentinel uint64   // sentinel jump address
+	baseline []uint64 // calibrated quiet-system probe deltas
+	margin   uint64   // cycles above baseline that count as a signal
+}
+
+// NewMonitor builds, lays out, calibrates and primes a monitor for the
+// given PW ranges.
+//
+// Constraints: every PW needs Len >= 2 (the shortest direct jump). PWs
+// shorter than 5 bytes use a 2-byte jump and require a fall-through
+// sentinel, so they must be the only PW in the monitor. PW ranges must
+// not overlap each other in attacker space.
+func (a *Attacker) NewMonitor(pws []PW) (*Monitor, error) {
+	if len(pws) == 0 {
+		return nil, fmt.Errorf("core: monitor needs at least one PW")
+	}
+	for i, p := range pws {
+		if p.Len < 2 {
+			return nil, fmt.Errorf("core: %v: need Len >= 2 (shortest jump)", p)
+		}
+		if p.Len < 5 && len(pws) > 1 {
+			return nil, fmt.Errorf("core: %v: PWs shorter than 5 bytes must be monitored alone", p)
+		}
+		if p.Len >= 5 && blockOf(p.Base) != blockOf(p.Hi()) {
+			return nil, fmt.Errorf("core: %v spans a 32-byte block boundary", p)
+		}
+		if p.Len < 5 && p.Hi()-p.Base >= 32 {
+			return nil, fmt.Errorf("core: %v malformed", p)
+		}
+		for j := 0; j < i; j++ {
+			if p.Base <= pws[j].Hi() && pws[j].Base <= p.Hi() {
+				return nil, fmt.Errorf("core: %v overlaps %v", p, pws[j])
+			}
+		}
+	}
+
+	m := &Monitor{a: a, PWs: append([]PW(nil), pws...)}
+	if pws[0].Len >= 5 {
+		m.sentinel = a.allocScratch(8)
+	}
+	m.layout()
+
+	if len(m.jmpPCs) > m.a.Core.LBR.Depth()-1 {
+		return nil, fmt.Errorf("core: %d PWs exceed the LBR depth %d", len(pws), m.a.Core.LBR.Depth())
+	}
+
+	// Calibrate: one run allocates the entries, then several quiet runs
+	// record the all-predicted deltas; averaging keeps the baseline
+	// stable under measurement noise (rdtsc-style configurations).
+	if err := m.Prime(); err != nil {
+		return nil, err
+	}
+	const calRuns = 5
+	sums := make([]uint64, len(m.jmpPCs))
+	for r := 0; r < calRuns; r++ {
+		deltas, err := m.runAndMeasure()
+		if err != nil {
+			return nil, err
+		}
+		for i, d := range deltas {
+			sums[i] += d
+		}
+	}
+	m.baseline = make([]uint64, len(sums))
+	for i, s := range sums {
+		m.baseline[i] = (s + calRuns/2) / calRuns
+	}
+	cfg := a.Core.Config()
+	m.margin = min3(cfg.FalseHitPenalty, cfg.DecodeResteerPenalty, cfg.ExecMispredictPenalty) / 2
+	if m.margin == 0 {
+		m.margin = 1
+	}
+	return m, nil
+}
+
+// layout (re)writes the monitor's chain into attacker memory. Monitors
+// sharing address ranges overwrite each other's snippets; a cached
+// monitor is re-laid-out before reuse.
+func (m *Monitor) layout() {
+	a := m.a
+	pws := m.PWs
+	m.jmpPCs = m.jmpPCs[:0]
+	if pws[0].Len < 5 {
+		// Tiny PW: nops + jmp8 falling through to an inline sentinel
+		// (jmp32 + hlt) right after the range. The sentinel's own BTB
+		// entry aliases victim bytes just past the PW; any interference
+		// with it lands after the last measured record, so it cannot
+		// contaminate the measurement.
+		p := pws[0]
+		addr := a.Alias(p.Base)
+		for i := 0; i < p.Len-2; i++ {
+			a.writeInst(addr, isa.Nop())
+			addr++
+		}
+		a.writeInst(addr, isa.Jmp8(0)) // falls through to addr+2 == alias(Hi)+1
+		m.jmpPCs = append(m.jmpPCs, addr)
+		sentinel := addr + 2
+		a.writeInst(sentinel, isa.Jmp32(0))
+		a.writeInst(sentinel+5, isa.Hlt())
+		m.jmpPCs = append(m.jmpPCs, sentinel)
+		m.entry = a.Alias(p.Base)
+	} else {
+		sentinel := m.sentinel
+		for i, p := range pws {
+			addr := a.Alias(p.Base)
+			for n := 0; n < p.Len-5; n++ {
+				a.writeInst(addr, isa.Nop())
+				addr++
+			}
+			target := sentinel
+			if i+1 < len(pws) {
+				target = a.Alias(pws[i+1].Base)
+			}
+			rel := int64(target) - int64(addr) - 5
+			a.writeInst(addr, isa.Inst{Op: isa.OpJmp32, Imm: rel, Size: 5})
+			m.jmpPCs = append(m.jmpPCs, addr)
+		}
+		a.writeInst(sentinel, isa.Jmp32(0))
+		a.writeInst(sentinel+5, isa.Hlt())
+		m.jmpPCs = append(m.jmpPCs, sentinel)
+		m.entry = a.Alias(pws[0].Base)
+	}
+}
+
+func min3(a, b, c uint64) uint64 {
+	m := a
+	if b < m {
+		m = b
+	}
+	if c < m {
+		m = c
+	}
+	return m
+}
+
+// Prime executes the chain so that every PW has a live BTB entry.
+func (m *Monitor) Prime() error {
+	return m.a.runSnippet(m.entry)
+}
+
+// runAndMeasure executes the chain and returns the LBR cycle delta of
+// each jump record (PW jumps, then the sentinel).
+func (m *Monitor) runAndMeasure() ([]uint64, error) {
+	lbr := m.a.Core.LBR
+	lbr.Clear()
+	if err := m.a.runSnippet(m.entry); err != nil {
+		return nil, err
+	}
+	recs := lbr.Records()
+	deltas := make([]uint64, len(m.jmpPCs))
+	found := make([]bool, len(m.jmpPCs))
+	for _, r := range recs {
+		for i, pc := range m.jmpPCs {
+			if r.From == pc && !found[i] {
+				deltas[i] = r.Cycles
+				found[i] = true
+			}
+		}
+	}
+	for i, ok := range found {
+		if !ok {
+			return nil, fmt.Errorf("core: probe lost the LBR record of jump %d", i)
+		}
+	}
+	return deltas, nil
+}
+
+// Probe re-executes the chain and reports, per PW, whether the victim's
+// execution since the last Prime/Probe overlapped it. The probe doubles
+// as the next prime: its own resteers re-establish the entries.
+//
+// The signal for PW i lives in the delta of the *following* record
+// (jump i+1 or the sentinel): both a deallocated entry and a false hit
+// during PW i's fetch delay the front end's arrival at the next jump.
+func (m *Monitor) Probe() ([]bool, error) {
+	deltas, err := m.runAndMeasure()
+	if err != nil {
+		return nil, err
+	}
+	match := make([]bool, len(m.PWs))
+	for i := range m.PWs {
+		match[i] = deltas[i+1] > m.baseline[i+1]+m.margin
+	}
+	return match, nil
+}
+
+// ProbeAveraged runs repeat prime/victim/probe rounds, majority-voting
+// the matches. For noisy measurement channels (the rdtsc-style LBR
+// noise configuration).
+func (m *Monitor) ProbeAveraged(repeat int, reRunVictim func() error) ([]bool, error) {
+	votes := make([]int, len(m.PWs))
+	for r := 0; r < repeat; r++ {
+		if err := m.Prime(); err != nil {
+			return nil, err
+		}
+		if err := reRunVictim(); err != nil {
+			return nil, err
+		}
+		match, err := m.Probe()
+		if err != nil {
+			return nil, err
+		}
+		for i, hit := range match {
+			if hit {
+				votes[i]++
+			}
+		}
+	}
+	match := make([]bool, len(m.PWs))
+	for i, v := range votes {
+		match[i] = v*2 > repeat
+	}
+	return match, nil
+}

@@ -1,0 +1,389 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/asm"
+	"repro/internal/cpu"
+	"repro/internal/isa"
+	"repro/internal/mem"
+)
+
+// victimHarness loads a victim program and returns the core plus a
+// runner that executes it from "start" to halt.
+func victimHarness(t *testing.T, src string) (*cpu.Core, func() error) {
+	t.Helper()
+	p, err := asm.Assemble(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := mem.New()
+	p.LoadInto(m)
+	m.Map(0x7f_0000, 0x1000, mem.PermRW)
+	c := cpu.New(cpu.Config{}, m)
+	entry := p.MustLabel("start")
+	run := func() error {
+		var saved cpu.ArchState
+		st := cpu.ArchState{PC: entry}
+		st.Regs[isa.SP] = 0x7f_1000
+		c.ContextSwitch(&saved, &st)
+		_, err := c.Run(1_000_000)
+		c.ContextSwitch(nil, &saved)
+		return err
+	}
+	return c, run
+}
+
+const nopVictim = `
+	.org 0x400000
+start:
+	call body
+	hlt
+	.org 0x400100
+body:
+	.space 20, 0x01   ; 20 nops
+	ret
+`
+
+func newAttacker(t *testing.T, c *cpu.Core) *Attacker {
+	t.Helper()
+	a, err := NewAttacker(c, 1<<32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+func TestAttackerAlias(t *testing.T) {
+	c, _ := victimHarness(t, nopVictim)
+	a := newAttacker(t, c)
+	if got := a.Alias(0x40_0123); got != (1<<32)|0x40_0123 {
+		t.Errorf("Alias = %#x", got)
+	}
+	// Aliasing must be idempotent on already-aliased addresses.
+	if got := a.Alias(a.Alias(0x40_0123)); got != (1<<32)|0x40_0123 {
+		t.Errorf("double Alias = %#x", got)
+	}
+}
+
+func TestNewAttackerValidation(t *testing.T) {
+	c, _ := victimHarness(t, nopVictim)
+	if _, err := NewAttacker(c, 0); err == nil {
+		t.Error("zero aliasBits must be rejected")
+	}
+	if _, err := NewAttacker(c, 1<<20); err == nil {
+		t.Error("aliasBits below TagTopBit must be rejected")
+	}
+}
+
+// TestMonitorDetectsNopExecution is NV-Core end to end: a PW covering
+// victim nops reports a match after the victim runs, and a PW over
+// never-executed bytes does not.
+func TestMonitorDetectsNopExecution(t *testing.T) {
+	c, runVictim := victimHarness(t, nopVictim)
+	a := newAttacker(t, c)
+
+	hot, err := a.NewMonitor([]PW{{Base: 0x40_0100, Len: 16}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold, err := a.NewMonitor([]PW{{Base: 0x40_0160, Len: 16}})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if err := hot.Prime(); err != nil {
+		t.Fatal(err)
+	}
+	if err := cold.Prime(); err != nil {
+		t.Fatal(err)
+	}
+	if err := runVictim(); err != nil {
+		t.Fatal(err)
+	}
+	hm, err := hot.Probe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cm, err := cold.Probe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !hm[0] {
+		t.Error("PW over executed nops must match")
+	}
+	if cm[0] {
+		t.Error("PW over cold bytes must not match")
+	}
+}
+
+// TestMonitorNoFalsePositiveWithoutVictim: probe right after prime on a
+// quiet system must report no matches.
+func TestMonitorNoFalsePositiveWithoutVictim(t *testing.T) {
+	c, _ := victimHarness(t, nopVictim)
+	a := newAttacker(t, c)
+	m, err := a.NewMonitor([]PW{
+		{Base: 0x40_0100, Len: 16},
+		{Base: 0x40_0110, Len: 16},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Prime(); err != nil {
+		t.Fatal(err)
+	}
+	match, err := m.Probe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, hit := range match {
+		if hit {
+			t.Errorf("PW %d matched without any victim execution", i)
+		}
+	}
+}
+
+// TestMonitorDetectsVictimBranch covers Figure 5 cases (1)/(2): the
+// victim's own taken branch inside the monitored PW leaves an aliased
+// BTB entry that the probe false-hits.
+func TestMonitorDetectsVictimBranch(t *testing.T) {
+	c, runVictim := victimHarness(t, `
+		.org 0x400000
+	start:
+		call body
+		hlt
+		.org 0x400100
+	body:
+		jmp8 out          ; taken branch at [0x400100, 0x400101]
+		.space 10, 0x01
+	out:
+		ret
+	`)
+	a := newAttacker(t, c)
+	m, err := a.NewMonitor([]PW{{Base: 0x40_0100, Len: 8}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Prime(); err != nil {
+		t.Fatal(err)
+	}
+	if err := runVictim(); err != nil {
+		t.Fatal(err)
+	}
+	match, err := m.Probe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !match[0] {
+		t.Error("PW containing the victim's taken branch must match")
+	}
+}
+
+// TestChainedMonitor mirrors Figure 7: multiple contiguous PWs probed in
+// one chain, each reporting independently.
+func TestChainedMonitor(t *testing.T) {
+	c, runVictim := victimHarness(t, nopVictim)
+	a := newAttacker(t, c)
+	m, err := a.NewMonitor([]PW{
+		{Base: 0x40_0100, Len: 10}, // overlaps the nops
+		{Base: 0x40_0140, Len: 10}, // past the ret: cold
+		{Base: 0x40_0180, Len: 10}, // cold
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Prime(); err != nil {
+		t.Fatal(err)
+	}
+	if err := runVictim(); err != nil {
+		t.Fatal(err)
+	}
+	match, err := m.Probe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []bool{true, false, false}
+	for i := range want {
+		if match[i] != want[i] {
+			t.Errorf("match[%d] = %v, want %v", i, match[i], want[i])
+		}
+	}
+}
+
+// TestTinyPWByteGranularity: 2-byte PWs resolve the victim's execution
+// range at byte granularity (§5.2: "byte-granularity observation").
+func TestTinyPWByteGranularity(t *testing.T) {
+	c, runVictim := victimHarness(t, nopVictim)
+	a := newAttacker(t, c)
+	// Victim executes [0x400100, 0x400114] (20 nops + 1-byte ret).
+	cases := []struct {
+		pw   PW
+		want bool
+	}{
+		{PW{Base: 0x40_00fd, Len: 2}, false}, // wholly before
+		{PW{Base: 0x40_00ff, Len: 2}, true},  // overlaps first byte
+		{PW{Base: 0x40_0100, Len: 2}, true},  // at the start
+		{PW{Base: 0x40_0110, Len: 2}, true},  // inside
+	}
+	for _, tc := range cases {
+		m, err := a.NewMonitor([]PW{tc.pw})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := m.Prime(); err != nil {
+			t.Fatal(err)
+		}
+		if err := runVictim(); err != nil {
+			t.Fatal(err)
+		}
+		match, err := m.Probe()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if match[0] != tc.want {
+			t.Errorf("%v: match = %v, want %v", tc.pw, match[0], tc.want)
+		}
+	}
+}
+
+func TestMonitorValidation(t *testing.T) {
+	c, _ := victimHarness(t, nopVictim)
+	a := newAttacker(t, c)
+	cases := [][]PW{
+		nil,
+		{{Base: 0x40_0100, Len: 1}}, // too short
+		{{Base: 0x40_0100, Len: 2}, {Base: 0x40_0140, Len: 8}}, // tiny not alone
+		{{Base: 0x40_0100, Len: 8}, {Base: 0x40_0104, Len: 8}}, // overlap
+		{{Base: 0x40_011e, Len: 8}},                            // spans block boundary
+	}
+	for i, pws := range cases {
+		if _, err := a.NewMonitor(pws); err == nil {
+			t.Errorf("case %d: expected error for %v", i, pws)
+		}
+	}
+}
+
+// TestIBRSIBPBDoNotBlockNVCore is the §4.1 result: with IBRS enabled and
+// IBPB issued between victim and probe, the attack still observes the
+// victim.
+func TestIBRSIBPBDoNotBlockNVCore(t *testing.T) {
+	c, runVictim := victimHarness(t, nopVictim)
+	c.BTB.SetIBRS(true)
+	a := newAttacker(t, c)
+	m, err := a.NewMonitor([]PW{{Base: 0x40_0100, Len: 16}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Prime(); err != nil {
+		t.Fatal(err)
+	}
+	if err := runVictim(); err != nil {
+		t.Fatal(err)
+	}
+	c.BTB.IBPB() // the OS-level mitigation fires before the probe
+	match, err := m.Probe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !match[0] {
+		t.Error("IBRS+IBPB must not stop NV-Core (they only cover indirect branches)")
+	}
+}
+
+// TestBTBFlushDefenseBlocksNVCore is the corresponding ablation: a full
+// BTB flush (the §8.2 hardening no real processor implements) removes
+// the signal entirely.
+func TestBTBFlushDefenseBlocksNVCore(t *testing.T) {
+	c, runVictim := victimHarness(t, nopVictim)
+	a := newAttacker(t, c)
+	m, err := a.NewMonitor([]PW{{Base: 0x40_0100, Len: 16}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Prime(); err != nil {
+		t.Fatal(err)
+	}
+	if err := runVictim(); err != nil {
+		t.Fatal(err)
+	}
+	c.BTB.Flush() // hypothetical hardened context switch
+	match, err := m.Probe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// After a full flush the probe sees *everything* mispredicted —
+	// baseline and signal become indistinguishable. The defense works
+	// if the match is reported (all entries gone = all "signals") for
+	// cold PWs too, destroying the attacker's ability to discriminate.
+	cold, err := a.NewMonitor([]PW{{Base: 0x40_0160, Len: 16}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cold.Prime(); err != nil {
+		t.Fatal(err)
+	}
+	c.BTB.Flush()
+	coldMatch, err := cold.Probe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if match[0] != coldMatch[0] {
+		t.Error("with BTB flushing, hot and cold PWs must be indistinguishable")
+	}
+}
+
+// TestFullTagAblation: with full BTB tags (no truncation) the attacker
+// cannot alias the victim at all and NewAttacker cannot even pick alias
+// bits — the geometry kills the attack by construction.
+func TestFullTagAblation(t *testing.T) {
+	p := asm.MustAssemble(nopVictim)
+	m := mem.New()
+	p.LoadInto(m)
+	cfg := cpu.DefaultConfig()
+	cfg.BTB.TagTopBit = 64
+	c := cpu.New(cfg, m)
+	if _, err := NewAttacker(c, 1<<32); err == nil {
+		t.Error("full-tag geometry must reject alias bits (no aliasing exists)")
+	}
+}
+
+func TestPWContainsAndString(t *testing.T) {
+	p := PW{Base: 0x100, Len: 8}
+	if !p.Contains(0x100) || !p.Contains(0x107) || p.Contains(0x108) || p.Contains(0xff) {
+		t.Error("Contains boundaries wrong")
+	}
+	if p.String() != "PW[0x100,0x107]" {
+		t.Errorf("String = %q", p.String())
+	}
+}
+
+// TestProbeAveraged: majority voting over repeated prime/victim/probe
+// rounds matches the single-shot result on a noiseless channel and
+// survives a noisy one.
+func TestProbeAveraged(t *testing.T) {
+	c, runVictim := victimHarness(t, nopVictim)
+	c.LBR.SetNoise(4, 99)
+	a := newAttacker(t, c)
+	hot, err := a.NewMonitor([]PW{{Base: 0x40_0100, Len: 16}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	match, err := hot.ProbeAveraged(9, runVictim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !match[0] {
+		t.Error("averaged probe should detect the victim under noise")
+	}
+	cold, err := a.NewMonitor([]PW{{Base: 0x40_0160, Len: 16}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	match, err = cold.ProbeAveraged(9, runVictim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if match[0] {
+		t.Error("averaged probe should stay quiet on cold bytes under noise")
+	}
+}

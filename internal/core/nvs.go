@@ -1,0 +1,427 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/mem"
+	"repro/internal/sgx"
+	"repro/internal/trace"
+)
+
+// SupervisorConfig tunes NV-S.
+type SupervisorConfig struct {
+	// BlocksPerCall is N from Figure 10: how many 32-byte PWs one
+	// NV-Core call monitors during the coarse pass. Bounded above by
+	// the LBR depth. Default 8.
+	BlocksPerCall int
+	// MaxSteps caps the enclave's architectural steps per run.
+	// Default 200000.
+	MaxSteps int
+	// NoFlushPerStep disables the BTB flush the attacker performs
+	// before priming each step. Flushing (the paper's flushBTB jump
+	// slide, run inside the AEX window) removes stale victim entries
+	// that would otherwise steer speculative fetch into previously
+	// executed loop bodies and merge the measured ranges. Without it,
+	// loop-heavy victims reconstruct with more §6.3 candidate
+	// ambiguity.
+	NoFlushPerStep bool
+}
+
+func (c SupervisorConfig) withDefaults() SupervisorConfig {
+	if c.BlocksPerCall == 0 {
+		c.BlocksPerCall = 8
+	}
+	if c.MaxSteps == 0 {
+		c.MaxSteps = 200_000
+	}
+	return c
+}
+
+// NVSResult is the outcome of a full NV-S extraction.
+type NVSResult struct {
+	// Trace holds the reconstructed PC of every architectural step
+	// (macro-fused pairs appear as their leading instruction, the §7.3
+	// measurement limit).
+	Trace trace.Trace
+	// DataTouched reports, per step, whether the controlled channel saw
+	// a data-page access — the §6.4 signal separating calls/rets from
+	// plain jumps.
+	DataTouched []bool
+	// Pages is the code page number of each step, from the controlled
+	// channel.
+	Pages []uint64
+	// CandidateSets holds, per step, every PC candidate before the §6.3
+	// speculation disambiguation.
+	CandidateSets [][]uint64
+	// Runs counts full enclave executions consumed.
+	Runs int
+}
+
+// SupervisorAttack is NV-S (§4.3, §6.3): a privileged attacker single-
+// stepping an SGX enclave, reconstructing the PC of every dynamic
+// instruction by binary-searching BTB range-query responses, with page
+// numbers supplied by the controlled channel.
+type SupervisorAttack struct {
+	A   *Attacker
+	Enc *sgx.Enclave
+	Tr  *sgx.Tracker
+	cfg SupervisorConfig
+}
+
+// NewSupervisorAttack prepares NV-S against enc. It installs a
+// controlled-channel tracker; call Close when done.
+func NewSupervisorAttack(a *Attacker, enc *sgx.Enclave, cfg SupervisorConfig) *SupervisorAttack {
+	tr := sgx.NewTracker(enc)
+	tr.TrackCode(true)
+	return &SupervisorAttack{A: a, Enc: enc, Tr: tr, cfg: cfg.withDefaults()}
+}
+
+// Close removes the controlled-channel tracker.
+func (s *SupervisorAttack) Close() { s.Tr.Close() }
+
+// ExtractTrace runs the full NV-S pipeline of Figure 9: a discovery run
+// for step count, page sequence and data-access signals, then repeated
+// single-stepped replays that advance a per-step PW-traversal search
+// (Figure 10) until every step's PC is resolved, and finally the
+// cross-step candidate disambiguation of §6.3.
+func (s *SupervisorAttack) ExtractTrace() (*NVSResult, error) {
+	res := &NVSResult{}
+
+	// Phase 0: discovery.
+	if err := s.discover(res); err != nil {
+		return nil, err
+	}
+	n := len(res.Pages)
+
+	// Per-step searches, advanced one probe per replay run.
+	searches := make([]*stepSearch, n)
+	for i := range searches {
+		searches[i] = newStepSearch(res.Pages[i], s.cfg.BlocksPerCall)
+	}
+
+	for {
+		pending := false
+		for _, ss := range searches {
+			if !ss.done() {
+				pending = true
+				break
+			}
+		}
+		if !pending {
+			break
+		}
+		if err := s.replayRun(res, searches); err != nil {
+			return nil, err
+		}
+	}
+
+	// Phase 5: disambiguate speculation candidates across steps.
+	res.CandidateSets = make([][]uint64, n)
+	for i, ss := range searches {
+		res.CandidateSets[i] = ss.resolved()
+	}
+	res.Trace = trace.FromPCs(disambiguate(res.CandidateSets))
+	return res, nil
+}
+
+// discover runs the enclave once under single-stepping, recording the
+// step count, the code page of each step and the data-access signal.
+func (s *SupervisorAttack) discover(res *NVSResult) error {
+	s.Enc.Reset()
+	s.Tr.ResetLog()
+	s.Tr.TrackData(true)
+	defer s.Tr.TrackData(false)
+	res.Runs++
+	for steps := 0; steps < s.cfg.MaxSteps; steps++ {
+		s.Tr.Rearm()
+		done, err := s.Enc.StepOne()
+		if err != nil {
+			return fmt.Errorf("core: discovery step %d: %w", steps, err)
+		}
+		if done {
+			return nil
+		}
+		page, ok := s.Tr.CurrentPage()
+		if !ok {
+			return fmt.Errorf("core: controlled channel lost the code page at step %d", steps)
+		}
+		res.Pages = append(res.Pages, page)
+		res.DataTouched = append(res.DataTouched, s.Tr.DataTouched())
+	}
+	return fmt.Errorf("core: enclave exceeded %d steps", s.cfg.MaxSteps)
+}
+
+// replayRun resets the enclave and replays it under single-stepping,
+// advancing each step's search by one prime/probe round.
+func (s *SupervisorAttack) replayRun(res *NVSResult, searches []*stepSearch) error {
+	s.Enc.Reset()
+	res.Runs++
+	for i := 0; i < len(searches); i++ {
+		pws := searches[i].nextPWs()
+		if pws == nil {
+			if _, err := s.Enc.StepOne(); err != nil {
+				return fmt.Errorf("core: replay step %d: %w", i, err)
+			}
+			continue
+		}
+		if !s.cfg.NoFlushPerStep {
+			// The attacker's flushBTB slide, run during the AEX window
+			// before re-priming.
+			s.A.Core.BTB.Flush()
+		}
+		m, err := s.A.CachedMonitor(pws)
+		if err != nil {
+			return fmt.Errorf("core: replay step %d: %w", i, err)
+		}
+		if err := m.Prime(); err != nil {
+			return err
+		}
+		if _, err := s.Enc.StepOne(); err != nil {
+			return fmt.Errorf("core: replay step %d: %w", i, err)
+		}
+		match, err := m.Probe()
+		if err != nil {
+			return err
+		}
+		searches[i].feed(match)
+	}
+	// Finish the run so the next Reset starts from a clean halt.
+	for !s.Enc.Done() {
+		if _, err := s.Enc.StepOne(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// disambiguate implements the §6.3 rule: speculative control transfers
+// make some steps report several candidate PCs; candidates repeated in
+// the next step's set are speculation artifacts, and the candidate
+// unique to this step is the real PC.
+func disambiguate(sets [][]uint64) []uint64 {
+	out := make([]uint64, len(sets))
+	var prev uint64
+	for i, set := range sets {
+		if len(set) == 0 {
+			out[i] = 0
+			continue
+		}
+		var next map[uint64]bool
+		if i+1 < len(sets) {
+			next = make(map[uint64]bool, len(sets[i+1]))
+			for _, c := range sets[i+1] {
+				next[c] = true
+			}
+		}
+		var uniq []uint64
+		for _, c := range set {
+			if next == nil || !next[c] {
+				uniq = append(uniq, c)
+			}
+		}
+		switch {
+		case len(uniq) == 1:
+			out[i] = uniq[0]
+		case len(uniq) > 1:
+			// Prefer the candidate continuing from the previous PC
+			// (smallest forward distance within a plausible instruction
+			// length); otherwise the lowest.
+			out[i] = pickContinuation(uniq, prev)
+		default:
+			out[i] = pickContinuation(set, prev)
+		}
+		prev = out[i]
+	}
+	return out
+}
+
+func pickContinuation(cands []uint64, prev uint64) uint64 {
+	best := cands[0]
+	bestScore := ^uint64(0)
+	for _, c := range cands {
+		score := ^uint64(0) - 1
+		if c > prev && c-prev <= 16 {
+			score = c - prev
+		}
+		if score < bestScore || (score == bestScore && c < best) {
+			best = c
+			bestScore = score
+		}
+	}
+	return best
+}
+
+// blocksPerPage is the number of 32-byte prediction windows per page.
+const blocksPerPage = mem.PageSize / 32
+
+// Search phases.
+const (
+	phaseCoarse = iota
+	phaseGrid
+	phaseByte
+	phaseDone
+)
+
+// gridTiles are the 5-byte window offsets tiling a 32-byte block for
+// the grid refinement pass. Offsets 30..31 are caught by the fallback
+// window at 27.
+var gridTiles = []uint64{0, 5, 10, 15, 20, 25}
+
+// stepSearch is the per-step PW-traversal state machine (Figure 10):
+// coarse 32-byte blocks, then 5-byte grid windows within each candidate
+// block, then 2-byte PWs to the exact byte.
+type stepSearch struct {
+	page  uint64
+	nPer  int
+	phase int
+
+	coarseChunk   int
+	touchedBlocks map[uint64]bool
+
+	cands   []uint64 // candidate block bases (starts of touched runs)
+	windows []uint64 // per candidate: 5-byte window base (0 = unresolved)
+	gridCur int      // candidate currently being tiled
+
+	byteCur    int    // candidate currently byte-searched
+	byteK      uint64 // current tiny-PW base being tested
+	byteLowest uint64 // lowest matched K so far
+	byteSeen   bool
+
+	starts []uint64 // resolved start addresses, one per candidate
+}
+
+func newStepSearch(page uint64, nPer int) *stepSearch {
+	return &stepSearch{
+		page:          page,
+		nPer:          nPer,
+		touchedBlocks: make(map[uint64]bool),
+	}
+}
+
+func (ss *stepSearch) done() bool { return ss.phase == phaseDone }
+
+// resolved returns the candidate start addresses found. A start at its
+// block's base whose previous block was also touched is the
+// continuation of a spilled range, not a fresh candidate.
+func (ss *stepSearch) resolved() []uint64 {
+	var out []uint64
+	for _, start := range ss.starts {
+		if start&31 == 0 && ss.touchedBlocks[start-32] {
+			continue
+		}
+		out = append(out, start)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// nextPWs returns the PW set for this step's next probe, or nil when
+// the search is complete (the replay just steps past it).
+func (ss *stepSearch) nextPWs() []PW {
+	switch ss.phase {
+	case phaseCoarse:
+		base := ss.page << mem.PageShift
+		var pws []PW
+		for b := ss.coarseChunk * ss.nPer; b < (ss.coarseChunk+1)*ss.nPer && b < blocksPerPage; b++ {
+			pws = append(pws, PW{Base: base + uint64(b)*32, Len: 32})
+		}
+		return pws
+	case phaseGrid:
+		blockBase := ss.cands[ss.gridCur]
+		pws := make([]PW, 0, len(gridTiles))
+		for _, off := range gridTiles {
+			pws = append(pws, PW{Base: blockBase + off, Len: 5})
+		}
+		return pws
+	case phaseByte:
+		return []PW{{Base: ss.byteK, Len: 2}}
+	}
+	return nil
+}
+
+// feed consumes the probe result of the PW set returned by nextPWs.
+func (ss *stepSearch) feed(match []bool) {
+	switch ss.phase {
+	case phaseCoarse:
+		base := ss.page << mem.PageShift
+		for j, hit := range match {
+			if hit {
+				b := uint64(ss.coarseChunk*ss.nPer+j) * 32
+				ss.touchedBlocks[base+b] = true
+			}
+		}
+		ss.coarseChunk++
+		if ss.coarseChunk*ss.nPer >= blocksPerPage {
+			ss.finishCoarse()
+		}
+	case phaseGrid:
+		// Lowest matched tile contains the run start; no match means
+		// the start hides in the block tail [27,31].
+		window := ss.cands[ss.gridCur] + 27
+		for j, hit := range match {
+			if hit {
+				window = ss.cands[ss.gridCur] + gridTiles[j]
+				break
+			}
+		}
+		ss.windows = append(ss.windows, window)
+		ss.gridCur++
+		if ss.gridCur == len(ss.cands) {
+			ss.startByte(0)
+		}
+	case phaseByte:
+		hit := match[0]
+		if hit {
+			ss.byteLowest = ss.byteK
+			ss.byteSeen = true
+		}
+		w := ss.windows[ss.byteCur]
+		if (ss.byteSeen && !hit) || ss.byteK == w-1 {
+			// Transition found (or window exhausted): resolve.
+			start := w // fallback: window base
+			if ss.byteSeen {
+				start = ss.byteLowest + 1
+			}
+			ss.starts = append(ss.starts, start)
+			if ss.byteCur+1 < len(ss.cands) {
+				ss.startByte(ss.byteCur + 1)
+			} else {
+				ss.phase = phaseDone
+			}
+			return
+		}
+		ss.byteK--
+	}
+}
+
+// finishCoarse promotes every touched block to a refinement candidate.
+// Refining each block (not just run starts) keeps ranges separable when
+// speculative wrap-around through a loop back-edge touches blocks below
+// the stepped instruction (§6.3); offset-0 continuations are filtered
+// after byte refinement in resolved().
+func (ss *stepSearch) finishCoarse() {
+	blocks := make([]uint64, 0, len(ss.touchedBlocks))
+	for b := range ss.touchedBlocks {
+		blocks = append(blocks, b)
+	}
+	sort.Slice(blocks, func(i, j int) bool { return blocks[i] < blocks[j] })
+	ss.cands = append(ss.cands, blocks...)
+	if len(ss.cands) == 0 {
+		// Nothing matched: unreconstructable step (should not happen —
+		// the instruction's own fetch always touches its block).
+		ss.phase = phaseDone
+		return
+	}
+	ss.phase = phaseGrid
+	ss.gridCur = 0
+}
+
+// startByte begins the descending tiny-PW search for candidate idx.
+func (ss *stepSearch) startByte(idx int) {
+	ss.phase = phaseByte
+	ss.byteCur = idx
+	ss.byteK = ss.windows[idx] + 3
+	ss.byteSeen = false
+	ss.byteLowest = 0
+}

@@ -1,0 +1,219 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/asm"
+	"repro/internal/cpu"
+	"repro/internal/isa"
+	"repro/internal/mem"
+	"repro/internal/sgx"
+)
+
+// referenceSteps computes the ground-truth per-step leading PCs by
+// running the program on a plain core (no attack): one entry per
+// architectural step, macro-fused pairs contributing their leading PC.
+func referenceSteps(t *testing.T, p *asm.Program, entry uint64) []uint64 {
+	t.Helper()
+	m := mem.New()
+	p.LoadInto(m)
+	m.Map(0x71_0000, 0x1000, mem.PermRW)
+	c := cpu.New(cpu.Config{}, m)
+	c.SetReg(isa.SP, 0x71_1000)
+	c.SetPC(entry)
+	var pcs []uint64
+	for {
+		info, err := c.Step()
+		if err == cpu.ErrHalted {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		if info.Inst.Op == isa.OpHlt {
+			break
+		}
+		pcs = append(pcs, info.PC)
+	}
+	return pcs
+}
+
+// nvsSetup builds an enclave + supervisor attack for the given source.
+func nvsSetup(t *testing.T, src string, entry string) (*sgx.Enclave, *SupervisorAttack, *asm.Program) {
+	t.Helper()
+	p, err := asm.Assemble(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := cpu.New(cpu.Config{}, mem.New())
+	enc, err := sgx.Create(c, p, sgx.Config{
+		Entry: p.MustLabel(entry),
+		Stack: sgx.Region{Addr: 0x71_0000, Size: 0x1000},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := NewAttacker(c, 1<<32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewSupervisorAttack(a, enc, SupervisorConfig{})
+	return enc, s, p
+}
+
+const straightLineEnclave = `
+	.org 0x600000
+entry:
+	movi r1, 7
+	movi r2, 3
+	add r1, r2
+	xor r3, r3
+	mov r4, r1
+	nop
+	nop
+	addi r4, 1
+	hlt
+`
+
+// TestNVSStraightLine: every PC of a straight-line enclave — all
+// non-control-transfer instructions — is reconstructed exactly. This is
+// the paper's headline capability.
+func TestNVSStraightLine(t *testing.T) {
+	_, s, p := nvsSetup(t, straightLineEnclave, "entry")
+	defer s.Close()
+	want := referenceSteps(t, p, p.MustLabel("entry"))
+
+	res, err := s.ExtractTrace()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Trace) != len(want) {
+		t.Fatalf("reconstructed %d steps, want %d", len(res.Trace), len(want))
+	}
+	for i := range want {
+		if res.Trace[i].PC != want[i] {
+			t.Errorf("step %d: PC = %#x, want %#x (candidates %#x)", i, res.Trace[i].PC, want[i], res.CandidateSets[i])
+		}
+	}
+}
+
+const branchyEnclave = `
+	.org 0x600000
+entry:
+	movi r1, 2
+	movi r2, 0
+loop:
+	addi r2, 5
+	subi r1, 1
+	jnz loop
+	nop
+	call fn
+	xor r1, r1
+	hlt
+	.align 32
+fn:
+	addi r2, 1
+	ret
+`
+
+// TestNVSBranchy: loops, calls and returns with macro-fusion in play.
+// Fused cmp/test-style pairs report the leading PC only (§7.3); the
+// reference uses the same convention, so exact match is expected except
+// for occasional speculation artifacts.
+func TestNVSBranchy(t *testing.T) {
+	_, s, p := nvsSetup(t, branchyEnclave, "entry")
+	defer s.Close()
+	want := referenceSteps(t, p, p.MustLabel("entry"))
+
+	res, err := s.ExtractTrace()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Trace) != len(want) {
+		t.Fatalf("reconstructed %d steps, want %d", len(res.Trace), len(want))
+	}
+	correct := 0
+	for i := range want {
+		if res.Trace[i].PC == want[i] {
+			correct++
+		} else {
+			t.Logf("step %d: PC = %#x, want %#x (candidates %#x)", i, res.Trace[i].PC, want[i], res.CandidateSets[i])
+		}
+	}
+	if rate := float64(correct) / float64(len(want)); rate < 0.9 {
+		t.Errorf("reconstruction accuracy %.2f below 0.9", rate)
+	}
+}
+
+// TestNVSDataTouchSignals: the controlled channel flags the steps that
+// access data pages (call/ret/push), the §6.4 slicing signal.
+func TestNVSDataTouchSignals(t *testing.T) {
+	_, s, p := nvsSetup(t, branchyEnclave, "entry")
+	defer s.Close()
+	_ = referenceSteps(t, p, p.MustLabel("entry")) // sanity: program runs clean
+	res, err := s.ExtractTrace()
+	if err != nil {
+		t.Fatal(err)
+	}
+	touched := 0
+	for _, d := range res.DataTouched {
+		if d {
+			touched++
+		}
+	}
+	// Exactly two data-touching steps: the call (stack push) and the
+	// ret (stack pop).
+	if touched != 2 {
+		t.Errorf("data-touched steps = %d, want 2 (call and ret)", touched)
+	}
+}
+
+// TestNVSRunsBudget: the number of full enclave executions follows the
+// Figure 10 cost model: 1 discovery + 128/N coarse + grid + byte
+// refinement, not hundreds.
+func TestNVSRunsBudget(t *testing.T) {
+	_, s, p := nvsSetup(t, straightLineEnclave, "entry")
+	defer s.Close()
+	_ = p
+	res, err := s.ExtractTrace()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 1 discovery + 16 coarse (128/8) + per touched block (~2 here):
+	// 1 grid + <=5 byte refinements = well under 40.
+	if res.Runs > 40 {
+		t.Errorf("Runs = %d, want <= 40", res.Runs)
+	}
+	if res.Runs < 18 {
+		t.Errorf("Runs = %d suspiciously low", res.Runs)
+	}
+}
+
+func TestDisambiguate(t *testing.T) {
+	// Step 0 sees {base0, specTarget}; step 1 sees {base1, specTarget}:
+	// the repeated candidate is ruled out both times.
+	sets := [][]uint64{
+		{0x100, 0x500},
+		{0x102, 0x500},
+		{0x500}, // the jump landed: single candidate
+		{},      // unreconstructable step
+	}
+	got := disambiguate(sets)
+	want := []uint64{0x100, 0x102, 0x500, 0}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("step %d: %#x, want %#x", i, got[i], want[i])
+		}
+	}
+}
+
+func TestPickContinuation(t *testing.T) {
+	// Prefer the candidate continuing from prev within 16 bytes.
+	if got := pickContinuation([]uint64{0x500, 0x106}, 0x100); got != 0x106 {
+		t.Errorf("continuation = %#x, want 0x106", got)
+	}
+	// No plausible continuation: lowest wins.
+	if got := pickContinuation([]uint64{0x500, 0x300}, 0x100); got != 0x300 {
+		t.Errorf("fallback = %#x, want 0x300", got)
+	}
+}

@@ -1,0 +1,82 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/osmodel"
+)
+
+// UserAttack is NV-U (§4.2): a user-level attacker co-located with the
+// victim process on one core. The victim's execution is divided into
+// scheduling fragments (here, as in the paper's proof of concept, the
+// victim yields after each protected region); NV-Core runs between
+// fragments.
+type UserAttack struct {
+	OS     *osmodel.OS
+	Victim *osmodel.Process
+	// FragmentBudget caps the steps per victim fragment (a stuck victim
+	// otherwise hangs the attack). Default 1e6.
+	FragmentBudget uint64
+}
+
+// Run interleaves victim fragments with probes of m, returning one
+// match vector per fragment (the bool[][] of Figure 6). It stops when
+// the victim halts or maxFragments is reached.
+func (u *UserAttack) Run(m *Monitor, maxFragments int) ([][]bool, error) {
+	budget := u.FragmentBudget
+	if budget == 0 {
+		budget = 1_000_000
+	}
+	if err := m.Prime(); err != nil {
+		return nil, err
+	}
+	var out [][]bool
+	for len(out) < maxFragments && !u.Victim.Done {
+		u.OS.Switch(u.Victim)
+		reason, err := u.OS.RunUntilStop(budget)
+		if err != nil {
+			return out, fmt.Errorf("core: victim fragment %d: %w", len(out), err)
+		}
+		if reason == osmodel.StopSteps {
+			return out, fmt.Errorf("core: victim fragment %d exceeded budget", len(out))
+		}
+		match, err := m.Probe()
+		if err != nil {
+			return out, err
+		}
+		out = append(out, match)
+		if reason == osmodel.StopHalt {
+			break
+		}
+	}
+	return out, nil
+}
+
+// RunSliced is NV-U without victim cooperation: instead of waiting for
+// the victim to yield, the attacker's preemptive-scheduling pressure
+// bounds each victim time slice to roughly sliceSteps instructions
+// (§4.2: "on-order hundreds of cycles"). The per-fragment match vectors
+// lose the per-iteration alignment that the yield-based variant enjoys;
+// §5.2 describes how monitoring both arms recovers execution progress.
+func (u *UserAttack) RunSliced(m *Monitor, sliceSteps uint64, maxFragments int) ([][]bool, error) {
+	if err := m.Prime(); err != nil {
+		return nil, err
+	}
+	var out [][]bool
+	for len(out) < maxFragments && !u.Victim.Done {
+		u.OS.Switch(u.Victim)
+		reason, err := u.OS.RunSlice(sliceSteps)
+		if err != nil {
+			return out, fmt.Errorf("core: victim slice %d: %w", len(out), err)
+		}
+		match, err := m.Probe()
+		if err != nil {
+			return out, err
+		}
+		out = append(out, match)
+		if reason == osmodel.StopHalt {
+			break
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,157 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/asm"
+	"repro/internal/cpu"
+	"repro/internal/isa"
+	"repro/internal/mem"
+	"repro/internal/osmodel"
+)
+
+// uc1Victim alternates between two code regions based on the bits of a
+// secret in r1, yielding after each decision — the shape of the paper's
+// instrumented §7.2 victims.
+const uc1Victim = `
+	.org 0x400000
+start:
+	movi r2, 8          ; 8 secret bits
+loop:
+	movi r3, 1
+	and r3, r1
+	cmpi r3, 0
+	jz  takeB
+	call armA
+	jmp  next
+takeB:
+	call armB
+next:
+	syscall 1           ; sched_yield
+	shr r1, 1
+	subi r2, 1
+	jnz loop
+	hlt
+
+	.org 0x400100
+armA:
+	.space 20, 0x01
+	ret
+	.org 0x400200
+armB:
+	.space 20, 0x01
+	ret
+`
+
+func nvuSetup(t *testing.T, secret uint64) (*UserAttack, *Monitor) {
+	t.Helper()
+	p, err := asm.Assemble(uc1Victim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := mem.New()
+	p.LoadInto(m)
+	c := cpu.New(cpu.Config{}, m)
+	os := osmodel.New(c)
+	proc := os.Spawn("victim", p.MustLabel("start"), 0x7e_0000, 0x1000)
+	proc.State.Regs[isa.R1] = secret
+	a, err := NewAttacker(c, 1<<32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mon, err := a.NewMonitor([]PW{
+		{Base: 0x40_0100, Len: 16}, // arm A
+		{Base: 0x40_0200, Len: 16}, // arm B
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &UserAttack{OS: os, Victim: proc}, mon
+}
+
+// TestNVURecoversSecretBits: the yield-based NV-U loop recovers the
+// victim's secret bit by bit.
+func TestNVURecoversSecretBits(t *testing.T) {
+	const secret = 0b1011_0010
+	ua, mon := nvuSetup(t, secret)
+	matches, err := ua.Run(mon, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(matches) < 8 {
+		t.Fatalf("got %d fragments, want >= 8", len(matches))
+	}
+	var recovered uint64
+	for i := 0; i < 8; i++ {
+		aHit, bHit := matches[i][0], matches[i][1]
+		if aHit && !bHit {
+			recovered |= 1 << i
+		} else if !bHit {
+			t.Errorf("fragment %d: a=%v b=%v — no arm observed", i, aHit, bHit)
+		}
+	}
+	if recovered != secret {
+		t.Errorf("recovered %#b, want %#b", recovered, secret)
+	}
+}
+
+// TestNVUSliced: the same secret is recoverable without any victim
+// cooperation, using timer slices instead of yields. Alignment is
+// coarser (a slice may span parts of two iterations), so the assertion
+// is on the union of observed arms, not per-bit alignment.
+func TestNVUSliced(t *testing.T) {
+	for _, secret := range []uint64{0x00, 0xFF, 0b1010_1010} {
+		ua, mon := nvuSetup(t, secret)
+		matches, err := ua.RunSliced(mon, 12, 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		hitsA, hitsB := 0, 0
+		for _, m := range matches {
+			if m[0] {
+				hitsA++
+			}
+			if m[1] {
+				hitsB++
+			}
+		}
+		// Wrong-path speculation may brush the untaken arm once (the
+		// first unpredicted branch); the dominant arm is unambiguous.
+		switch secret {
+		case 0x00:
+			if hitsB <= hitsA {
+				t.Errorf("secret 0x00: A=%d B=%d, B must dominate", hitsA, hitsB)
+			}
+		case 0xFF:
+			if hitsA <= hitsB {
+				t.Errorf("secret 0xFF: A=%d B=%d, A must dominate", hitsA, hitsB)
+			}
+		default:
+			if hitsA == 0 || hitsB == 0 {
+				t.Errorf("mixed secret: A=%d B=%d, both arms must appear", hitsA, hitsB)
+			}
+		}
+	}
+}
+
+// TestNVUFragmentBudget: a victim that never yields trips the budget.
+func TestNVUFragmentBudget(t *testing.T) {
+	p := asm.MustAssemble(".org 0x400000\nstart: loop: jmp loop")
+	m := mem.New()
+	p.LoadInto(m)
+	c := cpu.New(cpu.Config{}, m)
+	os := osmodel.New(c)
+	proc := os.Spawn("victim", p.MustLabel("start"), 0x7e_0000, 0x1000)
+	a, err := NewAttacker(c, 1<<32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mon, err := a.NewMonitor([]PW{{Base: 0x40_1000, Len: 16}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ua := &UserAttack{OS: os, Victim: proc, FragmentBudget: 1000}
+	if _, err := ua.Run(mon, 3); err == nil {
+		t.Error("non-yielding victim should exhaust the fragment budget")
+	}
+}

@@ -1,0 +1,353 @@
+// Package cpu implements the simulated core: a pipelined, superscalar
+// front end fetching 32-byte prediction windows (PWs) through the BTB,
+// an in-order execution engine, and a cycle-accounting model whose
+// observable artifacts (LBR deltas, misprediction bubbles) reproduce the
+// signals exploited by the NightVision paper.
+//
+// # Front end
+//
+// Fetch operates at PW granularity. Each PW lookup consults the BTB with
+// range semantics (internal/btb). When a predicted branch location turns
+// out, at decode, not to hold a control-transfer instruction, the front
+// end deallocates the BTB entry and resteers — Takeaway 1 of the paper,
+// the effect that lets non-control-transfer instructions leak their PCs.
+//
+// The front end runs ahead of retirement by a configurable number of
+// PWs. All fetch/decode-time BTB effects are therefore speculative with
+// respect to the instruction being retired, reproducing the §6.3
+// observation that single-stepping still exposes BTB updates from
+// not-yet-retired successors.
+//
+// # Timing
+//
+// The model is not microarchitecturally exact; it is mechanistic enough
+// that the paper's *signals* are faithful: correctly predicted branches
+// retire back-to-back, decode resteers cost a front-end bubble, execute
+// mispredictions cost a larger one, and retire bandwidth makes straight-
+// line cycle counts proportional to instruction count (the slope of the
+// blue lines in Figures 2 and 4).
+package cpu
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/btb"
+	"repro/internal/isa"
+	"repro/internal/lbr"
+	"repro/internal/mem"
+)
+
+// Config holds the core's microarchitectural parameters. Zero fields are
+// replaced by the documented defaults in New.
+type Config struct {
+	BTB btb.Config
+
+	// RetireWidth is the number of instructions retired per cycle.
+	RetireWidth int
+	// PipeDepth is the fetch-to-retire latency in cycles.
+	PipeDepth uint64
+	// FalseHitPenalty is the front-end bubble after a decode-time BTB
+	// false hit (predicted branch byte decodes as a non-branch).
+	FalseHitPenalty uint64
+	// DecodeResteerPenalty is the bubble when decode redirects fetch for
+	// an unpredicted (or wrongly targeted) direct jump/call.
+	DecodeResteerPenalty uint64
+	// ExecMispredictPenalty is the bubble when execution overturns the
+	// predicted direction/target of a branch.
+	ExecMispredictPenalty uint64
+	// InterruptCost is the cycle cost of taking an interrupt and
+	// resuming (context save, microcode, refetch).
+	InterruptCost uint64
+	// FetchAheadPWs is how many prediction windows the front end may run
+	// ahead of the oldest unretired instruction: the speculation window.
+	FetchAheadPWs int
+	// NoMacroFusion disables cmp/test+Jcc fusion at decode. Fusion is on
+	// by default: fused pairs retire together, which is the single-
+	// stepping measurement-error source the paper identifies in §7.3.
+	NoMacroFusion bool
+	// RASDepth is the return-address-stack depth.
+	RASDepth int
+	// NoFalseHitDealloc keeps BTB entries alive across decode-time
+	// false hits (only the resteer penalty is paid). Real Intel cores
+	// deallocate (Takeaway 1); this ablation shows the attack's
+	// deallocation signal is load-bearing.
+	NoFalseHitDealloc bool
+	// DirPredictor enables a bimodal conditional-direction predictor on
+	// top of the BTB. The baseline model predicts taken on every BTB
+	// hit, which biases wrong-path fetch toward previously taken arms;
+	// the predictor suppresses that for direction-biased branches.
+	DirPredictor bool
+	// MulLatency, DivLatency and LoadLatency are extra retire latencies
+	// for long operations.
+	MulLatency  uint64
+	DivLatency  uint64
+	LoadLatency uint64
+}
+
+// DefaultConfig returns the configuration used by the paper-reproduction
+// experiments: SkyLake-like BTB and a deep, 4-wide pipeline.
+func DefaultConfig() Config {
+	return Config{
+		BTB:                   btb.ConfigSkyLake(),
+		RetireWidth:           4,
+		PipeDepth:             12,
+		FalseHitPenalty:       9,
+		DecodeResteerPenalty:  8,
+		ExecMispredictPenalty: 17,
+		InterruptCost:         60,
+		FetchAheadPWs:         2,
+		RASDepth:              16,
+		MulLatency:            3,
+		DivLatency:            20,
+		LoadLatency:           4,
+	}
+}
+
+func (c Config) withDefaults() Config {
+	d := DefaultConfig()
+	if c.BTB == (btb.Config{}) {
+		c.BTB = d.BTB
+	}
+	if c.RetireWidth == 0 {
+		c.RetireWidth = d.RetireWidth
+	}
+	if c.PipeDepth == 0 {
+		c.PipeDepth = d.PipeDepth
+	}
+	if c.FalseHitPenalty == 0 {
+		c.FalseHitPenalty = d.FalseHitPenalty
+	}
+	if c.DecodeResteerPenalty == 0 {
+		c.DecodeResteerPenalty = d.DecodeResteerPenalty
+	}
+	if c.ExecMispredictPenalty == 0 {
+		c.ExecMispredictPenalty = d.ExecMispredictPenalty
+	}
+	if c.InterruptCost == 0 {
+		c.InterruptCost = d.InterruptCost
+	}
+	if c.FetchAheadPWs == 0 {
+		c.FetchAheadPWs = d.FetchAheadPWs
+	}
+	if c.RASDepth == 0 {
+		c.RASDepth = d.RASDepth
+	}
+	if c.MulLatency == 0 {
+		c.MulLatency = d.MulLatency
+	}
+	if c.DivLatency == 0 {
+		c.DivLatency = d.DivLatency
+	}
+	if c.LoadLatency == 0 {
+		c.LoadLatency = d.LoadLatency
+	}
+	return c
+}
+
+// Flags is the architectural flags register.
+type Flags struct {
+	Z, S, C, O bool
+}
+
+// Errors returned by Step.
+var (
+	// ErrHalted is returned when the core executes hlt and on every
+	// subsequent Step until Reset or SetPC.
+	ErrHalted = errors.New("cpu: core halted")
+)
+
+// InvalidInstError reports a fetch of undecodable bytes at retirement.
+type InvalidInstError struct {
+	PC uint64
+}
+
+func (e *InvalidInstError) Error() string {
+	return fmt.Sprintf("cpu: invalid instruction at %#x", e.PC)
+}
+
+// slot is one decoded instruction waiting in the in-order queue between
+// the front end and retirement.
+type slot struct {
+	pc             uint64
+	in             isa.Inst
+	pwid           uint64
+	fetchCycle     uint64
+	nextPredicted  uint64 // the pc the front end followed after this inst
+	predictedTaken bool   // front end treated this as a taken control transfer
+	btbHit         bool   // a BTB entry predicted this instruction
+	fusedWithNext  bool   // macro-fused with the following slot
+}
+
+// StepInfo describes one retired architectural step.
+type StepInfo struct {
+	PC          uint64
+	Inst        isa.Inst
+	RetireCycle uint64
+	Taken       bool   // a control transfer that redirected the stream
+	Target      uint64 // where it went (valid when Taken)
+	// Fused reports that this step retired a macro-fused pair: PC/Inst
+	// describe the leading instruction, FusedPC/FusedInst the branch
+	// that retired with it.
+	Fused     bool
+	FusedPC   uint64
+	FusedInst isa.Inst
+}
+
+// Core is the simulated CPU core. Not safe for concurrent use.
+type Core struct {
+	cfg Config
+
+	Mem *mem.Memory
+	BTB *btb.BTB
+	LBR *lbr.LBR
+
+	regs  [isa.NumRegs]uint64
+	flags Flags
+	pc    uint64 // next architectural pc (first unretired instruction)
+
+	halted bool
+
+	// Front end state.
+	fetchPC      uint64
+	fetchClock   uint64
+	fetchStalled bool // fetch hit a speculative fault/stop; retry when architectural
+	fetchStopped bool // fetch hit hlt or an unresolvable indirect; wait for execute
+	queue        []slot
+	nextPWID     uint64
+
+	// Return-address prediction: specRAS tracks decode-time state,
+	// archRAS retirement state; squashes restore spec from arch.
+	specRAS []uint64
+	archRAS []uint64
+
+	// Conditional direction predictor (optional).
+	dirPred *dirPredictor
+
+	// Retirement clock.
+	retireClock  uint64
+	retiredInCyc int
+
+	// OnRetire, if set, observes every retired instruction: the ground-
+	// truth PC trace used to validate attack reconstructions.
+	OnRetire func(pc uint64, in isa.Inst)
+	// OnSyscall, if set, handles syscall instructions at retirement.
+	OnSyscall func(n uint8) error
+	// LBRSuppress, if set and true for a branch pc, skips LBR recording.
+	// Intel SGX disables branch recording for enclave-mode code; the sgx
+	// package installs the range check here.
+	LBRSuppress func(pc uint64) bool
+
+	// Counters.
+	retired        uint64
+	squashes       uint64
+	falseHits      uint64
+	decodeResteers uint64
+}
+
+// New returns a core with the given configuration, a fresh BTB and LBR,
+// and the supplied memory.
+func New(cfg Config, m *mem.Memory) *Core {
+	cfg = cfg.withDefaults()
+	c := &Core{
+		cfg: cfg,
+		Mem: m,
+		BTB: btb.New(cfg.BTB),
+		LBR: lbr.New(0),
+	}
+	if cfg.DirPredictor {
+		c.dirPred = newDirPredictor()
+	}
+	return c
+}
+
+// Config returns the core's effective configuration.
+func (c *Core) Config() Config { return c.cfg }
+
+// Reg returns the value of register r.
+func (c *Core) Reg(r isa.Reg) uint64 { return c.regs[r] }
+
+// SetReg sets register r.
+func (c *Core) SetReg(r isa.Reg, v uint64) { c.regs[r] = v }
+
+// Flags returns the architectural flags.
+func (c *Core) Flags() Flags { return c.flags }
+
+// PC returns the next architectural pc.
+func (c *Core) PC() uint64 { return c.pc }
+
+// SetPC redirects architectural execution to pc, squashing the front
+// end. It also clears a halt.
+func (c *Core) SetPC(pc uint64) {
+	c.pc = pc
+	c.halted = false
+	c.squashTo(pc, 0)
+}
+
+// Cycle returns the current retirement cycle count: the core's notion of
+// time, the basis of every LBR delta.
+func (c *Core) Cycle() uint64 { return c.retireClock }
+
+// Retired returns the number of retired instructions.
+func (c *Core) Retired() uint64 { return c.retired }
+
+// Squashes returns the number of pipeline squashes (decode and execute).
+func (c *Core) Squashes() uint64 { return c.squashes }
+
+// FalseHits returns the number of decode-time BTB false hits (and hence
+// deallocations) observed.
+func (c *Core) FalseHits() uint64 { return c.falseHits }
+
+// Halted reports whether the core has executed hlt.
+func (c *Core) Halted() bool { return c.halted }
+
+// Interrupt models an asynchronous interrupt arriving between the last
+// retired instruction and the next: the in-flight front end is squashed
+// (its speculative BTB effects remain — they already happened) and the
+// interrupt cost is charged. The caller then typically runs handler
+// logic outside the simulated core (attack code measures the BTB via
+// Prime/Probe executions on the same core) and resumes with Step.
+func (c *Core) Interrupt() {
+	c.squashTo(c.pc, c.cfg.InterruptCost)
+}
+
+// ContextSwitch saves the current architectural register state into old
+// and installs next, squashing the pipeline and charging interrupt cost.
+// The BTB and LBR are per-core shared state and persist — this is what
+// makes cross-process BTB attacks possible.
+func (c *Core) ContextSwitch(old, next *ArchState) {
+	if old != nil {
+		old.Regs = c.regs
+		old.Flags = c.flags
+		old.PC = c.pc
+		old.Halted = c.halted
+	}
+	c.regs = next.Regs
+	c.flags = next.Flags
+	c.pc = next.PC
+	c.halted = next.Halted
+	c.archRAS = c.archRAS[:0]
+	c.squashTo(c.pc, c.cfg.InterruptCost)
+}
+
+// ArchState is a process's architectural register state for context
+// switching.
+type ArchState struct {
+	Regs   [isa.NumRegs]uint64
+	Flags  Flags
+	PC     uint64
+	Halted bool
+}
+
+// squashTo flushes the in-flight front end and restarts fetch at pc
+// after penalty cycles.
+func (c *Core) squashTo(pc uint64, penalty uint64) {
+	c.queue = c.queue[:0]
+	c.fetchPC = pc
+	c.fetchStalled = false
+	c.fetchStopped = false
+	c.squashes++
+	c.fetchClock = c.retireClock + penalty
+	// Restore decode-time RAS from retirement state.
+	c.specRAS = append(c.specRAS[:0], c.archRAS...)
+}

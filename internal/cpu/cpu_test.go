@@ -1,0 +1,676 @@
+package cpu_test
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/asm"
+	"repro/internal/cpu"
+	"repro/internal/isa"
+	"repro/internal/mem"
+)
+
+const (
+	stackTop  = 0x7f_f000
+	stackSize = 0x1000
+)
+
+// newCore loads a program, maps a stack, and returns a core with pc at
+// the "start" label.
+func newCore(t *testing.T, src string) *cpu.Core {
+	t.Helper()
+	p, err := asm.Assemble(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := mem.New()
+	p.LoadInto(m)
+	m.Map(stackTop-stackSize, stackSize, mem.PermRW)
+	c := cpu.New(cpu.Config{}, m)
+	c.SetReg(isa.SP, stackTop)
+	c.SetPC(p.MustLabel("start"))
+	return c
+}
+
+func run(t *testing.T, c *cpu.Core) {
+	t.Helper()
+	if _, err := c.Run(1_000_000); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStraightLine(t *testing.T) {
+	c := newCore(t, `
+		.org 0x1000
+	start:
+		movi r1, 10
+		movi r2, 32
+		add r1, r2
+		hlt
+	`)
+	run(t, c)
+	if got := c.Reg(isa.R1); got != 42 {
+		t.Errorf("r1 = %d, want 42", got)
+	}
+	if !c.Halted() {
+		t.Error("core should be halted")
+	}
+	if _, err := c.Step(); err != cpu.ErrHalted {
+		t.Errorf("Step after halt = %v, want ErrHalted", err)
+	}
+}
+
+func TestArithmeticAndFlags(t *testing.T) {
+	c := newCore(t, `
+		.org 0x1000
+	start:
+		movi r1, 7
+		movi r2, 7
+		sub r1, r2      ; r1 = 0, ZF set
+		cmovz r3, r2    ; executes: r3 = 7
+		movi r4, 5
+		subi r4, 9      ; r4 = -4, SF set
+		movi r5, 12
+		andi r5, 10     ; r5 = 8
+		movi r6, 3
+		mul r6, r5      ; r6 = 24
+		movi r7, 100
+		movi r8, 7
+		div r7, r8      ; r7 = 14
+		movi r9, 1
+		shl r9, 6       ; r9 = 64
+		hlt
+	`)
+	run(t, c)
+	want := map[isa.Reg]uint64{
+		isa.R1: 0, isa.R3: 7, isa.R4: ^uint64(3), isa.R5: 8,
+		isa.R6: 24, isa.R7: 14, isa.R9: 64,
+	}
+	for r, v := range want {
+		if got := c.Reg(r); got != v {
+			t.Errorf("%s = %d, want %d", r, got, v)
+		}
+	}
+}
+
+func TestLoopAndConditionals(t *testing.T) {
+	// Sum 1..10 with a jnz loop.
+	c := newCore(t, `
+		.org 0x1000
+	start:
+		movi r1, 10
+		movi r2, 0
+	loop:
+		add r2, r1
+		subi r1, 1
+		jnz loop
+		hlt
+	`)
+	run(t, c)
+	if got := c.Reg(isa.R2); got != 55 {
+		t.Errorf("sum = %d, want 55", got)
+	}
+}
+
+func TestCallRetAndStack(t *testing.T) {
+	c := newCore(t, `
+		.org 0x1000
+	start:
+		movi r1, 5
+		call double
+		call double
+		hlt
+	double:
+		add r1, r1
+		ret
+	`)
+	run(t, c)
+	if got := c.Reg(isa.R1); got != 20 {
+		t.Errorf("r1 = %d, want 20", got)
+	}
+	if got := c.Reg(isa.SP); got != stackTop {
+		t.Errorf("sp = %#x, want %#x (balanced)", got, stackTop)
+	}
+}
+
+func TestMemoryOps(t *testing.T) {
+	c := newCore(t, `
+		.org 0x1000
+	start:
+		movabs r1, 0x6000
+		movi r2, 99
+		st [r1+8], r2
+		ld r3, [r1+8]
+		push r3
+		pop r4
+		lea r5, [r1+100]
+		hlt
+	`)
+	c.Mem.Map(0x6000, 0x1000, mem.PermRW)
+	run(t, c)
+	if c.Reg(isa.R3) != 99 || c.Reg(isa.R4) != 99 {
+		t.Errorf("r3=%d r4=%d, want 99", c.Reg(isa.R3), c.Reg(isa.R4))
+	}
+	if c.Reg(isa.R5) != 0x6064 {
+		t.Errorf("lea r5 = %#x", c.Reg(isa.R5))
+	}
+}
+
+func TestIndirectJump(t *testing.T) {
+	c := newCore(t, `
+		.org 0x1000
+	start:
+		movabs r1, there
+		jmpr r1
+		movi r2, 1   ; skipped
+		hlt
+	there:
+		movi r2, 2
+		hlt
+	`)
+	run(t, c)
+	if c.Reg(isa.R2) != 2 {
+		t.Errorf("r2 = %d, want 2", c.Reg(isa.R2))
+	}
+}
+
+func TestDivideByZero(t *testing.T) {
+	c := newCore(t, `
+		.org 0x1000
+	start:
+		movi r1, 1
+		movi r2, 0
+		div r1, r2
+		hlt
+	`)
+	_, err := c.Run(100)
+	if err == nil {
+		t.Fatal("divide by zero should error")
+	}
+}
+
+func TestInvalidInstruction(t *testing.T) {
+	p := asm.MustAssemble(".org 0x1000\nstart: .byte 0xff")
+	m := mem.New()
+	p.LoadInto(m)
+	c := cpu.New(cpu.Config{}, m)
+	c.SetPC(0x1000)
+	_, err := c.Step()
+	var iie *cpu.InvalidInstError
+	if !errors.As(err, &iie) {
+		t.Fatalf("err = %v, want InvalidInstError", err)
+	}
+	if iie.PC != 0x1000 {
+		t.Errorf("fault pc = %#x", iie.PC)
+	}
+}
+
+func TestFetchFaultPropagates(t *testing.T) {
+	m := mem.New()
+	c := cpu.New(cpu.Config{}, m)
+	c.SetPC(0xdead000)
+	_, err := c.Step()
+	var f *mem.Fault
+	if !errors.As(err, &f) {
+		t.Fatalf("err = %v, want *mem.Fault", err)
+	}
+	if f.Access != mem.AccessFetch {
+		t.Errorf("access = %v", f.Access)
+	}
+}
+
+func TestOnRetireGroundTruth(t *testing.T) {
+	c := newCore(t, `
+		.org 0x1000
+	start:
+		movi r1, 2
+	loop:
+		subi r1, 1
+		jnz loop
+		hlt
+	`)
+	var pcs []uint64
+	c.OnRetire = func(pc uint64, in isa.Inst) { pcs = append(pcs, pc) }
+	run(t, c)
+	// movi(6B)@0x1000, subi(3B)@0x1006, jnz(6B)@0x1009, subi, jnz, hlt@0x100f.
+	want := []uint64{0x1000, 0x1006, 0x1009, 0x1006, 0x1009, 0x100f}
+	if len(pcs) != len(want) {
+		t.Fatalf("retired %d instructions (%#x), want %d", len(pcs), pcs, len(want))
+	}
+	for i := range want {
+		if pcs[i] != want[i] {
+			t.Errorf("pcs[%d] = %#x, want %#x", i, pcs[i], want[i])
+		}
+	}
+}
+
+func TestSyscallHook(t *testing.T) {
+	c := newCore(t, `
+		.org 0x1000
+	start:
+		syscall 7
+		hlt
+	`)
+	var got []uint8
+	c.OnSyscall = func(n uint8) error {
+		got = append(got, n)
+		return nil
+	}
+	run(t, c)
+	if len(got) != 1 || got[0] != 7 {
+		t.Errorf("syscalls = %v", got)
+	}
+}
+
+// TestBTBSpeedup is the fundamental timing channel: the second execution
+// of a direct jump is faster (smaller LBR delta) than the first because
+// the BTB predicts it.
+func TestBTBSpeedup(t *testing.T) {
+	c := newCore(t, `
+		.org 0x1000
+	start:
+		call fn
+		call fn
+		hlt
+		.org 0x2000
+	fn:
+		jmp8 tgt
+		.space 6, 0x01
+	tgt:
+		ret
+	`)
+	run(t, c)
+	// Per the paper's methodology (§2.3), the prediction outcome of the
+	// jump is read from the LBR delta of the *subsequent return*: a
+	// predicted jump retires back-to-back with the ret, a mispredicted
+	// one inserts a front-end bubble before it.
+	var retDeltas []uint64
+	for _, r := range c.LBR.Records() {
+		if r.From == 0x2008 { // the ret after the jump
+			retDeltas = append(retDeltas, r.Cycles)
+		}
+	}
+	if len(retDeltas) != 2 {
+		t.Fatalf("observed %d rets, want 2 (records: %+v)", len(retDeltas), c.LBR.Records())
+	}
+	if retDeltas[1] >= retDeltas[0] {
+		t.Errorf("ret delta after predicted jump (%d) should be < after unpredicted (%d)", retDeltas[1], retDeltas[0])
+	}
+	if _, ok := c.BTB.EntryAt(0x2001); !ok {
+		t.Error("jump should have a BTB entry after execution")
+	}
+}
+
+// TestExperiment1FalseHitDealloc reproduces the §2.3 mechanism: a BTB
+// entry allocated by a 2-byte jump in one 4 GiB region is deallocated by
+// the execution of plain nops in another region that alias its address.
+func TestExperiment1FalseHitDealloc(t *testing.T) {
+	c := newCore(t, `
+		.org 0x10000
+	start:
+		movabs r1, f1
+		callr r1
+		movabs r2, f2
+		callr r2
+		hlt
+
+		.org 0x400000
+	f1:
+		jmp8 l1          ; occupies [0x400000, 0x400001]
+		.space 4, 0x01
+	l1:
+		ret
+
+		.org 0x100400000 ; f1 + 4 GiB: aliases on SkyLake geometry
+	f2:
+		nop
+		nop
+		nop
+		nop
+		ret
+	`)
+	// Run until after the first call returns: the entry must exist.
+	for c.PC() != 0x10000+10+2 { // after callr r1 retires, pc = movabs r2
+		if _, err := c.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, ok := c.BTB.EntryAt(0x40_0001); !ok {
+		t.Fatal("jmp8 should have allocated a BTB entry")
+	}
+	run(t, c)
+	if _, ok := c.BTB.EntryAt(0x40_0001); ok {
+		t.Error("nop execution 4 GiB away must deallocate the aliased entry (Takeaway 1)")
+	}
+	if c.FalseHits() == 0 {
+		t.Error("false-hit counter should have incremented")
+	}
+}
+
+// TestExperiment1NoCollision is the control: nops that start past the
+// entry's offset leave the entry alone.
+func TestExperiment1NoCollision(t *testing.T) {
+	c := newCore(t, `
+		.org 0x10000
+	start:
+		movabs r1, f1
+		callr r1
+		movabs r2, f2
+		callr r2
+		hlt
+
+		.org 0x400000
+	f1:
+		jmp8 l1          ; entry keyed at 0x400001 (offset 1)
+		.space 4, 0x01
+	l1:
+		ret
+
+		.org 0x100400004 ; offset 4 > 1: no collision
+	f2:
+		nop
+		nop
+		ret
+	`)
+	run(t, c)
+	if _, ok := c.BTB.EntryAt(0x40_0001); !ok {
+		t.Error("non-overlapping nops must not deallocate the entry")
+	}
+}
+
+// TestExperiment2RangeSemantics reproduces the §2.4 mechanism: entering
+// a nop run at offset F1 <= F2+1 uses the aliased entry allocated by a
+// jump at offset F2 in another region, causing a false hit; entering
+// past it does not.
+func TestExperiment2RangeSemantics(t *testing.T) {
+	build := func(f1 uint64) *cpu.Core {
+		// Block at 0x500000. j1 occupies [0x50001e, 0x50001f]. The
+		// aliased jump j2 occupies offsets [0x10, 0x11] 4 GiB higher.
+		return newCore(t, `
+			.org 0x10000
+		start:
+			movabs r1, j1
+			callr r1
+			movabs r2, f2
+			callr r2
+			movabs r3, `+hex(0x50_0000+f1)+`
+			callr r3
+			hlt
+
+			.org 0x500000
+		f1base:
+			.space 0x1e, 0x01
+		j1:
+			jmp8 l1
+		l1:
+			ret
+
+			.org 0x100500010
+		f2:
+			jmp8 l2
+		l2:
+			ret
+		`)
+	}
+
+	// F1 = 0x08 <= F2+1 = 0x11: the j2 entry false-hits and dies.
+	c := build(0x08)
+	run(t, c)
+	if _, ok := c.BTB.EntryAt(0x1_0050_0011); ok {
+		t.Error("entering the PW below the aliased entry must deallocate it")
+	}
+	if _, ok := c.BTB.EntryAt(0x50_001f); !ok {
+		t.Error("the in-region jump's entry must survive")
+	}
+
+	// F1 = 0x14 > 0x11: the j2 entry survives.
+	c = build(0x14)
+	run(t, c)
+	if _, ok := c.BTB.EntryAt(0x1_0050_0011); !ok {
+		t.Error("entering the PW above the aliased entry must leave it alone")
+	}
+}
+
+func hex(v uint64) string {
+	const digits = "0123456789abcdef"
+	buf := []byte("0x")
+	started := false
+	for shift := 60; shift >= 0; shift -= 4 {
+		d := (v >> uint(shift)) & 0xf
+		if d != 0 {
+			started = true
+		}
+		if started {
+			buf = append(buf, digits[d])
+		}
+	}
+	if !started {
+		buf = append(buf, '0')
+	}
+	return string(buf)
+}
+
+// TestMacroFusion verifies that cmp+Jcc retires as a single step — the
+// paper's single-stepping measurement-error source (§7.3).
+func TestMacroFusion(t *testing.T) {
+	c := newCore(t, `
+		.org 0x1000
+	start:
+		movi r1, 1
+		cmp r1, r2
+		jnz skip
+		nop
+	skip:
+		hlt
+	`)
+	steps := 0
+	insts := 0
+	c.OnRetire = func(pc uint64, in isa.Inst) { insts++ }
+	for !c.Halted() {
+		if _, err := c.Step(); err != nil {
+			if err == cpu.ErrHalted {
+				break
+			}
+			t.Fatal(err)
+		}
+		steps++
+	}
+	// movi, (cmp+jnz fused), hlt = 3 steps but 4 retired instructions.
+	if insts != 4 {
+		t.Errorf("retired %d instructions, want 4", insts)
+	}
+	if steps != 3 {
+		t.Errorf("architectural steps = %d, want 3 (fusion)", steps)
+	}
+}
+
+func TestMacroFusionDisabled(t *testing.T) {
+	p := asm.MustAssemble(`
+		.org 0x1000
+	start:
+		movi r1, 1
+		cmp r1, r2
+		jnz skip
+		nop
+	skip:
+		hlt
+	`)
+	m := mem.New()
+	p.LoadInto(m)
+	cfg := cpu.DefaultConfig()
+	cfg.NoMacroFusion = true
+	c := cpu.New(cfg, m)
+	c.SetPC(0x1000)
+	steps := 0
+	for !c.Halted() {
+		if _, err := c.Step(); err != nil {
+			break
+		}
+		steps++
+	}
+	if steps != 4 {
+		t.Errorf("steps = %d, want 4 without fusion", steps)
+	}
+}
+
+// TestSpeculativeFetchAhead: single-stepping still lets the front end
+// run ahead, so BTB effects from *unretired* successor instructions are
+// visible — the §6.3 speculation effect.
+func TestSpeculativeFetchAhead(t *testing.T) {
+	c := newCore(t, `
+		.org 0x10000
+	start:
+		movabs r1, f1
+		callr r1
+		hlt
+		.org 0x400000      ; victim-analog: nops aliasing a planted entry
+	f1:
+		nop
+		nop
+		nop
+		ret
+	`)
+	// Plant an attacker-style entry whose key aliases f1's second nop.
+	c.BTB.Update(0x1_0040_0001, 0x42, isa.KindJump)
+	// Step until only the FIRST nop has retired: the aliasing nop at
+	// f1+1 has not retired, but its PW has been fetched.
+	for c.Retired() < 3 {
+		if _, err := c.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, ok := c.BTB.EntryAt(0x1_0040_0001); ok {
+		t.Error("fetch-ahead should have false-hit the planted entry before the aliasing nop retired")
+	}
+}
+
+func TestInterruptResumes(t *testing.T) {
+	c := newCore(t, `
+		.org 0x1000
+	start:
+		movi r1, 3
+	loop:
+		subi r1, 1
+		jnz loop
+		hlt
+	`)
+	for i := 0; i < 3; i++ {
+		if _, err := c.Step(); err != nil {
+			t.Fatal(err)
+		}
+		before := c.Cycle()
+		c.Interrupt()
+		_ = before
+	}
+	run(t, c)
+	if c.Reg(isa.R1) != 0 {
+		t.Errorf("r1 = %d, want 0 (interrupts must not corrupt execution)", c.Reg(isa.R1))
+	}
+}
+
+func TestContextSwitchPreservesBTB(t *testing.T) {
+	c := newCore(t, `
+		.org 0x1000
+	start:
+		call fn
+		hlt
+	fn:
+		ret
+		.org 0x2000
+	other:
+		movi r5, 77
+		hlt
+	`)
+	run(t, c)
+	entries := c.BTB.ValidCount()
+	if entries == 0 {
+		t.Fatal("setup: expected BTB entries from process A")
+	}
+	var saved cpu.ArchState
+	next := cpu.ArchState{PC: 0x2000}
+	next.Regs[isa.SP] = stackTop
+	c.ContextSwitch(&saved, &next)
+	run(t, c)
+	if c.Reg(isa.R5) != 77 {
+		t.Errorf("process B r5 = %d", c.Reg(isa.R5))
+	}
+	if c.BTB.ValidCount() == 0 {
+		t.Error("context switch must NOT flush the BTB — that is the attack surface")
+	}
+	// Switch back and verify process A state was preserved.
+	c.ContextSwitch(nil, &saved)
+	if !c.Halted() {
+		t.Error("process A was halted at switch-out")
+	}
+}
+
+func TestLBRSuppression(t *testing.T) {
+	c := newCore(t, `
+		.org 0x1000
+	start:
+		call fn
+		hlt
+	fn:
+		ret
+	`)
+	c.LBRSuppress = func(pc uint64) bool { return true }
+	run(t, c)
+	if len(c.LBR.Records()) != 0 {
+		t.Errorf("suppressed LBR recorded %d entries", len(c.LBR.Records()))
+	}
+}
+
+// TestRetireBandwidth checks that straight-line cycle counts grow with
+// instruction count — the decreasing slope of the blue line in Fig. 4.
+func TestRetireBandwidth(t *testing.T) {
+	cycles := func(nops int) uint64 {
+		b := asm.NewBuilder(0x1000)
+		b.Label("start").Nops(nops)
+		b.Inst(isa.Hlt())
+		p, err := b.Build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		m := mem.New()
+		p.LoadInto(m)
+		c := cpu.New(cpu.Config{}, m)
+		c.SetPC(0x1000)
+		if _, err := c.Run(10000); err != nil {
+			t.Fatal(err)
+		}
+		return c.Cycle()
+	}
+	short, long := cycles(8), cycles(128)
+	if long <= short {
+		t.Errorf("128 nops (%d cyc) should take longer than 8 nops (%d cyc)", long, short)
+	}
+	if long-short < 20 {
+		t.Errorf("cycle growth %d too small for 120 extra instructions", long-short)
+	}
+}
+
+func TestMispredictPenaltyVisible(t *testing.T) {
+	// A conditional branch alternating taken/not-taken mispredicts; its
+	// LBR records must carry the mispredict bit on first taken execution.
+	c := newCore(t, `
+		.org 0x1000
+	start:
+		movi r1, 1
+		cmp r1, r2      ; 1 != 0 → jnz taken
+		jnz out
+		nop
+	out:
+		hlt
+	`)
+	run(t, c)
+	recs := c.LBR.Records()
+	found := false
+	for _, r := range recs {
+		if r.MispredValid && r.Mispredicted {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("first-seen taken conditional should be a recorded mispredict: %+v", recs)
+	}
+}

@@ -1,0 +1,49 @@
+package cpu
+
+// dirPredictor is a bimodal (2-bit saturating counter) conditional
+// direction predictor, consulted when the BTB recognizes a conditional
+// branch at fetch. It is optional (Config.DirPredictor): the baseline
+// model predicts "taken on BTB hit", which is what the NightVision
+// experiments assume; the predictor exists to study how direction
+// prediction changes the wrong-path fetch artifacts that the leakage
+// decision rule (experiments/usecase1.go) keys on.
+type dirPredictor struct {
+	counters []uint8 // 2-bit saturating, >=2 predicts taken
+	mask     uint64
+}
+
+const dirPredEntries = 4096
+
+func newDirPredictor() *dirPredictor {
+	d := &dirPredictor{
+		counters: make([]uint8, dirPredEntries),
+		mask:     dirPredEntries - 1,
+	}
+	// Weakly taken initial state: a branch with a BTB entry was taken
+	// at least once.
+	for i := range d.counters {
+		d.counters[i] = 2
+	}
+	return d
+}
+
+func (d *dirPredictor) index(pc uint64) uint64 {
+	return (pc ^ pc>>13) & d.mask
+}
+
+// predictTaken returns the predicted direction for the branch at pc.
+func (d *dirPredictor) predictTaken(pc uint64) bool {
+	return d.counters[d.index(pc)] >= 2
+}
+
+// update trains the counter with the resolved direction.
+func (d *dirPredictor) update(pc uint64, taken bool) {
+	c := &d.counters[d.index(pc)]
+	if taken {
+		if *c < 3 {
+			*c++
+		}
+	} else if *c > 0 {
+		*c--
+	}
+}

@@ -1,0 +1,97 @@
+package cpu_test
+
+import (
+	"testing"
+
+	"repro/internal/asm"
+	"repro/internal/cpu"
+	"repro/internal/isa"
+	"repro/internal/mem"
+)
+
+// biasedBranchSrc executes a branch once taken, then heavily not-taken:
+// the worst case for the baseline "taken on BTB hit" policy and the
+// best case for a bimodal predictor.
+const biasedBranchSrc = `
+	.org 0x1000
+start:
+	movi r1, 40
+	movi r2, 39     ; branch taken only on the first iteration
+loop:
+	cmp r1, r2
+	jg8 skip         ; true once (r1=40 > 39), then r1 < r2
+	nop
+	nop
+skip:
+	subi r1, 1
+	cmpi r1, 0
+	jnz loop
+	hlt
+`
+
+func runWith(t *testing.T, dirPred bool) uint64 {
+	t.Helper()
+	p := asm.MustAssemble(biasedBranchSrc)
+	m := mem.New()
+	p.LoadInto(m)
+	cfg := cpu.DefaultConfig()
+	cfg.DirPredictor = dirPred
+	c := cpu.New(cfg, m)
+	c.SetPC(p.MustLabel("start"))
+	if _, err := c.Run(10_000); err != nil {
+		t.Fatal(err)
+	}
+	if c.Reg(isa.R1) != 0 {
+		t.Fatalf("dirPred=%v: r1 = %d, want 0 (semantics must not change)", dirPred, c.Reg(isa.R1))
+	}
+	return c.Squashes()
+}
+
+// TestDirPredictorReducesSquashes: with the predictor, the biased
+// branch stops being predicted taken and squashes drop.
+func TestDirPredictorReducesSquashes(t *testing.T) {
+	base := runWith(t, false)
+	pred := runWith(t, true)
+	if pred >= base {
+		t.Errorf("squashes: predictor %d, baseline %d — predictor should reduce them", pred, base)
+	}
+}
+
+// TestDirPredictorPreservesExperiments: the Figure-1-style deallocation
+// mechanism is orthogonal to direction prediction and must keep working.
+func TestDirPredictorPreservesExperiments(t *testing.T) {
+	p := asm.MustAssemble(`
+		.org 0x10000
+	start:
+		movabs r1, f1
+		callr r1
+		movabs r2, f2
+		callr r2
+		hlt
+		.org 0x400000
+	f1:
+		jmp8 l1
+		.space 4, 0x01
+	l1:
+		ret
+		.org 0x100400000
+	f2:
+		nop
+		nop
+		ret
+	`)
+	m := mem.New()
+	p.LoadInto(m)
+	m.Map(0x7f_0000, 0x1000, mem.PermRW)
+	cfg := cpu.DefaultConfig()
+	cfg.DirPredictor = true
+	c := cpu.New(cfg, m)
+	c.SetReg(isa.SP, 0x7f_1000)
+	c.SetPC(p.MustLabel("start"))
+	if _, err := c.Run(10_000); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.BTB.EntryAt(0x40_0001); ok {
+		t.Error("aliased nops must still deallocate the entry with the predictor enabled")
+	}
+}

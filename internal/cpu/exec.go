@@ -1,0 +1,448 @@
+package cpu
+
+import (
+	"fmt"
+
+	"repro/internal/isa"
+)
+
+// Step retires one architectural step: one instruction, or one
+// macro-fused cmp+branch pair (which is exactly how hardware single-
+// stepping behaves, and the source of the paper's §7.3 measurement
+// error). It returns a description of what retired.
+func (c *Core) Step() (StepInfo, error) {
+	if c.halted {
+		return StepInfo{}, ErrHalted
+	}
+	if err := c.ensureHead(); err != nil {
+		return StepInfo{}, err
+	}
+	head := c.queue[0]
+
+	if head.fusedWithNext && len(c.queue) >= 2 {
+		// Retire the fused pair atomically in one cycle slot.
+		lead, br := c.queue[0], c.queue[1]
+		c.queue = c.queue[2:]
+		retire := c.scheduleRetire(lead, 0)
+		info, err := c.execute(lead, retire)
+		if err != nil {
+			return info, err
+		}
+		brInfo, err := c.execute(br, retire)
+		if err != nil {
+			return brInfo, err
+		}
+		brInfo.Fused = true
+		brInfo.FusedPC = brInfo.PC
+		brInfo.FusedInst = brInfo.Inst
+		brInfo.PC = info.PC
+		brInfo.Inst = info.Inst
+		return brInfo, nil
+	}
+
+	c.queue = c.queue[1:]
+	retire := c.scheduleRetire(head, c.execLatency(head.in))
+	return c.execute(head, retire)
+}
+
+// Run steps until the core halts, an error occurs, or maxSteps is
+// exceeded (0 means no limit). It returns the number of architectural
+// steps taken.
+func (c *Core) Run(maxSteps uint64) (uint64, error) {
+	steps := uint64(0)
+	for {
+		if maxSteps > 0 && steps >= maxSteps {
+			return steps, fmt.Errorf("cpu: exceeded %d steps", maxSteps)
+		}
+		if _, err := c.Step(); err != nil {
+			if err == ErrHalted {
+				return steps, nil
+			}
+			return steps, err
+		}
+		steps++
+	}
+}
+
+// ensureHead guarantees at least one instruction is in the queue,
+// resolving architectural fetch faults if the front end stalled.
+func (c *Core) ensureHead() error {
+	c.fillQueue()
+	for len(c.queue) == 0 {
+		// The front end stalled before producing the next architectural
+		// instruction: resolve the stall architecturally (this is where
+		// real page faults are raised and controlled-channel handlers
+		// run).
+		if err := c.resolveArchFetch(); err != nil {
+			return err
+		}
+		c.fetchStalled = false
+		c.fillQueue()
+	}
+	return nil
+}
+
+// resolveArchFetch performs an architectural fetch of the instruction at
+// c.pc, invoking the memory fault handler on permission failures and
+// reporting unresolved faults or undecodable bytes.
+func (c *Core) resolveArchFetch() error {
+	if c.fetchPC != c.pc {
+		// The stall happened on a speculative path that is no longer
+		// architectural; restart fetch at the architectural pc.
+		c.squashTo(c.pc, 0)
+	}
+	var buf [isa.MaxLen]byte
+	n := 0
+	for n < isa.MaxLen {
+		if err := c.Mem.FetchBytes(c.pc+uint64(n), buf[n:n+1]); err != nil {
+			if n == 0 {
+				return err
+			}
+			break
+		}
+		n++
+		if in, derr := isa.Decode(buf[:n]); derr == nil {
+			_ = in
+			c.fetchStalled = false
+			return nil
+		}
+	}
+	return &InvalidInstError{PC: c.pc}
+}
+
+// execLatency returns the extra retire latency of long operations.
+func (c *Core) execLatency(in isa.Inst) uint64 {
+	switch in.Op {
+	case isa.OpMulRR:
+		return c.cfg.MulLatency
+	case isa.OpDivRR:
+		return c.cfg.DivLatency
+	case isa.OpLd8, isa.OpLd32:
+		return c.cfg.LoadLatency
+	}
+	return 0
+}
+
+// scheduleRetire assigns a retirement cycle to a slot, honoring pipeline
+// depth, execution latency and retire bandwidth.
+func (c *Core) scheduleRetire(s slot, extraLat uint64) uint64 {
+	candidate := s.fetchCycle + c.cfg.PipeDepth + extraLat
+	switch {
+	case candidate > c.retireClock:
+		c.retireClock = candidate
+		c.retiredInCyc = 1
+	case c.retiredInCyc < c.cfg.RetireWidth:
+		c.retiredInCyc++
+	default:
+		c.retireClock++
+		c.retiredInCyc = 1
+	}
+	return c.retireClock
+}
+
+// execute runs one instruction's semantics, verifies the front end's
+// prediction, performs execute-time BTB updates and LBR recording, and
+// advances the architectural pc.
+func (c *Core) execute(s slot, retire uint64) (StepInfo, error) {
+	in := s.in
+	pc := s.pc
+	if !in.Op.Valid() {
+		// A pseudo-instruction from undecodable bytes reached
+		// retirement: the architectural #UD.
+		return StepInfo{}, &InvalidInstError{PC: pc}
+	}
+	fallthrough_ := pc + uint64(in.Size)
+	actualNext := fallthrough_
+	taken := false
+	var target uint64
+
+	setZS := func(v uint64) {
+		c.flags.Z = v == 0
+		c.flags.S = int64(v) < 0
+	}
+
+	switch in.Op {
+	case isa.OpNop:
+	case isa.OpHlt:
+		c.halted = true
+	case isa.OpSyscall:
+		if c.OnSyscall != nil {
+			if err := c.OnSyscall(uint8(in.Imm)); err != nil {
+				return StepInfo{}, err
+			}
+		}
+
+	case isa.OpMovRR:
+		c.regs[in.Dst] = c.regs[in.Src]
+	case isa.OpMovImm32, isa.OpMovImm64:
+		c.regs[in.Dst] = uint64(in.Imm)
+	case isa.OpCmovz:
+		if c.flags.Z {
+			c.regs[in.Dst] = c.regs[in.Src]
+		}
+	case isa.OpCmovnz:
+		if !c.flags.Z {
+			c.regs[in.Dst] = c.regs[in.Src]
+		}
+	case isa.OpCmovc:
+		if c.flags.C {
+			c.regs[in.Dst] = c.regs[in.Src]
+		}
+	case isa.OpCmovnc:
+		if !c.flags.C {
+			c.regs[in.Dst] = c.regs[in.Src]
+		}
+
+	case isa.OpAddRR, isa.OpAddI8, isa.OpAddI32:
+		a := c.regs[in.Dst]
+		b := c.operand2(in)
+		r := a + b
+		c.regs[in.Dst] = r
+		setZS(r)
+		c.flags.C = r < a
+		c.flags.O = (int64(a) >= 0) == (int64(b) >= 0) && (int64(r) >= 0) != (int64(a) >= 0)
+	case isa.OpSubRR, isa.OpSubI8, isa.OpSubI32:
+		a := c.regs[in.Dst]
+		b := c.operand2(in)
+		r := a - b
+		c.regs[in.Dst] = r
+		setZS(r)
+		c.flags.C = a < b
+		c.flags.O = (int64(a) >= 0) != (int64(b) >= 0) && (int64(r) >= 0) != (int64(a) >= 0)
+	case isa.OpCmpRR, isa.OpCmpI8, isa.OpCmpI32:
+		a := c.regs[in.Dst]
+		b := c.operand2(in)
+		r := a - b
+		setZS(r)
+		c.flags.C = a < b
+		c.flags.O = (int64(a) >= 0) != (int64(b) >= 0) && (int64(r) >= 0) != (int64(a) >= 0)
+	case isa.OpAndRR, isa.OpAndI8, isa.OpAndI32:
+		r := c.regs[in.Dst] & c.operand2(in)
+		c.regs[in.Dst] = r
+		setZS(r)
+		c.flags.C, c.flags.O = false, false
+	case isa.OpOrRR, isa.OpOrI8, isa.OpOrI32:
+		r := c.regs[in.Dst] | c.operand2(in)
+		c.regs[in.Dst] = r
+		setZS(r)
+		c.flags.C, c.flags.O = false, false
+	case isa.OpXorRR, isa.OpXorI8, isa.OpXorI32:
+		r := c.regs[in.Dst] ^ c.operand2(in)
+		c.regs[in.Dst] = r
+		setZS(r)
+		c.flags.C, c.flags.O = false, false
+	case isa.OpTestRR:
+		r := c.regs[in.Dst] & c.regs[in.Src]
+		setZS(r)
+		c.flags.C, c.flags.O = false, false
+	case isa.OpMulRR:
+		hi, lo := mul128(c.regs[in.Dst], c.regs[in.Src])
+		c.regs[in.Dst] = lo
+		setZS(lo)
+		c.flags.C = hi != 0
+		c.flags.O = hi != 0
+	case isa.OpDivRR:
+		d := c.regs[in.Src]
+		if d == 0 {
+			return StepInfo{}, fmt.Errorf("cpu: divide by zero at %#x", pc)
+		}
+		c.regs[in.Dst] /= d
+	case isa.OpShlI8:
+		r := c.regs[in.Dst] << uint(in.Imm&63)
+		c.regs[in.Dst] = r
+		setZS(r)
+	case isa.OpShrI8:
+		r := c.regs[in.Dst] >> uint(in.Imm&63)
+		c.regs[in.Dst] = r
+		setZS(r)
+	case isa.OpShlRR:
+		r := c.regs[in.Dst] << (c.regs[in.Src] & 63)
+		c.regs[in.Dst] = r
+		setZS(r)
+	case isa.OpShrRR:
+		r := c.regs[in.Dst] >> (c.regs[in.Src] & 63)
+		c.regs[in.Dst] = r
+		setZS(r)
+	case isa.OpSarI8:
+		r := uint64(int64(c.regs[in.Dst]) >> uint(in.Imm&63))
+		c.regs[in.Dst] = r
+		setZS(r)
+	case isa.OpLea32:
+		c.regs[in.Dst] = c.regs[in.Src] + uint64(in.Imm)
+
+	case isa.OpLd8, isa.OpLd32:
+		v, err := c.Mem.Read64(c.regs[in.Src] + uint64(in.Imm))
+		if err != nil {
+			return StepInfo{}, err
+		}
+		c.regs[in.Dst] = v
+	case isa.OpSt8, isa.OpSt32:
+		if err := c.Mem.Write64(c.regs[in.Src]+uint64(in.Imm), c.regs[in.Dst]); err != nil {
+			return StepInfo{}, err
+		}
+	case isa.OpPush:
+		c.regs[isa.SP] -= 8
+		if err := c.Mem.Write64(c.regs[isa.SP], c.regs[in.Dst]); err != nil {
+			return StepInfo{}, err
+		}
+	case isa.OpPop:
+		v, err := c.Mem.Read64(c.regs[isa.SP])
+		if err != nil {
+			return StepInfo{}, err
+		}
+		c.regs[in.Dst] = v
+		c.regs[isa.SP] += 8
+
+	case isa.OpJmp8, isa.OpJmp32:
+		taken = true
+		target = in.BranchTarget(pc)
+	case isa.OpCall32:
+		c.regs[isa.SP] -= 8
+		if err := c.Mem.Write64(c.regs[isa.SP], fallthrough_); err != nil {
+			return StepInfo{}, err
+		}
+		taken = true
+		target = in.BranchTarget(pc)
+		c.rasPush(&c.archRAS, fallthrough_)
+	case isa.OpJmpReg:
+		taken = true
+		target = c.regs[in.Dst]
+	case isa.OpCallReg:
+		c.regs[isa.SP] -= 8
+		if err := c.Mem.Write64(c.regs[isa.SP], fallthrough_); err != nil {
+			return StepInfo{}, err
+		}
+		taken = true
+		target = c.regs[in.Dst]
+		c.rasPush(&c.archRAS, fallthrough_)
+	case isa.OpRet:
+		v, err := c.Mem.Read64(c.regs[isa.SP])
+		if err != nil {
+			return StepInfo{}, err
+		}
+		c.regs[isa.SP] += 8
+		taken = true
+		target = v
+		c.rasPop(&c.archRAS)
+
+	default:
+		if in.Kind() == isa.KindCond {
+			if c.condTrue(in.Op.CondCode()) {
+				taken = true
+				target = in.BranchTarget(pc)
+			}
+		} else {
+			return StepInfo{}, fmt.Errorf("cpu: unimplemented opcode %s at %#x", in.Op.Name(), pc)
+		}
+	}
+
+	if taken {
+		actualNext = target
+	}
+	if c.dirPred != nil && kindIsCond(in) {
+		c.dirPred.update(pc, taken)
+	}
+	c.pc = actualNext
+	c.retired++
+
+	kind := in.Kind()
+	mispredicted := actualNext != s.nextPredicted
+	if mispredicted {
+		// Execute-time squash: flush the wrong path and resteer.
+		c.squashTo(actualNext, c.cfg.ExecMispredictPenalty)
+	}
+
+	// Execute-time BTB learning for taken transfers the decoder could
+	// not resolve: conditional directions, indirect targets, and return
+	// positions (the ret's entry marks where a return lives; the RAS
+	// supplies targets at fetch). Direct jumps/calls learned at decode.
+	if taken {
+		switch kind {
+		case isa.KindCond, isa.KindIndJump, isa.KindIndCall, isa.KindRet:
+			if mispredicted || !s.btbHit {
+				c.BTB.Update(in.LastByte(pc), target, kind)
+			}
+		}
+	}
+
+	// LBR: taken control transfers only, unless suppressed (enclave
+	// mode).
+	if taken && (c.LBRSuppress == nil || !c.LBRSuppress(pc)) {
+		condBranch := kind == isa.KindCond
+		c.LBR.RecordBranch(pc, target, retire, mispredicted, condBranch)
+	}
+
+	if c.OnRetire != nil {
+		c.OnRetire(pc, in)
+	}
+
+	info := StepInfo{
+		PC:          pc,
+		Inst:        in,
+		RetireCycle: retire,
+		Taken:       taken,
+		Target:      target,
+	}
+	if c.halted {
+		info.Taken = false
+	}
+	return info, nil
+}
+
+func kindIsCond(in isa.Inst) bool { return in.Kind() == isa.KindCond }
+
+// operand2 returns the second ALU operand: a register for reg-reg forms,
+// the immediate otherwise.
+func (c *Core) operand2(in isa.Inst) uint64 {
+	switch in.Op.Format() {
+	case isa.FmtRegReg:
+		return c.regs[in.Src]
+	default:
+		return uint64(in.Imm)
+	}
+}
+
+// condTrue evaluates a condition code against the flags.
+func (c *Core) condTrue(cc isa.Cond) bool {
+	f := c.flags
+	switch cc {
+	case isa.CondZ:
+		return f.Z
+	case isa.CondNZ:
+		return !f.Z
+	case isa.CondC:
+		return f.C
+	case isa.CondNC:
+		return !f.C
+	case isa.CondL:
+		return f.S != f.O
+	case isa.CondGE:
+		return f.S == f.O
+	case isa.CondLE:
+		return f.Z || f.S != f.O
+	case isa.CondG:
+		return !f.Z && f.S == f.O
+	case isa.CondS:
+		return f.S
+	case isa.CondNS:
+		return !f.S
+	}
+	return false
+}
+
+// mul128 returns the 128-bit product of a and b.
+func mul128(a, b uint64) (hi, lo uint64) {
+	const mask = 0xFFFFFFFF
+	a0, a1 := a&mask, a>>32
+	b0, b1 := b&mask, b>>32
+	t := a0 * b0
+	lo = t & mask
+	carry := t >> 32
+	t = a1*b0 + carry
+	m1 := t & mask
+	hi = t >> 32
+	t = a0*b1 + m1
+	lo |= (t & mask) << 32
+	hi += a1*b1 + t>>32
+	return hi, lo
+}

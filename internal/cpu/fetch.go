@@ -1,0 +1,337 @@
+package cpu
+
+import (
+	"repro/internal/btb"
+	"repro/internal/isa"
+	"repro/internal/mem"
+)
+
+// noPrediction marks a control transfer the front end could not predict
+// (empty RAS, unknown indirect target). Execution always "mispredicts"
+// such slots, modeling the fetch stall until resolution.
+const noPrediction = ^uint64(0)
+
+// pwSpan returns how many prediction windows the queue currently spans.
+func (c *Core) pwSpan() int {
+	if len(c.queue) == 0 {
+		return 0
+	}
+	return int(c.queue[len(c.queue)-1].pwid - c.queue[0].pwid + 1)
+}
+
+// fillQueue lets the front end run ahead until it spans FetchAheadPWs
+// prediction windows, stalls, or stops at an unresolvable redirect.
+func (c *Core) fillQueue() {
+	for !c.fetchStalled && !c.fetchStopped && c.pwSpan() < c.cfg.FetchAheadPWs {
+		c.fetchPW()
+	}
+}
+
+// specFetch reads up to isa.MaxLen instruction bytes at pc without
+// triggering architectural faults: page permissions are only probed.
+// It returns the bytes readable under execute permission (possibly
+// fewer than requested, possibly none).
+func (c *Core) specFetch(pc uint64) []byte {
+	var buf [isa.MaxLen]byte
+	n := 0
+	for n < isa.MaxLen {
+		perm, ok := c.Mem.PermAt(pc + uint64(n))
+		if !ok || perm&mem.PermX == 0 || perm&mem.PermR == 0 {
+			break
+		}
+		// Read the remainder of this page in one go.
+		pageEnd := ((pc + uint64(n)) | (mem.PageSize - 1)) + 1
+		take := int(pageEnd - (pc + uint64(n)))
+		if take > isa.MaxLen-n {
+			take = isa.MaxLen - n
+		}
+		if err := c.Mem.ReadBytes(pc+uint64(n), buf[n:n+take]); err != nil {
+			break
+		}
+		n += take
+	}
+	return buf[:n]
+}
+
+// fetchPW fetches and decodes one prediction window starting at
+// c.fetchPC, enqueueing decoded instructions. It implements the BTB
+// access semantics of §2.4 and the false-hit deallocation of §2.3.
+func (c *Core) fetchPW() {
+	pc := c.fetchPC
+	pwid := c.nextPWID
+	c.nextPWID++
+	fetchCycle := c.fetchClock
+	// The PW occupies the decoders for a number of cycles proportional
+	// to its instruction count (decode width = retire width); resteer
+	// penalties accumulate on top inside the loop.
+	nDecoded := 0
+	defer func() {
+		w := c.cfg.RetireWidth
+		cycles := (nDecoded + w - 1) / w
+		if cycles < 1 {
+			cycles = 1
+		}
+		c.fetchClock += uint64(cycles)
+	}()
+
+	blockSize := c.BTB.Config().BlockSize()
+	blockEnd := (pc | (blockSize - 1)) + 1
+
+	hit, ok := c.BTB.Lookup(pc)
+	cur := pc
+	for {
+		// A predicted branch byte strictly behind the decode point means
+		// the prediction pointed into the middle of an instruction we
+		// already consumed: a false hit. Deallocate and re-predict.
+		if ok && cur > hit.BranchPC {
+			c.falseHit(hit)
+			if cur >= blockEnd {
+				c.fetchPC = cur
+				return
+			}
+			hit, ok = c.BTB.Lookup(cur)
+			continue
+		}
+		if cur >= blockEnd {
+			// PW ends at the 32-byte boundary with no taken branch.
+			c.fetchPC = cur
+			return
+		}
+
+		buf := c.specFetch(cur)
+		if len(buf) == 0 {
+			c.fetchStalled = true
+			return
+		}
+		in, err := isa.Decode(buf)
+		if err != nil {
+			if len(buf) >= 1 && !isa.Op(buf[0]).Valid() {
+				// Undefined opcode: on x86 nearly every byte decodes to
+				// something, so the front end keeps walking. Model it as
+				// a 1-byte pseudo-instruction that faults if it ever
+				// reaches retirement. This keeps false-hit detection
+				// alive across padding and data bytes.
+				in = isa.Inst{Op: isa.Op(buf[0]), Size: 1}
+			} else {
+				// Valid opcode truncated by a permission boundary: a
+				// genuine fetch stall.
+				c.fetchStalled = true
+				return
+			}
+		}
+		last := in.LastByte(cur)
+
+		// Predicted branch byte inside this instruction but not at its
+		// end: the fetched bytes past the predicted "branch" are bogus;
+		// decode exposes the false hit.
+		if ok && last > hit.BranchPC {
+			c.falseHit(hit)
+			hit, ok = c.BTB.Lookup(cur)
+			continue
+		}
+		// An instruction spilling past the block boundary has its last
+		// byte indexed in the *next* block: consult the BTB there too
+		// (split-branch prediction). Entries pointing into the spilled
+		// tail are false hits.
+		if !ok && last >= blockEnd {
+			for {
+				h2, ok2 := c.BTB.Lookup(blockEnd)
+				if !ok2 || h2.BranchPC > last {
+					break
+				}
+				if h2.BranchPC == last {
+					hit, ok = h2, true
+					break
+				}
+				c.falseHit(h2) // predicted byte inside the spilled tail
+			}
+		}
+		atPrediction := ok && last == hit.BranchPC
+
+		switch kind := in.Kind(); kind {
+		case isa.KindOther, isa.KindHalt:
+			// The front end does not interpret hlt: fetch walks on
+			// through it exactly like any other non-control-transfer
+			// instruction (retirement stops the core later). This keeps
+			// false-hit detection live for predicted bytes beyond it.
+			if atPrediction {
+				// Takeaway 1: a non-control-transfer instruction at the
+				// predicted branch byte. Deallocate, pay the squash, and
+				// resteer to the instruction's own fall-through.
+				c.falseHit(hit)
+				nDecoded++
+				c.enqueue(slot{pc: cur, in: in, pwid: pwid, fetchCycle: fetchCycle, nextPredicted: cur + uint64(in.Size)})
+				cur += uint64(in.Size)
+				if cur >= blockEnd {
+					c.fetchPC = cur
+					return
+				}
+				hit, ok = c.BTB.Lookup(cur)
+				continue
+			}
+			nDecoded++
+			c.enqueue(slot{pc: cur, in: in, pwid: pwid, fetchCycle: fetchCycle, nextPredicted: cur + uint64(in.Size)})
+			cur += uint64(in.Size)
+
+		case isa.KindJump, isa.KindCall:
+			target := in.BranchTarget(cur)
+			if atPrediction {
+				if hit.Target != target {
+					// Stale target: decode corrects it (direct targets
+					// resolve in decode) at resteer cost.
+					c.decodeResteer()
+					c.BTB.Update(last, target, kind)
+				}
+			} else {
+				// Unpredicted direct transfer: decode resteers and the
+				// BTB learns the branch — speculatively, before retire.
+				c.decodeResteer()
+				c.BTB.Update(last, target, kind)
+			}
+			if kind == isa.KindCall {
+				c.rasPush(&c.specRAS, cur+uint64(in.Size))
+			}
+			nDecoded++
+			c.enqueue(slot{pc: cur, in: in, pwid: pwid, fetchCycle: fetchCycle, nextPredicted: target, predictedTaken: true, btbHit: atPrediction})
+			c.fetchPC = target
+			return
+
+		case isa.KindCond:
+			if atPrediction && c.dirPred != nil && !c.dirPred.predictTaken(cur) {
+				// The direction predictor overrides the BTB's implicit
+				// taken prediction: fall through, keep the entry.
+				atPrediction = false
+			}
+			if atPrediction {
+				target := in.BranchTarget(cur)
+				if hit.Target != target {
+					c.decodeResteer()
+					c.BTB.Update(last, target, kind)
+				}
+				nDecoded++
+				c.enqueue(slot{pc: cur, in: in, pwid: pwid, fetchCycle: fetchCycle, nextPredicted: target, predictedTaken: true, btbHit: true})
+				c.fuseTail()
+				c.fetchPC = target
+				return
+			}
+			// No BTB entry: static not-taken, PW continues.
+			nDecoded++
+			c.enqueue(slot{pc: cur, in: in, pwid: pwid, fetchCycle: fetchCycle, nextPredicted: cur + uint64(in.Size)})
+			c.fuseTail()
+			cur += uint64(in.Size)
+
+		case isa.KindRet:
+			if atPrediction && hit.Kind != isa.KindRet {
+				// An aliased entry of the wrong kind predicted a branch
+				// at a ret's last byte; it can only mispredict, so it
+				// is dropped. A genuine ret entry stays: it marks the
+				// return's position while the RAS provides the target.
+				c.falseHit(hit)
+				atPrediction = false
+			}
+			pred, has := c.rasPop(&c.specRAS)
+			if !has {
+				pred = noPrediction
+			}
+			if !atPrediction {
+				// Returns occupy BTB entries on real hardware (the RSB
+				// only supplies targets). Allocation happens here, at
+				// decode — speculatively with respect to retirement —
+				// which is what makes a ret visible to a single-stepping
+				// NV-S probe before it retires (§6.3).
+				tgt := pred
+				if tgt == noPrediction {
+					tgt = 0
+				}
+				c.BTB.Update(last, tgt, isa.KindRet)
+			}
+			nDecoded++
+			c.enqueue(slot{pc: cur, in: in, pwid: pwid, fetchCycle: fetchCycle, nextPredicted: pred, predictedTaken: true, btbHit: atPrediction})
+			if pred == noPrediction {
+				c.fetchStopped = true
+				return
+			}
+			c.fetchPC = pred
+			return
+
+		case isa.KindIndJump, isa.KindIndCall:
+			if kind == isa.KindIndCall {
+				c.rasPush(&c.specRAS, cur+uint64(in.Size))
+			}
+			pred := noPrediction
+			if atPrediction {
+				pred = hit.Target
+			}
+			nDecoded++
+			c.enqueue(slot{pc: cur, in: in, pwid: pwid, fetchCycle: fetchCycle, nextPredicted: pred, predictedTaken: true, btbHit: atPrediction})
+			if pred == noPrediction {
+				c.fetchStopped = true
+				return
+			}
+			c.fetchPC = pred
+			return
+		}
+	}
+}
+
+// falseHit records a decode-time BTB false hit: the entry is
+// deallocated and the front end pays the squash penalty.
+func (c *Core) falseHit(h btb.Hit) {
+	if !c.cfg.NoFalseHitDealloc {
+		c.BTB.InvalidateHit(h)
+	}
+	c.falseHits++
+	c.squashes++
+	c.fetchClock += c.cfg.FalseHitPenalty
+}
+
+// decodeResteer charges the decode-redirect bubble.
+func (c *Core) decodeResteer() {
+	c.decodeResteers++
+	c.fetchClock += c.cfg.DecodeResteerPenalty
+}
+
+// enqueue appends a decoded instruction to the in-order queue.
+func (c *Core) enqueue(s slot) {
+	c.queue = append(c.queue, s)
+}
+
+// fuseTail marks the previous slot as macro-fused with the conditional
+// branch just enqueued, when fusion is enabled and the pair is a
+// cmp/test immediately followed by the branch in the same PW.
+func (c *Core) fuseTail() {
+	if c.cfg.NoMacroFusion || len(c.queue) < 2 {
+		return
+	}
+	br := &c.queue[len(c.queue)-1]
+	prev := &c.queue[len(c.queue)-2]
+	if prev.pwid != br.pwid {
+		return
+	}
+	if prev.pc+uint64(prev.in.Size) != br.pc {
+		return
+	}
+	switch prev.in.Op {
+	case isa.OpCmpRR, isa.OpTestRR, isa.OpCmpI8, isa.OpCmpI32:
+		prev.fusedWithNext = true
+	}
+}
+
+// rasPush pushes onto a bounded return-address stack.
+func (c *Core) rasPush(stack *[]uint64, v uint64) {
+	*stack = append(*stack, v)
+	if len(*stack) > c.cfg.RASDepth {
+		*stack = (*stack)[1:]
+	}
+}
+
+// rasPop pops a bounded return-address stack.
+func (c *Core) rasPop(stack *[]uint64) (uint64, bool) {
+	s := *stack
+	if len(s) == 0 {
+		return 0, false
+	}
+	v := s[len(s)-1]
+	*stack = s[:len(s)-1]
+	return v, true
+}

@@ -1,0 +1,222 @@
+package cpu_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/asm"
+	"repro/internal/cpu"
+	"repro/internal/isa"
+	"repro/internal/mem"
+)
+
+// TestAllConditionCodes exercises every conditional branch opcode in
+// both directions through compiled programs.
+func TestAllConditionCodes(t *testing.T) {
+	// Each case: set up flags via cmp a,b; branch should be taken iff
+	// want. Program returns 1 in r0 when taken.
+	type tc struct {
+		mnem string
+		a, b uint64
+		want bool
+	}
+	cases := []tc{
+		{"jz", 5, 5, true}, {"jz", 5, 6, false},
+		{"jnz", 5, 6, true}, {"jnz", 5, 5, false},
+		{"jc", 3, 9, true}, {"jc", 9, 3, false}, // unsigned below
+		{"jnc", 9, 3, true}, {"jnc", 3, 9, false},
+		{"jl", 3, 9, true}, {"jl", 9, 3, false}, // signed less
+		{"jge", 9, 3, true}, {"jge", 3, 9, false},
+		{"jle", 3, 3, true}, {"jle", 9, 3, false},
+		{"jg", 9, 3, true}, {"jg", 3, 3, false},
+		// rel8 variants, including sign-flag forms.
+		{"jz8", 7, 7, true},
+		{"jnz8", 7, 8, true},
+		{"jc8", 1, 2, true},
+		{"jnc8", 2, 1, true},
+		{"jl8", 1, 2, true},
+		{"jge8", 2, 1, true},
+		{"jle8", 1, 1, true},
+		{"jg8", 2, 1, true},
+	}
+	// Signed negative comparisons for jl/jg/js/jns.
+	signed := []tc{
+		{"jl", ^uint64(0), 1, true},   // -1 < 1 signed
+		{"jg", 1, ^uint64(0), true},   // 1 > -1 signed
+		{"jc", 1, ^uint64(0), true},   // 1 < max unsigned
+		{"jnc", ^uint64(0), 1, true},  // max >= 1 unsigned
+		{"js8", 1, 2, true},           // 1-2 negative → SF
+		{"jns8", 2, 1, true},          // 2-1 positive → !SF
+		{"js8", 2, 1, false},
+		{"jns8", 1, 2, false},
+	}
+	cases = append(cases, signed...)
+
+	for _, c := range cases {
+		src := `
+			.org 0x1000
+		start:
+			movabs r1, ` + hex(c.a) + `
+			movabs r2, ` + hex(c.b) + `
+			cmp r1, r2
+			` + c.mnem + ` taken
+			movi r0, 0
+			hlt
+		taken:
+			movi r0, 1
+			hlt
+		`
+		core := newCore(t, src)
+		run(t, core)
+		got := core.Reg(isa.R0) == 1
+		if got != c.want {
+			t.Errorf("%s cmp(%#x,%#x): taken=%v, want %v", c.mnem, c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestCmovVariants(t *testing.T) {
+	c := newCore(t, `
+		.org 0x1000
+	start:
+		movi r1, 1
+		movi r2, 2
+		movi r3, 0
+		movi r4, 0
+		movi r5, 0
+		movi r6, 0
+		cmp r1, r2      ; 1 < 2: !Z, C
+		cmovz  r3, r2   ; no
+		cmovnz r4, r2   ; yes
+		cmovc  r5, r2   ; yes
+		cmovnc r6, r2   ; no
+		hlt
+	`)
+	run(t, c)
+	want := map[isa.Reg]uint64{isa.R3: 0, isa.R4: 2, isa.R5: 2, isa.R6: 0}
+	for r, v := range want {
+		if got := c.Reg(r); got != v {
+			t.Errorf("%s = %d, want %d", r, got, v)
+		}
+	}
+}
+
+func TestVariableShiftsAndSar(t *testing.T) {
+	c := newCore(t, `
+		.org 0x1000
+	start:
+		movi r1, 1
+		movi r2, 12
+		shlr r1, r2      ; 1 << 12
+		movabs r3, 0x8000000000000000
+		sar r3, 63       ; arithmetic: -1
+		movi r4, 64
+		shrr r1, r4      ; shift by 64 & 63 = 0: unchanged
+		hlt
+	`)
+	run(t, c)
+	if c.Reg(isa.R1) != 1<<12 {
+		t.Errorf("shlr/shrr r1 = %#x", c.Reg(isa.R1))
+	}
+	if c.Reg(isa.R3) != ^uint64(0) {
+		t.Errorf("sar r3 = %#x, want all ones", c.Reg(isa.R3))
+	}
+}
+
+func TestCoreAccessors(t *testing.T) {
+	m := mem.New()
+	asm.MustAssemble(".org 0x1000\nstart: cmpi r1, 1\nhlt").LoadInto(m)
+	c := cpu.New(cpu.Config{}, m)
+	if c.Config().RetireWidth != cpu.DefaultConfig().RetireWidth {
+		t.Error("Config should report effective defaults")
+	}
+	c.SetPC(0x1000)
+	if _, err := c.Run(10); err != nil {
+		t.Fatal(err)
+	}
+	f := c.Flags()
+	if !f.C || f.Z { // 0 - 1: borrow set, not zero
+		t.Errorf("flags = %+v", f)
+	}
+}
+
+func TestInvalidInstErrorMessage(t *testing.T) {
+	e := &cpu.InvalidInstError{PC: 0xabc}
+	if !strings.Contains(e.Error(), "0xabc") {
+		t.Errorf("message %q should contain the pc", e.Error())
+	}
+}
+
+// TestArchFetchAcrossProtectedPageBoundary: an instruction whose bytes
+// span into a faulting page is resolved architecturally byte by byte
+// with the handler fixing permissions — the controlled-channel path
+// through resolveArchFetch.
+func TestArchFetchAcrossProtectedPageBoundary(t *testing.T) {
+	// movabs (10 bytes) placed so it straddles a page boundary.
+	b := asm.NewBuilder(0x2000 - 4)
+	b.Label("start")
+	b.Inst(isa.MovImm64(isa.R1, 0x1122_3344_5566_7788))
+	b.Inst(isa.Hlt())
+	p, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := mem.New()
+	p.LoadInto(m)
+	// Revoke X on the second page; the handler grants on fault.
+	m.Protect(0x2000, mem.PageSize, mem.PermR)
+	faults := 0
+	m.SetFaultHandler(func(f *mem.Fault) bool {
+		if f.Access != mem.AccessFetch {
+			return false
+		}
+		faults++
+		m.Protect(f.Addr, 1, mem.PermRX)
+		return true
+	})
+	c := cpu.New(cpu.Config{}, m)
+	c.SetPC(0x2000 - 4)
+	if _, err := c.Run(10); err != nil {
+		t.Fatal(err)
+	}
+	if c.Reg(isa.R1) != 0x1122_3344_5566_7788 {
+		t.Errorf("r1 = %#x", c.Reg(isa.R1))
+	}
+	if faults == 0 {
+		t.Error("the boundary fetch should have faulted at least once")
+	}
+}
+
+// TestRASOverflow: calls nested deeper than the RAS still execute
+// correctly (predictions degrade, semantics do not).
+func TestRASOverflow(t *testing.T) {
+	var sb strings.Builder
+	sb.WriteString(".org 0x1000\nstart:\n movi r1, 0\n call f0\n hlt\n")
+	const depth = 24 // deeper than RASDepth=16
+	for i := 0; i < depth; i++ {
+		sb.WriteString("f")
+		sb.WriteString(itoa(i))
+		sb.WriteString(":\n addi r1, 1\n")
+		if i+1 < depth {
+			sb.WriteString(" call f" + itoa(i+1) + "\n")
+		}
+		sb.WriteString(" ret\n")
+	}
+	c := newCore(t, sb.String())
+	run(t, c)
+	if got := c.Reg(isa.R1); got != depth {
+		t.Errorf("r1 = %d, want %d", got, depth)
+	}
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var d []byte
+	for n > 0 {
+		d = append([]byte{byte('0' + n%10)}, d...)
+		n /= 10
+	}
+	return string(d)
+}

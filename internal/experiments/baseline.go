@@ -1,0 +1,212 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/codegen"
+	"repro/internal/fingerprint"
+	"repro/internal/nvrand"
+	"repro/internal/victim"
+)
+
+// GranularityResult compares fingerprinting power across observation
+// granularities: the byte-granular NightVision channel versus the
+// coarser channels of prior work — 16-byte fetch-block effects
+// (Frontal), 64-byte instruction-cache lines [23], and 4 KiB pages
+// (controlled-channel attacks [64]). The paper's introduction argues
+// these are "too coarse to be useful"; this experiment quantifies it.
+type GranularityResult struct {
+	Granularity  uint64
+	Channel      string
+	SelfSim      float64
+	BestImpostor float64
+	SelfRank     int
+}
+
+// Separation is the self-vs-impostor margin; <= 0 means the true
+// function is not identifiable.
+func (g GranularityResult) Separation() float64 { return g.SelfSim - g.BestImpostor }
+
+func (g GranularityResult) String() string {
+	return fmt.Sprintf("%-22s g=%4d  self=%.3f rank=%d impostor=%.3f separation=%+.3f",
+		g.Channel, g.Granularity, g.SelfSim, g.SelfRank, g.BestImpostor, g.Separation())
+}
+
+// quantize maps a normalized PC set to granularity g.
+func quantize(set map[uint64]bool, g uint64) map[uint64]bool {
+	if g <= 1 {
+		return set
+	}
+	out := make(map[uint64]bool, len(set))
+	for pc := range set {
+		out[pc/g] = true
+	}
+	return out
+}
+
+// quantizeRef quantizes a reference fingerprint.
+func quantizeRef(ref fingerprint.Reference, g uint64) fingerprint.Reference {
+	return fingerprint.Reference{Name: ref.Name, Set: quantize(ref.Set, g)}
+}
+
+// GranularityComparison fingerprints GCD against a corpus at several
+// observation granularities. Expected shape: full separation at byte
+// granularity, collapsing to zero at page granularity (every function
+// fits one page, so every fingerprint quantizes to {0}).
+func GranularityComparison(cfg Config, corpusN int) ([]GranularityResult, error) {
+	cfg = cfg.withDefaults()
+	opts := codegen.Options{Opt: codegen.O2}
+	gcdFn := victim.MustGCDVersion("3.0", false)
+	ref, err := ReferenceFor(gcdFn, opts)
+	if err != nil {
+		return nil, err
+	}
+	rng := nvrand.New(cfg.Seed)
+
+	type victimSet struct {
+		name string
+		set  map[uint64]bool
+	}
+	var victims []victimSet
+	addVictim := func(name string, fn *codegen.Func, args []uint64) error {
+		pcs, data, err := ModelTrace(fn, opts, args)
+		if err != nil {
+			return err
+		}
+		ft, err := sliceVictim(pcs, data)
+		if err != nil {
+			return err
+		}
+		victims = append(victims, victimSet{name: name, set: ft.NormalizedSet()})
+		return nil
+	}
+	if err := addVictim(gcdFn.Name, gcdFn, []uint64{65537, rng.Uint64() | 1}); err != nil {
+		return nil, err
+	}
+	for i, fn := range victim.Corpus(victim.CorpusSpec{N: corpusN, Seed: cfg.Seed}) {
+		args := make([]uint64, len(fn.Params))
+		for j := range args {
+			args[j] = (uint64(i)*31 + uint64(j)*7) | 1
+		}
+		if err := addVictim(fn.Name, fn, args); err != nil {
+			return nil, err
+		}
+	}
+
+	channels := []struct {
+		g    uint64
+		name string
+	}{
+		{1, "NightVision (byte)"},
+		{16, "fetch block (Frontal)"},
+		{64, "icache line"},
+		{4096, "page (controlled ch.)"},
+	}
+	var out []GranularityResult
+	for _, ch := range channels {
+		qref := quantizeRef(ref, ch.g)
+		res := GranularityResult{Granularity: ch.g, Channel: ch.name}
+		rank := 1
+		var selfSim float64
+		for _, v := range victims {
+			sim := fingerprint.Similarity(quantize(v.set, ch.g), qref)
+			if v.name == ref.Name {
+				selfSim = sim
+			} else if sim > res.BestImpostor {
+				res.BestImpostor = sim
+			}
+		}
+		for _, v := range victims {
+			if v.name == ref.Name {
+				continue
+			}
+			if fingerprint.Similarity(quantize(v.set, ch.g), qref) > selfSim {
+				rank++
+			}
+		}
+		res.SelfSim = selfSim
+		res.SelfRank = rank
+		out = append(out, res)
+	}
+	return out, nil
+}
+
+// SequenceVsSetResult compares the §6.4 set-intersection fingerprint
+// with the §8.3 sequence-alignment extension.
+type SequenceVsSetResult struct {
+	SetSelf, SetImpostor float64
+	SeqSelf, SeqImpostor float64
+}
+
+// SetSeparation and SeqSeparation are the identification margins.
+func (r SequenceVsSetResult) SetSeparation() float64 { return r.SetSelf - r.SetImpostor }
+
+// SeqSeparation is the sequence-alignment margin.
+func (r SequenceVsSetResult) SeqSeparation() float64 { return r.SeqSelf - r.SeqImpostor }
+
+// SequenceVsSet fingerprints GCD against a corpus with both mechanisms.
+// The attacker builds the sequence reference by running its own copy of
+// the candidate binary on a few chosen inputs (it owns the reference
+// binaries; only the victim's inputs are secret).
+func SequenceVsSet(cfg Config, corpusN int) (*SequenceVsSetResult, error) {
+	cfg = cfg.withDefaults()
+	opts := codegen.Options{Opt: codegen.O2}
+	gcdFn := victim.MustGCDVersion("3.0", false)
+	rng := nvrand.New(cfg.Seed)
+
+	setRef, err := ReferenceFor(gcdFn, opts)
+	if err != nil {
+		return nil, err
+	}
+	seqRef := fingerprint.SequenceReference{Name: gcdFn.Name}
+	for i := 0; i < 4; i++ {
+		pcs, data, err := ModelTrace(gcdFn, opts, []uint64{65537, rng.Uint64() | 1})
+		if err != nil {
+			return nil, err
+		}
+		ft, err := sliceVictim(pcs, data)
+		if err != nil {
+			return nil, err
+		}
+		seqRef.Traces = append(seqRef.Traces, ft.NormalizedSequence())
+	}
+
+	res := &SequenceVsSetResult{}
+	score := func(name string, fn *codegen.Func, args []uint64) error {
+		pcs, data, err := ModelTrace(fn, opts, args)
+		if err != nil {
+			return err
+		}
+		ft, err := sliceVictim(pcs, data)
+		if err != nil {
+			return err
+		}
+		setSim := fingerprint.Similarity(ft.NormalizedSet(), setRef)
+		seqSim := seqRef.SequenceScore(ft.NormalizedSequence())
+		if name == gcdFn.Name {
+			res.SetSelf = setSim
+			res.SeqSelf = seqSim
+			return nil
+		}
+		if setSim > res.SetImpostor {
+			res.SetImpostor = setSim
+		}
+		if seqSim > res.SeqImpostor {
+			res.SeqImpostor = seqSim
+		}
+		return nil
+	}
+	if err := score(gcdFn.Name, gcdFn, []uint64{65537, rng.Uint64() | 1}); err != nil {
+		return nil, err
+	}
+	for i, fn := range victim.Corpus(victim.CorpusSpec{N: corpusN, Seed: cfg.Seed + 1}) {
+		args := make([]uint64, len(fn.Params))
+		for j := range args {
+			args[j] = (uint64(i)*131 + uint64(j)*17) | 1
+		}
+		if err := score(fn.Name, fn, args); err != nil {
+			return nil, err
+		}
+	}
+	return res, nil
+}

@@ -1,0 +1,55 @@
+package experiments
+
+import "testing"
+
+// TestGranularityComparison quantifies the paper's introduction: coarse
+// channels (icache lines, pages) cannot fingerprint functions; the
+// byte-granular channel can.
+func TestGranularityComparison(t *testing.T) {
+	results, err := GranularityComparison(Config{Iters: 1, Seed: 29}, 120)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byG := map[uint64]GranularityResult{}
+	for _, r := range results {
+		t.Log(r.String())
+		byG[r.Granularity] = r
+	}
+	if byG[1].SelfRank != 1 || byG[1].Separation() < 0.2 {
+		t.Errorf("byte granularity: rank %d separation %.3f — should identify cleanly",
+			byG[1].SelfRank, byG[1].Separation())
+	}
+	if byG[4096].Separation() > 0.01 {
+		t.Errorf("page granularity separation %.3f — controlled channel should not identify functions",
+			byG[4096].Separation())
+	}
+	if byG[64].Separation() >= byG[1].Separation() {
+		t.Errorf("icache-line separation %.3f should be below byte separation %.3f",
+			byG[64].Separation(), byG[1].Separation())
+	}
+}
+
+// TestSequenceVsSet: the §8.3 sequence extension identifies at least as
+// well as set intersection, and both identify GCD.
+func TestSequenceVsSet(t *testing.T) {
+	res, err := SequenceVsSet(Config{Iters: 1, Seed: 31}, 120)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("set: self=%.3f impostor=%.3f sep=%.3f | seq: self=%.3f impostor=%.3f sep=%.3f",
+		res.SetSelf, res.SetImpostor, res.SetSeparation(),
+		res.SeqSelf, res.SeqImpostor, res.SeqSeparation())
+	if res.SetSeparation() <= 0 {
+		t.Error("set intersection should identify GCD")
+	}
+	if res.SeqSeparation() <= 0 {
+		t.Error("sequence alignment should identify GCD")
+	}
+	if res.SeqSelf < 0.8 {
+		t.Errorf("sequence self-score %.3f too low", res.SeqSelf)
+	}
+	if res.SeqSeparation() < res.SetSeparation()-0.05 {
+		t.Errorf("sequence separation %.3f should not trail set separation %.3f",
+			res.SeqSeparation(), res.SetSeparation())
+	}
+}

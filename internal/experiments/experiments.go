@@ -1,0 +1,130 @@
+// Package experiments reproduces every figure and headline number of
+// the paper's evaluation on the simulated substrate. Each experiment
+// returns data series/tables that cmd/nightvision prints and
+// bench_test.go regenerates; EXPERIMENTS.md records paper-vs-measured.
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/asm"
+	"repro/internal/cpu"
+	"repro/internal/isa"
+	"repro/internal/mem"
+)
+
+// Config holds common experiment knobs.
+type Config struct {
+	// Iters is the number of measurement repetitions per data point
+	// (the paper uses 1000).
+	Iters int
+	// Noise is the LBR measurement noise stddev in cycles (0 models the
+	// paper's near-noiseless LBR channel; ~10 models an rdtsc channel).
+	Noise float64
+	// Seed drives all randomness.
+	Seed uint64
+	// CPU optionally overrides the core configuration (zero value =
+	// defaults, SkyLake-like).
+	CPU cpu.Config
+	// NVSBlocksPerCall overrides N of Figure 10 for NV-S runs (0 =
+	// the SupervisorConfig default of 8).
+	NVSBlocksPerCall int
+	// Repeats is the per-measurement averaging factor for the leakage
+	// experiments (the paper repeats noisy measurements and averages;
+	// default 1 — the noiseless LBR needs no averaging).
+	Repeats int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Iters == 0 {
+		c.Iters = 1000
+	}
+	if c.Seed == 0 {
+		c.Seed = 0xA11
+	}
+	return c
+}
+
+// aliasDistance returns the BTB aliasing distance of a core config
+// (4 GiB on SkyLake geometry).
+func aliasDistance(cfg cpu.Config) uint64 {
+	top := cfg.BTB.TagTopBit
+	if top == 0 {
+		top = 32
+	}
+	if top >= 64 {
+		// Full tags: no aliasing distance exists. Keep the experiment
+		// layout (regions 1 TiB apart) so the ablation shows the signal
+		// disappearing rather than the harness failing.
+		return 1 << 40
+	}
+	return 1 << top
+}
+
+// harness owns a core plus helpers to run code snippets and read LBR
+// deltas, mirroring the paper's experiment methodology (§2.3): LBR-based
+// cycle deltas between retired branches.
+type harness struct {
+	core *cpu.Core
+	// driver slot per call target: reusing one callr site would leave
+	// stale indirect-branch predictions that differ between series.
+	slots map[uint64]uint64
+}
+
+func newHarness(cfg Config, prog *asm.Program) *harness {
+	m := mem.New()
+	prog.LoadInto(m)
+	m.Map(0x7e_0000, 0x2000, mem.PermRW)
+	core := cpu.New(cfg.CPU, m)
+	if cfg.Noise > 0 {
+		core.LBR.SetNoise(cfg.Noise, cfg.Seed)
+	}
+	return &harness{core: core, slots: make(map[uint64]uint64)}
+}
+
+// callVia runs `callr <target>` from a scratch driver context until the
+// callee returns and the driver halts. The driver itself lives outside
+// the experiment's aliased blocks.
+func (h *harness) callVia(target uint64) error {
+	driverBase, ok := h.slots[target]
+	if !ok {
+		driverBase = 0x10_0000 + uint64(len(h.slots))*0x40
+		h.slots[target] = driverBase
+	}
+	b := asm.NewBuilder(driverBase)
+	b.Inst(isa.MovImm64(isa.R13, target))
+	b.Inst(isa.Inst{Op: isa.OpCallReg, Dst: isa.R13, Size: 2})
+	b.Inst(isa.Hlt())
+	p, err := b.Build()
+	if err != nil {
+		return err
+	}
+	p.LoadInto(h.core.Mem)
+
+	var saved cpu.ArchState
+	st := cpu.ArchState{PC: driverBase}
+	st.Regs[isa.SP] = 0x7e_2000
+	h.core.ContextSwitch(&saved, &st)
+	for {
+		_, err := h.core.Step()
+		if err == cpu.ErrHalted {
+			break
+		}
+		if err != nil {
+			h.core.ContextSwitch(nil, &saved)
+			return err
+		}
+	}
+	h.core.ContextSwitch(nil, &saved)
+	return nil
+}
+
+// deltaOf returns the LBR cycle delta of the most recent record whose
+// From matches pc.
+func (h *harness) deltaOf(pc uint64) (uint64, error) {
+	rec, ok := h.core.LBR.FindFrom(pc)
+	if !ok {
+		return 0, fmt.Errorf("experiments: no LBR record from %#x", pc)
+	}
+	return rec.Cycles, nil
+}

@@ -1,0 +1,82 @@
+package experiments
+
+import (
+	"repro/internal/codegen"
+	"repro/internal/fingerprint"
+	"repro/internal/nvrand"
+	"repro/internal/victim"
+)
+
+// SimilarityMatrix is a labeled square matrix of fingerprint scores:
+// Cells[i][j] = similarity of victim i's measured trace to reference j.
+type SimilarityMatrix struct {
+	Labels []string
+	Cells  [][]float64
+}
+
+// Figure13Versions reproduces Figure 13 (left): GCD from eight mbedTLS
+// versions, each measured as a victim and fingerprinted against each
+// version's static reference. Versions sharing an implementation
+// (2.5–2.15; 2.16–2.18; 3.0–3.1) score high against each other and low
+// across implementation changes.
+func Figure13Versions(cfg Config) (*SimilarityMatrix, error) {
+	cfg = cfg.withDefaults()
+	opts := codegen.Options{Opt: codegen.O2}
+	names := victim.GCDVersionNames
+	fns := make([]*codegen.Func, len(names))
+	for i, v := range names {
+		fns[i] = victim.MustGCDVersion(v, false)
+	}
+	return similarityMatrix(cfg, names, fns, func(int) codegen.Options { return opts })
+}
+
+// Figure13OptLevels reproduces Figure 13 (right): one GCD source
+// compiled at -O0/-O2/-O3, cross-fingerprinted. Same flag pairs score
+// high; different flags change layout enough to break matching.
+func Figure13OptLevels(cfg Config) (*SimilarityMatrix, error) {
+	cfg = cfg.withDefaults()
+	levels := []codegen.OptLevel{codegen.O0, codegen.O2, codegen.O3}
+	names := make([]string, len(levels))
+	fns := make([]*codegen.Func, len(levels))
+	for i, l := range levels {
+		names[i] = l.String()
+		fns[i] = victim.MustGCDVersion("3.0", false)
+	}
+	return similarityMatrix(cfg, names, fns, func(i int) codegen.Options {
+		return codegen.Options{Opt: levels[i]}
+	})
+}
+
+func similarityMatrix(cfg Config, names []string, fns []*codegen.Func, optOf func(int) codegen.Options) (*SimilarityMatrix, error) {
+	rng := nvrand.New(cfg.Seed)
+	args := []uint64{65537, rng.Uint64() | 1}
+
+	refs := make([]fingerprint.Reference, len(fns))
+	traces := make([]fingerprint.FuncTrace, len(fns))
+	for i, fn := range fns {
+		ref, err := ReferenceFor(fn, optOf(i))
+		if err != nil {
+			return nil, err
+		}
+		refs[i] = ref
+		pcs, data, err := ModelTrace(fn, optOf(i), args)
+		if err != nil {
+			return nil, err
+		}
+		ft, err := sliceVictim(pcs, data)
+		if err != nil {
+			return nil, err
+		}
+		traces[i] = ft
+	}
+
+	m := &SimilarityMatrix{Labels: append([]string(nil), names...)}
+	for i := range fns {
+		row := make([]float64, len(fns))
+		for j := range fns {
+			row[j] = fingerprint.Similarity(traces[i].NormalizedSet(), refs[j])
+		}
+		m.Cells = append(m.Cells, row)
+	}
+	return m, nil
+}

@@ -1,0 +1,126 @@
+package experiments
+
+import (
+	"repro/internal/asm"
+	"repro/internal/isa"
+	"repro/internal/stats"
+)
+
+// Figure2 reproduces the paper's Experiment 1 (§2.3, Figure 2): how
+// non-control-transfer instructions deallocate BTB entries.
+//
+// Layout (offsets within one 32-byte-aligned block, low address bits
+// identical across the two regions 4 GiB apart):
+//
+//	region A:  F1 = base+0x10: jmp8 L1 (occupies [0x10, 0x11]); L1: ret
+//	region B:  F2 = alias+off: nops covering [off, 0x1c]; L2 = 0x1d: ret
+//
+// Per iteration: flush the BTB, call F1 (allocates the entry keyed at
+// offset 0x11), call F2 (its nops may false-hit the entry), call F1
+// again and read the LBR cycle delta of the subsequent ret — the
+// paper's prediction-outcome measurement. The control series skips the
+// F2 call.
+//
+// Expected shape: elevated cycles for F2 offsets <= 0x11 (collision:
+// F2 < F1+2), baseline otherwise; the control series flat.
+func Figure2(cfg Config) (withF2, withoutF2 *stats.Series, err error) {
+	cfg = cfg.withDefaults()
+	const (
+		base   = uint64(0x40_0000) // block-aligned
+		f1Off  = uint64(0x10)
+		l2Off  = uint64(0x1d)
+		sweepN = 0x1d
+	)
+	alias := base + aliasDistance(cfg.CPU)
+
+	withF2 = &stats.Series{Name: "with-F2"}
+	withoutF2 = &stats.Series{Name: "no-F2"}
+
+	for f2Off := uint64(0); f2Off < sweepN; f2Off++ {
+		b := asm.NewBuilder(base + f1Off)
+		b.Label("f1")
+		b.Inst(isa.Jmp8(4)) // jmp8 l1: 2 bytes at [0x10,0x11], target 0x16
+		b.Nops(4)
+		b.Label("l1")
+		b.Ret()
+		b.Org(alias + f2Off)
+		b.Label("f2")
+		for o := f2Off; o < l2Off; o++ {
+			b.Nop()
+		}
+		b.Label("l2")
+		b.Ret()
+		prog, berr := b.Build()
+		if berr != nil {
+			return nil, nil, berr
+		}
+		h := newHarness(cfg, prog)
+		f1 := prog.MustLabel("f1")
+		f2 := prog.MustLabel("f2")
+		retPC := prog.MustLabel("l1")
+
+		measure := func(callF2 bool) (float64, error) {
+			var sum float64
+			for i := 0; i < cfg.Iters; i++ {
+				h.core.BTB.Flush()
+				if err := h.callVia(f1); err != nil {
+					return 0, err
+				}
+				if callF2 {
+					if err := h.callVia(f2); err != nil {
+						return 0, err
+					}
+				}
+				h.core.LBR.Clear()
+				if err := h.callVia(f1); err != nil {
+					return 0, err
+				}
+				d, err := h.deltaOf(retPC)
+				if err != nil {
+					return 0, err
+				}
+				sum += float64(d)
+			}
+			return sum / float64(cfg.Iters), nil
+		}
+
+		y, merr := measure(true)
+		if merr != nil {
+			return nil, nil, merr
+		}
+		withF2.Add(float64(f2Off), y)
+		y, merr = measure(false)
+		if merr != nil {
+			return nil, nil, merr
+		}
+		withoutF2.Add(float64(f2Off), y)
+	}
+	return withF2, withoutF2, nil
+}
+
+// Figure2Gap summarizes the Figure 2 result: the mean cycle gap between
+// the two series inside the collision range (F2 <= F1+1) and outside
+// it. A faithful reproduction shows a large in-range gap and ~zero
+// out-of-range gap.
+func Figure2Gap(withF2, withoutF2 *stats.Series) (inRange, outRange float64) {
+	const collisionEnd = 0x11
+	var inSum, outSum float64
+	var inN, outN int
+	for i := range withF2.X {
+		gap := withF2.Y[i] - withoutF2.Y[i]
+		if uint64(withF2.X[i]) <= collisionEnd {
+			inSum += gap
+			inN++
+		} else {
+			outSum += gap
+			outN++
+		}
+	}
+	if inN > 0 {
+		inRange = inSum / float64(inN)
+	}
+	if outN > 0 {
+		outRange = outSum / float64(outN)
+	}
+	return inRange, outRange
+}

@@ -1,0 +1,117 @@
+package experiments
+
+import "testing"
+
+// TestFigure2Shape verifies the Takeaway-1 reproduction: a clear cycle
+// gap between the with-F2 and no-F2 series exactly while the nops
+// collide with the jump's BTB entry (F2 < F1+2), and none outside.
+func TestFigure2Shape(t *testing.T) {
+	with, without, err := Figure2(Config{Iters: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(with.X) != len(without.X) || len(with.X) != 0x1d {
+		t.Fatalf("series lengths: %d, %d", len(with.X), len(without.X))
+	}
+	in, out := Figure2Gap(with, without)
+	if in < 4 {
+		t.Errorf("collision-range gap = %.2f cycles, want >= 4 (misprediction bubble)", in)
+	}
+	if out > 1 {
+		t.Errorf("out-of-range gap = %.2f cycles, want ~0", out)
+	}
+	// Point checks at the boundary F2 = F1+1 = 0x11 (collides) and
+	// F2 = F1+2 = 0x12 (does not).
+	if with.Y[0x11]-without.Y[0x11] < 4 {
+		t.Errorf("F2=0x11 should collide: gap %.2f", with.Y[0x11]-without.Y[0x11])
+	}
+	if with.Y[0x12]-without.Y[0x12] > 1 {
+		t.Errorf("F2=0x12 should not collide: gap %.2f", with.Y[0x12]-without.Y[0x12])
+	}
+}
+
+// TestFigure2WithNoise: with rdtsc-grade noise and enough averaging the
+// gap survives — the measurement methodology the paper relies on.
+func TestFigure2WithNoise(t *testing.T) {
+	with, without, err := Figure2(Config{Iters: 60, Noise: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	in, out := Figure2Gap(with, without)
+	if in < 3 {
+		t.Errorf("noisy collision gap = %.2f, want >= 3", in)
+	}
+	if out > 2 {
+		t.Errorf("noisy out-of-range gap = %.2f, want small", out)
+	}
+}
+
+// TestFigure4Shape verifies the Takeaway-2 reproduction: range-query
+// semantics make the aliased entry fire for fetch offsets at or below
+// its own, and the control series declines with fewer executed nops.
+func TestFigure4Shape(t *testing.T) {
+	with, without, err := Figure4(Config{Iters: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(with.X) != 0x1f {
+		t.Fatalf("series length = %d", len(with.X))
+	}
+	in, out, slope := Figure4Gap(with, without)
+	if in < 4 {
+		t.Errorf("range-hit gap = %.2f cycles, want >= 4", in)
+	}
+	if out > 1 {
+		t.Errorf("out-of-range gap = %.2f, want ~0", out)
+	}
+	if slope <= 0 {
+		t.Errorf("control slope = %.3f, want positive (fewer nops, fewer cycles)", slope)
+	}
+	// Boundary: F1 = 0x11 hits, F1 = 0x12 does not.
+	if with.Y[0x11]-without.Y[0x11] < 4 {
+		t.Errorf("F1=0x11 should hit the aliased entry: gap %.2f", with.Y[0x11]-without.Y[0x11])
+	}
+	if with.Y[0x12]-without.Y[0x12] > 1 {
+		t.Errorf("F1=0x12 should not: gap %.2f", with.Y[0x12]-without.Y[0x12])
+	}
+}
+
+// TestFigure4FullTagAblation: with full BTB tags no aliasing exists and
+// the two series coincide everywhere — the attack's precondition
+// disappears (DESIGN.md ablation 4).
+func TestFigure4FullTagAblation(t *testing.T) {
+	cfg := Config{Iters: 5}
+	cfg.CPU.BTB.Sets = 512
+	cfg.CPU.BTB.Ways = 8
+	cfg.CPU.BTB.OffsetBits = 5
+	cfg.CPU.BTB.TagTopBit = 33 // IceLake: 8 GiB alias distance...
+	// ...but keep the regions 8 GiB apart via aliasDistance, so aliasing
+	// still works; the true ablation uses TagTopBit=64 in Figure2 form
+	// below.
+	with, without, err := Figure4(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in, _, _ := Figure4Gap(with, without)
+	if in < 4 {
+		t.Errorf("IceLake geometry should still alias at 8 GiB: gap %.2f", in)
+	}
+}
+
+// TestFigure2IceLake: the same Takeaway-1 signal on IceLake geometry —
+// the aliasing distance doubles to 8 GiB (footnote 1 of the paper).
+func TestFigure2IceLake(t *testing.T) {
+	cfg := Config{Iters: 5}
+	cfg.CPU.BTB.Sets = 1024
+	cfg.CPU.BTB.Ways = 8
+	cfg.CPU.BTB.OffsetBits = 5
+	cfg.CPU.BTB.TagTopBit = 33
+	with, without, err := Figure2(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in, out := Figure2Gap(with, without)
+	if in < 4 || out > 1 {
+		t.Errorf("IceLake gaps: collision %.2f, outside %.2f", in, out)
+	}
+}

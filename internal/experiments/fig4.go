@@ -1,0 +1,139 @@
+package experiments
+
+import (
+	"repro/internal/asm"
+	"repro/internal/isa"
+	"repro/internal/stats"
+)
+
+// Figure4 reproduces the paper's Experiment 2 (§2.4, Figure 4): the
+// range-query semantics of BTB lookups under superscalar fetch.
+//
+// Layout:
+//
+//	region A:  base+0x00..0x1d: nops; J1 = base+0x1e: jmp8 L1; L1: ret
+//	region B:  F2 = alias+0x10: jmp8 L2 (entry keyed at offset 0x11); L2: ret
+//
+// Per iteration: flush, call J1 (allocate the offset-0x1f entry), call
+// F2 (allocate the aliased offset-0x11 entry), then call F1 = base+f1Off
+// and measure the elapsed cycles between the call's retirement and the
+// ret after jmp L1 (the sum of the jmp and ret LBR deltas).
+//
+// Expected shape: the control series (no F2 call) declines as f1Off
+// grows (fewer nops retire); the measured series sits a constant
+// penalty above it exactly while f1Off <= 0x11 (F1 < F2+2), where the
+// range lookup selects the aliased entry and decode false-hits it.
+func Figure4(cfg Config) (withF2, withoutF2 *stats.Series, err error) {
+	cfg = cfg.withDefaults()
+	const (
+		base  = uint64(0x50_0000) // block-aligned
+		j1Off = uint64(0x1e)
+		f2Off = uint64(0x10)
+	)
+	alias := base + aliasDistance(cfg.CPU)
+
+	b := asm.NewBuilder(base)
+	b.Label("f1base")
+	b.Nops(int(j1Off)) // nops at [0x00, 0x1d]
+	b.Label("j1")
+	b.Inst(isa.Jmp8(0)) // jmp8 l1 at [0x1e, 0x1f], falls through to l1
+	b.Label("l1")
+	b.Ret()
+	b.Org(alias + f2Off)
+	b.Label("f2")
+	b.Jmp8("l2") // jmp8 l2 at [0x10, 0x11]
+	// L2 lives outside the measured 32-byte block (the paper's listing
+	// separates them with "..."): otherwise the ret's own BTB entry
+	// would alias into the sweep and contaminate the control region.
+	b.Org(alias + 0x40)
+	b.Label("l2")
+	b.Ret()
+	prog, berr := b.Build()
+	if berr != nil {
+		return nil, nil, berr
+	}
+	h := newHarness(cfg, prog)
+	j1 := prog.MustLabel("j1")
+	f2 := prog.MustLabel("f2")
+	l1 := prog.MustLabel("l1")
+
+	withF2 = &stats.Series{Name: "with-F2"}
+	withoutF2 = &stats.Series{Name: "no-F2"}
+
+	for f1Off := uint64(0); f1Off <= j1Off; f1Off++ {
+		f1 := base + f1Off
+		measure := func(callF2 bool) (float64, error) {
+			var sum float64
+			for i := 0; i < cfg.Iters; i++ {
+				h.core.BTB.Flush()
+				if err := h.callVia(j1); err != nil {
+					return 0, err
+				}
+				if callF2 {
+					if err := h.callVia(f2); err != nil {
+						return 0, err
+					}
+				}
+				h.core.LBR.Clear()
+				if err := h.callVia(f1); err != nil {
+					return 0, err
+				}
+				// Elapsed between the call to F1 and the ret after jmp
+				// L1 = delta(jmp L1) + delta(ret): the two records that
+				// follow the call record.
+				dj, err := h.deltaOf(j1)
+				if err != nil {
+					return 0, err
+				}
+				dr, err := h.deltaOf(l1)
+				if err != nil {
+					return 0, err
+				}
+				sum += float64(dj + dr)
+			}
+			return sum / float64(cfg.Iters), nil
+		}
+		y, merr := measure(true)
+		if merr != nil {
+			return nil, nil, merr
+		}
+		withF2.Add(float64(f1Off), y)
+		y, merr = measure(false)
+		if merr != nil {
+			return nil, nil, merr
+		}
+		withoutF2.Add(float64(f1Off), y)
+	}
+	return withF2, withoutF2, nil
+}
+
+// Figure4Gap summarizes Figure 4: the mean series gap inside the range
+// hit region (F1 <= F2+1 = 0x11) and outside it, plus the control
+// series' slope (cycles shed per skipped nop) — the paper's declining
+// blue line.
+func Figure4Gap(withF2, withoutF2 *stats.Series) (inRange, outRange, slope float64) {
+	const rangeEnd = 0x11
+	var inSum, outSum float64
+	var inN, outN int
+	for i := range withF2.X {
+		gap := withF2.Y[i] - withoutF2.Y[i]
+		if uint64(withF2.X[i]) <= rangeEnd {
+			inSum += gap
+			inN++
+		} else {
+			outSum += gap
+			outN++
+		}
+	}
+	if inN > 0 {
+		inRange = inSum / float64(inN)
+	}
+	if outN > 0 {
+		outRange = outSum / float64(outN)
+	}
+	n := len(withoutF2.Y)
+	if n >= 2 {
+		slope = (withoutF2.Y[0] - withoutF2.Y[n-1]) / float64(n-1)
+	}
+	return inRange, outRange, slope
+}

@@ -1,0 +1,25 @@
+package experiments
+
+import (
+	"repro/internal/stats"
+)
+
+// NoiseSweep measures use-case-1 accuracy as the measurement channel
+// degrades from the LBR (σ=0, the paper's choice) toward an rdtsc-grade
+// channel (footnote 2: LBR is "orders-of-magnitude less noisy"). The
+// misprediction bubbles are 8–17 cycles, so accuracy holds until σ
+// approaches the bubble size and collapses after.
+func NoiseSweep(cfg Config, sigmas []float64, runsPer int) (*stats.Series, error) {
+	cfg = cfg.withDefaults()
+	out := &stats.Series{Name: "accuracy"}
+	for _, sigma := range sigmas {
+		c := cfg
+		c.Noise = sigma
+		res, err := UseCase1GCD(c, runsPer, AllDefenses())
+		if err != nil {
+			return nil, err
+		}
+		out.Add(sigma, res.Accuracy)
+	}
+	return out, nil
+}

@@ -1,0 +1,113 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/asm"
+	"repro/internal/core"
+	"repro/internal/cpu"
+	"repro/internal/isa"
+	"repro/internal/mem"
+	"repro/internal/osmodel"
+	"repro/internal/stats"
+)
+
+// FragmentPressure quantifies the §4.2 constraint: "since the BTB's
+// size is limited, each context switch should run as few instructions
+// as possible to minimize the chance that attacker BTB entries are
+// evicted". A victim runs a configurable amount of branch-heavy filler
+// (touching many BTB sets) between the monitored event and the probe;
+// detection degrades as the filler grows and evictions mount.
+//
+// Returns two series over filler-branch count: detection rate of a
+// truly executed PW, and false-positive rate of a never-executed PW.
+func FragmentPressure(cfg Config, fillerCounts []int, trials int) (hit, falsePos *stats.Series, err error) {
+	cfg = cfg.withDefaults()
+	hit = &stats.Series{Name: "detection"}
+	falsePos = &stats.Series{Name: "false-pos"}
+
+	for _, filler := range fillerCounts {
+		h, f, err := pressurePoint(cfg, filler, trials)
+		if err != nil {
+			return nil, nil, err
+		}
+		hit.Add(float64(filler), h)
+		falsePos.Add(float64(filler), f)
+	}
+	return hit, falsePos, nil
+}
+
+// pressurePoint measures one filler size.
+func pressurePoint(cfg Config, filler, trials int) (hitRate, falseRate float64, err error) {
+	// Victim: touch the monitored range, then execute `filler` jumps
+	// spread across BTB sets (64-byte stride walks consecutive sets).
+	b := asm.NewBuilder(0x40_0000)
+	b.Label("start")
+	b.Call("touched")
+	if filler > 0 {
+		b.Jmp("filler0")
+	} else {
+		b.Jmp("done")
+	}
+	b.Org(0x40_0100)
+	b.Label("touched")
+	b.Nops(16)
+	b.Ret()
+	b.Org(0x41_0000)
+	for i := 0; i < filler; i++ {
+		b.Label(fmt.Sprintf("filler%d", i))
+		if i+1 < filler {
+			b.Jmp(fmt.Sprintf("filler%d", i+1))
+		} else {
+			b.Jmp("done")
+		}
+		b.Align(64, byte(isa.OpNop)) // next jump lands in the next set
+	}
+	b.Label("done")
+	b.Inst(isa.Hlt())
+	prog, err := b.Build()
+	if err != nil {
+		return 0, 0, err
+	}
+	hits, falses := 0, 0
+	for trial := 0; trial < trials; trial++ {
+		m := mem.New()
+		prog.LoadInto(m)
+		c := cpu.New(cfg.CPU, m)
+		if cfg.Noise > 0 {
+			c.LBR.SetNoise(cfg.Noise, cfg.Seed+uint64(trial))
+		}
+		os := osmodel.New(c)
+		proc := os.Spawn("victim", prog.MustLabel("start"), 0x7e_0000, 0x1000)
+
+		att, err := core.NewAttacker(c, aliasDistance(cfg.CPU))
+		if err != nil {
+			return 0, 0, err
+		}
+		mon, err := att.NewMonitor([]core.PW{
+			{Base: 0x40_0100, Len: 16}, // executed
+			{Base: 0x40_0180, Len: 16}, // never executed
+		})
+		if err != nil {
+			return 0, 0, err
+		}
+		if err := mon.Prime(); err != nil {
+			return 0, 0, err
+		}
+		os.Switch(proc)
+		if _, err := os.RunUntilStop(1_000_000); err != nil {
+			return 0, 0, err
+		}
+		match, err := mon.Probe()
+		if err != nil {
+			return 0, 0, err
+		}
+		if match[0] {
+			hits++
+		}
+		if match[1] {
+			falses++
+		}
+	}
+	return float64(hits) / float64(trials), float64(falses) / float64(trials), nil
+}

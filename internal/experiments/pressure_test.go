@@ -1,0 +1,33 @@
+package experiments
+
+import "testing"
+
+// TestFragmentPressure reproduces the §4.2 constraint: short fragments
+// detect reliably; thousands of filler branches evict the attacker's
+// entries and detection decays, while the cold PW stays quiet
+// throughout (evictions read as "deallocated" = false positives only
+// once the set is fully churned).
+func TestFragmentPressure(t *testing.T) {
+	fillers := []int{0, 64, 512, 4096, 8192}
+	hit, falsePos, err := FragmentPressure(Config{Iters: 1, Seed: 37}, fillers, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range hit.X {
+		t.Logf("filler=%5.0f detection=%.2f false-pos=%.2f", hit.X[i], hit.Y[i], falsePos.Y[i])
+	}
+	if hit.Y[0] != 1 {
+		t.Errorf("zero filler: detection %.2f, want 1.0", hit.Y[0])
+	}
+	if falsePos.Y[0] != 0 {
+		t.Errorf("zero filler: false positives %.2f, want 0", falsePos.Y[0])
+	}
+	// With the whole BTB churned (8192 = 2 × sets×ways jumps), the
+	// attacker's entries are evicted: eviction is indistinguishable
+	// from deallocation, so the cold PW starts "matching" too and the
+	// measurement carries no information.
+	last := len(fillers) - 1
+	if falsePos.Y[last] < 0.9 {
+		t.Errorf("full churn: false-pos %.2f, want ~1 (eviction noise)", falsePos.Y[last])
+	}
+}

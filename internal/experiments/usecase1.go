@@ -1,0 +1,327 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/asm"
+	"repro/internal/codegen"
+	"repro/internal/core"
+	"repro/internal/cpu"
+	"repro/internal/isa"
+	"repro/internal/mem"
+	"repro/internal/nvrand"
+	"repro/internal/osmodel"
+	"repro/internal/victim"
+)
+
+// UseCase1Result reports a control-flow leakage run (§7.2).
+type UseCase1Result struct {
+	Runs      int
+	Decisions int // total secret branch decisions across runs
+	Correct   int
+	Ambiguous int // fragments where neither or both arms matched
+	Accuracy  float64
+	AvgPerRun float64 // mean decisions per run (paper: ~30 for GCD)
+}
+
+func (r *UseCase1Result) String() string {
+	return fmt.Sprintf("runs=%d decisions=%d correct=%d ambiguous=%d accuracy=%.1f%% avg-iters/run=%.1f",
+		r.Runs, r.Decisions, r.Correct, r.Ambiguous, 100*r.Accuracy, r.AvgPerRun)
+}
+
+// DefenseOptions selects which prior-work mitigations the victim is
+// compiled with. NightVision defeats all of them (§5).
+type DefenseOptions struct {
+	Balance bool // branch balancing (CopyCat mitigation)
+	Align   bool // 16-byte basic-block alignment (Frontal mitigation)
+	CFR     bool // control-flow randomization (branch-shadowing mitigation)
+}
+
+// AllDefenses enables every mitigation, the §7.2 configuration.
+func AllDefenses() DefenseOptions { return DefenseOptions{Balance: true, Align: true, CFR: true} }
+
+// ifTriple locates one compiled If: then-arm start, else-arm start,
+// join. Available when the victim is compiled with CFR (which labels
+// both arms).
+type ifTriple struct {
+	id                int
+	thenL, elseL, end uint64
+}
+
+// ifTriples extracts every If's arm labels from a compiled program,
+// ordered by emission (IR order).
+func ifTriples(p *asm.Program, fn string) []ifTriple {
+	byID := map[int]*ifTriple{}
+	get := func(id int) *ifTriple {
+		t, ok := byID[id]
+		if !ok {
+			t = &ifTriple{id: id}
+			byID[id] = t
+		}
+		return t
+	}
+	for name, addr := range p.Labels {
+		rest, ok := strings.CutPrefix(name, fn+".")
+		if !ok {
+			continue
+		}
+		switch {
+		case strings.HasPrefix(rest, "then"):
+			if id, err := strconv.Atoi(rest[4:]); err == nil {
+				get(id).thenL = addr
+			}
+		case strings.HasPrefix(rest, "else"):
+			if id, err := strconv.Atoi(rest[4:]); err == nil {
+				get(id + 0).elseL = addr
+			}
+		case strings.HasPrefix(rest, "endif"):
+			if id, err := strconv.Atoi(rest[5:]); err == nil {
+				get(id).end = addr
+			}
+		}
+	}
+	// then/else/endif of one If carry consecutive counters n, n+1, n+2;
+	// merge them.
+	var out []ifTriple
+	for id, t := range byID {
+		if t.thenL == 0 {
+			continue
+		}
+		merged := *t
+		if u, ok := byID[id+1]; ok && u.elseL != 0 {
+			merged.elseL = u.elseL
+		}
+		if u, ok := byID[id+2]; ok && u.end != 0 {
+			merged.end = u.end
+		}
+		out = append(out, merged)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].id < out[j].id })
+	return out
+}
+
+// pwWithin picks a monitorable PW inside [lo, hi): up to 12 bytes, not
+// crossing a 32-byte block boundary.
+func pwWithin(lo, hi uint64) (core.PW, error) {
+	if hi <= lo+1 {
+		return core.PW{}, fmt.Errorf("experiments: range [%#x,%#x) too small for a PW", lo, hi)
+	}
+	blockEnd := (lo | 31) + 1
+	end := hi
+	if blockEnd < end {
+		end = blockEnd
+	}
+	n := int(end - lo)
+	if n > 12 {
+		n = 12
+	}
+	if n < 2 {
+		return core.PW{}, fmt.Errorf("experiments: range [%#x,%#x) leaves no room in its block", lo, hi)
+	}
+	return core.PW{Base: lo, Len: n}, nil
+}
+
+// uc1Target describes one victim function for the leakage attack.
+type uc1Target struct {
+	fn *codegen.Func
+	// pickIf selects which compiled If is the secret branch, given the
+	// triples in emission order.
+	pickIf func([]ifTriple) ifTriple
+	// args returns the secret-carrying arguments for one run.
+	args func(rng *nvrand.Rand) (uint64, uint64)
+	// truth returns the expected then/else decision sequence.
+	truth func(a, b uint64) []bool
+}
+
+// UseCase1GCD attacks the mbedTLS-3.0-style GCD inside RSA key
+// generation with the given defenses enabled (the paper measures 99.3%
+// accuracy over 100 runs with ~30 iterations each).
+func UseCase1GCD(cfg Config, runs int, def DefenseOptions) (*UseCase1Result, error) {
+	target := uc1Target{
+		fn: victim.MustGCDVersion("3.0", true),
+		pickIf: func(ts []ifTriple) ifTriple {
+			return ts[len(ts)-1] // the balanced branch is the last If
+		},
+		args: func(rng *nvrand.Rand) (uint64, uint64) {
+			in := victim.RSAKeygenInputs(rng, 1)[0]
+			return in[0], in[1]
+		},
+		truth: func(a, b uint64) []bool {
+			dirs, _ := victim.GCDBranchDirections("3.0", a, b)
+			return dirs
+		},
+	}
+	return runUseCase1(cfg, runs, def, target)
+}
+
+// runUseCase1 executes the NV-U attack loop of §5.2 for one target.
+func runUseCase1(cfg Config, runs int, def DefenseOptions, target uc1Target) (*UseCase1Result, error) {
+	cfg = cfg.withDefaults()
+	res := &UseCase1Result{Runs: runs}
+	rng := nvrand.New(cfg.Seed)
+
+	repeats := cfg.Repeats
+	if repeats == 0 {
+		repeats = 1
+	}
+	for run := 0; run < runs; run++ {
+		a, b := target.args(rng)
+		truth := target.truth(a, b)
+
+		// The paper's methodology repeats measurements and averages;
+		// here each repetition replays the same victim secret under
+		// fresh measurement noise and the per-fragment arm votes are
+		// majority-combined.
+		var matches [][2]bool
+		votes := make([][2]int, len(truth)+2)
+		for rep := 0; rep < repeats; rep++ {
+			ms, _, err := leakFragments(cfg, rng.Split(), def, target, a, b, len(truth)+2)
+			if err != nil {
+				return nil, fmt.Errorf("run %d: %w", run, err)
+			}
+			for i, m := range ms {
+				if m[0] {
+					votes[i][0]++
+				}
+				if m[1] {
+					votes[i][1]++
+				}
+			}
+			if rep == 0 {
+				matches = ms
+			}
+		}
+		for i := range matches {
+			matches[i][0] = votes[i][0]*2 > repeats
+			matches[i][1] = votes[i][1]*2 > repeats
+		}
+		n := len(truth)
+		if len(matches) < n {
+			n = len(matches)
+		}
+		// Decision procedure: a single matched arm names the direction.
+		// Both arms matching is itself a signal — the stale prediction
+		// speculatively fetched the *previous* direction's arm while the
+		// real path took the other, so the direction flipped. Neither
+		// arm matching means the fragment ran no iteration (the paper's
+		// "excessive preemption" case); the previous direction persists
+		// as the best guess.
+		prev := false
+		havePrev := false
+		for i := 0; i < n; i++ {
+			thenHit, elseHit := matches[i][0], matches[i][1]
+			res.Decisions++
+			var guess bool
+			switch {
+			case thenHit && !elseHit:
+				guess = true
+			case elseHit && !thenHit:
+				guess = false
+			case thenHit && elseHit && havePrev:
+				guess = !prev
+				res.Ambiguous++
+			default:
+				guess = prev
+				res.Ambiguous++
+			}
+			if guess == truth[i] {
+				res.Correct++
+			}
+			prev = guess
+			havePrev = true
+		}
+		res.Decisions += len(truth) - n // missed fragments count as wrong
+	}
+	if res.Decisions > 0 {
+		res.Accuracy = float64(res.Correct) / float64(res.Decisions)
+		res.AvgPerRun = float64(res.Decisions) / float64(res.Runs)
+	}
+	return res, nil
+}
+
+// leakFragments builds one victim process with the chosen defenses,
+// mounts NV-U with PWs over both arms of the secret branch, and returns
+// per-fragment [thenHit, elseHit] vectors.
+func leakFragments(cfg Config, rng *nvrand.Rand, def DefenseOptions, target uc1Target, a, b uint64, maxFrags int) ([][2]bool, ifTriple, error) {
+	const (
+		base      = uint64(0x40_0000)
+		cfrRegion = uint64(0x48_0000)
+	)
+	bld := asm.NewBuilder(base)
+	bld.Label("start")
+	bld.Call(target.fn.Name)
+	bld.Inst(isa.Hlt())
+	opts := codegen.Options{Opt: codegen.O2, Balance: def.Balance}
+	if def.Align {
+		opts.AlignTargets = 16
+	}
+	// The arm-locating labels come from CFR compilation; when CFR is
+	// off we still need them, so CFR stays on for layout purposes and
+	// the DefenseOptions toggle switches the paper-relevant transforms.
+	opts.CFR = &codegen.CFRConfig{Rng: rng.Split(), Region: cfrRegion}
+	if !def.CFR {
+		// Deterministic trampolines (no randomization) approximate the
+		// undefended layout while keeping arm labels available.
+		opts.CFR = &codegen.CFRConfig{Rng: nvrand.New(1), Region: cfrRegion}
+	}
+	if err := codegen.Emit(bld, target.fn, opts); err != nil {
+		return nil, ifTriple{}, err
+	}
+	prog, err := bld.Build()
+	if err != nil {
+		return nil, ifTriple{}, err
+	}
+
+	triples := ifTriples(prog, target.fn.Name)
+	if len(triples) == 0 {
+		return nil, ifTriple{}, fmt.Errorf("experiments: no If labels found")
+	}
+	secret := target.pickIf(triples)
+	thenPW, err := pwWithin(secret.thenL, secret.elseL)
+	if err != nil {
+		return nil, ifTriple{}, err
+	}
+	// An If without an else body (bn_cmp's early returns) has an empty
+	// else range; monitor only the then arm in that case.
+	pws := []core.PW{thenPW}
+	elsePW, elseErr := pwWithin(secret.elseL, secret.end)
+	if elseErr == nil {
+		pws = append(pws, elsePW)
+	}
+
+	m := mem.New()
+	prog.LoadInto(m)
+	c := cpu.New(cfg.CPU, m)
+	if cfg.Noise > 0 {
+		c.LBR.SetNoise(cfg.Noise, rng.Uint64())
+	}
+	os := osmodel.New(c)
+	proc := os.Spawn("victim", prog.MustLabel("start"), 0x7e_0000, 0x2000)
+	proc.State.Regs[isa.R1] = a
+	proc.State.Regs[isa.R2] = b
+
+	att, err := core.NewAttacker(c, aliasDistance(cfg.CPU))
+	if err != nil {
+		return nil, ifTriple{}, err
+	}
+	mon, err := att.NewMonitor(pws)
+	if err != nil {
+		return nil, ifTriple{}, err
+	}
+	ua := &core.UserAttack{OS: os, Victim: proc}
+	raw, err := ua.Run(mon, maxFrags)
+	if err != nil {
+		return nil, ifTriple{}, err
+	}
+	out := make([][2]bool, len(raw))
+	for i, v := range raw {
+		out[i][0] = v[0]
+		if len(v) > 1 {
+			out[i][1] = v[1]
+		}
+	}
+	return out, secret, nil
+}

@@ -1,0 +1,55 @@
+package experiments
+
+import "testing"
+
+// TestUseCase1GCD reproduces the §7.2 headline: the balanced-branch
+// direction of a defended GCD (balancing + alignment + CFR) is leaked
+// with near-perfect accuracy (paper: 99.3% over 100 runs, ~30
+// iterations each).
+func TestUseCase1GCD(t *testing.T) {
+	res, err := UseCase1GCD(Config{Iters: 1, Seed: 5}, 4, AllDefenses())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("uc1 gcd: %v", res)
+	if res.Decisions < 60 {
+		t.Fatalf("only %d decisions across 4 runs; expect tens per run", res.Decisions)
+	}
+	if res.Accuracy < 0.95 {
+		t.Errorf("accuracy = %.3f, want >= 0.95 (paper: 0.993)", res.Accuracy)
+	}
+	if res.AvgPerRun < 20 {
+		t.Errorf("avg iterations per run = %.1f, paper reports ~30", res.AvgPerRun)
+	}
+}
+
+// TestUseCase1GCDDefensesDoNotHelp: accuracy is as high without any
+// defense — the defenses target other attacks and are irrelevant to
+// NightVision (§5.1).
+func TestUseCase1GCDDefensesDoNotHelp(t *testing.T) {
+	withDef, err := UseCase1GCD(Config{Iters: 1, Seed: 9}, 2, AllDefenses())
+	if err != nil {
+		t.Fatal(err)
+	}
+	noDef, err := UseCase1GCD(Config{Iters: 1, Seed: 9}, 2, DefenseOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if withDef.Accuracy < 0.9 || noDef.Accuracy < 0.9 {
+		t.Errorf("defended %.3f / undefended %.3f: both should leak", withDef.Accuracy, noDef.Accuracy)
+	}
+}
+
+// TestUseCase1BnCmp reproduces the second §7.2 target: the big-number
+// comparison's secret predicate is recovered on every run (paper: 100%
+// over 100 runs).
+func TestUseCase1BnCmp(t *testing.T) {
+	res, err := UseCase1BnCmp(Config{Iters: 1, Seed: 23}, 6, AllDefenses())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("uc1 bn_cmp: %v", res)
+	if res.Accuracy < 1.0 {
+		t.Errorf("accuracy = %.3f, paper reports 1.0", res.Accuracy)
+	}
+}

@@ -1,0 +1,145 @@
+package experiments
+
+import (
+	"testing"
+
+	"repro/internal/codegen"
+	"repro/internal/victim"
+)
+
+// TestNVSCalibration validates the measured-trace model against real
+// end-to-end NV-S runs: for sample victims the model's PC stream must
+// equal the NV-S reconstruction. This is the substitution-soundness
+// check that lets Figure 12 use the model for the 175k-function corpus.
+func TestNVSCalibration(t *testing.T) {
+	cfg := Config{Iters: 1, Seed: 11}
+	opts := codegen.Options{Opt: codegen.O2}
+
+	samples := []struct {
+		name string
+		fn   *codegen.Func
+		args []uint64
+	}{
+		{"bn_cmp", victim.BnCmp(false), []uint64{0x1234_5678_9ABC_DEF0, 0x1234_5678_9ABC_0000}},
+	}
+	for _, c := range victim.Corpus(victim.CorpusSpec{N: 3, Seed: 21}) {
+		args := make([]uint64, len(c.Params))
+		for j := range args {
+			args[j] = uint64(77+j) | 1
+		}
+		samples = append(samples, struct {
+			name string
+			fn   *codegen.Func
+			args []uint64
+		}{c.Name, c, args})
+	}
+
+	for _, s := range samples {
+		model, modelData, err := ModelTrace(s.fn, opts, s.args)
+		if err != nil {
+			t.Fatalf("%s model: %v", s.name, err)
+		}
+		nvs, nvsData, runs, err := NVSTrace(cfg, s.fn, opts, s.args)
+		if err != nil {
+			t.Fatalf("%s nvs: %v", s.name, err)
+		}
+		if len(nvs) != len(model) {
+			t.Errorf("%s: NV-S %d steps, model %d", s.name, len(nvs), len(model))
+			continue
+		}
+		wrong := 0
+		for i := range model {
+			if nvs[i] != model[i] {
+				wrong++
+			}
+		}
+		rate := 1 - float64(wrong)/float64(len(model))
+		t.Logf("%s: %d steps, %d runs, NV-S/model agreement %.3f", s.name, len(model), runs, rate)
+		if rate < 0.97 {
+			t.Errorf("%s: agreement %.3f below 0.97", s.name, rate)
+		}
+		dataWrong := 0
+		for i := range modelData {
+			if nvsData[i] != modelData[i] {
+				dataWrong++
+			}
+		}
+		if dataWrong > len(modelData)/20 {
+			t.Errorf("%s: %d/%d data-touch signals disagree", s.name, dataWrong, len(modelData))
+		}
+	}
+}
+
+// TestFigure12SmallCorpus reproduces the Figure 12 shape at reduced
+// corpus scale: the true function ranks first against its own reference
+// with a clear margin over every impostor.
+func TestFigure12SmallCorpus(t *testing.T) {
+	results, err := Figure12(Config{Iters: 1, Seed: 13}, 150, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 2 {
+		t.Fatalf("results = %d", len(results))
+	}
+	for _, r := range results {
+		t.Logf("%s: self=%.3f rank=%d best-impostor=%.3f top=%v",
+			r.Reference, r.SelfSimilarity, r.SelfRank, r.BestImpostor, r.Top[:3])
+		if r.SelfRank != 1 {
+			t.Errorf("%s: true function ranks %d, want 1", r.Reference, r.SelfRank)
+		}
+		if r.SelfSimilarity < 0.7 {
+			t.Errorf("%s: self similarity %.3f too low", r.Reference, r.SelfSimilarity)
+		}
+		if r.BestImpostor >= r.SelfSimilarity {
+			t.Errorf("%s: impostor %.3f >= self %.3f", r.Reference, r.BestImpostor, r.SelfSimilarity)
+		}
+	}
+}
+
+// TestFigure13Versions checks the version-cluster structure of Figure
+// 13 (left): within-implementation pairs score ~1, across-implementation
+// pairs score clearly lower.
+func TestFigure13Versions(t *testing.T) {
+	m, err := Figure13Versions(Config{Iters: 1, Seed: 17})
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx := map[string]int{}
+	for i, l := range m.Labels {
+		idx[l] = i
+	}
+	same := [][2]string{{"2.5", "2.15"}, {"2.16", "2.18"}, {"3.0", "3.1"}}
+	for _, p := range same {
+		if got := m.Cells[idx[p[0]]][idx[p[1]]]; got < 0.9 {
+			t.Errorf("similarity %s vs %s = %.3f, want ~1 (same implementation)", p[0], p[1], got)
+		}
+	}
+	diff := [][2]string{{"2.5", "2.16"}, {"2.5", "3.0"}, {"2.16", "3.0"}}
+	for _, p := range diff {
+		hi := m.Cells[idx[p[0]]][idx[p[1]]]
+		self := m.Cells[idx[p[0]]][idx[p[0]]]
+		if hi >= self {
+			t.Errorf("cross-version %s vs %s = %.3f not below self %.3f", p[0], p[1], hi, self)
+		}
+	}
+}
+
+// TestFigure13OptLevels checks Figure 13 (right): same-flag diagonal
+// high, cross-flag cells much lower.
+func TestFigure13OptLevels(t *testing.T) {
+	m, err := Figure13OptLevels(Config{Iters: 1, Seed: 19})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range m.Cells {
+		if m.Cells[i][i] < 0.9 {
+			t.Errorf("diagonal %s = %.3f, want ~1", m.Labels[i], m.Cells[i][i])
+		}
+		for j := range m.Cells[i] {
+			if i != j && m.Cells[i][j] >= m.Cells[i][i] {
+				t.Errorf("cross %s vs %s = %.3f not below diagonal %.3f",
+					m.Labels[i], m.Labels[j], m.Cells[i][j], m.Cells[i][i])
+			}
+		}
+	}
+}

@@ -1,0 +1,151 @@
+// Package fingerprint implements the paper's function-fingerprinting
+// pipeline (§6.4): slicing an NV-S-extracted dynamic PC trace into
+// per-function traces at call/ret boundaries, normalizing them to be
+// position independent, and scoring them against static reference
+// function fingerprints by set intersection.
+package fingerprint
+
+import (
+	"sort"
+
+	"repro/internal/stats"
+)
+
+// callGap is the control-transfer detection threshold from §6.4: a step
+// whose successor PC is more than 16 bytes away is a control transfer.
+const callGap = 16
+
+// retWindow is how far past a call site a return may land to be paired
+// with it (the return address is the instruction after the call).
+const retWindow = 16
+
+// FuncTrace is one sliced function invocation: the entry PC plus the
+// dynamic PCs observed inside it (absolute).
+type FuncTrace struct {
+	Entry uint64
+	PCs   []uint64
+}
+
+// NormalizedSet returns the position-independent PC set: every PC minus
+// the entry. This is the victim-side fingerprint S of §6.4 step 2.
+func (ft FuncTrace) NormalizedSet() map[uint64]bool {
+	out := make(map[uint64]bool, len(ft.PCs))
+	for _, pc := range ft.PCs {
+		out[pc-ft.Entry] = true
+	}
+	return out
+}
+
+// Slice partitions a dynamic PC trace into function-level traces using
+// the paper's two-signal heuristic: a call or return is a jump of more
+// than 16 bytes whose step also touched a data page (the stack push/pop
+// observed through the controlled channel). Returns land within
+// retWindow bytes after their call site; everything else is a call.
+//
+// dataTouched must have one entry per trace step. The top-level trace
+// (code outside any observed call) is not emitted; the paper's victims
+// are always entered by a call from the enclave entry stub.
+func Slice(pcs []uint64, dataTouched []bool) []FuncTrace {
+	if len(pcs) != len(dataTouched) {
+		panic("fingerprint: pcs and dataTouched length mismatch")
+	}
+	type frame struct {
+		site  uint64 // PC of the call instruction
+		trace *FuncTrace
+	}
+	var stack []frame
+	var done []FuncTrace
+
+	appendPC := func(pc uint64) {
+		if len(stack) > 0 {
+			t := stack[len(stack)-1].trace
+			t.PCs = append(t.PCs, pc)
+		}
+	}
+
+	for i := 0; i < len(pcs); i++ {
+		appendPC(pcs[i])
+		if i+1 >= len(pcs) {
+			break
+		}
+		gap := int64(pcs[i+1]) - int64(pcs[i])
+		if gap < 0 {
+			gap = -gap
+		}
+		if gap <= callGap || !dataTouched[i] {
+			continue
+		}
+		// A far, data-touching transfer: call or ret?
+		if len(stack) > 0 {
+			top := stack[len(stack)-1]
+			if pcs[i+1] > top.site && pcs[i+1]-top.site <= retWindow {
+				// Return to just after the call site.
+				done = append(done, *top.trace)
+				stack = stack[:len(stack)-1]
+				continue
+			}
+		}
+		stack = append(stack, frame{site: pcs[i], trace: &FuncTrace{Entry: pcs[i+1]}})
+	}
+	// Unreturned frames (trace ended inside a function) still count.
+	for i := len(stack) - 1; i >= 0; i-- {
+		done = append(done, *stack[i].trace)
+	}
+	return done
+}
+
+// Reference is a static function fingerprint: the set of its
+// instruction start offsets relative to the entry (S* of §6.4).
+type Reference struct {
+	Name string
+	Set  map[uint64]bool
+}
+
+// NewReference builds a reference from static instruction offsets.
+func NewReference(name string, staticPCs []uint64) Reference {
+	set := make(map[uint64]bool, len(staticPCs))
+	for _, pc := range staticPCs {
+		set[pc] = true
+	}
+	return Reference{Name: name, Set: set}
+}
+
+// Similarity computes |S ∩ S*| / |S| for a victim trace against a
+// reference — the §6.4 score. An empty victim set scores 0.
+func Similarity(victim map[uint64]bool, ref Reference) float64 {
+	if len(victim) == 0 {
+		return 0
+	}
+	hit := 0
+	for pc := range victim {
+		if ref.Set[pc] {
+			hit++
+		}
+	}
+	return float64(hit) / float64(len(victim))
+}
+
+// Rank scores a victim trace against every reference, descending.
+func Rank(victim FuncTrace, refs []Reference) []stats.Scored {
+	set := victim.NormalizedSet()
+	out := make([]stats.Scored, len(refs))
+	for i, r := range refs {
+		out[i] = stats.Scored{Label: r.Name, Score: Similarity(set, r)}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Score != out[j].Score {
+			return out[i].Score > out[j].Score
+		}
+		return out[i].Label < out[j].Label
+	})
+	return out
+}
+
+// BestMatch returns the highest-scoring reference name and score.
+func BestMatch(victim FuncTrace, refs []Reference) (string, float64) {
+	ranked := Rank(victim, refs)
+	if len(ranked) == 0 {
+		return "", 0
+	}
+	return ranked[0].Label, ranked[0].Score
+}

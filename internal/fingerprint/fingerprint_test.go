@@ -1,0 +1,166 @@
+package fingerprint
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestSliceSingleCall(t *testing.T) {
+	// main at 0x100 calls f at 0x400, runs 3 instructions, returns.
+	pcs := []uint64{0x100, 0x105, 0x400, 0x402, 0x404, 0x10a}
+	//                      ^call             ^ret
+	data := []bool{false, true, false, false, true, false}
+	traces := Slice(pcs, data)
+	if len(traces) != 1 {
+		t.Fatalf("traces = %d, want 1 (%+v)", len(traces), traces)
+	}
+	f := traces[0]
+	if f.Entry != 0x400 {
+		t.Errorf("entry = %#x", f.Entry)
+	}
+	if len(f.PCs) != 3 {
+		t.Errorf("PCs = %#x", f.PCs)
+	}
+	set := f.NormalizedSet()
+	for _, want := range []uint64{0, 2, 4} {
+		if !set[want] {
+			t.Errorf("normalized set missing %d: %v", want, set)
+		}
+	}
+}
+
+func TestSliceNestedCalls(t *testing.T) {
+	// main calls f; f calls g; g returns; f returns.
+	pcs := []uint64{
+		0x100,        // main
+		0x400, 0x402, // f entry, f body (call at 0x402)
+		0x800, 0x801, // g
+		0x407, // back in f
+		0x105, // back in main
+	}
+	data := []bool{true, false, true, false, true, true, false}
+	traces := Slice(pcs, data)
+	if len(traces) != 2 {
+		t.Fatalf("traces = %d, want 2 (%+v)", len(traces), traces)
+	}
+	// g completes first.
+	if traces[0].Entry != 0x800 || len(traces[0].PCs) != 2 {
+		t.Errorf("g trace = %+v", traces[0])
+	}
+	if traces[1].Entry != 0x400 {
+		t.Errorf("f trace = %+v", traces[1])
+	}
+	// f's trace includes its own PCs plus the PCs executed inside g? No:
+	// inner PCs belong to g's frame only.
+	if len(traces[1].PCs) != 3 { // 0x400, 0x402, 0x407
+		t.Errorf("f PCs = %#x", traces[1].PCs)
+	}
+}
+
+func TestSliceIgnoresNearJumpsAndNonDataFar(t *testing.T) {
+	// A 100-byte jump without data access (plain jmp) must not slice;
+	// a 4-byte data-touching step must not either.
+	pcs := []uint64{0x100, 0x200, 0x204, 0x300}
+	data := []bool{false, true, false, false}
+	traces := Slice(pcs, data)
+	if len(traces) != 0 {
+		t.Errorf("traces = %+v, want none", traces)
+	}
+}
+
+func TestSliceUnreturnedFrame(t *testing.T) {
+	pcs := []uint64{0x100, 0x400, 0x402}
+	data := []bool{true, false, false}
+	traces := Slice(pcs, data)
+	if len(traces) != 1 || traces[0].Entry != 0x400 {
+		t.Fatalf("traces = %+v", traces)
+	}
+}
+
+func TestSimilarity(t *testing.T) {
+	ref := NewReference("f", []uint64{0, 2, 4, 8, 12})
+	victim := map[uint64]bool{0: true, 2: true, 4: true}
+	if got := Similarity(victim, ref); got != 1.0 {
+		t.Errorf("full subset similarity = %v", got)
+	}
+	victim[3] = true // a wrong PC
+	if got := Similarity(victim, ref); got != 0.75 {
+		t.Errorf("3/4 similarity = %v", got)
+	}
+	if got := Similarity(map[uint64]bool{}, ref); got != 0 {
+		t.Errorf("empty victim similarity = %v", got)
+	}
+}
+
+func TestRankAndBestMatch(t *testing.T) {
+	refs := []Reference{
+		NewReference("a", []uint64{0, 1, 2, 3}),
+		NewReference("b", []uint64{0, 10, 20, 30}),
+		NewReference("c", []uint64{0, 10, 20, 31}),
+	}
+	victim := FuncTrace{Entry: 0x1000, PCs: []uint64{0x1000, 0x100a, 0x1014, 0x101e}}
+	ranked := Rank(victim, refs)
+	if ranked[0].Label != "b" || ranked[0].Score != 1.0 {
+		t.Errorf("top = %+v", ranked[0])
+	}
+	if ranked[1].Label != "c" || ranked[1].Score != 0.75 {
+		t.Errorf("second = %+v", ranked[1])
+	}
+	name, score := BestMatch(victim, refs)
+	if name != "b" || score != 1.0 {
+		t.Errorf("BestMatch = %s %v", name, score)
+	}
+	if n, s := BestMatch(victim, nil); n != "" || s != 0 {
+		t.Errorf("BestMatch with no refs = %q %v", n, s)
+	}
+}
+
+func TestSliceLengthMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("length mismatch should panic")
+		}
+	}()
+	Slice([]uint64{1, 2}, []bool{true})
+}
+
+// TestQuickSliceBalanced property-tests that for synthetic traces built
+// from random balanced call trees, Slice recovers exactly one trace per
+// call and attributes each PC to the innermost frame.
+func TestQuickSliceBalanced(t *testing.T) {
+	f := func(nCalls uint8, bodyLen uint8) bool {
+		n := int(nCalls%5) + 1
+		body := int(bodyLen%4) + 1
+		var pcs []uint64
+		var data []bool
+		pcs = append(pcs, 0x100)
+		data = append(data, false)
+		caller := uint64(0x100)
+		for c := 0; c < n; c++ {
+			// call from caller to function at 0x1000*(c+2)
+			entry := uint64(0x1000 * (c + 2))
+			data[len(data)-1] = true // the call step touches the stack
+			for i := 0; i < body; i++ {
+				pcs = append(pcs, entry+uint64(i)*2)
+				data = append(data, false)
+			}
+			data[len(data)-1] = true // the ret touches the stack
+			caller += 5
+			pcs = append(pcs, caller)
+			data = append(data, false)
+		}
+		traces := Slice(pcs, data)
+		if len(traces) != n {
+			return false
+		}
+		for c, tr := range traces {
+			if tr.Entry != uint64(0x1000*(c+2)) || len(tr.PCs) != body {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

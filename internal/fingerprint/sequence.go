@@ -1,0 +1,77 @@
+package fingerprint
+
+// Sequence-based fingerprinting: the §8.3 extension the paper leaves as
+// future work. Instead of compressing the victim's dynamic PC trace
+// into a set (losing ordering and loop structure), the dynamic sequence
+// itself is matched against reference executions with an alignment
+// score, "similar to genomic (DNA) sequence matching" — tolerant of the
+// measurement errors (mutations) NV-S introduces.
+//
+// The attacker owns the reference binaries, so it can produce reference
+// *dynamic* traces offline by running the candidate functions on chosen
+// inputs; SequenceSimilarity then scores the victim trace against each.
+
+// SequenceSimilarity returns the length of the longest common
+// subsequence between the victim and reference PC sequences, normalized
+// by the victim length: 1.0 means the entire victim trace appears, in
+// order, inside the reference execution. Both sequences should be
+// normalized to their function entries first.
+func SequenceSimilarity(victim, reference []uint64) float64 {
+	if len(victim) == 0 {
+		return 0
+	}
+	return float64(lcs(victim, reference)) / float64(len(victim))
+}
+
+// lcs computes the longest-common-subsequence length with a rolling
+// two-row DP (O(len(a)*len(b)) time, O(len(b)) space).
+func lcs(a, b []uint64) int {
+	if len(a) == 0 || len(b) == 0 {
+		return 0
+	}
+	prev := make([]int, len(b)+1)
+	cur := make([]int, len(b)+1)
+	for i := 1; i <= len(a); i++ {
+		for j := 1; j <= len(b); j++ {
+			switch {
+			case a[i-1] == b[j-1]:
+				cur[j] = prev[j-1] + 1
+			case prev[j] >= cur[j-1]:
+				cur[j] = prev[j]
+			default:
+				cur[j] = cur[j-1]
+			}
+		}
+		prev, cur = cur, prev
+	}
+	return prev[len(b)]
+}
+
+// SequenceReference is a reference function's dynamic fingerprint: one
+// or more offline executions, normalized to the entry PC.
+type SequenceReference struct {
+	Name   string
+	Traces [][]uint64
+}
+
+// NormalizedSequence converts a sliced FuncTrace into the entry-relative
+// PC sequence used for alignment.
+func (ft FuncTrace) NormalizedSequence() []uint64 {
+	out := make([]uint64, len(ft.PCs))
+	for i, pc := range ft.PCs {
+		out[i] = pc - ft.Entry
+	}
+	return out
+}
+
+// SequenceScore scores a victim sequence against the reference: the
+// best alignment over the reference's recorded executions.
+func (r SequenceReference) SequenceScore(victim []uint64) float64 {
+	best := 0.0
+	for _, ref := range r.Traces {
+		if s := SequenceSimilarity(victim, ref); s > best {
+			best = s
+		}
+	}
+	return best
+}

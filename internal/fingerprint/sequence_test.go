@@ -1,0 +1,123 @@
+package fingerprint
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestLCSBasics(t *testing.T) {
+	cases := []struct {
+		a, b []uint64
+		want int
+	}{
+		{nil, nil, 0},
+		{[]uint64{1, 2, 3}, nil, 0},
+		{[]uint64{1, 2, 3}, []uint64{1, 2, 3}, 3},
+		{[]uint64{1, 2, 3}, []uint64{3, 2, 1}, 1},
+		{[]uint64{1, 3, 5, 7}, []uint64{0, 1, 2, 3, 4, 5, 6}, 3},
+		{[]uint64{1, 2, 1, 2}, []uint64{1, 1, 2, 2}, 3},
+	}
+	for _, c := range cases {
+		if got := lcs(c.a, c.b); got != c.want {
+			t.Errorf("lcs(%v,%v) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestSequenceSimilarity(t *testing.T) {
+	victim := []uint64{0, 2, 4, 2, 4, 8}
+	if s := SequenceSimilarity(victim, victim); s != 1 {
+		t.Errorf("self similarity = %v", s)
+	}
+	if s := SequenceSimilarity(nil, victim); s != 0 {
+		t.Errorf("empty victim = %v", s)
+	}
+	// Ordering matters: a set-identical but order-scrambled reference
+	// scores below 1.
+	scrambled := []uint64{8, 4, 2, 4, 2, 0}
+	if s := SequenceSimilarity(victim, scrambled); s >= 1 {
+		t.Errorf("scrambled similarity = %v, want < 1", s)
+	}
+}
+
+// TestSequenceBeatsSetOnLoopStructure: two functions with identical
+// static PC sets but different loop behavior are indistinguishable to
+// set intersection and distinguishable to sequence alignment — the
+// §8.3 motivation.
+func TestSequenceBeatsSetOnLoopStructure(t *testing.T) {
+	// Victim executes the loop body three times: 0,2,4, 2,4, 2,4, 6.
+	victim := FuncTrace{Entry: 0x1000, PCs: []uint64{
+		0x1000, 0x1002, 0x1004, 0x1002, 0x1004, 0x1002, 0x1004, 0x1006,
+	}}
+	// Reference A: same loop run three times (the true function).
+	refA := SequenceReference{Name: "A", Traces: [][]uint64{
+		{0, 2, 4, 2, 4, 2, 4, 6},
+	}}
+	// Reference B: straight-line code with the same static PCs.
+	refB := SequenceReference{Name: "B", Traces: [][]uint64{
+		{0, 2, 4, 6},
+	}}
+	setRefA := NewReference("A", []uint64{0, 2, 4, 6})
+	setRefB := NewReference("B", []uint64{0, 2, 4, 6})
+
+	set := victim.NormalizedSet()
+	if Similarity(set, setRefA) != Similarity(set, setRefB) {
+		t.Fatal("setup: set similarity should tie")
+	}
+	seq := victim.NormalizedSequence()
+	a, b := refA.SequenceScore(seq), refB.SequenceScore(seq)
+	if a <= b {
+		t.Errorf("sequence scores A=%v B=%v: alignment should break the tie toward A", a, b)
+	}
+	if a != 1 {
+		t.Errorf("true reference alignment = %v, want 1", a)
+	}
+}
+
+// TestSequenceTolerantOfMeasurementErrors: a few corrupted PCs
+// (mutations) lower the score proportionally instead of breaking the
+// match.
+func TestSequenceTolerantOfMeasurementErrors(t *testing.T) {
+	ref := make([]uint64, 100)
+	for i := range ref {
+		ref[i] = uint64(i * 2)
+	}
+	victim := append([]uint64(nil), ref...)
+	victim[10] = 9999 // mutated measurements
+	victim[50] = 8888
+	s := SequenceSimilarity(victim, ref)
+	if s < 0.97 || s >= 1 {
+		t.Errorf("similarity with 2/100 mutations = %v, want ~0.98", s)
+	}
+}
+
+// TestQuickLCSBounds property-tests the DP: lcs(a,b) <= min(len), is
+// symmetric, and lcs(a,a) == len(a).
+func TestQuickLCSBounds(t *testing.T) {
+	f := func(a, b []uint64) bool {
+		if len(a) > 80 {
+			a = a[:80]
+		}
+		if len(b) > 80 {
+			b = b[:80]
+		}
+		// Shrink the alphabet so matches actually occur.
+		for i := range a {
+			a[i] %= 8
+		}
+		for i := range b {
+			b[i] %= 8
+		}
+		l := lcs(a, b)
+		if l > len(a) || l > len(b) {
+			return false
+		}
+		if lcs(b, a) != l {
+			return false
+		}
+		return lcs(a, a) == len(a)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

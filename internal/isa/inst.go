@@ -1,0 +1,212 @@
+package isa
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Inst is one decoded instruction. The zero value is not meaningful;
+// instructions are produced by Decode or by the constructors below.
+type Inst struct {
+	Op   Op
+	Dst  Reg   // destination / first register operand
+	Src  Reg   // source / base register operand
+	Imm  int64 // immediate, displacement, or branch relative offset
+	Size int   // encoded length in bytes
+}
+
+// Kind returns the control-flow classification of the instruction.
+func (in Inst) Kind() Kind { return in.Op.Kind() }
+
+// IsControlTransfer reports whether the instruction redirects the
+// instruction stream.
+func (in Inst) IsControlTransfer() bool { return in.Op.Kind().IsControlTransfer() }
+
+// BranchTarget returns the absolute target of a direct control transfer
+// whose first byte is at pc. Relative offsets are applied to the address
+// of the following instruction, as on x86.
+func (in Inst) BranchTarget(pc uint64) uint64 {
+	return pc + uint64(in.Size) + uint64(in.Imm)
+}
+
+// LastByte returns the address of the final byte of the instruction whose
+// first byte is at pc. BTB entries are keyed on this address (see
+// internal/btb).
+func (in Inst) LastByte(pc uint64) uint64 {
+	return pc + uint64(in.Size) - 1
+}
+
+// String renders the instruction in assembler-like syntax. Branch targets
+// are shown as relative offsets since the instruction does not know its
+// own address.
+func (in Inst) String() string {
+	switch in.Op.Format() {
+	case FmtNone:
+		return in.Op.Name()
+	case FmtReg:
+		return fmt.Sprintf("%s %s", in.Op.Name(), in.Dst)
+	case FmtRegReg:
+		return fmt.Sprintf("%s %s, %s", in.Op.Name(), in.Dst, in.Src)
+	case FmtRegImm8, FmtRegImm32, FmtRegImm64:
+		return fmt.Sprintf("%s %s, %d", in.Op.Name(), in.Dst, in.Imm)
+	case FmtRel8, FmtRel32, FmtRel32J:
+		return fmt.Sprintf("%s .%+d", in.Op.Name(), in.Imm)
+	case FmtMem8, FmtMem32:
+		if in.Op == OpSt8 || in.Op == OpSt32 {
+			return fmt.Sprintf("%s [%s%+d], %s", in.Op.Name(), in.Src, in.Imm, in.Dst)
+		}
+		return fmt.Sprintf("%s %s, [%s%+d]", in.Op.Name(), in.Dst, in.Src, in.Imm)
+	case FmtImm8:
+		return fmt.Sprintf("%s %d", in.Op.Name(), in.Imm)
+	}
+	return in.Op.Name()
+}
+
+// Encode appends the binary encoding of the instruction to dst and
+// returns the extended slice. It panics if the instruction's immediate
+// does not fit its format; the assembler validates ranges before
+// encoding.
+func (in Inst) Encode(dst []byte) []byte {
+	dst = append(dst, byte(in.Op))
+	switch in.Op.Format() {
+	case FmtNone:
+	case FmtReg:
+		dst = append(dst, byte(in.Dst))
+	case FmtRegReg:
+		dst = append(dst, byte(in.Dst)<<4|byte(in.Src))
+	case FmtRegImm8:
+		checkImm(in, -128, 127)
+		dst = append(dst, byte(in.Dst), byte(in.Imm))
+	case FmtRegImm32:
+		checkImm(in, -1<<31, 1<<31-1)
+		dst = append(dst, byte(in.Dst))
+		dst = binary.LittleEndian.AppendUint32(dst, uint32(in.Imm))
+	case FmtRegImm64:
+		dst = append(dst, byte(in.Dst))
+		dst = binary.LittleEndian.AppendUint64(dst, uint64(in.Imm))
+	case FmtRel8:
+		checkImm(in, -128, 127)
+		dst = append(dst, byte(in.Imm))
+	case FmtRel32:
+		checkImm(in, -1<<31, 1<<31-1)
+		dst = binary.LittleEndian.AppendUint32(dst, uint32(in.Imm))
+		dst = append(dst, 0) // pad byte, mirrors x86 two-byte 0F 8x opcodes
+	case FmtRel32J:
+		checkImm(in, -1<<31, 1<<31-1)
+		dst = binary.LittleEndian.AppendUint32(dst, uint32(in.Imm))
+	case FmtMem8:
+		checkImm(in, -128, 127)
+		dst = append(dst, byte(in.Dst)<<4|byte(in.Src), byte(in.Imm))
+	case FmtMem32:
+		checkImm(in, -1<<31, 1<<31-1)
+		dst = append(dst, byte(in.Dst)<<4|byte(in.Src))
+		dst = binary.LittleEndian.AppendUint32(dst, uint32(in.Imm))
+	case FmtImm8:
+		checkImm(in, 0, 255)
+		dst = append(dst, byte(in.Imm))
+	}
+	return dst
+}
+
+func checkImm(in Inst, lo, hi int64) {
+	if in.Imm < lo || in.Imm > hi {
+		panic(fmt.Sprintf("isa: immediate %d out of range [%d,%d] for %s", in.Imm, lo, hi, in.Op.Name()))
+	}
+}
+
+// DecodeErr describes a failed decode.
+type DecodeErr struct {
+	Byte   byte // the offending opcode byte
+	Reason string
+}
+
+func (e *DecodeErr) Error() string {
+	return fmt.Sprintf("isa: cannot decode byte %#02x: %s", e.Byte, e.Reason)
+}
+
+// Decode decodes the instruction starting at buf[0]. It returns the
+// instruction and nil, or a zero Inst and a *DecodeErr if the bytes do
+// not form a valid instruction (undefined opcode or truncated operands).
+//
+// Decoding untrusted byte soup is normal operation for the simulator: the
+// front end may fetch from mid-instruction addresses after a BTB false
+// hit, exactly the situation the paper's attack manufactures.
+func Decode(buf []byte) (Inst, error) {
+	if len(buf) == 0 {
+		return Inst{}, &DecodeErr{0, "empty buffer"}
+	}
+	op := Op(buf[0])
+	if !op.Valid() {
+		return Inst{}, &DecodeErr{buf[0], "undefined opcode"}
+	}
+	size := op.Len()
+	if len(buf) < size {
+		return Inst{}, &DecodeErr{buf[0], "truncated instruction"}
+	}
+	in := Inst{Op: op, Size: size}
+	switch op.Format() {
+	case FmtNone:
+	case FmtReg:
+		in.Dst = Reg(buf[1] & 0x0F)
+	case FmtRegReg:
+		in.Dst = Reg(buf[1] >> 4)
+		in.Src = Reg(buf[1] & 0x0F)
+	case FmtRegImm8:
+		in.Dst = Reg(buf[1] & 0x0F)
+		in.Imm = int64(int8(buf[2]))
+	case FmtRegImm32:
+		in.Dst = Reg(buf[1] & 0x0F)
+		in.Imm = int64(int32(binary.LittleEndian.Uint32(buf[2:])))
+	case FmtRegImm64:
+		in.Dst = Reg(buf[1] & 0x0F)
+		in.Imm = int64(binary.LittleEndian.Uint64(buf[2:]))
+	case FmtRel8:
+		in.Imm = int64(int8(buf[1]))
+	case FmtRel32, FmtRel32J:
+		in.Imm = int64(int32(binary.LittleEndian.Uint32(buf[1:])))
+	case FmtMem8:
+		in.Dst = Reg(buf[1] >> 4)
+		in.Src = Reg(buf[1] & 0x0F)
+		in.Imm = int64(int8(buf[2]))
+	case FmtMem32:
+		in.Dst = Reg(buf[1] >> 4)
+		in.Src = Reg(buf[1] & 0x0F)
+		in.Imm = int64(int32(binary.LittleEndian.Uint32(buf[2:])))
+	case FmtImm8:
+		in.Imm = int64(buf[1])
+	}
+	return in, nil
+}
+
+// Constructors. These cover the instruction shapes the code generator,
+// victims and attack snippets need; the assembler uses Inst literals
+// directly.
+
+// Nop returns a 1-byte nop.
+func Nop() Inst { return Inst{Op: OpNop, Size: 1} }
+
+// Ret returns a 1-byte ret.
+func Ret() Inst { return Inst{Op: OpRet, Size: 1} }
+
+// Hlt returns a 1-byte hlt.
+func Hlt() Inst { return Inst{Op: OpHlt, Size: 1} }
+
+// Jmp8 returns a 2-byte direct jump with the given rel8 offset.
+func Jmp8(rel int64) Inst { return Inst{Op: OpJmp8, Imm: rel, Size: OpJmp8.Len()} }
+
+// Jmp32 returns a 5-byte direct jump with the given rel32 offset.
+func Jmp32(rel int64) Inst { return Inst{Op: OpJmp32, Imm: rel, Size: OpJmp32.Len()} }
+
+// Call32 returns a 5-byte direct call with the given rel32 offset.
+func Call32(rel int64) Inst { return Inst{Op: OpCall32, Imm: rel, Size: OpCall32.Len()} }
+
+// MovImm64 returns a 10-byte load of a 64-bit immediate.
+func MovImm64(dst Reg, v uint64) Inst {
+	return Inst{Op: OpMovImm64, Dst: dst, Imm: int64(v), Size: OpMovImm64.Len()}
+}
+
+// JmpReg returns a 2-byte indirect jump through reg.
+func JmpReg(r Reg) Inst { return Inst{Op: OpJmpReg, Dst: r, Size: OpJmpReg.Len()} }
+
+// Syscall returns a 2-byte syscall with the given call number.
+func Syscall(n uint8) Inst { return Inst{Op: OpSyscall, Imm: int64(n), Size: OpSyscall.Len()} }

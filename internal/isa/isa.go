@@ -1,0 +1,406 @@
+// Package isa defines the simulator's instruction set architecture.
+//
+// The ISA is a compact, x86-flavored, variable-length encoding (1 to 10
+// bytes per instruction). Variable instruction length is load-bearing for
+// the NightVision reproduction: the paper's function-fingerprinting use
+// case (§6.4) derives its entropy from x86's variable-length encoding,
+// where instruction semantics directly influence instruction length and
+// therefore the PC trace.
+//
+// The package is pure data: it knows how to encode, decode and classify
+// instructions, but attaches no execution semantics. Execution lives in
+// internal/cpu.
+package isa
+
+import "fmt"
+
+// Reg identifies one of the 16 general-purpose 64-bit registers R0..R15.
+// By convention R15 is the stack pointer (SP) and R14 the frame/link
+// scratch register, but the ISA itself does not enforce this.
+type Reg uint8
+
+// Well-known register aliases.
+const (
+	R0 Reg = iota
+	R1
+	R2
+	R3
+	R4
+	R5
+	R6
+	R7
+	R8
+	R9
+	R10
+	R11
+	R12
+	R13
+	R14
+	SP // R15: stack pointer
+)
+
+// NumRegs is the number of architectural general-purpose registers.
+const NumRegs = 16
+
+// MaxLen is the longest instruction encoding in bytes (movabs).
+const MaxLen = 10
+
+// String returns the assembler name of the register.
+func (r Reg) String() string {
+	if r == SP {
+		return "sp"
+	}
+	return fmt.Sprintf("r%d", uint8(r))
+}
+
+// Op enumerates the instruction opcodes. The numeric values are the first
+// encoded byte of each instruction; they are stable and part of the binary
+// format.
+type Op uint8
+
+// Opcode space. Lengths are determined by each opcode's format (see
+// opInfoTable): the same mnemonic may appear with several widths, mirroring
+// x86's rel8/rel32 and imm8/imm32 split.
+const (
+	// 1-byte instructions.
+	OpNop Op = 0x01 // nop
+	OpRet Op = 0x02 // ret
+	OpHlt Op = 0x03 // hlt: stop the core
+
+	// Control transfer, direct.
+	OpJmp8   Op = 0x10 // jmp rel8   (2 bytes)
+	OpJmp32  Op = 0x11 // jmp rel32  (5 bytes)
+	OpCall32 Op = 0x12 // call rel32 (5 bytes)
+
+	// Conditional branches, rel8 (2 bytes).
+	OpJz8  Op = 0x18
+	OpJnz8 Op = 0x19
+	OpJc8  Op = 0x1A
+	OpJnc8 Op = 0x1B
+	OpJl8  Op = 0x1C
+	OpJge8 Op = 0x1D
+	OpJle8 Op = 0x1E
+	OpJg8  Op = 0x1F
+	OpJs8  Op = 0x20
+	OpJns8 Op = 0x21
+
+	// Conditional branches, rel32 (6 bytes: opcode + cc byte kept implicit,
+	// 1 opcode + 4 rel + 1 pad to mirror x86's 0F 8x cc encodings).
+	OpJz32  Op = 0x28
+	OpJnz32 Op = 0x29
+	OpJc32  Op = 0x2A
+	OpJnc32 Op = 0x2B
+	OpJl32  Op = 0x2C
+	OpJge32 Op = 0x2D
+	OpJle32 Op = 0x2E
+	OpJg32  Op = 0x2F
+
+	// Control transfer, indirect (2 bytes: opcode + reg).
+	OpJmpReg  Op = 0x30 // jmpr rN
+	OpCallReg Op = 0x31 // callr rN
+
+	// Moves.
+	OpMovRR    Op = 0x40 // mov rD, rS          (2 bytes)
+	OpMovImm32 Op = 0x41 // movi rD, imm32      (6 bytes, sign-extended)
+	OpMovImm64 Op = 0x42 // movabs rD, imm64    (10 bytes)
+	OpCmovz    Op = 0x43 // cmovz rD, rS        (2 bytes)
+	OpCmovnz   Op = 0x44 // cmovnz rD, rS       (2 bytes)
+	OpCmovc    Op = 0x45 // cmovc rD, rS        (2 bytes)
+	OpCmovnc   Op = 0x46 // cmovnc rD, rS       (2 bytes)
+
+	// ALU reg-reg (2 bytes).
+	OpAddRR  Op = 0x50
+	OpSubRR  Op = 0x51
+	OpAndRR  Op = 0x52
+	OpOrRR   Op = 0x53
+	OpXorRR  Op = 0x54
+	OpCmpRR  Op = 0x55
+	OpTestRR Op = 0x56
+	OpMulRR  Op = 0x57
+	OpDivRR  Op = 0x58
+	OpShlRR  Op = 0x59 // dst <<= src & 63
+	OpShrRR  Op = 0x5A // dst >>= src & 63
+
+	// ALU reg-imm8 (3 bytes).
+	OpAddI8 Op = 0x60
+	OpSubI8 Op = 0x61
+	OpAndI8 Op = 0x62
+	OpOrI8  Op = 0x63
+	OpXorI8 Op = 0x64
+	OpCmpI8 Op = 0x65
+	OpShlI8 Op = 0x66
+	OpShrI8 Op = 0x67
+	OpSarI8 Op = 0x68
+
+	// ALU reg-imm32 (6 bytes).
+	OpAddI32 Op = 0x70
+	OpSubI32 Op = 0x71
+	OpAndI32 Op = 0x72
+	OpOrI32  Op = 0x73
+	OpXorI32 Op = 0x74
+	OpCmpI32 Op = 0x75
+
+	// Memory (load/store), disp8 (3 bytes) and disp32 (6 bytes).
+	OpLd8   Op = 0x80 // ld  rD, [rB+disp8]
+	OpSt8   Op = 0x81 // st  [rB+disp8], rS
+	OpLd32  Op = 0x82 // ld32  rD, [rB+disp32]
+	OpSt32  Op = 0x83 // st32  [rB+disp32], rS
+	OpLea32 Op = 0x84 // lea rD, [rB+disp32]
+
+	// Stack (2 bytes).
+	OpPush Op = 0x88 // push rS
+	OpPop  Op = 0x89 // pop rD
+
+	// System (2 bytes: opcode + call number).
+	OpSyscall Op = 0x8E // syscall imm8
+)
+
+// Cond enumerates condition codes for conditional branches and cmov.
+type Cond uint8
+
+// Condition codes. The flag predicates match their x86 namesakes.
+const (
+	CondZ  Cond = iota // ZF
+	CondNZ             // !ZF
+	CondC              // CF
+	CondNC             // !CF
+	CondL              // SF != OF
+	CondGE             // SF == OF
+	CondLE             // ZF || SF != OF
+	CondG              // !ZF && SF == OF
+	CondS              // SF
+	CondNS             // !SF
+	CondNone
+)
+
+// Fmt identifies an instruction's operand layout, which determines its
+// encoded length.
+type Fmt uint8
+
+// Operand formats.
+const (
+	FmtNone     Fmt = iota // opcode only                      (1 byte)
+	FmtReg                 // opcode, reg                      (2 bytes)
+	FmtRegReg              // opcode, dst<<4|src               (2 bytes)
+	FmtRegImm8             // opcode, reg, imm8                (3 bytes)
+	FmtRegImm32            // opcode, reg, imm32               (6 bytes)
+	FmtRegImm64            // opcode, reg, imm64               (10 bytes)
+	FmtRel8                // opcode, rel8                     (2 bytes)
+	FmtRel32               // opcode, rel32, pad               (6 bytes) for Jcc32
+	FmtRel32J              // opcode, rel32                    (5 bytes) for jmp/call
+	FmtMem8                // opcode, reg<<4|base, disp8       (3 bytes)
+	FmtMem32               // opcode, reg<<4|base, disp32      (6 bytes)
+	FmtImm8                // opcode, imm8                     (2 bytes)
+)
+
+// fmtLen maps each format to its total encoded byte length.
+var fmtLen = [...]int{
+	FmtNone:     1,
+	FmtReg:      2,
+	FmtRegReg:   2,
+	FmtRegImm8:  3,
+	FmtRegImm32: 6,
+	FmtRegImm64: 10,
+	FmtRel8:     2,
+	FmtRel32:    6,
+	FmtRel32J:   5,
+	FmtMem8:     3,
+	FmtMem32:    6,
+	FmtImm8:     2,
+}
+
+// Kind classifies instructions by their control-flow role. The BTB model
+// and the NightVision attack both key off this classification.
+type Kind uint8
+
+// Instruction kinds.
+const (
+	KindOther   Kind = iota // non-control-transfer instruction
+	KindJump                // unconditional direct jump
+	KindCond                // conditional direct branch
+	KindCall                // direct call
+	KindRet                 // return
+	KindIndJump             // indirect jump
+	KindIndCall             // indirect call
+	KindHalt                // hlt
+)
+
+// opInfo is the static description of one opcode.
+type opInfo struct {
+	name string
+	fmt  Fmt
+	kind Kind
+	cond Cond
+}
+
+var opTable = map[Op]opInfo{
+	OpNop: {"nop", FmtNone, KindOther, CondNone},
+	OpRet: {"ret", FmtNone, KindRet, CondNone},
+	OpHlt: {"hlt", FmtNone, KindHalt, CondNone},
+
+	OpJmp8:   {"jmp8", FmtRel8, KindJump, CondNone},
+	OpJmp32:  {"jmp", FmtRel32J, KindJump, CondNone},
+	OpCall32: {"call", FmtRel32J, KindCall, CondNone},
+
+	OpJz8:  {"jz8", FmtRel8, KindCond, CondZ},
+	OpJnz8: {"jnz8", FmtRel8, KindCond, CondNZ},
+	OpJc8:  {"jc8", FmtRel8, KindCond, CondC},
+	OpJnc8: {"jnc8", FmtRel8, KindCond, CondNC},
+	OpJl8:  {"jl8", FmtRel8, KindCond, CondL},
+	OpJge8: {"jge8", FmtRel8, KindCond, CondGE},
+	OpJle8: {"jle8", FmtRel8, KindCond, CondLE},
+	OpJg8:  {"jg8", FmtRel8, KindCond, CondG},
+	OpJs8:  {"js8", FmtRel8, KindCond, CondS},
+	OpJns8: {"jns8", FmtRel8, KindCond, CondNS},
+
+	OpJz32:  {"jz", FmtRel32, KindCond, CondZ},
+	OpJnz32: {"jnz", FmtRel32, KindCond, CondNZ},
+	OpJc32:  {"jc", FmtRel32, KindCond, CondC},
+	OpJnc32: {"jnc", FmtRel32, KindCond, CondNC},
+	OpJl32:  {"jl", FmtRel32, KindCond, CondL},
+	OpJge32: {"jge", FmtRel32, KindCond, CondGE},
+	OpJle32: {"jle", FmtRel32, KindCond, CondLE},
+	OpJg32:  {"jg", FmtRel32, KindCond, CondG},
+
+	OpJmpReg:  {"jmpr", FmtReg, KindIndJump, CondNone},
+	OpCallReg: {"callr", FmtReg, KindIndCall, CondNone},
+
+	OpMovRR:    {"mov", FmtRegReg, KindOther, CondNone},
+	OpMovImm32: {"movi", FmtRegImm32, KindOther, CondNone},
+	OpMovImm64: {"movabs", FmtRegImm64, KindOther, CondNone},
+	OpCmovz:    {"cmovz", FmtRegReg, KindOther, CondZ},
+	OpCmovnz:   {"cmovnz", FmtRegReg, KindOther, CondNZ},
+	OpCmovc:    {"cmovc", FmtRegReg, KindOther, CondC},
+	OpCmovnc:   {"cmovnc", FmtRegReg, KindOther, CondNC},
+
+	OpAddRR:  {"add", FmtRegReg, KindOther, CondNone},
+	OpSubRR:  {"sub", FmtRegReg, KindOther, CondNone},
+	OpAndRR:  {"and", FmtRegReg, KindOther, CondNone},
+	OpOrRR:   {"or", FmtRegReg, KindOther, CondNone},
+	OpXorRR:  {"xor", FmtRegReg, KindOther, CondNone},
+	OpCmpRR:  {"cmp", FmtRegReg, KindOther, CondNone},
+	OpTestRR: {"test", FmtRegReg, KindOther, CondNone},
+	OpMulRR:  {"mul", FmtRegReg, KindOther, CondNone},
+	OpDivRR:  {"div", FmtRegReg, KindOther, CondNone},
+	OpShlRR:  {"shlr", FmtRegReg, KindOther, CondNone},
+	OpShrRR:  {"shrr", FmtRegReg, KindOther, CondNone},
+
+	OpAddI8: {"addi", FmtRegImm8, KindOther, CondNone},
+	OpSubI8: {"subi", FmtRegImm8, KindOther, CondNone},
+	OpAndI8: {"andi", FmtRegImm8, KindOther, CondNone},
+	OpOrI8:  {"ori", FmtRegImm8, KindOther, CondNone},
+	OpXorI8: {"xori", FmtRegImm8, KindOther, CondNone},
+	OpCmpI8: {"cmpi", FmtRegImm8, KindOther, CondNone},
+	OpShlI8: {"shl", FmtRegImm8, KindOther, CondNone},
+	OpShrI8: {"shr", FmtRegImm8, KindOther, CondNone},
+	OpSarI8: {"sar", FmtRegImm8, KindOther, CondNone},
+
+	OpAddI32: {"addi32", FmtRegImm32, KindOther, CondNone},
+	OpSubI32: {"subi32", FmtRegImm32, KindOther, CondNone},
+	OpAndI32: {"andi32", FmtRegImm32, KindOther, CondNone},
+	OpOrI32:  {"ori32", FmtRegImm32, KindOther, CondNone},
+	OpXorI32: {"xori32", FmtRegImm32, KindOther, CondNone},
+	OpCmpI32: {"cmpi32", FmtRegImm32, KindOther, CondNone},
+
+	OpLd8:   {"ld", FmtMem8, KindOther, CondNone},
+	OpSt8:   {"st", FmtMem8, KindOther, CondNone},
+	OpLd32:  {"ld32", FmtMem32, KindOther, CondNone},
+	OpSt32:  {"st32", FmtMem32, KindOther, CondNone},
+	OpLea32: {"lea", FmtMem32, KindOther, CondNone},
+
+	OpPush: {"push", FmtReg, KindOther, CondNone},
+	OpPop:  {"pop", FmtReg, KindOther, CondNone},
+
+	OpSyscall: {"syscall", FmtImm8, KindOther, CondNone},
+}
+
+// Valid reports whether op is a defined opcode.
+func (op Op) Valid() bool {
+	_, ok := opTable[op]
+	return ok
+}
+
+// Name returns the canonical mnemonic for the opcode, or "op(0xNN)" if it
+// is not defined.
+func (op Op) Name() string {
+	if info, ok := opTable[op]; ok {
+		return info.name
+	}
+	return fmt.Sprintf("op(%#02x)", uint8(op))
+}
+
+// Format returns the operand format of the opcode. It panics on an
+// undefined opcode; callers must check Valid first when decoding
+// untrusted bytes.
+func (op Op) Format() Fmt {
+	info, ok := opTable[op]
+	if !ok {
+		panic(fmt.Sprintf("isa: format of undefined opcode %#02x", uint8(op)))
+	}
+	return info.fmt
+}
+
+// Kind returns the control-flow classification of the opcode.
+func (op Op) Kind() Kind {
+	info, ok := opTable[op]
+	if !ok {
+		return KindOther
+	}
+	return info.kind
+}
+
+// CondCode returns the condition evaluated by a conditional branch or
+// cmov opcode, or CondNone.
+func (op Op) CondCode() Cond {
+	info, ok := opTable[op]
+	if !ok {
+		return CondNone
+	}
+	return info.cond
+}
+
+// Len returns the encoded length in bytes of an instruction with this
+// opcode. It panics on undefined opcodes.
+func (op Op) Len() int {
+	return fmtLen[op.Format()]
+}
+
+// IsControlTransfer reports whether the kind redirects the instruction
+// stream.
+func (k Kind) IsControlTransfer() bool {
+	switch k {
+	case KindJump, KindCond, KindCall, KindRet, KindIndJump, KindIndCall:
+		return true
+	}
+	return false
+}
+
+// IsIndirect reports whether the kind's target comes from a register
+// rather than the instruction encoding. IBRS/IBPB (§4.1 of the paper)
+// restrict exactly these.
+func (k Kind) IsIndirect() bool {
+	return k == KindIndJump || k == KindIndCall
+}
+
+// String returns a short human-readable name for the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindOther:
+		return "other"
+	case KindJump:
+		return "jump"
+	case KindCond:
+		return "cond"
+	case KindCall:
+		return "call"
+	case KindRet:
+		return "ret"
+	case KindIndJump:
+		return "indjump"
+	case KindIndCall:
+		return "indcall"
+	case KindHalt:
+		return "halt"
+	}
+	return "invalid"
+}

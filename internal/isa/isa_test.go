@@ -1,0 +1,313 @@
+package isa
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestOpLenMatchesFormat(t *testing.T) {
+	cases := []struct {
+		op   Op
+		want int
+	}{
+		{OpNop, 1},
+		{OpRet, 1},
+		{OpHlt, 1},
+		{OpJmp8, 2},
+		{OpJmp32, 5},
+		{OpCall32, 5},
+		{OpJz8, 2},
+		{OpJz32, 6},
+		{OpJmpReg, 2},
+		{OpMovRR, 2},
+		{OpMovImm32, 6},
+		{OpMovImm64, 10},
+		{OpAddI8, 3},
+		{OpAddI32, 6},
+		{OpLd8, 3},
+		{OpLd32, 6},
+		{OpPush, 2},
+		{OpSyscall, 2},
+	}
+	for _, c := range cases {
+		if got := c.op.Len(); got != c.want {
+			t.Errorf("%s: Len = %d, want %d", c.op.Name(), got, c.want)
+		}
+	}
+}
+
+func TestKindClassification(t *testing.T) {
+	cases := []struct {
+		op   Op
+		kind Kind
+	}{
+		{OpNop, KindOther},
+		{OpAddRR, KindOther},
+		{OpJmp8, KindJump},
+		{OpJmp32, KindJump},
+		{OpJnz8, KindCond},
+		{OpJg32, KindCond},
+		{OpCall32, KindCall},
+		{OpRet, KindRet},
+		{OpJmpReg, KindIndJump},
+		{OpCallReg, KindIndCall},
+		{OpHlt, KindHalt},
+		{OpCmovz, KindOther}, // cmov is NOT a control transfer
+	}
+	for _, c := range cases {
+		if got := c.op.Kind(); got != c.kind {
+			t.Errorf("%s: Kind = %v, want %v", c.op.Name(), got, c.kind)
+		}
+	}
+}
+
+func TestControlTransferPredicate(t *testing.T) {
+	ct := []Kind{KindJump, KindCond, KindCall, KindRet, KindIndJump, KindIndCall}
+	for _, k := range ct {
+		if !k.IsControlTransfer() {
+			t.Errorf("%v: IsControlTransfer = false, want true", k)
+		}
+	}
+	for _, k := range []Kind{KindOther, KindHalt} {
+		if k.IsControlTransfer() {
+			t.Errorf("%v: IsControlTransfer = true, want false", k)
+		}
+	}
+	if !KindIndJump.IsIndirect() || !KindIndCall.IsIndirect() {
+		t.Error("indirect kinds must report IsIndirect")
+	}
+	if KindJump.IsIndirect() || KindCond.IsIndirect() {
+		t.Error("direct kinds must not report IsIndirect")
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	insts := []Inst{
+		Nop(),
+		Ret(),
+		Hlt(),
+		Jmp8(-5),
+		Jmp32(1 << 20),
+		Call32(-42),
+		{Op: OpJz8, Imm: 12, Size: 2},
+		{Op: OpJnz32, Imm: -300, Size: 6},
+		JmpReg(R7),
+		{Op: OpCallReg, Dst: R3, Size: 2},
+		{Op: OpMovRR, Dst: R1, Src: R2, Size: 2},
+		{Op: OpMovImm32, Dst: R4, Imm: -7, Size: 6},
+		MovImm64(R5, 0x1234_5678_9ABC_DEF0),
+		{Op: OpCmovnz, Dst: R8, Src: R9, Size: 2},
+		{Op: OpAddRR, Dst: R0, Src: SP, Size: 2},
+		{Op: OpCmpI8, Dst: R2, Imm: -1, Size: 3},
+		{Op: OpCmpI32, Dst: R2, Imm: 1 << 24, Size: 6},
+		{Op: OpLd8, Dst: R1, Src: R2, Imm: -16, Size: 3},
+		{Op: OpSt32, Dst: R6, Src: SP, Imm: 4096, Size: 6},
+		{Op: OpLea32, Dst: R3, Src: R4, Imm: 100, Size: 6},
+		{Op: OpPush, Dst: R11, Size: 2},
+		{Op: OpPop, Dst: R12, Size: 2},
+		Syscall(3),
+		{Op: OpShlI8, Dst: R1, Imm: 63, Size: 3},
+	}
+	for _, want := range insts {
+		buf := want.Encode(nil)
+		if len(buf) != want.Size {
+			t.Errorf("%s: encoded %d bytes, Size says %d", want, len(buf), want.Size)
+		}
+		got, err := Decode(buf)
+		if err != nil {
+			t.Errorf("%s: decode error: %v", want, err)
+			continue
+		}
+		if got != want {
+			t.Errorf("round trip: got %+v, want %+v", got, want)
+		}
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	if _, err := Decode(nil); err == nil {
+		t.Error("decoding empty buffer should fail")
+	}
+	if _, err := Decode([]byte{0xFF}); err == nil {
+		t.Error("decoding undefined opcode should fail")
+	}
+	// Truncated movabs: opcode says 10 bytes, give 3.
+	if _, err := Decode([]byte{byte(OpMovImm64), 0x01, 0x02}); err == nil {
+		t.Error("decoding truncated instruction should fail")
+	}
+	var de *DecodeErr
+	_, err := Decode([]byte{0xFF})
+	if e, ok := err.(*DecodeErr); ok {
+		de = e
+	} else {
+		t.Fatalf("error type = %T, want *DecodeErr", err)
+	}
+	if !strings.Contains(de.Error(), "0xff") {
+		t.Errorf("error message %q should mention the byte", de.Error())
+	}
+}
+
+func TestBranchTargetAndLastByte(t *testing.T) {
+	j := Jmp8(3) // 2 bytes at pc: target = pc+2+3
+	if got := j.BranchTarget(0x100); got != 0x105 {
+		t.Errorf("BranchTarget = %#x, want 0x105", got)
+	}
+	if got := j.LastByte(0x100); got != 0x101 {
+		t.Errorf("LastByte = %#x, want 0x101", got)
+	}
+	c := Call32(-10) // 5 bytes
+	if got := c.BranchTarget(0x200); got != 0x200+5-10 {
+		t.Errorf("call BranchTarget = %#x, want %#x", got, 0x200+5-10)
+	}
+}
+
+// TestEncodeImmediateRangePanics verifies that out-of-range immediates are
+// rejected at encode time rather than silently truncated.
+func TestEncodeImmediateRangePanics(t *testing.T) {
+	bad := []Inst{
+		{Op: OpJmp8, Imm: 200, Size: 2},
+		{Op: OpAddI8, Dst: R1, Imm: 128, Size: 3},
+		{Op: OpCmpI32, Dst: R1, Imm: 1 << 40, Size: 7},
+		{Op: OpLd8, Dst: R1, Src: R2, Imm: -129, Size: 3},
+	}
+	for _, in := range bad {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%v: expected panic for out-of-range immediate", in)
+				}
+			}()
+			in.Encode(nil)
+		}()
+	}
+}
+
+// allOps returns every defined opcode.
+func allOps() []Op {
+	var ops []Op
+	for op := Op(0); op < 0xFF; op++ {
+		if op.Valid() {
+			ops = append(ops, op)
+		}
+	}
+	return ops
+}
+
+// TestQuickRoundTrip property-tests encode/decode over randomly generated
+// valid instructions: Decode(Encode(i)) == i for every i.
+func TestQuickRoundTrip(t *testing.T) {
+	ops := allOps()
+	f := func(opIdx uint16, dst, src uint8, imm int64) bool {
+		op := ops[int(opIdx)%len(ops)]
+		in := Inst{Op: op, Size: op.Len()}
+		switch op.Format() {
+		case FmtNone:
+		case FmtReg, FmtRegImm8, FmtRegImm32, FmtRegImm64:
+			in.Dst = Reg(dst % NumRegs)
+		case FmtRegReg, FmtMem8, FmtMem32:
+			in.Dst = Reg(dst % NumRegs)
+			in.Src = Reg(src % NumRegs)
+		}
+		switch op.Format() {
+		case FmtRegImm8, FmtRel8, FmtMem8:
+			in.Imm = int64(int8(imm))
+		case FmtImm8:
+			in.Imm = int64(uint8(imm))
+		case FmtRegImm32, FmtRel32, FmtRel32J, FmtMem32:
+			in.Imm = int64(int32(imm))
+		case FmtRegImm64:
+			in.Imm = imm
+		}
+		buf := in.Encode(nil)
+		got, err := Decode(buf)
+		return err == nil && got == in && got.Size == len(buf)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickDecodeNeverPanics feeds random byte soup to the decoder; it
+// must return an error or an instruction, never panic. The front end
+// decodes mid-instruction bytes after BTB false hits, so this is a core
+// robustness property.
+func TestQuickDecodeNeverPanics(t *testing.T) {
+	f := func(buf []byte) (ok bool) {
+		defer func() {
+			if recover() != nil {
+				ok = false
+			}
+		}()
+		in, err := Decode(buf)
+		if err == nil && (in.Size <= 0 || in.Size > len(buf)) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRegString(t *testing.T) {
+	if R3.String() != "r3" {
+		t.Errorf("R3 = %q", R3.String())
+	}
+	if SP.String() != "sp" {
+		t.Errorf("SP = %q", SP.String())
+	}
+}
+
+func TestInstString(t *testing.T) {
+	cases := []struct {
+		in   Inst
+		want string
+	}{
+		{Nop(), "nop"},
+		{Inst{Op: OpMovRR, Dst: R1, Src: R2, Size: 2}, "mov r1, r2"},
+		{Inst{Op: OpSt8, Dst: R6, Src: R2, Imm: 8, Size: 3}, "st [r2+8], r6"},
+		{Inst{Op: OpLd8, Dst: R6, Src: R2, Imm: -8, Size: 3}, "ld r6, [r2-8]"},
+		{Jmp8(4), "jmp8 .+4"},
+		{Syscall(2), "syscall 2"},
+	}
+	for _, c := range cases {
+		if got := c.in.String(); got != c.want {
+			t.Errorf("String = %q, want %q", got, c.want)
+		}
+	}
+}
+
+func TestInstKindHelpers(t *testing.T) {
+	if Jmp8(1).Kind() != KindJump || !Jmp8(1).IsControlTransfer() {
+		t.Error("Jmp8 classification")
+	}
+	if Nop().IsControlTransfer() {
+		t.Error("nop is not a control transfer")
+	}
+}
+
+func TestOpCondCodeAndNames(t *testing.T) {
+	if OpJc8.CondCode() != CondC || OpJge32.CondCode() != CondGE {
+		t.Error("CondCode mapping")
+	}
+	if OpNop.CondCode() != CondNone || Op(0xEE).CondCode() != CondNone {
+		t.Error("CondCode for non-conditional ops")
+	}
+	if Op(0xEE).Name() != "op(0xee)" {
+		t.Errorf("undefined Name = %q", Op(0xEE).Name())
+	}
+}
+
+func TestKindString(t *testing.T) {
+	want := map[Kind]string{
+		KindOther: "other", KindJump: "jump", KindCond: "cond",
+		KindCall: "call", KindRet: "ret", KindIndJump: "indjump",
+		KindIndCall: "indcall", KindHalt: "halt", Kind(99): "invalid",
+	}
+	for k, s := range want {
+		if k.String() != s {
+			t.Errorf("%d.String() = %q, want %q", k, k.String(), s)
+		}
+	}
+}

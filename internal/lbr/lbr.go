@@ -1,0 +1,158 @@
+// Package lbr models Intel's Last Branch Record facility.
+//
+// The LBR is a ring of records describing retired control-transfer
+// instructions: source PC, target PC, whether the prediction was correct
+// (valid only for conditional branches, as on real hardware), and the
+// number of core cycles elapsed since the previous retired branch. The
+// paper uses the cycle field as its measurement channel because it is
+// orders of magnitude less noisy than rdtsc (§2.3, footnote 2); the
+// configurable noise model here lets experiments quantify that claim.
+package lbr
+
+import "repro/internal/nvrand"
+
+// Record is one retired-branch log entry.
+type Record struct {
+	From uint64 // PC of the branch instruction (first byte)
+	To   uint64 // target PC it retired to
+	// Mispredicted reports a wrong prediction. Hardware documents this
+	// bit only for conditional branches; MispredValid mirrors that.
+	Mispredicted bool
+	MispredValid bool
+	// Cycles is the elapsed core cycle count between the retirement of
+	// the previous recorded branch and this one, after measurement noise.
+	Cycles uint64
+}
+
+// DefaultDepth is the ring depth of modern Intel LBRs.
+const DefaultDepth = 32
+
+// LBR is the last-branch-record ring. Not safe for concurrent use.
+type LBR struct {
+	records []Record
+	next    int
+	filled  bool
+	enabled bool
+	frozen  bool
+
+	lastRetire uint64 // cycle of the previous recorded branch retirement
+
+	// Noise model: each Cycles value gets max(0, round(N(0, NoiseStdDev)))
+	// added. Zero stddev (the default) models the near-noiseless LBR; a
+	// large value models an rdtsc-based channel.
+	noiseStd float64
+	rng      *nvrand.Rand
+}
+
+// New returns an enabled LBR with the given ring depth (DefaultDepth if
+// depth <= 0).
+func New(depth int) *LBR {
+	if depth <= 0 {
+		depth = DefaultDepth
+	}
+	return &LBR{records: make([]Record, depth), enabled: true, rng: nvrand.New(0x1b2)}
+}
+
+// SetNoise configures the cycle measurement noise standard deviation and
+// the seed of its generator.
+func (l *LBR) SetNoise(stddev float64, seed uint64) {
+	l.noiseStd = stddev
+	l.rng = nvrand.New(seed)
+}
+
+// SetEnabled turns recording on or off. SGX disables LBR recording while
+// an enclave executes; internal/sgx drives this.
+func (l *LBR) SetEnabled(on bool) { l.enabled = on }
+
+// Enabled reports whether the LBR is recording.
+func (l *LBR) Enabled() bool { return l.enabled }
+
+// Freeze stops recording until Unfreeze, without clearing state. The
+// attacker freezes the LBR while reading it, as perf subsystems do.
+func (l *LBR) Freeze() { l.frozen = true }
+
+// Unfreeze resumes recording.
+func (l *LBR) Unfreeze() { l.frozen = false }
+
+// Clear empties the ring.
+func (l *LBR) Clear() {
+	l.next = 0
+	l.filled = false
+	l.lastRetire = 0
+}
+
+// RecordBranch logs a retired control transfer. cycle is the absolute
+// core cycle of retirement. The CPU core calls this; attack code reads
+// the ring via Records.
+func (l *LBR) RecordBranch(from, to, cycle uint64, mispredicted, mispredValid bool) {
+	if !l.enabled || l.frozen {
+		return
+	}
+	delta := cycle - l.lastRetire
+	if l.lastRetire == 0 {
+		delta = 0
+	}
+	l.lastRetire = cycle
+	if l.noiseStd > 0 {
+		n := l.rng.NormFloat64() * l.noiseStd
+		if d := float64(delta) + n; d > 0 {
+			delta = uint64(d + 0.5)
+		} else {
+			delta = 0
+		}
+	}
+	l.records[l.next] = Record{
+		From:         from,
+		To:           to,
+		Mispredicted: mispredicted,
+		MispredValid: mispredValid,
+		Cycles:       delta,
+	}
+	l.next++
+	if l.next == len(l.records) {
+		l.next = 0
+		l.filled = true
+	}
+}
+
+// Records returns the ring contents oldest-first. The returned slice is
+// freshly allocated.
+func (l *LBR) Records() []Record {
+	if !l.filled {
+		out := make([]Record, l.next)
+		copy(out, l.records[:l.next])
+		return out
+	}
+	out := make([]Record, len(l.records))
+	n := copy(out, l.records[l.next:])
+	copy(out[n:], l.records[:l.next])
+	return out
+}
+
+// Last returns the most recent record, or false if the ring is empty.
+func (l *LBR) Last() (Record, bool) {
+	if l.next == 0 && !l.filled {
+		return Record{}, false
+	}
+	idx := l.next - 1
+	if idx < 0 {
+		idx = len(l.records) - 1
+	}
+	return l.records[idx], true
+}
+
+// FindFrom returns the most recent record whose From equals pc, scanning
+// newest-first, and whether one was found. This is the primary probe
+// read used by the NightVision measurement harness.
+func (l *LBR) FindFrom(pc uint64) (Record, bool) {
+	recs := l.Records()
+	for i := len(recs) - 1; i >= 0; i-- {
+		if recs[i].From == pc {
+			return recs[i], true
+		}
+	}
+	return Record{}, false
+}
+
+// Depth returns the ring depth.
+func (l *LBR) Depth() int { return len(l.records) }

@@ -1,0 +1,158 @@
+package lbr
+
+import "testing"
+
+func TestRecordAndRead(t *testing.T) {
+	l := New(4)
+	l.RecordBranch(0x100, 0x200, 10, false, false)
+	l.RecordBranch(0x300, 0x400, 25, true, true)
+	recs := l.Records()
+	if len(recs) != 2 {
+		t.Fatalf("len = %d, want 2", len(recs))
+	}
+	if recs[0].From != 0x100 || recs[0].To != 0x200 {
+		t.Errorf("rec0 = %+v", recs[0])
+	}
+	if recs[0].Cycles != 0 {
+		t.Errorf("first record delta = %d, want 0 (no prior branch)", recs[0].Cycles)
+	}
+	if recs[1].Cycles != 15 {
+		t.Errorf("rec1 delta = %d, want 15", recs[1].Cycles)
+	}
+	if !recs[1].Mispredicted || !recs[1].MispredValid {
+		t.Errorf("rec1 flags = %+v", recs[1])
+	}
+}
+
+func TestRingWraps(t *testing.T) {
+	l := New(3)
+	for i := uint64(1); i <= 5; i++ {
+		l.RecordBranch(i*0x10, i*0x100, i*10, false, false)
+	}
+	recs := l.Records()
+	if len(recs) != 3 {
+		t.Fatalf("len = %d, want 3", len(recs))
+	}
+	// Oldest-first: records 3, 4, 5.
+	for i, want := range []uint64{0x30, 0x40, 0x50} {
+		if recs[i].From != want {
+			t.Errorf("recs[%d].From = %#x, want %#x", i, recs[i].From, want)
+		}
+	}
+}
+
+func TestLast(t *testing.T) {
+	l := New(2)
+	if _, ok := l.Last(); ok {
+		t.Error("empty LBR should have no Last")
+	}
+	l.RecordBranch(0x1, 0x2, 1, false, false)
+	r, ok := l.Last()
+	if !ok || r.From != 0x1 {
+		t.Errorf("Last = %+v, %v", r, ok)
+	}
+	l.RecordBranch(0x3, 0x4, 2, false, false)
+	l.RecordBranch(0x5, 0x6, 3, false, false) // wraps
+	r, _ = l.Last()
+	if r.From != 0x5 {
+		t.Errorf("Last.From = %#x, want 0x5", r.From)
+	}
+}
+
+func TestFindFrom(t *testing.T) {
+	l := New(8)
+	l.RecordBranch(0x100, 0x200, 10, false, false)
+	l.RecordBranch(0x100, 0x300, 30, false, false) // newer record, same From
+	l.RecordBranch(0x500, 0x600, 40, false, false)
+	r, ok := l.FindFrom(0x100)
+	if !ok {
+		t.Fatal("FindFrom should find 0x100")
+	}
+	if r.To != 0x300 {
+		t.Errorf("FindFrom returned older record: To = %#x", r.To)
+	}
+	if _, ok := l.FindFrom(0x999); ok {
+		t.Error("FindFrom should miss for unknown PC")
+	}
+}
+
+func TestDisabledAndFrozen(t *testing.T) {
+	l := New(4)
+	l.SetEnabled(false)
+	l.RecordBranch(0x1, 0x2, 1, false, false)
+	if len(l.Records()) != 0 {
+		t.Error("disabled LBR must not record")
+	}
+	l.SetEnabled(true)
+	l.Freeze()
+	l.RecordBranch(0x1, 0x2, 1, false, false)
+	if len(l.Records()) != 0 {
+		t.Error("frozen LBR must not record")
+	}
+	l.Unfreeze()
+	l.RecordBranch(0x1, 0x2, 1, false, false)
+	if len(l.Records()) != 1 {
+		t.Error("unfrozen LBR must record")
+	}
+}
+
+func TestClear(t *testing.T) {
+	l := New(4)
+	l.RecordBranch(0x1, 0x2, 100, false, false)
+	l.Clear()
+	if len(l.Records()) != 0 {
+		t.Error("Clear should empty the ring")
+	}
+	// After Clear the next record's delta restarts from zero.
+	l.RecordBranch(0x3, 0x4, 500, false, false)
+	r, _ := l.Last()
+	if r.Cycles != 0 {
+		t.Errorf("post-Clear delta = %d, want 0", r.Cycles)
+	}
+}
+
+func TestNoiseModel(t *testing.T) {
+	l := New(DefaultDepth)
+	l.SetNoise(3.0, 42)
+	cycle := uint64(0)
+	var deltas []uint64
+	for i := 0; i < 30; i++ {
+		cycle += 100
+		l.RecordBranch(uint64(i), uint64(i)+1, cycle, false, false)
+		r, _ := l.Last()
+		deltas = append(deltas, r.Cycles)
+	}
+	varied := false
+	for _, d := range deltas[1:] {
+		if d != 100 {
+			varied = true
+		}
+		if d > 120 || d < 80 {
+			t.Errorf("delta %d implausibly far from 100 for stddev 3", d)
+		}
+	}
+	if !varied {
+		t.Error("noise model should perturb at least one measurement")
+	}
+	// Determinism: same seed, same noise.
+	l2 := New(DefaultDepth)
+	l2.SetNoise(3.0, 42)
+	cycle = 0
+	for i := 0; i < 30; i++ {
+		cycle += 100
+		l2.RecordBranch(uint64(i), uint64(i)+1, cycle, false, false)
+		r, _ := l2.Last()
+		if r.Cycles != deltas[i] {
+			t.Fatal("noise must be deterministic for a fixed seed")
+		}
+	}
+}
+
+func TestDefaultDepth(t *testing.T) {
+	if New(0).Depth() != DefaultDepth {
+		t.Errorf("Depth = %d", New(0).Depth())
+	}
+	if New(-3).Depth() != DefaultDepth {
+		t.Error("negative depth should default")
+	}
+}

@@ -1,0 +1,300 @@
+// Package mem implements the simulator's 64-bit virtual address space.
+//
+// Memory is a sparse collection of 4 KiB pages with per-page permissions
+// and accessed/dirty bits, mirroring an x86 page-table view. Permission
+// faults are reported to a registered FaultHandler, which is how the
+// supervisor-level attacker mounts controlled-channel attacks (Xu et al.,
+// cited as [64] in the paper): revoke execute permission on a code page,
+// observe the fault, learn the page number of the next fetch.
+package mem
+
+import "fmt"
+
+// PageSize is the size of a virtual memory page in bytes.
+const PageSize = 4096
+
+// PageShift is log2(PageSize).
+const PageShift = 12
+
+// Perm is a page permission bit set.
+type Perm uint8
+
+// Permission bits.
+const (
+	PermR   Perm = 1 << iota // readable
+	PermW                    // writable
+	PermX                    // executable
+	PermRW  = PermR | PermW
+	PermRX  = PermR | PermX
+	PermRWX = PermR | PermW | PermX
+)
+
+// String renders the permission set in "rwx" form.
+func (p Perm) String() string {
+	b := []byte("---")
+	if p&PermR != 0 {
+		b[0] = 'r'
+	}
+	if p&PermW != 0 {
+		b[1] = 'w'
+	}
+	if p&PermX != 0 {
+		b[2] = 'x'
+	}
+	return string(b)
+}
+
+// Access identifies the kind of memory access that caused a fault.
+type Access uint8
+
+// Access kinds.
+const (
+	AccessRead Access = iota
+	AccessWrite
+	AccessFetch
+)
+
+func (a Access) String() string {
+	switch a {
+	case AccessRead:
+		return "read"
+	case AccessWrite:
+		return "write"
+	case AccessFetch:
+		return "fetch"
+	}
+	return "invalid"
+}
+
+// Fault describes a page fault: an access to an unmapped page or one
+// lacking the required permission.
+type Fault struct {
+	Addr   uint64
+	Access Access
+	Perm   Perm // permissions the page had (0 if unmapped)
+	Mapped bool
+}
+
+func (f *Fault) Error() string {
+	if !f.Mapped {
+		return fmt.Sprintf("mem: %s fault at %#x: page not mapped", f.Access, f.Addr)
+	}
+	return fmt.Sprintf("mem: %s fault at %#x: page is %s", f.Access, f.Addr, f.Perm)
+}
+
+// PageNum returns the virtual page number of the faulting address.
+func (f *Fault) PageNum() uint64 { return f.Addr >> PageShift }
+
+// FaultHandler observes page faults. Returning true retries the access
+// (the handler is expected to have fixed permissions); returning false
+// propagates the fault to the caller. This models the OS page-fault
+// handler, which for the attacker doubles as the controlled channel.
+type FaultHandler func(f *Fault) bool
+
+// page is one 4 KiB unit of backing store plus its page-table entry state.
+type page struct {
+	data     [PageSize]byte
+	perm     Perm
+	accessed bool
+	dirty    bool
+}
+
+// Memory is a sparse paged virtual address space. The zero value is not
+// usable; call New.
+//
+// Memory is not safe for concurrent use: the simulator is single-threaded
+// by design so that experiments are deterministic.
+type Memory struct {
+	pages   map[uint64]*page
+	handler FaultHandler
+}
+
+// New returns an empty address space.
+func New() *Memory {
+	return &Memory{pages: make(map[uint64]*page)}
+}
+
+// SetFaultHandler registers h as the page-fault handler. Passing nil
+// removes the handler.
+func (m *Memory) SetFaultHandler(h FaultHandler) { m.handler = h }
+
+// Map creates pages covering [addr, addr+size) with the given
+// permissions. Addresses are rounded outward to page boundaries.
+// Remapping an existing page updates its permissions and keeps its data.
+func (m *Memory) Map(addr, size uint64, perm Perm) {
+	if size == 0 {
+		return
+	}
+	first := addr >> PageShift
+	last := (addr + size - 1) >> PageShift
+	for pn := first; pn <= last; pn++ {
+		if p, ok := m.pages[pn]; ok {
+			p.perm = perm
+			continue
+		}
+		m.pages[pn] = &page{perm: perm}
+	}
+}
+
+// Unmap removes pages covering [addr, addr+size), discarding their data.
+func (m *Memory) Unmap(addr, size uint64) {
+	if size == 0 {
+		return
+	}
+	first := addr >> PageShift
+	last := (addr + size - 1) >> PageShift
+	for pn := first; pn <= last; pn++ {
+		delete(m.pages, pn)
+	}
+}
+
+// Protect changes the permissions of every mapped page covering
+// [addr, addr+size). Unmapped pages in the range are ignored.
+func (m *Memory) Protect(addr, size uint64, perm Perm) {
+	if size == 0 {
+		return
+	}
+	first := addr >> PageShift
+	last := (addr + size - 1) >> PageShift
+	for pn := first; pn <= last; pn++ {
+		if p, ok := m.pages[pn]; ok {
+			p.perm = perm
+		}
+	}
+}
+
+// PermAt returns the permissions of the page containing addr and whether
+// it is mapped.
+func (m *Memory) PermAt(addr uint64) (Perm, bool) {
+	p, ok := m.pages[addr>>PageShift]
+	if !ok {
+		return 0, false
+	}
+	return p.perm, true
+}
+
+// AccessedDirty returns the accessed and dirty bits of the page
+// containing addr. Unmapped pages report false, false.
+func (m *Memory) AccessedDirty(addr uint64) (accessed, dirty bool) {
+	p, ok := m.pages[addr>>PageShift]
+	if !ok {
+		return false, false
+	}
+	return p.accessed, p.dirty
+}
+
+// ClearAccessedDirty clears the A/D bits on the page containing addr.
+// Controlled-channel variants (Wang et al. [60]) poll these bits instead
+// of forcing faults.
+func (m *Memory) ClearAccessedDirty(addr uint64) {
+	if p, ok := m.pages[addr>>PageShift]; ok {
+		p.accessed = false
+		p.dirty = false
+	}
+}
+
+// check resolves the page for one access, invoking the fault handler as
+// needed. It returns the page or a *Fault.
+func (m *Memory) check(addr uint64, access Access, need Perm) (*page, error) {
+	for {
+		p, ok := m.pages[addr>>PageShift]
+		if ok && p.perm&need == need {
+			p.accessed = true
+			if access == AccessWrite {
+				p.dirty = true
+			}
+			return p, nil
+		}
+		f := &Fault{Addr: addr, Access: access, Mapped: ok}
+		if ok {
+			f.Perm = p.perm
+		}
+		if m.handler == nil || !m.handler(f) {
+			return nil, f
+		}
+		// Handler asked for a retry (it has presumably remapped or
+		// re-protected the page).
+	}
+}
+
+// ReadBytes copies len(dst) bytes starting at addr into dst. The access
+// may span pages; each page is permission-checked.
+func (m *Memory) ReadBytes(addr uint64, dst []byte) error {
+	return m.access(addr, dst, AccessRead, PermR)
+}
+
+// WriteBytes copies src into memory starting at addr.
+func (m *Memory) WriteBytes(addr uint64, src []byte) error {
+	return m.access(addr, src, AccessWrite, PermW)
+}
+
+// FetchBytes copies len(dst) instruction bytes starting at addr into dst,
+// checking execute permission. The CPU front end uses this for fetch, so
+// controlled-channel attacks on code pages see AccessFetch faults.
+func (m *Memory) FetchBytes(addr uint64, dst []byte) error {
+	return m.access(addr, dst, AccessFetch, PermX)
+}
+
+func (m *Memory) access(addr uint64, buf []byte, access Access, need Perm) error {
+	for len(buf) > 0 {
+		p, err := m.check(addr, access, need)
+		if err != nil {
+			return err
+		}
+		off := addr & (PageSize - 1)
+		n := min(len(buf), PageSize-int(off))
+		if access == AccessWrite {
+			copy(p.data[off:], buf[:n])
+		} else {
+			copy(buf[:n], p.data[off:])
+		}
+		buf = buf[n:]
+		addr += uint64(n)
+	}
+	return nil
+}
+
+// Read64 reads a little-endian 64-bit value at addr.
+func (m *Memory) Read64(addr uint64) (uint64, error) {
+	var b [8]byte
+	if err := m.ReadBytes(addr, b[:]); err != nil {
+		return 0, err
+	}
+	return le64(b[:]), nil
+}
+
+// Write64 writes a little-endian 64-bit value at addr.
+func (m *Memory) Write64(addr uint64, v uint64) error {
+	var b [8]byte
+	for i := range b {
+		b[i] = byte(v >> (8 * i))
+	}
+	return m.WriteBytes(addr, b[:])
+}
+
+func le64(b []byte) uint64 {
+	var v uint64
+	for i := 0; i < 8; i++ {
+		v |= uint64(b[i]) << (8 * i)
+	}
+	return v
+}
+
+// LoadProgram maps [addr, addr+len(code)) as RX and writes the code
+// bytes, bypassing the W permission (it models the loader, not a store).
+func (m *Memory) LoadProgram(addr uint64, code []byte) {
+	m.Map(addr, uint64(len(code)), PermRX)
+	a := addr
+	rest := code
+	for len(rest) > 0 {
+		p := m.pages[a>>PageShift]
+		off := a & (PageSize - 1)
+		n := copy(p.data[off:], rest)
+		rest = rest[n:]
+		a += uint64(n)
+	}
+}
+
+// MappedPages returns the number of mapped pages; useful for tests and
+// resource accounting.
+func (m *Memory) MappedPages() int { return len(m.pages) }

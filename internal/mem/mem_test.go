@@ -1,0 +1,291 @@
+package mem
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestMapReadWrite(t *testing.T) {
+	m := New()
+	m.Map(0x1000, 0x2000, PermRW)
+	if err := m.WriteBytes(0x1800, []byte{1, 2, 3, 4}); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	got := make([]byte, 4)
+	if err := m.ReadBytes(0x1800, got); err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	for i, b := range []byte{1, 2, 3, 4} {
+		if got[i] != b {
+			t.Errorf("byte %d = %d, want %d", i, got[i], b)
+		}
+	}
+}
+
+func TestCrossPageAccess(t *testing.T) {
+	m := New()
+	m.Map(0x1000, 0x2000, PermRW)
+	// Write spanning the 0x2000 page boundary.
+	src := make([]byte, 64)
+	for i := range src {
+		src[i] = byte(i)
+	}
+	if err := m.WriteBytes(0x2000-32, src); err != nil {
+		t.Fatalf("cross-page write: %v", err)
+	}
+	dst := make([]byte, 64)
+	if err := m.ReadBytes(0x2000-32, dst); err != nil {
+		t.Fatalf("cross-page read: %v", err)
+	}
+	for i := range src {
+		if dst[i] != src[i] {
+			t.Fatalf("byte %d = %d, want %d", i, dst[i], src[i])
+		}
+	}
+}
+
+func TestUnmappedFault(t *testing.T) {
+	m := New()
+	err := m.ReadBytes(0xdead000, make([]byte, 1))
+	var f *Fault
+	if !errors.As(err, &f) {
+		t.Fatalf("error = %v, want *Fault", err)
+	}
+	if f.Mapped {
+		t.Error("fault should report unmapped")
+	}
+	if f.PageNum() != 0xdead000>>PageShift {
+		t.Errorf("PageNum = %#x", f.PageNum())
+	}
+}
+
+func TestPermissionFaults(t *testing.T) {
+	m := New()
+	m.Map(0x1000, PageSize, PermR)
+	if err := m.ReadBytes(0x1000, make([]byte, 1)); err != nil {
+		t.Errorf("read from r-- page: %v", err)
+	}
+	if err := m.WriteBytes(0x1000, []byte{1}); err == nil {
+		t.Error("write to r-- page should fault")
+	}
+	if err := m.FetchBytes(0x1000, make([]byte, 1)); err == nil {
+		t.Error("fetch from r-- page should fault")
+	}
+	m.Protect(0x1000, PageSize, PermRX)
+	if err := m.FetchBytes(0x1000, make([]byte, 1)); err != nil {
+		t.Errorf("fetch from r-x page: %v", err)
+	}
+}
+
+func TestFaultHandlerRetry(t *testing.T) {
+	m := New()
+	m.Map(0x1000, PageSize, 0) // mapped, no permissions
+	var faults []Fault
+	m.SetFaultHandler(func(f *Fault) bool {
+		faults = append(faults, *f)
+		m.Protect(0x1000, PageSize, PermRWX)
+		return true
+	})
+	if err := m.ReadBytes(0x1000, make([]byte, 1)); err != nil {
+		t.Fatalf("read after handler fix: %v", err)
+	}
+	if len(faults) != 1 {
+		t.Fatalf("handler called %d times, want 1", len(faults))
+	}
+	if faults[0].Access != AccessRead || !faults[0].Mapped {
+		t.Errorf("fault = %+v", faults[0])
+	}
+}
+
+func TestFaultHandlerDecline(t *testing.T) {
+	m := New()
+	called := 0
+	m.SetFaultHandler(func(f *Fault) bool {
+		called++
+		return false
+	})
+	if err := m.ReadBytes(0x5000, make([]byte, 1)); err == nil {
+		t.Error("declined fault should propagate")
+	}
+	if called != 1 {
+		t.Errorf("handler called %d times, want 1", called)
+	}
+}
+
+func TestAccessedDirtyBits(t *testing.T) {
+	m := New()
+	m.Map(0x1000, PageSize, PermRW)
+	a, d := m.AccessedDirty(0x1000)
+	if a || d {
+		t.Error("fresh page should have clear A/D bits")
+	}
+	_ = m.ReadBytes(0x1000, make([]byte, 1))
+	a, d = m.AccessedDirty(0x1000)
+	if !a || d {
+		t.Errorf("after read: A=%v D=%v, want A=true D=false", a, d)
+	}
+	_ = m.WriteBytes(0x1000, []byte{1})
+	a, d = m.AccessedDirty(0x1000)
+	if !a || !d {
+		t.Errorf("after write: A=%v D=%v, want both true", a, d)
+	}
+	m.ClearAccessedDirty(0x1000)
+	a, d = m.AccessedDirty(0x1000)
+	if a || d {
+		t.Error("A/D bits should clear")
+	}
+}
+
+func TestLoadProgram(t *testing.T) {
+	m := New()
+	code := []byte{0x90, 0x01, 0x02}
+	m.LoadProgram(0x40_0000, code)
+	perm, ok := m.PermAt(0x40_0000)
+	if !ok || perm != PermRX {
+		t.Fatalf("perm = %v ok=%v, want r-x", perm, ok)
+	}
+	got := make([]byte, 3)
+	if err := m.FetchBytes(0x40_0000, got); err != nil {
+		t.Fatalf("fetch: %v", err)
+	}
+	for i := range code {
+		if got[i] != code[i] {
+			t.Errorf("byte %d = %#x, want %#x", i, got[i], code[i])
+		}
+	}
+	// Program pages must not be writable through stores.
+	if err := m.WriteBytes(0x40_0000, []byte{1}); err == nil {
+		t.Error("store to r-x program page should fault")
+	}
+}
+
+func TestLoadProgramHighAddress(t *testing.T) {
+	// The NightVision experiments place aliasing code 4/8 GiB apart; the
+	// address space must handle > 2^32 addresses.
+	m := New()
+	hi := uint64(0x1_0000_0000) + 0x40_0000
+	m.LoadProgram(hi, []byte{0x90})
+	var b [1]byte
+	if err := m.FetchBytes(hi, b[:]); err != nil {
+		t.Fatalf("fetch high address: %v", err)
+	}
+	if b[0] != 0x90 {
+		t.Errorf("byte = %#x", b[0])
+	}
+}
+
+func TestUnmapDiscardsData(t *testing.T) {
+	m := New()
+	m.Map(0x1000, PageSize, PermRW)
+	_ = m.WriteBytes(0x1000, []byte{42})
+	m.Unmap(0x1000, PageSize)
+	if err := m.ReadBytes(0x1000, make([]byte, 1)); err == nil {
+		t.Error("read from unmapped page should fault")
+	}
+	m.Map(0x1000, PageSize, PermRW)
+	var b [1]byte
+	_ = m.ReadBytes(0x1000, b[:])
+	if b[0] != 0 {
+		t.Error("remapped page should be zeroed")
+	}
+}
+
+func TestRead64Write64(t *testing.T) {
+	m := New()
+	m.Map(0x1000, PageSize, PermRW)
+	const v = uint64(0xDEAD_BEEF_CAFE_F00D)
+	if err := m.Write64(0x1008, v); err != nil {
+		t.Fatal(err)
+	}
+	got, err := m.Read64(0x1008)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != v {
+		t.Errorf("Read64 = %#x, want %#x", got, v)
+	}
+}
+
+func TestPermString(t *testing.T) {
+	if PermRWX.String() != "rwx" {
+		t.Errorf("rwx = %q", PermRWX.String())
+	}
+	if PermRX.String() != "r-x" {
+		t.Errorf("r-x = %q", PermRX.String())
+	}
+	if Perm(0).String() != "---" {
+		t.Errorf("0 = %q", Perm(0).String())
+	}
+}
+
+// TestQuickWriteReadIdentity property-tests that any written byte string
+// is read back identically at any (mapped) address, including addresses
+// spanning multiple pages and above 4 GiB.
+func TestQuickWriteReadIdentity(t *testing.T) {
+	m := New()
+	base := uint64(0x2_0000_0000)
+	m.Map(base, 16*PageSize, PermRW)
+	f := func(off uint16, data []byte) bool {
+		if len(data) > 4096 {
+			data = data[:4096]
+		}
+		addr := base + uint64(off)%(8*PageSize)
+		if err := m.WriteBytes(addr, data); err != nil {
+			return false
+		}
+		got := make([]byte, len(data))
+		if err := m.ReadBytes(addr, got); err != nil {
+			return false
+		}
+		for i := range data {
+			if got[i] != data[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFaultErrorMessagesAndAccessString(t *testing.T) {
+	m := New()
+	err := m.ReadBytes(0x9000, make([]byte, 1))
+	if err == nil || !strings.Contains(err.Error(), "not mapped") {
+		t.Errorf("unmapped fault message: %v", err)
+	}
+	m.Map(0x9000, PageSize, PermR)
+	err = m.WriteBytes(0x9000, []byte{1})
+	if err == nil || !strings.Contains(err.Error(), "r--") {
+		t.Errorf("permission fault message: %v", err)
+	}
+	for a, want := range map[Access]string{AccessRead: "read", AccessWrite: "write", AccessFetch: "fetch", Access(9): "invalid"} {
+		if a.String() != want {
+			t.Errorf("Access(%d) = %q", a, a.String())
+		}
+	}
+}
+
+func TestMapZeroSizeAndRemapKeepsData(t *testing.T) {
+	m := New()
+	m.Map(0x1000, 0, PermRW) // no-op
+	if m.MappedPages() != 0 {
+		t.Error("zero-size Map should map nothing")
+	}
+	m.Map(0x1000, PageSize, PermRW)
+	_ = m.WriteBytes(0x1000, []byte{9})
+	m.Map(0x1000, PageSize, PermR) // remap: new perms, same data
+	var b [1]byte
+	_ = m.ReadBytes(0x1000, b[:])
+	if b[0] != 9 {
+		t.Error("remap must keep page data")
+	}
+	if m.MappedPages() != 1 {
+		t.Errorf("MappedPages = %d", m.MappedPages())
+	}
+	m.Unmap(0x1000, 0) // no-op
+	m.Protect(0x1000, 0, PermRWX)
+}

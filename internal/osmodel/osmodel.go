@@ -1,0 +1,174 @@
+// Package osmodel provides a minimal operating-system model over the
+// simulated core: processes with separate architectural state, context
+// switching, and the sched_yield-based cooperative scheduling that the
+// paper's user-level proof-of-concept attack uses (§7.2).
+//
+// The paper's NV-U variant relies on a "preemptive scheduling attack" to
+// shrink victim time slices. Its own evaluation simulates that attack by
+// inserting sched_yield() calls into the victim — exactly what this
+// package models: a victim yields after each protected-branch body and
+// the attacker process gets the core in between.
+//
+// Crucially, context switches do not flush the BTB (no real OS does, and
+// IBPB only touches indirect entries): the shared predictor state across
+// processes is the attack surface.
+package osmodel
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/cpu"
+	"repro/internal/isa"
+	"repro/internal/mem"
+)
+
+// SyscallYield is the syscall number for sched_yield.
+const SyscallYield = 1
+
+// StopReason says why RunUntilStop returned.
+type StopReason int
+
+// Stop reasons.
+const (
+	StopYield StopReason = iota // process executed sched_yield
+	StopHalt                    // process executed hlt
+	StopSteps                   // step budget exhausted
+)
+
+func (r StopReason) String() string {
+	switch r {
+	case StopYield:
+		return "yield"
+	case StopHalt:
+		return "halt"
+	case StopSteps:
+		return "steps"
+	}
+	return "invalid"
+}
+
+// Process is one schedulable entity.
+type Process struct {
+	Name  string
+	State cpu.ArchState
+	// Done marks a process that has halted.
+	Done bool
+}
+
+// OS owns the core and schedules processes onto it.
+type OS struct {
+	Core    *cpu.Core
+	current *Process
+
+	yieldFlag bool
+}
+
+// New returns an OS managing core. The core's syscall hook is taken over
+// by the OS.
+func New(core *cpu.Core) *OS {
+	os := &OS{Core: core}
+	core.OnSyscall = func(n uint8) error {
+		switch n {
+		case SyscallYield:
+			os.yieldFlag = true
+			return nil
+		default:
+			return fmt.Errorf("osmodel: unknown syscall %d", n)
+		}
+	}
+	return os
+}
+
+// Spawn creates a process with entry point pc and a freshly mapped stack
+// of stackSize bytes ending at stackTop.
+func (o *OS) Spawn(name string, pc, stackTop, stackSize uint64) *Process {
+	o.Core.Mem.Map(stackTop-stackSize, stackSize, mem.PermRW)
+	p := &Process{Name: name}
+	p.State.PC = pc
+	p.State.Regs[isa.SP] = stackTop
+	return p
+}
+
+// Current returns the process currently installed on the core, if any.
+func (o *OS) Current() *Process { return o.current }
+
+// Switch installs p on the core, saving the previous process's state.
+// The BTB and LBR deliberately persist across the switch.
+func (o *OS) Switch(p *Process) {
+	if o.current == p {
+		return
+	}
+	if o.current != nil {
+		o.Core.ContextSwitch(&o.current.State, &p.State)
+	} else {
+		o.Core.ContextSwitch(nil, &p.State)
+	}
+	o.current = p
+}
+
+// ErrNoProcess is returned by run functions when no process is installed.
+var ErrNoProcess = errors.New("osmodel: no current process")
+
+// RunUntilStop runs the current process until it yields, halts, or
+// exhausts maxSteps.
+func (o *OS) RunUntilStop(maxSteps uint64) (StopReason, error) {
+	if o.current == nil {
+		return StopSteps, ErrNoProcess
+	}
+	o.yieldFlag = false
+	for steps := uint64(0); steps < maxSteps; steps++ {
+		_, err := o.Core.Step()
+		if err == cpu.ErrHalted {
+			o.current.Done = true
+			return StopHalt, nil
+		}
+		if err != nil {
+			return StopSteps, err
+		}
+		if o.yieldFlag {
+			return StopYield, nil
+		}
+	}
+	return StopSteps, nil
+}
+
+// RunSlice runs the current process for at most n architectural steps
+// and then delivers a timer interrupt — the time-slice view a
+// preemptive scheduling attack [22] establishes without any victim
+// cooperation. Unlike RunUntilStop it ignores sched_yield.
+func (o *OS) RunSlice(n uint64) (StopReason, error) {
+	if o.current == nil {
+		return StopSteps, ErrNoProcess
+	}
+	for steps := uint64(0); steps < n; steps++ {
+		_, err := o.Core.Step()
+		if err == cpu.ErrHalted {
+			o.current.Done = true
+			return StopHalt, nil
+		}
+		if err != nil {
+			return StopSteps, err
+		}
+	}
+	o.Core.Interrupt()
+	return StopSteps, nil
+}
+
+// StepOne single-steps the current process by one architectural step and
+// then delivers a timer interrupt, modeling a supervisor attacker
+// interrupting per instruction (the SGX-Step technique).
+func (o *OS) StepOne() (cpu.StepInfo, error) {
+	if o.current == nil {
+		return cpu.StepInfo{}, ErrNoProcess
+	}
+	info, err := o.Core.Step()
+	if err != nil {
+		if err == cpu.ErrHalted {
+			o.current.Done = true
+		}
+		return info, err
+	}
+	o.Core.Interrupt()
+	return info, nil
+}

@@ -1,0 +1,256 @@
+package osmodel
+
+import (
+	"testing"
+
+	"repro/internal/asm"
+	"repro/internal/cpu"
+	"repro/internal/isa"
+	"repro/internal/mem"
+)
+
+func setup(t *testing.T, src string) (*cpu.Core, *asm.Program) {
+	t.Helper()
+	p, err := asm.Assemble(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := mem.New()
+	p.LoadInto(m)
+	return cpu.New(cpu.Config{}, m), p
+}
+
+func TestYieldPingPong(t *testing.T) {
+	core, p := setup(t, `
+		.org 0x1000
+	victim:
+		movi r1, 0
+	vloop:
+		addi r1, 1
+		syscall 1        ; sched_yield
+		cmpi r1, 3
+		jnz vloop
+		hlt
+
+		.org 0x2000
+	attacker:
+		movi r2, 0
+	aloop:
+		addi r2, 1
+		syscall 1
+		jmp aloop
+	`)
+	os := New(core)
+	v := os.Spawn("victim", p.MustLabel("victim"), 0x7_0000, 0x1000)
+	a := os.Spawn("attacker", p.MustLabel("attacker"), 0x8_0000, 0x1000)
+
+	// Alternate: victim fragment, attacker fragment, as NV-U does.
+	frags := 0
+	for !v.Done && frags < 20 {
+		os.Switch(v)
+		r, err := os.RunUntilStop(10_000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r == StopHalt {
+			break
+		}
+		os.Switch(a)
+		if _, err := os.RunUntilStop(10_000); err != nil {
+			t.Fatal(err)
+		}
+		frags++
+	}
+	if !v.Done {
+		t.Fatal("victim should have halted")
+	}
+	if got := v.State.Regs[isa.R1]; got != 3 {
+		t.Errorf("victim r1 = %d, want 3", got)
+	}
+	if a.State.Regs[isa.R2] < 3 {
+		t.Errorf("attacker r2 = %d, want >= 3", a.State.Regs[isa.R2])
+	}
+}
+
+func TestRunUntilStopReasons(t *testing.T) {
+	core, p := setup(t, `
+		.org 0x1000
+	start:
+		syscall 1
+		hlt
+	`)
+	os := New(core)
+	pr := os.Spawn("p", p.MustLabel("start"), 0x7_0000, 0x1000)
+	os.Switch(pr)
+	r, err := os.RunUntilStop(100)
+	if err != nil || r != StopYield {
+		t.Fatalf("first stop = %v, %v; want yield", r, err)
+	}
+	r, err = os.RunUntilStop(100)
+	if err != nil || r != StopHalt {
+		t.Fatalf("second stop = %v, %v; want halt", r, err)
+	}
+	if !pr.Done {
+		t.Error("process should be marked done")
+	}
+	// Step budget exhaustion.
+	core2, p2 := setup(t, ".org 0x1000\nstart: loop: jmp loop")
+	os2 := New(core2)
+	pr2 := os2.Spawn("p", p2.MustLabel("start"), 0x7_0000, 0x1000)
+	os2.Switch(pr2)
+	r, err = os2.RunUntilStop(50)
+	if err != nil || r != StopSteps {
+		t.Fatalf("stop = %v, %v; want steps", r, err)
+	}
+}
+
+func TestRunWithoutProcess(t *testing.T) {
+	core, _ := setup(t, ".org 0x1000\nstart: hlt")
+	os := New(core)
+	if _, err := os.RunUntilStop(10); err != ErrNoProcess {
+		t.Errorf("err = %v, want ErrNoProcess", err)
+	}
+	if _, err := os.StepOne(); err != ErrNoProcess {
+		t.Errorf("err = %v, want ErrNoProcess", err)
+	}
+}
+
+func TestUnknownSyscall(t *testing.T) {
+	core, p := setup(t, ".org 0x1000\nstart: syscall 99\nhlt")
+	os := New(core)
+	pr := os.Spawn("p", p.MustLabel("start"), 0x7_0000, 0x1000)
+	os.Switch(pr)
+	if _, err := os.RunUntilStop(10); err == nil {
+		t.Error("unknown syscall should error")
+	}
+}
+
+func TestStepOneInterrupts(t *testing.T) {
+	core, p := setup(t, `
+		.org 0x1000
+	start:
+		movi r1, 5
+	loop:
+		subi r1, 1
+		jnz loop
+		hlt
+	`)
+	os := New(core)
+	pr := os.Spawn("p", p.MustLabel("start"), 0x7_0000, 0x1000)
+	os.Switch(pr)
+	steps := 0
+	for !pr.Done && steps < 1000 {
+		_, err := os.StepOne()
+		if err == cpu.ErrHalted {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		steps++
+	}
+	if core.Reg(isa.R1) != 0 {
+		t.Errorf("r1 = %d, want 0 (single-stepping must preserve semantics)", core.Reg(isa.R1))
+	}
+}
+
+// TestBTBSharedAcrossProcesses is the attack premise: entries allocated
+// by one process predict (and are deallocatable) in another.
+func TestBTBSharedAcrossProcesses(t *testing.T) {
+	core, p := setup(t, `
+		.org 0x3000
+	procA:
+		jmp8 a1
+	a1:
+		hlt
+		.org 0x4000
+	procB:
+		hlt
+	`)
+	os := New(core)
+	a := os.Spawn("a", p.MustLabel("procA"), 0x7_0000, 0x1000)
+	b := os.Spawn("b", p.MustLabel("procB"), 0x8_0000, 0x1000)
+	os.Switch(a)
+	if _, err := os.RunUntilStop(100); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := core.BTB.EntryAt(0x3001); !ok {
+		t.Fatal("process A's jump should be in the BTB")
+	}
+	os.Switch(b)
+	if _, err := os.RunUntilStop(100); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := core.BTB.EntryAt(0x3001); !ok {
+		t.Error("process A's BTB entry must survive B's time slice")
+	}
+}
+
+func TestStopReasonString(t *testing.T) {
+	cases := map[StopReason]string{StopYield: "yield", StopHalt: "halt", StopSteps: "steps", StopReason(99): "invalid"}
+	for r, want := range cases {
+		if r.String() != want {
+			t.Errorf("%d.String() = %q, want %q", r, r.String(), want)
+		}
+	}
+}
+
+func TestCurrentAndRedundantSwitch(t *testing.T) {
+	core, p := setup(t, ".org 0x1000\nstart: hlt")
+	os := New(core)
+	if os.Current() != nil {
+		t.Error("no current process initially")
+	}
+	pr := os.Spawn("p", p.MustLabel("start"), 0x7_0000, 0x1000)
+	os.Switch(pr)
+	if os.Current() != pr {
+		t.Error("Current should return the installed process")
+	}
+	sq := core.Squashes()
+	os.Switch(pr) // no-op: same process
+	if core.Squashes() != sq {
+		t.Error("switching to the current process must not squash")
+	}
+}
+
+func TestRunSlice(t *testing.T) {
+	core, p := setup(t, `
+		.org 0x1000
+	start:
+		movi r1, 0
+	loop:
+		addi r1, 1
+		jmp loop
+	`)
+	os := New(core)
+	pr := os.Spawn("p", p.MustLabel("start"), 0x7_0000, 0x1000)
+	os.Switch(pr)
+	r, err := os.RunSlice(10)
+	if err != nil || r != StopSteps {
+		t.Fatalf("RunSlice = %v, %v", r, err)
+	}
+	// The victim made progress but was bounded.
+	if got := core.Reg(isa.R1); got == 0 || got > 10 {
+		t.Errorf("r1 = %d after a 10-step slice", got)
+	}
+	// Halting inside a slice reports StopHalt.
+	core2, p2 := setup(t, ".org 0x1000\nstart: hlt")
+	os2 := New(core2)
+	pr2 := os2.Spawn("p", p2.MustLabel("start"), 0x7_0000, 0x1000)
+	os2.Switch(pr2)
+	r, err = os2.RunSlice(10)
+	if err != nil || r != StopHalt || !pr2.Done {
+		t.Fatalf("halting slice = %v, %v, done=%v", r, err, pr2.Done)
+	}
+	// No process installed.
+	os3 := New(setupCore(t))
+	if _, err := os3.RunSlice(5); err != ErrNoProcess {
+		t.Errorf("err = %v, want ErrNoProcess", err)
+	}
+}
+
+func setupCore(t *testing.T) *cpu.Core {
+	t.Helper()
+	core, _ := setup(t, ".org 0x1000\nstart: hlt")
+	return core
+}

@@ -1,0 +1,238 @@
+// Package sgx models the Intel SGX behaviors the paper's supervisor-
+// level attack depends on:
+//
+//   - Enclave code confidentiality (SGX PCL): the attacker cannot read
+//     enclave code bytes; the package offers no accessor for them.
+//   - LBR suppression: branch records are not produced for enclave-mode
+//     code, so the attacker must measure its *own* probe code, never the
+//     victim directly.
+//   - Asynchronous Enclave Exits (AEX): a supervisor attacker interrupts
+//     the enclave after every retired instruction (the SGX-Step
+//     technique) and runs arbitrary code before resuming.
+//   - Untrusted page tables: the attacker flips page permissions and
+//     observes faults — the classic controlled channel used to learn
+//     page numbers (the high PC bits NV-S does not measure itself).
+//
+// Enclave execution is deterministic and resettable: NV-S re-runs the
+// victim once per prime/probe pass (Figure 9, line 17).
+package sgx
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/asm"
+	"repro/internal/cpu"
+	"repro/internal/isa"
+	"repro/internal/mem"
+)
+
+// Region is a span of virtual address space.
+type Region struct {
+	Addr, Size uint64
+}
+
+// Contains reports whether addr lies in the region.
+func (r Region) Contains(addr uint64) bool {
+	return addr >= r.Addr && addr < r.Addr+r.Size
+}
+
+// Config describes the enclave to create.
+type Config struct {
+	// Entry is the enclave's entry point.
+	Entry uint64
+	// Stack is the enclave stack region (mapped RW by Create).
+	Stack Region
+	// Data is an optional writable data region (mapped RW by Create);
+	// its contents are snapshotted for Reset.
+	Data Region
+}
+
+// Enclave is a loaded SGX-like enclave on a core.
+type Enclave struct {
+	core *cpu.Core
+	code []Region // executable enclave ranges
+	cfg  Config
+
+	initState cpu.ArchState
+	state     cpu.ArchState
+	dataSnap  []byte
+	stackSnap []byte
+
+	inEnclave bool
+	hostState cpu.ArchState
+	done      bool
+	steps     uint64
+}
+
+// ErrCodeConfidential is returned by any attempt to read enclave code
+// through the package API.
+var ErrCodeConfidential = errors.New("sgx: enclave code is confidential (PCL)")
+
+// Create loads prog into memory as the enclave's code, maps stack and
+// data, and arranges LBR suppression for all enclave code ranges. The
+// program's chunks define the confidential code regions.
+func Create(core *cpu.Core, prog *asm.Program, cfg Config) (*Enclave, error) {
+	if cfg.Stack.Size == 0 {
+		return nil, fmt.Errorf("sgx: enclave needs a stack region")
+	}
+	prog.LoadInto(core.Mem)
+	core.Mem.Map(cfg.Stack.Addr, cfg.Stack.Size, mem.PermRW)
+	if cfg.Data.Size > 0 {
+		core.Mem.Map(cfg.Data.Addr, cfg.Data.Size, mem.PermRW)
+	}
+	e := &Enclave{core: core, cfg: cfg}
+	for _, c := range prog.Chunks {
+		e.code = append(e.code, Region{Addr: c.Addr, Size: uint64(len(c.Code))})
+	}
+	e.initState.PC = cfg.Entry
+	e.initState.Regs[isa.SP] = cfg.Stack.Addr + cfg.Stack.Size
+	e.state = e.initState
+	e.snapshot()
+
+	prev := core.LBRSuppress
+	core.LBRSuppress = func(pc uint64) bool {
+		if e.InCode(pc) {
+			return true
+		}
+		if prev != nil {
+			return prev(pc)
+		}
+		return false
+	}
+	return e, nil
+}
+
+// InCode reports whether pc is inside enclave code.
+func (e *Enclave) InCode(pc uint64) bool {
+	for _, r := range e.code {
+		if r.Contains(pc) {
+			return true
+		}
+	}
+	return false
+}
+
+// CodeRegions returns the enclave's code regions — their existence and
+// bounds are architecturally visible to the OS (it manages the pages);
+// only the *contents* are confidential.
+func (e *Enclave) CodeRegions() []Region {
+	out := make([]Region, len(e.code))
+	copy(out, e.code)
+	return out
+}
+
+// ReadCode always fails: code confidentiality.
+func (e *Enclave) ReadCode(addr uint64, n int) ([]byte, error) {
+	return nil, ErrCodeConfidential
+}
+
+func (e *Enclave) snapshot() {
+	if e.cfg.Data.Size > 0 {
+		e.dataSnap = make([]byte, e.cfg.Data.Size)
+		_ = e.core.Mem.ReadBytes(e.cfg.Data.Addr, e.dataSnap)
+	}
+	e.stackSnap = make([]byte, e.cfg.Stack.Size)
+	_ = e.core.Mem.ReadBytes(e.cfg.Stack.Addr, e.stackSnap)
+}
+
+// Reset rewinds the enclave to its initial state (registers, stack and
+// data contents) so the next run replays the same execution. NV-S uses
+// this between prime/probe passes.
+func (e *Enclave) Reset() {
+	e.state = e.initState
+	e.done = false
+	e.steps = 0
+	if e.inEnclave {
+		e.exit()
+	}
+	if len(e.dataSnap) > 0 {
+		_ = e.core.Mem.WriteBytes(e.cfg.Data.Addr, e.dataSnap)
+	}
+	_ = e.core.Mem.WriteBytes(e.cfg.Stack.Addr, e.stackSnap)
+}
+
+// SetInitReg sets a register in the enclave's initial state (entry
+// arguments). Takes effect on the next Reset or before the first step.
+func (e *Enclave) SetInitReg(r isa.Reg, v uint64) {
+	e.initState.Regs[r] = v
+	if e.steps == 0 && !e.done {
+		e.state.Regs[r] = v
+	}
+}
+
+// Done reports whether the enclave program has halted.
+func (e *Enclave) Done() bool { return e.done }
+
+// Steps returns the number of architectural steps retired so far in the
+// current run.
+func (e *Enclave) Steps() uint64 { return e.steps }
+
+// enter installs the enclave context on the core (EENTER/ERESUME).
+func (e *Enclave) enter() {
+	if e.inEnclave {
+		return
+	}
+	e.core.ContextSwitch(&e.hostState, &e.state)
+	e.inEnclave = true
+}
+
+// exit saves the enclave context and restores the host (AEX/EEXIT).
+func (e *Enclave) exit() {
+	if !e.inEnclave {
+		return
+	}
+	e.core.ContextSwitch(&e.state, &e.hostState)
+	e.inEnclave = false
+}
+
+// StepOne retires exactly one architectural enclave step (one
+// instruction, or one macro-fused pair — indistinguishable to the
+// attacker, per §7.3) and then takes an AEX back to the host. It
+// reports whether the enclave finished. The attacker learns nothing
+// about the retired instruction from this call; it must infer PCs
+// through the BTB side channel.
+func (e *Enclave) StepOne() (done bool, err error) {
+	if e.done {
+		return true, nil
+	}
+	e.enter()
+	_, err = e.core.Step()
+	if err == cpu.ErrHalted || e.core.Halted() {
+		// hlt is the enclave's EEXIT analog, not a measured step.
+		e.done = true
+		e.exit()
+		return true, nil
+	}
+	if err != nil {
+		e.exit()
+		return false, err
+	}
+	e.steps++
+	// AEX: the timer interrupt squashes the in-flight front end. Any
+	// speculative BTB updates from fetched-ahead successors remain.
+	e.core.Interrupt()
+	e.exit()
+	return false, nil
+}
+
+// Run executes the enclave to completion without single-stepping.
+func (e *Enclave) Run(maxSteps uint64) error {
+	if e.done {
+		return nil
+	}
+	e.enter()
+	defer e.exit()
+	for steps := uint64(0); maxSteps == 0 || steps < maxSteps; steps++ {
+		_, err := e.core.Step()
+		if err == cpu.ErrHalted || e.core.Halted() {
+			e.done = true
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+		e.steps++
+	}
+	return fmt.Errorf("sgx: enclave exceeded %d steps", maxSteps)
+}

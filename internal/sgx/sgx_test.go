@@ -1,0 +1,271 @@
+package sgx
+
+import (
+	"testing"
+
+	"repro/internal/asm"
+	"repro/internal/cpu"
+	"repro/internal/isa"
+	"repro/internal/mem"
+)
+
+const (
+	encBase   = 0x60_0000
+	stackAddr = 0x70_0000
+	stackSize = 0x1000
+)
+
+func makeEnclave(t *testing.T, src string) (*cpu.Core, *Enclave, *asm.Program) {
+	t.Helper()
+	p, err := asm.Assemble(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	core := cpu.New(cpu.Config{}, mem.New())
+	e, err := Create(core, p, Config{
+		Entry: p.MustLabel("entry"),
+		Stack: Region{Addr: stackAddr, Size: stackSize},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return core, e, p
+}
+
+const countdownSrc = `
+	.org 0x600000
+entry:
+	movi r1, 4
+loop:
+	subi r1, 1
+	jnz loop
+	hlt
+`
+
+func TestEnclaveRun(t *testing.T) {
+	core, e, _ := makeEnclave(t, countdownSrc)
+	if err := e.Run(10_000); err != nil {
+		t.Fatal(err)
+	}
+	if !e.Done() {
+		t.Error("enclave should be done")
+	}
+	// The enclave's registers are not leaked to the host context.
+	if core.Reg(isa.R1) == 0 && core.PC() != 0 {
+		// host state restored: r1 belongs to the host (zero)
+	}
+	if e.state.Regs[isa.R1] != 0 {
+		t.Errorf("enclave r1 = %d, want 0", e.state.Regs[isa.R1])
+	}
+}
+
+func TestEnclaveSingleStepAndReset(t *testing.T) {
+	_, e, _ := makeEnclave(t, countdownSrc)
+	steps := uint64(0)
+	for {
+		done, err := e.StepOne()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if done {
+			break
+		}
+		steps++
+	}
+	if steps != e.Steps() {
+		t.Errorf("steps %d != e.Steps() %d", steps, e.Steps())
+	}
+	// movi, (subi+jnz fused) ×4, hlt → 1 + 4 + 1 attempts; the final
+	// StepOne that hits hlt reports done. Count must be deterministic.
+	first := steps
+	e.Reset()
+	steps = 0
+	for {
+		done, err := e.StepOne()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if done {
+			break
+		}
+		steps++
+	}
+	if steps != first {
+		t.Errorf("replay steps = %d, want %d (deterministic reset)", steps, first)
+	}
+}
+
+func TestCodeConfidentiality(t *testing.T) {
+	_, e, _ := makeEnclave(t, countdownSrc)
+	if _, err := e.ReadCode(encBase, 16); err != ErrCodeConfidential {
+		t.Errorf("ReadCode err = %v, want ErrCodeConfidential", err)
+	}
+}
+
+func TestLBRSuppressedForEnclaveCode(t *testing.T) {
+	core, e, _ := makeEnclave(t, countdownSrc)
+	if err := e.Run(10_000); err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range core.LBR.Records() {
+		if e.InCode(r.From) {
+			t.Errorf("LBR recorded enclave branch at %#x", r.From)
+		}
+	}
+}
+
+func TestSetInitRegAndDataReset(t *testing.T) {
+	p := asm.MustAssemble(`
+		.org 0x600000
+	entry:
+		st [r2+0], r1    ; write argument to data page
+		ld r3, [r2+0]
+		hlt
+	`)
+	core := cpu.New(cpu.Config{}, mem.New())
+	e, err := Create(core, p, Config{
+		Entry: 0x60_0000,
+		Stack: Region{Addr: stackAddr, Size: stackSize},
+		Data:  Region{Addr: 0x80_0000, Size: 0x1000},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.SetInitReg(isa.R1, 42)
+	e.SetInitReg(isa.R2, 0x80_0000)
+	if err := e.Run(100); err != nil {
+		t.Fatal(err)
+	}
+	if e.state.Regs[isa.R3] != 42 {
+		t.Errorf("r3 = %d, want 42", e.state.Regs[isa.R3])
+	}
+	v, _ := core.Mem.Read64(0x80_0000)
+	if v != 42 {
+		t.Fatalf("data = %d", v)
+	}
+	e.Reset()
+	v, _ = core.Mem.Read64(0x80_0000)
+	if v != 0 {
+		t.Errorf("data after reset = %d, want 0", v)
+	}
+}
+
+func TestTrackerCodePages(t *testing.T) {
+	// Code spanning two pages: entry page calls into the second page.
+	p := asm.MustAssemble(`
+		.org 0x600000
+	entry:
+		call far
+		hlt
+		.org 0x601000
+	far:
+		nop
+		ret
+	`)
+	core := cpu.New(cpu.Config{}, mem.New())
+	e, err := Create(core, p, Config{
+		Entry: 0x60_0000,
+		Stack: Region{Addr: stackAddr, Size: stackSize},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := NewTracker(e)
+	defer tr.Close()
+	tr.TrackCode(true)
+	if err := e.Run(10_000); err != nil {
+		t.Fatal(err)
+	}
+	pages := tr.CodePages()
+	want := []uint64{0x600, 0x601, 0x600}
+	if len(pages) != len(want) {
+		t.Fatalf("pages = %#x, want %#x", pages, want)
+	}
+	for i := range want {
+		if pages[i] != want[i] {
+			t.Errorf("pages[%d] = %#x, want %#x", i, pages[i], want[i])
+		}
+	}
+}
+
+func TestTrackerDataTouched(t *testing.T) {
+	p := asm.MustAssemble(`
+		.org 0x600000
+	entry:
+		nop
+		push r1        ; touches the stack page
+		pop r1
+		hlt
+	`)
+	core := cpu.New(cpu.Config{}, mem.New())
+	e, err := Create(core, p, Config{
+		Entry: 0x60_0000,
+		Stack: Region{Addr: stackAddr, Size: stackSize},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := NewTracker(e)
+	defer tr.Close()
+	tr.TrackData(true)
+
+	// Step 1: nop — no data access.
+	tr.Rearm()
+	if _, err := e.StepOne(); err != nil {
+		t.Fatal(err)
+	}
+	if tr.DataTouched() {
+		t.Error("nop must not touch data")
+	}
+	// Step 2: push — stack write.
+	tr.Rearm()
+	if _, err := e.StepOne(); err != nil {
+		t.Fatal(err)
+	}
+	if !tr.DataTouched() {
+		t.Error("push must touch the stack page")
+	}
+}
+
+func TestTrackerUnrelatedFaultDeclined(t *testing.T) {
+	_, e, _ := makeEnclave(t, countdownSrc)
+	tr := NewTracker(e)
+	defer tr.Close()
+	tr.TrackCode(true)
+	// A fault outside the enclave must not be absorbed by the tracker.
+	err := e.core.Mem.ReadBytes(0xdead_0000, make([]byte, 1))
+	if err == nil {
+		t.Error("unrelated fault should propagate")
+	}
+}
+
+func TestCodeRegionsAndTrackerHelpers(t *testing.T) {
+	_, e, _ := makeEnclave(t, countdownSrc)
+	regions := e.CodeRegions()
+	if len(regions) != 1 || regions[0].Addr != encBase {
+		t.Fatalf("regions = %+v", regions)
+	}
+	if !regions[0].Contains(encBase) || regions[0].Contains(encBase+regions[0].Size) {
+		t.Error("Contains boundary check failed")
+	}
+	tr := NewTracker(e)
+	defer tr.Close()
+	if _, ok := tr.CurrentPage(); ok {
+		t.Error("no current page before any fault")
+	}
+	tr.TrackCode(true)
+	if _, err := e.StepOne(); err != nil {
+		t.Fatal(err)
+	}
+	page, ok := tr.CurrentPage()
+	if !ok || page != encBase>>12 {
+		t.Errorf("CurrentPage = %#x, %v", page, ok)
+	}
+	if len(tr.CodePages()) == 0 {
+		t.Error("page log should have entries")
+	}
+	tr.ResetLog()
+	if len(tr.CodePages()) != 0 {
+		t.Error("ResetLog should clear the log")
+	}
+}

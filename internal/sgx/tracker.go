@@ -1,0 +1,144 @@
+package sgx
+
+import (
+	"repro/internal/mem"
+)
+
+// Tracker mounts the controlled-channel attack of Xu et al. against an
+// enclave: the untrusted OS revokes page permissions and learns, from
+// the resulting faults, which code page the enclave is executing and
+// whether a step touched data memory. NV-S uses the code-page sequence
+// for the high PC bits (page numbers) and the data-access signal to
+// tell calls/rets apart from jumps during trace slicing (§6.4).
+type Tracker struct {
+	enc  *Enclave
+	mem  *mem.Memory
+	prev mem.FaultHandler
+
+	trackCode bool
+	trackData bool
+
+	codePages   []uint64
+	curExecPage uint64
+	hasExecPage bool
+
+	dataTouched bool
+}
+
+// NewTracker installs a tracker for e. Only one tracker should be active
+// per memory at a time; Close restores the previous fault handler.
+func NewTracker(e *Enclave) *Tracker {
+	t := &Tracker{enc: e, mem: e.core.Mem}
+	t.prev = nil // mem package does not expose the old handler; document single-owner
+	t.mem.SetFaultHandler(t.handle)
+	return t
+}
+
+// Close uninstalls the tracker's fault handler and restores permissions.
+func (t *Tracker) Close() {
+	t.TrackCode(false)
+	t.TrackData(false)
+	t.mem.SetFaultHandler(nil)
+}
+
+// TrackCode enables or disables execute-permission tracking on the
+// enclave's code pages.
+func (t *Tracker) TrackCode(on bool) {
+	t.trackCode = on
+	for _, r := range t.enc.code {
+		if on {
+			t.mem.Protect(r.Addr, r.Size, mem.PermR) // revoke X
+		} else {
+			t.mem.Protect(r.Addr, r.Size, mem.PermRX)
+		}
+	}
+	t.hasExecPage = false
+}
+
+// TrackData enables or disables read/write tracking on the enclave's
+// stack and data regions.
+func (t *Tracker) TrackData(on bool) {
+	t.trackData = on
+	regions := []Region{t.enc.cfg.Stack, t.enc.cfg.Data}
+	for _, r := range regions {
+		if r.Size == 0 {
+			continue
+		}
+		if on {
+			t.mem.Protect(r.Addr, r.Size, 0)
+		} else {
+			t.mem.Protect(r.Addr, r.Size, mem.PermRW)
+		}
+	}
+}
+
+// Rearm re-revokes data permissions so the next access faults again.
+// The NV-S loop calls this at every AEX for per-step data signals.
+func (t *Tracker) Rearm() {
+	t.dataTouched = false
+	if t.trackData {
+		t.TrackData(true)
+	}
+}
+
+// CodePages returns the sequence of code page numbers observed (one
+// entry per page *transition*, the controlled channel's granularity).
+func (t *Tracker) CodePages() []uint64 {
+	out := make([]uint64, len(t.codePages))
+	copy(out, t.codePages)
+	return out
+}
+
+// CurrentPage returns the page number the enclave is currently executing
+// on, as learned from the channel.
+func (t *Tracker) CurrentPage() (uint64, bool) {
+	return t.curExecPage, t.hasExecPage
+}
+
+// DataTouched reports whether a tracked data access occurred since the
+// last Rearm.
+func (t *Tracker) DataTouched() bool { return t.dataTouched }
+
+// ResetLog clears the recorded code-page sequence.
+func (t *Tracker) ResetLog() {
+	t.codePages = t.codePages[:0]
+}
+
+// handle is the page-fault handler: it records the fault, grants the
+// needed permission (revoking the previous exec page to keep exactly one
+// executable), and retries the access.
+func (t *Tracker) handle(f *mem.Fault) bool {
+	switch f.Access {
+	case mem.AccessFetch:
+		if !t.trackCode || !f.Mapped || !t.enc.InCode(f.Addr) {
+			return false
+		}
+		page := f.PageNum()
+		if t.hasExecPage {
+			if t.curExecPage == page {
+				// Same page lost X somehow; just restore.
+				t.mem.Protect(page<<mem.PageShift, mem.PageSize, mem.PermRX)
+				return true
+			}
+			t.mem.Protect(t.curExecPage<<mem.PageShift, mem.PageSize, mem.PermR)
+		}
+		t.curExecPage = page
+		t.hasExecPage = true
+		t.codePages = append(t.codePages, page)
+		t.mem.Protect(page<<mem.PageShift, mem.PageSize, mem.PermRX)
+		return true
+
+	case mem.AccessRead, mem.AccessWrite:
+		if !t.trackData || !f.Mapped {
+			return false
+		}
+		if !t.enc.cfg.Stack.Contains(f.Addr) && !t.enc.cfg.Data.Contains(f.Addr) {
+			return false
+		}
+		t.dataTouched = true
+		page := f.Addr &^ (mem.PageSize - 1)
+		t.mem.Protect(page, mem.PageSize, mem.PermRW)
+		return true
+	}
+	return false
+}

@@ -1,0 +1,201 @@
+// Package stats provides the small statistical toolkit the experiment
+// harnesses use: moments, medians, histograms, top-k rankings and
+// accuracy scores.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Mean returns the arithmetic mean of xs (0 for empty input).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// MeanUint64 is Mean over uint64 samples.
+func MeanUint64(xs []uint64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += float64(x)
+	}
+	return s / float64(len(xs))
+}
+
+// StdDev returns the population standard deviation of xs.
+func StdDev(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	s := 0.0
+	for _, x := range xs {
+		d := x - m
+		s += d * d
+	}
+	return math.Sqrt(s / float64(len(xs)))
+}
+
+// Median returns the median of xs (0 for empty input).
+func Median(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	n := len(s)
+	if n%2 == 1 {
+		return s[n/2]
+	}
+	return (s[n/2-1] + s[n/2]) / 2
+}
+
+// Accuracy returns the fraction of positions where got equals want. The
+// slices must have equal length.
+func Accuracy(got, want []bool) float64 {
+	if len(got) != len(want) {
+		panic(fmt.Sprintf("stats: Accuracy length mismatch %d vs %d", len(got), len(want)))
+	}
+	if len(got) == 0 {
+		return 0
+	}
+	ok := 0
+	for i := range got {
+		if got[i] == want[i] {
+			ok++
+		}
+	}
+	return float64(ok) / float64(len(got))
+}
+
+// Scored pairs a label with a score, for rankings.
+type Scored struct {
+	Label string
+	Score float64
+}
+
+// TopK returns the k highest-scoring entries, descending; ties break by
+// label for determinism.
+func TopK(items []Scored, k int) []Scored {
+	s := append([]Scored(nil), items...)
+	sort.Slice(s, func(i, j int) bool {
+		if s[i].Score != s[j].Score {
+			return s[i].Score > s[j].Score
+		}
+		return s[i].Label < s[j].Label
+	})
+	if k > len(s) {
+		k = len(s)
+	}
+	return s[:k]
+}
+
+// RankOf returns the 1-based rank of label in a descending sort of
+// items, or 0 if absent.
+func RankOf(items []Scored, label string) int {
+	ranked := TopK(items, len(items))
+	for i, s := range ranked {
+		if s.Label == label {
+			return i + 1
+		}
+	}
+	return 0
+}
+
+// Histogram bins samples into equal-width buckets over [lo, hi].
+type Histogram struct {
+	Lo, Hi  float64
+	Counts  []int
+	Samples int
+}
+
+// NewHistogram creates a histogram with n bins over [lo, hi].
+func NewHistogram(lo, hi float64, n int) *Histogram {
+	if n <= 0 || hi <= lo {
+		panic("stats: invalid histogram bounds")
+	}
+	return &Histogram{Lo: lo, Hi: hi, Counts: make([]int, n)}
+}
+
+// Add records a sample; out-of-range samples clamp to the edge bins.
+func (h *Histogram) Add(x float64) {
+	n := len(h.Counts)
+	idx := int(float64(n) * (x - h.Lo) / (h.Hi - h.Lo))
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= n {
+		idx = n - 1
+	}
+	h.Counts[idx]++
+	h.Samples++
+}
+
+// String renders a compact ASCII bar chart.
+func (h *Histogram) String() string {
+	var sb strings.Builder
+	maxC := 1
+	for _, c := range h.Counts {
+		if c > maxC {
+			maxC = c
+		}
+	}
+	width := (h.Hi - h.Lo) / float64(len(h.Counts))
+	for i, c := range h.Counts {
+		bar := strings.Repeat("#", c*40/maxC)
+		fmt.Fprintf(&sb, "%8.1f..%-8.1f %6d %s\n", h.Lo+float64(i)*width, h.Lo+float64(i+1)*width, c, bar)
+	}
+	return sb.String()
+}
+
+// Series is a labeled (x, y) sequence for figure-style output.
+type Series struct {
+	Name string
+	X    []float64
+	Y    []float64
+}
+
+// Add appends a point.
+func (s *Series) Add(x, y float64) {
+	s.X = append(s.X, x)
+	s.Y = append(s.Y, y)
+}
+
+// Table renders one or more series sharing the same X values as an
+// aligned text table, one row per X — the format the benchmark harness
+// prints for every reproduced figure.
+func Table(xLabel string, series ...*Series) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-12s", xLabel)
+	for _, s := range series {
+		fmt.Fprintf(&sb, " %14s", s.Name)
+	}
+	sb.WriteByte('\n')
+	if len(series) == 0 {
+		return sb.String()
+	}
+	for i := range series[0].X {
+		fmt.Fprintf(&sb, "%-12.0f", series[0].X[i])
+		for _, s := range series {
+			if i < len(s.Y) {
+				fmt.Fprintf(&sb, " %14.2f", s.Y[i])
+			} else {
+				fmt.Fprintf(&sb, " %14s", "-")
+			}
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}

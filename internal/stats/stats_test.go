@@ -1,0 +1,112 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestMeanStdDevMedian(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if m := Mean(xs); m != 5 {
+		t.Errorf("Mean = %v", m)
+	}
+	if s := StdDev(xs); math.Abs(s-2) > 1e-9 {
+		t.Errorf("StdDev = %v", s)
+	}
+	if m := Median(xs); m != 4.5 {
+		t.Errorf("Median = %v", m)
+	}
+	if m := Median([]float64{3, 1, 2}); m != 2 {
+		t.Errorf("odd Median = %v", m)
+	}
+	if Mean(nil) != 0 || Median(nil) != 0 || StdDev(nil) != 0 {
+		t.Error("empty inputs should give 0")
+	}
+}
+
+func TestMeanUint64(t *testing.T) {
+	if m := MeanUint64([]uint64{1, 2, 3}); m != 2 {
+		t.Errorf("MeanUint64 = %v", m)
+	}
+	if MeanUint64(nil) != 0 {
+		t.Error("empty = 0")
+	}
+}
+
+func TestAccuracy(t *testing.T) {
+	got := []bool{true, false, true, true}
+	want := []bool{true, true, true, false}
+	if a := Accuracy(got, want); a != 0.5 {
+		t.Errorf("Accuracy = %v", a)
+	}
+	if Accuracy(nil, nil) != 0 {
+		t.Error("empty accuracy = 0")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("length mismatch should panic")
+		}
+	}()
+	Accuracy([]bool{true}, []bool{})
+}
+
+func TestTopKAndRankOf(t *testing.T) {
+	items := []Scored{{"a", 0.5}, {"b", 0.9}, {"c", 0.9}, {"d", 0.1}}
+	top := TopK(items, 2)
+	if top[0].Label != "b" || top[1].Label != "c" {
+		t.Errorf("TopK = %v (ties break by label)", top)
+	}
+	if r := RankOf(items, "a"); r != 3 {
+		t.Errorf("RankOf(a) = %d", r)
+	}
+	if r := RankOf(items, "zzz"); r != 0 {
+		t.Errorf("RankOf(missing) = %d", r)
+	}
+	if got := TopK(items, 99); len(got) != 4 {
+		t.Errorf("TopK overflow = %d", len(got))
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram(0, 10, 5)
+	for _, v := range []float64{1, 3, 3, 7, 11, -2} {
+		h.Add(v)
+	}
+	if h.Samples != 6 {
+		t.Errorf("Samples = %d", h.Samples)
+	}
+	if h.Counts[0] != 2 { // 1 and the clamped -2
+		t.Errorf("bin0 = %d", h.Counts[0])
+	}
+	if h.Counts[4] != 1 { // the clamped 11
+		t.Errorf("bin4 = %d", h.Counts[4])
+	}
+	if !strings.Contains(h.String(), "#") {
+		t.Error("String should render bars")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("invalid bounds should panic")
+		}
+	}()
+	NewHistogram(5, 5, 3)
+}
+
+func TestSeriesAndTable(t *testing.T) {
+	a := &Series{Name: "a"}
+	b := &Series{Name: "b"}
+	for i := 0; i < 3; i++ {
+		a.Add(float64(i), float64(i*2))
+		b.Add(float64(i), float64(i*3))
+	}
+	out := Table("x", a, b)
+	for _, want := range []string{"x", "a", "b", "4.00", "6.00"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table missing %q:\n%s", want, out)
+		}
+	}
+	if !strings.Contains(Table("x"), "x") {
+		t.Error("empty table should still have a header")
+	}
+}

@@ -1,0 +1,119 @@
+// Package trace defines dynamic PC traces: the ground truth the
+// simulator records and the reconstruction the attack produces. The
+// fingerprinting pipeline (internal/fingerprint) consumes both.
+package trace
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/cpu"
+	"repro/internal/isa"
+)
+
+// Entry is one dynamic instruction: its PC plus the minimal metadata the
+// fingerprinting pipeline needs. Reconstructed traces fill only PC (the
+// attack cannot see opcodes).
+type Entry struct {
+	PC   uint64
+	Size int      // 0 when unknown (reconstructed traces)
+	Kind isa.Kind // KindOther when unknown
+}
+
+// Trace is a dynamic instruction sequence.
+type Trace []Entry
+
+// PCs returns just the program counters.
+func (t Trace) PCs() []uint64 {
+	out := make([]uint64, len(t))
+	for i, e := range t {
+		out[i] = e.PC
+	}
+	return out
+}
+
+// FromPCs builds a metadata-free trace from raw PCs.
+func FromPCs(pcs []uint64) Trace {
+	t := make(Trace, len(pcs))
+	for i, pc := range pcs {
+		t[i] = Entry{PC: pc}
+	}
+	return t
+}
+
+// String renders a short preview of the trace.
+func (t Trace) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "trace[%d]:", len(t))
+	for i, e := range t {
+		if i == 8 {
+			sb.WriteString(" ...")
+			break
+		}
+		fmt.Fprintf(&sb, " %#x", e.PC)
+	}
+	return sb.String()
+}
+
+// Recorder captures the ground-truth dynamic trace from a core's retire
+// stream. Only the harness uses it; attack code never sees it.
+type Recorder struct {
+	T      Trace
+	filter func(pc uint64) bool
+}
+
+// NewRecorder attaches a recorder to core. If filter is non-nil, only
+// PCs it accepts are recorded (e.g. restrict to the enclave range).
+func NewRecorder(core *cpu.Core, filter func(pc uint64) bool) *Recorder {
+	r := &Recorder{filter: filter}
+	prev := core.OnRetire
+	core.OnRetire = func(pc uint64, in isa.Inst) {
+		if prev != nil {
+			prev(pc, in)
+		}
+		if r.filter == nil || r.filter(pc) {
+			r.T = append(r.T, Entry{PC: pc, Size: in.Size, Kind: in.Kind()})
+		}
+	}
+	return r
+}
+
+// Reset clears the recorded trace.
+func (r *Recorder) Reset() { r.T = r.T[:0] }
+
+// MatchStats compares a reconstructed trace against ground truth
+// position by position.
+type MatchStats struct {
+	Total   int // ground-truth length
+	Got     int // reconstructed length
+	Correct int // positions where both agree
+}
+
+// Rate returns the fraction of ground-truth positions reconstructed
+// correctly.
+func (m MatchStats) Rate() float64 {
+	if m.Total == 0 {
+		return 0
+	}
+	return float64(m.Correct) / float64(m.Total)
+}
+
+func (m MatchStats) String() string {
+	return fmt.Sprintf("%d/%d correct (%.1f%%), reconstructed %d", m.Correct, m.Total, 100*m.Rate(), m.Got)
+}
+
+// Compare aligns two traces position by position (no gap alignment: the
+// attack reconstructs one candidate per step, so positions correspond).
+func Compare(got, want Trace) MatchStats {
+	st := MatchStats{Total: len(want), Got: len(got)}
+	n := len(got)
+	if len(want) < n {
+		n = len(want)
+	}
+	for i := 0; i < n; i++ {
+		if got[i].PC == want[i].PC {
+			st.Correct++
+		}
+	}
+	return st
+}

@@ -1,0 +1,97 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/asm"
+	"repro/internal/cpu"
+	"repro/internal/isa"
+	"repro/internal/mem"
+)
+
+func TestPCsAndFromPCs(t *testing.T) {
+	tr := FromPCs([]uint64{1, 2, 3})
+	if len(tr) != 3 || tr[1].PC != 2 {
+		t.Fatalf("trace = %+v", tr)
+	}
+	pcs := tr.PCs()
+	if len(pcs) != 3 || pcs[2] != 3 {
+		t.Errorf("PCs = %v", pcs)
+	}
+}
+
+func TestString(t *testing.T) {
+	tr := FromPCs(make([]uint64, 20))
+	s := tr.String()
+	if !strings.Contains(s, "trace[20]") || !strings.Contains(s, "...") {
+		t.Errorf("String = %q", s)
+	}
+}
+
+func TestRecorder(t *testing.T) {
+	p := asm.MustAssemble(`
+		.org 0x1000
+	start:
+		nop
+		nop
+		call fn
+		hlt
+		.org 0x2000
+	fn:
+		ret
+	`)
+	m := mem.New()
+	p.LoadInto(m)
+	m.Map(0x7f_0000, 0x1000, mem.PermRW)
+	c := cpu.New(cpu.Config{}, m)
+	c.SetReg(isa.SP, 0x7f_1000)
+	c.SetPC(0x1000)
+	rec := NewRecorder(c, nil)
+	if _, err := c.Run(100); err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.T) != 5 { // nop nop call ret hlt
+		t.Fatalf("recorded %d entries: %v", len(rec.T), rec.T)
+	}
+	if rec.T[2].Kind != isa.KindCall {
+		t.Errorf("entry 2 kind = %v", rec.T[2].Kind)
+	}
+	rec.Reset()
+	if len(rec.T) != 0 {
+		t.Error("Reset should clear")
+	}
+}
+
+func TestRecorderFilter(t *testing.T) {
+	p := asm.MustAssemble(".org 0x1000\nstart: nop\nnop\nhlt")
+	m := mem.New()
+	p.LoadInto(m)
+	c := cpu.New(cpu.Config{}, m)
+	c.SetPC(0x1000)
+	rec := NewRecorder(c, func(pc uint64) bool { return pc == 0x1001 })
+	if _, err := c.Run(100); err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.T) != 1 || rec.T[0].PC != 0x1001 {
+		t.Errorf("filtered trace = %v", rec.T)
+	}
+}
+
+func TestCompare(t *testing.T) {
+	want := FromPCs([]uint64{1, 2, 3, 4})
+	got := FromPCs([]uint64{1, 9, 3})
+	st := Compare(got, want)
+	if st.Total != 4 || st.Got != 3 || st.Correct != 2 {
+		t.Errorf("stats = %+v", st)
+	}
+	if st.Rate() != 0.5 {
+		t.Errorf("Rate = %v", st.Rate())
+	}
+	if !strings.Contains(st.String(), "2/4") {
+		t.Errorf("String = %q", st.String())
+	}
+	if (MatchStats{}).Rate() != 0 {
+		t.Error("empty Rate = 0")
+	}
+}

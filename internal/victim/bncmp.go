@@ -1,0 +1,52 @@
+package victim
+
+import "repro/internal/codegen"
+
+// BnCmp returns the IPP-Crypto-style big-number comparison: the operand
+// words are compared limb by limb (here sixteen 4-bit limbs of a 64-bit
+// word), with a balanced secret-dependent branch per limb. Returns 0 for
+// equal, 1 for a > b, 2 for a < b.
+func BnCmp(yield bool) *codegen.Func {
+	y := maybeYield(yield)
+	body := []codegen.Stmt{
+		codegen.Set("la", codegen.B(codegen.OpShr, codegen.V("a"), codegen.C(60))),
+		codegen.Set("lb", codegen.B(codegen.OpShr, codegen.V("b"), codegen.C(60))),
+		codegen.If{
+			Cond: codegen.Cmp(codegen.V("la"), codegen.RelGt, codegen.V("lb")),
+			Then: []codegen.Stmt{codegen.Return{Expr: codegen.C(1)}},
+		},
+		codegen.If{
+			Cond: codegen.Cmp(codegen.V("la"), codegen.RelLt, codegen.V("lb")),
+			Then: []codegen.Stmt{codegen.Return{Expr: codegen.C(2)}},
+		},
+	}
+	body = append(body, y...)
+	body = append(body,
+		codegen.Set("a", codegen.B(codegen.OpShl, codegen.V("a"), codegen.C(4))),
+		codegen.Set("b", codegen.B(codegen.OpShl, codegen.V("b"), codegen.C(4))),
+		codegen.Set("i", codegen.B(codegen.OpSub, codegen.V("i"), codegen.C(1))),
+	)
+	return &codegen.Func{
+		Name:   "bn_cmp",
+		Params: []string{"a", "b"},
+		Body: []codegen.Stmt{
+			codegen.Set("i", codegen.C(16)),
+			codegen.While{
+				Cond: codegen.Cmp(codegen.V("i"), codegen.RelNe, codegen.C(0)),
+				Body: body,
+			},
+			codegen.Return{Expr: codegen.C(0)},
+		},
+	}
+}
+
+// BnCmpRef is the reference semantics of BnCmp.
+func BnCmpRef(a, b uint64) uint64 {
+	switch {
+	case a > b:
+		return 1
+	case a < b:
+		return 2
+	}
+	return 0
+}

@@ -1,0 +1,166 @@
+package victim
+
+import (
+	"fmt"
+
+	"repro/internal/codegen"
+	"repro/internal/nvrand"
+)
+
+// CorpusSpec configures the synthetic function corpus used by the
+// fingerprinting evaluation (§7.3): the paper draws 175,168 functions
+// from open-source SGX projects; we generate the same scale of distinct,
+// terminating functions deterministically from a seed.
+type CorpusSpec struct {
+	// N is the number of functions. The paper's figure is 175168.
+	N int
+	// Seed drives all randomness.
+	Seed uint64
+	// MaxDepth bounds control-flow nesting (default 2).
+	MaxDepth int
+	// MaxStmts bounds statements per block (default 6, min 2).
+	MaxStmts int
+}
+
+// PaperCorpusN is the corpus size of the paper's evaluation.
+const PaperCorpusN = 175168
+
+func (s CorpusSpec) withDefaults() CorpusSpec {
+	if s.MaxDepth == 0 {
+		s.MaxDepth = 2
+	}
+	if s.MaxStmts == 0 {
+		s.MaxStmts = 6
+	}
+	return s
+}
+
+// Corpus deterministically generates spec.N random functions. Every
+// function terminates (loops are bounded counters) and respects the
+// code generator's register budget.
+func Corpus(spec CorpusSpec) []*codegen.Func {
+	spec = spec.withDefaults()
+	rng := nvrand.New(spec.Seed)
+	out := make([]*codegen.Func, spec.N)
+	for i := range out {
+		out[i] = genFunc(fmt.Sprintf("f%06d", i), rng.Split(), spec)
+	}
+	return out
+}
+
+// genFunc builds one random function.
+func genFunc(name string, rng *nvrand.Rand, spec CorpusSpec) *codegen.Func {
+	g := &gen{rng: rng, spec: spec}
+	nParams := 1 + rng.Intn(3)
+	f := &codegen.Func{Name: name}
+	for i := 0; i < nParams; i++ {
+		p := fmt.Sprintf("p%d", i)
+		f.Params = append(f.Params, p)
+		g.vars = append(g.vars, p)
+	}
+	f.Body = g.block(0, spec.MaxStmts)
+	f.Body = append(f.Body, codegen.Return{Expr: g.expr(1)})
+	return f
+}
+
+type gen struct {
+	rng   *nvrand.Rand
+	spec  CorpusSpec
+	vars  []string
+	loops int
+}
+
+// maxVars keeps within the compiler's register budget (9) minus the
+// loop counters we may still add.
+const maxVars = 6
+
+func (g *gen) block(depth, budget int) []codegen.Stmt {
+	n := 2 + g.rng.Intn(budget)
+	var out []codegen.Stmt
+	for i := 0; i < n; i++ {
+		switch r := g.rng.Intn(100); {
+		case r < 55 || depth >= g.spec.MaxDepth:
+			out = append(out, g.assign())
+		case r < 80:
+			out = append(out, codegen.If{
+				Cond: g.cond(),
+				Then: g.block(depth+1, budget/2+1),
+				Else: g.block(depth+1, budget/2+1),
+			})
+		default:
+			if g.loops >= 3 {
+				// Loop counters share the register budget with vars;
+				// cap them so compilation never overflows registers.
+				out = append(out, g.assign())
+				continue
+			}
+			out = append(out, g.loop(depth, budget)...)
+		}
+	}
+	return out
+}
+
+// loop emits a counter init plus a bounded loop, guaranteeing
+// termination.
+func (g *gen) loop(depth, budget int) []codegen.Stmt {
+	g.loops++
+	cnt := fmt.Sprintf("i%d", g.loops)
+	body := g.block(depth+1, budget/2+1)
+	body = append(body, codegen.Set(cnt, codegen.B(codegen.OpSub, codegen.V(cnt), codegen.C(1))))
+	return []codegen.Stmt{
+		codegen.Set(cnt, codegen.C(int64(2+g.rng.Intn(5)))),
+		codegen.While{Cond: codegen.Cmp(codegen.V(cnt), codegen.RelNe, codegen.C(0)), Body: body},
+	}
+}
+
+func (g *gen) assign() codegen.Stmt {
+	// Generate the RHS before (possibly) minting a new destination so a
+	// fresh variable can never appear in its own defining expression.
+	e := g.expr(2)
+	dst := g.pickVarOrNew()
+	return codegen.Set(dst, e)
+}
+
+func (g *gen) pickVarOrNew() string {
+	if len(g.vars) < maxVars && g.rng.Intn(3) == 0 {
+		v := fmt.Sprintf("v%d", len(g.vars))
+		g.vars = append(g.vars, v)
+		return v
+	}
+	return g.vars[g.rng.Intn(len(g.vars))]
+}
+
+func (g *gen) pickVar() string {
+	return g.vars[g.rng.Intn(len(g.vars))]
+}
+
+func (g *gen) cond() codegen.Cond {
+	rels := []codegen.Rel{codegen.RelEq, codegen.RelNe, codegen.RelLt, codegen.RelLe, codegen.RelGt, codegen.RelGe}
+	return codegen.Cmp(g.expr(1), rels[g.rng.Intn(len(rels))], g.expr(1))
+}
+
+func (g *gen) expr(depth int) codegen.Expr {
+	if depth <= 0 || g.rng.Intn(3) == 0 {
+		if g.rng.Intn(2) == 0 {
+			return codegen.V(g.pickVar())
+		}
+		return codegen.C(int64(g.rng.Intn(1 << 16)))
+	}
+	ops := []codegen.BinOp{
+		codegen.OpAdd, codegen.OpSub, codegen.OpMul,
+		codegen.OpAnd, codegen.OpOr, codegen.OpXor,
+	}
+	switch g.rng.Intn(10) {
+	case 0: // constant shift
+		dir := codegen.OpShl
+		if g.rng.Bool() {
+			dir = codegen.OpShr
+		}
+		return codegen.B(dir, g.expr(depth-1), codegen.C(int64(1+g.rng.Intn(7))))
+	case 1: // division by a non-zero constant
+		return codegen.B(codegen.OpDiv, g.expr(depth-1), codegen.C(int64(1+g.rng.Intn(254))))
+	default:
+		op := ops[g.rng.Intn(len(ops))]
+		return codegen.B(op, g.expr(depth-1), g.expr(depth-1))
+	}
+}

@@ -1,0 +1,22 @@
+package victim
+
+import "repro/internal/nvrand"
+
+// RSAKeygenInputs models the paper's §7.2 workload: each victim run is
+// one RSA key generation, which repeatedly computes gcd(e, candidate)
+// while searching for a public exponent coprime to phi(n). It returns
+// the (secret-carrying) GCD operand pairs for one run.
+//
+// The secrets are the candidate values: their bits steer the balanced
+// branch inside GCD, which is what the attack recovers.
+func RSAKeygenInputs(rng *nvrand.Rand, calls int) [][2]uint64 {
+	out := make([][2]uint64, calls)
+	for i := range out {
+		// Random odd 64-bit "phi" candidate and the conventional
+		// exponent; both odd so the binary GCD goes straight to the
+		// balanced loop.
+		phi := rng.Uint64() | 1
+		out[i] = [2]uint64{65537, phi}
+	}
+	return out
+}

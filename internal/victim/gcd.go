@@ -1,0 +1,323 @@
+// Package victim provides the attack targets of the paper's evaluation:
+// mbedTLS-style GCD in eight library versions, the IPP-Crypto-style
+// big-number comparison, an RSA-key-generation driver, and the synthetic
+// function corpus of the fingerprinting experiment (§7.3).
+//
+// Substitution note (see DESIGN.md): the real victims operate on
+// multi-limb bignums; ours operate on 64-bit words (bn_cmp treats a word
+// as sixteen 4-bit limbs). The property the attack consumes is identical
+// — a perfectly balanced branch whose direction depends on secret data,
+// exercised once per loop iteration — while keeping the hand-auditable
+// IR small.
+package victim
+
+import (
+	"fmt"
+
+	"repro/internal/codegen"
+)
+
+// GCDVersionNames lists the modeled mbedTLS versions in release order,
+// mirroring Figure 13 (left). Versions 2.5–2.15 share one
+// implementation; 2.16 changed it; 3.0 changed it again — the same
+// clustering the paper found in the real library.
+var GCDVersionNames = []string{"2.5", "2.7", "2.9", "2.15", "2.16", "2.18", "3.0", "3.1"}
+
+// GCDVersion returns the GCD source for the named mbedTLS version.
+// With yield set, the victim yields to the scheduler after the balanced
+// branch body of each loop iteration (the paper's PoC instrumentation).
+func GCDVersion(version string, yield bool) (*codegen.Func, error) {
+	switch version {
+	case "2.5", "2.7", "2.9", "2.15":
+		return gcdBinary(yield), nil
+	case "2.16", "2.18":
+		return gcdBinaryV2(yield), nil
+	case "3.0", "3.1":
+		return gcdBinaryV3(yield), nil
+	}
+	return nil, fmt.Errorf("victim: unknown mbedTLS version %q", version)
+}
+
+// MustGCDVersion is GCDVersion for static version names.
+func MustGCDVersion(version string, yield bool) *codegen.Func {
+	f, err := GCDVersion(version, yield)
+	if err != nil {
+		panic(err)
+	}
+	return f
+}
+
+func maybeYield(yield bool) []codegen.Stmt {
+	if yield {
+		return []codegen.Stmt{codegen.Yield{}}
+	}
+	return nil
+}
+
+// gcdBinary is the pre-2.16 implementation: binary (Stein) GCD. The
+// balanced secret branch is the swap decision `a > b` in the main loop.
+func gcdBinary(yield bool) *codegen.Func {
+	y := maybeYield(yield)
+	loopBody := []codegen.Stmt{
+		codegen.While{
+			Cond: codegen.Cmp(codegen.B(codegen.OpAnd, codegen.V("b"), codegen.C(1)), codegen.RelEq, codegen.C(0)),
+			Body: []codegen.Stmt{codegen.Set("b", codegen.B(codegen.OpShr, codegen.V("b"), codegen.C(1)))},
+		},
+		codegen.If{
+			Cond: codegen.Cmp(codegen.V("a"), codegen.RelGt, codegen.V("b")),
+			Then: []codegen.Stmt{
+				codegen.Set("t", codegen.V("a")),
+				codegen.Set("a", codegen.V("b")),
+				codegen.Set("b", codegen.B(codegen.OpSub, codegen.V("t"), codegen.V("a"))),
+			},
+			Else: []codegen.Stmt{
+				codegen.Set("b", codegen.B(codegen.OpSub, codegen.V("b"), codegen.V("a"))),
+			},
+		},
+	}
+	loopBody = append(loopBody, y...)
+	return &codegen.Func{
+		Name:   "mbedtls_mpi_gcd",
+		Params: []string{"a", "b"},
+		Body: []codegen.Stmt{
+			codegen.If{Cond: codegen.Cmp(codegen.V("a"), codegen.RelEq, codegen.C(0)),
+				Then: []codegen.Stmt{codegen.Return{Expr: codegen.V("b")}}},
+			codegen.If{Cond: codegen.Cmp(codegen.V("b"), codegen.RelEq, codegen.C(0)),
+				Then: []codegen.Stmt{codegen.Return{Expr: codegen.V("a")}}},
+			codegen.Set("s", codegen.C(0)),
+			codegen.While{
+				Cond: codegen.Cmp(
+					codegen.B(codegen.OpAnd, codegen.B(codegen.OpOr, codegen.V("a"), codegen.V("b")), codegen.C(1)),
+					codegen.RelEq, codegen.C(0)),
+				Body: []codegen.Stmt{
+					codegen.Set("a", codegen.B(codegen.OpShr, codegen.V("a"), codegen.C(1))),
+					codegen.Set("b", codegen.B(codegen.OpShr, codegen.V("b"), codegen.C(1))),
+					codegen.Set("s", codegen.B(codegen.OpAdd, codegen.V("s"), codegen.C(1))),
+				},
+			},
+			codegen.While{
+				Cond: codegen.Cmp(codegen.B(codegen.OpAnd, codegen.V("a"), codegen.C(1)), codegen.RelEq, codegen.C(0)),
+				Body: []codegen.Stmt{codegen.Set("a", codegen.B(codegen.OpShr, codegen.V("a"), codegen.C(1)))},
+			},
+			codegen.While{
+				Cond: codegen.Cmp(codegen.V("b"), codegen.RelNe, codegen.C(0)),
+				Body: loopBody,
+			},
+			codegen.Return{Expr: codegen.B(codegen.OpShl, codegen.V("a"), codegen.V("s"))},
+		},
+	}
+}
+
+// gcdBinaryV2 is the 2.16-era implementation: still a binary GCD but
+// with the odd-normalization hoisted into the main loop and the branch
+// condition reversed (`b >= a`), changing layout and instruction mix.
+func gcdBinaryV2(yield bool) *codegen.Func {
+	y := maybeYield(yield)
+	body := []codegen.Stmt{
+		codegen.While{
+			Cond: codegen.Cmp(codegen.B(codegen.OpAnd, codegen.V("b"), codegen.C(1)), codegen.RelEq, codegen.C(0)),
+			Body: []codegen.Stmt{codegen.Set("b", codegen.B(codegen.OpShr, codegen.V("b"), codegen.C(1)))},
+		},
+		codegen.While{
+			Cond: codegen.Cmp(codegen.B(codegen.OpAnd, codegen.V("a"), codegen.C(1)), codegen.RelEq, codegen.C(0)),
+			Body: []codegen.Stmt{codegen.Set("a", codegen.B(codegen.OpShr, codegen.V("a"), codegen.C(1)))},
+		},
+		codegen.If{
+			Cond: codegen.Cmp(codegen.V("b"), codegen.RelGe, codegen.V("a")),
+			Then: []codegen.Stmt{codegen.Set("b", codegen.B(codegen.OpSub, codegen.V("b"), codegen.V("a")))},
+			Else: []codegen.Stmt{
+				codegen.Set("t", codegen.V("a")),
+				codegen.Set("a", codegen.V("b")),
+				codegen.Set("b", codegen.B(codegen.OpSub, codegen.V("t"), codegen.V("b"))),
+			},
+		},
+	}
+	body = append(body, y...)
+	return &codegen.Func{
+		Name:   "mbedtls_mpi_gcd",
+		Params: []string{"a", "b"},
+		Body: []codegen.Stmt{
+			codegen.If{Cond: codegen.Cmp(codegen.V("a"), codegen.RelEq, codegen.C(0)),
+				Then: []codegen.Stmt{codegen.Return{Expr: codegen.V("b")}}},
+			codegen.If{Cond: codegen.Cmp(codegen.V("b"), codegen.RelEq, codegen.C(0)),
+				Then: []codegen.Stmt{codegen.Return{Expr: codegen.V("a")}}},
+			codegen.Set("s", codegen.C(0)),
+			codegen.While{
+				Cond: codegen.Cmp(
+					codegen.B(codegen.OpAnd, codegen.B(codegen.OpOr, codegen.V("a"), codegen.V("b")), codegen.C(1)),
+					codegen.RelEq, codegen.C(0)),
+				Body: []codegen.Stmt{
+					codegen.Set("a", codegen.B(codegen.OpShr, codegen.V("a"), codegen.C(1))),
+					codegen.Set("b", codegen.B(codegen.OpShr, codegen.V("b"), codegen.C(1))),
+					codegen.Set("s", codegen.B(codegen.OpAdd, codegen.V("s"), codegen.C(1))),
+				},
+			},
+			codegen.While{
+				Cond: codegen.Cmp(codegen.V("b"), codegen.RelNe, codegen.C(0)),
+				Body: body,
+			},
+			codegen.Return{Expr: codegen.B(codegen.OpShl, codegen.V("a"), codegen.V("s"))},
+		},
+	}
+}
+
+// gcdBinaryV3 is the 3.x implementation: a binary GCD whose balanced
+// branch has symmetric subtract-then-normalize arms — the shape the
+// §7.2 control-flow leakage experiment attacks (both arms contain real
+// work, as in Figure 8).
+func gcdBinaryV3(yield bool) *codegen.Func {
+	y := maybeYield(yield)
+	body := []codegen.Stmt{
+		codegen.If{
+			Cond: codegen.Cmp(codegen.V("a"), codegen.RelGt, codegen.V("b")),
+			Then: []codegen.Stmt{
+				codegen.Set("a", codegen.B(codegen.OpSub, codegen.V("a"), codegen.V("b"))),
+				codegen.While{
+					Cond: codegen.Cmp(codegen.B(codegen.OpAnd, codegen.V("a"), codegen.C(1)), codegen.RelEq, codegen.C(0)),
+					Body: []codegen.Stmt{codegen.Set("a", codegen.B(codegen.OpShr, codegen.V("a"), codegen.C(1)))},
+				},
+			},
+			Else: []codegen.Stmt{
+				codegen.Set("b", codegen.B(codegen.OpSub, codegen.V("b"), codegen.V("a"))),
+				codegen.While{
+					Cond: codegen.Cmp(codegen.B(codegen.OpAnd, codegen.V("b"), codegen.C(1)), codegen.RelEq, codegen.C(0)),
+					Body: []codegen.Stmt{codegen.Set("b", codegen.B(codegen.OpShr, codegen.V("b"), codegen.C(1)))},
+				},
+			},
+		},
+	}
+	body = append(body, y...)
+	return &codegen.Func{
+		Name:   "mbedtls_mpi_gcd",
+		Params: []string{"a", "b"},
+		Body: []codegen.Stmt{
+			codegen.If{Cond: codegen.Cmp(codegen.V("a"), codegen.RelEq, codegen.C(0)),
+				Then: []codegen.Stmt{codegen.Return{Expr: codegen.V("b")}}},
+			codegen.If{Cond: codegen.Cmp(codegen.V("b"), codegen.RelEq, codegen.C(0)),
+				Then: []codegen.Stmt{codegen.Return{Expr: codegen.V("a")}}},
+			codegen.Set("s", codegen.C(0)),
+			codegen.While{
+				Cond: codegen.Cmp(
+					codegen.B(codegen.OpAnd, codegen.B(codegen.OpOr, codegen.V("a"), codegen.V("b")), codegen.C(1)),
+					codegen.RelEq, codegen.C(0)),
+				Body: []codegen.Stmt{
+					codegen.Set("a", codegen.B(codegen.OpShr, codegen.V("a"), codegen.C(1))),
+					codegen.Set("b", codegen.B(codegen.OpShr, codegen.V("b"), codegen.C(1))),
+					codegen.Set("s", codegen.B(codegen.OpAdd, codegen.V("s"), codegen.C(1))),
+				},
+			},
+			codegen.While{
+				Cond: codegen.Cmp(codegen.B(codegen.OpAnd, codegen.V("a"), codegen.C(1)), codegen.RelEq, codegen.C(0)),
+				Body: []codegen.Stmt{codegen.Set("a", codegen.B(codegen.OpShr, codegen.V("a"), codegen.C(1)))},
+			},
+			codegen.While{
+				Cond: codegen.Cmp(codegen.B(codegen.OpAnd, codegen.V("b"), codegen.C(1)), codegen.RelEq, codegen.C(0)),
+				Body: []codegen.Stmt{codegen.Set("b", codegen.B(codegen.OpShr, codegen.V("b"), codegen.C(1)))},
+			},
+			codegen.While{
+				Cond: codegen.Cmp(codegen.V("a"), codegen.RelNe, codegen.V("b")),
+				Body: body,
+			},
+			codegen.Return{Expr: codegen.B(codegen.OpShl, codegen.V("a"), codegen.V("s"))},
+		},
+	}
+}
+
+// GCDRef computes the reference result for any version (they are all
+// extensionally the greatest common divisor).
+func GCDRef(a, b uint64) uint64 {
+	for b != 0 {
+		a, b = b, a%b
+	}
+	return a
+}
+
+// GCDBranchDirections returns, per yield point (loop iteration), whether
+// the balanced branch took its THEN side — the ground-truth secret
+// sequence the control-flow leakage attack must recover.
+func GCDBranchDirections(version string, a, b uint64) ([]bool, error) {
+	switch version {
+	case "2.5", "2.7", "2.9", "2.15":
+		if a == 0 || b == 0 {
+			return nil, nil
+		}
+		var out []bool
+		for (a|b)&1 == 0 {
+			a >>= 1
+			b >>= 1
+		}
+		for a&1 == 0 {
+			a >>= 1
+		}
+		for b != 0 {
+			for b&1 == 0 {
+				b >>= 1
+			}
+			if a > b {
+				out = append(out, true)
+				a, b = b, a-b
+			} else {
+				out = append(out, false)
+				b -= a
+			}
+		}
+		return out, nil
+	case "2.16", "2.18":
+		if a == 0 || b == 0 {
+			return nil, nil
+		}
+		var out []bool
+		for (a|b)&1 == 0 {
+			a >>= 1
+			b >>= 1
+		}
+		for b != 0 {
+			for b&1 == 0 {
+				b >>= 1
+			}
+			for a&1 == 0 {
+				a >>= 1
+			}
+			if b >= a {
+				out = append(out, true)
+				b -= a
+			} else {
+				out = append(out, false)
+				a, b = b, a-b
+			}
+		}
+		return out, nil
+	case "3.0", "3.1":
+		if a == 0 || b == 0 {
+			return nil, nil
+		}
+		var out []bool
+		for (a|b)&1 == 0 {
+			a >>= 1
+			b >>= 1
+		}
+		for a&1 == 0 {
+			a >>= 1
+		}
+		for b&1 == 0 {
+			b >>= 1
+		}
+		for a != b {
+			if a > b {
+				out = append(out, true)
+				a -= b
+				for a&1 == 0 {
+					a >>= 1
+				}
+			} else {
+				out = append(out, false)
+				b -= a
+				for b&1 == 0 {
+					b >>= 1
+				}
+			}
+		}
+		return out, nil
+	}
+	return nil, fmt.Errorf("victim: unknown mbedTLS version %q", version)
+}

@@ -1,0 +1,223 @@
+package victim
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/asm"
+	"repro/internal/codegen"
+	"repro/internal/cpu"
+	"repro/internal/isa"
+	"repro/internal/mem"
+	"repro/internal/nvrand"
+	"repro/internal/osmodel"
+)
+
+// compileAndRun compiles f, runs it with args, and returns (r0, yields).
+func compileAndRun(t *testing.T, f *codegen.Func, opts codegen.Options, args ...uint64) (uint64, int) {
+	t.Helper()
+	b := asm.NewBuilder(0x40_0000)
+	b.Label("start")
+	for i, a := range args {
+		b.Inst(isa.MovImm64(isa.Reg(1+i), a))
+	}
+	b.Call(f.Name)
+	b.Inst(isa.Hlt())
+	if err := codegen.Emit(b, f, opts); err != nil {
+		t.Fatalf("%s: %v", f.Name, err)
+	}
+	p, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := mem.New()
+	p.LoadInto(m)
+	m.Map(0x7f_0000, 0x1000, mem.PermRW)
+	c := cpu.New(cpu.Config{}, m)
+	yields := 0
+	c.OnSyscall = func(n uint8) error {
+		if n == osmodel.SyscallYield {
+			yields++
+		}
+		return nil
+	}
+	c.SetReg(isa.SP, 0x7f_1000)
+	c.SetPC(p.MustLabel("start"))
+	if _, err := c.Run(5_000_000); err != nil {
+		t.Fatalf("%s: %v", f.Name, err)
+	}
+	return c.Reg(isa.R0), yields
+}
+
+func TestGCDVersionsCorrect(t *testing.T) {
+	cases := []struct{ a, b uint64 }{
+		{48, 18}, {1071, 462}, {7, 13}, {1, 1}, {100, 100},
+		{0, 9}, {9, 0}, {65537, 0xDEADBEEF}, {1 << 20, 48},
+	}
+	for _, v := range GCDVersionNames {
+		f := MustGCDVersion(v, false)
+		for _, c := range cases {
+			got, _ := compileAndRun(t, f, codegen.Options{Opt: codegen.O2}, c.a, c.b)
+			if want := GCDRef(c.a, c.b); got != want {
+				t.Errorf("v%s gcd(%d,%d) = %d, want %d", v, c.a, c.b, got, want)
+			}
+		}
+	}
+}
+
+func TestQuickGCDVersionsAgree(t *testing.T) {
+	f := func(a, b uint64) bool {
+		a |= 1 // odd operands like the RSA workload
+		b |= 1
+		want := GCDRef(a, b)
+		for _, v := range GCDVersionNames {
+			got, _ := compileAndRun(t, MustGCDVersion(v, false), codegen.Options{Opt: codegen.O2}, a, b)
+			if got != want {
+				t.Logf("v%s gcd(%d,%d) = %d, want %d", v, a, b, got, want)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestGCDYieldCountMatchesBranchTrace: the victim yields exactly once
+// per balanced-branch decision, so the ground-truth trace length must
+// equal the yield count — the synchronization property NV-U relies on.
+func TestGCDYieldCountMatchesBranchTrace(t *testing.T) {
+	for _, v := range GCDVersionNames {
+		f := MustGCDVersion(v, true)
+		a, b := uint64(65537), uint64(0xDEAD_BEEF_1234_5677)
+		_, yields := compileAndRun(t, f, codegen.Options{Opt: codegen.O2}, a, b)
+		dirs, err := GCDBranchDirections(v, a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if yields != len(dirs) {
+			t.Errorf("v%s: %d yields, %d branch decisions", v, yields, len(dirs))
+		}
+		if len(dirs) < 10 {
+			t.Errorf("v%s: only %d iterations; expect tens for a 64-bit operand", v, len(dirs))
+		}
+	}
+}
+
+// TestGCDVersionClusters: versions sharing an implementation compile to
+// identical bytes; different implementations differ — the premise of
+// Figure 13 (left).
+func TestGCDVersionClusters(t *testing.T) {
+	code := func(v string) string {
+		b := asm.NewBuilder(0x40_0000)
+		if err := codegen.Emit(b, MustGCDVersion(v, false), codegen.Options{Opt: codegen.O2}); err != nil {
+			t.Fatal(err)
+		}
+		p, err := b.Build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(p.Chunks[0].Code)
+	}
+	if code("2.5") != code("2.15") {
+		t.Error("2.5 and 2.15 should share an implementation")
+	}
+	if code("2.16") != code("2.18") {
+		t.Error("2.16 and 2.18 should share an implementation")
+	}
+	if code("3.0") != code("3.1") {
+		t.Error("3.0 and 3.1 should share an implementation")
+	}
+	if code("2.5") == code("2.16") || code("2.16") == code("3.0") || code("2.5") == code("3.0") {
+		t.Error("implementation generations must differ")
+	}
+}
+
+func TestBnCmpCorrect(t *testing.T) {
+	cases := [][2]uint64{
+		{5, 5}, {6, 5}, {5, 6}, {0, 0},
+		{0xFFFF_FFFF_FFFF_FFFF, 0xFFFF_FFFF_FFFF_FFFE},
+		{0x1234_5678_0000_0000, 0x1234_5678_0000_0001},
+		{1 << 63, 1}, {1, 1 << 63},
+	}
+	for _, c := range cases {
+		got, _ := compileAndRun(t, BnCmp(false), codegen.Options{Opt: codegen.O2}, c[0], c[1])
+		if want := BnCmpRef(c[0], c[1]); got != want {
+			t.Errorf("bn_cmp(%#x,%#x) = %d, want %d", c[0], c[1], got, want)
+		}
+	}
+}
+
+func TestUnknownVersion(t *testing.T) {
+	if _, err := GCDVersion("9.9", false); err == nil {
+		t.Error("unknown version must error")
+	}
+	if _, err := GCDBranchDirections("9.9", 1, 2); err == nil {
+		t.Error("unknown version must error")
+	}
+}
+
+func TestRSAKeygenInputs(t *testing.T) {
+	inputs := RSAKeygenInputs(nvrand.New(1), 10)
+	if len(inputs) != 10 {
+		t.Fatalf("len = %d", len(inputs))
+	}
+	for _, in := range inputs {
+		if in[0] != 65537 {
+			t.Errorf("e = %d", in[0])
+		}
+		if in[1]&1 != 1 {
+			t.Errorf("phi %#x should be odd", in[1])
+		}
+	}
+	// Determinism.
+	again := RSAKeygenInputs(nvrand.New(1), 10)
+	for i := range inputs {
+		if inputs[i] != again[i] {
+			t.Fatal("inputs must be deterministic per seed")
+		}
+	}
+}
+
+func TestCorpusGeneratesRunnableFunctions(t *testing.T) {
+	funcs := Corpus(CorpusSpec{N: 60, Seed: 7})
+	if len(funcs) != 60 {
+		t.Fatalf("N = %d", len(funcs))
+	}
+	for i, f := range funcs {
+		args := make([]uint64, len(f.Params))
+		for j := range args {
+			args[j] = uint64(i*31+j*17) | 1
+		}
+		got, _ := compileAndRun(t, f, codegen.Options{Opt: codegen.O2}, args...)
+		_ = got // any terminating value is fine; Run errors on non-termination
+	}
+}
+
+func TestCorpusDeterministicAndDistinct(t *testing.T) {
+	a := Corpus(CorpusSpec{N: 20, Seed: 3})
+	b := Corpus(CorpusSpec{N: 20, Seed: 3})
+	emit := func(f *codegen.Func) string {
+		bl := asm.NewBuilder(0x40_0000)
+		if err := codegen.Emit(bl, f, codegen.Options{Opt: codegen.O2}); err != nil {
+			t.Fatalf("%s: %v", f.Name, err)
+		}
+		p, err := bl.Build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(p.Chunks[0].Code)
+	}
+	distinct := map[string]bool{}
+	for i := range a {
+		ca, cb := emit(a[i]), emit(b[i])
+		if ca != cb {
+			t.Fatal("corpus must be deterministic per seed")
+		}
+		distinct[ca] = true
+	}
+	if len(distinct) < 15 {
+		t.Errorf("only %d/20 distinct function bodies", len(distinct))
+	}
+}
