@@ -24,6 +24,7 @@ package repro
 
 import (
 	"fmt"
+	"runtime"
 	"sync"
 	"testing"
 
@@ -145,6 +146,28 @@ func BenchmarkFigure12(b *testing.B) {
 		if _, err := experiments.Figure12(experiments.Config{Iters: 1, Seed: 13}, 300, 10); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkRunnerFigure12Corpus measures the parallel experiment engine
+// on the Figure 12 corpus fan-out: workers=1 is the serial baseline,
+// workers=GOMAXPROCS the bounded pool. Both produce bit-identical
+// results (TestFigure12ParallelDeterminism); this benchmark tracks the
+// wall-clock speedup, which should be >=2x on 4+ cores.
+func BenchmarkRunnerFigure12Corpus(b *testing.B) {
+	workersList := []int{1}
+	if n := runtime.GOMAXPROCS(0); n > 1 {
+		workersList = append(workersList, n)
+	}
+	for _, workers := range workersList {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			cfg := experiments.Config{Iters: 1, Seed: 13, Workers: workers}
+			for i := 0; i < b.N; i++ {
+				if _, err := experiments.Figure12(cfg, 2000, 10); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 

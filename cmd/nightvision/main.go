@@ -30,19 +30,34 @@ import (
 
 func main() {
 	var (
-		iters  = flag.Int("iters", 100, "measurement repetitions per data point (paper: 1000)")
-		runs   = flag.Int("runs", 100, "victim runs for the leakage experiments (paper: 100)")
-		corpus = flag.Int("corpus", 2000, "corpus size for fig12 (paper: 175168)")
-		noise  = flag.Float64("noise", 0, "LBR noise stddev in cycles (0 = LBR, ~10 = rdtsc)")
-		seed   = flag.Uint64("seed", 0, "experiment seed (0 = default)")
-		topK   = flag.Int("top", 10, "entries of the fig12 ranking to print")
+		iters    = flag.Int("iters", 100, "measurement repetitions per data point (paper: 1000)")
+		runs     = flag.Int("runs", 100, "victim runs for the leakage experiments (paper: 100)")
+		corpus   = flag.Int("corpus", 2000, "corpus size for fig12 (paper: 175168)")
+		noise    = flag.Float64("noise", 0, "LBR noise stddev in cycles (0 = LBR, ~10 = rdtsc)")
+		seed     = flag.Uint64("seed", 0, "experiment seed (unset = default 0xA11; 0 itself is rejected)")
+		topK     = flag.Int("top", 10, "entries of the fig12 ranking to print")
+		parallel = flag.Int("parallel", 0, "experiment engine workers (0 = GOMAXPROCS, 1 = serial; results identical)")
 	)
 	flag.Parse()
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: nightvision [flags] fig2|fig4|leak|bncmp|fig12|fig13|all")
 		os.Exit(2)
 	}
-	cfg := experiments.Config{Iters: *iters, Noise: *noise, Seed: *seed}
+	seedSet := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "seed" {
+			seedSet = true
+		}
+	})
+	if seedSet && *seed == 0 {
+		fmt.Fprintln(os.Stderr, "nightvision: -seed 0 is reserved as the \"use the default seed\" sentinel (0xA11); pass any nonzero seed")
+		os.Exit(2)
+	}
+	if *parallel < 0 {
+		fmt.Fprintln(os.Stderr, "nightvision: -parallel must be >= 0")
+		os.Exit(2)
+	}
+	cfg := experiments.Config{Iters: *iters, Noise: *noise, Seed: *seed, Workers: *parallel}
 
 	var run func(name string) error
 	run = func(name string) error {

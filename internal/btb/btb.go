@@ -217,6 +217,17 @@ func (b *BTB) IBPB() {
 	}
 }
 
+// Reset returns the BTB to its post-New state: every entry invalid,
+// LRU clock, stats, domain and IBRS cleared. Unlike Flush it is a full
+// re-initialization, used when a pooled simulator core is recycled.
+func (b *BTB) Reset() {
+	b.Flush()
+	b.lruClock = 0
+	b.ibrs = false
+	b.domain = 0
+	b.stats = Stats{}
+}
+
 // Flush invalidates every entry. Real processors expose no such
 // instruction (the paper's flushBTB routine executes a jump slide to
 // evict entries; see internal/asm/snippets); Flush exists for experiment

@@ -264,6 +264,41 @@ func New(cfg Config, m *mem.Memory) *Core {
 // Config returns the core's effective configuration.
 func (c *Core) Config() Config { return c.cfg }
 
+// Reset returns the core to its power-on state over the same memory:
+// architectural state zeroed, front end empty, BTB and LBR fully
+// re-initialized, clocks and counters at zero, hooks removed. Together
+// with Memory.Reset this lets a pooled simulator be recycled across
+// independent runs with behavior bit-identical to a freshly built one
+// (the experiment engine's determinism guarantee depends on this).
+func (c *Core) Reset() {
+	c.regs = [isa.NumRegs]uint64{}
+	c.flags = Flags{}
+	c.pc = 0
+	c.halted = false
+	c.fetchPC = 0
+	c.fetchClock = 0
+	c.fetchStalled = false
+	c.fetchStopped = false
+	c.queue = c.queue[:0]
+	c.nextPWID = 0
+	c.specRAS = c.specRAS[:0]
+	c.archRAS = c.archRAS[:0]
+	c.retireClock = 0
+	c.retiredInCyc = 0
+	c.OnRetire = nil
+	c.OnSyscall = nil
+	c.LBRSuppress = nil
+	c.retired = 0
+	c.squashes = 0
+	c.falseHits = 0
+	c.decodeResteers = 0
+	c.BTB.Reset()
+	c.LBR.Reset()
+	if c.dirPred != nil {
+		c.dirPred = newDirPredictor()
+	}
+}
+
 // Reg returns the value of register r.
 func (c *Core) Reg(r isa.Reg) uint64 { return c.regs[r] }
 

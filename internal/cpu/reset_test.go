@@ -1,0 +1,121 @@
+package cpu_test
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"repro/internal/asm"
+	"repro/internal/cpu"
+	"repro/internal/isa"
+	"repro/internal/mem"
+)
+
+// loopSrc exercises branches, calls and loads so that BTB, LBR, RAS and
+// timing state all accumulate history.
+const resetLoopSrc = `
+	.org 0x1000
+start:
+	movi r1, 12
+	movi r2, 0
+loop:
+	call bump
+	subi r1, 1
+	jnz loop
+	hlt
+	.org 0x1100
+bump:
+	addi r2, 3
+	ret
+`
+
+type coreSnapshot struct {
+	R2        uint64
+	Cycle     uint64
+	Retired   uint64
+	Squashes  uint64
+	FalseHits uint64
+	Records   []string
+}
+
+func snapshotRun(t *testing.T, c *cpu.Core, startPC uint64) coreSnapshot {
+	t.Helper()
+	c.SetReg(isa.SP, stackTop)
+	c.SetPC(startPC)
+	if _, err := c.Run(1_000_000); err != nil {
+		t.Fatal(err)
+	}
+	var recs []string
+	for _, r := range c.LBR.Records() {
+		recs = append(recs, fmt.Sprintf("%x->%x m=%v/%v c=%d", r.From, r.To, r.Mispredicted, r.MispredValid, r.Cycles))
+	}
+	return coreSnapshot{
+		R2:        c.Reg(isa.R2),
+		Cycle:     c.Cycle(),
+		Retired:   c.Retired(),
+		Squashes:  c.Squashes(),
+		FalseHits: c.FalseHits(),
+		Records:   recs,
+	}
+}
+
+// TestCoreResetMatchesFresh: a recycled (Reset) core plus a Reset memory
+// must replay a workload bit-identically to a freshly constructed pair —
+// the property the experiment engine's simulator pool relies on.
+func TestCoreResetMatchesFresh(t *testing.T) {
+	prog, err := asm.Assemble(resetLoopSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	build := func(m *mem.Memory) {
+		prog.LoadInto(m)
+		m.Map(stackTop-stackSize, stackSize, mem.PermRW)
+	}
+
+	m := mem.New()
+	build(m)
+	c := cpu.New(cpu.Config{}, m)
+	want := snapshotRun(t, c, prog.MustLabel("start"))
+
+	// Dirty extra state that Reset must clear.
+	c.OnRetire = func(uint64, isa.Inst) {}
+	c.LBR.SetNoise(5, 99)
+	c.BTB.SetIBRS(true)
+
+	for round := 0; round < 3; round++ {
+		m.Reset()
+		build(m)
+		c.Reset()
+		got := snapshotRun(t, c, prog.MustLabel("start"))
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("round %d: recycled run %+v != fresh run %+v", round, got, want)
+		}
+	}
+}
+
+// TestMemoryResetZeroesReusedPages: data written before Reset must not
+// leak into pages mapped after it.
+func TestMemoryResetZeroesReusedPages(t *testing.T) {
+	m := mem.New()
+	m.Map(0x1000, mem.PageSize, mem.PermRW)
+	if err := m.WriteBytes(0x1234, []byte{0xAA, 0xBB, 0xCC}); err != nil {
+		t.Fatal(err)
+	}
+	m.Reset()
+	if m.MappedPages() != 0 {
+		t.Fatalf("MappedPages after Reset = %d", m.MappedPages())
+	}
+	m.Map(0x1000, mem.PageSize, mem.PermRW)
+	buf := make([]byte, 8)
+	if err := m.ReadBytes(0x1230, buf); err != nil {
+		t.Fatal(err)
+	}
+	for i, b := range buf {
+		if b != 0 {
+			t.Fatalf("reused page byte %d = %#x, want 0", i, b)
+		}
+	}
+	if acc, dirty := m.AccessedDirty(0x1234); dirty && !acc {
+		t.Fatal("impossible A/D state")
+	}
+}

@@ -2,6 +2,11 @@
 // the paper's evaluation on the simulated substrate. Each experiment
 // returns data series/tables that cmd/nightvision prints and
 // bench_test.go regenerates; EXPERIMENTS.md records paper-vs-measured.
+//
+// Sweeps, matrices and corpus fan-outs run on the bounded deterministic
+// parallel engine in internal/runner: results are bit-identical for any
+// Config.Workers value, and peak goroutine growth is bounded by the
+// worker count.
 package experiments
 
 import (
@@ -11,6 +16,7 @@ import (
 	"repro/internal/cpu"
 	"repro/internal/isa"
 	"repro/internal/mem"
+	"repro/internal/runner"
 )
 
 // Config holds common experiment knobs.
@@ -21,8 +27,16 @@ type Config struct {
 	// Noise is the LBR measurement noise stddev in cycles (0 models the
 	// paper's near-noiseless LBR channel; ~10 models an rdtsc channel).
 	Noise float64
-	// Seed drives all randomness.
+	// Seed drives all randomness. Zero is a sentinel meaning "use the
+	// default seed" (0xA11): an explicit zero seed is not expressible,
+	// which is why cmd/nightvision rejects -seed 0 outright instead of
+	// silently substituting.
 	Seed uint64
+	// Workers bounds the parallelism of the experiment engine
+	// (internal/runner): the number of worker goroutines and of
+	// concurrently live simulators. 0 means runtime.GOMAXPROCS(0);
+	// 1 runs serially. Results are bit-identical for any value.
+	Workers int
 	// CPU optionally overrides the core configuration (zero value =
 	// defaults, SkyLake-like).
 	CPU cpu.Config
@@ -42,7 +56,15 @@ func (c Config) withDefaults() Config {
 	if c.Seed == 0 {
 		c.Seed = 0xA11
 	}
+	if c.Repeats == 0 {
+		c.Repeats = 1
+	}
 	return c
+}
+
+// engine returns the runner configuration for this experiment config.
+func (c Config) engine() runner.Config {
+	return runner.Config{Workers: c.Workers, Seed: c.Seed}
 }
 
 // aliasDistance returns the BTB aliasing distance of a core config
@@ -68,7 +90,16 @@ type harness struct {
 	core *cpu.Core
 	// driver slot per call target: reusing one callr site would leave
 	// stale indirect-branch predictions that differ between series.
-	slots map[uint64]uint64
+	// The slot caches its built driver program: the driver for a target
+	// never changes, so it is built and loaded exactly once instead of
+	// being rebuilt through asm.NewBuilder on every call.
+	slots map[uint64]*driverSlot
+}
+
+// driverSlot is one cached `callr <target>` driver.
+type driverSlot struct {
+	base uint64
+	prog *asm.Program
 }
 
 func newHarness(cfg Config, prog *asm.Program) *harness {
@@ -79,30 +110,31 @@ func newHarness(cfg Config, prog *asm.Program) *harness {
 	if cfg.Noise > 0 {
 		core.LBR.SetNoise(cfg.Noise, cfg.Seed)
 	}
-	return &harness{core: core, slots: make(map[uint64]uint64)}
+	return &harness{core: core, slots: make(map[uint64]*driverSlot)}
 }
 
 // callVia runs `callr <target>` from a scratch driver context until the
 // callee returns and the driver halts. The driver itself lives outside
 // the experiment's aliased blocks.
 func (h *harness) callVia(target uint64) error {
-	driverBase, ok := h.slots[target]
+	slot, ok := h.slots[target]
 	if !ok {
-		driverBase = 0x10_0000 + uint64(len(h.slots))*0x40
-		h.slots[target] = driverBase
+		base := 0x10_0000 + uint64(len(h.slots))*0x40
+		b := asm.NewBuilder(base)
+		b.Inst(isa.MovImm64(isa.R13, target))
+		b.Inst(isa.Inst{Op: isa.OpCallReg, Dst: isa.R13, Size: 2})
+		b.Inst(isa.Hlt())
+		p, err := b.Build()
+		if err != nil {
+			return err
+		}
+		p.LoadInto(h.core.Mem)
+		slot = &driverSlot{base: base, prog: p}
+		h.slots[target] = slot
 	}
-	b := asm.NewBuilder(driverBase)
-	b.Inst(isa.MovImm64(isa.R13, target))
-	b.Inst(isa.Inst{Op: isa.OpCallReg, Dst: isa.R13, Size: 2})
-	b.Inst(isa.Hlt())
-	p, err := b.Build()
-	if err != nil {
-		return err
-	}
-	p.LoadInto(h.core.Mem)
 
 	var saved cpu.ArchState
-	st := cpu.ArchState{PC: driverBase}
+	st := cpu.ArchState{PC: slot.base}
 	st.Regs[isa.SP] = 0x7e_2000
 	h.core.ContextSwitch(&saved, &st)
 	for {

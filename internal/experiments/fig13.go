@@ -4,6 +4,7 @@ import (
 	"repro/internal/codegen"
 	"repro/internal/fingerprint"
 	"repro/internal/nvrand"
+	"repro/internal/runner"
 	"repro/internal/victim"
 )
 
@@ -51,23 +52,37 @@ func similarityMatrix(cfg Config, names []string, fns []*codegen.Func, optOf fun
 	rng := nvrand.New(cfg.Seed)
 	args := []uint64{65537, rng.Uint64() | 1}
 
-	refs := make([]fingerprint.Reference, len(fns))
-	traces := make([]fingerprint.FuncTrace, len(fns))
-	for i, fn := range fns {
-		ref, err := ReferenceFor(fn, optOf(i))
+	// Reference fingerprint and measured trace per function, in
+	// parallel: every matrix cell then derives from the index-keyed
+	// results, so the matrix is identical for any worker count.
+	type refTrace struct {
+		ref fingerprint.Reference
+		ft  fingerprint.FuncTrace
+	}
+	cells, err := runner.Map(cfg.engine(), len(fns), func(t runner.Task) (refTrace, error) {
+		fn := fns[t.Index]
+		ref, err := ReferenceFor(fn, optOf(t.Index))
 		if err != nil {
-			return nil, err
+			return refTrace{}, err
 		}
-		refs[i] = ref
-		pcs, data, err := ModelTrace(fn, optOf(i), args)
+		pcs, data, err := ModelTrace(fn, optOf(t.Index), args)
 		if err != nil {
-			return nil, err
+			return refTrace{}, err
 		}
 		ft, err := sliceVictim(pcs, data)
 		if err != nil {
-			return nil, err
+			return refTrace{}, err
 		}
-		traces[i] = ft
+		return refTrace{ref: ref, ft: ft}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	refs := make([]fingerprint.Reference, len(fns))
+	traces := make([]fingerprint.FuncTrace, len(fns))
+	for i, c := range cells {
+		refs[i] = c.ref
+		traces[i] = c.ft
 	}
 
 	m := &SimilarityMatrix{Labels: append([]string(nil), names...)}

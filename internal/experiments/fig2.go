@@ -3,8 +3,15 @@ package experiments
 import (
 	"repro/internal/asm"
 	"repro/internal/isa"
+	"repro/internal/runner"
 	"repro/internal/stats"
 )
+
+// sweepPoint is one (withF2, withoutF2) measurement of a Figure 2/4
+// sweep, produced per task index by the parallel engine.
+type sweepPoint struct {
+	with, without float64
+}
 
 // Figure2 reproduces the paper's Experiment 1 (§2.3, Figure 2): how
 // non-control-transfer instructions deallocate BTB entries.
@@ -33,10 +40,11 @@ func Figure2(cfg Config) (withF2, withoutF2 *stats.Series, err error) {
 	)
 	alias := base + aliasDistance(cfg.CPU)
 
-	withF2 = &stats.Series{Name: "with-F2"}
-	withoutF2 = &stats.Series{Name: "no-F2"}
-
-	for f2Off := uint64(0); f2Off < sweepN; f2Off++ {
+	// Each sweep offset is an independent program + harness, so the
+	// sweep fans out on the engine; results are keyed by offset and
+	// bit-identical for any worker count.
+	points, err := runner.Map(cfg.engine(), int(sweepN), func(t runner.Task) (sweepPoint, error) {
+		f2Off := uint64(t.Index)
 		b := asm.NewBuilder(base + f1Off)
 		b.Label("f1")
 		b.Inst(isa.Jmp8(4)) // jmp8 l1: 2 bytes at [0x10,0x11], target 0x16
@@ -52,7 +60,7 @@ func Figure2(cfg Config) (withF2, withoutF2 *stats.Series, err error) {
 		b.Ret()
 		prog, berr := b.Build()
 		if berr != nil {
-			return nil, nil, berr
+			return sweepPoint{}, berr
 		}
 		h := newHarness(cfg, prog)
 		f1 := prog.MustLabel("f1")
@@ -84,16 +92,25 @@ func Figure2(cfg Config) (withF2, withoutF2 *stats.Series, err error) {
 			return sum / float64(cfg.Iters), nil
 		}
 
-		y, merr := measure(true)
-		if merr != nil {
-			return nil, nil, merr
+		var pt sweepPoint
+		var merr error
+		if pt.with, merr = measure(true); merr != nil {
+			return sweepPoint{}, merr
 		}
-		withF2.Add(float64(f2Off), y)
-		y, merr = measure(false)
-		if merr != nil {
-			return nil, nil, merr
+		if pt.without, merr = measure(false); merr != nil {
+			return sweepPoint{}, merr
 		}
-		withoutF2.Add(float64(f2Off), y)
+		return pt, nil
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+
+	withF2 = &stats.Series{Name: "with-F2"}
+	withoutF2 = &stats.Series{Name: "no-F2"}
+	for f2Off, pt := range points {
+		withF2.Add(float64(f2Off), pt.with)
+		withoutF2.Add(float64(f2Off), pt.without)
 	}
 	return withF2, withoutF2, nil
 }

@@ -3,6 +3,7 @@ package experiments
 import (
 	"repro/internal/asm"
 	"repro/internal/isa"
+	"repro/internal/runner"
 	"repro/internal/stats"
 )
 
@@ -52,15 +53,16 @@ func Figure4(cfg Config) (withF2, withoutF2 *stats.Series, err error) {
 	if berr != nil {
 		return nil, nil, berr
 	}
-	h := newHarness(cfg, prog)
 	j1 := prog.MustLabel("j1")
 	f2 := prog.MustLabel("f2")
 	l1 := prog.MustLabel("l1")
 
-	withF2 = &stats.Series{Name: "with-F2"}
-	withoutF2 = &stats.Series{Name: "no-F2"}
-
-	for f1Off := uint64(0); f1Off <= j1Off; f1Off++ {
+	// The program is immutable and shared; each sweep offset gets its
+	// own harness (memory + core) so the points fan out on the engine
+	// with index-keyed results.
+	points, err := runner.Map(cfg.engine(), int(j1Off)+1, func(t runner.Task) (sweepPoint, error) {
+		f1Off := uint64(t.Index)
+		h := newHarness(cfg, prog)
 		f1 := base + f1Off
 		measure := func(callF2 bool) (float64, error) {
 			var sum float64
@@ -93,16 +95,25 @@ func Figure4(cfg Config) (withF2, withoutF2 *stats.Series, err error) {
 			}
 			return sum / float64(cfg.Iters), nil
 		}
-		y, merr := measure(true)
-		if merr != nil {
-			return nil, nil, merr
+		var pt sweepPoint
+		var merr error
+		if pt.with, merr = measure(true); merr != nil {
+			return sweepPoint{}, merr
 		}
-		withF2.Add(float64(f1Off), y)
-		y, merr = measure(false)
-		if merr != nil {
-			return nil, nil, merr
+		if pt.without, merr = measure(false); merr != nil {
+			return sweepPoint{}, merr
 		}
-		withoutF2.Add(float64(f1Off), y)
+		return pt, nil
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+
+	withF2 = &stats.Series{Name: "with-F2"}
+	withoutF2 = &stats.Series{Name: "no-F2"}
+	for f1Off, pt := range points {
+		withF2.Add(float64(f1Off), pt.with)
+		withoutF2.Add(float64(f1Off), pt.without)
 	}
 	return withF2, withoutF2, nil
 }

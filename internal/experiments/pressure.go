@@ -9,6 +9,7 @@ import (
 	"repro/internal/isa"
 	"repro/internal/mem"
 	"repro/internal/osmodel"
+	"repro/internal/runner"
 	"repro/internal/stats"
 )
 
@@ -23,16 +24,25 @@ import (
 // truly executed PW, and false-positive rate of a never-executed PW.
 func FragmentPressure(cfg Config, fillerCounts []int, trials int) (hit, falsePos *stats.Series, err error) {
 	cfg = cfg.withDefaults()
+
+	// Filler sizes are independent victims, so the sweep fans out on
+	// the engine with one point per filler count.
+	points, err := runner.Map(cfg.engine(), len(fillerCounts), func(t runner.Task) (sweepPoint, error) {
+		h, f, err := pressurePoint(cfg, fillerCounts[t.Index], trials)
+		if err != nil {
+			return sweepPoint{}, err
+		}
+		return sweepPoint{with: h, without: f}, nil
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+
 	hit = &stats.Series{Name: "detection"}
 	falsePos = &stats.Series{Name: "false-pos"}
-
-	for _, filler := range fillerCounts {
-		h, f, err := pressurePoint(cfg, filler, trials)
-		if err != nil {
-			return nil, nil, err
-		}
-		hit.Add(float64(filler), h)
-		falsePos.Add(float64(filler), f)
+	for i, pt := range points {
+		hit.Add(float64(fillerCounts[i]), pt.with)
+		falsePos.Add(float64(fillerCounts[i]), pt.without)
 	}
 	return hit, falsePos, nil
 }

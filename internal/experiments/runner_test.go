@@ -1,0 +1,98 @@
+package experiments
+
+import (
+	"reflect"
+	"runtime"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestFigure12ParallelDeterminism is the engine's headline guarantee at
+// the experiment level: Figure12 over the same seed produces
+// bit-identical results (ranking, scores, floats) for Workers=1 and
+// Workers=8. Index-keyed result slots and index-derived RNG streams make
+// worker interleaving unobservable.
+func TestFigure12ParallelDeterminism(t *testing.T) {
+	corpusN := 5000
+	if testing.Short() {
+		corpusN = 400
+	}
+	cfg := Config{Iters: 1, Seed: 13}
+
+	cfg.Workers = 1
+	serial, err := Figure12(cfg, corpusN, 25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Workers = 8
+	parallel, err := Figure12(cfg, corpusN, 25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(serial, parallel) {
+		t.Fatalf("Workers=1 and Workers=8 diverge:\nserial:   %+v\nparallel: %+v", serial, parallel)
+	}
+}
+
+// TestFigure2ParallelDeterminism covers the sweep-style migration the
+// same way: the full (X, Y) series must match exactly.
+func TestFigure2ParallelDeterminism(t *testing.T) {
+	run := func(workers int) [2][]float64 {
+		cfg := Config{Iters: 5, Seed: 29, Workers: workers}
+		with, without, err := Figure2(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return [2][]float64{with.Y, without.Y}
+	}
+	if a, b := run(1), run(8); !reflect.DeepEqual(a, b) {
+		t.Fatalf("Figure2 diverges across worker counts:\n1: %v\n8: %v", a, b)
+	}
+}
+
+// TestFigure12GoroutineBound is the regression test for the unbounded
+// fan-out bug: the old corpus loop spawned one goroutine per function
+// before acquiring its semaphore, so a paper-scale run allocated ~175k
+// goroutine stacks up front. The engine must keep peak goroutine growth
+// at Workers + O(1) however large the corpus is.
+func TestFigure12GoroutineBound(t *testing.T) {
+	corpusN := 10_000
+	if testing.Short() {
+		corpusN = 1_500
+	}
+	const workers = 4
+	before := runtime.NumGoroutine()
+
+	var peak atomic.Int64
+	done := make(chan error, 1)
+	go func() {
+		_, err := Figure12(Config{Iters: 1, Seed: 13, Workers: workers}, corpusN, 10)
+		done <- err
+	}()
+	ticker := time.NewTicker(200 * time.Microsecond)
+	defer ticker.Stop()
+sample:
+	for {
+		select {
+		case err := <-done:
+			if err != nil {
+				t.Fatal(err)
+			}
+			break sample
+		case <-ticker.C:
+			if g := int64(runtime.NumGoroutine()); g > peak.Load() {
+				peak.Store(g)
+			}
+		}
+	}
+	// Budget: pre-existing goroutines + the worker pool + the Figure12
+	// driver goroutine above + small runtime slack. The old code peaked
+	// at corpusN + O(1), three orders of magnitude above this bound.
+	limit := int64(before + workers + 8)
+	if peak.Load() > limit {
+		t.Errorf("peak goroutines %d > bound %d (before=%d, workers=%d, corpus=%d)",
+			peak.Load(), limit, before, workers, corpusN)
+	}
+	t.Logf("peak goroutines %d (bound %d) during %d-function corpus run", peak.Load(), limit, corpusN)
+}

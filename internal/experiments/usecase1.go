@@ -163,10 +163,7 @@ func runUseCase1(cfg Config, runs int, def DefenseOptions, target uc1Target) (*U
 	res := &UseCase1Result{Runs: runs}
 	rng := nvrand.New(cfg.Seed)
 
-	repeats := cfg.Repeats
-	if repeats == 0 {
-		repeats = 1
-	}
+	repeats := cfg.Repeats // >= 1 after withDefaults
 	for run := 0; run < runs; run++ {
 		a, b := target.args(rng)
 		truth := target.truth(a, b)

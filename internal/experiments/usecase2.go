@@ -2,7 +2,6 @@ package experiments
 
 import (
 	"fmt"
-	"runtime"
 	"sync"
 
 	"repro/internal/asm"
@@ -13,6 +12,7 @@ import (
 	"repro/internal/isa"
 	"repro/internal/mem"
 	"repro/internal/nvrand"
+	"repro/internal/runner"
 	"repro/internal/sgx"
 	"repro/internal/stats"
 	"repro/internal/victim"
@@ -49,20 +49,38 @@ func stepTouchesData(in isa.Inst) bool {
 	return false
 }
 
+// modelSim is one pooled simulator for ModelTrace: corpus fan-outs run
+// hundreds of thousands of traces, and rebuilding the paged memory, BTB
+// arrays and core queues per function dominated allocation. Reset
+// (Memory.Reset + Core.Reset) restores both to a state bit-identical
+// with a fresh build, so pooling cannot perturb results.
+type modelSim struct {
+	m *mem.Memory
+	c *cpu.Core
+}
+
+var modelSimPool = sync.Pool{New: func() any {
+	m := mem.New()
+	return &modelSim{m: m, c: cpu.New(cpu.Config{}, m)}
+}}
+
 // ModelTrace produces the measured-trace model for a victim: the
 // per-step leading PCs and data-access flags an ideal NV-S extraction
 // would produce (macro-fused pairs collapse to their leading PC, the
 // §7.3 limit). The calibration test validates this model against real
-// end-to-end NV-S runs.
+// end-to-end NV-S runs. It is safe for concurrent use.
 func ModelTrace(fn *codegen.Func, opts codegen.Options, args []uint64) (pcs []uint64, data []bool, err error) {
 	prog, err := buildVictimProgram(fn, opts)
 	if err != nil {
 		return nil, nil, err
 	}
-	m := mem.New()
+	sim := modelSimPool.Get().(*modelSim)
+	defer modelSimPool.Put(sim)
+	sim.m.Reset()
+	sim.c.Reset()
+	m, c := sim.m, sim.c
 	prog.LoadInto(m)
 	m.Map(0x7e_0000, 0x2000, mem.PermRW)
-	c := cpu.New(cpu.Config{}, m)
 	c.SetReg(isa.SP, 0x7e_2000)
 	for i, a := range args {
 		c.SetReg(isa.Reg(1+i), a)
@@ -222,47 +240,35 @@ func Figure12(cfg Config, corpusN, topK int) ([]Figure12Result, error) {
 		victims[tgt.name] = ft
 	}
 
-	// Corpus victims through the measured-trace model. Each function
-	// gets its own core, so the corpus parallelizes across CPUs — the
-	// only concurrency in the repository, and it never touches a shared
-	// simulator.
+	// Corpus victims through the measured-trace model, fanned out on the
+	// bounded deterministic engine: cfg.Workers pooled simulators pull
+	// from the corpus (index-keyed results, goroutine count bounded by
+	// the worker pool — never one goroutine per corpus function).
 	corpus := victim.Corpus(victim.CorpusSpec{N: corpusN, Seed: cfg.Seed})
 	type traced struct {
 		name string
 		ft   fingerprint.FuncTrace
-		err  error
 	}
-	results := make([]traced, len(corpus))
-	var wg sync.WaitGroup
-	sem := make(chan struct{}, runtime.NumCPU())
-	for i, fn := range corpus {
-		wg.Add(1)
-		go func(i int, fn *codegen.Func) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			args := make([]uint64, len(fn.Params))
-			for j := range args {
-				args[j] = (uint64(i)*0x9E3779B9 + uint64(j)*12345) | 1
-			}
-			pcs, data, err := ModelTrace(fn, opts, args)
-			if err != nil {
-				results[i] = traced{err: fmt.Errorf("corpus %s: %w", fn.Name, err)}
-				return
-			}
-			ft, err := sliceVictim(pcs, data)
-			if err != nil {
-				results[i] = traced{err: fmt.Errorf("corpus %s: %w", fn.Name, err)}
-				return
-			}
-			results[i] = traced{name: fn.Name, ft: ft}
-		}(i, fn)
-	}
-	wg.Wait()
-	for _, r := range results {
-		if r.err != nil {
-			return nil, r.err
+	results, err := runner.Map(cfg.engine(), len(corpus), func(t runner.Task) (traced, error) {
+		fn := corpus[t.Index]
+		args := make([]uint64, len(fn.Params))
+		for j := range args {
+			args[j] = (uint64(t.Index)*0x9E3779B9 + uint64(j)*12345) | 1
 		}
+		pcs, data, err := ModelTrace(fn, opts, args)
+		if err != nil {
+			return traced{}, fmt.Errorf("corpus %s: %w", fn.Name, err)
+		}
+		ft, err := sliceVictim(pcs, data)
+		if err != nil {
+			return traced{}, fmt.Errorf("corpus %s: %w", fn.Name, err)
+		}
+		return traced{name: fn.Name, ft: ft}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, r := range results {
 		victims[r.name] = r.ft
 	}
 

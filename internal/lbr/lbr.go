@@ -74,6 +74,17 @@ func (l *LBR) Freeze() { l.frozen = true }
 // Unfreeze resumes recording.
 func (l *LBR) Unfreeze() { l.frozen = false }
 
+// Reset returns the LBR to its post-New state: ring empty, recording
+// enabled and unfrozen, noise model off with its generator re-seeded to
+// the New default. Used when a pooled simulator core is recycled.
+func (l *LBR) Reset() {
+	l.Clear()
+	l.enabled = true
+	l.frozen = false
+	l.noiseStd = 0
+	l.rng = nvrand.New(0x1b2)
+}
+
 // Clear empties the ring.
 func (l *LBR) Clear() {
 	l.next = 0

@@ -107,11 +107,39 @@ type page struct {
 type Memory struct {
 	pages   map[uint64]*page
 	handler FaultHandler
+	// free retains unmapped pages for reuse, so a pooled simulator
+	// (experiments reuse one Memory per worker via Reset) stops
+	// allocating 4 KiB backing stores on every run.
+	free []*page
 }
 
 // New returns an empty address space.
 func New() *Memory {
 	return &Memory{pages: make(map[uint64]*page)}
+}
+
+// Reset unmaps every page and removes the fault handler, returning the
+// address space to its post-New state. The page backing stores are
+// retained on a free list and zeroed on reuse, so a Reset Memory is
+// indistinguishable from a fresh one but does not re-allocate.
+func (m *Memory) Reset() {
+	for _, p := range m.pages {
+		m.free = append(m.free, p)
+	}
+	clear(m.pages)
+	m.handler = nil
+}
+
+// newPage returns a zeroed page with the given permissions, reusing the
+// free list when possible.
+func (m *Memory) newPage(perm Perm) *page {
+	if n := len(m.free); n > 0 {
+		p := m.free[n-1]
+		m.free = m.free[:n-1]
+		*p = page{perm: perm}
+		return p
+	}
+	return &page{perm: perm}
 }
 
 // SetFaultHandler registers h as the page-fault handler. Passing nil
@@ -132,7 +160,7 @@ func (m *Memory) Map(addr, size uint64, perm Perm) {
 			p.perm = perm
 			continue
 		}
-		m.pages[pn] = &page{perm: perm}
+		m.pages[pn] = m.newPage(perm)
 	}
 }
 
@@ -144,7 +172,10 @@ func (m *Memory) Unmap(addr, size uint64) {
 	first := addr >> PageShift
 	last := (addr + size - 1) >> PageShift
 	for pn := first; pn <= last; pn++ {
-		delete(m.pages, pn)
+		if p, ok := m.pages[pn]; ok {
+			m.free = append(m.free, p)
+			delete(m.pages, pn)
+		}
 	}
 }
 

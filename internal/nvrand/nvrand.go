@@ -16,13 +16,20 @@ type Rand struct {
 // New returns a generator seeded with seed.
 func New(seed uint64) *Rand { return &Rand{state: seed} }
 
-// Uint64 returns the next 64 pseudo-random bits.
-func (r *Rand) Uint64() uint64 {
-	r.state += 0x9E3779B97F4A7C15
-	z := r.state
+// gamma is the splitmix64 state increment.
+const gamma = 0x9E3779B97F4A7C15
+
+// mix is the splitmix64 output function.
+func mix(z uint64) uint64 {
 	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
 	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
 	return z ^ (z >> 31)
+}
+
+// Uint64 returns the next 64 pseudo-random bits.
+func (r *Rand) Uint64() uint64 {
+	r.state += gamma
+	return mix(r.state)
 }
 
 // Intn returns a pseudo-random int in [0, n). It panics if n <= 0.
@@ -76,3 +83,13 @@ func (r *Rand) Perm(n int) []int {
 // Split returns a new independent generator derived from this one,
 // useful for giving subsystems their own streams.
 func (r *Rand) Split() *Rand { return New(r.Uint64()) }
+
+// SplitAt returns the i'th generator split off a generator seeded with
+// seed: SplitAt(seed, i) produces the same stream as calling
+// New(seed).Split() i+1 times and keeping the last result, computed in
+// O(1). Parallel code uses it to derive per-task streams keyed by task
+// index rather than by the order in which tasks happen to be scheduled,
+// which keeps results independent of worker count (internal/runner).
+func SplitAt(seed, i uint64) *Rand {
+	return New(mix(seed + (i+1)*gamma))
+}

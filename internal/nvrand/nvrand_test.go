@@ -128,3 +128,28 @@ func TestBoolBalance(t *testing.T) {
 		t.Errorf("Bool true rate = %d/10000", trues)
 	}
 }
+
+func TestSplitAtMatchesSequentialSplit(t *testing.T) {
+	const seed = 0xBEEF
+	seq := New(seed)
+	for i := uint64(0); i < 100; i++ {
+		split := seq.Split()
+		at := SplitAt(seed, i)
+		for j := 0; j < 8; j++ {
+			if a, b := split.Uint64(), at.Uint64(); a != b {
+				t.Fatalf("SplitAt(seed, %d) draw %d = %#x, want %#x", i, j, b, a)
+			}
+		}
+	}
+}
+
+func TestSplitAtIndependence(t *testing.T) {
+	seen := map[uint64]uint64{}
+	for i := uint64(0); i < 10000; i++ {
+		v := SplitAt(42, i).Uint64()
+		if j, dup := seen[v]; dup {
+			t.Fatalf("streams %d and %d collide on first draw", i, j)
+		}
+		seen[v] = i
+	}
+}

@@ -1,0 +1,163 @@
+package runner
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestMapOrderAndValues: results land in index order whatever the
+// worker count.
+func TestMapOrderAndValues(t *testing.T) {
+	for _, w := range []int{0, 1, 2, 7, 64} {
+		got, err := Map(Config{Workers: w}, 100, func(task Task) (int, error) {
+			return task.Index * task.Index, nil
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", w, err)
+		}
+		for i, v := range got {
+			if v != i*i {
+				t.Fatalf("workers=%d: slot %d = %d, want %d", w, i, v, i*i)
+			}
+		}
+	}
+}
+
+// TestMapDeterministicRNG: per-task streams depend only on (seed,
+// index), so any worker count reproduces the workers=1 run bit for bit.
+func TestMapDeterministicRNG(t *testing.T) {
+	run := func(workers int) []uint64 {
+		out, err := Map(Config{Workers: workers, Seed: 0xA11}, 500, func(task Task) (uint64, error) {
+			rng := task.Rand()
+			v := rng.Uint64()
+			for i := 0; i < task.Index%7; i++ {
+				v ^= rng.Uint64()
+			}
+			return v, nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	want := run(1)
+	for _, w := range []int{2, 8, 32} {
+		got := run(w)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("workers=%d: slot %d = %#x, want %#x", w, i, got[i], want[i])
+			}
+		}
+	}
+	// Distinct tasks get distinct streams.
+	seen := map[uint64]int{}
+	for i, v := range want {
+		if j, dup := seen[v]; dup {
+			t.Fatalf("tasks %d and %d drew the same first value", i, j)
+		}
+		seen[v] = i
+	}
+}
+
+// TestMapError: the lowest-indexed failure is reported and remaining
+// work is cancelled.
+func TestMapError(t *testing.T) {
+	boom := errors.New("boom")
+	var ran atomic.Int64
+	_, err := Map(Config{Workers: 4}, 10_000, func(task Task) (int, error) {
+		ran.Add(1)
+		if task.Index == 17 {
+			return 0, fmt.Errorf("task %d: %w", task.Index, boom)
+		}
+		return 0, nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want wrapped boom", err)
+	}
+	if n := ran.Load(); n > 9_000 {
+		t.Errorf("ran %d tasks after failure at index 17; cancellation did not bite", n)
+	}
+
+	// Multiple failures: lowest index wins, independent of schedule.
+	for trial := 0; trial < 10; trial++ {
+		_, err := Map(Config{Workers: 8}, 100, func(task Task) (int, error) {
+			if task.Index%30 == 3 { // fails at 3, 33, 63, 93
+				return 0, fmt.Errorf("task %d failed", task.Index)
+			}
+			return 0, nil
+		})
+		if err == nil || err.Error() != "task 3 failed" {
+			t.Fatalf("trial %d: err = %v, want task 3 failed", trial, err)
+		}
+	}
+}
+
+// TestMapBoundedGoroutines: a huge task list never inflates the
+// goroutine count beyond Workers + O(1).
+func TestMapBoundedGoroutines(t *testing.T) {
+	const workers = 4
+	before := runtime.NumGoroutine()
+	var peak atomic.Int64
+	_, err := Map(Config{Workers: workers}, 50_000, func(task Task) (int, error) {
+		if task.Index%97 == 0 {
+			if g := int64(runtime.NumGoroutine()); g > peak.Load() {
+				peak.Store(g)
+			}
+		}
+		return task.Index, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if limit := int64(before + workers + 4); peak.Load() > limit {
+		t.Errorf("peak goroutines %d > %d (before=%d workers=%d)", peak.Load(), limit, before, workers)
+	}
+}
+
+// TestMapEmpty and Each smoke coverage.
+func TestMapEmpty(t *testing.T) {
+	out, err := Map(Config{}, 0, func(Task) (int, error) {
+		t.Fatal("fn called for n=0")
+		return 0, nil
+	})
+	if err != nil || len(out) != 0 {
+		t.Fatalf("out=%v err=%v", out, err)
+	}
+}
+
+func TestEach(t *testing.T) {
+	var sum atomic.Int64
+	if err := Each(Config{Workers: 3}, 100, func(task Task) error {
+		sum.Add(int64(task.Index))
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if sum.Load() != 4950 {
+		t.Fatalf("sum = %d, want 4950", sum.Load())
+	}
+}
+
+// TestMapWorkersExceedTasks: worker count clamps to n; tiny task lists
+// must not leave idle goroutines spinning.
+func TestMapWorkersExceedTasks(t *testing.T) {
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		out, err := Map(Config{Workers: 64}, 2, func(task Task) (int, error) {
+			return task.Index + 1, nil
+		})
+		if err != nil || out[0] != 1 || out[1] != 2 {
+			t.Errorf("out=%v err=%v", out, err)
+		}
+	}()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("Map with workers > n did not finish")
+	}
+}
