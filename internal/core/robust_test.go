@@ -1,0 +1,174 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/lbr"
+)
+
+// fakeInterference is a scripted core.Interference: it drops whole LBR
+// reads for the first drop calls, then optionally bumps every record's
+// cycles on odd-numbered surviving reads.
+type fakeInterference struct {
+	drop      int  // reads to drop entirely (→ ErrRecordLost)
+	alternate bool // bump cycles on every other surviving read
+	calls     int
+	survived  int
+}
+
+func (f *fakeInterference) ProbeStep() {}
+
+func (f *fakeInterference) Records(recs []lbr.Record) []lbr.Record {
+	f.calls++
+	if f.calls <= f.drop {
+		return nil
+	}
+	f.survived++
+	if !f.alternate || f.survived%2 == 0 {
+		return recs
+	}
+	out := make([]lbr.Record, len(recs))
+	copy(out, recs)
+	for i := range out {
+		out[i].Cycles += 1000
+	}
+	return out
+}
+
+// coldMonitor builds a monitor over never-executed victim bytes with a
+// clean (interference-free) calibration.
+func coldMonitor(t *testing.T) (*Attacker, *Monitor) {
+	t.Helper()
+	c, _ := victimHarness(t, nopVictim)
+	a := newAttacker(t, c)
+	m, err := a.NewMonitor([]PW{{Base: 0x40_0160, Len: 16}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a, m
+}
+
+func TestProbeRetriesOnRecordLoss(t *testing.T) {
+	a, m := coldMonitor(t)
+	fake := &fakeInterference{drop: 2}
+	a.Interfere = fake
+
+	if err := m.Prime(); err != nil {
+		t.Fatal(err)
+	}
+	pr, err := m.ProbeRobust()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pr.Degraded {
+		t.Fatal("probe degraded despite a recoverable loss")
+	}
+	if pr.Retries != 2 {
+		t.Errorf("Retries = %d, want 2", pr.Retries)
+	}
+	if pr.Match[0] {
+		t.Error("cold PW must not match")
+	}
+	// Retried measurements are less trustworthy.
+	if pr.Confidence[0] <= 0 || pr.Confidence[0] > 1.0/3 {
+		t.Errorf("confidence %f not attenuated by 2 retries", pr.Confidence[0])
+	}
+}
+
+func TestProbeDegradesAfterBudget(t *testing.T) {
+	a, m := coldMonitor(t)
+	a.MaxProbeRetries = 2
+	a.Interfere = &fakeInterference{drop: 1 << 30}
+
+	if err := m.Prime(); err != nil {
+		t.Fatal(err)
+	}
+	pr, err := m.ProbeRobust()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !pr.Degraded {
+		t.Fatal("probe must degrade when every read is lost")
+	}
+	if pr.Retries != 2 {
+		t.Errorf("Retries = %d, want budget 2", pr.Retries)
+	}
+	for i, c := range pr.Confidence {
+		if pr.Match[i] || c != 0 {
+			t.Errorf("degraded result must be all-false at zero confidence, got match=%v conf=%f", pr.Match[i], c)
+		}
+	}
+
+	// The strict API surfaces the typed error instead.
+	if _, err := m.Probe(); !errors.Is(err, ErrRecordLost) {
+		t.Fatalf("Probe error = %v, want ErrRecordLost", err)
+	}
+}
+
+// TestProbeAveragedTieIsHit pins the even-repeat tie semantics: with
+// repeat=2 and exactly one full-confidence vote on each side, the
+// decision is "hit" (an even split means the window was plausibly
+// touched).
+func TestProbeAveragedTieIsHit(t *testing.T) {
+	a, m := coldMonitor(t)
+	a.Interfere = &fakeInterference{alternate: true}
+
+	res, err := m.ProbeAveragedRobust(2, func() error { return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rounds != 2 || res.Discarded != 0 {
+		t.Fatalf("rounds=%d discarded=%d, want 2/0", res.Rounds, res.Discarded)
+	}
+	if !res.Match[0] {
+		t.Error("a tied vote must resolve to hit")
+	}
+	if res.Confidence[0] != 0 {
+		t.Errorf("tied vote confidence = %f, want 0", res.Confidence[0])
+	}
+}
+
+func TestProbeAveragedDiscardsLostRounds(t *testing.T) {
+	a, m := coldMonitor(t)
+	a.MaxProbeRetries = 1
+	// Round 1 exhausts its 2-attempt probe budget (degraded, discarded);
+	// later rounds are clean.
+	a.Interfere = &fakeInterference{drop: 2}
+
+	res, err := m.ProbeAveragedRobust(3, func() error { return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rounds != 3 {
+		t.Errorf("Rounds = %d, want 3 measured rounds", res.Rounds)
+	}
+	if res.Discarded != 1 {
+		t.Errorf("Discarded = %d, want 1", res.Discarded)
+	}
+	if res.Match[0] {
+		t.Error("cold PW must not match")
+	}
+}
+
+// TestProbeAveragedMatchesLegacyWhenClean: with no interference the
+// weighted vote must agree with plain majority voting on a clean
+// deterministic channel.
+func TestProbeAveragedMatchesLegacyWhenClean(t *testing.T) {
+	c, runVictim := victimHarness(t, nopVictim)
+	a := newAttacker(t, c)
+	m, err := a.NewMonitor([]PW{
+		{Base: 0x40_0100, Len: 16}, // hot
+		{Base: 0x40_0160, Len: 16}, // cold
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	match, err := m.ProbeAveraged(3, runVictim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !match[0] || match[1] {
+		t.Errorf("match = %v, want [true false]", match)
+	}
+}

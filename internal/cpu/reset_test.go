@@ -9,6 +9,7 @@ import (
 	"repro/internal/cpu"
 	"repro/internal/isa"
 	"repro/internal/mem"
+	"repro/internal/osmodel"
 )
 
 // loopSrc exercises branches, calls and loads so that BTB, LBR, RAS and
@@ -117,5 +118,178 @@ func TestMemoryResetZeroesReusedPages(t *testing.T) {
 	}
 	if acc, dirty := m.AccessedDirty(0x1234); dirty && !acc {
 		t.Fatal("impossible A/D state")
+	}
+}
+
+// sliceSnapshot runs proc-style scheduling over src: the OS slices the
+// program into n-step quanta, delivering a timer interrupt after each
+// quantum — mid-fetch-ahead from the core's perspective, since the
+// front end runs arbitrarily far beyond the architectural PC.
+func sliceSnapshot(t *testing.T, c *cpu.Core, m *mem.Memory, prog program, slice uint64) coreSnapshot {
+	t.Helper()
+	os := osmodel.New(c)
+	p := os.Spawn("victim", prog.start, stackTop, stackSize)
+	os.Switch(p)
+	for !p.Done {
+		if _, err := os.RunSlice(slice); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var recs []string
+	for _, r := range c.LBR.Records() {
+		recs = append(recs, fmt.Sprintf("%x->%x m=%v/%v c=%d", r.From, r.To, r.Mispredicted, r.MispredValid, r.Cycles))
+	}
+	return coreSnapshot{
+		R2:        c.Reg(isa.R2),
+		Cycle:     c.Cycle(),
+		Retired:   c.Retired(),
+		Squashes:  c.Squashes(),
+		FalseHits: c.FalseHits(),
+		Records:   recs,
+	}
+}
+
+type program struct {
+	prog  *asm.Program
+	start uint64
+}
+
+func buildResetLoop(t *testing.T, m *mem.Memory) program {
+	t.Helper()
+	prog, err := asm.Assemble(resetLoopSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog.LoadInto(m)
+	return program{prog: prog, start: prog.MustLabel("start")}
+}
+
+// TestInterruptMidSpeculationDeterministic: delivering timer interrupts
+// mid-fetch-ahead (osmodel.RunSlice) must perturb the core — squashes
+// happen — yet leave its state a pure function of (program, slice):
+// identical across fresh cores and across Reset recycling.
+func TestInterruptMidSpeculationDeterministic(t *testing.T) {
+	for _, slice := range []uint64{1, 3, 7} {
+		run := func(c *cpu.Core, m *mem.Memory) coreSnapshot {
+			return sliceSnapshot(t, c, m, buildResetLoop(t, m), slice)
+		}
+
+		m1 := mem.New()
+		c1 := cpu.New(cpu.Config{}, m1)
+		want := run(c1, m1)
+		if want.Squashes == 0 {
+			t.Fatalf("slice %d: no squashes — interrupts never landed mid-speculation", slice)
+		}
+		if want.R2 != 36 {
+			t.Fatalf("slice %d: architectural result %d != 36 — interrupts corrupted execution", slice, want.R2)
+		}
+
+		m2 := mem.New()
+		c2 := cpu.New(cpu.Config{}, m2)
+		if got := run(c2, m2); !reflect.DeepEqual(got, want) {
+			t.Fatalf("slice %d: fresh cores disagree: %+v vs %+v", slice, got, want)
+		}
+
+		// Reset-clean: the interrupted core, recycled, must replay the
+		// interrupted schedule bit-identically. The OS model is recreated
+		// after Reset (Reset clears the syscall hook osmodel installed).
+		for round := 0; round < 2; round++ {
+			m1.Reset()
+			c1.Reset()
+			if got := run(c1, m1); !reflect.DeepEqual(got, want) {
+				t.Fatalf("slice %d round %d: recycled interrupted core diverged: %+v vs %+v", slice, round, got, want)
+			}
+		}
+	}
+}
+
+// TestStepOneInterruptDeterministic: per-instruction interrupts (the
+// SGX-Step pattern NV-S uses) are the extreme slice=every-step case;
+// the single-stepped run must be deterministic, Reset-clean, and
+// architecturally equal to an uninterrupted run.
+func TestStepOneInterruptDeterministic(t *testing.T) {
+	stepped := func(c *cpu.Core, m *mem.Memory) coreSnapshot {
+		prog := buildResetLoop(t, m)
+		os := osmodel.New(c)
+		p := os.Spawn("victim", prog.start, stackTop, stackSize)
+		os.Switch(p)
+		for !p.Done {
+			if _, err := os.StepOne(); err != nil && err != cpu.ErrHalted {
+				t.Fatal(err)
+			}
+		}
+		return coreSnapshot{
+			R2:        c.Reg(isa.R2),
+			Cycle:     c.Cycle(),
+			Retired:   c.Retired(),
+			Squashes:  c.Squashes(),
+			FalseHits: c.FalseHits(),
+		}
+	}
+
+	m1 := mem.New()
+	c1 := cpu.New(cpu.Config{}, m1)
+	want := stepped(c1, m1)
+	if want.R2 != 36 {
+		t.Fatalf("single-stepped result %d != 36", want.R2)
+	}
+
+	m2 := mem.New()
+	c2 := cpu.New(cpu.Config{}, m2)
+	if got := stepped(c2, m2); !reflect.DeepEqual(got, want) {
+		t.Fatalf("fresh single-stepped cores disagree: %+v vs %+v", got, want)
+	}
+
+	m1.Reset()
+	c1.Reset()
+	if got := stepped(c1, m1); !reflect.DeepEqual(got, want) {
+		t.Fatalf("recycled single-stepped core diverged: %+v vs %+v", got, want)
+	}
+}
+
+// TestOnTickInterruptDeterministic: interrupts injected through the
+// osmodel.OnTick hook (the interference layer's victim-side entry
+// point) behave like RunSlice interrupts: deterministic and
+// Reset-clean.
+func TestOnTickInterruptDeterministic(t *testing.T) {
+	run := func(c *cpu.Core, m *mem.Memory) coreSnapshot {
+		prog := buildResetLoop(t, m)
+		os := osmodel.New(c)
+		p := os.Spawn("victim", prog.start, stackTop, stackSize)
+		os.Switch(p)
+		ticks := 0
+		os.OnTick = func() {
+			ticks++
+			if ticks%5 == 0 {
+				c.Interrupt()
+			}
+		}
+		for !p.Done {
+			if _, err := os.RunUntilStop(1000); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return coreSnapshot{
+			R2:        c.Reg(isa.R2),
+			Cycle:     c.Cycle(),
+			Retired:   c.Retired(),
+			Squashes:  c.Squashes(),
+			FalseHits: c.FalseHits(),
+		}
+	}
+
+	m := mem.New()
+	c := cpu.New(cpu.Config{}, m)
+	want := run(c, m)
+	if want.Squashes == 0 {
+		t.Fatal("OnTick interrupts never squashed speculation")
+	}
+	if want.R2 != 36 {
+		t.Fatalf("architectural result %d != 36", want.R2)
+	}
+	m.Reset()
+	c.Reset()
+	if got := run(c, m); !reflect.DeepEqual(got, want) {
+		t.Fatalf("recycled OnTick run diverged: %+v vs %+v", got, want)
 	}
 }

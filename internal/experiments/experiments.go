@@ -14,6 +14,7 @@ import (
 
 	"repro/internal/asm"
 	"repro/internal/cpu"
+	"repro/internal/interfere"
 	"repro/internal/isa"
 	"repro/internal/mem"
 	"repro/internal/runner"
@@ -47,6 +48,16 @@ type Config struct {
 	// experiments (the paper repeats noisy measurements and averages;
 	// default 1 — the noiseless LBR needs no averaging).
 	Repeats int
+	// Interference configures the deterministic fault-injection layer
+	// (internal/interfere): timer interrupts, co-runner BTB pollution,
+	// LBR loss/flush and measurement outliers. The zero value disables
+	// injection entirely, leaving every experiment bit-identical to a
+	// run without the layer.
+	Interference interfere.Config
+	// FaultRetries is the budget of extra measurement repetitions a
+	// leakage run may spend replacing repetitions lost to interference
+	// before degrading to a partial result. Default 2.
+	FaultRetries int
 }
 
 func (c Config) withDefaults() Config {
@@ -58,6 +69,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Repeats == 0 {
 		c.Repeats = 1
+	}
+	if c.FaultRetries == 0 {
+		c.FaultRetries = 2
 	}
 	return c
 }

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"repro/internal/runner"
 	"repro/internal/stats"
 )
 
@@ -9,17 +10,27 @@ import (
 // channel (footnote 2: LBR is "orders-of-magnitude less noisy"). The
 // misprediction bubbles are 8–17 cycles, so accuracy holds until σ
 // approaches the bubble size and collapses after.
+//
+// Points fan out on the bounded deterministic engine: every sigma's
+// attack uses the same cfg.Seed it always did, so results are
+// bit-identical to the former serial loop for any Workers value.
 func NoiseSweep(cfg Config, sigmas []float64, runsPer int) (*stats.Series, error) {
 	cfg = cfg.withDefaults()
-	out := &stats.Series{Name: "accuracy"}
-	for _, sigma := range sigmas {
+	accs, err := runner.Map(cfg.engine(), len(sigmas), func(t runner.Task) (float64, error) {
 		c := cfg
-		c.Noise = sigma
+		c.Noise = sigmas[t.Index]
 		res, err := UseCase1GCD(c, runsPer, AllDefenses())
 		if err != nil {
-			return nil, err
+			return 0, err
 		}
-		out.Add(sigma, res.Accuracy)
+		return res.Accuracy, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := &stats.Series{Name: "accuracy"}
+	for i, sigma := range sigmas {
+		out.Add(sigma, accs[i])
 	}
 	return out, nil
 }

@@ -1,0 +1,113 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/interfere"
+	"repro/internal/runner"
+)
+
+// RobustnessPoint is one cell of the robustness sweep: use-case-1
+// accuracy under a single fault class at a single rate.
+type RobustnessPoint struct {
+	Class    string
+	Rate     float64
+	Accuracy float64
+	// WilsonLo/WilsonHi bound Accuracy with the 95% Wilson interval.
+	WilsonLo, WilsonHi float64
+	// MeanConfidence is the pipeline's own estimate of measurement
+	// quality; it should fall alongside Accuracy as rates grow.
+	MeanConfidence float64
+	// DegradedFrags / DiscardedReps count the self-healing machinery's
+	// interventions; Events and TraceHash fingerprint the injected
+	// fault schedule (reproducibility: same Config → same hash for any
+	// Workers).
+	DegradedFrags int
+	DiscardedReps int
+	Events        uint64
+	TraceHash     uint64
+}
+
+// RobustnessResult is the full sweep, grouped by fault class in
+// interfere.Classes order with ascending rates per class.
+type RobustnessResult struct {
+	Points  []RobustnessPoint
+	RunsPer int
+}
+
+// String renders one table row per point.
+func (r *RobustnessResult) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-11s %-8s %-9s %-15s %-6s %-9s %s\n",
+		"class", "rate", "accuracy", "95% CI", "conf", "degraded", "events")
+	for _, p := range r.Points {
+		fmt.Fprintf(&b, "%-11s %-8.4g %-9.3f %6.3f–%-8.3f %-6.2f %-9d %d\n",
+			p.Class, p.Rate, p.Accuracy, p.WilsonLo, p.WilsonHi, p.MeanConfidence, p.DegradedFrags, p.Events)
+	}
+	return strings.TrimRight(b.String(), "\n")
+}
+
+// ClassRates returns the rate ladder swept for a fault class. Interrupt
+// and co-runner rates are per retired step, so they saturate the attack
+// far sooner than the per-record read faults.
+func ClassRates(class string) []float64 {
+	switch class {
+	case "interrupt", "corunner":
+		return []float64{0, 0.001, 0.005, 0.02, 0.1}
+	default: // recordloss, outlier: per-record probabilities
+		return []float64{0, 0.02, 0.05, 0.1, 0.25}
+	}
+}
+
+// RobustnessSweep measures use-case-1 (GCD) accuracy against each fault
+// class across its rate ladder, one attack pipeline per (class, rate)
+// cell, fanned out on the bounded deterministic engine. Every cell uses
+// cfg.Seed directly — cells differ only in their interference config —
+// so the sweep is bit-identical for any Workers value, including each
+// cell's injected-fault TraceHash.
+func RobustnessSweep(cfg Config, classes []string, runsPer int) (*RobustnessResult, error) {
+	cfg = cfg.withDefaults()
+	if len(classes) == 0 {
+		classes = interfere.Classes()
+	}
+	type cell struct {
+		class string
+		rate  float64
+	}
+	var cells []cell
+	for _, cl := range classes {
+		for _, rate := range ClassRates(cl) {
+			cells = append(cells, cell{cl, rate})
+		}
+	}
+	points, err := runner.Map(cfg.engine(), len(cells), func(t runner.Task) (RobustnessPoint, error) {
+		cl := cells[t.Index]
+		c := cfg
+		var err error
+		c.Interference, err = interfere.ClassConfig(cl.class, cl.rate)
+		if err != nil {
+			return RobustnessPoint{}, err
+		}
+		res, err := UseCase1GCD(c, runsPer, AllDefenses())
+		if err != nil {
+			return RobustnessPoint{}, fmt.Errorf("class %s rate %g: %w", cl.class, cl.rate, err)
+		}
+		return RobustnessPoint{
+			Class:          cl.class,
+			Rate:           cl.rate,
+			Accuracy:       res.Accuracy,
+			WilsonLo:       res.WilsonLo,
+			WilsonHi:       res.WilsonHi,
+			MeanConfidence: res.MeanConfidence,
+			DegradedFrags:  res.DegradedFrags,
+			DiscardedReps:  res.DiscardedReps,
+			Events:         res.Events,
+			TraceHash:      res.TraceHash,
+		}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &RobustnessResult{Points: points, RunsPer: runsPer}, nil
+}

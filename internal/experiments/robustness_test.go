@@ -1,0 +1,165 @@
+package experiments
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/codegen"
+	"repro/internal/interfere"
+	"repro/internal/victim"
+)
+
+// TestUseCase1GCDGracefulDegradation: under a fixed seeded fault
+// schedule with nonzero interrupt + record-loss rates, the attack
+// completes without error, reports a meaningful confidence, and still
+// leaks most decisions.
+func TestUseCase1GCDGracefulDegradation(t *testing.T) {
+	cfg := Config{Iters: 1, Seed: 5}
+	cfg.Interference = interfere.Config{
+		InterruptRate:  0.002,
+		RecordLossRate: 0.05,
+		FlushRate:      0.005,
+	}
+	res, err := UseCase1GCD(cfg, 4, AllDefenses())
+	if err != nil {
+		t.Fatalf("attack must degrade, not fail: %v", err)
+	}
+	t.Logf("degraded uc1 gcd: %s", res)
+	if res.Events == 0 {
+		t.Fatal("no fault events delivered — interference not wired in")
+	}
+	if res.MeanConfidence <= 0 || res.MeanConfidence > 1 {
+		t.Fatalf("MeanConfidence = %f, want (0, 1]", res.MeanConfidence)
+	}
+	if res.MeanConfidence >= 1 {
+		t.Fatalf("MeanConfidence = %f under interference, want < 1", res.MeanConfidence)
+	}
+	if res.Accuracy < 0.8 {
+		t.Fatalf("accuracy %.3f collapsed under mild interference", res.Accuracy)
+	}
+	if res.WilsonLo >= res.Accuracy || res.WilsonHi <= res.Accuracy {
+		t.Fatalf("Wilson interval [%f, %f] does not bracket accuracy %f", res.WilsonLo, res.WilsonHi, res.Accuracy)
+	}
+}
+
+// TestRobustnessSweepShape: accuracy ≥ 0.9 at low interference rates,
+// decaying (monotonically-ish) as rates grow, for every fault class.
+func TestRobustnessSweepShape(t *testing.T) {
+	cfg := Config{Iters: 1, Seed: 5}
+	res, err := RobustnessSweep(cfg, nil, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("robustness sweep:\n%s", res)
+	byClass := map[string][]RobustnessPoint{}
+	for _, p := range res.Points {
+		byClass[p.Class] = append(byClass[p.Class], p)
+	}
+	for _, cl := range interfere.Classes() {
+		pts := byClass[cl]
+		if len(pts) != len(ClassRates(cl)) {
+			t.Fatalf("class %s has %d points", cl, len(pts))
+		}
+		if pts[0].Rate != 0 || pts[0].Accuracy < 0.99 {
+			t.Errorf("%s: clean baseline accuracy %.3f < 0.99", cl, pts[0].Accuracy)
+		}
+		if pts[0].Events != 0 || pts[0].TraceHash != 0 {
+			t.Errorf("%s: rate-0 cell delivered events", cl)
+		}
+		if pts[1].Accuracy < 0.9 {
+			t.Errorf("%s: accuracy %.3f at low rate %g, want >= 0.9", cl, pts[1].Accuracy, pts[1].Rate)
+		}
+		if pts[1].Events == 0 {
+			t.Errorf("%s: low-rate cell delivered no events", cl)
+		}
+		last := pts[len(pts)-1]
+		if last.Accuracy > pts[1].Accuracy+0.02 {
+			t.Errorf("%s: accuracy rose from %.3f to %.3f as the rate grew", cl, pts[1].Accuracy, last.Accuracy)
+		}
+	}
+}
+
+// TestRobustnessSweepWorkerIndependence: the same Config.Seed +
+// interference config produces identical results — including each
+// cell's injected-fault trace hash — regardless of worker count.
+func TestRobustnessSweepWorkerIndependence(t *testing.T) {
+	classes := []string{"interrupt", "recordloss"}
+	run := func(workers int) *RobustnessResult {
+		cfg := Config{Iters: 1, Seed: 7, Workers: workers}
+		res, err := RobustnessSweep(cfg, classes, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	serial := run(1)
+	wide := run(4)
+	if !reflect.DeepEqual(serial, wide) {
+		t.Fatalf("sweep differs across worker counts:\n%v\nvs\n%v", serial, wide)
+	}
+	again := run(1)
+	if !reflect.DeepEqual(serial, again) {
+		t.Fatal("sweep not reproducible for the same seed")
+	}
+}
+
+// TestInterferenceDisabledDeterminism: with interference disabled the
+// hardened pipeline consumes no extra randomness and reproduces the
+// same results run over run, for any Workers value, including the
+// noisy-channel averaging path.
+func TestInterferenceDisabledDeterminism(t *testing.T) {
+	base := Config{Iters: 1, Seed: 505, Noise: 5, Repeats: 3}
+	a, err := UseCase1GCD(base, 2, AllDefenses())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := UseCase1GCD(base, 2, AllDefenses())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("disabled-interference runs differ:\n%v\nvs\n%v", a, b)
+	}
+	if a.Events != 0 || a.TraceHash != 0 || a.DegradedFrags != 0 {
+		t.Fatalf("disabled interference reported fault activity: %v", a)
+	}
+
+	sigmas := []float64{0, 4}
+	s1, err := NoiseSweep(Config{Iters: 1, Seed: 303, Workers: 1}, sigmas, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s4, err := NoiseSweep(Config{Iters: 1, Seed: 303, Workers: 4}, sigmas, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(s1, s4) {
+		t.Fatalf("NoiseSweep differs across worker counts:\n%v\nvs\n%v", s1, s4)
+	}
+}
+
+// TestNVSTraceUnderInterference: the supervisor attack's replay loop
+// retries degraded steps and still reconstructs the trace under record
+// loss.
+func TestNVSTraceUnderInterference(t *testing.T) {
+	cfg := Config{Iters: 1, Seed: 5}
+	clean := cfg
+
+	cfg.Interference = interfere.Config{RecordLossRate: 0.02}
+
+	fn := victim.BnCmp(false)
+	opts := codegen.Options{Opt: codegen.O2}
+	args := []uint64{0x1234_5678_9ABC_DEF0, 0x1234_5678_9ABC_0000}
+	wantPCs, _, _, err := NVSTrace(clean, fn, opts, args)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotPCs, _, runs, err := NVSTrace(cfg, fn, opts, args)
+	if err != nil {
+		t.Fatalf("NV-S must survive record loss: %v", err)
+	}
+	if !reflect.DeepEqual(wantPCs, gotPCs) {
+		t.Errorf("reconstructed trace changed under record loss (%d vs %d steps)", len(wantPCs), len(gotPCs))
+	}
+	t.Logf("NV-S under interference: %d steps, %d runs", len(gotPCs), runs)
+}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"strconv"
@@ -10,10 +11,12 @@ import (
 	"repro/internal/codegen"
 	"repro/internal/core"
 	"repro/internal/cpu"
+	"repro/internal/interfere"
 	"repro/internal/isa"
 	"repro/internal/mem"
 	"repro/internal/nvrand"
 	"repro/internal/osmodel"
+	"repro/internal/stats"
 	"repro/internal/victim"
 )
 
@@ -25,11 +28,35 @@ type UseCase1Result struct {
 	Ambiguous int // fragments where neither or both arms matched
 	Accuracy  float64
 	AvgPerRun float64 // mean decisions per run (paper: ~30 for GCD)
+
+	// WilsonLo/WilsonHi bound Accuracy with the 95% Wilson score
+	// interval over the Decisions trials.
+	WilsonLo, WilsonHi float64
+	// MeanConfidence averages the per-fragment measurement confidences
+	// (1.0 on a clean deterministic channel; lower under noise,
+	// retries, or interference).
+	MeanConfidence float64
+	// DegradedFrags counts fragments whose probe lost every
+	// measurement to interference; DiscardedReps counts whole
+	// measurement repetitions replaced out of the FaultRetries budget.
+	DegradedFrags int
+	DiscardedReps int
+	// Events and TraceHash summarize the injected-fault schedule:
+	// total delivered events and an order-sensitive FNV-1a fingerprint
+	// (0 when interference is disabled). Identical Config → identical
+	// hash, regardless of Workers.
+	Events    uint64
+	TraceHash uint64
 }
 
 func (r *UseCase1Result) String() string {
-	return fmt.Sprintf("runs=%d decisions=%d correct=%d ambiguous=%d accuracy=%.1f%% avg-iters/run=%.1f",
-		r.Runs, r.Decisions, r.Correct, r.Ambiguous, 100*r.Accuracy, r.AvgPerRun)
+	s := fmt.Sprintf("runs=%d decisions=%d correct=%d ambiguous=%d accuracy=%.1f%% (95%% CI %.1f–%.1f%%) avg-iters/run=%.1f conf=%.2f",
+		r.Runs, r.Decisions, r.Correct, r.Ambiguous, 100*r.Accuracy, 100*r.WilsonLo, 100*r.WilsonHi, r.AvgPerRun, r.MeanConfidence)
+	if r.Events > 0 || r.DegradedFrags > 0 || r.DiscardedReps > 0 {
+		s += fmt.Sprintf(" [interference: events=%d degraded-frags=%d discarded-reps=%d trace=%#x]",
+			r.Events, r.DegradedFrags, r.DiscardedReps, r.TraceHash)
+	}
+	return s
 }
 
 // DefenseOptions selects which prior-work mitigations the victim is
@@ -157,11 +184,20 @@ func UseCase1GCD(cfg Config, runs int, def DefenseOptions) (*UseCase1Result, err
 	return runUseCase1(cfg, runs, def, target)
 }
 
+// voteFloor is the minimum weight a measured round contributes to a
+// fragment-arm vote: a zero-confidence measurement still expresses an
+// opinion, which keeps the Repeats==1 clean path bit-identical to
+// unweighted voting.
+const voteFloor = 0.01
+
 // runUseCase1 executes the NV-U attack loop of §5.2 for one target.
 func runUseCase1(cfg Config, runs int, def DefenseOptions, target uc1Target) (*UseCase1Result, error) {
 	cfg = cfg.withDefaults()
 	res := &UseCase1Result{Runs: runs}
 	rng := nvrand.New(cfg.Seed)
+
+	var confSum float64
+	var confN int
 
 	repeats := cfg.Repeats // >= 1 after withDefaults
 	for run := 0; run < runs; run++ {
@@ -171,29 +207,57 @@ func runUseCase1(cfg Config, runs int, def DefenseOptions, target uc1Target) (*U
 		// The paper's methodology repeats measurements and averages;
 		// here each repetition replays the same victim secret under
 		// fresh measurement noise and the per-fragment arm votes are
-		// majority-combined.
+		// confidence-weight-combined. Repetitions that interference
+		// degrades beyond recovery are replaced out of the FaultRetries
+		// budget; if the budget runs dry the vote proceeds on whatever
+		// measurements survived (graceful partial result).
 		var matches [][2]bool
-		votes := make([][2]int, len(truth)+2)
-		for rep := 0; rep < repeats; rep++ {
-			ms, _, err := leakFragments(cfg, rng.Split(), def, target, a, b, len(truth)+2)
+		wFor := make([][2]float64, len(truth)+2)
+		wAgainst := make([][2]float64, len(truth)+2)
+		measured := 0
+		budget := cfg.FaultRetries
+		for attempt := 0; measured < repeats && attempt < repeats+cfg.FaultRetries; attempt++ {
+			fl, _, err := leakFragments(cfg, rng.Split(), def, target, a, b, len(truth)+2)
+			res.Events += uint64(len(fl.events))
+			res.TraceHash = foldEvents(res.TraceHash, fl.events)
 			if err != nil {
+				if errors.Is(err, core.ErrRecordLost) && budget > 0 {
+					budget--
+					res.DiscardedReps++
+					continue
+				}
 				return nil, fmt.Errorf("run %d: %w", run, err)
 			}
-			for i, m := range ms {
-				if m[0] {
-					votes[i][0]++
+			measured++
+			if len(fl.matches) > len(wFor) {
+				fl.matches = fl.matches[:len(wFor)]
+			}
+			for i, m := range fl.matches {
+				if fl.degraded[i] {
+					res.DegradedFrags++
+					continue
 				}
-				if m[1] {
-					votes[i][1]++
+				for arm := 0; arm < 2; arm++ {
+					w := fl.conf[i][arm]
+					confSum += w
+					confN++
+					if w < voteFloor {
+						w = voteFloor
+					}
+					if m[arm] {
+						wFor[i][arm] += w
+					} else {
+						wAgainst[i][arm] += w
+					}
 				}
 			}
-			if rep == 0 {
-				matches = ms
+			if matches == nil {
+				matches = make([][2]bool, len(fl.matches))
 			}
 		}
 		for i := range matches {
-			matches[i][0] = votes[i][0]*2 > repeats
-			matches[i][1] = votes[i][1]*2 > repeats
+			matches[i][0] = wFor[i][0] > wAgainst[i][0]
+			matches[i][1] = wFor[i][1] > wAgainst[i][1]
 		}
 		n := len(truth)
 		if len(matches) < n {
@@ -235,14 +299,41 @@ func runUseCase1(cfg Config, runs int, def DefenseOptions, target uc1Target) (*U
 	if res.Decisions > 0 {
 		res.Accuracy = float64(res.Correct) / float64(res.Decisions)
 		res.AvgPerRun = float64(res.Decisions) / float64(res.Runs)
+		res.WilsonLo, res.WilsonHi = stats.WilsonInterval(res.Correct, res.Decisions, 1.96)
+	}
+	if confN > 0 {
+		res.MeanConfidence = confSum / float64(confN)
 	}
 	return res, nil
 }
 
+// foldEvents folds a fault-event batch into the result's running trace
+// hash, skipping the fold entirely for empty batches so that an
+// interference-free run keeps TraceHash == 0.
+func foldEvents(h uint64, evs []interfere.Event) uint64 {
+	if len(evs) == 0 {
+		return h
+	}
+	return interfere.HashEvents(h, evs)
+}
+
+// fragLeak is one measurement repetition's outcome: per-fragment
+// [thenHit, elseHit] vectors with matching confidences, per-fragment
+// degradation flags, and the fault events the injector delivered.
+type fragLeak struct {
+	matches  [][2]bool
+	conf     [][2]float64
+	degraded []bool
+	events   []interfere.Event
+}
+
 // leakFragments builds one victim process with the chosen defenses,
 // mounts NV-U with PWs over both arms of the secret branch, and returns
-// per-fragment [thenHit, elseHit] vectors.
-func leakFragments(cfg Config, rng *nvrand.Rand, def DefenseOptions, target uc1Target, a, b uint64, maxFrags int) ([][2]bool, ifTriple, error) {
+// the per-fragment leak. When cfg.Interference is enabled a
+// deterministic injector (seeded from rng) perturbs the victim, the
+// probes and the LBR reads; fragments that lose every measurement come
+// back flagged degraded rather than failing the repetition.
+func leakFragments(cfg Config, rng *nvrand.Rand, def DefenseOptions, target uc1Target, a, b uint64, maxFrags int) (fragLeak, ifTriple, error) {
 	const (
 		base      = uint64(0x40_0000)
 		cfrRegion = uint64(0x48_0000)
@@ -265,21 +356,21 @@ func leakFragments(cfg Config, rng *nvrand.Rand, def DefenseOptions, target uc1T
 		opts.CFR = &codegen.CFRConfig{Rng: nvrand.New(1), Region: cfrRegion}
 	}
 	if err := codegen.Emit(bld, target.fn, opts); err != nil {
-		return nil, ifTriple{}, err
+		return fragLeak{}, ifTriple{}, err
 	}
 	prog, err := bld.Build()
 	if err != nil {
-		return nil, ifTriple{}, err
+		return fragLeak{}, ifTriple{}, err
 	}
 
 	triples := ifTriples(prog, target.fn.Name)
 	if len(triples) == 0 {
-		return nil, ifTriple{}, fmt.Errorf("experiments: no If labels found")
+		return fragLeak{}, ifTriple{}, fmt.Errorf("experiments: no If labels found")
 	}
 	secret := target.pickIf(triples)
 	thenPW, err := pwWithin(secret.thenL, secret.elseL)
 	if err != nil {
-		return nil, ifTriple{}, err
+		return fragLeak{}, ifTriple{}, err
 	}
 	// An If without an else body (bn_cmp's early returns) has an empty
 	// else range; monitor only the then arm in that case.
@@ -302,23 +393,55 @@ func leakFragments(cfg Config, rng *nvrand.Rand, def DefenseOptions, target uc1T
 
 	att, err := core.NewAttacker(c, aliasDistance(cfg.CPU))
 	if err != nil {
-		return nil, ifTriple{}, err
+		return fragLeak{}, ifTriple{}, err
+	}
+	// The injector is created (and its seed drawn) only when a fault
+	// class is enabled: the disabled path performs exactly the rng draws
+	// it always did, keeping results bit-identical to interference-free
+	// builds. It is installed before monitor creation so calibration
+	// runs under the same interference the probes will see.
+	var inj *interfere.Injector
+	if cfg.Interference.Enabled() {
+		inj = interfere.New(cfg.Interference, c, rng.Uint64())
+		os.OnTick = inj.VictimTick
+		att.Interfere = inj
 	}
 	mon, err := att.NewMonitor(pws)
 	if err != nil {
-		return nil, ifTriple{}, err
+		return fragLeak{events: injEvents(inj)}, ifTriple{}, err
 	}
 	ua := &core.UserAttack{OS: os, Victim: proc}
-	raw, err := ua.Run(mon, maxFrags)
+	frags, err := ua.RunRobust(mon, maxFrags)
 	if err != nil {
-		return nil, ifTriple{}, err
+		return fragLeak{events: injEvents(inj)}, ifTriple{}, err
 	}
-	out := make([][2]bool, len(raw))
-	for i, v := range raw {
-		out[i][0] = v[0]
-		if len(v) > 1 {
-			out[i][1] = v[1]
+	fl := fragLeak{
+		matches:  make([][2]bool, len(frags)),
+		conf:     make([][2]float64, len(frags)),
+		degraded: make([]bool, len(frags)),
+		events:   injEvents(inj),
+	}
+	for i, fr := range frags {
+		fl.matches[i][0] = fr.Match[0]
+		fl.conf[i][0] = fr.Confidence[0]
+		if len(fr.Match) > 1 {
+			fl.matches[i][1] = fr.Match[1]
+			fl.conf[i][1] = fr.Confidence[1]
+		} else {
+			// Single-arm monitors (no else body) reuse the then-arm
+			// confidence so both vote slots carry the same weight.
+			fl.conf[i][1] = fr.Confidence[0]
 		}
+		fl.degraded[i] = fr.Degraded
 	}
-	return out, secret, nil
+	return fl, secret, nil
+}
+
+// injEvents returns the injector's delivered-event trace (nil injector
+// → nil trace).
+func injEvents(inj *interfere.Injector) []interfere.Event {
+	if inj == nil {
+		return nil
+	}
+	return inj.Trace()
 }

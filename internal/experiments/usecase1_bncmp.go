@@ -1,9 +1,12 @@
 package experiments
 
 import (
+	"errors"
 	"fmt"
 
+	"repro/internal/core"
 	"repro/internal/nvrand"
+	"repro/internal/stats"
 	"repro/internal/victim"
 )
 
@@ -14,10 +17,13 @@ type BnCmpResult struct {
 	Runs     int
 	Correct  int
 	Accuracy float64
+	// WilsonLo/WilsonHi bound Accuracy with the 95% Wilson interval.
+	WilsonLo, WilsonHi float64
 }
 
 func (r *BnCmpResult) String() string {
-	return fmt.Sprintf("runs=%d correct=%d accuracy=%.1f%%", r.Runs, r.Correct, 100*r.Accuracy)
+	return fmt.Sprintf("runs=%d correct=%d accuracy=%.1f%% (95%% CI %.1f\u2013%.1f%%)",
+		r.Runs, r.Correct, 100*r.Accuracy, 100*r.WilsonLo, 100*r.WilsonHi)
 }
 
 // UseCase1BnCmp attacks the IPP-style big-number comparison: the two
@@ -45,25 +51,27 @@ func UseCase1BnCmp(cfg Config, runs int, def DefenseOptions) (*BnCmpResult, erro
 		want := victim.BnCmpRef(a, b)
 
 		// The two return-arm Ifs are the first two in emission order.
+		// Repetitions lost to interference are replaced out of the
+		// FaultRetries budget (leakBnCmpArm), keeping the run alive.
 		target.pickIf = func(ts []ifTriple) ifTriple { return ts[0] }
-		gtMatches, _, err := leakFragments(cfg, rng.Split(), def, target, a, b, 20)
+		gt, err := leakBnCmpArm(cfg, rng, def, target, a, b)
 		if err != nil {
 			return nil, fmt.Errorf("run %d: %w", run, err)
 		}
 		target.pickIf = func(ts []ifTriple) ifTriple { return ts[1] }
-		ltMatches, _, err := leakFragments(cfg, rng.Split(), def, target, a, b, 20)
+		lt, err := leakBnCmpArm(cfg, rng, def, target, a, b)
 		if err != nil {
 			return nil, fmt.Errorf("run %d: %w", run, err)
 		}
 
 		sawGT, sawLT := false, false
-		for _, m := range gtMatches {
-			if m[0] { // then arm of "la > lb"
+		for i, m := range gt.matches {
+			if m[0] && !gt.degraded[i] { // then arm of "la > lb"
 				sawGT = true
 			}
 		}
-		for _, m := range ltMatches {
-			if m[0] { // then arm of "la < lb"
+		for i, m := range lt.matches {
+			if m[0] && !lt.degraded[i] { // then arm of "la < lb"
 				sawLT = true
 			}
 		}
@@ -81,5 +89,24 @@ func UseCase1BnCmp(cfg Config, runs int, def DefenseOptions) (*BnCmpResult, erro
 		}
 	}
 	res.Accuracy = float64(res.Correct) / float64(res.Runs)
+	res.WilsonLo, res.WilsonHi = stats.WilsonInterval(res.Correct, res.Runs, 1.96)
 	return res, nil
+}
+
+// leakBnCmpArm measures one arm's fragments, retrying a repetition
+// whose calibration or probing is lost to interference (up to
+// cfg.FaultRetries replacements) before surfacing the error.
+func leakBnCmpArm(cfg Config, rng *nvrand.Rand, def DefenseOptions, target uc1Target, a, b uint64) (fragLeak, error) {
+	var lastErr error
+	for attempt := 0; attempt <= cfg.FaultRetries; attempt++ {
+		fl, _, err := leakFragments(cfg, rng.Split(), def, target, a, b, 20)
+		if err == nil {
+			return fl, nil
+		}
+		if !errors.Is(err, core.ErrRecordLost) {
+			return fragLeak{}, err
+		}
+		lastErr = err
+	}
+	return fragLeak{}, lastErr
 }

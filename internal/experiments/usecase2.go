@@ -9,6 +9,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/cpu"
 	"repro/internal/fingerprint"
+	"repro/internal/interfere"
 	"repro/internal/isa"
 	"repro/internal/mem"
 	"repro/internal/nvrand"
@@ -136,6 +137,12 @@ func NVSTrace(cfg Config, fn *codegen.Func, opts codegen.Options, args []uint64)
 	att, err := core.NewAttacker(c, aliasDistance(cfg.CPU))
 	if err != nil {
 		return nil, nil, 0, err
+	}
+	// Deterministic interference (when enabled) perturbs the supervisor
+	// attacker's probes and LBR reads; degraded probes skip their search
+	// advance and the next replay run retries them.
+	if cfg.Interference.Enabled() {
+		att.Interfere = interfere.New(cfg.Interference, c, cfg.Seed)
 	}
 	sup := core.NewSupervisorAttack(att, enc, core.SupervisorConfig{BlocksPerCall: cfg.NVSBlocksPerCall})
 	defer sup.Close()

@@ -1,0 +1,380 @@
+// Package interfere is the deterministic fault-injection layer: it
+// perturbs the simulated substrate the way a live machine perturbs the
+// paper's attacks — OS timer interrupts landing mid-victim and
+// mid-probe, co-runner context switches that pollute the BTB, LBR
+// record loss and flush events, and heavy-tailed measurement outliers
+// (§7's noise sources, which the authors survive with repetition and
+// majority voting).
+//
+// Every injection decision draws from a per-fault-class nvrand stream
+// derived from (seed, class), in the serial order the simulation
+// reaches its injection points. A fault schedule is therefore a pure
+// function of the seed and the Config — bit-identical across runs and
+// across experiment-engine worker counts — and each Injector records
+// the schedule it actually delivered as an Event trace that tests can
+// assert on.
+package interfere
+
+import (
+	"fmt"
+	"hash/fnv"
+
+	"repro/internal/cpu"
+	"repro/internal/isa"
+	"repro/internal/lbr"
+	"repro/internal/nvrand"
+)
+
+// Class identifies one fault class. Each class draws from its own RNG
+// stream so that changing one class's rate never perturbs another's
+// schedule.
+type Class int
+
+// Fault classes.
+const (
+	ClassInterrupt  Class = iota // timer interrupt (victim or probe)
+	ClassCoRunner                // context switch to the BTB polluter
+	ClassRecordLoss              // one LBR record lost on read
+	ClassFlush                   // whole LBR read comes back empty
+	ClassOutlier                 // heavy-tailed cycle outlier on a record
+	numClasses
+)
+
+// String returns the class's sweep label.
+func (c Class) String() string {
+	switch c {
+	case ClassInterrupt:
+		return "interrupt"
+	case ClassCoRunner:
+		return "corunner"
+	case ClassRecordLoss:
+		return "recordloss"
+	case ClassFlush:
+		return "flush"
+	case ClassOutlier:
+		return "outlier"
+	}
+	return "invalid"
+}
+
+// Site says where an event landed.
+type Site int
+
+// Injection sites.
+const (
+	SiteVictim Site = iota // during a victim scheduling fragment
+	SiteProbe              // during attacker prime/probe code
+	SiteRead               // while reading the LBR
+)
+
+// Config holds the fault rates. The zero value disables injection
+// entirely; with it installed, every hook is a no-op that draws nothing
+// from any stream, so an interference-free run is bit-identical to a
+// run with no injector at all.
+type Config struct {
+	// InterruptRate is the per-retired-step probability of a timer
+	// interrupt preempting the running code. Interrupts land both
+	// mid-victim and mid-probe: the pipeline is squashed and the
+	// interrupt cost charged, inflating in-flight LBR deltas.
+	InterruptRate float64
+	// CoRunnerRate is the per-victim-step probability of a context
+	// switch to a co-runner that executes PolluterJumps taken jumps,
+	// aging (and eventually evicting) the attacker's planted BTB
+	// entries. The co-runner's architectural state is saved/restored
+	// around the slice; the BTB and LBR deliberately are not.
+	CoRunnerRate float64
+	// PolluterJumps is the number of chained jumps one co-runner slice
+	// executes. Each jump allocates a BTB entry in a distinct set
+	// (32-byte stride); 512 jumps walk every SkyLake set once. Default
+	// 1024: two full walks.
+	PolluterJumps int
+	// RecordLossRate is the per-record probability that an LBR record
+	// read by a probe has been lost (overwritten or dropped, as when a
+	// perf subsystem shares the facility).
+	RecordLossRate float64
+	// FlushRate is the per-read probability that the entire LBR ring
+	// reads back empty (an intervening consumer froze and cleared it).
+	FlushRate float64
+	// OutlierRate is the per-record probability of a heavy-tailed
+	// measurement outlier added to the record's cycle delta — the
+	// long-tail the paper filters with repetition and outlier
+	// rejection.
+	OutlierRate float64
+	// OutlierScale scales outlier magnitudes in cycles. Default 40,
+	// comfortably above every misprediction bubble.
+	OutlierScale float64
+}
+
+// Enabled reports whether any fault class has a nonzero rate.
+func (c Config) Enabled() bool {
+	return c.InterruptRate > 0 || c.CoRunnerRate > 0 || c.RecordLossRate > 0 ||
+		c.FlushRate > 0 || c.OutlierRate > 0
+}
+
+func (c Config) withDefaults() Config {
+	if c.PolluterJumps == 0 {
+		c.PolluterJumps = 1024
+	}
+	if c.OutlierScale == 0 {
+		c.OutlierScale = 40
+	}
+	return c
+}
+
+// ClassConfig returns a Config exercising exactly one fault class at
+// the given rate — the shape RobustnessSweep sweeps. Record loss also
+// enables whole-ring flushes at a tenth of the rate (the two are one
+// phenomenon at different granularity).
+func ClassConfig(class string, rate float64) (Config, error) {
+	switch class {
+	case "interrupt":
+		return Config{InterruptRate: rate}, nil
+	case "corunner":
+		return Config{CoRunnerRate: rate}, nil
+	case "recordloss":
+		return Config{RecordLossRate: rate, FlushRate: rate / 10}, nil
+	case "outlier":
+		return Config{OutlierRate: rate}, nil
+	}
+	return Config{}, fmt.Errorf("interfere: unknown fault class %q", class)
+}
+
+// Classes lists the sweepable fault-class names in ClassConfig order.
+func Classes() []string {
+	return []string{"interrupt", "corunner", "recordloss", "outlier"}
+}
+
+// Event is one delivered fault, the unit of the reproducibility
+// contract: same seed + same Config → same Event sequence.
+type Event struct {
+	Class Class
+	Site  Site
+	// Seq is the ordinal of the decision draw within the class's
+	// stream at the moment the event fired.
+	Seq uint64
+	// Arg is class-specific: outlier magnitude in cycles, polluter
+	// jumps executed, records dropped by a flush.
+	Arg uint64
+}
+
+// Injector delivers one run's fault schedule. It implements the
+// core.Interference hooks (ProbeStep, Records) and exposes VictimTick
+// for osmodel.OS.OnTick. Not safe for concurrent use — an injector
+// belongs to exactly one simulated core, which is itself serial.
+type Injector struct {
+	cfg  Config
+	core *cpu.Core
+
+	streams [numClasses]*nvrand.Rand
+	draws   [numClasses]uint64
+	trace   []Event
+
+	polluterLaid []bool
+	polluterNext int
+	site         Site
+}
+
+// New returns an injector for core whose schedule is fully determined
+// by (cfg, seed). The polluter program is laid out lazily on first
+// co-runner event.
+func New(cfg Config, core *cpu.Core, seed uint64) *Injector {
+	inj := &Injector{cfg: cfg.withDefaults(), core: core, site: SiteVictim}
+	for cl := Class(0); cl < numClasses; cl++ {
+		inj.streams[cl] = nvrand.SplitAt(seed, uint64(cl))
+	}
+	return inj
+}
+
+// draw advances class's stream by one Bernoulli decision.
+func (inj *Injector) draw(class Class, rate float64) bool {
+	if rate <= 0 {
+		return false
+	}
+	inj.draws[class]++
+	return inj.streams[class].Float64() < rate
+}
+
+// record appends a delivered event to the trace.
+func (inj *Injector) record(class Class, site Site, arg uint64) {
+	inj.trace = append(inj.trace, Event{Class: class, Site: site, Seq: inj.draws[class], Arg: arg})
+}
+
+// VictimTick is the osmodel.OS.OnTick hook: called after every retired
+// victim step, it may deliver a timer interrupt and/or switch to the
+// co-runner for one polluting slice.
+func (inj *Injector) VictimTick() {
+	if inj.draw(ClassInterrupt, inj.cfg.InterruptRate) {
+		inj.core.Interrupt()
+		inj.record(ClassInterrupt, SiteVictim, 0)
+	}
+	if inj.draw(ClassCoRunner, inj.cfg.CoRunnerRate) {
+		inj.runPolluter()
+		inj.record(ClassCoRunner, SiteVictim, uint64(inj.cfg.PolluterJumps))
+	}
+}
+
+// ProbeStep is the core.Interference probe hook: called after every
+// retired step of attacker prime/probe code, it may deliver a timer
+// interrupt (squashing the probe's fetch-ahead and inflating the
+// in-flight LBR delta by the interrupt cost).
+func (inj *Injector) ProbeStep() {
+	if inj.draw(ClassInterrupt, inj.cfg.InterruptRate) {
+		inj.core.Interrupt()
+		inj.record(ClassInterrupt, SiteProbe, 0)
+	}
+}
+
+// Records is the core.Interference measurement hook: it filters the
+// LBR records a probe reads, dropping lost records, emptying flushed
+// reads, and adding heavy-tailed outliers to surviving cycle deltas.
+// The input slice is not modified.
+func (inj *Injector) Records(recs []lbr.Record) []lbr.Record {
+	if inj.draw(ClassFlush, inj.cfg.FlushRate) {
+		inj.record(ClassFlush, SiteRead, uint64(len(recs)))
+		return nil
+	}
+	if inj.cfg.RecordLossRate <= 0 && inj.cfg.OutlierRate <= 0 {
+		return recs
+	}
+	out := make([]lbr.Record, 0, len(recs))
+	for _, r := range recs {
+		if inj.draw(ClassRecordLoss, inj.cfg.RecordLossRate) {
+			inj.record(ClassRecordLoss, SiteRead, 1)
+			continue
+		}
+		if inj.draw(ClassOutlier, inj.cfg.OutlierRate) {
+			mag := inj.outlierMagnitude()
+			r.Cycles += mag
+			inj.record(ClassOutlier, SiteRead, mag)
+		}
+		out = append(out, r)
+	}
+	return out
+}
+
+// outlierMagnitude draws a heavy-tailed (Pareto, α=1.5) magnitude
+// scaled by OutlierScale and capped at 64× the scale — SMIs and
+// page-fault storms, not Gaussian jitter.
+func (inj *Injector) outlierMagnitude() uint64 {
+	u := inj.streams[ClassOutlier].Float64()
+	for u == 0 {
+		u = inj.streams[ClassOutlier].Float64()
+	}
+	// Pareto with x_m = 1: x = u^(-1/alpha); inline cube-root-ish via
+	// two square roots to avoid math.Pow's platform spread:
+	// u^(-2/3) ≈ alpha 1.5.
+	inv := 1 / u
+	x := cbrtApprox(inv * inv)
+	mag := inj.cfg.OutlierScale * x
+	if lim := inj.cfg.OutlierScale * 64; mag > lim {
+		mag = lim
+	}
+	return uint64(mag)
+}
+
+// cbrtApprox is a deterministic Newton cube root (math.Cbrt is fine in
+// practice, but an explicit iteration keeps the schedule's bit pattern
+// independent of libm).
+func cbrtApprox(v float64) float64 {
+	if v <= 0 {
+		return 0
+	}
+	x := v
+	if x > 1 {
+		x = v / 3
+	}
+	for i := 0; i < 32; i++ {
+		x = (2*x + v/(x*x)) / 3
+	}
+	return x
+}
+
+// polluterBase is where the co-runner's jump slides live: victim
+// address space (below any alias region), far from every region the
+// experiments occupy.
+const polluterBase = uint64(0x5800_0000)
+
+// polluterRegions is the number of distinct 1 MiB-apart code regions
+// the co-runner rotates through. A slide re-run from one fixed region
+// merely refreshes its own BTB entries (the Update re-use path) and
+// builds no eviction pressure; rotating regions changes the tags each
+// slice, forcing fresh allocations that age and evict the attacker's
+// planted entries the way a real co-runner's shifting working set does.
+const polluterRegions = 8
+
+// polluterRegionStride separates regions by 1 MiB: a multiple of the
+// set-array span, so every region walks the same set sequence under a
+// different tag.
+const polluterRegionStride = uint64(1) << 20
+
+// layoutPolluter writes co-runner region r: PolluterJumps chained
+// jmp32s at one-per-32-byte-block stride (each allocating a BTB entry
+// in the next set), ending in hlt.
+func (inj *Injector) layoutPolluter(r int) uint64 {
+	base := polluterBase + uint64(r)*polluterRegionStride
+	addr := base
+	var buf []byte
+	for i := 0; i < inj.cfg.PolluterJumps; i++ {
+		next := addr + 32
+		in := isa.Inst{Op: isa.OpJmp32, Imm: int64(next) - int64(addr) - 5, Size: 5}
+		inj.core.Mem.LoadProgram(addr, in.Encode(buf[:0]))
+		addr = next
+	}
+	inj.core.Mem.LoadProgram(addr, isa.Hlt().Encode(buf[:0]))
+	return base
+}
+
+// runPolluter context-switches to the co-runner, runs its slice to
+// completion, and switches back. Architectural state round-trips; the
+// BTB and LBR pollution stays — that is the fault. Successive slices
+// rotate through polluterRegions distinct code regions.
+func (inj *Injector) runPolluter() {
+	r := inj.polluterNext % polluterRegions
+	inj.polluterNext++
+	if inj.polluterLaid == nil {
+		inj.polluterLaid = make([]bool, polluterRegions)
+	}
+	entry := polluterBase + uint64(r)*polluterRegionStride
+	if !inj.polluterLaid[r] {
+		entry = inj.layoutPolluter(r)
+		inj.polluterLaid[r] = true
+	}
+	var saved cpu.ArchState
+	st := cpu.ArchState{PC: entry}
+	inj.core.ContextSwitch(&saved, &st)
+	for {
+		_, err := inj.core.Step()
+		if err != nil {
+			break // hlt (or a fault — the slice is over either way)
+		}
+	}
+	inj.core.ContextSwitch(nil, &saved)
+}
+
+// Trace returns the events delivered so far, in delivery order.
+func (inj *Injector) Trace() []Event { return inj.trace }
+
+// Events returns the number of delivered events.
+func (inj *Injector) Events() uint64 { return uint64(len(inj.trace)) }
+
+// HashEvents folds evs into a running FNV-1a hash h (pass 0 to start a
+// fresh chain). Experiments aggregate per-run injector traces into one
+// order-sensitive fingerprint that reproducibility tests compare.
+func HashEvents(h uint64, evs []Event) uint64 {
+	f := fnv.New64a()
+	var b [8]byte
+	put := func(v uint64) {
+		for i := 0; i < 8; i++ {
+			b[i] = byte(v >> (8 * i))
+		}
+		f.Write(b[:])
+	}
+	put(h)
+	for _, e := range evs {
+		put(uint64(e.Class))
+		put(uint64(e.Site))
+		put(e.Seq)
+		put(e.Arg)
+	}
+	return f.Sum64()
+}

@@ -1,0 +1,176 @@
+package interfere
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/cpu"
+	"repro/internal/lbr"
+	"repro/internal/mem"
+)
+
+func newCore() *cpu.Core {
+	return cpu.New(cpu.Config{}, mem.New())
+}
+
+// exercise drives inj through a fixed hook sequence resembling one
+// attack iteration: victim steps, probe steps, and LBR reads.
+func exercise(inj *Injector) {
+	recs := []lbr.Record{
+		{From: 0x40_0000, To: 0x40_0100, Cycles: 12},
+		{From: 0x40_0100, To: 0x40_0200, Cycles: 9},
+		{From: 0x40_0200, To: 0x40_0300, Cycles: 31},
+	}
+	for round := 0; round < 50; round++ {
+		for i := 0; i < 40; i++ {
+			inj.VictimTick()
+		}
+		for i := 0; i < 25; i++ {
+			inj.ProbeStep()
+		}
+		inj.Records(recs)
+	}
+}
+
+func TestScheduleReproducible(t *testing.T) {
+	cfg := Config{
+		InterruptRate:  0.05,
+		CoRunnerRate:   0.02,
+		PolluterJumps:  16,
+		RecordLossRate: 0.1,
+		FlushRate:      0.02,
+		OutlierRate:    0.1,
+	}
+	a := New(cfg, newCore(), 99)
+	b := New(cfg, newCore(), 99)
+	exercise(a)
+	exercise(b)
+	if len(a.Trace()) == 0 {
+		t.Fatal("no events delivered at these rates — the exercise is too small")
+	}
+	if !reflect.DeepEqual(a.Trace(), b.Trace()) {
+		t.Fatalf("same (cfg, seed) produced different traces:\n%v\nvs\n%v", a.Trace(), b.Trace())
+	}
+	if HashEvents(0, a.Trace()) != HashEvents(0, b.Trace()) {
+		t.Fatal("trace hashes differ for identical traces")
+	}
+
+	c := New(cfg, newCore(), 100)
+	exercise(c)
+	if reflect.DeepEqual(a.Trace(), c.Trace()) {
+		t.Fatal("different seeds produced identical traces")
+	}
+}
+
+func TestClassStreamsIndependent(t *testing.T) {
+	// Raising the outlier rate must not move the interrupt schedule:
+	// each class draws from its own stream.
+	base := Config{InterruptRate: 0.05}
+	more := Config{InterruptRate: 0.05, OutlierRate: 0.5}
+	a := New(base, newCore(), 7)
+	b := New(more, newCore(), 7)
+	exercise(a)
+	exercise(b)
+	filter := func(evs []Event) []Event {
+		var out []Event
+		for _, e := range evs {
+			if e.Class == ClassInterrupt {
+				out = append(out, e)
+			}
+		}
+		return out
+	}
+	ia, ib := filter(a.Trace()), filter(b.Trace())
+	if len(ia) == 0 {
+		t.Fatal("no interrupts delivered")
+	}
+	if !reflect.DeepEqual(ia, ib) {
+		t.Fatalf("interrupt schedule moved when outlier rate changed:\n%v\nvs\n%v", ia, ib)
+	}
+}
+
+func TestDisabledDrawsNothing(t *testing.T) {
+	inj := New(Config{}, newCore(), 42)
+	recs := []lbr.Record{{From: 1, To: 2, Cycles: 3}}
+	for i := 0; i < 1000; i++ {
+		inj.VictimTick()
+		inj.ProbeStep()
+		if out := inj.Records(recs); len(out) != 1 || out[0] != recs[0] {
+			t.Fatal("disabled injector mutated the records")
+		}
+	}
+	if inj.Events() != 0 {
+		t.Fatalf("disabled injector delivered %d events", inj.Events())
+	}
+	for cl := Class(0); cl < numClasses; cl++ {
+		if inj.draws[cl] != 0 {
+			t.Fatalf("disabled injector drew %d times from the %v stream", inj.draws[cl], cl)
+		}
+	}
+}
+
+func TestPolluterPreservesArchState(t *testing.T) {
+	core := newCore()
+	cfg := Config{CoRunnerRate: 1, PolluterJumps: 32}
+	inj := New(cfg, core, 1)
+
+	st := cpu.ArchState{PC: 0x1234}
+	st.Regs[3] = 0xDEAD
+	core.ContextSwitch(nil, &st)
+	before := core.Retired()
+
+	inj.VictimTick() // rate 1 → polluter slice fires
+
+	var now cpu.ArchState
+	core.ContextSwitch(&now, &st)
+	if now.PC != 0x1234 || now.Regs[3] != 0xDEAD {
+		t.Fatalf("polluter clobbered architectural state: %+v", now)
+	}
+	if core.Retired() == before {
+		t.Fatal("polluter did not execute")
+	}
+	if got, want := inj.Events(), uint64(1); got != want {
+		t.Fatalf("events = %d, want %d", got, want)
+	}
+	if ev := inj.Trace()[0]; ev.Class != ClassCoRunner || ev.Arg != 32 {
+		t.Fatalf("unexpected event %+v", ev)
+	}
+	// The polluter's jumps must have allocated BTB entries.
+	if core.BTB.ValidCount() == 0 {
+		t.Fatal("polluter allocated no BTB entries")
+	}
+}
+
+func TestOutlierMagnitudeBounded(t *testing.T) {
+	inj := New(Config{OutlierRate: 1}, newCore(), 5)
+	lim := inj.cfg.OutlierScale * 64
+	seen := uint64(0)
+	for i := 0; i < 5000; i++ {
+		m := inj.outlierMagnitude()
+		if float64(m) > lim {
+			t.Fatalf("outlier %d exceeds cap %f", m, lim)
+		}
+		if m > seen {
+			seen = m
+		}
+	}
+	// Heavy tail: the max over 5000 draws should be far beyond scale.
+	if seen < uint64(inj.cfg.OutlierScale*4) {
+		t.Fatalf("max outlier %d suspiciously small — tail not heavy", seen)
+	}
+}
+
+func TestClassConfig(t *testing.T) {
+	for _, name := range Classes() {
+		cfg, err := ClassConfig(name, 0.1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !cfg.Enabled() {
+			t.Fatalf("ClassConfig(%q) not enabled", name)
+		}
+	}
+	if _, err := ClassConfig("gamma-rays", 0.1); err == nil {
+		t.Fatal("unknown class accepted")
+	}
+}

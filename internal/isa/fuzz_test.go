@@ -1,0 +1,68 @@
+package isa
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzDecode feeds arbitrary byte soup to the instruction decoder. The
+// front end decodes at attacker-chosen mid-instruction addresses after
+// BTB false hits, so Decode must be total: any input either decodes or
+// returns a *DecodeErr, never panics. A successful decode must be
+// canonically re-encodable: Encode(Decode(buf)) decodes back to the
+// same instruction and re-encodes to the same bytes (a fixpoint —
+// non-canonical inputs like garbage high register nibbles may differ
+// from buf itself, but must converge after one round trip).
+func FuzzDecode(f *testing.F) {
+	// Seed with one well-formed encoding per instruction shape, plus
+	// classic confusers: truncations, an undefined opcode, empty input.
+	seeds := []Inst{
+		Nop(),
+		Ret(),
+		Hlt(),
+		Jmp8(-2),
+		Jmp32(0x1234),
+		Call32(-0x40),
+		MovImm64(R3, 0xDEAD_BEEF_CAFE_F00D),
+		JmpReg(SP),
+		Syscall(1),
+	}
+	for _, in := range seeds {
+		f.Add(in.Encode(nil))
+	}
+	f.Add([]byte{})
+	f.Add([]byte{0x00})                         // undefined opcode
+	f.Add([]byte{0xFF, 0xFF, 0xFF})             // undefined opcode, trailing junk
+	f.Add(MovImm64(R1, 1).Encode(nil)[:4])      // truncated movabs
+	f.Add(append(Jmp32(8).Encode(nil), 0x90))   // valid + trailing byte
+
+	f.Fuzz(func(t *testing.T, buf []byte) {
+		in, err := Decode(buf)
+		if err != nil {
+			if _, ok := err.(*DecodeErr); !ok {
+				t.Fatalf("Decode error has type %T, want *DecodeErr", err)
+			}
+			return
+		}
+		if in.Size < 1 || in.Size > MaxLen {
+			t.Fatalf("decoded size %d outside [1, %d]", in.Size, MaxLen)
+		}
+		if in.Size > len(buf) {
+			t.Fatalf("decoded size %d exceeds input length %d", in.Size, len(buf))
+		}
+		if in.String() == "" {
+			t.Fatal("decoded instruction has empty disassembly")
+		}
+		enc := in.Encode(nil) // must not panic: decoded immediates are in range
+		if len(enc) != in.Size {
+			t.Fatalf("re-encoded length %d != decoded size %d", len(enc), in.Size)
+		}
+		in2, err := Decode(enc)
+		if err != nil {
+			t.Fatalf("re-encoding does not decode: %v", err)
+		}
+		if enc2 := in2.Encode(nil); !bytes.Equal(enc2, enc) {
+			t.Fatalf("encoding is not a fixpoint: % x -> % x", enc, enc2)
+		}
+	})
+}

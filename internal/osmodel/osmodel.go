@@ -61,6 +61,12 @@ type OS struct {
 	Core    *cpu.Core
 	current *Process
 
+	// OnTick, when non-nil, is called after every architectural step the
+	// OS retires in RunUntilStop/RunSlice — the hook point for the
+	// deterministic interference layer (timer interrupts, co-runner
+	// context switches) to perturb the machine mid-victim.
+	OnTick func()
+
 	yieldFlag bool
 }
 
@@ -129,6 +135,9 @@ func (o *OS) RunUntilStop(maxSteps uint64) (StopReason, error) {
 		if o.yieldFlag {
 			return StopYield, nil
 		}
+		if o.OnTick != nil {
+			o.OnTick()
+		}
 	}
 	return StopSteps, nil
 }
@@ -149,6 +158,9 @@ func (o *OS) RunSlice(n uint64) (StopReason, error) {
 		}
 		if err != nil {
 			return StopSteps, err
+		}
+		if o.OnTick != nil {
+			o.OnTick()
 		}
 	}
 	o.Core.Interrupt()

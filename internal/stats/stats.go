@@ -80,6 +80,32 @@ func Accuracy(got, want []bool) float64 {
 	return float64(ok) / float64(len(got))
 }
 
+// WilsonInterval returns the Wilson score confidence interval for a
+// binomial proportion of k successes in n trials at the given z value
+// (1.96 for 95%). Unlike the normal approximation it stays inside
+// [0, 1] and behaves sensibly near 0%/100% — exactly where accuracy
+// proportions from small robustness runs live. n <= 0 returns (0, 1)
+// (total ignorance).
+func WilsonInterval(k, n int, z float64) (lo, hi float64) {
+	if n <= 0 {
+		return 0, 1
+	}
+	p := float64(k) / float64(n)
+	nn := float64(n)
+	z2 := z * z
+	denom := 1 + z2/nn
+	center := (p + z2/(2*nn)) / denom
+	half := z / denom * math.Sqrt(p*(1-p)/nn+z2/(4*nn*nn))
+	lo, hi = center-half, center+half
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > 1 {
+		hi = 1
+	}
+	return lo, hi
+}
+
 // Scored pairs a label with a score, for rankings.
 type Scored struct {
 	Label string

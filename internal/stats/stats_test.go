@@ -110,3 +110,40 @@ func TestSeriesAndTable(t *testing.T) {
 		t.Error("empty table should still have a header")
 	}
 }
+
+func TestWilsonInterval(t *testing.T) {
+	// Known value: k=8, n=10, z=1.96 → Wilson interval ≈ [0.490, 0.943].
+	lo, hi := WilsonInterval(8, 10, 1.96)
+	if math.Abs(lo-0.4902) > 0.001 || math.Abs(hi-0.9433) > 0.001 {
+		t.Errorf("WilsonInterval(8,10) = [%f, %f], want ≈ [0.490, 0.943]", lo, hi)
+	}
+
+	// Degenerate inputs: no trials → the vacuous [0, 1].
+	if lo, hi := WilsonInterval(0, 0, 1.96); lo != 0 || hi != 1 {
+		t.Errorf("WilsonInterval(0,0) = [%f, %f], want [0, 1]", lo, hi)
+	}
+
+	// Extremes stay clamped to [0, 1] and never collapse to a point:
+	// k=0 still admits some success probability, k=n some failure.
+	if lo, hi := WilsonInterval(0, 20, 1.96); lo != 0 || hi <= 0 || hi >= 1 {
+		t.Errorf("WilsonInterval(0,20) = [%f, %f], want [0, small]", lo, hi)
+	}
+	if lo, hi := WilsonInterval(20, 20, 1.96); hi != 1 || lo >= 1 || lo <= 0 {
+		t.Errorf("WilsonInterval(20,20) = [%f, %f], want [large, 1]", lo, hi)
+	}
+
+	// The interval brackets the sample proportion and shrinks with n.
+	for _, n := range []int{10, 100, 1000} {
+		k := n / 2
+		lo, hi := WilsonInterval(k, n, 1.96)
+		p := float64(k) / float64(n)
+		if lo > p || hi < p {
+			t.Errorf("n=%d: interval [%f, %f] does not bracket p=%f", n, lo, hi, p)
+		}
+	}
+	lo1, hi1 := WilsonInterval(5, 10, 1.96)
+	lo2, hi2 := WilsonInterval(500, 1000, 1.96)
+	if hi2-lo2 >= hi1-lo1 {
+		t.Errorf("interval did not shrink with n: width %f vs %f", hi2-lo2, hi1-lo1)
+	}
+}
