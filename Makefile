@@ -1,0 +1,23 @@
+# NightVision build/test/bench entry points.
+
+.PHONY: build test race bench smoke
+
+build:
+	go build ./...
+
+test:
+	go test ./...
+
+race:
+	go test -race -short ./...
+
+# bench records the perf trajectory: every benchmark once (the repo's
+# benchmarks are deterministic reproductions, so one iteration is the
+# figure; timing trends live in ns/op), parsed into BENCH_runner.json.
+bench:
+	go test -run '^$$' -bench . -short -benchtime 1x -benchmem | go run ./cmd/benchjson -o BENCH_runner.json
+
+# smoke starts nightvisiond, submits a Figure 2 job, polls it to
+# completion and verifies the cache-hit path — the same flow CI runs.
+smoke:
+	./scripts/daemon_smoke.sh

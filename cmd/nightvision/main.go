@@ -4,6 +4,12 @@
 // Usage:
 //
 //	nightvision [flags] <experiment>
+//	nightvision -list
+//
+// Every experiment is dispatched through the typed registry
+// (internal/registry) — the same entries cmd/nightvisiond serves over
+// HTTP — so `-list` enumerates what both binaries know, and `-json`
+// emits exactly the bytes the daemon would cache and return.
 //
 // Experiments:
 //
@@ -21,12 +27,14 @@
 package main
 
 import (
+	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
-	"repro/internal/experiments"
-	"repro/internal/stats"
+	"repro/internal/registry"
 )
 
 func main() {
@@ -39,10 +47,19 @@ func main() {
 		topK     = flag.Int("top", 10, "entries of the fig12 ranking to print")
 		parallel = flag.Int("parallel", 0, "experiment engine workers (0 = GOMAXPROCS, 1 = serial; results identical)")
 		robust   = flag.Bool("robustness", false, "run the interference robustness sweep (same as the robustness experiment)")
+		list     = flag.Bool("list", false, "list registered experiments and exit")
+		asJSON   = flag.Bool("json", false, "emit results as JSON (the registry result types) instead of tables")
 	)
 	flag.Parse()
+	reg := registry.Experiments()
+
+	if *list {
+		printList(reg)
+		return
+	}
 	if flag.NArg() != 1 && !(*robust && flag.NArg() == 0) {
-		fmt.Fprintln(os.Stderr, "usage: nightvision [flags] fig2|fig4|leak|bncmp|fig12|fig13|noise|pressure|baseline|robustness|all")
+		fmt.Fprintf(os.Stderr, "usage: nightvision [flags] %s|all\n", strings.Join(reg.Names(), "|"))
+		fmt.Fprintln(os.Stderr, "       nightvision -list")
 		os.Exit(2)
 	}
 	seedSet := false
@@ -59,213 +76,94 @@ func main() {
 		fmt.Fprintln(os.Stderr, "nightvision: -parallel must be >= 0")
 		os.Exit(2)
 	}
-	cfg := experiments.Config{Iters: *iters, Noise: *noise, Seed: *seed, Workers: *parallel}
 
-	if *robust && flag.NArg() == 0 {
-		if err := runRobustness(cfg, *runs); err != nil {
+	// CLI flag values become schema parameter overrides wherever the
+	// experiment declares the parameter; entries without it ignore the
+	// flag, exactly like the old per-experiment dispatch did.
+	overrides := map[string]any{
+		"iters":  *iters,
+		"runs":   *runs,
+		"corpus": *corpus,
+		"noise":  *noise,
+		"top":    *topK,
+	}
+
+	name := "robustness"
+	if flag.NArg() == 1 {
+		name = flag.Arg(0)
+	}
+
+	names := []string{name}
+	if name == "all" {
+		names = names[:0]
+		for _, e := range reg.List() {
+			names = append(names, e.Name)
+		}
+	}
+	for i, n := range names {
+		if err := runOne(reg, n, overrides, *seed, *parallel, *asJSON); err != nil {
 			fmt.Fprintln(os.Stderr, "nightvision:", err)
 			os.Exit(1)
 		}
-		return
-	}
-
-	var run func(name string) error
-	run = func(name string) error {
-		switch name {
-		case "fig2":
-			return runFig2(cfg)
-		case "fig4":
-			return runFig4(cfg)
-		case "leak":
-			return runLeak(cfg, *runs)
-		case "bncmp":
-			return runBnCmp(cfg, *runs)
-		case "fig12":
-			return runFig12(cfg, *corpus, *topK)
-		case "fig13":
-			return runFig13(cfg)
-		case "noise":
-			return runNoise(cfg, *runs)
-		case "pressure":
-			return runPressure(cfg)
-		case "baseline":
-			return runBaseline(cfg, *corpus)
-		case "robustness":
-			return runRobustness(cfg, *runs)
-		case "all":
-			for _, n := range []string{"fig2", "fig4", "leak", "bncmp", "fig12", "fig13", "noise", "pressure", "baseline", "robustness"} {
-				if err := run(n); err != nil {
-					return err
-				}
-				fmt.Println()
-			}
-			return nil
+		if !*asJSON && i < len(names)-1 {
+			fmt.Println()
 		}
+	}
+}
+
+func runOne(reg *registry.Registry, name string, overrides map[string]any, seed uint64, workers int, asJSON bool) error {
+	exp, ok := reg.Get(name)
+	if !ok {
 		return fmt.Errorf("unknown experiment %q", name)
 	}
-	if err := run(flag.Arg(0)); err != nil {
-		fmt.Fprintln(os.Stderr, "nightvision:", err)
-		os.Exit(1)
-	}
-}
-
-func runFig2(cfg experiments.Config) error {
-	fmt.Println("== Figure 2: BTB deallocation by non-control-transfer instructions ==")
-	with, without, err := experiments.Figure2(cfg)
-	if err != nil {
-		return err
-	}
-	fmt.Print(stats.Table("F2 offset", with, without))
-	in, out := experiments.Figure2Gap(with, without)
-	fmt.Printf("mean gap: collision range %.2f cycles, outside %.2f cycles\n", in, out)
-	fmt.Println("paper: clear gap while F2 < F1+2, none after (Takeaway 1)")
-	return nil
-}
-
-func runFig4(cfg experiments.Config) error {
-	fmt.Println("== Figure 4: prediction-window range semantics ==")
-	with, without, err := experiments.Figure4(cfg)
-	if err != nil {
-		return err
-	}
-	fmt.Print(stats.Table("F1 offset", with, without))
-	in, out, slope := experiments.Figure4Gap(with, without)
-	fmt.Printf("mean gap: range-hit %.2f cycles, outside %.2f; control slope %.2f cyc/nop\n", in, out, slope)
-	fmt.Println("paper: constant gap while F1 < F2+2, declining control line (Takeaway 2)")
-	return nil
-}
-
-func runLeak(cfg experiments.Config, runs int) error {
-	fmt.Println("== Use case 1: control-flow leakage on defended GCD (§7.2) ==")
-	res, err := experiments.UseCase1GCD(cfg, runs, experiments.AllDefenses())
-	if err != nil {
-		return err
-	}
-	fmt.Printf("balancing+alignment+CFR: %v\n", res)
-	fmt.Println("paper: 99.3% accuracy, ~30 iterations/run, defenses ineffective")
-	return nil
-}
-
-func runBnCmp(cfg experiments.Config, runs int) error {
-	fmt.Println("== Use case 1b: control-flow leakage on bn_cmp (§7.2) ==")
-	res, err := experiments.UseCase1BnCmp(cfg, runs, experiments.AllDefenses())
-	if err != nil {
-		return err
-	}
-	fmt.Printf("%v\n", res)
-	fmt.Println("paper: 100% accuracy over 100 runs")
-	return nil
-}
-
-func runFig12(cfg experiments.Config, corpusN, topK int) error {
-	fmt.Printf("== Figure 12: fingerprinting vs %d-function corpus (§7.3) ==\n", corpusN)
-	results, err := experiments.Figure12(cfg, corpusN, topK)
-	if err != nil {
-		return err
-	}
-	for _, r := range results {
-		fmt.Printf("reference %s: self-similarity %.3f (rank %d), best impostor %.3f\n",
-			r.Reference, r.SelfSimilarity, r.SelfRank, r.BestImpostor)
-		for i, s := range r.Top {
-			fmt.Printf("  #%-3d %-16s %.3f\n", i+1, s.Label, s.Score)
+	raw := make(map[string]any)
+	for _, p := range exp.Params {
+		if v, ok := overrides[p.Name]; ok {
+			raw[p.Name] = v
 		}
 	}
-	fmt.Println("paper: true function ranks #1 (self-similarity 75.8% GCD, 88.2% bn_cmp)")
-	return nil
-}
-
-func runFig13(cfg experiments.Config) error {
-	fmt.Println("== Figure 13 (left): GCD similarity across mbedTLS versions ==")
-	m, err := experiments.Figure13Versions(cfg)
+	values, err := exp.Resolve(raw)
 	if err != nil {
 		return err
 	}
-	printMatrix(m)
-	fmt.Println("\n== Figure 13 (right): GCD similarity across optimization flags ==")
-	m, err = experiments.Figure13OptLevels(cfg)
+	res, err := exp.Run(registry.RunContext{
+		Ctx:     context.Background(),
+		Seed:    seed,
+		Workers: workers,
+		Values:  values,
+	})
 	if err != nil {
 		return err
 	}
-	printMatrix(m)
-	fmt.Println("paper: high within implementation/flag clusters, low across")
-	return nil
-}
-
-func printMatrix(m *experiments.SimilarityMatrix) {
-	fmt.Printf("%-8s", "")
-	for _, l := range m.Labels {
-		fmt.Printf(" %6s", l)
-	}
-	fmt.Println()
-	for i, row := range m.Cells {
-		fmt.Printf("%-8s", m.Labels[i])
-		for _, v := range row {
-			fmt.Printf(" %6.3f", v)
+	if asJSON {
+		// One object per experiment, wrapped with its name so `all`
+		// emits a self-describing JSON stream — the result bytes are
+		// the same serialization the daemon caches and serves.
+		payload, err := json.Marshal(res)
+		if err != nil {
+			return err
 		}
-		fmt.Println()
+		out, err := json.MarshalIndent(struct {
+			Experiment string          `json:"experiment"`
+			Seed       uint64          `json:"seed"`
+			Config     registry.Values `json:"config"`
+			Result     json.RawMessage `json:"result"`
+		}{Experiment: name, Seed: seed, Config: values, Result: payload}, "", "  ")
+		if err != nil {
+			return err
+		}
+		fmt.Println(string(out))
+		return nil
 	}
-}
-
-func runNoise(cfg experiments.Config, runs int) error {
-	fmt.Println("== Leakage accuracy vs measurement noise (footnote 2) ==")
-	if runs > 10 {
-		runs = 10
-	}
-	acc, err := experiments.NoiseSweep(cfg, []float64{0, 1, 2, 4, 8, 16, 32}, runs)
-	if err != nil {
-		return err
-	}
-	fmt.Print(stats.Table("sigma", acc))
-	fmt.Println("paper: LBR is orders of magnitude less noisy than rdtsc; accuracy holds")
-	fmt.Println("while sigma stays below the misprediction bubble (8-17 cycles)")
+	fmt.Println(res.Human())
 	return nil
 }
 
-func runRobustness(cfg experiments.Config, runs int) error {
-	fmt.Println("== Robustness: leakage accuracy vs injected interference ==")
-	if runs > 25 {
-		runs = 25
+func printList(reg *registry.Registry) {
+	for _, e := range reg.List() {
+		fmt.Printf("%-11s %s\n", e.Name, e.Description)
+		for _, p := range e.Params {
+			fmt.Printf("    %-8s %-6s default %-6v %s\n", p.Name, p.Kind, p.Default, p.Description)
+		}
 	}
-	res, err := experiments.RobustnessSweep(cfg, nil, runs)
-	if err != nil {
-		return err
-	}
-	fmt.Println(res)
-	fmt.Println("model: deterministic seed-driven faults (timer interrupts, co-runner BTB")
-	fmt.Println("pollution, LBR loss/flush, heavy-tailed outliers); the paper survives the")
-	fmt.Println("real-machine equivalents with repetition and majority voting (§7)")
-	return nil
-}
-
-func runPressure(cfg experiments.Config) error {
-	fmt.Println("== BTB pressure vs victim fragment length (§4.2) ==")
-	hit, falsePos, err := experiments.FragmentPressure(cfg, []int{0, 64, 256, 1024, 2048, 4096, 8192}, 8)
-	if err != nil {
-		return err
-	}
-	fmt.Print(stats.Table("filler", hit, falsePos))
-	fmt.Println("paper: victim time slices must stay short or attacker entries are evicted")
-	return nil
-}
-
-func runBaseline(cfg experiments.Config, corpusN int) error {
-	fmt.Println("== Baselines: observation granularity ==")
-	if corpusN > 1000 {
-		corpusN = 1000
-	}
-	results, err := experiments.GranularityComparison(cfg, corpusN)
-	if err != nil {
-		return err
-	}
-	for _, r := range results {
-		fmt.Println(r.String())
-	}
-	fmt.Println("\n== §8.3 extension: sequence alignment vs set intersection ==")
-	res, err := experiments.SequenceVsSet(cfg, corpusN)
-	if err != nil {
-		return err
-	}
-	fmt.Printf("set:      self %.3f, impostor %.3f, separation %.3f\n", res.SetSelf, res.SetImpostor, res.SetSeparation())
-	fmt.Printf("sequence: self %.3f, impostor %.3f, separation %.3f\n", res.SeqSelf, res.SeqImpostor, res.SeqSeparation())
-	return nil
 }

@@ -1,0 +1,107 @@
+// Command nightvisiond serves the NightVision experiment suite over
+// HTTP: a bounded job engine (internal/jobs) in front of the typed
+// experiment registry (internal/registry), with a content-addressed
+// result cache (internal/store) so any (experiment, config, seed) cell
+// is computed at most once per code version.
+//
+// Endpoints:
+//
+//	POST   /v1/jobs         submit {"experiment","params","seed","priority"}
+//	GET    /v1/jobs         list all jobs
+//	GET    /v1/jobs/{id}    poll one job (result inlined when done)
+//	DELETE /v1/jobs/{id}    cancel a job
+//	GET    /v1/experiments  registered experiments + config schemas
+//	GET    /v1/healthz      liveness + cache statistics
+//	GET    /debug/pprof/    standard Go profiling
+//
+// SIGINT/SIGTERM drain gracefully: intake stops, queued jobs are
+// canceled, in-flight jobs finish (bounded by -drain-timeout), then the
+// HTTP server shuts down.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/jobs"
+	"repro/internal/registry"
+	"repro/internal/store"
+)
+
+func main() {
+	var (
+		addr         = flag.String("addr", "127.0.0.1:7777", "listen address")
+		workers      = flag.Int("workers", 0, "concurrent jobs (0 = GOMAXPROCS)")
+		expWorkers   = flag.Int("exp-workers", 1, "internal/runner workers per job (results identical for any value)")
+		queueDepth   = flag.Int("queue", 256, "max queued jobs before submissions are rejected")
+		cacheMem     = flag.Int("cache-mem", 1024, "in-memory cache entries")
+		cacheDir     = flag.String("cache-dir", "", "on-disk cache directory (empty = memory only)")
+		maxConc      = flag.Int("max-concurrent", 64, "max simultaneously served API requests")
+		reqTimeout   = flag.Duration("request-timeout", 30*time.Second, "per-request handler timeout")
+		drainTimeout = flag.Duration("drain-timeout", 2*time.Minute, "max wait for in-flight jobs on shutdown")
+	)
+	flag.Parse()
+	if err := run(*addr, *workers, *expWorkers, *queueDepth, *cacheMem, *cacheDir, *maxConc, *reqTimeout, *drainTimeout); err != nil {
+		fmt.Fprintln(os.Stderr, "nightvisiond:", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr string, workers, expWorkers, queueDepth, cacheMem int, cacheDir string, maxConc int, reqTimeout, drainTimeout time.Duration) error {
+	st, err := store.New(cacheMem, cacheDir)
+	if err != nil {
+		return err
+	}
+	reg := registry.Experiments()
+	engine := jobs.New(jobs.Config{
+		Registry:   reg,
+		Store:      st,
+		Workers:    workers,
+		ExpWorkers: expWorkers,
+		QueueDepth: queueDepth,
+	})
+	a := &api{engine: engine, reg: reg, store: st, start: time.Now()}
+
+	srv := &http.Server{
+		Addr:              addr,
+		Handler:           newHandler(a, maxConc, reqTimeout),
+		ReadHeaderTimeout: 10 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() {
+		log.Printf("nightvisiond listening on %s (workers=%d, cache-dir=%q, code version %s)",
+			addr, workers, cacheDir, registry.CodeVersion)
+		errc <- srv.ListenAndServe()
+	}()
+
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+
+	log.Printf("signal received; draining jobs (up to %v)", drainTimeout)
+	drainCtx, cancel := context.WithTimeout(context.Background(), drainTimeout)
+	defer cancel()
+	if err := engine.Shutdown(drainCtx); err != nil {
+		log.Printf("job drain incomplete: %v", err)
+	}
+	if err := srv.Shutdown(drainCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		return err
+	}
+	log.Printf("shutdown complete")
+	return nil
+}

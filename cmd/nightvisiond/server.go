@@ -1,0 +1,167 @@
+package main
+
+// The HTTP surface of nightvisiond, kept separate from main so the
+// httptest-based tests (and the CI smoke script's in-process analog)
+// exercise exactly what the binary serves.
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/pprof"
+	"time"
+
+	"repro/internal/jobs"
+	"repro/internal/registry"
+	"repro/internal/store"
+)
+
+// api bundles the daemon's dependencies.
+type api struct {
+	engine *jobs.Engine
+	reg    *registry.Registry
+	store  *store.Store
+	start  time.Time
+}
+
+// experimentInfo is one row of GET /v1/experiments.
+type experimentInfo struct {
+	Name        string           `json:"name"`
+	Description string           `json:"description"`
+	Params      []registry.Param `json:"params"`
+}
+
+// healthInfo is GET /v1/healthz.
+type healthInfo struct {
+	Status      string      `json:"status"`
+	UptimeSec   float64     `json:"uptime_sec"`
+	CodeVersion string      `json:"code_version"`
+	Jobs        int         `json:"jobs"`
+	Cache       store.Stats `json:"cache"`
+}
+
+// errorBody is every non-2xx JSON payload.
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+// newHandler builds the daemon's routed handler. maxConcurrent bounds
+// simultaneously served API requests (pprof is exempt so profiling
+// stays possible under saturation); reqTimeout bounds API handler time.
+func newHandler(a *api, maxConcurrent int, reqTimeout time.Duration) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /v1/healthz", a.handleHealthz)
+	mux.HandleFunc("GET /v1/experiments", a.handleExperiments)
+	mux.HandleFunc("POST /v1/jobs", a.handleSubmit)
+	mux.HandleFunc("GET /v1/jobs", a.handleJobList)
+	mux.HandleFunc("GET /v1/jobs/{id}", a.handleJobGet)
+	mux.HandleFunc("DELETE /v1/jobs/{id}", a.handleJobCancel)
+
+	var limited http.Handler = mux
+	if reqTimeout > 0 {
+		limited = http.TimeoutHandler(mux, reqTimeout, `{"error":"request timed out"}`)
+	}
+	if maxConcurrent > 0 {
+		sem := make(chan struct{}, maxConcurrent)
+		inner := limited
+		limited = http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			select {
+			case sem <- struct{}{}:
+				defer func() { <-sem }()
+				inner.ServeHTTP(w, r)
+			default:
+				writeJSON(w, http.StatusServiceUnavailable, errorBody{Error: "server at concurrency limit"})
+			}
+		})
+	}
+
+	root := http.NewServeMux()
+	root.Handle("/v1/", limited)
+	root.HandleFunc("/debug/pprof/", pprof.Index)
+	root.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	root.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	root.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	root.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return root
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func (a *api) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	var cs store.Stats
+	if a.store != nil {
+		cs = a.store.Stats()
+	}
+	writeJSON(w, http.StatusOK, healthInfo{
+		Status:      "ok",
+		UptimeSec:   time.Since(a.start).Seconds(),
+		CodeVersion: registry.CodeVersion,
+		Jobs:        len(a.engine.List()),
+		Cache:       cs,
+	})
+}
+
+func (a *api) handleExperiments(w http.ResponseWriter, r *http.Request) {
+	list := a.reg.List()
+	out := make([]experimentInfo, 0, len(list))
+	for _, e := range list {
+		out = append(out, experimentInfo{Name: e.Name, Description: e.Description, Params: e.Params})
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (a *api) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var req jobs.Request
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: "bad request body: " + err.Error()})
+		return
+	}
+	view, err := a.engine.Submit(req)
+	switch {
+	case errors.Is(err, jobs.ErrQueueFull):
+		writeJSON(w, http.StatusServiceUnavailable, errorBody{Error: err.Error()})
+		return
+	case errors.Is(err, jobs.ErrShutdown):
+		writeJSON(w, http.StatusServiceUnavailable, errorBody{Error: err.Error()})
+		return
+	case err != nil:
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: err.Error()})
+		return
+	}
+	w.Header().Set("Location", "/v1/jobs/"+view.ID)
+	status := http.StatusAccepted
+	if view.State.Terminal() {
+		status = http.StatusOK // cache hit: already done
+	}
+	writeJSON(w, status, view)
+}
+
+func (a *api) handleJobList(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, a.engine.List())
+}
+
+func (a *api) handleJobGet(w http.ResponseWriter, r *http.Request) {
+	view, ok := a.engine.Get(r.PathValue("id"))
+	if !ok {
+		writeJSON(w, http.StatusNotFound, errorBody{Error: "no such job"})
+		return
+	}
+	writeJSON(w, http.StatusOK, view)
+}
+
+func (a *api) handleJobCancel(w http.ResponseWriter, r *http.Request) {
+	view, err := a.engine.Cancel(r.PathValue("id"))
+	if err != nil {
+		writeJSON(w, http.StatusNotFound, errorBody{Error: err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, view)
+}

@@ -1,0 +1,155 @@
+package fingerprint
+
+// Edge cases of the slicing/matching pipeline: empty traces,
+// single-entry traces, and reconstructed (PC-only) traces — the shape
+// NV-S actually produces, where Size and Kind metadata are absent —
+// flowing through the set scorer and the §8.3 sequence matcher.
+
+import (
+	"testing"
+
+	"repro/internal/trace"
+)
+
+func TestSliceEmptyTrace(t *testing.T) {
+	if got := Slice(nil, nil); len(got) != 0 {
+		t.Fatalf("Slice(nil) = %v, want empty", got)
+	}
+	if got := Slice([]uint64{}, []bool{}); len(got) != 0 {
+		t.Fatalf("Slice(empty) = %v, want empty", got)
+	}
+}
+
+func TestSliceSingleEntryTrace(t *testing.T) {
+	// One PC: no transfer can be observed, no frame is ever opened.
+	got := Slice([]uint64{0x40_0000}, []bool{true})
+	if len(got) != 0 {
+		t.Fatalf("Slice(single) = %v, want empty (top level is not emitted)", got)
+	}
+}
+
+func TestSliceTwoEntryCallOnly(t *testing.T) {
+	// A single far data-touching transfer opens a frame whose function
+	// body then receives exactly one PC (the entry itself).
+	got := Slice([]uint64{0x40_0000, 0x50_0000}, []bool{true, true})
+	if len(got) != 1 {
+		t.Fatalf("Slice = %v, want one unreturned frame", got)
+	}
+	if got[0].Entry != 0x50_0000 || len(got[0].PCs) != 1 || got[0].PCs[0] != 0x50_0000 {
+		t.Fatalf("frame = %+v", got[0])
+	}
+}
+
+func TestNormalizedSetAndSequenceEmpty(t *testing.T) {
+	var ft FuncTrace
+	if s := ft.NormalizedSet(); len(s) != 0 {
+		t.Fatalf("empty trace set = %v", s)
+	}
+	if seq := ft.NormalizedSequence(); len(seq) != 0 {
+		t.Fatalf("empty trace sequence = %v", seq)
+	}
+}
+
+func TestSingleEntryFuncTraceThroughScorers(t *testing.T) {
+	ft := FuncTrace{Entry: 0x50_0000, PCs: []uint64{0x50_0000}}
+	ref := NewReference("only", []uint64{0})
+	if sim := Similarity(ft.NormalizedSet(), ref); sim != 1.0 {
+		t.Fatalf("single-entry set similarity = %v, want 1.0", sim)
+	}
+	sr := SequenceReference{Name: "only", Traces: [][]uint64{{0}}}
+	if s := sr.SequenceScore(ft.NormalizedSequence()); s != 1.0 {
+		t.Fatalf("single-entry sequence score = %v, want 1.0", s)
+	}
+}
+
+func TestSimilarityEmptyVictimAndEmptyReference(t *testing.T) {
+	ref := NewReference("f", []uint64{0, 4, 8})
+	if sim := Similarity(map[uint64]bool{}, ref); sim != 0 {
+		t.Fatalf("empty victim similarity = %v, want 0", sim)
+	}
+	empty := NewReference("empty", nil)
+	if sim := Similarity(map[uint64]bool{0: true}, empty); sim != 0 {
+		t.Fatalf("similarity against empty reference = %v, want 0", sim)
+	}
+}
+
+func TestSequenceSimilarityEmptyInputs(t *testing.T) {
+	if s := SequenceSimilarity(nil, []uint64{1, 2, 3}); s != 0 {
+		t.Fatalf("empty victim = %v, want 0", s)
+	}
+	if s := SequenceSimilarity([]uint64{1, 2, 3}, nil); s != 0 {
+		t.Fatalf("empty reference = %v, want 0", s)
+	}
+	var sr SequenceReference
+	if s := sr.SequenceScore([]uint64{1}); s != 0 {
+		t.Fatalf("reference with no traces = %v, want 0", s)
+	}
+}
+
+// TestReconstructedTraceThroughSequenceMatcher drives a PC-only
+// reconstructed trace (trace.FromPCs: Size=0, Kind unknown — what the
+// attack actually recovers) through slicing and both scorers, and
+// checks it matches the ground-truth-derived fingerprint of the same
+// execution.
+func TestReconstructedTraceThroughSequenceMatcher(t *testing.T) {
+	// Synthetic execution: driver calls f at 0x50_0000 (loop of three
+	// instructions run twice), f returns to the driver.
+	pcs := []uint64{
+		0x40_0000,                       // driver: call site
+		0x50_0000, 0x50_0004, 0x50_0008, // f, iteration 1
+		0x50_0000, 0x50_0004, 0x50_0008, // f, iteration 2
+		0x40_0004, // back in the driver
+	}
+	data := []bool{true, false, false, true, false, false, true, true}
+
+	// Reconstructed form: PCs only, metadata stripped.
+	rec := trace.FromPCs(pcs)
+	for _, e := range rec {
+		if e.Size != 0 {
+			t.Fatalf("FromPCs kept metadata: %+v", e)
+		}
+	}
+
+	sliced := Slice(rec.PCs(), data)
+	if len(sliced) != 1 {
+		t.Fatalf("sliced %d functions, want 1", len(sliced))
+	}
+	ft := sliced[0]
+	if ft.Entry != 0x50_0000 || len(ft.PCs) != 6 {
+		t.Fatalf("sliced frame = %+v", ft)
+	}
+
+	// Set scorer: the reference knows the three static offsets.
+	ref := NewReference("f", []uint64{0, 4, 8})
+	if sim := Similarity(ft.NormalizedSet(), ref); sim != 1.0 {
+		t.Fatalf("set similarity = %v, want 1.0", sim)
+	}
+
+	// Sequence scorer: the reference execution is the same loop run
+	// offline by the attacker; the reconstructed victim sequence must
+	// align perfectly, and a decoy must not.
+	sr := SequenceReference{Name: "f", Traces: [][]uint64{{0, 4, 8, 0, 4, 8}}}
+	if s := sr.SequenceScore(ft.NormalizedSequence()); s != 1.0 {
+		t.Fatalf("sequence score = %v, want 1.0", s)
+	}
+	decoy := SequenceReference{Name: "g", Traces: [][]uint64{{0, 16, 32, 48}}}
+	if s := decoy.SequenceScore(ft.NormalizedSequence()); s >= 0.5 {
+		t.Fatalf("decoy sequence score = %v, want < 0.5", s)
+	}
+}
+
+// TestReconstructedTraceWithDroppedStep: NV-S occasionally loses a
+// step; the sequence matcher must degrade gracefully (LCS tolerates a
+// deletion) while position-sensitive set scoring is unaffected.
+func TestReconstructedTraceWithDroppedStep(t *testing.T) {
+	full := []uint64{0, 4, 8, 12, 16, 20}
+	dropped := []uint64{0, 4, 12, 16, 20} // lost the 8
+	sr := SequenceReference{Name: "f", Traces: [][]uint64{full}}
+	got := sr.SequenceScore(dropped)
+	if got != 1.0 { // every surviving step still aligns in order
+		t.Fatalf("dropped-step sequence score = %v, want 1.0", got)
+	}
+	if s := SequenceSimilarity(full, dropped); s >= 1.0 {
+		t.Fatalf("reverse direction should lose the missing step: %v", s)
+	}
+}

@@ -1,0 +1,466 @@
+// Package jobs is the bounded experiment job engine: a priority-FIFO
+// queue drained by a persistent runner.Pool, fronted by the
+// content-addressed result cache in internal/store.
+//
+// Submit resolves the experiment's config against its registry schema,
+// derives the cache key, and either answers instantly from the store
+// (the job is born "done", FromCache=true) or enqueues. Workers pull
+// the highest-priority oldest job; each run is panic-isolated — a
+// panicking experiment fails only its own job, never a worker or the
+// engine. Shutdown stops intake, cancels everything still queued, and
+// drains jobs already in flight.
+package jobs
+
+import (
+	"container/heap"
+	"context"
+	"encoding/json"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/registry"
+	"repro/internal/runner"
+	"repro/internal/store"
+)
+
+// State is a job's lifecycle phase.
+type State string
+
+const (
+	StateQueued   State = "queued"
+	StateRunning  State = "running"
+	StateDone     State = "done"
+	StateFailed   State = "failed"
+	StateCanceled State = "canceled"
+)
+
+// Terminal reports whether no further transitions can happen.
+func (s State) Terminal() bool {
+	return s == StateDone || s == StateFailed || s == StateCanceled
+}
+
+// Request is one job submission.
+type Request struct {
+	// Experiment is a registry name (see GET /v1/experiments).
+	Experiment string `json:"experiment"`
+	// Params overrides the experiment's schema defaults; unknown or
+	// mistyped parameters reject the submission.
+	Params map[string]any `json:"params"`
+	// Seed is the experiment seed (0 = the repo-wide default 0xA11).
+	Seed uint64 `json:"seed"`
+	// Priority orders the queue: higher runs first; equal priorities
+	// run in submission order (FIFO).
+	Priority int `json:"priority"`
+}
+
+// View is an externally visible job snapshot (the daemon's JSON).
+type View struct {
+	ID         string          `json:"id"`
+	Experiment string          `json:"experiment"`
+	Config     registry.Values `json:"config"`
+	Seed       uint64          `json:"seed"`
+	Priority   int             `json:"priority"`
+	State      State           `json:"state"`
+	Progress   float64         `json:"progress"`
+	FromCache  bool            `json:"from_cache"`
+	Key        string          `json:"key"`
+	Error      string          `json:"error,omitempty"`
+	Result     json.RawMessage `json:"result,omitempty"`
+	EnqueuedAt time.Time       `json:"enqueued_at"`
+	StartedAt  *time.Time      `json:"started_at,omitempty"`
+	FinishedAt *time.Time      `json:"finished_at,omitempty"`
+}
+
+// job is the engine-internal record; every mutable field is guarded by
+// the engine mutex.
+type job struct {
+	id         string
+	seq        uint64
+	exp        *registry.Experiment
+	values     registry.Values
+	seed       uint64
+	priority   int
+	key        string
+	state      State
+	progress   float64
+	fromCache  bool
+	errMsg     string
+	result     []byte
+	enqueuedAt time.Time
+	startedAt  time.Time
+	finishedAt time.Time
+	cancel     context.CancelFunc
+	done       chan struct{} // closed on any terminal state
+	heapIdx    int           // -1 when not queued
+}
+
+// Config configures an Engine.
+type Config struct {
+	// Registry resolves experiment names; nil means the full default
+	// registry (registry.Experiments()).
+	Registry *registry.Registry
+	// Store caches results; nil disables caching (every submission
+	// computes).
+	Store *store.Store
+	// Workers bounds concurrently running jobs (runner semantics:
+	// <= 0 means GOMAXPROCS).
+	Workers int
+	// ExpWorkers is the internal/runner parallelism handed to each
+	// job's experiment. The default 1 keeps total goroutine growth at
+	// Workers; raise it when jobs are scarce and cores plentiful.
+	ExpWorkers int
+	// QueueDepth bounds queued-but-not-running jobs; submissions
+	// beyond it fail with ErrQueueFull. <= 0 means 1024.
+	QueueDepth int
+}
+
+// ErrQueueFull rejects submissions when the queue is at capacity.
+var ErrQueueFull = fmt.Errorf("jobs: queue full")
+
+// ErrShutdown rejects submissions after Shutdown began.
+var ErrShutdown = fmt.Errorf("jobs: engine shutting down")
+
+// Engine is the job service. Create with New, stop with Shutdown.
+type Engine struct {
+	reg        *registry.Registry
+	store      *store.Store
+	expWorkers int
+	queueCap   int
+
+	mu      sync.Mutex
+	cond    *sync.Cond
+	queue   jobHeap
+	jobs    map[string]*job
+	order   []string // insertion order, for List
+	nextID  uint64
+	nextSeq uint64
+	closed  bool
+
+	pool *runner.Pool
+}
+
+// New starts an engine with cfg.Workers pull workers.
+func New(cfg Config) *Engine {
+	reg := cfg.Registry
+	if reg == nil {
+		reg = registry.Experiments()
+	}
+	if cfg.ExpWorkers <= 0 {
+		cfg.ExpWorkers = 1
+	}
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = 1024
+	}
+	e := &Engine{
+		reg:        reg,
+		store:      cfg.Store,
+		expWorkers: cfg.ExpWorkers,
+		queueCap:   cfg.QueueDepth,
+		jobs:       make(map[string]*job),
+	}
+	e.cond = sync.NewCond(&e.mu)
+	e.pool = runner.StartPool(cfg.Workers, e.next)
+	return e
+}
+
+// Submit validates the request and either serves it from the cache or
+// enqueues it. The returned view is a consistent snapshot; poll Get for
+// progress.
+func (e *Engine) Submit(req Request) (View, error) {
+	exp, ok := e.reg.Get(req.Experiment)
+	if !ok {
+		return View{}, fmt.Errorf("jobs: unknown experiment %q", req.Experiment)
+	}
+	values, err := exp.Resolve(req.Params)
+	if err != nil {
+		return View{}, err
+	}
+	canon, err := exp.CanonicalConfig(values)
+	if err != nil {
+		return View{}, err
+	}
+	key := store.Key(exp.Name, canon, req.Seed, registry.CodeVersion)
+
+	var cached []byte
+	if e.store != nil {
+		cached, _ = e.store.Get(key)
+	}
+
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed {
+		return View{}, ErrShutdown
+	}
+	if cached == nil && e.queue.Len() >= e.queueCap {
+		return View{}, ErrQueueFull
+	}
+	e.nextID++
+	e.nextSeq++
+	j := &job{
+		id:         fmt.Sprintf("job-%d", e.nextID),
+		seq:        e.nextSeq,
+		exp:        exp,
+		values:     values,
+		seed:       req.Seed,
+		priority:   req.Priority,
+		key:        key,
+		enqueuedAt: time.Now().UTC(),
+		done:       make(chan struct{}),
+		heapIdx:    -1,
+	}
+	e.jobs[j.id] = j
+	e.order = append(e.order, j.id)
+	if cached != nil {
+		j.state = StateDone
+		j.progress = 1
+		j.fromCache = true
+		j.result = cached
+		j.finishedAt = j.enqueuedAt
+		close(j.done)
+		return e.viewLocked(j), nil
+	}
+	j.state = StateQueued
+	heap.Push(&e.queue, j)
+	e.cond.Signal()
+	return e.viewLocked(j), nil
+}
+
+// Get returns a job snapshot by ID.
+func (e *Engine) Get(id string) (View, bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	j, ok := e.jobs[id]
+	if !ok {
+		return View{}, false
+	}
+	return e.viewLocked(j), true
+}
+
+// List returns snapshots of every job in submission order.
+func (e *Engine) List() []View {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	out := make([]View, 0, len(e.order))
+	for _, id := range e.order {
+		out = append(out, e.viewLocked(e.jobs[id]))
+	}
+	return out
+}
+
+// Wait blocks until the job reaches a terminal state (or the context
+// expires), then returns its final snapshot.
+func (e *Engine) Wait(ctx context.Context, id string) (View, error) {
+	e.mu.Lock()
+	j, ok := e.jobs[id]
+	e.mu.Unlock()
+	if !ok {
+		return View{}, fmt.Errorf("jobs: no job %q", id)
+	}
+	select {
+	case <-j.done:
+		v, _ := e.Get(id)
+		return v, nil
+	case <-ctx.Done():
+		return View{}, ctx.Err()
+	}
+}
+
+// Cancel cancels a queued job immediately; a running job gets a
+// cooperative cancellation signal (its context is canceled) and keeps
+// its final state when it returns. Canceling a terminal job is a no-op.
+func (e *Engine) Cancel(id string) (View, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	j, ok := e.jobs[id]
+	if !ok {
+		return View{}, fmt.Errorf("jobs: no job %q", id)
+	}
+	switch j.state {
+	case StateQueued:
+		if j.heapIdx >= 0 {
+			heap.Remove(&e.queue, j.heapIdx)
+		}
+		e.finishLocked(j, StateCanceled, "canceled while queued", nil)
+	case StateRunning:
+		if j.cancel != nil {
+			j.cancel()
+		}
+	}
+	return e.viewLocked(j), nil
+}
+
+// Shutdown stops intake, cancels all queued jobs, asks running jobs to
+// stop (cooperatively), and waits for the workers to drain in-flight
+// work. It returns ctx.Err if the drain outlives the context.
+func (e *Engine) Shutdown(ctx context.Context) error {
+	e.mu.Lock()
+	if !e.closed {
+		e.closed = true
+		for e.queue.Len() > 0 {
+			j := heap.Pop(&e.queue).(*job)
+			e.finishLocked(j, StateCanceled, "engine shutdown", nil)
+		}
+		e.cond.Broadcast()
+	}
+	e.mu.Unlock()
+
+	drained := make(chan struct{})
+	go func() {
+		e.pool.Wait()
+		close(drained)
+	}()
+	select {
+	case <-drained:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// next is the runner.Pool pull source: block until a job is available
+// or the engine closes.
+func (e *Engine) next() (func(), bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for {
+		if e.queue.Len() > 0 {
+			j := heap.Pop(&e.queue).(*job)
+			ctx, cancel := context.WithCancel(context.Background())
+			j.state = StateRunning
+			j.startedAt = time.Now().UTC()
+			j.cancel = cancel
+			return func() { e.run(j, ctx) }, true
+		}
+		if e.closed {
+			return nil, false
+		}
+		e.cond.Wait()
+	}
+}
+
+// run executes one job on a pool worker. Panics in the experiment are
+// converted into a failed state for this job only.
+func (e *Engine) run(j *job, ctx context.Context) {
+	defer j.cancel()
+	var (
+		res registry.Result
+		err error
+	)
+	func() {
+		defer func() {
+			if r := recover(); r != nil {
+				err = fmt.Errorf("experiment panicked: %v", r)
+			}
+		}()
+		res, err = j.exp.Run(registry.RunContext{
+			Ctx:     ctx,
+			Seed:    j.seed,
+			Workers: e.expWorkers,
+			Values:  j.values,
+			Progress: func(frac float64) {
+				e.mu.Lock()
+				if frac > j.progress && frac <= 1 {
+					j.progress = frac
+				}
+				e.mu.Unlock()
+			},
+		})
+	}()
+
+	var payload []byte
+	state := StateDone
+	msg := ""
+	switch {
+	case err != nil && ctx.Err() != nil:
+		state, msg = StateCanceled, "canceled while running: "+err.Error()
+	case err != nil:
+		state, msg = StateFailed, err.Error()
+	default:
+		payload, err = json.Marshal(res)
+		if err != nil {
+			state, msg = StateFailed, "marshal result: "+err.Error()
+		}
+	}
+	if state == StateDone && e.store != nil {
+		if perr := e.store.Put(j.key, payload); perr != nil {
+			// The result is still good; a failed disk write only costs
+			// future cache hits.
+			msg = "cache write failed: " + perr.Error()
+		}
+	}
+	e.mu.Lock()
+	e.finishLocked(j, state, msg, payload)
+	e.mu.Unlock()
+}
+
+// finishLocked moves a job to a terminal state. Caller holds e.mu.
+func (e *Engine) finishLocked(j *job, state State, msg string, payload []byte) {
+	if j.state.Terminal() {
+		return
+	}
+	j.state = state
+	j.errMsg = msg
+	j.result = payload
+	if state == StateDone {
+		j.progress = 1
+	}
+	j.finishedAt = time.Now().UTC()
+	close(j.done)
+}
+
+func (e *Engine) viewLocked(j *job) View {
+	v := View{
+		ID:         j.id,
+		Experiment: j.exp.Name,
+		Config:     j.values,
+		Seed:       j.seed,
+		Priority:   j.priority,
+		State:      j.state,
+		Progress:   j.progress,
+		FromCache:  j.fromCache,
+		Key:        j.key,
+		Error:      j.errMsg,
+		Result:     append(json.RawMessage(nil), j.result...),
+		EnqueuedAt: j.enqueuedAt,
+	}
+	if !j.startedAt.IsZero() {
+		t := j.startedAt
+		v.StartedAt = &t
+	}
+	if !j.finishedAt.IsZero() {
+		t := j.finishedAt
+		v.FinishedAt = &t
+	}
+	return v
+}
+
+// jobHeap orders by priority descending, then seq ascending (FIFO
+// within a priority band).
+type jobHeap []*job
+
+func (h jobHeap) Len() int { return len(h) }
+func (h jobHeap) Less(i, k int) bool {
+	if h[i].priority != h[k].priority {
+		return h[i].priority > h[k].priority
+	}
+	return h[i].seq < h[k].seq
+}
+func (h jobHeap) Swap(i, k int) {
+	h[i], h[k] = h[k], h[i]
+	h[i].heapIdx = i
+	h[k].heapIdx = k
+}
+func (h *jobHeap) Push(x any) {
+	j := x.(*job)
+	j.heapIdx = len(*h)
+	*h = append(*h, j)
+}
+func (h *jobHeap) Pop() any {
+	old := *h
+	j := old[len(old)-1]
+	old[len(old)-1] = nil
+	j.heapIdx = -1
+	*h = old[:len(old)-1]
+	return j
+}

@@ -1,0 +1,437 @@
+package jobs
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/registry"
+	"repro/internal/store"
+)
+
+type fakeResult struct {
+	V string `json:"v"`
+}
+
+func (f fakeResult) Human() string { return f.V }
+
+// fakeRegistry builds a registry of controllable experiments:
+//   - "echo":  returns its parameter instantly
+//   - "block": parks on the returned gate until released (or ctx ends)
+//   - "panic": panics
+//   - "sleep": sleeps ~50ms then returns
+func fakeRegistry() (*registry.Registry, chan struct{}) {
+	gate := make(chan struct{})
+	r := registry.New()
+	r.Register(registry.Experiment{
+		Name:   "echo",
+		Params: []registry.Param{{Name: "n", Kind: registry.Int, Default: 1}},
+		Run: func(rc registry.RunContext) (registry.Result, error) {
+			return fakeResult{V: fmt.Sprintf("echo-%d", rc.Values.Int("n"))}, nil
+		},
+	})
+	r.Register(registry.Experiment{
+		Name:   "block",
+		Params: []registry.Param{{Name: "n", Kind: registry.Int, Default: 0}},
+		Run: func(rc registry.RunContext) (registry.Result, error) {
+			select {
+			case <-gate:
+				return fakeResult{V: "unblocked"}, nil
+			case <-rc.Ctx.Done():
+				return nil, rc.Ctx.Err()
+			}
+		},
+	})
+	r.Register(registry.Experiment{
+		Name:   "panic",
+		Params: []registry.Param{{Name: "n", Kind: registry.Int, Default: 0}},
+		Run: func(rc registry.RunContext) (registry.Result, error) {
+			panic("deliberate test panic")
+		},
+	})
+	r.Register(registry.Experiment{
+		Name:   "sleep",
+		Params: []registry.Param{{Name: "n", Kind: registry.Int, Default: 0}},
+		Run: func(rc registry.RunContext) (registry.Result, error) {
+			time.Sleep(50 * time.Millisecond)
+			return fakeResult{V: "slept"}, nil
+		},
+	})
+	return r, gate
+}
+
+func shutdownOK(t *testing.T, e *Engine) {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := e.Shutdown(ctx); err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+}
+
+// TestCacheHitByteIdentical is the acceptance criterion end to end with
+// a real experiment: submitting the same (experiment, config, seed)
+// twice yields byte-identical JSON, the second answered from the cache,
+// with the store's hit counter advancing.
+func TestCacheHitByteIdentical(t *testing.T) {
+	st, err := store.New(16, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := New(Config{Store: st, Workers: 2})
+	defer shutdownOK(t, e)
+
+	req := Request{Experiment: "fig2", Params: map[string]any{"iters": 2}, Seed: 7}
+	v1, err := e.Submit(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v1.FromCache {
+		t.Fatal("first submission claimed a cache hit")
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	v1, err = e.Wait(ctx, v1.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v1.State != StateDone || len(v1.Result) == 0 {
+		t.Fatalf("first job: %+v", v1)
+	}
+
+	before := st.Stats().Hits
+	v2, err := e.Submit(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v2.FromCache || v2.State != StateDone {
+		t.Fatalf("second submission not served from cache: %+v", v2)
+	}
+	if !bytes.Equal(v1.Result, v2.Result) {
+		t.Fatalf("cache returned different bytes:\n%s\n%s", v1.Result, v2.Result)
+	}
+	if v1.Key != v2.Key {
+		t.Fatalf("keys differ: %s vs %s", v1.Key, v2.Key)
+	}
+	if after := st.Stats().Hits; after != before+1 {
+		t.Fatalf("hit counter %d -> %d, want +1", before, after)
+	}
+
+	// A different seed is a different cell.
+	v3, err := e.Submit(Request{Experiment: "fig2", Params: map[string]any{"iters": 2}, Seed: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v3.FromCache {
+		t.Fatal("different seed hit the cache")
+	}
+	if _, err := e.Wait(ctx, v3.ID); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestWorkersBounded proves the Workers bound: with 2 workers and 6
+// blocking jobs, at most 2 run concurrently and goroutine growth stays
+// small (run under -race in CI).
+func TestWorkersBounded(t *testing.T) {
+	reg, gate := fakeRegistry()
+	before := runtime.NumGoroutine()
+	e := New(Config{Registry: reg, Workers: 2})
+
+	var ids []string
+	for i := 0; i < 6; i++ {
+		v, err := e.Submit(Request{Experiment: "block", Params: map[string]any{"n": i}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, v.ID)
+	}
+	// Wait for the workers to pick up work.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		running := 0
+		for _, id := range ids {
+			if v, _ := e.Get(id); v.State == StateRunning {
+				running++
+			}
+		}
+		if running == 2 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("never reached 2 running jobs")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	running, queued := 0, 0
+	for _, id := range ids {
+		switch v, _ := e.Get(id); v.State {
+		case StateRunning:
+			running++
+		case StateQueued:
+			queued++
+		}
+	}
+	if running != 2 || queued != 4 {
+		t.Fatalf("running=%d queued=%d, want 2/4", running, queued)
+	}
+	// Engine adds exactly: 2 pool workers (+ a small constant for the
+	// test's own runtime noise).
+	if g := runtime.NumGoroutine(); g > before+2+4 {
+		t.Fatalf("goroutines grew %d -> %d with Workers=2", before, g)
+	}
+	close(gate)
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	for _, id := range ids {
+		if v, err := e.Wait(ctx, id); err != nil || v.State != StateDone {
+			t.Fatalf("job %s: %v %+v", id, err, v)
+		}
+	}
+	shutdownOK(t, e)
+}
+
+// TestPanicIsolatedToJob: a panicking experiment fails its own job; the
+// worker survives and runs the next job.
+func TestPanicIsolatedToJob(t *testing.T) {
+	reg, _ := fakeRegistry()
+	e := New(Config{Registry: reg, Workers: 1})
+	defer shutdownOK(t, e)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+
+	vp, err := e.Submit(Request{Experiment: "panic"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	vp, err = e.Wait(ctx, vp.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vp.State != StateFailed || vp.Error == "" {
+		t.Fatalf("panicking job: %+v", vp)
+	}
+
+	ve, err := e.Submit(Request{Experiment: "echo", Params: map[string]any{"n": 9}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ve, err = e.Wait(ctx, ve.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ve.State != StateDone || string(ve.Result) != `{"v":"echo-9"}` {
+		t.Fatalf("job after panic: %+v", ve)
+	}
+}
+
+// TestPriorityFIFO: with one busy worker, queued jobs drain highest
+// priority first, FIFO within a band.
+func TestPriorityFIFO(t *testing.T) {
+	reg, gate := fakeRegistry()
+
+	var mu sync.Mutex
+	var order []int
+	reg.Register(registry.Experiment{
+		Name:   "record",
+		Params: []registry.Param{{Name: "n", Kind: registry.Int, Default: 0}},
+		Run: func(rc registry.RunContext) (registry.Result, error) {
+			mu.Lock()
+			order = append(order, rc.Values.Int("n"))
+			mu.Unlock()
+			return fakeResult{V: "ok"}, nil
+		},
+	})
+	e := New(Config{Registry: reg, Workers: 1})
+	defer shutdownOK(t, e)
+
+	// Occupy the single worker so submissions below truly queue.
+	blocker, err := e.Submit(Request{Experiment: "block"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, e, blocker.ID, StateRunning)
+
+	var ids []string
+	submit := func(n, prio int) {
+		v, err := e.Submit(Request{Experiment: "record", Params: map[string]any{"n": n}, Priority: prio})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, v.ID)
+	}
+	submit(1, 0)
+	submit(2, 5)
+	submit(3, 0)
+	submit(4, 5)
+	close(gate)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	for _, id := range ids {
+		if _, err := e.Wait(ctx, id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	want := []int{2, 4, 1, 3}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("drain order %v, want %v", order, want)
+		}
+	}
+}
+
+// TestShutdownDrainsInFlight: a running job finishes during Shutdown;
+// queued jobs are canceled; later submissions are rejected.
+func TestShutdownDrainsInFlight(t *testing.T) {
+	reg, _ := fakeRegistry()
+	e := New(Config{Registry: reg, Workers: 1})
+
+	running, err := e.Submit(Request{Experiment: "sleep"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, e, running.ID, StateRunning)
+	queued, err := e.Submit(Request{Experiment: "echo"})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	shutdownOK(t, e)
+
+	if v, _ := e.Get(running.ID); v.State != StateDone {
+		t.Fatalf("in-flight job not drained: %+v", v)
+	}
+	if v, _ := e.Get(queued.ID); v.State != StateCanceled {
+		t.Fatalf("queued job not canceled: %+v", v)
+	}
+	if _, err := e.Submit(Request{Experiment: "echo"}); err != ErrShutdown {
+		t.Fatalf("post-shutdown Submit err = %v", err)
+	}
+}
+
+func TestCancelQueuedAndRunning(t *testing.T) {
+	reg, gate := fakeRegistry()
+	e := New(Config{Registry: reg, Workers: 1})
+
+	run1, err := e.Submit(Request{Experiment: "block"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, e, run1.ID, StateRunning)
+	q1, err := e.Submit(Request{Experiment: "echo"})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Cancel the queued job: immediate.
+	if v, err := e.Cancel(q1.ID); err != nil || v.State != StateCanceled {
+		t.Fatalf("cancel queued: %v %+v", err, v)
+	}
+	// Cancel the running job: cooperative via ctx.
+	if _, err := e.Cancel(run1.ID); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	v, err := e.Wait(ctx, run1.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.State != StateCanceled {
+		t.Fatalf("running job after cancel: %+v", v)
+	}
+	close(gate)
+	shutdownOK(t, e)
+}
+
+func TestQueueFullAndUnknownExperiment(t *testing.T) {
+	reg, gate := fakeRegistry()
+	e := New(Config{Registry: reg, Workers: 1, QueueDepth: 2})
+	defer func() { close(gate); shutdownOK(t, e) }()
+
+	if _, err := e.Submit(Request{Experiment: "nope"}); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+	if _, err := e.Submit(Request{Experiment: "echo", Params: map[string]any{"bogus": 1}}); err == nil {
+		t.Fatal("bad params accepted")
+	}
+
+	b, err := e.Submit(Request{Experiment: "block"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, e, b.ID, StateRunning)
+	for i := 0; i < 2; i++ {
+		if _, err := e.Submit(Request{Experiment: "block", Params: map[string]any{"n": i + 1}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := e.Submit(Request{Experiment: "block", Params: map[string]any{"n": 9}}); err != ErrQueueFull {
+		t.Fatalf("overfull Submit err = %v, want ErrQueueFull", err)
+	}
+}
+
+// TestDiskCacheAcrossEngineRestart: an engine over a disk-tier store
+// recomputes nothing after a "crash" (new engine + new store, same dir).
+func TestDiskCacheAcrossEngineRestart(t *testing.T) {
+	dir := t.TempDir()
+	req := Request{Experiment: "fig2", Params: map[string]any{"iters": 2}, Seed: 3}
+
+	st1, err := store.New(4, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e1 := New(Config{Store: st1, Workers: 1})
+	v1, err := e1.Submit(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	v1, err = e1.Wait(ctx, v1.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shutdownOK(t, e1)
+
+	st2, err := store.New(4, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e2 := New(Config{Store: st2, Workers: 1})
+	defer shutdownOK(t, e2)
+	v2, err := e2.Submit(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v2.FromCache {
+		t.Fatal("restarted engine recomputed a disk-cached cell")
+	}
+	if !bytes.Equal(v1.Result, v2.Result) {
+		t.Fatal("disk-cached bytes differ from the cold run")
+	}
+	if st2.Stats().DiskHits != 1 {
+		t.Fatalf("stats %+v", st2.Stats())
+	}
+}
+
+func waitState(t *testing.T, e *Engine, id string, want State) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if v, ok := e.Get(id); ok && v.State == want {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	v, _ := e.Get(id)
+	t.Fatalf("job %s never reached %s (now %s)", id, want, v.State)
+}

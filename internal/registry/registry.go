@@ -1,0 +1,268 @@
+// Package registry is the typed experiment registry: the single list of
+// every NightVision experiment, each with a name, description, config
+// schema with defaults, and a run function returning a JSON-serializable
+// result. cmd/nightvision dispatches CLI invocations through it and
+// cmd/nightvisiond serves it over HTTP; internal/jobs caches its results
+// content-addressed by (name, canonical config, seed, CodeVersion).
+package registry
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// CodeVersion names the current experiment-semantics generation and is
+// part of every cache key (internal/store). Bump it whenever any
+// experiment's output for a fixed (config, seed) can change — cached
+// cells from older generations then simply never match again.
+const CodeVersion = "nv3"
+
+// Kind is the type of a config parameter.
+type Kind string
+
+const (
+	Int   Kind = "int"
+	Float Kind = "float"
+	Bool  Kind = "bool"
+)
+
+// Param is one entry of an experiment's config schema.
+type Param struct {
+	Name        string `json:"name"`
+	Kind        Kind   `json:"kind"`
+	Default     any    `json:"default"` // int for Int, float64 for Float, bool for Bool
+	Description string `json:"description"`
+}
+
+// Values is a resolved parameter set: every schema parameter present,
+// with its declared Go type (int, float64 or bool).
+type Values map[string]any
+
+// Int returns an int parameter; it panics on a name or type that the
+// schema resolution could not have produced (a programming error).
+func (v Values) Int(name string) int {
+	x, ok := v[name].(int)
+	if !ok {
+		panic(fmt.Sprintf("registry: no int param %q", name))
+	}
+	return x
+}
+
+// Float returns a float64 parameter.
+func (v Values) Float(name string) float64 {
+	x, ok := v[name].(float64)
+	if !ok {
+		panic(fmt.Sprintf("registry: no float param %q", name))
+	}
+	return x
+}
+
+// Bool returns a bool parameter.
+func (v Values) Bool(name string) bool {
+	x, ok := v[name].(bool)
+	if !ok {
+		panic(fmt.Sprintf("registry: no bool param %q", name))
+	}
+	return x
+}
+
+// Result is what an experiment run returns: a JSON-marshalable value
+// (exported fields only, deterministic for a fixed config and seed)
+// that also renders the CLI's human-readable report. The CLI's -json
+// mode and the daemon marshal the same value, so both share one
+// serialization path.
+type Result interface {
+	Human() string
+}
+
+// RunContext carries the per-run inputs an experiment receives.
+type RunContext struct {
+	// Ctx is canceled when the job is canceled or the engine shuts
+	// down. Cancellation is cooperative: single-call experiments run to
+	// completion; multi-phase entries check between phases.
+	Ctx context.Context
+	// Seed is the experiment seed (0 = the package default 0xA11, as
+	// everywhere else in the repo).
+	Seed uint64
+	// Workers bounds the internal/runner engine parallelism. It is an
+	// execution detail, never part of the cache key: results are
+	// bit-identical for every value (PR 1's guarantee).
+	Workers int
+	// Values is the resolved config (defaults applied, types checked).
+	Values Values
+	// Progress, if non-nil, receives coarse completion fractions in
+	// [0, 1]. Entries report between phases; single-call experiments
+	// may never call it.
+	Progress func(frac float64)
+}
+
+// progress reports a fraction if a sink is attached.
+func (rc RunContext) progress(frac float64) {
+	if rc.Progress != nil {
+		rc.Progress(frac)
+	}
+}
+
+// Experiment is one registered experiment.
+type Experiment struct {
+	Name        string
+	Description string
+	Params      []Param
+	Run         func(rc RunContext) (Result, error)
+}
+
+// Defaults returns a fresh Values holding every parameter's default.
+func (e *Experiment) Defaults() Values {
+	v := make(Values, len(e.Params))
+	for _, p := range e.Params {
+		v[p.Name] = p.Default
+	}
+	return v
+}
+
+// Resolve merges raw (typically decoded from JSON, so numbers arrive as
+// float64) over the schema defaults. Unknown names, mistyped values,
+// non-integral values for Int params, and negative numbers are
+// rejected — every parameter in this repo is a count, size or stddev.
+func (e *Experiment) Resolve(raw map[string]any) (Values, error) {
+	v := e.Defaults()
+	for name, val := range raw {
+		p := e.param(name)
+		if p == nil {
+			return nil, fmt.Errorf("registry: experiment %q has no parameter %q", e.Name, name)
+		}
+		coerced, err := coerce(*p, val)
+		if err != nil {
+			return nil, fmt.Errorf("registry: %s.%s: %w", e.Name, name, err)
+		}
+		v[name] = coerced
+	}
+	return v, nil
+}
+
+func (e *Experiment) param(name string) *Param {
+	for i := range e.Params {
+		if e.Params[i].Name == name {
+			return &e.Params[i]
+		}
+	}
+	return nil
+}
+
+func coerce(p Param, val any) (any, error) {
+	switch p.Kind {
+	case Int:
+		switch x := val.(type) {
+		case int:
+			if x < 0 {
+				return nil, fmt.Errorf("must be >= 0, got %d", x)
+			}
+			return x, nil
+		case float64:
+			if x != math.Trunc(x) || math.IsInf(x, 0) || math.IsNaN(x) {
+				return nil, fmt.Errorf("must be an integer, got %v", x)
+			}
+			if x < 0 {
+				return nil, fmt.Errorf("must be >= 0, got %v", x)
+			}
+			return int(x), nil
+		case json.Number:
+			i, err := x.Int64()
+			if err != nil || i < 0 {
+				return nil, fmt.Errorf("must be a non-negative integer, got %v", x)
+			}
+			return int(i), nil
+		}
+	case Float:
+		switch x := val.(type) {
+		case float64:
+			if x < 0 || math.IsInf(x, 0) || math.IsNaN(x) {
+				return nil, fmt.Errorf("must be a finite non-negative number, got %v", x)
+			}
+			return x, nil
+		case int:
+			if x < 0 {
+				return nil, fmt.Errorf("must be >= 0, got %d", x)
+			}
+			return float64(x), nil
+		case json.Number:
+			f, err := x.Float64()
+			if err != nil || f < 0 {
+				return nil, fmt.Errorf("must be a non-negative number, got %v", x)
+			}
+			return f, nil
+		}
+	case Bool:
+		if x, ok := val.(bool); ok {
+			return x, nil
+		}
+	}
+	return nil, fmt.Errorf("want %s, got %T", p.Kind, val)
+}
+
+// CanonicalConfig serializes resolved values as the canonical JSON the
+// cache key hashes: one object, keys sorted (encoding/json sorts map
+// keys), values in their schema-declared types so two submissions of
+// the same logical config always produce the same bytes.
+func (e *Experiment) CanonicalConfig(v Values) ([]byte, error) {
+	// Re-validate: only schema parameters, fully populated.
+	if len(v) != len(e.Params) {
+		return nil, fmt.Errorf("registry: %s: config has %d values, schema %d", e.Name, len(v), len(e.Params))
+	}
+	for _, p := range e.Params {
+		if _, ok := v[p.Name]; !ok {
+			return nil, fmt.Errorf("registry: %s: config missing %q", e.Name, p.Name)
+		}
+	}
+	return json.Marshal(map[string]any(v))
+}
+
+// Registry holds experiments in registration order.
+type Registry struct {
+	byName map[string]*Experiment
+	order  []*Experiment
+}
+
+// New returns an empty registry (tests build their own with fake
+// experiments; production code uses Experiments()).
+func New() *Registry {
+	return &Registry{byName: make(map[string]*Experiment)}
+}
+
+// Register adds an experiment; duplicate names and nil Run are
+// programming errors and panic.
+func (r *Registry) Register(e Experiment) {
+	if e.Name == "" || e.Run == nil {
+		panic("registry: experiment needs a name and a run function")
+	}
+	if _, dup := r.byName[e.Name]; dup {
+		panic(fmt.Sprintf("registry: duplicate experiment %q", e.Name))
+	}
+	cp := e
+	r.byName[e.Name] = &cp
+	r.order = append(r.order, &cp)
+}
+
+// Get looks an experiment up by name.
+func (r *Registry) Get(name string) (*Experiment, bool) {
+	e, ok := r.byName[name]
+	return e, ok
+}
+
+// List returns all experiments in registration order.
+func (r *Registry) List() []*Experiment {
+	return append([]*Experiment(nil), r.order...)
+}
+
+// Names returns the sorted experiment names (for usage strings).
+func (r *Registry) Names() []string {
+	names := make([]string, 0, len(r.byName))
+	for n := range r.byName {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}

@@ -1,0 +1,182 @@
+package registry
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func testExp() Experiment {
+	return Experiment{
+		Name:        "fake",
+		Description: "schema test fixture",
+		Params: []Param{
+			{Name: "n", Kind: Int, Default: 7},
+			{Name: "sigma", Kind: Float, Default: 1.5},
+			{Name: "fast", Kind: Bool, Default: false},
+		},
+		Run: func(rc RunContext) (Result, error) { return nil, nil },
+	}
+}
+
+func TestResolveDefaultsAndOverrides(t *testing.T) {
+	e := testExp()
+	v, err := e.Resolve(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Int("n") != 7 || v.Float("sigma") != 1.5 || v.Bool("fast") {
+		t.Fatalf("defaults wrong: %v", v)
+	}
+
+	// JSON-decoded overrides arrive as float64; ints must coerce.
+	v, err = e.Resolve(map[string]any{"n": float64(12), "fast": true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Int("n") != 12 || !v.Bool("fast") || v.Float("sigma") != 1.5 {
+		t.Fatalf("overrides wrong: %v", v)
+	}
+}
+
+func TestResolveRejects(t *testing.T) {
+	e := testExp()
+	cases := []map[string]any{
+		{"bogus": 1},     // unknown name
+		{"n": 1.5},       // non-integral int
+		{"n": -1},        // negative
+		{"n": "12"},      // wrong type
+		{"sigma": -0.5},  // negative float
+		{"fast": "true"}, // wrong type
+	}
+	for _, raw := range cases {
+		if _, err := e.Resolve(raw); err == nil {
+			t.Errorf("Resolve(%v) accepted, want error", raw)
+		}
+	}
+}
+
+func TestCanonicalConfigDeterministic(t *testing.T) {
+	e := testExp()
+	// Same logical config via different override paths must produce the
+	// same canonical bytes (this is what makes cache keys collide on
+	// purpose).
+	v1, err := e.Resolve(map[string]any{"n": float64(7)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v2, err := e.Resolve(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c1, err := e.CanonicalConfig(v1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, err := e.CanonicalConfig(v2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(c1, c2) {
+		t.Fatalf("canonical config differs: %s vs %s", c1, c2)
+	}
+	// Keys must come out sorted regardless of map iteration order.
+	want := `{"fast":false,"n":7,"sigma":1.5}`
+	if string(c1) != want {
+		t.Fatalf("canonical config %s, want %s", c1, want)
+	}
+}
+
+func TestCanonicalConfigRejectsPartialValues(t *testing.T) {
+	e := testExp()
+	if _, err := e.CanonicalConfig(Values{"n": 1}); err == nil {
+		t.Fatal("partial Values accepted")
+	}
+}
+
+func TestRegistryOrderAndLookup(t *testing.T) {
+	r := New()
+	r.Register(Experiment{Name: "b", Run: func(RunContext) (Result, error) { return nil, nil }})
+	r.Register(Experiment{Name: "a", Run: func(RunContext) (Result, error) { return nil, nil }})
+	if got := r.List(); len(got) != 2 || got[0].Name != "b" || got[1].Name != "a" {
+		t.Fatalf("List order wrong: %v", got)
+	}
+	if names := r.Names(); names[0] != "a" || names[1] != "b" {
+		t.Fatalf("Names not sorted: %v", names)
+	}
+	if _, ok := r.Get("a"); !ok {
+		t.Fatal("Get(a) failed")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate Register did not panic")
+		}
+	}()
+	r.Register(Experiment{Name: "a", Run: func(RunContext) (Result, error) { return nil, nil }})
+}
+
+// TestEntriesRunAndMarshal runs a cheap real experiment through the
+// default registry and checks the shared serialization path: the result
+// marshals to JSON and renders a human report.
+func TestEntriesRunAndMarshal(t *testing.T) {
+	reg := Experiments()
+	for _, e := range reg.List() {
+		if len(e.Params) == 0 || e.Description == "" {
+			t.Errorf("entry %q missing schema or description", e.Name)
+		}
+	}
+	exp, ok := reg.Get("fig2")
+	if !ok {
+		t.Fatal("fig2 not registered")
+	}
+	v, err := exp.Resolve(map[string]any{"iters": 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := exp.Run(RunContext{Ctx: context.Background(), Seed: 5, Workers: 1, Values: v})
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload, err := json.Marshal(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var decoded Fig2Result
+	if err := json.Unmarshal(payload, &decoded); err != nil {
+		t.Fatal(err)
+	}
+	if decoded.GapIn <= decoded.GapOut {
+		t.Fatalf("fig2 JSON round trip lost the gap: in=%v out=%v", decoded.GapIn, decoded.GapOut)
+	}
+	if h := res.Human(); !strings.Contains(h, "Figure 2") {
+		t.Fatalf("Human() rendering wrong: %q", h)
+	}
+}
+
+// TestEntriesDeterministicJSON is the registry half of the cache
+// guarantee: the same (experiment, config, seed) marshals to byte-
+// identical JSON on every run, for any Workers value.
+func TestEntriesDeterministicJSON(t *testing.T) {
+	exp, _ := Experiments().Get("fig2")
+	v, err := exp.Resolve(map[string]any{"iters": 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var prev []byte
+	for _, workers := range []int{1, 4, 1} {
+		res, err := exp.Run(RunContext{Ctx: context.Background(), Seed: 9, Workers: workers, Values: v})
+		if err != nil {
+			t.Fatal(err)
+		}
+		payload, err := json.Marshal(res)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if prev != nil && !bytes.Equal(prev, payload) {
+			t.Fatalf("JSON differs across runs/workers:\n%s\n%s", prev, payload)
+		}
+		prev = payload
+	}
+}

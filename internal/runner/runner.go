@@ -41,8 +41,10 @@ type Config struct {
 	Seed uint64
 }
 
-// workers resolves the effective worker count.
-func (c Config) workers() int {
+// WorkerCount resolves the effective worker count: Workers if positive,
+// otherwise runtime.GOMAXPROCS(0). Both Map and the persistent Pool use
+// this resolution, as does the job engine in internal/jobs.
+func (c Config) WorkerCount() int {
 	if c.Workers > 0 {
 		return c.Workers
 	}
@@ -75,7 +77,7 @@ func Map[T any](cfg Config, n int, fn func(Task) (T, error)) ([]T, error) {
 	if n == 0 {
 		return out, nil
 	}
-	w := cfg.workers()
+	w := cfg.WorkerCount()
 	if w > n {
 		w = n
 	}
@@ -134,3 +136,46 @@ func Each(cfg Config, n int, fn func(Task) error) error {
 	})
 	return err
 }
+
+// Pool is the persistent counterpart of Map: a fixed set of worker
+// goroutines that repeatedly pull work from a caller-supplied source.
+// Map bounds one batch; Pool bounds a long-lived service — the job
+// engine in internal/jobs owns the queue and its scheduling policy
+// (priority, cancellation), while Pool owns goroutine lifecycle and the
+// concurrency bound. Peak goroutine growth is exactly the worker count
+// for the life of the pool.
+type Pool struct {
+	wg sync.WaitGroup
+}
+
+// StartPool starts workers goroutines (resolved via Config.WorkerCount
+// semantics: <= 0 means GOMAXPROCS) that loop calling pull. pull must
+// be safe for concurrent use and is expected to block until a task is
+// available; returning ok=false retires the calling worker permanently.
+// The returned task runs on the worker; a nil task with ok=true is
+// skipped.
+func StartPool(workers int, pull func() (task func(), ok bool)) *Pool {
+	w := Config{Workers: workers}.WorkerCount()
+	p := &Pool{}
+	p.wg.Add(w)
+	for k := 0; k < w; k++ {
+		go func() {
+			defer p.wg.Done()
+			for {
+				task, ok := pull()
+				if !ok {
+					return
+				}
+				if task != nil {
+					task()
+				}
+			}
+		}()
+	}
+	return p
+}
+
+// Wait blocks until every worker has retired (pull returned ok=false
+// once per worker). The pull source is responsible for waking blocked
+// workers when shutting down.
+func (p *Pool) Wait() { p.wg.Wait() }

@@ -161,3 +161,79 @@ func TestMapWorkersExceedTasks(t *testing.T) {
 		t.Fatal("Map with workers > n did not finish")
 	}
 }
+
+// TestPoolBoundedAndDrains: StartPool spawns exactly the requested
+// workers, runs every pulled task, and Wait returns once the source
+// reports exhaustion.
+func TestPoolBoundedAndDrains(t *testing.T) {
+	const workers = 3
+	const tasks = 20
+	before := runtime.NumGoroutine()
+
+	var next atomic.Int64
+	var ran atomic.Int64
+	var peak atomic.Int64
+	p := StartPool(workers, func() (func(), bool) {
+		i := next.Add(1)
+		if i > tasks {
+			return nil, false
+		}
+		return func() {
+			if g := int64(runtime.NumGoroutine()); g > peak.Load() {
+				peak.Store(g)
+			}
+			time.Sleep(time.Millisecond)
+			ran.Add(1)
+		}, true
+	})
+	p.Wait()
+	if ran.Load() != tasks {
+		t.Fatalf("ran %d tasks, want %d", ran.Load(), tasks)
+	}
+	if peak.Load() > int64(before+workers+2) {
+		t.Fatalf("goroutines peaked at %d (start %d) with %d workers", peak.Load(), before, workers)
+	}
+}
+
+// TestPoolSkipsNilTasks: a nil task with ok=true is skipped, not a
+// crash — the pull source may use it as a "nothing right now" tick.
+func TestPoolSkipsNilTasks(t *testing.T) {
+	var calls atomic.Int64
+	p := StartPool(1, func() (func(), bool) {
+		switch calls.Add(1) {
+		case 1:
+			return nil, true
+		case 2:
+			return func() {}, true
+		default:
+			return nil, false
+		}
+	})
+	p.Wait()
+	if calls.Load() != 3 {
+		t.Fatalf("pull called %d times, want 3", calls.Load())
+	}
+}
+
+// TestPoolDefaultWorkerCount: workers <= 0 resolves to GOMAXPROCS,
+// mirroring Config.WorkerCount.
+func TestPoolDefaultWorkerCount(t *testing.T) {
+	var started atomic.Int64
+	var release = make(chan struct{})
+	p := StartPool(0, func() (func(), bool) {
+		if started.Add(1) <= int64(runtime.GOMAXPROCS(0)) {
+			return func() { <-release }, true
+		}
+		return nil, false
+	})
+	// Every worker claims one blocking task, then each sees exhaustion.
+	deadline := time.Now().Add(5 * time.Second)
+	for started.Load() < int64(runtime.GOMAXPROCS(0)) {
+		if time.Now().After(deadline) {
+			t.Fatalf("only %d workers started", started.Load())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	close(release)
+	p.Wait()
+}

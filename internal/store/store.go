@@ -1,0 +1,215 @@
+// Package store is the content-addressed experiment result cache.
+//
+// Keys address results by what they ARE, not when they were computed:
+// SHA-256 over (experiment name, canonical config JSON, seed, code
+// version). Every NightVision experiment is bit-deterministic for that
+// tuple (internal/runner's guarantee), so a cached cell is byte-
+// identical to a cold run and may be served forever — a sweep resumed
+// after a crash recomputes only its missing cells.
+//
+// Two tiers: an in-memory LRU for hot cells, and an optional on-disk
+// tier that survives process restarts. Disk writes go through a temp
+// file plus atomic rename, and every entry embeds a checksum of its
+// payload; a corrupted or truncated entry is detected on read, evicted
+// from disk, and reported as a miss so the caller recomputes it.
+package store
+
+import (
+	"container/list"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+)
+
+// Key derives the content address of a result cell. canonicalConfig
+// must be the canonical (sorted-key) JSON from
+// registry.Experiment.CanonicalConfig; codeVersion is
+// registry.CodeVersion. Fields are length-prefixed so no two distinct
+// tuples can collide by concatenation.
+func Key(experiment string, canonicalConfig []byte, seed uint64, codeVersion string) string {
+	h := sha256.New()
+	fmt.Fprintf(h, "%d:%s", len(experiment), experiment)
+	fmt.Fprintf(h, "%d:%s", len(canonicalConfig), canonicalConfig)
+	fmt.Fprintf(h, "seed:%d", seed)
+	fmt.Fprintf(h, "%d:%s", len(codeVersion), codeVersion)
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// Stats counts store activity. Hits = MemHits + DiskHits.
+type Stats struct {
+	Hits           uint64 `json:"hits"`
+	MemHits        uint64 `json:"mem_hits"`
+	DiskHits       uint64 `json:"disk_hits"`
+	Misses         uint64 `json:"misses"`
+	Puts           uint64 `json:"puts"`
+	MemEvictions   uint64 `json:"mem_evictions"`
+	CorruptEvicted uint64 `json:"corrupt_evicted"`
+}
+
+// Store is the two-tier cache. All methods are safe for concurrent use.
+type Store struct {
+	mu    sync.Mutex
+	cap   int
+	ll    *list.List // front = most recently used
+	items map[string]*list.Element
+	dir   string // "" = memory-only
+	stats Stats
+}
+
+type memEntry struct {
+	key string
+	val []byte
+}
+
+// New creates a store holding up to memCap entries in memory (memCap
+// <= 0 defaults to 1024). dir, when non-empty, enables the disk tier
+// rooted there (created if missing).
+func New(memCap int, dir string) (*Store, error) {
+	if memCap <= 0 {
+		memCap = 1024
+	}
+	if dir != "" {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return nil, fmt.Errorf("store: %w", err)
+		}
+	}
+	return &Store{cap: memCap, ll: list.New(), items: make(map[string]*list.Element), dir: dir}, nil
+}
+
+// Get returns the cached result bytes for key. A disk-tier hit is
+// promoted into the memory tier. The returned slice is a copy.
+func (s *Store) Get(key string) ([]byte, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if el, ok := s.items[key]; ok {
+		s.ll.MoveToFront(el)
+		s.stats.Hits++
+		s.stats.MemHits++
+		return clone(el.Value.(*memEntry).val), true
+	}
+	if s.dir != "" {
+		if val, ok := s.diskGet(key); ok {
+			s.memPut(key, val)
+			s.stats.Hits++
+			s.stats.DiskHits++
+			return clone(val), true
+		}
+	}
+	s.stats.Misses++
+	return nil, false
+}
+
+// Put stores the result bytes for key in both tiers. The value is
+// copied; the disk write is atomic (temp file + rename).
+func (s *Store) Put(key string, val []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.stats.Puts++
+	s.memPut(key, clone(val))
+	if s.dir == "" {
+		return nil
+	}
+	return s.diskPut(key, val)
+}
+
+// Stats returns a snapshot of the counters.
+func (s *Store) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stats
+}
+
+// Len reports the number of memory-tier entries.
+func (s *Store) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.ll.Len()
+}
+
+func clone(b []byte) []byte {
+	return append([]byte(nil), b...)
+}
+
+// memPut inserts into the LRU, evicting from the back past capacity.
+// Caller holds s.mu; val must already be private to the store.
+func (s *Store) memPut(key string, val []byte) {
+	if el, ok := s.items[key]; ok {
+		el.Value.(*memEntry).val = val
+		s.ll.MoveToFront(el)
+		return
+	}
+	s.items[key] = s.ll.PushFront(&memEntry{key: key, val: val})
+	for s.ll.Len() > s.cap {
+		back := s.ll.Back()
+		s.ll.Remove(back)
+		delete(s.items, back.Value.(*memEntry).key)
+		s.stats.MemEvictions++
+	}
+}
+
+// Disk-tier format: "nvstore1 <sha256-hex-of-payload>\n<payload>".
+// Sharded by the first byte of the key to keep directories small.
+
+const diskMagic = "nvstore1"
+
+func (s *Store) path(key string) string {
+	return filepath.Join(s.dir, key[:2], key)
+}
+
+func (s *Store) diskPut(key string, val []byte) error {
+	shard := filepath.Join(s.dir, key[:2])
+	if err := os.MkdirAll(shard, 0o755); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	sum := sha256.Sum256(val)
+	tmp, err := os.CreateTemp(s.dir, "tmp-*")
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	_, werr := fmt.Fprintf(tmp, "%s %s\n", diskMagic, hex.EncodeToString(sum[:]))
+	if werr == nil {
+		_, werr = tmp.Write(val)
+	}
+	if cerr := tmp.Close(); werr == nil {
+		werr = cerr
+	}
+	if werr != nil {
+		return fmt.Errorf("store: %w", werr)
+	}
+	if err := os.Rename(tmp.Name(), s.path(key)); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	return nil
+}
+
+// diskGet reads and verifies a disk entry. A malformed or
+// checksum-failing entry is deleted (corrupt eviction) and reported as
+// a miss. Caller holds s.mu.
+func (s *Store) diskGet(key string) ([]byte, bool) {
+	raw, err := os.ReadFile(s.path(key))
+	if err != nil {
+		return nil, false
+	}
+	header, payload, found := strings.Cut(string(raw), "\n")
+	magic, sumHex, ok := strings.Cut(header, " ")
+	if !found || !ok || magic != diskMagic || len(sumHex) != 64 {
+		s.evictCorrupt(key)
+		return nil, false
+	}
+	sum := sha256.Sum256([]byte(payload))
+	if hex.EncodeToString(sum[:]) != sumHex {
+		s.evictCorrupt(key)
+		return nil, false
+	}
+	return []byte(payload), true
+}
+
+func (s *Store) evictCorrupt(key string) {
+	os.Remove(s.path(key))
+	s.stats.CorruptEvicted++
+}

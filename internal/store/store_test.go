@@ -1,0 +1,230 @@
+package store
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+)
+
+func TestKeyDistinguishesFields(t *testing.T) {
+	base := Key("fig2", []byte(`{"iters":3}`), 5, "v1")
+	variants := []string{
+		Key("fig4", []byte(`{"iters":3}`), 5, "v1"),
+		Key("fig2", []byte(`{"iters":4}`), 5, "v1"),
+		Key("fig2", []byte(`{"iters":3}`), 6, "v1"),
+		Key("fig2", []byte(`{"iters":3}`), 5, "v2"),
+	}
+	for i, v := range variants {
+		if v == base {
+			t.Errorf("variant %d collides with base key", i)
+		}
+	}
+	if again := Key("fig2", []byte(`{"iters":3}`), 5, "v1"); again != base {
+		t.Fatal("Key not deterministic")
+	}
+	// Concatenation ambiguity: ("ab","c") vs ("a","bc") must differ.
+	if Key("ab", []byte("c"), 0, "") == Key("a", []byte("bc"), 0, "") {
+		t.Fatal("length prefixing failed")
+	}
+}
+
+func TestMemoryTierHitMissStats(t *testing.T) {
+	s, err := New(8, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Get("k1"); ok {
+		t.Fatal("hit on empty store")
+	}
+	if err := s.Put("k1", []byte("payload")); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := s.Get("k1")
+	if !ok || string(got) != "payload" {
+		t.Fatalf("Get = %q, %v", got, ok)
+	}
+	st := s.Stats()
+	if st.Hits != 1 || st.MemHits != 1 || st.Misses != 1 || st.Puts != 1 {
+		t.Fatalf("stats %+v", st)
+	}
+	// The returned slice is a copy: mutating it must not poison the cache.
+	got[0] = 'X'
+	if again, _ := s.Get("k1"); string(again) != "payload" {
+		t.Fatal("cached value aliased caller memory")
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	s, err := New(2, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Put("a", []byte("1"))
+	s.Put("b", []byte("2"))
+	s.Get("a") // a is now most recent
+	s.Put("c", []byte("3"))
+	if _, ok := s.Get("b"); ok {
+		t.Fatal("LRU entry b not evicted")
+	}
+	if _, ok := s.Get("a"); !ok {
+		t.Fatal("recently used entry a evicted")
+	}
+	if st := s.Stats(); st.MemEvictions != 1 {
+		t.Fatalf("MemEvictions = %d, want 1", st.MemEvictions)
+	}
+}
+
+// TestDiskRoundTripSurvivesRestart proves the ISSUE acceptance
+// criterion: disk-tier entries outlive the process (modeled as a second
+// Store over the same directory).
+func TestDiskRoundTripSurvivesRestart(t *testing.T) {
+	dir := t.TempDir()
+	key := Key("fig2", []byte(`{"iters":3}`), 5, "v1")
+
+	s1, err := New(4, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []byte(`{"gap":8.0}`)
+	if err := s1.Put(key, want); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := New(4, dir) // "restart"
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, ok := s2.Get(key)
+	if !ok || !bytes.Equal(got, want) {
+		t.Fatalf("after restart Get = %q, %v", got, ok)
+	}
+	st := s2.Stats()
+	if st.DiskHits != 1 || st.MemHits != 0 {
+		t.Fatalf("restart stats %+v, want one disk hit", st)
+	}
+	// Promotion: second read is a memory hit.
+	if _, ok := s2.Get(key); !ok {
+		t.Fatal("promoted entry missing")
+	}
+	if st := s2.Stats(); st.MemHits != 1 {
+		t.Fatalf("promotion stats %+v", st)
+	}
+}
+
+// TestCorruptEntryDetectedAndEvicted flips payload bytes on disk and
+// checks the store reports a miss (so the caller recomputes) and
+// removes the bad file.
+func TestCorruptEntryDetectedAndEvicted(t *testing.T) {
+	dir := t.TempDir()
+	key := Key("fig2", []byte(`{"iters":3}`), 5, "v1")
+	s1, err := New(4, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s1.Put(key, []byte("genuine result")); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, key[:2], key)
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)-1] ^= 0xFF
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := New(4, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s2.Get(key); ok {
+		t.Fatal("corrupted entry served")
+	}
+	if st := s2.Stats(); st.CorruptEvicted != 1 || st.Misses != 1 {
+		t.Fatalf("stats %+v", st)
+	}
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Fatal("corrupted file not evicted from disk")
+	}
+	// Recompute path: a fresh Put must restore service.
+	if err := s2.Put(key, []byte("recomputed")); err != nil {
+		t.Fatal(err)
+	}
+	s3, err := New(4, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, ok := s3.Get(key); !ok || string(got) != "recomputed" {
+		t.Fatalf("recomputed entry missing: %q %v", got, ok)
+	}
+}
+
+// TestTruncatedHeaderEvicted covers the other corruption shape: a file
+// cut off mid-header (e.g. a crash before the atomic rename discipline
+// existed, or external tampering).
+func TestTruncatedHeaderEvicted(t *testing.T) {
+	dir := t.TempDir()
+	key := Key("x", nil, 0, "v")
+	s, err := New(4, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, key[:2], key)
+	os.MkdirAll(filepath.Dir(path), 0o755)
+	os.WriteFile(path, []byte("nvstore1 deadbeef"), 0o644)
+	if _, ok := s.Get(key); ok {
+		t.Fatal("truncated entry served")
+	}
+	if st := s.Stats(); st.CorruptEvicted != 1 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+func TestNoTempFileDebris(t *testing.T) {
+	dir := t.TempDir()
+	s, err := New(4, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if err := s.Put(Key("e", nil, uint64(i), "v"), []byte("x")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if !e.IsDir() {
+			t.Fatalf("stray file in cache root: %s", e.Name())
+		}
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	s, err := New(32, t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				key := Key("c", nil, uint64(i%16), "v")
+				if i%2 == 0 {
+					s.Put(key, []byte(fmt.Sprintf("v%d", i%16)))
+				} else {
+					s.Get(key)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}

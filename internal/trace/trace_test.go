@@ -95,3 +95,71 @@ func TestCompare(t *testing.T) {
 		t.Error("empty Rate = 0")
 	}
 }
+
+// Edge cases: empty and single-entry traces through every Trace helper.
+
+func TestEmptyTrace(t *testing.T) {
+	var tr Trace
+	if pcs := tr.PCs(); len(pcs) != 0 {
+		t.Errorf("PCs of empty trace = %v", pcs)
+	}
+	if s := tr.String(); s != "trace[0]:" {
+		t.Errorf("String of empty trace = %q", s)
+	}
+	if got := FromPCs(nil); len(got) != 0 {
+		t.Errorf("FromPCs(nil) = %v", got)
+	}
+	st := Compare(tr, tr)
+	if st.Total != 0 || st.Got != 0 || st.Correct != 0 || st.Rate() != 0 {
+		t.Errorf("Compare(empty, empty) = %+v rate %v", st, st.Rate())
+	}
+}
+
+func TestSingleEntryTrace(t *testing.T) {
+	tr := FromPCs([]uint64{0x40_0000})
+	if len(tr) != 1 || tr[0].PC != 0x40_0000 || tr[0].Size != 0 {
+		t.Fatalf("FromPCs single = %+v", tr)
+	}
+	if st := Compare(tr, tr); st.Rate() != 1.0 {
+		t.Errorf("self-compare rate = %v", st.Rate())
+	}
+	// Reconstructed vs ground truth of different lengths.
+	truth := FromPCs([]uint64{0x40_0000, 0x40_0004})
+	st := Compare(tr, truth)
+	if st.Total != 2 || st.Got != 1 || st.Correct != 1 || st.Rate() != 0.5 {
+		t.Errorf("Compare(single, pair) = %+v", st)
+	}
+	// Reconstructed longer than truth must not panic or over-count.
+	st = Compare(truth, tr)
+	if st.Total != 1 || st.Got != 2 || st.Correct != 1 || st.Rate() != 1.0 {
+		t.Errorf("Compare(pair, single) = %+v", st)
+	}
+}
+
+func TestRecorderStaysAttachedAfterReset(t *testing.T) {
+	p := asm.MustAssemble(`
+		.org 0x1000
+	start:
+		nop
+		hlt
+	`)
+	m := mem.New()
+	p.LoadInto(m)
+	c := cpu.New(cpu.Config{}, m)
+	c.SetPC(0x1000)
+	rec := NewRecorder(c, nil)
+	if _, err := c.Run(10); err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.T) == 0 {
+		t.Fatal("nothing recorded")
+	}
+	rec.Reset()
+	c.SetPC(0x1000)
+	if _, err := c.Run(10); err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.T) != 2 { // nop hlt, recorded again after Reset
+		t.Fatalf("recorder detached after Reset: %v", rec.T)
+	}
+}

@@ -1,0 +1,75 @@
+#!/usr/bin/env bash
+# Daemon smoke test: build nightvisiond, start it with a disk cache,
+# submit a small Figure 2 job, poll it to completion, then submit the
+# identical request and require a cache hit whose result key and bytes
+# match the cold run. Run by CI and `make smoke`. Needs curl + jq.
+set -euo pipefail
+
+ADDR="${NIGHTVISIOND_ADDR:-127.0.0.1:7797}"
+BASE="http://$ADDR"
+TMP="$(mktemp -d)"
+DPID=""
+trap '[ -n "$DPID" ] && kill "$DPID" 2>/dev/null || true; rm -rf "$TMP"' EXIT
+
+go build -o "$TMP/nightvisiond" ./cmd/nightvisiond
+
+"$TMP/nightvisiond" -addr "$ADDR" -cache-dir "$TMP/cache" -workers 2 &
+DPID=$!
+
+# Wait for the daemon to come up.
+up=0
+for _ in $(seq 1 50); do
+  if curl -fsS "$BASE/v1/healthz" >/dev/null 2>&1; then up=1; break; fi
+  if ! kill -0 "$DPID" 2>/dev/null; then echo "daemon died during startup" >&2; exit 1; fi
+  sleep 0.1
+done
+[ "$up" = 1 ] || { echo "daemon never became healthy" >&2; exit 1; }
+
+echo "== experiments =="
+curl -fsS "$BASE/v1/experiments" | jq -r '.[].name' | tr '\n' ' '; echo
+
+BODY='{"experiment":"fig2","params":{"iters":3},"seed":42}'
+
+echo "== submit (cold) =="
+J1="$(curl -fsS -X POST -H 'Content-Type: application/json' -d "$BODY" "$BASE/v1/jobs")"
+ID="$(echo "$J1" | jq -r .id)"
+[ "$ID" != null ] || { echo "no job id in: $J1" >&2; exit 1; }
+
+# Poll to completion.
+STATE=""
+POLL=""
+for _ in $(seq 1 100); do
+  POLL="$(curl -fsS "$BASE/v1/jobs/$ID")"
+  STATE="$(echo "$POLL" | jq -r .state)"
+  [ "$STATE" = done ] && break
+  [ "$STATE" = failed ] && { echo "job failed: $POLL" >&2; exit 1; }
+  sleep 0.1
+done
+[ "$STATE" = done ] || { echo "job never finished (state=$STATE)" >&2; exit 1; }
+KEY1="$(echo "$POLL" | jq -r .key)"
+HASH1="$(echo "$POLL" | jq -cS .result | sha256sum | cut -d' ' -f1)"
+echo "cold run done: key=$KEY1"
+
+echo "== submit (identical; must hit the cache) =="
+J2="$(curl -fsS -X POST -H 'Content-Type: application/json' -d "$BODY" "$BASE/v1/jobs")"
+[ "$(echo "$J2" | jq -r .from_cache)" = true ] || { echo "second submission missed the cache: $J2" >&2; exit 1; }
+[ "$(echo "$J2" | jq -r .state)" = done ] || { echo "cache hit not done: $J2" >&2; exit 1; }
+KEY2="$(echo "$J2" | jq -r .key)"
+HASH2="$(echo "$J2" | jq -cS .result | sha256sum | cut -d' ' -f1)"
+[ "$KEY1" = "$KEY2" ] || { echo "cache keys differ: $KEY1 vs $KEY2" >&2; exit 1; }
+[ "$HASH1" = "$HASH2" ] || { echo "result hashes differ: $HASH1 vs $HASH2" >&2; exit 1; }
+echo "cache hit verified: result sha256 $HASH1"
+
+echo "== cache stats =="
+curl -fsS "$BASE/v1/healthz" | jq -c .cache
+[ "$(curl -fsS "$BASE/v1/healthz" | jq -r .cache.hits)" -ge 1 ] || { echo "hit counter did not advance" >&2; exit 1; }
+
+echo "== graceful shutdown =="
+kill -TERM "$DPID"
+for _ in $(seq 1 100); do
+  kill -0 "$DPID" 2>/dev/null || break
+  sleep 0.1
+done
+if kill -0 "$DPID" 2>/dev/null; then echo "daemon ignored SIGTERM" >&2; exit 1; fi
+DPID=""
+echo "daemon smoke test passed"
