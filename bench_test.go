@@ -32,6 +32,7 @@ import (
 	"repro/internal/codegen"
 	"repro/internal/experiments"
 	"repro/internal/isa"
+	"repro/internal/obs"
 	"repro/internal/stats"
 	"repro/internal/victim"
 )
@@ -153,7 +154,9 @@ func BenchmarkFigure12(b *testing.B) {
 // on the Figure 12 corpus fan-out: workers=1 is the serial baseline,
 // workers=GOMAXPROCS the bounded pool. Both produce bit-identical
 // results (TestFigure12ParallelDeterminism); this benchmark tracks the
-// wall-clock speedup, which should be >=2x on 4+ cores.
+// wall-clock speedup, which should be >=2x on 4+ cores. The obs=on
+// variants run with a live metrics registry and tracer attached — the
+// observability budget is <=10% over the uninstrumented run.
 func BenchmarkRunnerFigure12Corpus(b *testing.B) {
 	workersList := []int{1}
 	if n := runtime.GOMAXPROCS(0); n > 1 {
@@ -162,6 +165,17 @@ func BenchmarkRunnerFigure12Corpus(b *testing.B) {
 	for _, workers := range workersList {
 		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
 			cfg := experiments.Config{Iters: 1, Seed: 13, Workers: workers}
+			for i := 0; i < b.N; i++ {
+				if _, err := experiments.Figure12(cfg, 2000, 10); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("workers=%d-obs", workers), func(b *testing.B) {
+			cfg := experiments.Config{
+				Iters: 1, Seed: 13, Workers: workers,
+				Obs: obs.NewRegistry(), Trace: obs.NewTrace(),
+			}
 			for i := 0; i < b.N; i++ {
 				if _, err := experiments.Figure12(cfg, 2000, 10); err != nil {
 					b.Fatal(err)

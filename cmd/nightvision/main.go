@@ -34,6 +34,7 @@ import (
 	"os"
 	"strings"
 
+	"repro/internal/obs"
 	"repro/internal/registry"
 )
 
@@ -49,6 +50,7 @@ func main() {
 		robust   = flag.Bool("robustness", false, "run the interference robustness sweep (same as the robustness experiment)")
 		list     = flag.Bool("list", false, "list registered experiments and exit")
 		asJSON   = flag.Bool("json", false, "emit results as JSON (the registry result types) instead of tables")
+		traceOut = flag.String("trace", "", "write the attack-pipeline trace as Chrome trace_event JSON to this file (load at chrome://tracing)")
 	)
 	flag.Parse()
 	reg := registry.Experiments()
@@ -93,6 +95,13 @@ func main() {
 		name = flag.Arg(0)
 	}
 
+	// All experiments of an invocation share one trace; writing it is
+	// strictly output-only, so -trace never changes results.
+	var trace *obs.Trace
+	if *traceOut != "" {
+		trace = obs.NewTrace()
+	}
+
 	names := []string{name}
 	if name == "all" {
 		names = names[:0]
@@ -101,7 +110,7 @@ func main() {
 		}
 	}
 	for i, n := range names {
-		if err := runOne(reg, n, overrides, *seed, *parallel, *asJSON); err != nil {
+		if err := runOne(reg, n, overrides, *seed, *parallel, *asJSON, trace); err != nil {
 			fmt.Fprintln(os.Stderr, "nightvision:", err)
 			os.Exit(1)
 		}
@@ -109,9 +118,28 @@ func main() {
 			fmt.Println()
 		}
 	}
+	if trace != nil {
+		if err := writeTrace(*traceOut, trace); err != nil {
+			fmt.Fprintln(os.Stderr, "nightvision:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "nightvision: wrote %d trace events to %s\n", trace.Len(), *traceOut)
+	}
 }
 
-func runOne(reg *registry.Registry, name string, overrides map[string]any, seed uint64, workers int, asJSON bool) error {
+func writeTrace(path string, trace *obs.Trace) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := trace.WriteChrome(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func runOne(reg *registry.Registry, name string, overrides map[string]any, seed uint64, workers int, asJSON bool, trace *obs.Trace) error {
 	exp, ok := reg.Get(name)
 	if !ok {
 		return fmt.Errorf("unknown experiment %q", name)
@@ -131,6 +159,7 @@ func runOne(reg *registry.Registry, name string, overrides map[string]any, seed 
 		Seed:    seed,
 		Workers: workers,
 		Values:  values,
+		Trace:   trace,
 	})
 	if err != nil {
 		return err

@@ -10,8 +10,11 @@
 //	GET    /v1/jobs         list all jobs
 //	GET    /v1/jobs/{id}    poll one job (result inlined when done)
 //	DELETE /v1/jobs/{id}    cancel a job
+//	GET    /v1/jobs/{id}/trace  a job's pipeline trace (chrome://tracing JSON; ?format=ndjson)
 //	GET    /v1/experiments  registered experiments + config schemas
 //	GET    /v1/healthz      liveness + cache statistics
+//	GET    /v1/version      code version + build info
+//	GET    /v1/metrics      Prometheus text exposition (?format=json)
 //	GET    /debug/pprof/    standard Go profiling
 //
 // SIGINT/SIGTERM drain gracefully: intake stops, queued jobs are
@@ -32,6 +35,7 @@ import (
 	"time"
 
 	"repro/internal/jobs"
+	"repro/internal/obs"
 	"repro/internal/registry"
 	"repro/internal/store"
 )
@@ -47,19 +51,22 @@ func main() {
 		maxConc      = flag.Int("max-concurrent", 64, "max simultaneously served API requests")
 		reqTimeout   = flag.Duration("request-timeout", 30*time.Second, "per-request handler timeout")
 		drainTimeout = flag.Duration("drain-timeout", 2*time.Minute, "max wait for in-flight jobs on shutdown")
+		traceJobs    = flag.Bool("trace-jobs", true, "record a per-job attack-pipeline trace (GET /v1/jobs/{id}/trace)")
 	)
 	flag.Parse()
-	if err := run(*addr, *workers, *expWorkers, *queueDepth, *cacheMem, *cacheDir, *maxConc, *reqTimeout, *drainTimeout); err != nil {
+	if err := run(*addr, *workers, *expWorkers, *queueDepth, *cacheMem, *cacheDir, *maxConc, *reqTimeout, *drainTimeout, *traceJobs); err != nil {
 		fmt.Fprintln(os.Stderr, "nightvisiond:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr string, workers, expWorkers, queueDepth, cacheMem int, cacheDir string, maxConc int, reqTimeout, drainTimeout time.Duration) error {
+func run(addr string, workers, expWorkers, queueDepth, cacheMem int, cacheDir string, maxConc int, reqTimeout, drainTimeout time.Duration, traceJobs bool) error {
 	st, err := store.New(cacheMem, cacheDir)
 	if err != nil {
 		return err
 	}
+	metrics := obs.NewRegistry()
+	st.Instrument(metrics)
 	reg := registry.Experiments()
 	engine := jobs.New(jobs.Config{
 		Registry:   reg,
@@ -67,8 +74,10 @@ func run(addr string, workers, expWorkers, queueDepth, cacheMem int, cacheDir st
 		Workers:    workers,
 		ExpWorkers: expWorkers,
 		QueueDepth: queueDepth,
+		Obs:        metrics,
+		Tracing:    traceJobs,
 	})
-	a := &api{engine: engine, reg: reg, store: st, start: time.Now()}
+	a := &api{engine: engine, reg: reg, store: st, metrics: metrics, start: time.Now()}
 
 	srv := &http.Server{
 		Addr:              addr,

@@ -9,19 +9,22 @@ import (
 	"errors"
 	"net/http"
 	"net/http/pprof"
+	"runtime/debug"
 	"time"
 
 	"repro/internal/jobs"
+	"repro/internal/obs"
 	"repro/internal/registry"
 	"repro/internal/store"
 )
 
 // api bundles the daemon's dependencies.
 type api struct {
-	engine *jobs.Engine
-	reg    *registry.Registry
-	store  *store.Store
-	start  time.Time
+	engine  *jobs.Engine
+	reg     *registry.Registry
+	store   *store.Store
+	metrics *obs.Registry
+	start   time.Time
 }
 
 // experimentInfo is one row of GET /v1/experiments.
@@ -51,15 +54,18 @@ type errorBody struct {
 func newHandler(a *api, maxConcurrent int, reqTimeout time.Duration) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /v1/healthz", a.handleHealthz)
+	mux.HandleFunc("GET /v1/version", a.handleVersion)
+	mux.HandleFunc("GET /v1/metrics", a.handleMetrics)
 	mux.HandleFunc("GET /v1/experiments", a.handleExperiments)
 	mux.HandleFunc("POST /v1/jobs", a.handleSubmit)
 	mux.HandleFunc("GET /v1/jobs", a.handleJobList)
 	mux.HandleFunc("GET /v1/jobs/{id}", a.handleJobGet)
+	mux.HandleFunc("GET /v1/jobs/{id}/trace", a.handleJobTrace)
 	mux.HandleFunc("DELETE /v1/jobs/{id}", a.handleJobCancel)
 
-	var limited http.Handler = mux
+	var limited http.Handler = a.instrument(mux)
 	if reqTimeout > 0 {
-		limited = http.TimeoutHandler(mux, reqTimeout, `{"error":"request timed out"}`)
+		limited = http.TimeoutHandler(limited, reqTimeout, `{"error":"request timed out"}`)
 	}
 	if maxConcurrent > 0 {
 		sem := make(chan struct{}, maxConcurrent)
@@ -85,6 +91,19 @@ func newHandler(a *api, maxConcurrent int, reqTimeout time.Duration) http.Handle
 	return root
 }
 
+// instrument wraps the API mux with a request counter and an in-flight
+// gauge. With no metrics registry both instruments are nil no-ops.
+func (a *api) instrument(next http.Handler) http.Handler {
+	requests := a.metrics.Counter("http_requests_total", "API requests served")
+	inFlight := a.metrics.Gauge("http_requests_in_flight", "API requests currently being served")
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		requests.Inc()
+		inFlight.Inc()
+		defer inFlight.Dec()
+		next.ServeHTTP(w, r)
+	})
+}
+
 func writeJSON(w http.ResponseWriter, status int, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
@@ -105,6 +124,75 @@ func (a *api) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		Jobs:        len(a.engine.List()),
 		Cache:       cs,
 	})
+}
+
+// versionInfo is GET /v1/version: enough to correlate a running binary
+// with its metrics and cache keys.
+type versionInfo struct {
+	CodeVersion string `json:"code_version"`
+	GoVersion   string `json:"go_version"`
+	Module      string `json:"module,omitempty"`
+	VCSRevision string `json:"vcs_revision,omitempty"`
+	VCSTime     string `json:"vcs_time,omitempty"`
+	VCSModified bool   `json:"vcs_modified,omitempty"`
+}
+
+func (a *api) handleVersion(w http.ResponseWriter, r *http.Request) {
+	v := versionInfo{CodeVersion: registry.CodeVersion}
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		v.GoVersion = bi.GoVersion
+		v.Module = bi.Main.Path
+		for _, s := range bi.Settings {
+			switch s.Key {
+			case "vcs.revision":
+				v.VCSRevision = s.Value
+			case "vcs.time":
+				v.VCSTime = s.Value
+			case "vcs.modified":
+				v.VCSModified = s.Value == "true"
+			}
+		}
+	}
+	writeJSON(w, http.StatusOK, v)
+}
+
+// handleMetrics serves the metrics registry: Prometheus text exposition
+// by default, the JSON snapshot with ?format=json.
+func (a *api) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if a.metrics == nil {
+		writeJSON(w, http.StatusNotFound, errorBody{Error: "metrics disabled"})
+		return
+	}
+	if r.URL.Query().Get("format") == "json" {
+		w.Header().Set("Content-Type", "application/json")
+		a.metrics.WriteJSON(w)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	a.metrics.WritePrometheus(w)
+}
+
+// handleJobTrace serves a completed (or running) job's attack-pipeline
+// trace: Chrome trace_event JSON by default (load at chrome://tracing),
+// NDJSON with ?format=ndjson.
+func (a *api) handleJobTrace(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if _, ok := a.engine.Get(id); !ok {
+		writeJSON(w, http.StatusNotFound, errorBody{Error: "no such job"})
+		return
+	}
+	tr, ok := a.engine.Trace(id)
+	if !ok {
+		writeJSON(w, http.StatusNotFound, errorBody{Error: "no trace for job (tracing disabled, or job served from cache)"})
+		return
+	}
+	if r.URL.Query().Get("format") == "ndjson" {
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		tr.WriteNDJSON(w)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	tr.WriteChrome(w)
 }
 
 func (a *api) handleExperiments(w http.ResponseWriter, r *http.Request) {

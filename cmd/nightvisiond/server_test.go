@@ -9,6 +9,7 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"io"
 	"net/http"
 	"net/http/httptest"
 	"strings"
@@ -16,6 +17,7 @@ import (
 	"time"
 
 	"repro/internal/jobs"
+	"repro/internal/obs"
 	"repro/internal/registry"
 	"repro/internal/store"
 )
@@ -27,8 +29,10 @@ func newTestServer(t *testing.T) (*httptest.Server, *jobs.Engine, *store.Store) 
 		t.Fatal(err)
 	}
 	reg := registry.Experiments()
-	engine := jobs.New(jobs.Config{Registry: reg, Store: st, Workers: 2})
-	a := &api{engine: engine, reg: reg, store: st, start: time.Now()}
+	metrics := obs.NewRegistry()
+	st.Instrument(metrics)
+	engine := jobs.New(jobs.Config{Registry: reg, Store: st, Workers: 2, Obs: metrics, Tracing: true})
+	a := &api{engine: engine, reg: reg, store: st, metrics: metrics, start: time.Now()}
 	srv := httptest.NewServer(newHandler(a, 16, 30*time.Second))
 	t.Cleanup(func() {
 		srv.Close()
@@ -212,6 +216,147 @@ func TestPprofServed(t *testing.T) {
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("pprof index: status %d", resp.StatusCode)
+	}
+}
+
+func TestVersionEndpoint(t *testing.T) {
+	srv, _, _ := newTestServer(t)
+	var v versionInfo
+	if code := getJSON(t, srv.URL+"/v1/version", &v); code != http.StatusOK {
+		t.Fatalf("version: status %d", code)
+	}
+	if v.CodeVersion != registry.CodeVersion {
+		t.Fatalf("version reports %q, want %q", v.CodeVersion, registry.CodeVersion)
+	}
+	if v.GoVersion == "" {
+		t.Fatal("version missing go_version")
+	}
+}
+
+// TestMetricsEndpoint drives the submit → cache-hit flow and checks
+// both metric formats see it: Prometheus text with the counters the
+// smoke script scrapes, and the JSON snapshot.
+func TestMetricsEndpoint(t *testing.T) {
+	srv, _, _ := newTestServer(t)
+	body := `{"experiment":"fig2","params":{"iters":2},"seed":31}`
+	var v jobs.View
+	if code := postJSON(t, srv.URL+"/v1/jobs", body, &v); code != http.StatusAccepted {
+		t.Fatalf("submit: status %d", code)
+	}
+	pollDone(t, srv.URL, v.ID)
+	if code := postJSON(t, srv.URL+"/v1/jobs", body, &v); code != http.StatusOK || !v.FromCache {
+		t.Fatalf("resubmit: status %d, %+v", code, v)
+	}
+
+	resp, err := http.Get(srv.URL + "/v1/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	text, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("metrics: status %d, err %v", resp.StatusCode, err)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("metrics content type %q", ct)
+	}
+	for _, want := range []string{
+		"# TYPE store_cache_hits_total counter",
+		"store_cache_hits_total 1",
+		"jobs_submitted_total 2",
+		`jobs_completed_total{state="done"} 2`,
+		"# TYPE job_duration_seconds histogram",
+		"btb_lookups_total",
+		"cpu_fetch_windows_total",
+		"http_requests_total",
+	} {
+		if !strings.Contains(string(text), want) {
+			t.Errorf("metrics text missing %q", want)
+		}
+	}
+
+	var snap []obs.MetricSnapshot
+	if code := getJSON(t, srv.URL+"/v1/metrics?format=json", &snap); code != http.StatusOK {
+		t.Fatalf("metrics json: status %d", code)
+	}
+	if len(snap) == 0 {
+		t.Fatal("metrics json snapshot empty")
+	}
+	found := false
+	for _, m := range snap {
+		if m.Name == "store_cache_hits_total" && m.Value != nil && *m.Value == 1 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("store_cache_hits_total missing from JSON snapshot")
+	}
+}
+
+// chromeTrace is the shape chrome://tracing loads.
+type chromeTrace struct {
+	TraceEvents []struct {
+		Name  string `json:"name"`
+		Phase string `json:"ph"`
+		Cat   string `json:"cat"`
+	} `json:"traceEvents"`
+}
+
+// TestJobTraceEndpoint: an executed leak job serves a loadable Chrome
+// trace with the attack-pipeline events; a cache-hit job (nothing ran)
+// serves 404.
+func TestJobTraceEndpoint(t *testing.T) {
+	srv, _, _ := newTestServer(t)
+	body := `{"experiment":"leak","params":{"iters":1,"runs":1},"seed":17}`
+	var v jobs.View
+	if code := postJSON(t, srv.URL+"/v1/jobs", body, &v); code != http.StatusAccepted {
+		t.Fatalf("submit: status %d", code)
+	}
+	pollDone(t, srv.URL, v.ID)
+
+	var tr chromeTrace
+	if code := getJSON(t, srv.URL+"/v1/jobs/"+v.ID+"/trace", &tr); code != http.StatusOK {
+		t.Fatalf("trace: status %d", code)
+	}
+	if len(tr.TraceEvents) == 0 {
+		t.Fatal("trace has no events")
+	}
+	names := map[string]bool{}
+	for _, ev := range tr.TraceEvents {
+		names[ev.Name] = true
+	}
+	for _, want := range []string{"prime", "victim", "probe"} {
+		if !names[want] {
+			t.Errorf("trace missing %q events (have %v)", want, names)
+		}
+	}
+
+	resp, err := http.Get(srv.URL + "/v1/jobs/" + v.ID + "/trace?format=ndjson")
+	if err != nil {
+		t.Fatal(err)
+	}
+	nd, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("ndjson trace: status %d, err %v", resp.StatusCode, err)
+	}
+	first, _, _ := strings.Cut(strings.TrimSpace(string(nd)), "\n")
+	var line map[string]any
+	if err := json.Unmarshal([]byte(first), &line); err != nil {
+		t.Fatalf("ndjson first line not JSON: %v", err)
+	}
+
+	// Cache hit: the job never ran, so there is no trace.
+	var v2 jobs.View
+	if code := postJSON(t, srv.URL+"/v1/jobs", body, &v2); code != http.StatusOK || !v2.FromCache {
+		t.Fatalf("resubmit: status %d, %+v", code, v2)
+	}
+	var e errorBody
+	if code := getJSON(t, srv.URL+"/v1/jobs/"+v2.ID+"/trace", &e); code != http.StatusNotFound {
+		t.Fatalf("cache-hit trace: status %d, want 404", code)
+	}
+	if code := getJSON(t, srv.URL+"/v1/jobs/job-999/trace", &e); code != http.StatusNotFound {
+		t.Fatalf("unknown-job trace: status %d, want 404", code)
 	}
 }
 

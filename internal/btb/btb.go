@@ -33,6 +33,7 @@ import (
 	"math/bits"
 
 	"repro/internal/isa"
+	"repro/internal/obs"
 )
 
 // Domain identifies a predictor security domain for IBRS. User and
@@ -136,6 +137,20 @@ type Stats struct {
 	Evictions   uint64
 }
 
+// Obs holds optional observability counters mirroring Stats. Nil
+// counters are no-ops (see internal/obs), so an unobserved BTB pays one
+// predictable branch per event. Callers running BTBs in parallel should
+// attach private shard counters and fold them into a shared registry at
+// a task boundary rather than sharing counters across cores.
+type Obs struct {
+	Lookups     *obs.Counter
+	Hits        *obs.Counter
+	Allocs      *obs.Counter
+	Updates     *obs.Counter
+	Invalidates *obs.Counter
+	Evictions   *obs.Counter
+}
+
 // BTB is the branch target buffer. Not safe for concurrent use.
 type BTB struct {
 	cfg      Config
@@ -145,6 +160,7 @@ type BTB struct {
 	ibrs     bool
 	domain   Domain
 	stats    Stats
+	obs      Obs
 }
 
 // New returns an empty BTB with the given geometry. It panics on an
@@ -174,6 +190,11 @@ func (b *BTB) Stats() Stats { return b.stats }
 
 // ResetStats zeroes the event counters.
 func (b *BTB) ResetStats() { b.stats = Stats{} }
+
+// SetObs attaches (or, with the zero Obs, detaches) observability
+// counters. Counters only ever receive increments — the BTB never reads
+// them back — so attaching them cannot change simulation results.
+func (b *BTB) SetObs(o Obs) { b.obs = o }
 
 // index splits a (last-byte) PC into set index, tag and offset, using
 // only address bits below TagTopBit.
@@ -212,6 +233,7 @@ func (b *BTB) IBPB() {
 			if e.Valid && e.Kind.IsIndirect() {
 				e.Valid = false
 				b.stats.Invalidates++
+				b.obs.Invalidates.Inc()
 			}
 		}
 	}
@@ -226,6 +248,7 @@ func (b *BTB) Reset() {
 	b.ibrs = false
 	b.domain = 0
 	b.stats = Stats{}
+	b.obs = Obs{}
 }
 
 // Flush invalidates every entry. Real processors expose no such
@@ -248,6 +271,7 @@ func (b *BTB) Flush() {
 // within the fetch block.
 func (b *BTB) Lookup(fetchPC uint64) (Hit, bool) {
 	b.stats.Lookups++
+	b.obs.Lookups.Inc()
 	set, tag, offset := b.index(fetchPC)
 	best := -1
 	for w := range b.sets[set] {
@@ -269,6 +293,7 @@ func (b *BTB) Lookup(fetchPC uint64) (Hit, bool) {
 		return Hit{}, false
 	}
 	b.stats.Hits++
+	b.obs.Hits.Inc()
 	e := &b.sets[set][best]
 	b.lruClock++
 	e.lru = b.lruClock
@@ -297,6 +322,7 @@ func (b *BTB) Update(lastBytePC, target uint64, kind isa.Kind) {
 			e.Domain = b.domain
 			e.lru = b.lruClock
 			b.stats.Updates++
+			b.obs.Updates.Inc()
 			return
 		}
 	}
@@ -316,6 +342,7 @@ func (b *BTB) Update(lastBytePC, target uint64, kind isa.Kind) {
 	}
 	if !foundInvalid {
 		b.stats.Evictions++
+		b.obs.Evictions.Inc()
 	}
 	b.sets[set][victim] = Entry{
 		Valid:  true,
@@ -327,6 +354,7 @@ func (b *BTB) Update(lastBytePC, target uint64, kind isa.Kind) {
 		lru:    b.lruClock,
 	}
 	b.stats.Allocs++
+	b.obs.Allocs.Inc()
 }
 
 // Invalidate deallocates the entry keyed at lastBytePC, if present, and
@@ -339,6 +367,7 @@ func (b *BTB) Invalidate(lastBytePC uint64) bool {
 		if e.Valid && e.Tag == tag && e.Offset == offset {
 			e.Valid = false
 			b.stats.Invalidates++
+			b.obs.Invalidates.Inc()
 			return true
 		}
 	}
@@ -352,6 +381,7 @@ func (b *BTB) InvalidateHit(h Hit) {
 	if e.Valid {
 		e.Valid = false
 		b.stats.Invalidates++
+		b.obs.Invalidates.Inc()
 	}
 }
 

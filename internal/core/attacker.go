@@ -24,6 +24,7 @@ import (
 	"repro/internal/cpu"
 	"repro/internal/isa"
 	"repro/internal/lbr"
+	"repro/internal/obs"
 )
 
 // Interference is the fault-injection surface of the attack pipeline,
@@ -70,6 +71,27 @@ type Attacker struct {
 	// MaxProbeRetries bounds the retry-with-discard loop a probe runs
 	// when interference loses LBR records. 0 means DefaultProbeRetries.
 	MaxProbeRetries int
+
+	// Obs holds optional pipeline counters; the zero value (all-nil) is
+	// a no-op. Like the simulator's counters these are write-only from
+	// attack code, so attaching them cannot change extraction results.
+	Obs AttackObs
+	// Trace, when non-nil, records the prime/victim/probe timeline.
+	// TraceTID lanes the events (callers use their task index so
+	// parallel pipelines render side by side in chrome://tracing).
+	Trace    *obs.Trace
+	TraceTID int64
+}
+
+// AttackObs counts attack-pipeline events: probe rounds, the
+// retry-with-discard machinery, and prime executions.
+type AttackObs struct {
+	Primes        *obs.Counter // monitor chain prime executions
+	ProbeRounds   *obs.Counter // probes that produced a measurement
+	ProbeRetries  *obs.Counter // record-loss rounds discarded and retried
+	ProbeDegraded *obs.Counter // probes that exhausted their retry budget
+	VoteRounds    *obs.Counter // confidence-weighted voting rounds counted
+	VoteDiscards  *obs.Counter // wholly-degraded voting rounds discarded
 }
 
 // DefaultProbeRetries is the probe retry budget used when

@@ -209,6 +209,7 @@ func min3(a, b, c uint64) uint64 {
 
 // Prime executes the chain so that every PW has a live BTB entry.
 func (m *Monitor) Prime() error {
+	m.a.Obs.Primes.Inc()
 	return m.a.runSnippet(m.entry)
 }
 
@@ -302,12 +303,19 @@ func (m *Monitor) ProbeRobust() (*ProbeResult, error) {
 	for attempt := 0; ; attempt++ {
 		deltas, err := m.runAndMeasure()
 		if err == nil {
+			m.a.Obs.ProbeRounds.Inc()
+			m.a.Obs.ProbeRetries.Add(uint64(attempt))
 			return m.classify(deltas, attempt), nil
 		}
 		if !errors.Is(err, ErrRecordLost) {
 			return nil, err
 		}
+		if m.a.Trace != nil {
+			m.a.Trace.Event("nvcore", "probe_retry", m.a.TraceTID, map[string]any{"attempt": attempt + 1})
+		}
 		if attempt >= budget {
+			m.a.Obs.ProbeRetries.Add(uint64(attempt))
+			m.a.Obs.ProbeDegraded.Inc()
 			r := &ProbeResult{
 				Match:      make([]bool, len(m.PWs)),
 				Confidence: make([]float64, len(m.PWs)),
@@ -391,21 +399,42 @@ func (m *Monitor) ProbeAveragedRobust(repeat int, reRunVictim func() error) (*Vo
 	}
 	budget := 2 * repeat
 	for attempt := 0; res.Rounds < repeat && attempt < budget; attempt++ {
-		if err := m.Prime(); err != nil {
+		var roundArgs map[string]any
+		if m.a.Trace != nil {
+			roundArgs = map[string]any{"attempt": attempt}
+		}
+		round := m.a.Trace.Begin("nvcore", "round", m.a.TraceTID, roundArgs)
+		sp := m.a.Trace.Begin("nvcore", "prime", m.a.TraceTID, nil)
+		err := m.Prime()
+		sp.End()
+		if err != nil {
 			return nil, err
 		}
-		if err := reRunVictim(); err != nil {
+		sp = m.a.Trace.Begin("nvcore", "victim", m.a.TraceTID, nil)
+		err = reRunVictim()
+		sp.End()
+		if err != nil {
 			return nil, err
 		}
+		sp = m.a.Trace.Begin("nvcore", "probe", m.a.TraceTID, nil)
 		pr, err := m.ProbeRobust()
+		sp.End()
 		if err != nil {
 			return nil, err
 		}
 		if pr.Degraded {
 			res.Discarded++
+			m.a.Obs.VoteDiscards.Inc()
+			if m.a.Trace != nil {
+				round.EndWith(map[string]any{"degraded": true})
+			}
 			continue
 		}
 		res.Rounds++
+		m.a.Obs.VoteRounds.Inc()
+		if m.a.Trace != nil {
+			round.EndWith(map[string]any{"retries": pr.Retries})
+		}
 		for i, hit := range pr.Match {
 			w := pr.Confidence[i]
 			if w < voteEpsilon {
@@ -426,6 +455,11 @@ func (m *Monitor) ProbeAveragedRobust(repeat int, reRunVictim func() error) (*Vo
 			if res.Confidence[i] < 0 {
 				res.Confidence[i] = -res.Confidence[i]
 			}
+		}
+		if m.a.Trace != nil {
+			m.a.Trace.Event("nvcore", "pw_confidence", m.a.TraceTID, map[string]any{
+				"pw": m.PWs[i].String(), "match": res.Match[i], "confidence": res.Confidence[i],
+			})
 		}
 	}
 	return res, nil

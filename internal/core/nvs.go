@@ -96,8 +96,13 @@ func (s *SupervisorAttack) Close() { s.Tr.Close() }
 func (s *SupervisorAttack) ExtractTrace() (*NVSResult, error) {
 	res := &NVSResult{}
 
+	extract := s.A.Trace.Begin("nvs", "extract", s.A.TraceTID, nil)
+
 	// Phase 0: discovery.
-	if err := s.discover(res); err != nil {
+	disc := s.A.Trace.Begin("nvs", "discover", s.A.TraceTID, nil)
+	err := s.discover(res)
+	disc.End()
+	if err != nil {
 		return nil, err
 	}
 	n := len(res.Pages)
@@ -122,7 +127,14 @@ func (s *SupervisorAttack) ExtractTrace() (*NVSResult, error) {
 		if res.Runs >= s.cfg.MaxRuns {
 			return nil, fmt.Errorf("core: NV-S exceeded %d replay runs with searches still pending", s.cfg.MaxRuns)
 		}
-		if err := s.replayRun(res, searches); err != nil {
+		var runArgs map[string]any
+		if s.A.Trace != nil {
+			runArgs = map[string]any{"run": res.Runs}
+		}
+		replay := s.A.Trace.Begin("nvs", "replay_run", s.A.TraceTID, runArgs)
+		err := s.replayRun(res, searches)
+		replay.End()
+		if err != nil {
 			return nil, err
 		}
 	}
@@ -133,6 +145,9 @@ func (s *SupervisorAttack) ExtractTrace() (*NVSResult, error) {
 		res.CandidateSets[i] = ss.resolved()
 	}
 	res.Trace = trace.FromPCs(disambiguate(res.CandidateSets))
+	if s.A.Trace != nil {
+		extract.EndWith(map[string]any{"steps": n, "runs": res.Runs})
+	}
 	return res, nil
 }
 

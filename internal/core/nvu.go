@@ -59,20 +59,32 @@ func (u *UserAttack) RunRobust(m *Monitor, maxFragments int) ([]FragmentResult, 
 	if budget == 0 {
 		budget = 1_000_000
 	}
-	if err := m.Prime(); err != nil {
+	sp := m.a.Trace.Begin("nvcore", "prime", m.a.TraceTID, nil)
+	err := m.Prime()
+	sp.End()
+	if err != nil {
 		return nil, err
 	}
 	var out []FragmentResult
 	for len(out) < maxFragments && !u.Victim.Done {
+		var fragArgs map[string]any
+		if m.a.Trace != nil {
+			fragArgs = map[string]any{"fragment": len(out)}
+		}
+		frag := m.a.Trace.Begin("nvu", "fragment", m.a.TraceTID, fragArgs)
+		sp := m.a.Trace.Begin("nvcore", "victim", m.a.TraceTID, nil)
 		u.OS.Switch(u.Victim)
 		reason, err := u.OS.RunUntilStop(budget)
+		sp.End()
 		if err != nil {
 			return out, fmt.Errorf("core: victim fragment %d: %w", len(out), err)
 		}
 		if reason == osmodel.StopSteps {
 			return out, fmt.Errorf("core: victim fragment %d exceeded budget", len(out))
 		}
+		sp = m.a.Trace.Begin("nvcore", "probe", m.a.TraceTID, nil)
 		pr, err := m.ProbeRobust()
+		sp.End()
 		if err != nil {
 			return out, err
 		}
@@ -82,6 +94,14 @@ func (u *UserAttack) RunRobust(m *Monitor, maxFragments int) ([]FragmentResult, 
 			Retries:    pr.Retries,
 			Degraded:   pr.Degraded,
 		})
+		if m.a.Trace != nil {
+			frag.EndWith(map[string]any{"retries": pr.Retries, "degraded": pr.Degraded})
+			for i, hit := range pr.Match {
+				m.a.Trace.Event("nvcore", "pw_confidence", m.a.TraceTID, map[string]any{
+					"pw": m.PWs[i].String(), "match": hit, "confidence": pr.Confidence[i],
+				})
+			}
+		}
 		if pr.Degraded {
 			// The degraded probe's attempts re-primed the chain, but make
 			// sure the next fragment starts from a full prime.

@@ -36,6 +36,7 @@ import (
 	"repro/internal/isa"
 	"repro/internal/lbr"
 	"repro/internal/mem"
+	"repro/internal/obs"
 )
 
 // Config holds the core's microarchitectural parameters. Zero fields are
@@ -243,6 +244,22 @@ type Core struct {
 	squashes       uint64
 	falseHits      uint64
 	decodeResteers uint64
+
+	obs Obs
+}
+
+// Obs holds optional observability counters for the core's front-end
+// and retirement events. Nil counters are no-ops (see internal/obs);
+// like the plain counters above they are write-only from the
+// simulator's point of view, so attaching them cannot change results.
+type Obs struct {
+	FetchWindows   *obs.Counter // PW-granularity fetches (BTB consultations)
+	Squashes       *obs.Counter // pipeline squashes, decode + execute + interrupt
+	FalseHits      *obs.Counter // decode-time BTB false hits (Takeaway 1)
+	DecodeResteers *obs.Counter // decode-time redirects for unpredicted branches
+	Retired        *obs.Counter // retired instructions
+	Interrupts     *obs.Counter // asynchronous interrupts delivered
+	BTB            btb.Obs      // forwarded to the core's BTB by SetObs
 }
 
 // New returns a core with the given configuration, a fresh BTB and LBR,
@@ -263,6 +280,14 @@ func New(cfg Config, m *mem.Memory) *Core {
 
 // Config returns the core's effective configuration.
 func (c *Core) Config() Config { return c.cfg }
+
+// SetObs attaches (or, with the zero Obs, detaches) observability
+// counters to the core and its BTB. Reset detaches them, so a pooled
+// core recycled for a new task must be re-attached after Reset.
+func (c *Core) SetObs(o Obs) {
+	c.obs = o
+	c.BTB.SetObs(o.BTB)
+}
 
 // Reset returns the core to its power-on state over the same memory:
 // architectural state zeroed, front end empty, BTB and LBR fully
@@ -292,6 +317,7 @@ func (c *Core) Reset() {
 	c.squashes = 0
 	c.falseHits = 0
 	c.decodeResteers = 0
+	c.obs = Obs{}
 	c.BTB.Reset()
 	c.LBR.Reset()
 	if c.dirPred != nil {
@@ -343,6 +369,7 @@ func (c *Core) Halted() bool { return c.halted }
 // logic outside the simulated core (attack code measures the BTB via
 // Prime/Probe executions on the same core) and resumes with Step.
 func (c *Core) Interrupt() {
+	c.obs.Interrupts.Inc()
 	c.squashTo(c.pc, c.cfg.InterruptCost)
 }
 
@@ -382,6 +409,7 @@ func (c *Core) squashTo(pc uint64, penalty uint64) {
 	c.fetchStalled = false
 	c.fetchStopped = false
 	c.squashes++
+	c.obs.Squashes.Inc()
 	c.fetchClock = c.retireClock + penalty
 	// Restore decode-time RAS from retirement state.
 	c.specRAS = append(c.specRAS[:0], c.archRAS...)

@@ -344,6 +344,7 @@ func (c *Core) execute(s slot, retire uint64) (StepInfo, error) {
 	}
 	c.pc = actualNext
 	c.retired++
+	c.obs.Retired.Inc()
 
 	kind := in.Kind()
 	mispredicted := actualNext != s.nextPredicted

@@ -57,6 +57,7 @@ func (c *Core) specFetch(pc uint64) []byte {
 // c.fetchPC, enqueueing decoded instructions. It implements the BTB
 // access semantics of §2.4 and the false-hit deallocation of §2.3.
 func (c *Core) fetchPW() {
+	c.obs.FetchWindows.Inc()
 	pc := c.fetchPC
 	pwid := c.nextPWID
 	c.nextPWID++
@@ -282,12 +283,15 @@ func (c *Core) falseHit(h btb.Hit) {
 	}
 	c.falseHits++
 	c.squashes++
+	c.obs.FalseHits.Inc()
+	c.obs.Squashes.Inc()
 	c.fetchClock += c.cfg.FalseHitPenalty
 }
 
 // decodeResteer charges the decode-redirect bubble.
 func (c *Core) decodeResteer() {
 	c.decodeResteers++
+	c.obs.DecodeResteers.Inc()
 	c.fetchClock += c.cfg.DecodeResteerPenalty
 }
 

@@ -17,6 +17,7 @@ import (
 	"repro/internal/interfere"
 	"repro/internal/isa"
 	"repro/internal/mem"
+	"repro/internal/obs"
 	"repro/internal/runner"
 )
 
@@ -58,6 +59,15 @@ type Config struct {
 	// leakage run may spend replacing repetitions lost to interference
 	// before degrading to a partial result. Default 2.
 	FaultRetries int
+	// Obs, when non-nil, receives microarchitectural and pipeline
+	// metrics (BTB lookups, squashes, probe retries, interference
+	// faults, engine tasks). Trace, when non-nil, records the attack
+	// pipeline timeline. Both are strictly write-only for experiment
+	// code: they never influence results, cache keys or Result bytes —
+	// instrumented runs are bit-identical to uninstrumented ones (see
+	// TestObsDeterminism).
+	Obs   *obs.Registry
+	Trace *obs.Trace
 }
 
 func (c Config) withDefaults() Config {
@@ -78,7 +88,11 @@ func (c Config) withDefaults() Config {
 
 // engine returns the runner configuration for this experiment config.
 func (c Config) engine() runner.Config {
-	return runner.Config{Workers: c.Workers, Seed: c.Seed}
+	rc := runner.Config{Workers: c.Workers, Seed: c.Seed}
+	if c.Obs != nil {
+		rc.TaskCounter = c.Obs.Counter("runner_tasks_total", "tasks executed by the parallel experiment engine")
+	}
+	return rc
 }
 
 // aliasDistance returns the BTB aliasing distance of a core config
@@ -116,7 +130,7 @@ type driverSlot struct {
 	prog *asm.Program
 }
 
-func newHarness(cfg Config, prog *asm.Program) *harness {
+func newHarness(cfg Config, prog *asm.Program, sh *simShard) *harness {
 	m := mem.New()
 	prog.LoadInto(m)
 	m.Map(0x7e_0000, 0x2000, mem.PermRW)
@@ -124,6 +138,7 @@ func newHarness(cfg Config, prog *asm.Program) *harness {
 	if cfg.Noise > 0 {
 		core.LBR.SetNoise(cfg.Noise, cfg.Seed)
 	}
+	sh.attachCore(core)
 	return &harness{core: core, slots: make(map[uint64]*driverSlot)}
 }
 

@@ -39,11 +39,14 @@ func Figure2(cfg Config) (withF2, withoutF2 *stats.Series, err error) {
 		sweepN = 0x1d
 	)
 	alias := base + aliasDistance(cfg.CPU)
+	eo := cfg.obsCtx()
 
 	// Each sweep offset is an independent program + harness, so the
 	// sweep fans out on the engine; results are keyed by offset and
 	// bit-identical for any worker count.
 	points, err := runner.Map(cfg.engine(), int(sweepN), func(t runner.Task) (sweepPoint, error) {
+		sh := eo.shard(int64(t.Index))
+		defer sh.flush(nil)
 		f2Off := uint64(t.Index)
 		b := asm.NewBuilder(base + f1Off)
 		b.Label("f1")
@@ -62,7 +65,7 @@ func Figure2(cfg Config) (withF2, withoutF2 *stats.Series, err error) {
 		if berr != nil {
 			return sweepPoint{}, berr
 		}
-		h := newHarness(cfg, prog)
+		h := newHarness(cfg, prog, sh)
 		f1 := prog.MustLabel("f1")
 		f2 := prog.MustLabel("f2")
 		retPC := prog.MustLabel("l1")

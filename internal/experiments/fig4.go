@@ -60,9 +60,12 @@ func Figure4(cfg Config) (withF2, withoutF2 *stats.Series, err error) {
 	// The program is immutable and shared; each sweep offset gets its
 	// own harness (memory + core) so the points fan out on the engine
 	// with index-keyed results.
+	eo := cfg.obsCtx()
 	points, err := runner.Map(cfg.engine(), int(j1Off)+1, func(t runner.Task) (sweepPoint, error) {
+		sh := eo.shard(int64(t.Index))
+		defer sh.flush(nil)
 		f1Off := uint64(t.Index)
-		h := newHarness(cfg, prog)
+		h := newHarness(cfg, prog, sh)
 		f1 := base + f1Off
 		measure := func(callF2 bool) (float64, error) {
 			var sum float64

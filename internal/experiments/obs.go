@@ -1,0 +1,227 @@
+package experiments
+
+// Observability wiring for the experiment pipeline.
+//
+// The simulator's hot paths (cpu.Core.Step, btb.Lookup) increment plain
+// *obs.Counter fields: one predictable branch when nil, one uncontended
+// atomic add when set. To keep that "uncontended" true under the
+// parallel engine, counters are never shared across workers while a
+// task runs. Instead each task gets a private, freshly allocated
+// *shard* of counters attached to its simulator, and the shard is
+// folded into the registry-registered global sink counters exactly once
+// when the task finishes. Final metric values are sums, so they are
+// identical for any worker count and any flush order.
+//
+// Everything here is nil-safe: with Config.Obs and Config.Trace both
+// nil, obsCtx returns nil and every attach/flush call below is a no-op,
+// leaving the experiment's work byte-identical to an unwired build.
+
+import (
+	"repro/internal/btb"
+	"repro/internal/core"
+	"repro/internal/cpu"
+	"repro/internal/interfere"
+	"repro/internal/obs"
+)
+
+// simSink holds the global counters shards flush into. Registration is
+// upsert-style, so building a sink for every experiment run against one
+// registry always lands on the same metrics.
+type simSink struct {
+	reg *obs.Registry
+
+	btbLookups     *obs.Counter
+	btbHits        *obs.Counter
+	btbAllocs      *obs.Counter
+	btbUpdates     *obs.Counter
+	btbInvalidates *obs.Counter
+	btbEvictions   *obs.Counter
+
+	fetchWindows   *obs.Counter
+	squashes       *obs.Counter
+	falseHits      *obs.Counter
+	decodeResteers *obs.Counter
+	retired        *obs.Counter
+	interrupts     *obs.Counter
+
+	primes        *obs.Counter
+	probeRounds   *obs.Counter
+	probeRetries  *obs.Counter
+	probeDegraded *obs.Counter
+	voteRounds    *obs.Counter
+	voteDiscards  *obs.Counter
+}
+
+func newSimSink(r *obs.Registry) *simSink {
+	return &simSink{
+		reg: r,
+
+		btbLookups:     r.Counter("btb_lookups_total", "BTB prediction lookups (one per fetched prediction window, plus split-branch re-lookups)"),
+		btbHits:        r.Counter("btb_hits_total", "BTB lookups that returned a predicted branch"),
+		btbAllocs:      r.Counter("btb_allocs_total", "BTB entry allocations"),
+		btbUpdates:     r.Counter("btb_updates_total", "BTB entry target/kind refreshes"),
+		btbInvalidates: r.Counter("btb_invalidates_total", "BTB entry deallocations, including decode-time false-hit deallocations (Takeaway 1)"),
+		btbEvictions:   r.Counter("btb_evictions_total", "BTB LRU evictions of valid entries"),
+
+		fetchWindows:   r.Counter("cpu_fetch_windows_total", "32-byte prediction windows fetched"),
+		squashes:       r.Counter("cpu_squashes_total", "pipeline squashes (decode false hits, execute mispredicts, interrupts)"),
+		falseHits:      r.Counter("cpu_false_hits_total", "decode-time BTB false hits"),
+		decodeResteers: r.Counter("cpu_decode_resteers_total", "decode-time redirects for unpredicted direct branches"),
+		retired:        r.Counter("cpu_retired_total", "retired instructions"),
+		interrupts:     r.Counter("cpu_interrupts_total", "asynchronous interrupts delivered to simulated cores"),
+
+		primes:        r.Counter("probe_primes_total", "monitor chain prime executions"),
+		probeRounds:   r.Counter("probe_rounds_total", "probes that produced a measurement"),
+		probeRetries:  r.Counter("probe_retries_total", "probe rounds discarded to LBR record loss and retried"),
+		probeDegraded: r.Counter("probe_degraded_total", "probes that exhausted their retry budget (window unobserved)"),
+		voteRounds:    r.Counter("vote_rounds_total", "confidence-weighted voting rounds counted"),
+		voteDiscards:  r.Counter("vote_discards_total", "wholly-degraded voting rounds discarded"),
+	}
+}
+
+// expObs is the per-experiment observability context derived from
+// Config. A nil *expObs (observability disabled) short-circuits every
+// method.
+type expObs struct {
+	sink  *simSink
+	trace *obs.Trace
+}
+
+// obsCtx builds the experiment's observability context, or nil when
+// both the registry and the tracer are absent.
+func (c Config) obsCtx() *expObs {
+	if c.Obs == nil && c.Trace == nil {
+		return nil
+	}
+	e := &expObs{trace: c.Trace}
+	if c.Obs != nil {
+		e.sink = newSimSink(c.Obs)
+	}
+	return e
+}
+
+// countFaults folds a delivered-fault event batch into per-class
+// counters (interfere_faults_total{class=...}).
+func (e *expObs) countFaults(events []interfere.Event) {
+	if e == nil || e.sink == nil || len(events) == 0 {
+		return
+	}
+	byClass := make(map[interfere.Class]uint64)
+	for _, ev := range events {
+		byClass[ev.Class]++
+	}
+	for cl, n := range byClass {
+		e.sink.reg.CounterL("interfere_faults_total",
+			"interference faults delivered by class",
+			obs.Labels{"class": cl.String()}).Add(n)
+	}
+}
+
+// simShard is one task's private counter set. Allocated fresh per task,
+// attached to that task's simulator, and flushed into the sink once at
+// task end — never shared between concurrently running tasks.
+type simShard struct {
+	parent *expObs
+	tid    int64
+	cpuObs *cpu.Obs
+	attObs *core.AttackObs
+}
+
+// shard returns a fresh shard laned on tid, or nil when e is nil.
+func (e *expObs) shard(tid int64) *simShard {
+	if e == nil {
+		return nil
+	}
+	s := &simShard{parent: e, tid: tid}
+	if e.sink != nil {
+		s.cpuObs = &cpu.Obs{
+			FetchWindows:   &obs.Counter{},
+			Squashes:       &obs.Counter{},
+			FalseHits:      &obs.Counter{},
+			DecodeResteers: &obs.Counter{},
+			Retired:        &obs.Counter{},
+			Interrupts:     &obs.Counter{},
+			BTB: btb.Obs{
+				Lookups:     &obs.Counter{},
+				Hits:        &obs.Counter{},
+				Allocs:      &obs.Counter{},
+				Updates:     &obs.Counter{},
+				Invalidates: &obs.Counter{},
+				Evictions:   &obs.Counter{},
+			},
+		}
+		s.attObs = &core.AttackObs{
+			Primes:        &obs.Counter{},
+			ProbeRounds:   &obs.Counter{},
+			ProbeRetries:  &obs.Counter{},
+			ProbeDegraded: &obs.Counter{},
+			VoteRounds:    &obs.Counter{},
+			VoteDiscards:  &obs.Counter{},
+		}
+	}
+	return s
+}
+
+// attachCore wires the shard's counters into a simulated core (and its
+// BTB). Must be re-called after Core.Reset, which detaches observers.
+func (s *simShard) attachCore(c *cpu.Core) {
+	if s == nil || s.cpuObs == nil {
+		return
+	}
+	c.SetObs(*s.cpuObs)
+}
+
+// attachAttacker wires the shard's pipeline counters and the
+// experiment's tracer into an attacker.
+func (s *simShard) attachAttacker(a *core.Attacker) {
+	if s == nil {
+		return
+	}
+	if s.attObs != nil {
+		a.Obs = *s.attObs
+	}
+	a.Trace = s.parent.trace
+	a.TraceTID = s.tid
+}
+
+// attachInjector lanes the injector's fault events onto the
+// experiment's tracer.
+func (s *simShard) attachInjector(inj *interfere.Injector) {
+	if s == nil || inj == nil {
+		return
+	}
+	inj.Tracer = s.parent.trace
+	inj.TraceTID = s.tid
+}
+
+// flush folds the shard into the sink and counts the task's delivered
+// interference events. Call exactly once, when the task's simulators
+// are done.
+func (s *simShard) flush(events []interfere.Event) {
+	if s == nil {
+		return
+	}
+	if k := s.parent.sink; k != nil && s.cpuObs != nil {
+		k.btbLookups.Add(s.cpuObs.BTB.Lookups.Value())
+		k.btbHits.Add(s.cpuObs.BTB.Hits.Value())
+		k.btbAllocs.Add(s.cpuObs.BTB.Allocs.Value())
+		k.btbUpdates.Add(s.cpuObs.BTB.Updates.Value())
+		k.btbInvalidates.Add(s.cpuObs.BTB.Invalidates.Value())
+		k.btbEvictions.Add(s.cpuObs.BTB.Evictions.Value())
+
+		k.fetchWindows.Add(s.cpuObs.FetchWindows.Value())
+		k.squashes.Add(s.cpuObs.Squashes.Value())
+		k.falseHits.Add(s.cpuObs.FalseHits.Value())
+		k.decodeResteers.Add(s.cpuObs.DecodeResteers.Value())
+		k.retired.Add(s.cpuObs.Retired.Value())
+		k.interrupts.Add(s.cpuObs.Interrupts.Value())
+
+		k.primes.Add(s.attObs.Primes.Value())
+		k.probeRounds.Add(s.attObs.ProbeRounds.Value())
+		k.probeRetries.Add(s.attObs.ProbeRetries.Value())
+		k.probeDegraded.Add(s.attObs.ProbeDegraded.Value())
+		k.voteRounds.Add(s.attObs.VoteRounds.Value())
+		k.voteDiscards.Add(s.attObs.VoteDiscards.Value())
+	}
+	s.parent.countFaults(events)
+}

@@ -1,0 +1,125 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"repro/internal/interfere"
+	"repro/internal/obs"
+)
+
+// obsProbe runs a representative slice of the pipeline — a parallel
+// Figure 2 sweep plus an interference-degraded UseCase1 run — with the
+// given instrumentation and returns the JSON-marshaled results.
+// Instrumentation is write-only, so these bytes must be identical
+// whether or not reg/tr are set and for any worker count.
+func obsProbe(t *testing.T, workers int, reg *obs.Registry, tr *obs.Trace) []byte {
+	t.Helper()
+	fig := Config{Iters: 3, Seed: 29, Workers: workers, Obs: reg, Trace: tr}
+	withF2, withoutF2, err := Figure2(fig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	uc := Config{Iters: 1, Seed: 5, Workers: workers, Obs: reg, Trace: tr}
+	uc.Interference = interfere.Config{
+		InterruptRate:  0.002,
+		RecordLossRate: 0.05,
+		FlushRate:      0.005,
+	}
+	gcd, err := UseCase1GCD(uc, 2, AllDefenses())
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob, err := json.Marshal(struct {
+		WithY, WithoutY []float64
+		GCD             *UseCase1Result
+	}{withF2.Y, withoutF2.Y, gcd})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return blob
+}
+
+// metricValues flattens a registry snapshot to name{labels} -> value.
+func metricValues(reg *obs.Registry) map[string]uint64 {
+	out := map[string]uint64{}
+	for _, m := range reg.Snapshot() {
+		key := m.Name
+		for k, v := range m.Labels {
+			key += "{" + k + "=" + v + "}"
+		}
+		if m.Value != nil {
+			out[key] = *m.Value
+		}
+	}
+	return out
+}
+
+// TestObsDeterminism is the observability layer's core guarantee:
+// attaching a metrics registry and a tracer changes no result byte, for
+// any worker count, and the metric totals themselves are identical
+// across worker counts (shard sums are order-independent).
+func TestObsDeterminism(t *testing.T) {
+	baseline := obsProbe(t, 1, nil, nil)
+
+	var prev map[string]uint64
+	for _, workers := range []int{1, 4} {
+		if got := obsProbe(t, workers, nil, nil); !bytes.Equal(got, baseline) {
+			t.Fatalf("uninstrumented Workers=%d diverges from baseline", workers)
+		}
+		reg := obs.NewRegistry()
+		tr := obs.NewTrace()
+		if got := obsProbe(t, workers, reg, tr); !bytes.Equal(got, baseline) {
+			t.Fatalf("instrumented Workers=%d changed result bytes", workers)
+		}
+
+		vals := metricValues(reg)
+		for _, name := range []string{
+			"btb_lookups_total", "btb_hits_total", "btb_invalidates_total",
+			"cpu_fetch_windows_total", "cpu_squashes_total", "cpu_false_hits_total",
+			"cpu_retired_total", "probe_primes_total", "probe_rounds_total",
+			"runner_tasks_total",
+		} {
+			if vals[name] == 0 {
+				t.Errorf("Workers=%d: %s = 0, want > 0", workers, name)
+			}
+		}
+		// The degraded UseCase1 run must have delivered classed faults.
+		var faults uint64
+		for k, v := range vals {
+			if len(k) > len("interfere_faults_total") && k[:len("interfere_faults_total")] == "interfere_faults_total" {
+				faults += v
+			}
+		}
+		if faults == 0 {
+			t.Errorf("Workers=%d: no interfere_faults_total{class=...} recorded", workers)
+		}
+		if prev != nil {
+			for k, v := range vals {
+				if prev[k] != v {
+					t.Errorf("metric %s differs across worker counts: %d vs %d", k, prev[k], v)
+				}
+			}
+			for k := range prev {
+				if _, ok := vals[k]; !ok {
+					t.Errorf("metric %s present at Workers=1 but missing at Workers=4", k)
+				}
+			}
+		}
+		prev = vals
+
+		if tr.Len() == 0 {
+			t.Fatalf("Workers=%d: tracer recorded no events", workers)
+		}
+		seen := map[string]bool{}
+		for _, ev := range tr.Events() {
+			seen[ev.Name] = true
+		}
+		for _, want := range []string{"prime", "victim", "probe", "pw_confidence", "fragment", "fault"} {
+			if !seen[want] {
+				t.Errorf("Workers=%d: trace missing %q events", workers, want)
+			}
+		}
+	}
+}

@@ -27,8 +27,11 @@ func FragmentPressure(cfg Config, fillerCounts []int, trials int) (hit, falsePos
 
 	// Filler sizes are independent victims, so the sweep fans out on
 	// the engine with one point per filler count.
+	eo := cfg.obsCtx()
 	points, err := runner.Map(cfg.engine(), len(fillerCounts), func(t runner.Task) (sweepPoint, error) {
-		h, f, err := pressurePoint(cfg, fillerCounts[t.Index], trials)
+		sh := eo.shard(int64(t.Index))
+		defer sh.flush(nil)
+		h, f, err := pressurePoint(cfg, fillerCounts[t.Index], trials, sh)
 		if err != nil {
 			return sweepPoint{}, err
 		}
@@ -48,7 +51,7 @@ func FragmentPressure(cfg Config, fillerCounts []int, trials int) (hit, falsePos
 }
 
 // pressurePoint measures one filler size.
-func pressurePoint(cfg Config, filler, trials int) (hitRate, falseRate float64, err error) {
+func pressurePoint(cfg Config, filler, trials int, sh *simShard) (hitRate, falseRate float64, err error) {
 	// Victim: touch the monitored range, then execute `filler` jumps
 	// spread across BTB sets (64-byte stride walks consecutive sets).
 	b := asm.NewBuilder(0x40_0000)
@@ -84,6 +87,7 @@ func pressurePoint(cfg Config, filler, trials int) (hitRate, falseRate float64, 
 		m := mem.New()
 		prog.LoadInto(m)
 		c := cpu.New(cfg.CPU, m)
+		sh.attachCore(c)
 		if cfg.Noise > 0 {
 			c.LBR.SetNoise(cfg.Noise, cfg.Seed+uint64(trial))
 		}
@@ -94,6 +98,7 @@ func pressurePoint(cfg Config, filler, trials int) (hitRate, falseRate float64, 
 		if err != nil {
 			return 0, 0, err
 		}
+		sh.attachAttacker(att)
 		mon, err := att.NewMonitor([]core.PW{
 			{Base: 0x40_0100, Len: 16}, // executed
 			{Base: 0x40_0180, Len: 16}, // never executed

@@ -195,6 +195,7 @@ func runUseCase1(cfg Config, runs int, def DefenseOptions, target uc1Target) (*U
 	cfg = cfg.withDefaults()
 	res := &UseCase1Result{Runs: runs}
 	rng := nvrand.New(cfg.Seed)
+	eo := cfg.obsCtx()
 
 	var confSum float64
 	var confN int
@@ -217,7 +218,9 @@ func runUseCase1(cfg Config, runs int, def DefenseOptions, target uc1Target) (*U
 		measured := 0
 		budget := cfg.FaultRetries
 		for attempt := 0; measured < repeats && attempt < repeats+cfg.FaultRetries; attempt++ {
-			fl, _, err := leakFragments(cfg, rng.Split(), def, target, a, b, len(truth)+2)
+			sh := eo.shard(int64(run))
+			fl, _, err := leakFragments(cfg, rng.Split(), def, target, a, b, len(truth)+2, sh)
+			sh.flush(fl.events)
 			res.Events += uint64(len(fl.events))
 			res.TraceHash = foldEvents(res.TraceHash, fl.events)
 			if err != nil {
@@ -333,7 +336,7 @@ type fragLeak struct {
 // deterministic injector (seeded from rng) perturbs the victim, the
 // probes and the LBR reads; fragments that lose every measurement come
 // back flagged degraded rather than failing the repetition.
-func leakFragments(cfg Config, rng *nvrand.Rand, def DefenseOptions, target uc1Target, a, b uint64, maxFrags int) (fragLeak, ifTriple, error) {
+func leakFragments(cfg Config, rng *nvrand.Rand, def DefenseOptions, target uc1Target, a, b uint64, maxFrags int, sh *simShard) (fragLeak, ifTriple, error) {
 	const (
 		base      = uint64(0x40_0000)
 		cfrRegion = uint64(0x48_0000)
@@ -383,6 +386,7 @@ func leakFragments(cfg Config, rng *nvrand.Rand, def DefenseOptions, target uc1T
 	m := mem.New()
 	prog.LoadInto(m)
 	c := cpu.New(cfg.CPU, m)
+	sh.attachCore(c)
 	if cfg.Noise > 0 {
 		c.LBR.SetNoise(cfg.Noise, rng.Uint64())
 	}
@@ -395,6 +399,7 @@ func leakFragments(cfg Config, rng *nvrand.Rand, def DefenseOptions, target uc1T
 	if err != nil {
 		return fragLeak{}, ifTriple{}, err
 	}
+	sh.attachAttacker(att)
 	// The injector is created (and its seed drawn) only when a fault
 	// class is enabled: the disabled path performs exactly the rng draws
 	// it always did, keeping results bit-identical to interference-free
@@ -403,6 +408,7 @@ func leakFragments(cfg Config, rng *nvrand.Rand, def DefenseOptions, target uc1T
 	var inj *interfere.Injector
 	if cfg.Interference.Enabled() {
 		inj = interfere.New(cfg.Interference, c, rng.Uint64())
+		sh.attachInjector(inj)
 		os.OnTick = inj.VictimTick
 		att.Interfere = inj
 	}

@@ -33,6 +33,7 @@ func UseCase1BnCmp(cfg Config, runs int, def DefenseOptions) (*BnCmpResult, erro
 	cfg = cfg.withDefaults()
 	rng := nvrand.New(cfg.Seed)
 	res := &BnCmpResult{Runs: runs}
+	eo := cfg.obsCtx()
 
 	target := uc1Target{fn: victim.BnCmp(true)}
 
@@ -54,12 +55,12 @@ func UseCase1BnCmp(cfg Config, runs int, def DefenseOptions) (*BnCmpResult, erro
 		// Repetitions lost to interference are replaced out of the
 		// FaultRetries budget (leakBnCmpArm), keeping the run alive.
 		target.pickIf = func(ts []ifTriple) ifTriple { return ts[0] }
-		gt, err := leakBnCmpArm(cfg, rng, def, target, a, b)
+		gt, err := leakBnCmpArm(cfg, eo, int64(run), rng, def, target, a, b)
 		if err != nil {
 			return nil, fmt.Errorf("run %d: %w", run, err)
 		}
 		target.pickIf = func(ts []ifTriple) ifTriple { return ts[1] }
-		lt, err := leakBnCmpArm(cfg, rng, def, target, a, b)
+		lt, err := leakBnCmpArm(cfg, eo, int64(run), rng, def, target, a, b)
 		if err != nil {
 			return nil, fmt.Errorf("run %d: %w", run, err)
 		}
@@ -96,10 +97,12 @@ func UseCase1BnCmp(cfg Config, runs int, def DefenseOptions) (*BnCmpResult, erro
 // leakBnCmpArm measures one arm's fragments, retrying a repetition
 // whose calibration or probing is lost to interference (up to
 // cfg.FaultRetries replacements) before surfacing the error.
-func leakBnCmpArm(cfg Config, rng *nvrand.Rand, def DefenseOptions, target uc1Target, a, b uint64) (fragLeak, error) {
+func leakBnCmpArm(cfg Config, eo *expObs, tid int64, rng *nvrand.Rand, def DefenseOptions, target uc1Target, a, b uint64) (fragLeak, error) {
 	var lastErr error
 	for attempt := 0; attempt <= cfg.FaultRetries; attempt++ {
-		fl, _, err := leakFragments(cfg, rng.Split(), def, target, a, b, 20)
+		sh := eo.shard(tid)
+		fl, _, err := leakFragments(cfg, rng.Split(), def, target, a, b, 20, sh)
+		sh.flush(fl.events)
 		if err == nil {
 			return fl, nil
 		}

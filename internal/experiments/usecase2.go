@@ -71,6 +71,12 @@ var modelSimPool = sync.Pool{New: func() any {
 // §7.3 limit). The calibration test validates this model against real
 // end-to-end NV-S runs. It is safe for concurrent use.
 func ModelTrace(fn *codegen.Func, opts codegen.Options, args []uint64) (pcs []uint64, data []bool, err error) {
+	return modelTrace(fn, opts, args, nil)
+}
+
+// modelTrace is ModelTrace with an optional shard: the shard's counters
+// are attached after the pooled core's Reset (which detaches observers).
+func modelTrace(fn *codegen.Func, opts codegen.Options, args []uint64, sh *simShard) (pcs []uint64, data []bool, err error) {
 	prog, err := buildVictimProgram(fn, opts)
 	if err != nil {
 		return nil, nil, err
@@ -79,6 +85,7 @@ func ModelTrace(fn *codegen.Func, opts codegen.Options, args []uint64) (pcs []ui
 	defer modelSimPool.Put(sim)
 	sim.m.Reset()
 	sim.c.Reset()
+	sh.attachCore(sim.c)
 	m, c := sim.m, sim.c
 	prog.LoadInto(m)
 	m.Map(0x7e_0000, 0x2000, mem.PermRW)
@@ -116,11 +123,20 @@ func ModelTrace(fn *codegen.Func, opts codegen.Options, args []uint64) (pcs []ui
 // data-access signals, plus the number of enclave executions used.
 func NVSTrace(cfg Config, fn *codegen.Func, opts codegen.Options, args []uint64) (pcs []uint64, data []bool, runs int, err error) {
 	cfg = cfg.withDefaults()
+	return nvsTrace(cfg, cfg.obsCtx(), 0, fn, opts, args)
+}
+
+// nvsTrace is NVSTrace after defaults, with the caller's observability
+// context: the run's core, attacker and (when enabled) injector are
+// wired to a fresh shard laned on tid, flushed when the run finishes.
+func nvsTrace(cfg Config, eo *expObs, tid int64, fn *codegen.Func, opts codegen.Options, args []uint64) (pcs []uint64, data []bool, runs int, err error) {
 	prog, err := buildVictimProgram(fn, opts)
 	if err != nil {
 		return nil, nil, 0, err
 	}
+	sh := eo.shard(tid)
 	c := cpu.New(cfg.CPU, mem.New())
+	sh.attachCore(c)
 	if cfg.Noise > 0 {
 		c.LBR.SetNoise(cfg.Noise, cfg.Seed)
 	}
@@ -138,12 +154,23 @@ func NVSTrace(cfg Config, fn *codegen.Func, opts codegen.Options, args []uint64)
 	if err != nil {
 		return nil, nil, 0, err
 	}
+	sh.attachAttacker(att)
 	// Deterministic interference (when enabled) perturbs the supervisor
 	// attacker's probes and LBR reads; degraded probes skip their search
 	// advance and the next replay run retries them.
+	var inj *interfere.Injector
 	if cfg.Interference.Enabled() {
-		att.Interfere = interfere.New(cfg.Interference, c, cfg.Seed)
+		inj = interfere.New(cfg.Interference, c, cfg.Seed)
+		sh.attachInjector(inj)
+		att.Interfere = inj
 	}
+	defer func() {
+		var events []interfere.Event
+		if inj != nil {
+			events = inj.Trace()
+		}
+		sh.flush(events)
+	}()
 	sup := core.NewSupervisorAttack(att, enc, core.SupervisorConfig{BlocksPerCall: cfg.NVSBlocksPerCall})
 	defer sup.Close()
 	res, err := sup.ExtractTrace()
@@ -228,15 +255,16 @@ func Figure12(cfg Config, corpusN, topK int) ([]Figure12Result, error) {
 	rng := nvrand.New(cfg.Seed)
 	gcdArgs := []uint64{65537, rng.Uint64() | 1}
 	bnArgs := []uint64{rng.Uint64(), rng.Uint64()}
+	eo := cfg.obsCtx()
 
 	// End-to-end NV-S traces for the two targets.
 	victims := make(map[string]fingerprint.FuncTrace)
-	for _, tgt := range []struct {
+	for i, tgt := range []struct {
 		name string
 		fn   *codegen.Func
 		args []uint64
 	}{{"mbedtls_mpi_gcd", gcdFn, gcdArgs}, {"bn_cmp", bnFn, bnArgs}} {
-		pcs, data, _, err := NVSTrace(cfg, tgt.fn, opts, tgt.args)
+		pcs, data, _, err := nvsTrace(cfg, eo, int64(i), tgt.fn, opts, tgt.args)
 		if err != nil {
 			return nil, fmt.Errorf("NV-S on %s: %w", tgt.name, err)
 		}
@@ -257,12 +285,14 @@ func Figure12(cfg Config, corpusN, topK int) ([]Figure12Result, error) {
 		ft   fingerprint.FuncTrace
 	}
 	results, err := runner.Map(cfg.engine(), len(corpus), func(t runner.Task) (traced, error) {
+		sh := eo.shard(int64(t.Index))
+		defer sh.flush(nil)
 		fn := corpus[t.Index]
 		args := make([]uint64, len(fn.Params))
 		for j := range args {
 			args[j] = (uint64(t.Index)*0x9E3779B9 + uint64(j)*12345) | 1
 		}
-		pcs, data, err := ModelTrace(fn, opts, args)
+		pcs, data, err := modelTrace(fn, opts, args, sh)
 		if err != nil {
 			return traced{}, fmt.Errorf("corpus %s: %w", fn.Name, err)
 		}

@@ -23,6 +23,7 @@ import (
 	"repro/internal/isa"
 	"repro/internal/lbr"
 	"repro/internal/nvrand"
+	"repro/internal/obs"
 )
 
 // Class identifies one fault class. Each class draws from its own RNG
@@ -66,6 +67,19 @@ const (
 	SiteProbe              // during attacker prime/probe code
 	SiteRead               // while reading the LBR
 )
+
+// String returns the site's label.
+func (s Site) String() string {
+	switch s {
+	case SiteVictim:
+		return "victim"
+	case SiteProbe:
+		return "probe"
+	case SiteRead:
+		return "read"
+	}
+	return "invalid"
+}
 
 // Config holds the fault rates. The zero value disables injection
 // entirely; with it installed, every hook is a no-op that draws nothing
@@ -172,6 +186,13 @@ type Injector struct {
 	polluterLaid []bool
 	polluterNext int
 	site         Site
+
+	// Tracer, when non-nil, receives an instant event per delivered
+	// fault. TraceTID lanes those events alongside the attack pipeline's
+	// spans. Purely observational: the fault schedule is fixed by (cfg,
+	// seed) and never consults the tracer.
+	Tracer   *obs.Trace
+	TraceTID int64
 }
 
 // New returns an injector for core whose schedule is fully determined
@@ -197,6 +218,11 @@ func (inj *Injector) draw(class Class, rate float64) bool {
 // record appends a delivered event to the trace.
 func (inj *Injector) record(class Class, site Site, arg uint64) {
 	inj.trace = append(inj.trace, Event{Class: class, Site: site, Seq: inj.draws[class], Arg: arg})
+	if inj.Tracer != nil {
+		inj.Tracer.Event("interfere", "fault", inj.TraceTID, map[string]any{
+			"class": class.String(), "site": site.String(), "arg": arg,
+		})
+	}
 }
 
 // VictimTick is the osmodel.OS.OnTick hook: called after every retired

@@ -16,9 +16,11 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"sort"
 	"sync"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/registry"
 	"repro/internal/runner"
 	"repro/internal/store"
@@ -93,6 +95,7 @@ type job struct {
 	cancel     context.CancelFunc
 	done       chan struct{} // closed on any terminal state
 	heapIdx    int           // -1 when not queued
+	trace      *obs.Trace    // non-nil when Config.Tracing, for jobs that run
 }
 
 // Config configures an Engine.
@@ -113,6 +116,56 @@ type Config struct {
 	// QueueDepth bounds queued-but-not-running jobs; submissions
 	// beyond it fail with ErrQueueFull. <= 0 means 1024.
 	QueueDepth int
+	// Obs, when non-nil, receives engine metrics (submissions,
+	// completions by state, duration and queue-latency histograms,
+	// queue depth, running gauge) and is handed to every experiment run
+	// for simulator-level metrics. Nil disables all of it.
+	Obs *obs.Registry
+	// Tracing, when true, records a per-job attack-pipeline trace
+	// (retrievable via Engine.Trace) for every job that actually runs.
+	Tracing bool
+}
+
+// metrics is the engine's registered instrument set; all fields are
+// nil-safe no-ops when Config.Obs was nil.
+type metrics struct {
+	submitted    *obs.Counter
+	doneC        *obs.Counter
+	failedC      *obs.Counter
+	canceledC    *obs.Counter
+	duration     *obs.Histogram
+	queueLatency *obs.Histogram
+	depth        *obs.Gauge
+	running      *obs.Gauge
+}
+
+func newMetrics(r *obs.Registry) metrics {
+	completed := func(state State) *obs.Counter {
+		return r.CounterL("jobs_completed_total", "jobs reaching a terminal state, by state",
+			obs.Labels{"state": string(state)})
+	}
+	return metrics{
+		submitted:    r.Counter("jobs_submitted_total", "job submissions accepted (including cache hits)"),
+		doneC:        completed(StateDone),
+		failedC:      completed(StateFailed),
+		canceledC:    completed(StateCanceled),
+		duration:     r.Histogram("job_duration_seconds", "wall time of executed jobs, start to terminal state", obs.DefaultDurationBuckets()),
+		queueLatency: r.Histogram("job_queue_latency_seconds", "time jobs spent queued before a worker picked them up", obs.DefaultDurationBuckets()),
+		depth:        r.Gauge("jobs_queue_depth", "jobs queued and not yet running"),
+		running:      r.Gauge("jobs_running", "jobs currently executing"),
+	}
+}
+
+func (m metrics) completed(state State) *obs.Counter {
+	switch state {
+	case StateDone:
+		return m.doneC
+	case StateFailed:
+		return m.failedC
+	case StateCanceled:
+		return m.canceledC
+	}
+	return nil
 }
 
 // ErrQueueFull rejects submissions when the queue is at capacity.
@@ -127,12 +180,14 @@ type Engine struct {
 	store      *store.Store
 	expWorkers int
 	queueCap   int
+	obs        *obs.Registry
+	m          metrics
+	tracing    bool
 
 	mu      sync.Mutex
 	cond    *sync.Cond
 	queue   jobHeap
 	jobs    map[string]*job
-	order   []string // insertion order, for List
 	nextID  uint64
 	nextSeq uint64
 	closed  bool
@@ -157,6 +212,9 @@ func New(cfg Config) *Engine {
 		store:      cfg.Store,
 		expWorkers: cfg.ExpWorkers,
 		queueCap:   cfg.QueueDepth,
+		obs:        cfg.Obs,
+		m:          newMetrics(cfg.Obs),
+		tracing:    cfg.Tracing,
 		jobs:       make(map[string]*job),
 	}
 	e.cond = sync.NewCond(&e.mu)
@@ -210,18 +268,23 @@ func (e *Engine) Submit(req Request) (View, error) {
 		heapIdx:    -1,
 	}
 	e.jobs[j.id] = j
-	e.order = append(e.order, j.id)
+	e.m.submitted.Inc()
 	if cached != nil {
 		j.state = StateDone
 		j.progress = 1
 		j.fromCache = true
 		j.result = cached
 		j.finishedAt = j.enqueuedAt
+		e.m.completed(StateDone).Inc()
 		close(j.done)
 		return e.viewLocked(j), nil
 	}
 	j.state = StateQueued
+	if e.tracing {
+		j.trace = obs.NewTrace()
+	}
 	heap.Push(&e.queue, j)
+	e.m.depth.Set(int64(e.queue.Len()))
 	e.cond.Signal()
 	return e.viewLocked(j), nil
 }
@@ -237,15 +300,35 @@ func (e *Engine) Get(id string) (View, bool) {
 	return e.viewLocked(j), true
 }
 
-// List returns snapshots of every job in submission order.
+// List returns snapshots of every job, sorted by submit sequence: the
+// order is deterministic however the jobs map iterates.
 func (e *Engine) List() []View {
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	out := make([]View, 0, len(e.order))
-	for _, id := range e.order {
-		out = append(out, e.viewLocked(e.jobs[id]))
+	all := make([]*job, 0, len(e.jobs))
+	for _, j := range e.jobs {
+		all = append(all, j)
+	}
+	sort.Slice(all, func(i, k int) bool { return all[i].seq < all[k].seq })
+	out := make([]View, 0, len(all))
+	for _, j := range all {
+		out = append(out, e.viewLocked(j))
 	}
 	return out
+}
+
+// Trace returns a job's recorded attack-pipeline trace. It exists only
+// when the engine was built with Config.Tracing and the job actually
+// ran (cache hits execute nothing). Reading a trace while its job is
+// still running yields a consistent prefix.
+func (e *Engine) Trace(id string) (*obs.Trace, bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	j, ok := e.jobs[id]
+	if !ok || j.trace == nil {
+		return nil, false
+	}
+	return j.trace, true
 }
 
 // Wait blocks until the job reaches a terminal state (or the context
@@ -280,6 +363,7 @@ func (e *Engine) Cancel(id string) (View, error) {
 	case StateQueued:
 		if j.heapIdx >= 0 {
 			heap.Remove(&e.queue, j.heapIdx)
+			e.m.depth.Set(int64(e.queue.Len()))
 		}
 		e.finishLocked(j, StateCanceled, "canceled while queued", nil)
 	case StateRunning:
@@ -301,6 +385,7 @@ func (e *Engine) Shutdown(ctx context.Context) error {
 			j := heap.Pop(&e.queue).(*job)
 			e.finishLocked(j, StateCanceled, "engine shutdown", nil)
 		}
+		e.m.depth.Set(0)
 		e.cond.Broadcast()
 	}
 	e.mu.Unlock()
@@ -330,6 +415,9 @@ func (e *Engine) next() (func(), bool) {
 			j.state = StateRunning
 			j.startedAt = time.Now().UTC()
 			j.cancel = cancel
+			e.m.depth.Set(int64(e.queue.Len()))
+			e.m.running.Inc()
+			e.m.queueLatency.Observe(j.startedAt.Sub(j.enqueuedAt).Seconds())
 			return func() { e.run(j, ctx) }, true
 		}
 		if e.closed {
@@ -365,6 +453,8 @@ func (e *Engine) run(j *job, ctx context.Context) {
 				}
 				e.mu.Unlock()
 			},
+			Obs:   e.obs,
+			Trace: j.trace,
 		})
 	}()
 
@@ -392,6 +482,7 @@ func (e *Engine) run(j *job, ctx context.Context) {
 	e.mu.Lock()
 	e.finishLocked(j, state, msg, payload)
 	e.mu.Unlock()
+	e.m.running.Dec()
 }
 
 // finishLocked moves a job to a terminal state. Caller holds e.mu.
@@ -406,6 +497,10 @@ func (e *Engine) finishLocked(j *job, state State, msg string, payload []byte) {
 		j.progress = 1
 	}
 	j.finishedAt = time.Now().UTC()
+	e.m.completed(state).Inc()
+	if !j.startedAt.IsZero() {
+		e.m.duration.Observe(j.finishedAt.Sub(j.startedAt).Seconds())
+	}
 	close(j.done)
 }
 

@@ -1,0 +1,156 @@
+package jobs
+
+import (
+	"context"
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/store"
+)
+
+// TestListOrderDeterministic: List must return jobs sorted by submit
+// sequence — never map-iteration order — including cache-hit jobs that
+// were born terminal.
+func TestListOrderDeterministic(t *testing.T) {
+	reg, _ := fakeRegistry()
+	st, err := store.New(16, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := New(Config{Registry: reg, Store: st, Workers: 2})
+	defer shutdownOK(t, e)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	const n = 12
+	want := make([]string, 0, n)
+	for i := 0; i < n; i++ {
+		// Alternate fresh configs and repeats so some submissions are
+		// cache hits.
+		v, err := e.Submit(Request{Experiment: "echo", Params: map[string]any{"n": i / 2}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want = append(want, v.ID)
+		if _, err := e.Wait(ctx, v.ID); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for round := 0; round < 5; round++ {
+		got := e.List()
+		if len(got) != n {
+			t.Fatalf("List returned %d jobs, want %d", len(got), n)
+		}
+		for i, v := range got {
+			if v.ID != want[i] {
+				t.Fatalf("round %d: List[%d] = %s, want %s", round, i, v.ID, want[i])
+			}
+		}
+	}
+}
+
+// TestEngineMetricsAndTrace covers the engine's registered instruments
+// and the per-job trace accessor: submissions and completions count,
+// duration and queue-latency histograms observe executed jobs, gauges
+// return to zero at idle, and traces exist exactly for jobs that ran.
+func TestEngineMetricsAndTrace(t *testing.T) {
+	reg, _ := fakeRegistry()
+	st, err := store.New(16, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := obs.NewRegistry()
+	e := New(Config{Registry: reg, Store: st, Workers: 2, Obs: r, Tracing: true})
+	defer shutdownOK(t, e)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	first, err := e.Submit(Request{Experiment: "echo", Params: map[string]any{"n": 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Wait(ctx, first.ID); err != nil {
+		t.Fatal(err)
+	}
+	cachedV, err := e.Submit(Request{Experiment: "echo", Params: map[string]any{"n": 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cachedV.FromCache {
+		t.Fatalf("second submission not cached: %+v", cachedV)
+	}
+
+	counter := func(name string) uint64 { return r.Counter(name, "").Value() }
+	if got := counter("jobs_submitted_total"); got != 2 {
+		t.Errorf("jobs_submitted_total = %d, want 2", got)
+	}
+	done := r.CounterL("jobs_completed_total", "", obs.Labels{"state": "done"})
+	if got := done.Value(); got != 2 {
+		t.Errorf("jobs_completed_total{state=done} = %d, want 2", got)
+	}
+	dur := r.Histogram("job_duration_seconds", "", obs.DefaultDurationBuckets())
+	if dur.Count() != 1 {
+		t.Errorf("job_duration_seconds count = %d, want 1 (cache hits don't execute)", dur.Count())
+	}
+	lat := r.Histogram("job_queue_latency_seconds", "", obs.DefaultDurationBuckets())
+	if lat.Count() != 1 {
+		t.Errorf("job_queue_latency_seconds count = %d, want 1", lat.Count())
+	}
+	if g := r.Gauge("jobs_running", "").Value(); g != 0 {
+		t.Errorf("jobs_running = %d at idle, want 0", g)
+	}
+	if g := r.Gauge("jobs_queue_depth", "").Value(); g != 0 {
+		t.Errorf("jobs_queue_depth = %d at idle, want 0", g)
+	}
+
+	if _, ok := e.Trace(first.ID); !ok {
+		t.Error("no trace for the executed job")
+	}
+	if _, ok := e.Trace(cachedV.ID); ok {
+		t.Error("cache-hit job has a trace; nothing ran")
+	}
+	if _, ok := e.Trace("job-does-not-exist"); ok {
+		t.Error("trace for unknown job")
+	}
+
+	// Failed jobs land in the failed completion counter.
+	pv, err := e.Submit(Request{Experiment: "panic", Params: nil})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Wait(ctx, pv.ID); err != nil {
+		t.Fatal(err)
+	}
+	failed := r.CounterL("jobs_completed_total", "", obs.Labels{"state": "failed"})
+	if got := failed.Value(); got != 1 {
+		t.Errorf("jobs_completed_total{state=failed} = %d, want 1", got)
+	}
+}
+
+// TestMetricsDisabledEngineWorks: a nil Obs registry must leave every
+// instrument a no-op, not a crash.
+func TestMetricsDisabledEngineWorks(t *testing.T) {
+	reg, _ := fakeRegistry()
+	e := New(Config{Registry: reg, Workers: 1})
+	defer shutdownOK(t, e)
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	for i := 0; i < 3; i++ {
+		v, err := e.Submit(Request{Experiment: "echo", Params: map[string]any{"n": i}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		final, err := e.Wait(ctx, v.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if final.State != StateDone {
+			t.Fatalf("job %d: %+v", i, final)
+		}
+		if _, ok := e.Trace(v.ID); ok {
+			t.Fatal(fmt.Sprintf("job %d has a trace with tracing disabled", i))
+		}
+	}
+}

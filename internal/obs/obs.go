@@ -1,0 +1,406 @@
+// Package obs is the repo's zero-dependency observability layer: a
+// metrics registry of lock-free counters, gauges and fixed-bucket
+// histograms, plus a structured span/event tracer (trace.go) that
+// records the attack pipeline's timeline.
+//
+// Two properties shape the design:
+//
+//  1. Nil safety. Every instrument method is a no-op on a nil receiver,
+//     so hot paths (cpu.Core.Step, btb.Lookup) hold plain *Counter
+//     fields that cost one predictable branch when observability is
+//     disabled and one uncontended atomic add when it is enabled.
+//     Sharing across goroutines is pushed to explicit flush points
+//     (internal/experiments attaches a private shard per simulator core
+//     and folds it into the registry at task end), so enabling metrics
+//     never introduces cross-worker cache-line contention on the
+//     simulator's hottest loops.
+//
+//  2. Determinism. Instruments observe; they are never read back by
+//     experiment code, never enter cache keys, and never enter Result
+//     bytes. An instrumented run is bit-identical to an uninstrumented
+//     one (internal/experiments' determinism test proves it).
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing uint64. All methods are safe
+// for concurrent use and no-ops on a nil receiver.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() {
+	if c == nil {
+		return
+	}
+	c.v.Add(1)
+}
+
+// Add adds n.
+func (c *Counter) Add(n uint64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Value returns the current count (0 on a nil receiver).
+func (c *Counter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a settable int64 level (queue depth, in-flight requests).
+// All methods are safe for concurrent use and no-ops on nil.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set replaces the level.
+func (g *Gauge) Set(v int64) {
+	if g == nil {
+		return
+	}
+	g.v.Store(v)
+}
+
+// Add moves the level by d (negative d decreases it).
+func (g *Gauge) Add(d int64) {
+	if g == nil {
+		return
+	}
+	g.v.Add(d)
+}
+
+// Inc adds one.
+func (g *Gauge) Inc() { g.Add(1) }
+
+// Dec subtracts one.
+func (g *Gauge) Dec() { g.Add(-1) }
+
+// Value returns the current level (0 on a nil receiver).
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// Histogram is a fixed-bucket cumulative histogram in the Prometheus
+// style: bucket i counts observations <= Bounds[i], with an implicit
+// +Inf bucket at the end. All methods are safe for concurrent use and
+// no-ops on nil.
+type Histogram struct {
+	bounds []float64
+	counts []atomic.Uint64 // len(bounds)+1; last = +Inf
+	count  atomic.Uint64
+	sum    atomic.Uint64 // float64 bits, CAS-updated
+}
+
+// DefaultDurationBuckets covers job/request wall times from 1 ms to
+// ~2 min on a roughly-exponential grid.
+func DefaultDurationBuckets() []float64 {
+	return []float64{0.001, 0.005, 0.025, 0.1, 0.5, 1, 2.5, 5, 10, 30, 60, 120}
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sum.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sum.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return math.Float64frombits(h.sum.Load())
+}
+
+// Labels are constant metric labels fixed at registration.
+type Labels map[string]string
+
+// metricKind discriminates registry entries.
+type metricKind int
+
+const (
+	kindCounter metricKind = iota
+	kindGauge
+	kindHistogram
+)
+
+func (k metricKind) String() string {
+	switch k {
+	case kindCounter:
+		return "counter"
+	case kindGauge:
+		return "gauge"
+	case kindHistogram:
+		return "histogram"
+	}
+	return "unknown"
+}
+
+// metric is one registered instrument.
+type metric struct {
+	name   string
+	help   string
+	kind   metricKind
+	labels Labels
+	c      *Counter
+	g      *Gauge
+	h      *Histogram
+}
+
+// labelKey renders labels in sorted {k="v",...} form ("" when empty).
+func labelKey(l Labels) string {
+	if len(l) == 0 {
+		return ""
+	}
+	keys := make([]string, 0, len(l))
+	for k := range l {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%q", k, l[k])
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// Registry holds named instruments. Registration is upsert-style:
+// asking for an existing (name, labels) pair returns the existing
+// instrument, so independent subsystems (and repeated jobs) can wire
+// the same metric without coordination. Mixing kinds under one name is
+// a programming error and panics. All methods are safe for concurrent
+// use; every registration method returns nil on a nil *Registry, which
+// composes with the instruments' own nil safety to make a disabled
+// observability layer a chain of no-ops.
+type Registry struct {
+	mu      sync.Mutex
+	byKey   map[string]*metric
+	metrics []*metric
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{byKey: make(map[string]*metric)}
+}
+
+// upsert finds or creates the metric for (name, labels, kind).
+func (r *Registry) upsert(name, help string, kind metricKind, labels Labels) *metric {
+	key := name + labelKey(labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if m, ok := r.byKey[key]; ok {
+		if m.kind != kind {
+			panic(fmt.Sprintf("obs: metric %q re-registered as %s (was %s)", key, kind, m.kind))
+		}
+		return m
+	}
+	m := &metric{name: name, help: help, kind: kind, labels: labels}
+	switch kind {
+	case kindCounter:
+		m.c = &Counter{}
+	case kindGauge:
+		m.g = &Gauge{}
+	case kindHistogram:
+		m.h = &Histogram{}
+	}
+	r.byKey[key] = m
+	r.metrics = append(r.metrics, m)
+	return m
+}
+
+// Counter registers (or retrieves) an unlabeled counter.
+func (r *Registry) Counter(name, help string) *Counter {
+	return r.CounterL(name, help, nil)
+}
+
+// CounterL registers (or retrieves) a counter with constant labels.
+func (r *Registry) CounterL(name, help string, labels Labels) *Counter {
+	if r == nil {
+		return nil
+	}
+	return r.upsert(name, help, kindCounter, labels).c
+}
+
+// Gauge registers (or retrieves) an unlabeled gauge.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	return r.upsert(name, help, kindGauge, nil).g
+}
+
+// Histogram registers (or retrieves) a histogram with the given bucket
+// upper bounds (sorted ascending; +Inf is implicit). Buckets are fixed
+// by the first registration of the name.
+func (r *Registry) Histogram(name, help string, buckets []float64) *Histogram {
+	if r == nil {
+		return nil
+	}
+	m := r.upsert(name, help, kindHistogram, nil)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if m.h.counts == nil {
+		bounds := append([]float64(nil), buckets...)
+		sort.Float64s(bounds)
+		m.h.bounds = bounds
+		m.h.counts = make([]atomic.Uint64, len(bounds)+1)
+	}
+	return m.h
+}
+
+// snapshot returns the metrics sorted by (name, labels) for
+// deterministic exposition order.
+func (r *Registry) snapshot() []*metric {
+	r.mu.Lock()
+	out := append([]*metric(nil), r.metrics...)
+	r.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].name != out[j].name {
+			return out[i].name < out[j].name
+		}
+		return labelKey(out[i].labels) < labelKey(out[j].labels)
+	})
+	return out
+}
+
+// WritePrometheus renders the registry in the Prometheus text
+// exposition format (version 0.0.4): HELP/TYPE headers per family,
+// sorted families, cumulative histogram buckets with the canonical
+// _bucket/_sum/_count series.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	var b strings.Builder
+	lastFamily := ""
+	for _, m := range r.snapshot() {
+		if m.name != lastFamily {
+			fmt.Fprintf(&b, "# HELP %s %s\n", m.name, m.help)
+			fmt.Fprintf(&b, "# TYPE %s %s\n", m.name, m.kind)
+			lastFamily = m.name
+		}
+		lk := labelKey(m.labels)
+		switch m.kind {
+		case kindCounter:
+			fmt.Fprintf(&b, "%s%s %d\n", m.name, lk, m.c.Value())
+		case kindGauge:
+			fmt.Fprintf(&b, "%s%s %d\n", m.name, lk, m.g.Value())
+		case kindHistogram:
+			var cum uint64
+			for i, bound := range m.h.bounds {
+				cum += m.h.counts[i].Load()
+				fmt.Fprintf(&b, "%s_bucket{le=%q} %d\n", m.name, formatBound(bound), cum)
+			}
+			fmt.Fprintf(&b, "%s_bucket{le=\"+Inf\"} %d\n", m.name, m.h.Count())
+			fmt.Fprintf(&b, "%s_sum %g\n", m.name, m.h.Sum())
+			fmt.Fprintf(&b, "%s_count %d\n", m.name, m.h.Count())
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func formatBound(v float64) string {
+	return strings.TrimRight(strings.TrimRight(fmt.Sprintf("%f", v), "0"), ".")
+}
+
+// MetricSnapshot is one metric in the JSON exposition
+// (GET /v1/metrics?format=json).
+type MetricSnapshot struct {
+	Name   string           `json:"name"`
+	Type   string           `json:"type"`
+	Help   string           `json:"help,omitempty"`
+	Labels Labels           `json:"labels,omitempty"`
+	Value  *uint64          `json:"value,omitempty"`
+	Level  *int64           `json:"level,omitempty"`
+	Sum    *float64         `json:"sum,omitempty"`
+	Count  *uint64          `json:"count,omitempty"`
+	Bucket []BucketSnapshot `json:"buckets,omitempty"`
+}
+
+// BucketSnapshot is one cumulative histogram bucket.
+type BucketSnapshot struct {
+	LE    float64 `json:"le"`
+	Count uint64  `json:"count"`
+}
+
+// Snapshot returns a JSON-marshalable view of every metric, in the
+// same deterministic order as WritePrometheus.
+func (r *Registry) Snapshot() []MetricSnapshot {
+	if r == nil {
+		return nil
+	}
+	ms := r.snapshot()
+	out := make([]MetricSnapshot, 0, len(ms))
+	for _, m := range ms {
+		s := MetricSnapshot{Name: m.name, Type: m.kind.String(), Help: m.help, Labels: m.labels}
+		switch m.kind {
+		case kindCounter:
+			v := m.c.Value()
+			s.Value = &v
+		case kindGauge:
+			v := m.g.Value()
+			s.Level = &v
+		case kindHistogram:
+			sum, count := m.h.Sum(), m.h.Count()
+			s.Sum, s.Count = &sum, &count
+			var cum uint64
+			// The +Inf bucket is omitted: encoding/json cannot represent
+			// infinity, and Count already carries the total.
+			for i, bound := range m.h.bounds {
+				cum += m.h.counts[i].Load()
+				s.Bucket = append(s.Bucket, BucketSnapshot{LE: bound, Count: cum})
+			}
+		}
+		out = append(out, s)
+	}
+	return out
+}
+
+// WriteJSON renders Snapshot as indented JSON.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r.Snapshot())
+}

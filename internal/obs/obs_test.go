@@ -1,0 +1,206 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestNilInstrumentsAreNoOps(t *testing.T) {
+	var c *Counter
+	c.Inc()
+	c.Add(7)
+	if c.Value() != 0 {
+		t.Fatalf("nil counter value = %d", c.Value())
+	}
+	var g *Gauge
+	g.Set(5)
+	g.Inc()
+	g.Dec()
+	g.Add(-3)
+	if g.Value() != 0 {
+		t.Fatalf("nil gauge value = %d", g.Value())
+	}
+	var h *Histogram
+	h.Observe(1.5)
+	if h.Count() != 0 || h.Sum() != 0 {
+		t.Fatalf("nil histogram count=%d sum=%g", h.Count(), h.Sum())
+	}
+}
+
+func TestNilRegistryReturnsNilInstruments(t *testing.T) {
+	var r *Registry
+	if c := r.Counter("a_total", "help"); c != nil {
+		t.Fatal("nil registry returned non-nil counter")
+	}
+	if g := r.Gauge("b", "help"); g != nil {
+		t.Fatal("nil registry returned non-nil gauge")
+	}
+	if h := r.Histogram("c_seconds", "help", DefaultDurationBuckets()); h != nil {
+		t.Fatal("nil registry returned non-nil histogram")
+	}
+	if s := r.Snapshot(); s != nil {
+		t.Fatal("nil registry returned non-nil snapshot")
+	}
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatalf("nil registry WritePrometheus: %v", err)
+	}
+	if buf.Len() != 0 {
+		t.Fatalf("nil registry wrote %q", buf.String())
+	}
+}
+
+func TestRegistryUpsert(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("x_total", "first")
+	b := r.Counter("x_total", "second registration, same name")
+	if a != b {
+		t.Fatal("same-name counter registration did not return the existing instrument")
+	}
+	l1 := r.CounterL("y_total", "", Labels{"class": "interrupt"})
+	l2 := r.CounterL("y_total", "", Labels{"class": "corunner"})
+	if l1 == l2 {
+		t.Fatal("distinct labels must yield distinct counters")
+	}
+	if l1 != r.CounterL("y_total", "", Labels{"class": "interrupt"}) {
+		t.Fatal("re-registering same (name,labels) must return existing counter")
+	}
+}
+
+func TestRegistryKindMismatchPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("z", "")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("re-registering a counter as a gauge did not panic")
+		}
+	}()
+	r.Gauge("z", "")
+}
+
+func TestCountersConcurrent(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("conc_total", "")
+	g := r.Gauge("conc_gauge", "")
+	h := r.Histogram("conc_seconds", "", []float64{0.5, 1, 2})
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				c.Inc()
+				g.Inc()
+				h.Observe(1.5)
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Value() != 8000 {
+		t.Fatalf("counter = %d, want 8000", c.Value())
+	}
+	if g.Value() != 8000 {
+		t.Fatalf("gauge = %d, want 8000", g.Value())
+	}
+	if h.Count() != 8000 {
+		t.Fatalf("histogram count = %d, want 8000", h.Count())
+	}
+	if h.Sum() != 8000*1.5 {
+		t.Fatalf("histogram sum = %g, want %g", h.Sum(), 8000*1.5)
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat_seconds", "latency", []float64{0.1, 1, 10})
+	for _, v := range []float64{0.05, 0.1, 0.5, 5, 50} {
+		h.Observe(v)
+	}
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	text := buf.String()
+	for _, want := range []string{
+		`lat_seconds_bucket{le="0.1"} 2`,
+		`lat_seconds_bucket{le="1"} 3`,
+		`lat_seconds_bucket{le="10"} 4`,
+		`lat_seconds_bucket{le="+Inf"} 5`,
+		`lat_seconds_count 5`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("exposition missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestWritePrometheusFormat(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("btb_lookups_total", "BTB lookups").Add(42)
+	r.Gauge("jobs_queue_depth", "queued jobs").Set(3)
+	r.CounterL("interfere_faults_total", "faults", Labels{"class": "interrupt"}).Add(2)
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	text := buf.String()
+	for _, want := range []string{
+		"# HELP btb_lookups_total BTB lookups",
+		"# TYPE btb_lookups_total counter",
+		"btb_lookups_total 42",
+		"# TYPE jobs_queue_depth gauge",
+		"jobs_queue_depth 3",
+		`interfere_faults_total{class="interrupt"} 2`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("exposition missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestSnapshotJSONRoundTrips(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("a_total", "").Add(7)
+	r.Gauge("b", "").Set(-2)
+	r.Histogram("c_seconds", "", []float64{1, 2}).Observe(1.5)
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	var got []MetricSnapshot
+	if err := json.Unmarshal(buf.Bytes(), &got); err != nil {
+		t.Fatalf("snapshot JSON does not parse: %v\n%s", err, buf.String())
+	}
+	if len(got) != 3 {
+		t.Fatalf("snapshot has %d metrics, want 3", len(got))
+	}
+	// Deterministic name order.
+	if got[0].Name != "a_total" || got[1].Name != "b" || got[2].Name != "c_seconds" {
+		t.Fatalf("snapshot order: %s %s %s", got[0].Name, got[1].Name, got[2].Name)
+	}
+	if got[0].Value == nil || *got[0].Value != 7 {
+		t.Fatalf("counter snapshot = %+v", got[0])
+	}
+	if got[1].Level == nil || *got[1].Level != -2 {
+		t.Fatalf("gauge snapshot = %+v", got[1])
+	}
+	h := got[2]
+	if h.Count == nil || *h.Count != 1 || h.Sum == nil || *h.Sum != 1.5 {
+		t.Fatalf("histogram snapshot = %+v", h)
+	}
+	if len(h.Bucket) != 2 || h.Bucket[0].Count != 0 || h.Bucket[1].Count != 1 {
+		t.Fatalf("histogram buckets = %+v", h.Bucket)
+	}
+}
+
+func TestFormatBound(t *testing.T) {
+	cases := map[float64]string{0.001: "0.001", 0.5: "0.5", 1: "1", 120: "120"}
+	for in, want := range cases {
+		if got := formatBound(in); got != want {
+			t.Errorf("formatBound(%g) = %q, want %q", in, got, want)
+		}
+	}
+}

@@ -1,0 +1,218 @@
+package obs
+
+// The pipeline tracer: a bounded, goroutine-safe recorder of spans
+// (prime, victim-run, probe, job execution) and instant events
+// (retries, interference faults, per-PW confidence), exportable as
+// NDJSON or as Chrome trace_event JSON loadable in chrome://tracing
+// (or https://ui.perfetto.dev).
+//
+// Timestamps are wall-clock microseconds relative to the trace's
+// creation. They describe when things happened, never what was
+// computed: trace contents feed no experiment decision, no cache key
+// and no Result byte, so tracing cannot perturb determinism.
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+)
+
+// DefaultTraceCap bounds the events one Trace retains. Past the cap,
+// events are counted in Dropped() and discarded, so a paper-scale
+// corpus run cannot exhaust memory through its own telemetry.
+const DefaultTraceCap = 1 << 17
+
+// TraceEvent is one recorded span or instant, shaped after the Chrome
+// trace_event format's complete ("X") and instant ("i") phases.
+type TraceEvent struct {
+	// Name and Cat identify the event ("probe", "attack"; "round",
+	// "pipeline").
+	Name string `json:"name"`
+	Cat  string `json:"cat"`
+	// Ph is the phase: "X" for a complete span, "i" for an instant.
+	Ph string `json:"ph"`
+	// TS is the start time in microseconds since the trace began; Dur
+	// the span duration in microseconds (0 for instants).
+	TS  int64 `json:"ts"`
+	Dur int64 `json:"dur,omitempty"`
+	// TID lanes the event for the viewer: callers use worker or task
+	// indices so parallel pipelines render side by side.
+	TID int64 `json:"tid"`
+	// Args carry event payload (round number, confidence, fault class).
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// Trace records events. All methods are safe for concurrent use and
+// no-ops on a nil receiver, so a disabled tracer costs one branch.
+type Trace struct {
+	mu      sync.Mutex
+	start   time.Time
+	events  []TraceEvent
+	cap     int
+	dropped uint64
+}
+
+// NewTrace returns an empty trace with the default event cap.
+func NewTrace() *Trace {
+	return &Trace{start: time.Now(), cap: DefaultTraceCap}
+}
+
+// NewTraceCap returns an empty trace retaining at most cap events
+// (cap <= 0 means DefaultTraceCap).
+func NewTraceCap(cap int) *Trace {
+	if cap <= 0 {
+		cap = DefaultTraceCap
+	}
+	return &Trace{start: time.Now(), cap: cap}
+}
+
+// sinceMicros returns the current trace-relative timestamp.
+func (t *Trace) sinceMicros() int64 {
+	return time.Since(t.start).Microseconds()
+}
+
+// add appends an event, honoring the cap.
+func (t *Trace) add(ev TraceEvent) {
+	t.mu.Lock()
+	if len(t.events) >= t.cap {
+		t.dropped++
+	} else {
+		t.events = append(t.events, ev)
+	}
+	t.mu.Unlock()
+}
+
+// Event records an instant event on lane tid.
+func (t *Trace) Event(cat, name string, tid int64, args map[string]any) {
+	if t == nil {
+		return
+	}
+	t.add(TraceEvent{Name: name, Cat: cat, Ph: "i", TS: t.sinceMicros(), TID: tid, Args: args})
+}
+
+// Span is an in-flight interval; End records it. The zero Span (from a
+// nil Trace) is inert.
+type Span struct {
+	t     *Trace
+	name  string
+	cat   string
+	tid   int64
+	start int64
+	args  map[string]any
+}
+
+// Begin opens a span on lane tid. The span is recorded when End is
+// called; an abandoned span records nothing.
+func (t *Trace) Begin(cat, name string, tid int64, args map[string]any) Span {
+	if t == nil {
+		return Span{}
+	}
+	return Span{t: t, name: name, cat: cat, tid: tid, start: t.sinceMicros(), args: args}
+}
+
+// End records the span as a complete ("X") event.
+func (s Span) End() {
+	if s.t == nil {
+		return
+	}
+	now := s.t.sinceMicros()
+	s.t.add(TraceEvent{Name: s.name, Cat: s.cat, Ph: "X", TS: s.start, Dur: now - s.start, TID: s.tid, Args: s.args})
+}
+
+// EndWith records the span with extra args merged over the Begin args.
+func (s Span) EndWith(args map[string]any) {
+	if s.t == nil {
+		return
+	}
+	if s.args == nil {
+		s.args = args
+	} else {
+		merged := make(map[string]any, len(s.args)+len(args))
+		for k, v := range s.args {
+			merged[k] = v
+		}
+		for k, v := range args {
+			merged[k] = v
+		}
+		s.args = merged
+	}
+	s.End()
+}
+
+// Events returns a copy of the recorded events in record order.
+func (t *Trace) Events() []TraceEvent {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]TraceEvent(nil), t.events...)
+}
+
+// Len returns the number of retained events.
+func (t *Trace) Len() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.events)
+}
+
+// Dropped returns how many events the cap discarded.
+func (t *Trace) Dropped() uint64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.dropped
+}
+
+// chromeEvent is TraceEvent plus the pid field chrome://tracing wants.
+type chromeEvent struct {
+	TraceEvent
+	PID int64 `json:"pid"`
+}
+
+// chromeFile is the Chrome trace_event JSON object form.
+type chromeFile struct {
+	TraceEvents []chromeEvent  `json:"traceEvents"`
+	Metadata    map[string]any `json:"metadata,omitempty"`
+}
+
+// WriteChrome writes the trace in Chrome trace_event JSON (object
+// form), loadable in chrome://tracing and Perfetto.
+func (t *Trace) WriteChrome(w io.Writer) error {
+	evs := t.Events()
+	out := chromeFile{
+		TraceEvents: make([]chromeEvent, 0, len(evs)),
+		Metadata:    map[string]any{"producer": "nightvision/internal/obs"},
+	}
+	if d := t.Dropped(); d > 0 {
+		out.Metadata["dropped_events"] = d
+	}
+	for _, ev := range evs {
+		out.TraceEvents = append(out.TraceEvents, chromeEvent{TraceEvent: ev, PID: 1})
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(out)
+}
+
+// WriteNDJSON writes one JSON object per line per event, the grep- and
+// jq-friendly form.
+func (t *Trace) WriteNDJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	for _, ev := range t.Events() {
+		if err := enc.Encode(ev); err != nil {
+			return err
+		}
+	}
+	if d := t.Dropped(); d > 0 {
+		_, err := fmt.Fprintf(w, "{\"name\":\"dropped\",\"cat\":\"obs\",\"ph\":\"i\",\"args\":{\"count\":%d}}\n", d)
+		return err
+	}
+	return nil
+}

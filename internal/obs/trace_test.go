@@ -1,0 +1,143 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestNilTraceIsNoOp(t *testing.T) {
+	var tr *Trace
+	tr.Event("cat", "instant", 0, nil)
+	sp := tr.Begin("cat", "span", 1, nil)
+	sp.End()
+	sp.EndWith(map[string]any{"x": 1})
+	if tr.Events() != nil || tr.Len() != 0 || tr.Dropped() != 0 {
+		t.Fatal("nil trace recorded something")
+	}
+	var buf bytes.Buffer
+	if err := tr.WriteChrome(&buf); err != nil {
+		t.Fatalf("nil WriteChrome: %v", err)
+	}
+	if err := tr.WriteNDJSON(&buf); err != nil {
+		t.Fatalf("nil WriteNDJSON: %v", err)
+	}
+}
+
+func TestTraceSpanAndEvent(t *testing.T) {
+	tr := NewTrace()
+	sp := tr.Begin("attack", "probe", 3, map[string]any{"round": 1})
+	tr.Event("attack", "retry", 3, map[string]any{"reason": "record_lost"})
+	sp.EndWith(map[string]any{"confidence": 0.9})
+	evs := tr.Events()
+	if len(evs) != 2 {
+		t.Fatalf("got %d events, want 2", len(evs))
+	}
+	// Instant recorded first (span records at End).
+	if evs[0].Ph != "i" || evs[0].Name != "retry" {
+		t.Fatalf("event[0] = %+v", evs[0])
+	}
+	sp2 := evs[1]
+	if sp2.Ph != "X" || sp2.Name != "probe" || sp2.TID != 3 {
+		t.Fatalf("event[1] = %+v", sp2)
+	}
+	if sp2.Args["round"] != 1 || sp2.Args["confidence"] != 0.9 {
+		t.Fatalf("span args not merged: %+v", sp2.Args)
+	}
+	if sp2.Dur < 0 || sp2.TS < 0 {
+		t.Fatalf("negative timestamps: %+v", sp2)
+	}
+}
+
+func TestTraceCapDropsAndCounts(t *testing.T) {
+	tr := NewTraceCap(4)
+	for i := 0; i < 10; i++ {
+		tr.Event("c", "e", 0, nil)
+	}
+	if tr.Len() != 4 {
+		t.Fatalf("retained %d events, want 4", tr.Len())
+	}
+	if tr.Dropped() != 6 {
+		t.Fatalf("dropped = %d, want 6", tr.Dropped())
+	}
+	var buf bytes.Buffer
+	if err := tr.WriteNDJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `"count":6`) {
+		t.Fatalf("NDJSON missing dropped marker:\n%s", buf.String())
+	}
+}
+
+func TestTraceConcurrent(t *testing.T) {
+	tr := NewTrace()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(tid int64) {
+			defer wg.Done()
+			for j := 0; j < 200; j++ {
+				sp := tr.Begin("c", "s", tid, nil)
+				tr.Event("c", "e", tid, nil)
+				sp.End()
+			}
+		}(int64(i))
+	}
+	wg.Wait()
+	if tr.Len() != 8*200*2 {
+		t.Fatalf("retained %d events, want %d", tr.Len(), 8*200*2)
+	}
+}
+
+func TestWriteChromeShape(t *testing.T) {
+	tr := NewTrace()
+	sp := tr.Begin("pipeline", "prime", 0, nil)
+	sp.End()
+	tr.Event("pipeline", "fault", 1, map[string]any{"class": "interrupt"})
+	var buf bytes.Buffer
+	if err := tr.WriteChrome(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+		Metadata    map[string]any   `json:"metadata"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("chrome JSON does not parse: %v\n%s", err, buf.String())
+	}
+	if len(doc.TraceEvents) != 2 {
+		t.Fatalf("traceEvents len = %d, want 2", len(doc.TraceEvents))
+	}
+	for _, ev := range doc.TraceEvents {
+		for _, field := range []string{"name", "cat", "ph", "ts", "pid", "tid"} {
+			if _, ok := ev[field]; !ok {
+				t.Errorf("chrome event missing %q: %+v", field, ev)
+			}
+		}
+	}
+	if doc.TraceEvents[0]["ph"] != "X" || doc.TraceEvents[1]["ph"] != "i" {
+		t.Fatalf("phases: %v %v", doc.TraceEvents[0]["ph"], doc.TraceEvents[1]["ph"])
+	}
+}
+
+func TestWriteNDJSONOneObjectPerLine(t *testing.T) {
+	tr := NewTrace()
+	tr.Event("a", "x", 0, nil)
+	tr.Event("a", "y", 0, nil)
+	var buf bytes.Buffer
+	if err := tr.WriteNDJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("got %d lines, want 2:\n%s", len(lines), buf.String())
+	}
+	for _, ln := range lines {
+		var ev TraceEvent
+		if err := json.Unmarshal([]byte(ln), &ev); err != nil {
+			t.Fatalf("line %q: %v", ln, err)
+		}
+	}
+}

@@ -54,6 +54,8 @@ func baseCfg(rc RunContext) experiments.Config {
 		Noise:   rc.Values.Float("noise"),
 		Seed:    rc.Seed,
 		Workers: rc.Workers,
+		Obs:     rc.Obs,
+		Trace:   rc.Trace,
 	}
 }
 

@@ -12,6 +12,8 @@ import (
 	"fmt"
 	"math"
 	"sort"
+
+	"repro/internal/obs"
 )
 
 // CodeVersion names the current experiment-semantics generation and is
@@ -97,6 +99,13 @@ type RunContext struct {
 	// [0, 1]. Entries report between phases; single-call experiments
 	// may never call it.
 	Progress func(frac float64)
+	// Obs, when non-nil, receives the run's microarchitectural and
+	// pipeline metrics; Trace, when non-nil, records the attack
+	// timeline. Like Workers, both are execution details: strictly
+	// write-only for experiment code and never part of cache keys or
+	// Result bytes.
+	Obs   *obs.Registry
+	Trace *obs.Trace
 }
 
 // progress reports a fraction if a sink is attached.

@@ -28,6 +28,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/nvrand"
+	"repro/internal/obs"
 )
 
 // Config configures one engine invocation.
@@ -39,6 +40,10 @@ type Config struct {
 	// Seed is the base seed from which each task derives its private RNG
 	// stream (Task.Rand).
 	Seed uint64
+	// TaskCounter, when non-nil, is incremented once per executed task
+	// (both the inline and the parallel path). Observation only: it has
+	// no effect on scheduling or results.
+	TaskCounter *obs.Counter
 }
 
 // WorkerCount resolves the effective worker count: Workers if positive,
@@ -86,6 +91,7 @@ func Map[T any](cfg Config, n int, fn func(Task) (T, error)) ([]T, error) {
 		// results by construction — the parallel path below computes the
 		// same per-index values into the same slots.
 		for i := 0; i < n; i++ {
+			cfg.TaskCounter.Inc()
 			v, err := fn(Task{Index: i, seed: cfg.Seed})
 			if err != nil {
 				return nil, err
@@ -110,6 +116,7 @@ func Map[T any](cfg Config, n int, fn func(Task) (T, error)) ([]T, error) {
 				if i >= n {
 					return
 				}
+				cfg.TaskCounter.Inc()
 				v, err := fn(Task{Index: i, seed: cfg.Seed})
 				if err != nil {
 					errs[i] = err

@@ -1,0 +1,116 @@
+package store
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+// TestCorruptEvictionCounter: a checksum-failing disk entry must show
+// up in the store_cache_corrupt_evictions_total counter, not just the
+// Stats struct, so operators see silent cache damage on /v1/metrics.
+func TestCorruptEvictionCounter(t *testing.T) {
+	dir := t.TempDir()
+	key := Key("fig2", []byte(`{"iters":3}`), 5, "v1")
+	s1, err := New(4, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s1.Put(key, []byte("genuine result")); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, key[:2], key)
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)-1] ^= 0xFF
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := New(4, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := obs.NewRegistry()
+	s2.Instrument(r)
+	if _, ok := s2.Get(key); ok {
+		t.Fatal("corrupted entry served")
+	}
+	if got := r.Counter("store_cache_corrupt_evictions_total", "").Value(); got != 1 {
+		t.Errorf("store_cache_corrupt_evictions_total = %d, want 1", got)
+	}
+	if got := r.Counter("store_cache_misses_total", "").Value(); got != 1 {
+		t.Errorf("store_cache_misses_total = %d, want 1", got)
+	}
+	if st := s2.Stats(); st.CorruptEvicted != 1 {
+		t.Errorf("Stats.CorruptEvicted = %d, want 1", st.CorruptEvicted)
+	}
+}
+
+// TestDiskWriteFailureSurfaced: when the disk tier refuses the write
+// (here: the shard path is occupied by a regular file, so MkdirAll
+// fails), Put must return the error AND count it in both Stats and the
+// store_disk_write_failures_total counter — while the memory tier keeps
+// serving the value.
+func TestDiskWriteFailureSurfaced(t *testing.T) {
+	dir := t.TempDir()
+	key := Key("fig4", []byte(`{"iters":2}`), 7, "v1")
+	if err := os.WriteFile(filepath.Join(dir, key[:2]), []byte("in the way"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s, err := New(4, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := obs.NewRegistry()
+	s.Instrument(r)
+
+	if err := s.Put(key, []byte("payload")); err == nil {
+		t.Fatal("Put succeeded despite blocked shard directory")
+	}
+	if got := r.Counter("store_disk_write_failures_total", "").Value(); got != 1 {
+		t.Errorf("store_disk_write_failures_total = %d, want 1", got)
+	}
+	st := s.Stats()
+	if st.DiskWriteFailures != 1 {
+		t.Errorf("Stats.DiskWriteFailures = %d, want 1", st.DiskWriteFailures)
+	}
+	// The memory tier was populated before the disk write was attempted.
+	if got, ok := s.Get(key); !ok || string(got) != "payload" {
+		t.Fatalf("memory tier lost the value after disk failure: %q %v", got, ok)
+	}
+}
+
+// TestHitMissPutCounters: the three high-traffic counters the smoke
+// script scrapes.
+func TestHitMissPutCounters(t *testing.T) {
+	s, err := New(4, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := obs.NewRegistry()
+	s.Instrument(r)
+	key := Key("fig2", nil, 1, "v1")
+	if _, ok := s.Get(key); ok {
+		t.Fatal("hit on empty store")
+	}
+	if err := s.Put(key, []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Get(key); !ok {
+		t.Fatal("miss after Put")
+	}
+	for name, want := range map[string]uint64{
+		"store_cache_hits_total":   1,
+		"store_cache_misses_total": 1,
+		"store_cache_puts_total":   1,
+	} {
+		if got := r.Counter(name, "").Value(); got != want {
+			t.Errorf("%s = %d, want %d", name, got, want)
+		}
+	}
+}

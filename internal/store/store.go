@@ -23,6 +23,8 @@ import (
 	"path/filepath"
 	"strings"
 	"sync"
+
+	"repro/internal/obs"
 )
 
 // Key derives the content address of a result cell. canonicalConfig
@@ -48,6 +50,22 @@ type Stats struct {
 	Puts           uint64 `json:"puts"`
 	MemEvictions   uint64 `json:"mem_evictions"`
 	CorruptEvicted uint64 `json:"corrupt_evicted"`
+	// DiskWriteFailures counts Put calls whose disk-tier write failed
+	// (the memory tier still holds the value; only future cross-restart
+	// hits are lost).
+	DiskWriteFailures uint64 `json:"disk_write_failures"`
+}
+
+// storeObs mirrors Stats into a metrics registry; every field is
+// nil-safe, so an un-instrumented store pays one predictable branch per
+// event.
+type storeObs struct {
+	hits              *obs.Counter
+	misses            *obs.Counter
+	puts              *obs.Counter
+	memEvictions      *obs.Counter
+	corruptEvictions  *obs.Counter
+	diskWriteFailures *obs.Counter
 }
 
 // Store is the two-tier cache. All methods are safe for concurrent use.
@@ -58,6 +76,23 @@ type Store struct {
 	items map[string]*list.Element
 	dir   string // "" = memory-only
 	stats Stats
+	obs   storeObs
+}
+
+// Instrument registers the store's counters with r and starts
+// mirroring every subsequent event into them. Call once, before
+// traffic; events recorded earlier are not backfilled.
+func (s *Store) Instrument(r *obs.Registry) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.obs = storeObs{
+		hits:              r.Counter("store_cache_hits_total", "result cache hits (memory or disk tier)"),
+		misses:            r.Counter("store_cache_misses_total", "result cache misses"),
+		puts:              r.Counter("store_cache_puts_total", "result cache writes"),
+		memEvictions:      r.Counter("store_cache_mem_evictions_total", "memory-tier LRU evictions"),
+		corruptEvictions:  r.Counter("store_cache_corrupt_evictions_total", "disk-tier entries evicted for failing checksum or framing"),
+		diskWriteFailures: r.Counter("store_disk_write_failures_total", "disk-tier writes that failed (value kept in memory tier only)"),
+	}
 }
 
 type memEntry struct {
@@ -89,6 +124,7 @@ func (s *Store) Get(key string) ([]byte, bool) {
 		s.ll.MoveToFront(el)
 		s.stats.Hits++
 		s.stats.MemHits++
+		s.obs.hits.Inc()
 		return clone(el.Value.(*memEntry).val), true
 	}
 	if s.dir != "" {
@@ -96,10 +132,12 @@ func (s *Store) Get(key string) ([]byte, bool) {
 			s.memPut(key, val)
 			s.stats.Hits++
 			s.stats.DiskHits++
+			s.obs.hits.Inc()
 			return clone(val), true
 		}
 	}
 	s.stats.Misses++
+	s.obs.misses.Inc()
 	return nil, false
 }
 
@@ -109,11 +147,17 @@ func (s *Store) Put(key string, val []byte) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.stats.Puts++
+	s.obs.puts.Inc()
 	s.memPut(key, clone(val))
 	if s.dir == "" {
 		return nil
 	}
-	return s.diskPut(key, val)
+	if err := s.diskPut(key, val); err != nil {
+		s.stats.DiskWriteFailures++
+		s.obs.diskWriteFailures.Inc()
+		return err
+	}
+	return nil
 }
 
 // Stats returns a snapshot of the counters.
@@ -148,6 +192,7 @@ func (s *Store) memPut(key string, val []byte) {
 		s.ll.Remove(back)
 		delete(s.items, back.Value.(*memEntry).key)
 		s.stats.MemEvictions++
+		s.obs.memEvictions.Inc()
 	}
 }
 
@@ -212,4 +257,5 @@ func (s *Store) diskGet(key string) ([]byte, bool) {
 func (s *Store) evictCorrupt(key string) {
 	os.Remove(s.path(key))
 	s.stats.CorruptEvicted++
+	s.obs.corruptEvictions.Inc()
 }

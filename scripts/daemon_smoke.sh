@@ -64,6 +64,27 @@ echo "== cache stats =="
 curl -fsS "$BASE/v1/healthz" | jq -c .cache
 [ "$(curl -fsS "$BASE/v1/healthz" | jq -r .cache.hits)" -ge 1 ] || { echo "hit counter did not advance" >&2; exit 1; }
 
+echo "== version =="
+VERSION="$(curl -fsS "$BASE/v1/version")"
+echo "$VERSION" | jq -c .
+[ "$(echo "$VERSION" | jq -r .code_version)" != null ] || { echo "no code_version in: $VERSION" >&2; exit 1; }
+
+echo "== metrics =="
+METRICS="$(curl -fsS "$BASE/v1/metrics")"
+# The resubmit above was served from the cache, so the Prometheus
+# exposition must show at least one store hit (counters print as plain
+# integers in text format 0.0.4).
+CACHE_HITS="$(echo "$METRICS" | awk '$1 == "store_cache_hits_total" { print $2 }')"
+[ -n "$CACHE_HITS" ] || { echo "store_cache_hits_total missing from /v1/metrics" >&2; exit 1; }
+[ "$CACHE_HITS" -ge 1 ] || { echo "store_cache_hits_total=$CACHE_HITS, want >= 1" >&2; exit 1; }
+echo "store_cache_hits_total=$CACHE_HITS"
+echo "$METRICS" | grep -q '^jobs_submitted_total ' || { echo "jobs_submitted_total missing" >&2; exit 1; }
+echo "$METRICS" | grep -q '^btb_lookups_total ' || { echo "btb_lookups_total missing" >&2; exit 1; }
+curl -fsS "$BASE/v1/metrics?format=json" | jq -e 'length > 0' >/dev/null || { echo "JSON metrics snapshot empty" >&2; exit 1; }
+
+echo "== job trace =="
+curl -fsS "$BASE/v1/jobs/$ID/trace" | jq -e '.traceEvents | length >= 0' >/dev/null || { echo "job trace not loadable JSON" >&2; exit 1; }
+
 echo "== graceful shutdown =="
 kill -TERM "$DPID"
 for _ in $(seq 1 100); do
