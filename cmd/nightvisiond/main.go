@@ -6,7 +6,7 @@
 //
 // Endpoints:
 //
-//	POST   /v1/jobs         submit {"experiment","params","seed","priority"}
+//	POST   /v1/jobs         submit {"experiment","params","seed","priority","deadline_ms"}
 //	GET    /v1/jobs         list all jobs
 //	GET    /v1/jobs/{id}    poll one job (result inlined when done)
 //	DELETE /v1/jobs/{id}    cancel a job
@@ -17,9 +17,21 @@
 //	GET    /v1/metrics      Prometheus text exposition (?format=json)
 //	GET    /debug/pprof/    standard Go profiling
 //
+// Durability: with -cache-dir set (or -journal-dir explicitly), every
+// job lifecycle transition is fsynced to a write-ahead journal before it
+// is acknowledged. On restart the daemon replays the journal: finished
+// jobs are re-served from the cache, jobs that were queued or running at
+// crash time are re-enqueued (the running ones marked "interrupted") and
+// recomputed to bit-identical results.
+//
+// Overload: submissions beyond the queue depth or the in-flight byte
+// budget are shed with HTTP 429 + Retry-After.
+//
 // SIGINT/SIGTERM drain gracefully: intake stops, queued jobs are
 // canceled, in-flight jobs finish (bounded by -drain-timeout), then the
-// HTTP server shuts down.
+// HTTP server shuts down. DELETE /v1/jobs/{id} keeps working during the
+// drain, so a hung job can be cut loose rather than riding out the
+// timeout.
 package main
 
 import (
@@ -31,57 +43,97 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"syscall"
 	"time"
 
 	"repro/internal/jobs"
+	"repro/internal/journal"
 	"repro/internal/obs"
 	"repro/internal/registry"
 	"repro/internal/store"
 )
 
+// daemonConfig is everything run needs; flags populate it.
+type daemonConfig struct {
+	addr          string
+	workers       int
+	expWorkers    int
+	queueDepth    int
+	maxInflightMB int
+	cacheMem      int
+	cacheDir      string
+	cacheSync     bool
+	journalDir    string
+	maxConc       int
+	reqTimeout    time.Duration
+	drainTimeout  time.Duration
+	traceJobs     bool
+}
+
 func main() {
-	var (
-		addr         = flag.String("addr", "127.0.0.1:7777", "listen address")
-		workers      = flag.Int("workers", 0, "concurrent jobs (0 = GOMAXPROCS)")
-		expWorkers   = flag.Int("exp-workers", 1, "internal/runner workers per job (results identical for any value)")
-		queueDepth   = flag.Int("queue", 256, "max queued jobs before submissions are rejected")
-		cacheMem     = flag.Int("cache-mem", 1024, "in-memory cache entries")
-		cacheDir     = flag.String("cache-dir", "", "on-disk cache directory (empty = memory only)")
-		maxConc      = flag.Int("max-concurrent", 64, "max simultaneously served API requests")
-		reqTimeout   = flag.Duration("request-timeout", 30*time.Second, "per-request handler timeout")
-		drainTimeout = flag.Duration("drain-timeout", 2*time.Minute, "max wait for in-flight jobs on shutdown")
-		traceJobs    = flag.Bool("trace-jobs", true, "record a per-job attack-pipeline trace (GET /v1/jobs/{id}/trace)")
-	)
+	var cfg daemonConfig
+	flag.StringVar(&cfg.addr, "addr", "127.0.0.1:7777", "listen address")
+	flag.IntVar(&cfg.workers, "workers", 0, "concurrent jobs (0 = GOMAXPROCS)")
+	flag.IntVar(&cfg.expWorkers, "exp-workers", 1, "internal/runner workers per job (results identical for any value)")
+	flag.IntVar(&cfg.queueDepth, "queue", 256, "max queued jobs before submissions are shed (HTTP 429)")
+	flag.IntVar(&cfg.maxInflightMB, "max-inflight-mb", 256, "in-flight byte budget in MiB before submissions are shed (HTTP 429)")
+	flag.IntVar(&cfg.cacheMem, "cache-mem", 1024, "in-memory cache entries")
+	flag.StringVar(&cfg.cacheDir, "cache-dir", "", "on-disk cache directory (empty = memory only)")
+	flag.BoolVar(&cfg.cacheSync, "cache-sync", true, "fsync cache entries before publishing them (durable across power loss)")
+	flag.StringVar(&cfg.journalDir, "journal-dir", "", "write-ahead job journal directory (empty = <cache-dir>/journal; memory-only cache disables the journal)")
+	flag.IntVar(&cfg.maxConc, "max-concurrent", 64, "max simultaneously served API requests")
+	flag.DurationVar(&cfg.reqTimeout, "request-timeout", 30*time.Second, "per-request handler timeout")
+	flag.DurationVar(&cfg.drainTimeout, "drain-timeout", 2*time.Minute, "max wait for in-flight jobs on shutdown")
+	flag.BoolVar(&cfg.traceJobs, "trace-jobs", true, "record a per-job attack-pipeline trace (GET /v1/jobs/{id}/trace)")
 	flag.Parse()
-	if err := run(*addr, *workers, *expWorkers, *queueDepth, *cacheMem, *cacheDir, *maxConc, *reqTimeout, *drainTimeout, *traceJobs); err != nil {
+	if err := run(cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "nightvisiond:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr string, workers, expWorkers, queueDepth, cacheMem int, cacheDir string, maxConc int, reqTimeout, drainTimeout time.Duration, traceJobs bool) error {
-	st, err := store.New(cacheMem, cacheDir)
+func run(cfg daemonConfig) error {
+	st, err := store.New(cfg.cacheMem, cfg.cacheDir, store.WithSync(cfg.cacheSync))
 	if err != nil {
 		return err
 	}
 	metrics := obs.NewRegistry()
 	st.Instrument(metrics)
 	reg := registry.Experiments()
+
+	journalDir := cfg.journalDir
+	if journalDir == "" && cfg.cacheDir != "" {
+		journalDir = filepath.Join(cfg.cacheDir, "journal")
+	}
+	var jn *journal.Journal
+	if journalDir != "" {
+		jn, err = journal.Open(journalDir, journal.Options{})
+		if err != nil {
+			return fmt.Errorf("open journal: %w", err)
+		}
+		defer jn.Close()
+		if n, torn := len(jn.Records()), jn.Torn(); n > 0 || torn > 0 {
+			log.Printf("journal: replaying %d records from %s (%d torn lines dropped)", n, journalDir, torn)
+		}
+	}
+
 	engine := jobs.New(jobs.Config{
-		Registry:   reg,
-		Store:      st,
-		Workers:    workers,
-		ExpWorkers: expWorkers,
-		QueueDepth: queueDepth,
-		Obs:        metrics,
-		Tracing:    traceJobs,
+		Registry:         reg,
+		Store:            st,
+		Journal:          jn,
+		Workers:          cfg.workers,
+		ExpWorkers:       cfg.expWorkers,
+		QueueDepth:       cfg.queueDepth,
+		MaxInflightBytes: int64(cfg.maxInflightMB) << 20,
+		Obs:              metrics,
+		Tracing:          cfg.traceJobs,
 	})
 	a := &api{engine: engine, reg: reg, store: st, metrics: metrics, start: time.Now()}
 
 	srv := &http.Server{
-		Addr:              addr,
-		Handler:           newHandler(a, maxConc, reqTimeout),
+		Addr:              cfg.addr,
+		Handler:           newHandler(a, cfg.maxConc, cfg.reqTimeout),
 		ReadHeaderTimeout: 10 * time.Second,
 		IdleTimeout:       2 * time.Minute,
 	}
@@ -91,8 +143,8 @@ func run(addr string, workers, expWorkers, queueDepth, cacheMem int, cacheDir st
 
 	errc := make(chan error, 1)
 	go func() {
-		log.Printf("nightvisiond listening on %s (workers=%d, cache-dir=%q, code version %s)",
-			addr, workers, cacheDir, registry.CodeVersion)
+		log.Printf("nightvisiond listening on %s (workers=%d, cache-dir=%q, journal=%q, code version %s)",
+			cfg.addr, cfg.workers, cfg.cacheDir, journalDir, registry.CodeVersion)
 		errc <- srv.ListenAndServe()
 	}()
 
@@ -102,8 +154,12 @@ func run(addr string, workers, expWorkers, queueDepth, cacheMem int, cacheDir st
 	case <-ctx.Done():
 	}
 
-	log.Printf("signal received; draining jobs (up to %v)", drainTimeout)
-	drainCtx, cancel := context.WithTimeout(context.Background(), drainTimeout)
+	// Drain jobs while the HTTP server still serves: GET polls and
+	// DELETE cancels must keep working mid-drain (a client may need to
+	// cut a hung job loose for the drain to finish in time). The engine
+	// rejects new submissions itself once Shutdown begins.
+	log.Printf("signal received; draining jobs (up to %v)", cfg.drainTimeout)
+	drainCtx, cancel := context.WithTimeout(context.Background(), cfg.drainTimeout)
 	defer cancel()
 	if err := engine.Shutdown(drainCtx); err != nil {
 		log.Printf("job drain incomplete: %v", err)
@@ -111,6 +167,8 @@ func run(addr string, workers, expWorkers, queueDepth, cacheMem int, cacheDir st
 	if err := srv.Shutdown(drainCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
 		return err
 	}
+	// The deferred jn.Close runs after this, so every terminal record
+	// written during the drain is already on disk.
 	log.Printf("shutdown complete")
 	return nil
 }

@@ -1,0 +1,292 @@
+package main
+
+// Robustness tests of the daemon surface: load shedding over HTTP,
+// cancel-during-drain, and a SIGTERM-mid-job crash-recovery test
+// against the real exec'd binary.
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"repro/internal/jobs"
+	"repro/internal/obs"
+	"repro/internal/registry"
+)
+
+// gateRegistry is a registry with one "block" experiment that parks on
+// the returned gate (honoring cancellation), for tests that need a job
+// to stay running on demand.
+func gateRegistry(t *testing.T) (*registry.Registry, chan struct{}) {
+	t.Helper()
+	gate := make(chan struct{})
+	r := registry.New()
+	r.Register(registry.Experiment{
+		Name:        "block",
+		Description: "test: parks until released",
+		Params:      []registry.Param{{Name: "n", Kind: registry.Int, Default: 0}},
+		Run: func(rc registry.RunContext) (registry.Result, error) {
+			select {
+			case <-gate:
+				return blockResult{V: "ok"}, nil
+			case <-rc.Ctx.Done():
+				return nil, rc.Ctx.Err()
+			}
+		},
+	})
+	return r, gate
+}
+
+type blockResult struct {
+	V string `json:"v"`
+}
+
+func (b blockResult) Human() string { return b.V }
+
+// TestQueueFullSheds429: submissions beyond the queue depth come back
+// as HTTP 429 with a Retry-After header, and overload_shed_total shows
+// up on /v1/metrics.
+func TestQueueFullSheds429(t *testing.T) {
+	reg, gate := gateRegistry(t)
+	defer close(gate)
+	metrics := obs.NewRegistry()
+	engine := jobs.New(jobs.Config{Registry: reg, Workers: 1, QueueDepth: 1, Obs: metrics})
+	a := &api{engine: engine, reg: reg, metrics: metrics, start: time.Now()}
+	srv := httptest.NewServer(newHandler(a, 16, 30*time.Second))
+	t.Cleanup(func() {
+		srv.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		engine.Shutdown(ctx)
+	})
+
+	// One running (occupies the worker), one queued (fills the queue),
+	// then the shed.
+	var v jobs.View
+	if code := postJSON(t, srv.URL+"/v1/jobs", `{"experiment":"block","params":{"n":1}}`, &v); code != http.StatusAccepted {
+		t.Fatalf("first submit: status %d", code)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		got, _ := engine.Get(v.ID)
+		if got.State == jobs.StateRunning {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("first job never started")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if code := postJSON(t, srv.URL+"/v1/jobs", `{"experiment":"block","params":{"n":2}}`, &v); code != http.StatusAccepted {
+		t.Fatalf("second submit: status %d", code)
+	}
+
+	resp, err := http.Post(srv.URL+"/v1/jobs", "application/json",
+		strings.NewReader(`{"experiment":"block","params":{"n":3}}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var e errorBody
+	json.NewDecoder(resp.Body).Decode(&e)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("shed submit: status %d, want 429 (%+v)", resp.StatusCode, e)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra == "" {
+		t.Fatal("429 carries no Retry-After header")
+	}
+	if e.Error == "" {
+		t.Fatal("429 carries no error body")
+	}
+
+	mresp, err := http.Get(srv.URL + "/v1/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	text, _ := io.ReadAll(mresp.Body)
+	mresp.Body.Close()
+	if !strings.Contains(string(text), "overload_shed_total 1") {
+		t.Fatalf("metrics missing overload_shed_total 1:\n%s", text)
+	}
+}
+
+// TestCancelMidDrainHTTP is the regression test for the DELETE-during-
+// SIGTERM race: while the engine drains (Shutdown in flight, worker
+// parked on a blocked job), DELETE /v1/jobs/{id} must still cancel the
+// job and let the drain complete.
+func TestCancelMidDrainHTTP(t *testing.T) {
+	reg, gate := gateRegistry(t)
+	defer close(gate)
+	engine := jobs.New(jobs.Config{Registry: reg, Workers: 1})
+	a := &api{engine: engine, reg: reg, start: time.Now()}
+	srv := httptest.NewServer(newHandler(a, 16, 30*time.Second))
+	defer srv.Close()
+
+	var v jobs.View
+	if code := postJSON(t, srv.URL+"/v1/jobs", `{"experiment":"block"}`, &v); code != http.StatusAccepted {
+		t.Fatalf("submit: status %d", code)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		got, _ := engine.Get(v.ID)
+		if got.State == jobs.StateRunning {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("job never started")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// SIGTERM analog: drain while HTTP stays up (main.go shuts the
+	// server down only after the engine drain).
+	drainErr := make(chan error, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		drainErr <- engine.Shutdown(ctx)
+	}()
+	time.Sleep(10 * time.Millisecond) // let Shutdown reach its drain wait
+
+	req, err := http.NewRequest(http.MethodDelete, srv.URL+"/v1/jobs/"+v.ID, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var canceled jobs.View
+	json.NewDecoder(resp.Body).Decode(&canceled)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("DELETE during drain: status %d", resp.StatusCode)
+	}
+	if err := <-drainErr; err != nil {
+		t.Fatalf("drain never completed after mid-drain cancel: %v", err)
+	}
+	if got, _ := engine.Get(v.ID); got.State != jobs.StateCanceled {
+		t.Fatalf("mid-drain-canceled job: %+v", got)
+	}
+}
+
+// TestDaemonSIGTERMMidJobRecovery exercises the real binary: start
+// nightvisiond with a journal, SIGTERM it while a job is in flight
+// (the drain finishes the job and journals its completion), restart it
+// over the same directories, and require the job to reappear in a
+// terminal state with its result — without ever resubmitting it.
+func TestDaemonSIGTERMMidJobRecovery(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and execs the daemon binary")
+	}
+	bin := filepath.Join(t.TempDir(), "nightvisiond")
+	build := exec.Command("go", "build", "-o", bin, ".")
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+	cacheDir := t.TempDir()
+	addr := freeAddr(t)
+	args := []string{"-addr", addr, "-cache-dir", cacheDir, "-workers", "1"}
+
+	// First daemon: submit, SIGTERM mid-job, wait for a clean drain.
+	d1 := exec.Command(bin, args...)
+	d1.Stderr = os.Stderr
+	if err := d1.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer d1.Process.Kill()
+	waitHealthy(t, addr)
+
+	var v jobs.View
+	body := `{"experiment":"fig2","params":{"iters":50},"seed":21}`
+	if code := postJSON(t, "http://"+addr+"/v1/jobs", body, &v); code != http.StatusAccepted {
+		t.Fatalf("submit: status %d", code)
+	}
+	if err := d1.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	if err := d1.Wait(); err != nil {
+		t.Fatalf("daemon exit after SIGTERM: %v", err)
+	}
+
+	// Second daemon over the same cache+journal: the job must be back,
+	// terminal, with a result — replayed, not resubmitted.
+	d2 := exec.Command(bin, args...)
+	d2.Stderr = os.Stderr
+	if err := d2.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		d2.Process.Signal(syscall.SIGTERM)
+		d2.Wait()
+	}()
+	waitHealthy(t, addr)
+
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		var list []jobs.View
+		if code := getJSON(t, "http://"+addr+"/v1/jobs", &list); code != http.StatusOK {
+			t.Fatalf("job list: status %d", code)
+		}
+		if len(list) != 1 {
+			t.Fatalf("recovered daemon lists %d jobs, want 1", len(list))
+		}
+		got := list[0]
+		if got.ID != v.ID {
+			t.Fatalf("recovered job ID %s, want %s", got.ID, v.ID)
+		}
+		if got.State.Terminal() {
+			if got.State != jobs.StateDone || len(got.Result) == 0 {
+				t.Fatalf("recovered job: %+v", got)
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("recovered job never reached a terminal state (now %s)", got.State)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}
+
+// freeAddr reserves a listener port and releases it for the daemon.
+func freeAddr(t *testing.T) string {
+	t.Helper()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := l.Addr().String()
+	l.Close()
+	return addr
+}
+
+// waitHealthy polls /v1/healthz with backoff until the daemon answers.
+func waitHealthy(t *testing.T, addr string) {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	delay := 10 * time.Millisecond
+	for time.Now().Before(deadline) {
+		resp, err := http.Get("http://" + addr + "/v1/healthz")
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return
+			}
+		}
+		time.Sleep(delay)
+		if delay < 500*time.Millisecond {
+			delay *= 2
+		}
+	}
+	t.Fatalf("daemon at %s never became healthy", addr)
+}

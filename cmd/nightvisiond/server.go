@@ -214,8 +214,11 @@ func (a *api) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	}
 	view, err := a.engine.Submit(req)
 	switch {
-	case errors.Is(err, jobs.ErrQueueFull):
-		writeJSON(w, http.StatusServiceUnavailable, errorBody{Error: err.Error()})
+	case jobs.Overloaded(err):
+		// Load shed (queue depth or in-flight byte budget): retryable,
+		// unlike the terminal 503 below for a draining daemon.
+		w.Header().Set("Retry-After", "1")
+		writeJSON(w, http.StatusTooManyRequests, errorBody{Error: err.Error()})
 		return
 	case errors.Is(err, jobs.ErrShutdown):
 		writeJSON(w, http.StatusServiceUnavailable, errorBody{Error: err.Error()})

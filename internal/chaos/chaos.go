@@ -1,0 +1,222 @@
+// Package chaos is the fault-injection harness behind the repo's
+// crash-recovery tests. It provides one concrete filesystem, FaultFS,
+// that satisfies both injectable fs seams (store.FS and journal.FS) and
+// routes every operation through a caller-supplied hook, plus canned
+// hooks for the two fault shapes the tests need:
+//
+//   - FreezeAfter(k): every fs operation from global index k on fails.
+//     Freezing a journal's filesystem is the crash simulator — terminal
+//     records stop reaching disk exactly as if the process had died,
+//     and a subsequent journal.Open on the same directory (with a
+//     healthy fs) sees precisely the pre-crash prefix.
+//
+//   - SeededFailures(seed, p, ops...): each matching operation fails
+//     independently with probability p, deterministically derived from
+//     (seed, operation index) via nvrand — reruns inject the same
+//     faults.
+//
+// The package is test infrastructure: nothing in the production daemon
+// imports it, but it lives in the main tree so daemon and engine tests
+// can share it.
+package chaos
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"sync"
+
+	"repro/internal/journal"
+	"repro/internal/nvrand"
+	"repro/internal/store"
+)
+
+// Op names one filesystem operation class as seen by the hook.
+type Op string
+
+const (
+	OpMkdirAll   Op = "mkdirall"
+	OpCreateTemp Op = "createtemp"
+	OpOpenAppend Op = "openappend"
+	OpRename     Op = "rename"
+	OpRemove     Op = "remove"
+	OpReadFile   Op = "readfile"
+	OpReadDir    Op = "readdir"
+	OpWrite      Op = "write"
+	OpSync       Op = "sync"
+)
+
+// ErrInjected is the error every injected fault carries (wrapped with
+// the operation and path); errors.Is(err, ErrInjected) identifies it.
+var ErrInjected = errors.New("chaos: injected fault")
+
+// Hook decides the fate of one operation: nil lets it through, any
+// error is returned to the caller without touching the real fs.
+// idx is the global 0-based operation index on this FaultFS.
+type Hook func(op Op, path string, idx int) error
+
+// FaultFS is an os-backed filesystem with a fault hook in front of
+// every operation. It structurally satisfies store.FS and journal.FS,
+// so one instance (and one fault schedule) can cover both seams.
+type FaultFS struct {
+	mu   sync.Mutex
+	idx  int
+	hook Hook
+}
+
+// NewFaultFS returns a FaultFS routing every operation through hook
+// (nil = no faults).
+func NewFaultFS(hook Hook) *FaultFS { return &FaultFS{hook: hook} }
+
+// SetHook swaps the hook (e.g. to heal the fs mid-test). The operation
+// index keeps counting.
+func (f *FaultFS) SetHook(hook Hook) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.hook = hook
+}
+
+// Ops returns the number of operations seen so far (after a run, this
+// is the crash-point space for FreezeAfter).
+func (f *FaultFS) Ops() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.idx
+}
+
+func (f *FaultFS) check(op Op, path string) error {
+	f.mu.Lock()
+	i := f.idx
+	f.idx++
+	hook := f.hook
+	f.mu.Unlock()
+	if hook == nil {
+		return nil
+	}
+	if err := hook(op, path, i); err != nil {
+		return fmt.Errorf("%s %s (op %d): %w", op, path, i, err)
+	}
+	return nil
+}
+
+func (f *FaultFS) MkdirAll(path string, perm os.FileMode) error {
+	if err := f.check(OpMkdirAll, path); err != nil {
+		return err
+	}
+	return os.MkdirAll(path, perm)
+}
+
+func (f *FaultFS) CreateTemp(dir, pattern string) (store.File, error) {
+	if err := f.check(OpCreateTemp, dir); err != nil {
+		return nil, err
+	}
+	fl, err := os.CreateTemp(dir, pattern)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{f: fl, fs: f}, nil
+}
+
+func (f *FaultFS) OpenAppend(name string) (journal.File, error) {
+	if err := f.check(OpOpenAppend, name); err != nil {
+		return nil, err
+	}
+	fl, err := os.OpenFile(name, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{f: fl, fs: f}, nil
+}
+
+func (f *FaultFS) Rename(oldpath, newpath string) error {
+	if err := f.check(OpRename, oldpath); err != nil {
+		return err
+	}
+	return os.Rename(oldpath, newpath)
+}
+
+func (f *FaultFS) Remove(name string) error {
+	if err := f.check(OpRemove, name); err != nil {
+		return err
+	}
+	return os.Remove(name)
+}
+
+func (f *FaultFS) ReadFile(name string) ([]byte, error) {
+	if err := f.check(OpReadFile, name); err != nil {
+		return nil, err
+	}
+	return os.ReadFile(name)
+}
+
+func (f *FaultFS) ReadDir(name string) ([]string, error) {
+	if err := f.check(OpReadDir, name); err != nil {
+		return nil, err
+	}
+	ents, err := os.ReadDir(name)
+	if err != nil {
+		return nil, err
+	}
+	names := make([]string, 0, len(ents))
+	for _, e := range ents {
+		names = append(names, e.Name())
+	}
+	return names, nil
+}
+
+// faultFile is an *os.File whose Write and Sync consult the hook.
+// Close never injects: a crash test that froze the fs must still be
+// able to release file descriptors.
+type faultFile struct {
+	f  *os.File
+	fs *FaultFS
+}
+
+func (w *faultFile) Write(p []byte) (int, error) {
+	if err := w.fs.check(OpWrite, w.f.Name()); err != nil {
+		return 0, err
+	}
+	return w.f.Write(p)
+}
+
+func (w *faultFile) Sync() error {
+	if err := w.fs.check(OpSync, w.f.Name()); err != nil {
+		return err
+	}
+	return w.f.Sync()
+}
+
+func (w *faultFile) Close() error { return w.f.Close() }
+func (w *faultFile) Name() string { return w.f.Name() }
+
+// FreezeAfter fails every operation with a global index >= k: the
+// filesystem "dies" at op k and stays dead, which is how the recovery
+// tests model a process crash at an arbitrary journal position.
+func FreezeAfter(k int) Hook {
+	return func(op Op, path string, idx int) error {
+		if idx >= k {
+			return ErrInjected
+		}
+		return nil
+	}
+}
+
+// SeededFailures fails each operation matching ops (all operations if
+// none given) independently with probability p, derived only from
+// (seed, operation index): the fault schedule is reproducible across
+// runs and worker interleavings that preserve op order.
+func SeededFailures(seed uint64, p float64, ops ...Op) Hook {
+	match := make(map[Op]bool, len(ops))
+	for _, op := range ops {
+		match[op] = true
+	}
+	return func(op Op, path string, idx int) error {
+		if len(match) > 0 && !match[op] {
+			return nil
+		}
+		if nvrand.SplitAt(seed, uint64(idx)).Float64() < p {
+			return ErrInjected
+		}
+		return nil
+	}
+}

@@ -1,0 +1,328 @@
+package chaos
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/jobs"
+	"repro/internal/journal"
+	"repro/internal/nvrand"
+	"repro/internal/registry"
+	"repro/internal/store"
+)
+
+// FaultFS must satisfy both injectable fs seams.
+var (
+	_ store.FS   = (*FaultFS)(nil)
+	_ journal.FS = (*FaultFS)(nil)
+)
+
+type chaosResult struct {
+	V uint64 `json:"v"`
+}
+
+func (c chaosResult) Human() string { return fmt.Sprint(c.V) }
+
+// chaosRegistry builds deterministic experiments for the harness:
+//   - compute: returns a value derived only from (seed, n)
+//   - flaky:   panics for roughly a third of (seed, n) pairs — same
+//     pairs every run — otherwise computes
+//   - slow:    sleeps a few ms, then computes (timing never enters the
+//     result)
+//   - hang:    ignores cancellation entirely until the returned release
+//     channel closes
+func chaosRegistry() (*registry.Registry, chan struct{}) {
+	release := make(chan struct{})
+	value := func(seed uint64, n int) uint64 {
+		return nvrand.SplitAt(seed, uint64(n)).Uint64()
+	}
+	nParam := []registry.Param{{Name: "n", Kind: registry.Int, Default: 0}}
+	r := registry.New()
+	r.Register(registry.Experiment{
+		Name: "compute", Params: nParam,
+		Run: func(rc registry.RunContext) (registry.Result, error) {
+			return chaosResult{V: value(rc.Seed, rc.Values.Int("n"))}, nil
+		},
+	})
+	r.Register(registry.Experiment{
+		Name: "flaky", Params: nParam,
+		Run: func(rc registry.RunContext) (registry.Result, error) {
+			v := value(rc.Seed, rc.Values.Int("n"))
+			if v%3 == 0 {
+				panic(fmt.Sprintf("chaos: deterministic panic for n=%d", rc.Values.Int("n")))
+			}
+			return chaosResult{V: v}, nil
+		},
+	})
+	r.Register(registry.Experiment{
+		Name: "slow", Params: nParam,
+		Run: func(rc registry.RunContext) (registry.Result, error) {
+			time.Sleep(2 * time.Millisecond)
+			return chaosResult{V: value(rc.Seed, rc.Values.Int("n"))}, nil
+		},
+	})
+	r.Register(registry.Experiment{
+		Name: "hang", Params: nParam,
+		Run: func(rc registry.RunContext) (registry.Result, error) {
+			<-release
+			return chaosResult{V: 0}, nil
+		},
+	})
+	return r, release
+}
+
+// chaosRequests is the fixed submission mix every engine run uses, so
+// job-N maps to the same request in the reference and every crash
+// iteration.
+func chaosRequests() []jobs.Request {
+	return []jobs.Request{
+		{Experiment: "compute", Params: map[string]any{"n": 1}, Seed: 11},
+		{Experiment: "slow", Params: map[string]any{"n": 2}, Seed: 11, Priority: 2},
+		{Experiment: "flaky", Params: map[string]any{"n": 3}, Seed: 11},
+		{Experiment: "compute", Params: map[string]any{"n": 4}, Seed: 12},
+		{Experiment: "flaky", Params: map[string]any{"n": 6}, Seed: 11, Priority: 1},
+		{Experiment: "slow", Params: map[string]any{"n": 7}, Seed: 13},
+	}
+}
+
+type finalState struct {
+	state  jobs.State
+	result []byte
+}
+
+// runAll submits the fixed mix, waits for every job, and returns the
+// terminal snapshot per job ID.
+func runAll(t *testing.T, e *jobs.Engine) map[string]finalState {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	var ids []string
+	for _, req := range chaosRequests() {
+		v, err := e.Submit(req)
+		if err != nil {
+			t.Fatalf("submit %+v: %v", req, err)
+		}
+		ids = append(ids, v.ID)
+	}
+	out := make(map[string]finalState, len(ids))
+	for _, id := range ids {
+		v, err := e.Wait(ctx, id)
+		if err != nil {
+			t.Fatalf("wait %s: %v", id, err)
+		}
+		if !v.State.Terminal() {
+			t.Fatalf("job %s non-terminal after Wait: %s", id, v.State)
+		}
+		out[id] = finalState{state: v.State, result: append([]byte(nil), v.Result...)}
+	}
+	return out
+}
+
+// TestChaosCrashRecovery is the randomized crash-recovery test: run a
+// reference workload once, then crash a journaled engine at seeded
+// fs-operation points (the journal's filesystem freezes — exactly the
+// record prefix a real crash would leave), restart over the surviving
+// journal, and assert every recovered job reaches a terminal state
+// exactly once with results bit-identical to the reference.
+func TestChaosCrashRecovery(t *testing.T) {
+	// Reference run: healthy fs, counting ops to learn the crash space.
+	refFS := NewFaultFS(nil)
+	refJn, err := journal.Open(t.TempDir(), journal.Options{FS: refFS})
+	if err != nil {
+		t.Fatal(err)
+	}
+	refReg, _ := chaosRegistry()
+	refEng := jobs.New(jobs.Config{Registry: refReg, Journal: refJn, Workers: 2})
+	ref := runAll(t, refEng)
+	shutdown(t, refEng)
+	if err := refJn.Close(); err != nil {
+		t.Fatal(err)
+	}
+	opSpace := refFS.Ops()
+	if opSpace < 10 {
+		t.Fatalf("reference run touched only %d fs ops; harness broken", opSpace)
+	}
+
+	// Seeded crash points across the op space, plus the extremes.
+	rng := nvrand.New(0xC4A05)
+	points := []int{0, 1, opSpace - 1}
+	for i := 0; i < 6; i++ {
+		points = append(points, 2+rng.Intn(opSpace))
+	}
+
+	for _, k := range points {
+		k := k
+		t.Run(fmt.Sprintf("crash-at-op-%d", k), func(t *testing.T) {
+			dir := t.TempDir()
+			storeDir := t.TempDir()
+
+			// Doomed engine: journal fs freezes at op k.
+			fs := NewFaultFS(FreezeAfter(k))
+			var doomedIDs []string
+			jn, err := journal.Open(dir, journal.Options{FS: fs})
+			if err == nil {
+				st, serr := store.New(8, storeDir)
+				if serr != nil {
+					t.Fatal(serr)
+				}
+				reg, _ := chaosRegistry()
+				e := jobs.New(jobs.Config{Registry: reg, Journal: jn, Workers: 2})
+				ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+				for _, req := range chaosRequests() {
+					if v, serr := e.Submit(req); serr == nil {
+						doomedIDs = append(doomedIDs, v.ID)
+					}
+				}
+				for _, id := range doomedIDs {
+					e.Wait(ctx, id) // run to terminal; journal appends may silently vanish
+				}
+				cancel()
+				shutdown(t, e)
+				jn.Close()
+				_ = st
+			}
+			// else: crashed during journal.Open — nothing durable exists.
+
+			// Recovery: healthy fs over the surviving prefix.
+			jn2, err := journal.Open(dir, journal.Options{})
+			if err != nil {
+				t.Fatalf("recovery open: %v", err)
+			}
+			defer jn2.Close()
+			st2, err := store.New(8, storeDir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			reg2, _ := chaosRegistry()
+			e2 := jobs.New(jobs.Config{Registry: reg2, Journal: jn2, Store: st2, Workers: 2})
+			defer shutdown(t, e2)
+
+			views := e2.List()
+			seen := make(map[string]bool, len(views))
+			ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+			defer cancel()
+			for _, v := range views {
+				if seen[v.ID] {
+					t.Fatalf("job %s recovered more than once", v.ID)
+				}
+				seen[v.ID] = true
+				want, inRef := ref[v.ID]
+				if !inRef {
+					t.Fatalf("recovered unknown job %s", v.ID)
+				}
+				got, err := e2.Wait(ctx, v.ID)
+				if err != nil {
+					t.Fatalf("wait recovered %s: %v", v.ID, err)
+				}
+				if !got.State.Terminal() {
+					t.Fatalf("recovered job %s non-terminal: %s", v.ID, got.State)
+				}
+				if got.State != want.state {
+					t.Fatalf("job %s recovered to %s, reference %s", v.ID, got.State, want.state)
+				}
+				if want.state == jobs.StateDone && !bytes.Equal(got.Result, want.result) {
+					t.Fatalf("job %s result drifted across crash:\n ref: %s\n got: %s", v.ID, want.result, got.Result)
+				}
+			}
+			// The surviving set is a prefix of the submission order:
+			// job-N durable implies job-1..job-N-1 durable (the journal
+			// is append-only and fsynced per record).
+			for i := 1; i <= len(seen); i++ {
+				if !seen[fmt.Sprintf("job-%d", i)] {
+					t.Fatalf("recovered set %v is not a submission-order prefix", seen)
+				}
+			}
+		})
+	}
+}
+
+// TestChaosDeadlineRecoversWorker: a hung experiment under a deadline
+// (ignoring cancellation) is timed out and abandoned; the worker
+// survives to run the next job.
+func TestChaosDeadlineRecoversWorker(t *testing.T) {
+	reg, release := chaosRegistry()
+	defer close(release)
+	e := jobs.New(jobs.Config{Registry: reg, Workers: 1, AbandonGrace: 20 * time.Millisecond})
+	defer shutdown(t, e)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	vh, err := e.Submit(jobs.Request{Experiment: "hang", DeadlineMS: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vh, err = e.Wait(ctx, vh.ID); err != nil || vh.State != jobs.StateTimedOut {
+		t.Fatalf("hung job: %v %+v", err, vh)
+	}
+	vc, err := e.Submit(jobs.Request{Experiment: "compute", Params: map[string]any{"n": 1}, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vc, err = e.Wait(ctx, vc.ID); err != nil || vc.State != jobs.StateDone {
+		t.Fatalf("job after hang: %v %+v", err, vc)
+	}
+}
+
+// TestChaosStoreFaultsNeverCorrupt: with seeded write/sync faults on
+// the store's filesystem, Puts may fail (counted) but Gets never return
+// wrong bytes — the memory tier keeps serving, and a fresh store over
+// the same directory holds only complete, correct entries.
+func TestChaosStoreFaultsNeverCorrupt(t *testing.T) {
+	dir := t.TempDir()
+	fs := NewFaultFS(SeededFailures(0xFA11, 0.4, OpWrite, OpSync))
+	st, err := store.New(64, dir, store.WithFS(fs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := make(map[string][]byte)
+	for i := 0; i < 40; i++ {
+		key := fmt.Sprintf("%064x", i)
+		val := []byte(fmt.Sprintf(`{"v":%d}`, i))
+		want[key] = val
+		st.Put(key, val) // may fail on disk; memory tier must absorb it
+	}
+	for key, val := range want {
+		got, ok := st.Get(key)
+		if !ok || !bytes.Equal(got, val) {
+			t.Fatalf("key %s: got %q ok=%v, want %q", key[:8], got, ok, val)
+		}
+	}
+	if st.Stats().DiskWriteFailures == 0 {
+		t.Fatal("fault schedule injected no disk write failures; test is vacuous")
+	}
+	// A fresh store over the same directory sees only entries whose
+	// writes fully succeeded — never truncated or corrupt ones.
+	st2, err := store.New(64, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for key, val := range want {
+		if got, ok := st2.Get(key); ok && !bytes.Equal(got, val) {
+			t.Fatalf("key %s corrupt after faulty writes: %q", key[:8], got)
+		}
+	}
+}
+
+// TestChaosInjectedErrorsIdentifiable: injected faults wrap ErrInjected.
+func TestChaosInjectedErrorsIdentifiable(t *testing.T) {
+	fs := NewFaultFS(FreezeAfter(0))
+	if err := fs.MkdirAll("/tmp/never-created-by-chaos", 0o755); !errors.Is(err, ErrInjected) {
+		t.Fatalf("frozen op error = %v, want ErrInjected", err)
+	}
+	if fs.Ops() != 1 {
+		t.Fatalf("op counter %d, want 1", fs.Ops())
+	}
+}
+
+func shutdown(t *testing.T, e *jobs.Engine) {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := e.Shutdown(ctx); err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+}

@@ -10,6 +10,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/asm"
@@ -39,6 +40,11 @@ type Config struct {
 	// concurrently live simulators. 0 means runtime.GOMAXPROCS(0);
 	// 1 runs serially. Results are bit-identical for any value.
 	Workers int
+	// Ctx, when non-nil, cancels the experiment between engine tasks
+	// (deadline or job cancellation from internal/jobs). Like Workers it
+	// is an execution detail: it never changes the bytes of a completed
+	// result, only whether the run completes.
+	Ctx context.Context
 	// CPU optionally overrides the core configuration (zero value =
 	// defaults, SkyLake-like).
 	CPU cpu.Config
@@ -88,7 +94,7 @@ func (c Config) withDefaults() Config {
 
 // engine returns the runner configuration for this experiment config.
 func (c Config) engine() runner.Config {
-	rc := runner.Config{Workers: c.Workers, Seed: c.Seed}
+	rc := runner.Config{Workers: c.Workers, Seed: c.Seed, Ctx: c.Ctx}
 	if c.Obs != nil {
 		rc.TaskCounter = c.Obs.Counter("runner_tasks_total", "tasks executed by the parallel experiment engine")
 	}

@@ -1,25 +1,56 @@
 // Package jobs is the bounded experiment job engine: a priority-FIFO
 // queue drained by a persistent runner.Pool, fronted by the
-// content-addressed result cache in internal/store.
+// content-addressed result cache in internal/store and made durable by
+// the write-ahead journal in internal/journal.
 //
 // Submit resolves the experiment's config against its registry schema,
 // derives the cache key, and either answers instantly from the store
 // (the job is born "done", FromCache=true) or enqueues. Workers pull
 // the highest-priority oldest job; each run is panic-isolated — a
 // panicking experiment fails only its own job, never a worker or the
-// engine. Shutdown stops intake, cancels everything still queued, and
-// drains jobs already in flight.
+// engine.
+//
+// Robustness machinery:
+//
+//   - Durability. With Config.Journal set, every lifecycle transition is
+//     journaled (fsynced) before it is acknowledged. New replays the
+//     journal: jobs that were terminal stay terminal (results re-served
+//     from the store), jobs that were queued re-enqueue, and jobs that
+//     were running at crash time are marked Interrupted and re-enqueue.
+//     Replayed work is cheap and deterministic — results are content-
+//     addressed, so a re-run produces bit-identical bytes.
+//
+//   - Deadlines. Each job runs under a context with a deadline (request
+//     deadline_ms, else the experiment's registry default). An
+//     over-budget job transitions to timed_out; one that ignores
+//     cancellation past the abandon grace is abandoned — the job
+//     finishes, the worker moves on, and the runaway goroutine is
+//     surfaced on the jobs_stuck gauge until it returns. A watchdog
+//     goroutine keeps the jobs_overdue gauge current.
+//
+//   - Admission control. Beyond the queue-depth bound, an in-flight
+//     byte budget (canonical config plus fixed per-job overhead, for
+//     every queued or running job) sheds load with ErrOverloaded before
+//     memory does; both rejections increment overload_shed_total and
+//     surface as HTTP 429 upstream.
+//
+// Shutdown stops intake, cancels everything still queued, and drains
+// jobs already in flight.
 package jobs
 
 import (
 	"container/heap"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"sort"
+	"strconv"
+	"strings"
 	"sync"
 	"time"
 
+	"repro/internal/journal"
 	"repro/internal/obs"
 	"repro/internal/registry"
 	"repro/internal/runner"
@@ -35,11 +66,12 @@ const (
 	StateDone     State = "done"
 	StateFailed   State = "failed"
 	StateCanceled State = "canceled"
+	StateTimedOut State = "timed_out"
 )
 
 // Terminal reports whether no further transitions can happen.
 func (s State) Terminal() bool {
-	return s == StateDone || s == StateFailed || s == StateCanceled
+	return s == StateDone || s == StateFailed || s == StateCanceled || s == StateTimedOut
 }
 
 // Request is one job submission.
@@ -54,6 +86,10 @@ type Request struct {
 	// Priority orders the queue: higher runs first; equal priorities
 	// run in submission order (FIFO).
 	Priority int `json:"priority"`
+	// DeadlineMS is the job's run-time budget in milliseconds, measured
+	// from the moment a worker starts it. 0 uses the experiment's
+	// registry default; negative means no deadline.
+	DeadlineMS int64 `json:"deadline_ms"`
 }
 
 // View is an externally visible job snapshot (the daemon's JSON).
@@ -63,39 +99,47 @@ type View struct {
 	Config     registry.Values `json:"config"`
 	Seed       uint64          `json:"seed"`
 	Priority   int             `json:"priority"`
+	DeadlineMS int64           `json:"deadline_ms,omitempty"`
 	State      State           `json:"state"`
 	Progress   float64         `json:"progress"`
 	FromCache  bool            `json:"from_cache"`
-	Key        string          `json:"key"`
-	Error      string          `json:"error,omitempty"`
-	Result     json.RawMessage `json:"result,omitempty"`
-	EnqueuedAt time.Time       `json:"enqueued_at"`
-	StartedAt  *time.Time      `json:"started_at,omitempty"`
-	FinishedAt *time.Time      `json:"finished_at,omitempty"`
+	// Interrupted marks a job that was running when a previous process
+	// crashed and was re-enqueued by journal replay.
+	Interrupted bool            `json:"interrupted,omitempty"`
+	Key         string          `json:"key"`
+	Error       string          `json:"error,omitempty"`
+	Result      json.RawMessage `json:"result,omitempty"`
+	EnqueuedAt  time.Time       `json:"enqueued_at"`
+	StartedAt   *time.Time      `json:"started_at,omitempty"`
+	FinishedAt  *time.Time      `json:"finished_at,omitempty"`
 }
 
 // job is the engine-internal record; every mutable field is guarded by
 // the engine mutex.
 type job struct {
-	id         string
-	seq        uint64
-	exp        *registry.Experiment
-	values     registry.Values
-	seed       uint64
-	priority   int
-	key        string
-	state      State
-	progress   float64
-	fromCache  bool
-	errMsg     string
-	result     []byte
-	enqueuedAt time.Time
-	startedAt  time.Time
-	finishedAt time.Time
-	cancel     context.CancelFunc
-	done       chan struct{} // closed on any terminal state
-	heapIdx    int           // -1 when not queued
-	trace      *obs.Trace    // non-nil when Config.Tracing, for jobs that run
+	id          string
+	seq         uint64
+	exp         *registry.Experiment
+	values      registry.Values
+	canon       []byte // canonical config JSON (journaled identity)
+	seed        uint64
+	priority    int
+	deadline    time.Duration // 0 = none
+	cost        int64         // admission-control bytes while queued/running
+	key         string
+	state       State
+	progress    float64
+	fromCache   bool
+	interrupted bool
+	errMsg      string
+	result      []byte
+	enqueuedAt  time.Time
+	startedAt   time.Time
+	finishedAt  time.Time
+	cancel      context.CancelFunc
+	done        chan struct{} // closed on any terminal state
+	heapIdx     int           // -1 when not queued
+	trace       *obs.Trace    // non-nil when Config.Tracing, for jobs that run
 }
 
 // Config configures an Engine.
@@ -106,6 +150,11 @@ type Config struct {
 	// Store caches results; nil disables caching (every submission
 	// computes).
 	Store *store.Store
+	// Journal, when non-nil, makes the engine durable: every lifecycle
+	// transition is appended (and fsynced) to it, and New replays its
+	// records to recover jobs from a previous process. The engine never
+	// closes the journal; the owner does, after Shutdown.
+	Journal *journal.Journal
 	// Workers bounds concurrently running jobs (runner semantics:
 	// <= 0 means GOMAXPROCS).
 	Workers int
@@ -116,27 +165,53 @@ type Config struct {
 	// QueueDepth bounds queued-but-not-running jobs; submissions
 	// beyond it fail with ErrQueueFull. <= 0 means 1024.
 	QueueDepth int
+	// MaxInflightBytes bounds the admission-control byte account (the
+	// canonical config plus a fixed overhead for every queued or
+	// running job); submissions beyond it fail with ErrOverloaded.
+	// <= 0 means 256 MiB.
+	MaxInflightBytes int64
+	// AbandonGrace is how long after cancellation/deadline the engine
+	// waits for a run to exit cooperatively before abandoning it and
+	// freeing the worker. <= 0 means 3s.
+	AbandonGrace time.Duration
+	// WatchdogInterval is how often the watchdog refreshes the
+	// jobs_overdue gauge. <= 0 means 500ms.
+	WatchdogInterval time.Duration
 	// Obs, when non-nil, receives engine metrics (submissions,
 	// completions by state, duration and queue-latency histograms,
-	// queue depth, running gauge) and is handed to every experiment run
-	// for simulator-level metrics. Nil disables all of it.
+	// queue depth, running gauge, shed/overdue/stuck instruments) and is
+	// handed to every experiment run for simulator-level metrics. Nil
+	// disables all of it.
 	Obs *obs.Registry
 	// Tracing, when true, records a per-job attack-pipeline trace
 	// (retrievable via Engine.Trace) for every job that actually runs.
 	Tracing bool
 }
 
+// jobOverhead is the fixed per-job byte charge for admission control:
+// the engine-side footprint of a queued job beyond its config bytes.
+const jobOverhead = 4096
+
 // metrics is the engine's registered instrument set; all fields are
 // nil-safe no-ops when Config.Obs was nil.
 type metrics struct {
-	submitted    *obs.Counter
-	doneC        *obs.Counter
-	failedC      *obs.Counter
-	canceledC    *obs.Counter
-	duration     *obs.Histogram
-	queueLatency *obs.Histogram
-	depth        *obs.Gauge
-	running      *obs.Gauge
+	submitted       *obs.Counter
+	doneC           *obs.Counter
+	failedC         *obs.Counter
+	canceledC       *obs.Counter
+	timedOutC       *obs.Counter
+	shed            *obs.Counter
+	abandoned       *obs.Counter
+	replayed        *obs.Counter
+	interrupted     *obs.Counter
+	journalFailures *obs.Counter
+	duration        *obs.Histogram
+	queueLatency    *obs.Histogram
+	depth           *obs.Gauge
+	running         *obs.Gauge
+	inflightBytes   *obs.Gauge
+	overdue         *obs.Gauge
+	stuck           *obs.Gauge
 }
 
 func newMetrics(r *obs.Registry) metrics {
@@ -145,14 +220,23 @@ func newMetrics(r *obs.Registry) metrics {
 			obs.Labels{"state": string(state)})
 	}
 	return metrics{
-		submitted:    r.Counter("jobs_submitted_total", "job submissions accepted (including cache hits)"),
-		doneC:        completed(StateDone),
-		failedC:      completed(StateFailed),
-		canceledC:    completed(StateCanceled),
-		duration:     r.Histogram("job_duration_seconds", "wall time of executed jobs, start to terminal state", obs.DefaultDurationBuckets()),
-		queueLatency: r.Histogram("job_queue_latency_seconds", "time jobs spent queued before a worker picked them up", obs.DefaultDurationBuckets()),
-		depth:        r.Gauge("jobs_queue_depth", "jobs queued and not yet running"),
-		running:      r.Gauge("jobs_running", "jobs currently executing"),
+		submitted:       r.Counter("jobs_submitted_total", "job submissions accepted (including cache hits)"),
+		doneC:           completed(StateDone),
+		failedC:         completed(StateFailed),
+		canceledC:       completed(StateCanceled),
+		timedOutC:       completed(StateTimedOut),
+		shed:            r.Counter("overload_shed_total", "submissions rejected by admission control (queue depth or byte budget)"),
+		abandoned:       r.Counter("jobs_abandoned_total", "runs abandoned after ignoring cancellation past the grace period"),
+		replayed:        r.Counter("jobs_replayed_total", "jobs reconstructed from the journal at startup"),
+		interrupted:     r.Counter("jobs_interrupted_total", "jobs found running at crash time and re-enqueued"),
+		journalFailures: r.Counter("journal_append_failures_total", "journal appends that failed (job proceeds; durability degraded)"),
+		duration:        r.Histogram("job_duration_seconds", "wall time of executed jobs, start to terminal state", obs.DefaultDurationBuckets()),
+		queueLatency:    r.Histogram("job_queue_latency_seconds", "time jobs spent queued before a worker picked them up", obs.DefaultDurationBuckets()),
+		depth:           r.Gauge("jobs_queue_depth", "jobs queued and not yet running"),
+		running:         r.Gauge("jobs_running", "jobs currently executing"),
+		inflightBytes:   r.Gauge("jobs_inflight_bytes", "admission-control byte account for queued and running jobs"),
+		overdue:         r.Gauge("jobs_overdue", "running jobs past their deadline (watchdog)"),
+		stuck:           r.Gauge("jobs_stuck", "abandoned runs whose goroutine has not exited yet"),
 	}
 }
 
@@ -164,6 +248,8 @@ func (m metrics) completed(state State) *obs.Counter {
 		return m.failedC
 	case StateCanceled:
 		return m.canceledC
+	case StateTimedOut:
+		return m.timedOutC
 	}
 	return nil
 }
@@ -171,31 +257,54 @@ func (m metrics) completed(state State) *obs.Counter {
 // ErrQueueFull rejects submissions when the queue is at capacity.
 var ErrQueueFull = fmt.Errorf("jobs: queue full")
 
+// ErrOverloaded rejects submissions when the in-flight byte budget is
+// exhausted.
+var ErrOverloaded = fmt.Errorf("jobs: engine overloaded")
+
 // ErrShutdown rejects submissions after Shutdown began.
 var ErrShutdown = fmt.Errorf("jobs: engine shutting down")
 
-// Engine is the job service. Create with New, stop with Shutdown.
-type Engine struct {
-	reg        *registry.Registry
-	store      *store.Store
-	expWorkers int
-	queueCap   int
-	obs        *obs.Registry
-	m          metrics
-	tracing    bool
-
-	mu      sync.Mutex
-	cond    *sync.Cond
-	queue   jobHeap
-	jobs    map[string]*job
-	nextID  uint64
-	nextSeq uint64
-	closed  bool
-
-	pool *runner.Pool
+// Overloaded reports whether err is an admission-control rejection
+// (retryable: HTTP 429 upstream).
+func Overloaded(err error) bool {
+	return errors.Is(err, ErrQueueFull) || errors.Is(err, ErrOverloaded)
 }
 
-// New starts an engine with cfg.Workers pull workers.
+// errDeadline is the cancellation cause distinguishing a deadline from
+// a user cancel.
+var errDeadline = errors.New("job deadline exceeded")
+
+// Engine is the job service. Create with New, stop with Shutdown.
+type Engine struct {
+	reg          *registry.Registry
+	store        *store.Store
+	journal      *journal.Journal
+	expWorkers   int
+	queueCap     int
+	maxBytes     int64
+	abandonGrace time.Duration
+	obs          *obs.Registry
+	m            metrics
+	tracing      bool
+
+	mu            sync.Mutex
+	cond          *sync.Cond
+	queue         jobHeap
+	jobs          map[string]*job
+	nextID        uint64
+	nextSeq       uint64
+	inflightBytes int64
+	closed        bool
+
+	pool         *runner.Pool
+	watchdogStop chan struct{}
+	watchdogDone chan struct{}
+}
+
+// New starts an engine with cfg.Workers pull workers. With cfg.Journal
+// set it first replays the journal, restoring terminal jobs (results
+// from the store) and re-enqueueing everything else; jobs that were
+// running at crash time come back Interrupted.
 func New(cfg Config) *Engine {
 	reg := cfg.Registry
 	if reg == nil {
@@ -207,19 +316,228 @@ func New(cfg Config) *Engine {
 	if cfg.QueueDepth <= 0 {
 		cfg.QueueDepth = 1024
 	}
+	if cfg.MaxInflightBytes <= 0 {
+		cfg.MaxInflightBytes = 256 << 20
+	}
+	if cfg.AbandonGrace <= 0 {
+		cfg.AbandonGrace = 3 * time.Second
+	}
+	if cfg.WatchdogInterval <= 0 {
+		cfg.WatchdogInterval = 500 * time.Millisecond
+	}
 	e := &Engine{
-		reg:        reg,
-		store:      cfg.Store,
-		expWorkers: cfg.ExpWorkers,
-		queueCap:   cfg.QueueDepth,
-		obs:        cfg.Obs,
-		m:          newMetrics(cfg.Obs),
-		tracing:    cfg.Tracing,
-		jobs:       make(map[string]*job),
+		reg:          reg,
+		store:        cfg.Store,
+		journal:      cfg.Journal,
+		expWorkers:   cfg.ExpWorkers,
+		queueCap:     cfg.QueueDepth,
+		maxBytes:     cfg.MaxInflightBytes,
+		abandonGrace: cfg.AbandonGrace,
+		obs:          cfg.Obs,
+		m:            newMetrics(cfg.Obs),
+		tracing:      cfg.Tracing,
+		jobs:         make(map[string]*job),
+		watchdogStop: make(chan struct{}),
+		watchdogDone: make(chan struct{}),
 	}
 	e.cond = sync.NewCond(&e.mu)
+	if e.journal != nil {
+		e.replay(e.journal.Records())
+	}
 	e.pool = runner.StartPool(cfg.Workers, e.next)
+	go e.watchdog(cfg.WatchdogInterval)
 	return e
+}
+
+// replay reconstructs engine state from journal records (called before
+// the pool starts, so no locking is needed yet). Terminal jobs whose
+// results are still in the store stay terminal; a completed job whose
+// result bytes were lost re-enqueues (recomputation is bit-identical);
+// queued and running jobs re-enqueue, the running ones marked
+// Interrupted and re-journaled as such.
+func (e *Engine) replay(recs []journal.Record) {
+	for _, rec := range recs {
+		switch rec.Type {
+		case journal.TypeSubmitted:
+			if _, dup := e.jobs[rec.JobID]; dup {
+				continue // duplicate submit record: first wins
+			}
+			e.nextSeq++
+			j := &job{
+				id:         rec.JobID,
+				seq:        e.nextSeq,
+				seed:       rec.Seed,
+				priority:   rec.Priority,
+				key:        rec.Key,
+				canon:      append([]byte(nil), rec.Config...),
+				enqueuedAt: rec.Time,
+				state:      StateQueued,
+				done:       make(chan struct{}),
+				heapIdx:    -1,
+			}
+			if rec.DeadlineMS > 0 {
+				j.deadline = time.Duration(rec.DeadlineMS) * time.Millisecond
+			}
+			exp, ok := e.reg.Get(rec.Experiment)
+			if !ok {
+				j.state = StateFailed
+				j.errMsg = fmt.Sprintf("replay: experiment %q no longer registered", rec.Experiment)
+				close(j.done)
+				e.jobs[j.id] = j
+				continue
+			}
+			j.exp = exp
+			var raw map[string]any
+			values, err := exp.Defaults(), error(nil)
+			if jerr := json.Unmarshal(rec.Config, &raw); jerr == nil {
+				values, err = exp.Resolve(raw)
+			} else {
+				err = jerr
+			}
+			if err != nil {
+				j.state = StateFailed
+				j.errMsg = "replay: config no longer resolves: " + err.Error()
+				close(j.done)
+				e.jobs[j.id] = j
+				continue
+			}
+			j.values = values
+			e.jobs[j.id] = j
+			if n, ok := parseID(rec.JobID); ok && n > e.nextID {
+				e.nextID = n
+			}
+		case journal.TypeStarted:
+			if j, ok := e.jobs[rec.JobID]; ok && !j.state.Terminal() {
+				j.state = StateRunning
+			}
+		case journal.TypeInterrupted:
+			if j, ok := e.jobs[rec.JobID]; ok && !j.state.Terminal() {
+				j.interrupted = true
+				j.state = StateQueued
+			}
+		case journal.TypeCompleted, journal.TypeFailed, journal.TypeCanceled, journal.TypeTimedOut:
+			j, ok := e.jobs[rec.JobID]
+			if !ok || j.state.Terminal() {
+				continue
+			}
+			j.state = stateForType(rec.Type)
+			j.errMsg = rec.Error
+			j.fromCache = rec.FromCache
+			j.finishedAt = rec.Time
+			if j.state == StateDone {
+				j.progress = 1
+			}
+			close(j.done)
+		}
+	}
+
+	// Second pass in seq order: resolve results for completed jobs and
+	// re-enqueue everything non-terminal.
+	ordered := make([]*job, 0, len(e.jobs))
+	for _, j := range e.jobs {
+		ordered = append(ordered, j)
+	}
+	sort.Slice(ordered, func(i, k int) bool { return ordered[i].seq < ordered[k].seq })
+	for _, j := range ordered {
+		e.m.replayed.Inc()
+		if j.state == StateDone {
+			var cached []byte
+			if e.store != nil {
+				cached, _ = e.store.Get(j.key)
+			}
+			if cached != nil {
+				j.result = cached
+				continue
+			}
+			// Result bytes lost (store wiped or corrupt-evicted):
+			// recompute. The cache key guarantees the re-run is
+			// byte-identical, so this only trades time, never truth.
+			j.state = StateQueued
+			j.fromCache = false
+			j.progress = 0
+			j.done = make(chan struct{})
+		}
+		if j.state.Terminal() {
+			continue
+		}
+		if j.state == StateRunning {
+			// Running at crash time: mark interrupted, journal the fact.
+			j.interrupted = true
+			j.state = StateQueued
+			e.m.interrupted.Inc()
+			e.appendJournal(journal.Record{Type: journal.TypeInterrupted, JobID: j.id, Key: j.key})
+		}
+		if e.tracing {
+			j.trace = obs.NewTrace()
+		}
+		j.cost = int64(len(j.canon)) + jobOverhead
+		e.inflightBytes += j.cost
+		heap.Push(&e.queue, j)
+	}
+	e.m.depth.Set(int64(e.queue.Len()))
+	e.m.inflightBytes.Set(e.inflightBytes)
+}
+
+func parseID(id string) (uint64, bool) {
+	s, ok := strings.CutPrefix(id, "job-")
+	if !ok {
+		return 0, false
+	}
+	n, err := strconv.ParseUint(s, 10, 64)
+	return n, err == nil
+}
+
+func stateForType(t journal.Type) State {
+	switch t {
+	case journal.TypeCompleted:
+		return StateDone
+	case journal.TypeFailed:
+		return StateFailed
+	case journal.TypeCanceled:
+		return StateCanceled
+	case journal.TypeTimedOut:
+		return StateTimedOut
+	}
+	return StateQueued
+}
+
+func typeForState(s State) journal.Type {
+	switch s {
+	case StateDone:
+		return journal.TypeCompleted
+	case StateFailed:
+		return journal.TypeFailed
+	case StateCanceled:
+		return journal.TypeCanceled
+	case StateTimedOut:
+		return journal.TypeTimedOut
+	}
+	return journal.TypeSubmitted
+}
+
+// appendJournal writes one record if a journal is attached. Append
+// failures degrade durability, never availability: the job proceeds and
+// the failure is counted.
+func (e *Engine) appendJournal(rec journal.Record) {
+	if e.journal == nil {
+		return
+	}
+	if err := e.journal.Append(rec); err != nil {
+		e.m.journalFailures.Inc()
+	}
+}
+
+// effectiveDeadline resolves a submission's deadline: request value in
+// ms (negative = none), else the experiment's registry default.
+func effectiveDeadline(req Request, exp *registry.Experiment) time.Duration {
+	switch {
+	case req.DeadlineMS < 0:
+		return 0
+	case req.DeadlineMS > 0:
+		return time.Duration(req.DeadlineMS) * time.Millisecond
+	default:
+		return exp.DefaultDeadline
+	}
 }
 
 // Submit validates the request and either serves it from the cache or
@@ -239,6 +557,7 @@ func (e *Engine) Submit(req Request) (View, error) {
 		return View{}, err
 	}
 	key := store.Key(exp.Name, canon, req.Seed, registry.CodeVersion)
+	deadline := effectiveDeadline(req, exp)
 
 	var cached []byte
 	if e.store != nil {
@@ -250,8 +569,19 @@ func (e *Engine) Submit(req Request) (View, error) {
 	if e.closed {
 		return View{}, ErrShutdown
 	}
-	if cached == nil && e.queue.Len() >= e.queueCap {
-		return View{}, ErrQueueFull
+	cost := int64(len(canon)) + jobOverhead
+	if cached == nil {
+		// Admission control: shed before the queue or the byte account
+		// can grow without bound. Cache hits bypass it — they consume no
+		// queue slot and terminate immediately.
+		if e.queue.Len() >= e.queueCap {
+			e.m.shed.Inc()
+			return View{}, ErrQueueFull
+		}
+		if e.inflightBytes+cost > e.maxBytes {
+			e.m.shed.Inc()
+			return View{}, ErrOverloaded
+		}
 	}
 	e.nextID++
 	e.nextSeq++
@@ -260,8 +590,10 @@ func (e *Engine) Submit(req Request) (View, error) {
 		seq:        e.nextSeq,
 		exp:        exp,
 		values:     values,
+		canon:      canon,
 		seed:       req.Seed,
 		priority:   req.Priority,
+		deadline:   deadline,
 		key:        key,
 		enqueuedAt: time.Now().UTC(),
 		done:       make(chan struct{}),
@@ -269,6 +601,16 @@ func (e *Engine) Submit(req Request) (View, error) {
 	}
 	e.jobs[j.id] = j
 	e.m.submitted.Inc()
+	e.appendJournal(journal.Record{
+		Type:       journal.TypeSubmitted,
+		JobID:      j.id,
+		Experiment: exp.Name,
+		Config:     canon,
+		Seed:       req.Seed,
+		Priority:   req.Priority,
+		DeadlineMS: int64(deadline / time.Millisecond),
+		Key:        key,
+	})
 	if cached != nil {
 		j.state = StateDone
 		j.progress = 1
@@ -276,10 +618,14 @@ func (e *Engine) Submit(req Request) (View, error) {
 		j.result = cached
 		j.finishedAt = j.enqueuedAt
 		e.m.completed(StateDone).Inc()
+		e.appendJournal(journal.Record{Type: journal.TypeCompleted, JobID: j.id, Key: j.key, FromCache: true})
 		close(j.done)
 		return e.viewLocked(j), nil
 	}
 	j.state = StateQueued
+	j.cost = cost
+	e.inflightBytes += cost
+	e.m.inflightBytes.Set(e.inflightBytes)
 	if e.tracing {
 		j.trace = obs.NewTrace()
 	}
@@ -352,6 +698,8 @@ func (e *Engine) Wait(ctx context.Context, id string) (View, error) {
 // Cancel cancels a queued job immediately; a running job gets a
 // cooperative cancellation signal (its context is canceled) and keeps
 // its final state when it returns. Canceling a terminal job is a no-op.
+// Cancel is safe during Shutdown's drain: a mid-drain cancel moves the
+// job to canceled and the drain completes normally.
 func (e *Engine) Cancel(id string) (View, error) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
@@ -376,7 +724,8 @@ func (e *Engine) Cancel(id string) (View, error) {
 
 // Shutdown stops intake, cancels all queued jobs, asks running jobs to
 // stop (cooperatively), and waits for the workers to drain in-flight
-// work. It returns ctx.Err if the drain outlives the context.
+// work. It returns ctx.Err if the drain outlives the context. The
+// journal (if any) stays open — close it after Shutdown returns.
 func (e *Engine) Shutdown(ctx context.Context) error {
 	e.mu.Lock()
 	if !e.closed {
@@ -387,12 +736,14 @@ func (e *Engine) Shutdown(ctx context.Context) error {
 		}
 		e.m.depth.Set(0)
 		e.cond.Broadcast()
+		close(e.watchdogStop)
 	}
 	e.mu.Unlock()
 
 	drained := make(chan struct{})
 	go func() {
 		e.pool.Wait()
+		<-e.watchdogDone
 		close(drained)
 	}()
 	select {
@@ -400,6 +751,32 @@ func (e *Engine) Shutdown(ctx context.Context) error {
 		return nil
 	case <-ctx.Done():
 		return ctx.Err()
+	}
+}
+
+// watchdog keeps the jobs_overdue gauge current: running jobs past
+// their deadline that have not yet transitioned (still inside the
+// cooperative-cancel or grace window).
+func (e *Engine) watchdog(interval time.Duration) {
+	defer close(e.watchdogDone)
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-e.watchdogStop:
+			return
+		case <-ticker.C:
+		}
+		now := time.Now().UTC()
+		overdue := int64(0)
+		e.mu.Lock()
+		for _, j := range e.jobs {
+			if j.state == StateRunning && j.deadline > 0 && now.After(j.startedAt.Add(j.deadline)) {
+				overdue++
+			}
+		}
+		e.mu.Unlock()
+		e.m.overdue.Set(overdue)
 	}
 }
 
@@ -411,14 +788,24 @@ func (e *Engine) next() (func(), bool) {
 	for {
 		if e.queue.Len() > 0 {
 			j := heap.Pop(&e.queue).(*job)
-			ctx, cancel := context.WithCancel(context.Background())
 			j.state = StateRunning
 			j.startedAt = time.Now().UTC()
-			j.cancel = cancel
+			base, cancelCause := context.WithCancelCause(context.Background())
+			ctx := context.Context(base)
+			stopTimer := context.CancelFunc(func() {})
+			if j.deadline > 0 {
+				ctx, stopTimer = context.WithDeadlineCause(base, j.startedAt.Add(j.deadline), errDeadline)
+			}
+			j.cancel = func() { cancelCause(context.Canceled) }
+			cleanup := func() {
+				stopTimer()
+				cancelCause(nil)
+			}
 			e.m.depth.Set(int64(e.queue.Len()))
 			e.m.running.Inc()
 			e.m.queueLatency.Observe(j.startedAt.Sub(j.enqueuedAt).Seconds())
-			return func() { e.run(j, ctx) }, true
+			e.appendJournal(journal.Record{Type: journal.TypeStarted, JobID: j.id, Key: j.key})
+			return func() { e.run(j, ctx, cleanup) }, true
 		}
 		if e.closed {
 			return nil, false
@@ -427,10 +814,53 @@ func (e *Engine) next() (func(), bool) {
 	}
 }
 
-// run executes one job on a pool worker. Panics in the experiment are
-// converted into a failed state for this job only.
-func (e *Engine) run(j *job, ctx context.Context) {
-	defer j.cancel()
+// outcome is what one experiment execution produced.
+type outcome struct {
+	payload []byte
+	err     error
+}
+
+// run executes one job on a pool worker. The experiment itself runs on
+// a private goroutine so that a run which ignores cancellation can be
+// abandoned — the job transitions (timed_out or canceled), the worker
+// moves on, and the runaway goroutine is surfaced via jobs_stuck until
+// it exits. Panics in the experiment fail only this job.
+func (e *Engine) run(j *job, ctx context.Context, cleanup func()) {
+	defer cleanup()
+	outc := make(chan outcome, 1)
+	go func() { outc <- e.execute(j, ctx) }()
+
+	select {
+	case out := <-outc:
+		e.complete(j, out, ctx)
+	case <-ctx.Done():
+		grace := time.NewTimer(e.abandonGrace)
+		select {
+		case out := <-outc:
+			grace.Stop()
+			e.complete(j, out, ctx)
+		case <-grace.C:
+			// Abandoned: the run ignored cancellation. Finish the job
+			// now; account for the stray goroutine until it returns.
+			e.m.abandoned.Inc()
+			e.m.stuck.Inc()
+			state, msg := terminalForCtx(ctx)
+			msg = fmt.Sprintf("%s; run abandoned after ignoring cancellation for %v", msg, e.abandonGrace)
+			e.mu.Lock()
+			e.finishLocked(j, state, msg, nil)
+			e.mu.Unlock()
+			go func() {
+				<-outc // late result discarded; store.Put (if any) already happened harmlessly
+				e.m.stuck.Dec()
+			}()
+		}
+	}
+	e.m.running.Dec()
+}
+
+// execute runs the experiment, marshals its result and writes the
+// store, returning the outcome. It never touches engine state.
+func (e *Engine) execute(j *job, ctx context.Context) outcome {
 	var (
 		res registry.Result
 		err error
@@ -448,7 +878,7 @@ func (e *Engine) run(j *job, ctx context.Context) {
 			Values:  j.values,
 			Progress: func(frac float64) {
 				e.mu.Lock()
-				if frac > j.progress && frac <= 1 {
+				if !j.state.Terminal() && frac > j.progress && frac <= 1 {
 					j.progress = frac
 				}
 				e.mu.Unlock()
@@ -457,32 +887,48 @@ func (e *Engine) run(j *job, ctx context.Context) {
 			Trace: j.trace,
 		})
 	}()
-
-	var payload []byte
-	state := StateDone
-	msg := ""
-	switch {
-	case err != nil && ctx.Err() != nil:
-		state, msg = StateCanceled, "canceled while running: "+err.Error()
-	case err != nil:
-		state, msg = StateFailed, err.Error()
-	default:
-		payload, err = json.Marshal(res)
-		if err != nil {
-			state, msg = StateFailed, "marshal result: "+err.Error()
-		}
+	if err != nil {
+		return outcome{err: err}
 	}
-	if state == StateDone && e.store != nil {
+	payload, err := json.Marshal(res)
+	if err != nil {
+		return outcome{err: fmt.Errorf("marshal result: %w", err)}
+	}
+	if e.store != nil {
+		// Store before the journal's terminal record (written by the
+		// caller under the engine lock): a job journaled as completed
+		// always has its bytes on disk first, so replay can re-serve it.
 		if perr := e.store.Put(j.key, payload); perr != nil {
 			// The result is still good; a failed disk write only costs
 			// future cache hits.
-			msg = "cache write failed: " + perr.Error()
+			return outcome{payload: payload, err: nil}
 		}
 	}
+	return outcome{payload: payload}
+}
+
+// terminalForCtx maps a done context to the job state it implies.
+func terminalForCtx(ctx context.Context) (State, string) {
+	if errors.Is(context.Cause(ctx), errDeadline) {
+		return StateTimedOut, errDeadline.Error()
+	}
+	return StateCanceled, "canceled while running"
+}
+
+// complete moves a finished execution into its terminal state.
+func (e *Engine) complete(j *job, out outcome, ctx context.Context) {
+	state := StateDone
+	msg := ""
+	switch {
+	case out.err != nil && ctx.Err() != nil:
+		state, msg = terminalForCtx(ctx)
+		msg += ": " + out.err.Error()
+	case out.err != nil:
+		state, msg = StateFailed, out.err.Error()
+	}
 	e.mu.Lock()
-	e.finishLocked(j, state, msg, payload)
+	e.finishLocked(j, state, msg, out.payload)
 	e.mu.Unlock()
-	e.m.running.Dec()
 }
 
 // finishLocked moves a job to a terminal state. Caller holds e.mu.
@@ -497,27 +943,35 @@ func (e *Engine) finishLocked(j *job, state State, msg string, payload []byte) {
 		j.progress = 1
 	}
 	j.finishedAt = time.Now().UTC()
+	if j.cost > 0 {
+		e.inflightBytes -= j.cost
+		j.cost = 0
+		e.m.inflightBytes.Set(e.inflightBytes)
+	}
 	e.m.completed(state).Inc()
 	if !j.startedAt.IsZero() {
 		e.m.duration.Observe(j.finishedAt.Sub(j.startedAt).Seconds())
 	}
+	e.appendJournal(journal.Record{Type: typeForState(state), JobID: j.id, Key: j.key, FromCache: j.fromCache, Error: msg})
 	close(j.done)
 }
 
 func (e *Engine) viewLocked(j *job) View {
 	v := View{
-		ID:         j.id,
-		Experiment: j.exp.Name,
-		Config:     j.values,
-		Seed:       j.seed,
-		Priority:   j.priority,
-		State:      j.state,
-		Progress:   j.progress,
-		FromCache:  j.fromCache,
-		Key:        j.key,
-		Error:      j.errMsg,
-		Result:     append(json.RawMessage(nil), j.result...),
-		EnqueuedAt: j.enqueuedAt,
+		ID:          j.id,
+		Experiment:  j.expName(),
+		Config:      j.values,
+		Seed:        j.seed,
+		Priority:    j.priority,
+		DeadlineMS:  int64(j.deadline / time.Millisecond),
+		State:       j.state,
+		Progress:    j.progress,
+		FromCache:   j.fromCache,
+		Interrupted: j.interrupted,
+		Key:         j.key,
+		Error:       j.errMsg,
+		Result:      append(json.RawMessage(nil), j.result...),
+		EnqueuedAt:  j.enqueuedAt,
 	}
 	if !j.startedAt.IsZero() {
 		t := j.startedAt
@@ -528,6 +982,15 @@ func (e *Engine) viewLocked(j *job) View {
 		v.FinishedAt = &t
 	}
 	return v
+}
+
+// expName tolerates replayed jobs whose experiment vanished from the
+// registry (exp == nil, state failed).
+func (j *job) expName() string {
+	if j.exp == nil {
+		return ""
+	}
+	return j.exp.Name
 }
 
 // jobHeap orders by priority descending, then seq ascending (FIFO

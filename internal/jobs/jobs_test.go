@@ -9,6 +9,8 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/journal"
+	"repro/internal/obs"
 	"repro/internal/registry"
 	"repro/internal/store"
 )
@@ -422,6 +424,302 @@ func TestDiskCacheAcrossEngineRestart(t *testing.T) {
 		t.Fatalf("stats %+v", st2.Stats())
 	}
 }
+
+// TestDeadlineTimesOutCooperative: a job over its deadline whose
+// experiment honors ctx transitions to timed_out and frees the worker.
+func TestDeadlineTimesOutCooperative(t *testing.T) {
+	reg, gate := fakeRegistry()
+	defer close(gate)
+	e := New(Config{Registry: reg, Workers: 1})
+	defer shutdownOK(t, e)
+
+	v, err := e.Submit(Request{Experiment: "block", DeadlineMS: 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.DeadlineMS != 30 {
+		t.Fatalf("view deadline %d, want 30", v.DeadlineMS)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	v, err = e.Wait(ctx, v.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.State != StateTimedOut {
+		t.Fatalf("over-deadline job: %+v", v)
+	}
+	// The worker is free: the next job completes.
+	ve, err := e.Submit(Request{Experiment: "echo", Params: map[string]any{"n": 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ve, err = e.Wait(ctx, ve.ID); err != nil || ve.State != StateDone {
+		t.Fatalf("job after timeout: %v %+v", err, ve)
+	}
+}
+
+// TestDeadlineAbandonsHungRun: an experiment that ignores cancellation
+// is abandoned after the grace period — the job times out, the worker
+// moves on, and the stray goroutine is tracked on jobs_stuck until it
+// exits.
+func TestDeadlineAbandonsHungRun(t *testing.T) {
+	reg, _ := fakeRegistry()
+	hung := make(chan struct{})
+	reg.Register(registry.Experiment{
+		Name:   "hang",
+		Params: []registry.Param{{Name: "n", Kind: registry.Int, Default: 0}},
+		Run: func(rc registry.RunContext) (registry.Result, error) {
+			<-hung // deliberately ignores rc.Ctx
+			return fakeResult{V: "late"}, nil
+		},
+	})
+	om := newObsForTest()
+	e := New(Config{Registry: reg, Workers: 1, AbandonGrace: 20 * time.Millisecond, Obs: om})
+
+	v, err := e.Submit(Request{Experiment: "hang", DeadlineMS: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	v, err = e.Wait(ctx, v.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.State != StateTimedOut {
+		t.Fatalf("abandoned job state: %+v", v)
+	}
+	if v.Error == "" {
+		t.Fatal("abandoned job carries no error")
+	}
+	if got := om.Counter("jobs_abandoned_total", "").Value(); got != 1 {
+		t.Fatalf("jobs_abandoned_total = %d, want 1", got)
+	}
+	if got := om.Gauge("jobs_stuck", "").Value(); got != 1 {
+		t.Fatalf("jobs_stuck = %d, want 1 while the run hangs", got)
+	}
+	// The worker moved on despite the hung goroutine.
+	ve, err := e.Submit(Request{Experiment: "echo", Params: map[string]any{"n": 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ve, err = e.Wait(ctx, ve.ID); err != nil || ve.State != StateDone {
+		t.Fatalf("job after abandon: %v %+v", err, ve)
+	}
+	// Release the hung run; the reaper clears jobs_stuck.
+	close(hung)
+	deadline := time.Now().Add(5 * time.Second)
+	for om.Gauge("jobs_stuck", "").Value() != 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("jobs_stuck never returned to 0")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	shutdownOK(t, e)
+}
+
+// TestOverloadShedsByBytes: the in-flight byte budget rejects
+// submissions with ErrOverloaded, counts them on overload_shed_total,
+// and admits again once a job terminates and releases its bytes.
+func TestOverloadShedsByBytes(t *testing.T) {
+	reg, gate := fakeRegistry()
+	om := newObsForTest()
+	// Budget for exactly one queued/running job.
+	e := New(Config{Registry: reg, Workers: 1, MaxInflightBytes: jobOverhead + 64, Obs: om})
+	defer func() { shutdownOK(t, e) }()
+
+	b, err := e.Submit(Request{Experiment: "block"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, e, b.ID, StateRunning)
+	if _, err := e.Submit(Request{Experiment: "echo", Params: map[string]any{"n": 3}}); err != ErrOverloaded {
+		t.Fatalf("over-budget Submit err = %v, want ErrOverloaded", err)
+	}
+	if !Overloaded(ErrOverloaded) || !Overloaded(ErrQueueFull) || Overloaded(ErrShutdown) {
+		t.Fatal("Overloaded misclassifies")
+	}
+	if got := om.Counter("overload_shed_total", "").Value(); got != 1 {
+		t.Fatalf("overload_shed_total = %d, want 1", got)
+	}
+	close(gate)
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if _, err := e.Wait(ctx, b.ID); err != nil {
+		t.Fatal(err)
+	}
+	// Bytes released: admission works again.
+	ve, err := e.Submit(Request{Experiment: "echo", Params: map[string]any{"n": 4}})
+	if err != nil {
+		t.Fatalf("Submit after release: %v", err)
+	}
+	if ve, err = e.Wait(ctx, ve.ID); err != nil || ve.State != StateDone {
+		t.Fatalf("post-release job: %v %+v", err, ve)
+	}
+}
+
+// TestJournalRecoveryReenqueues: after a simulated crash (engine
+// dropped without Shutdown, journal holds submitted/started records
+// with no terminals), a fresh engine over the same journal re-enqueues
+// everything — the job that was running comes back Interrupted — and
+// drives every job to done with its original ID.
+func TestJournalRecoveryReenqueues(t *testing.T) {
+	dir := t.TempDir()
+	jn1, err := journal.Open(dir, journal.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg1, gate1 := fakeRegistry()
+	e1 := New(Config{Registry: reg1, Journal: jn1, Workers: 1})
+
+	running, err := e1.Submit(Request{Experiment: "block"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, e1, running.ID, StateRunning)
+	queued, err := e1.Submit(Request{Experiment: "echo", Params: map[string]any{"n": 7}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Crash: no Shutdown, no terminal records. Close the journal so the
+	// replay below sees exactly the pre-crash records; the leaked run
+	// appends to a closed journal later, which only bumps the failure
+	// counter.
+	if err := jn1.Close(); err != nil {
+		t.Fatal(err)
+	}
+	defer close(gate1) // let the leaked worker goroutine exit
+
+	jn2, err := journal.Open(dir, journal.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer jn2.Close()
+	reg2, gate2 := fakeRegistry()
+	close(gate2) // block completes instantly in the recovered engine
+	e2 := New(Config{Registry: reg2, Journal: jn2, Workers: 1})
+	defer shutdownOK(t, e2)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	vr, err := e2.Wait(ctx, running.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vr.State != StateDone || !vr.Interrupted {
+		t.Fatalf("running-at-crash job after replay: %+v", vr)
+	}
+	vq, err := e2.Wait(ctx, queued.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vq.State != StateDone || vq.Interrupted {
+		t.Fatalf("queued-at-crash job after replay: %+v", vq)
+	}
+	if string(vq.Result) != `{"v":"echo-7"}` {
+		t.Fatalf("replayed job recomputed wrong bytes: %s", vq.Result)
+	}
+	// Fresh submissions continue the ID sequence instead of colliding.
+	v3, err := e2.Submit(Request{Experiment: "echo", Params: map[string]any{"n": 8}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v3.ID == running.ID || v3.ID == queued.ID {
+		t.Fatalf("post-replay ID collides: %s", v3.ID)
+	}
+}
+
+// TestJournalRecoveryServesTerminal: a cleanly finished job replays as
+// done, its bytes re-served from the store without recomputation.
+func TestJournalRecoveryServesTerminal(t *testing.T) {
+	dir := t.TempDir()
+	storeDir := t.TempDir()
+
+	jn1, err := journal.Open(dir, journal.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st1, err := store.New(4, storeDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg1, gate1 := fakeRegistry()
+	close(gate1)
+	e1 := New(Config{Registry: reg1, Journal: jn1, Store: st1, Workers: 1})
+	v1, err := e1.Submit(Request{Experiment: "echo", Params: map[string]any{"n": 5}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if v1, err = e1.Wait(ctx, v1.ID); err != nil || v1.State != StateDone {
+		t.Fatalf("first run: %v %+v", err, v1)
+	}
+	shutdownOK(t, e1)
+	if err := jn1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	jn2, err := journal.Open(dir, journal.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer jn2.Close()
+	st2, err := store.New(4, storeDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg2, gate2 := fakeRegistry()
+	e2 := New(Config{Registry: reg2, Journal: jn2, Store: st2, Workers: 1})
+	defer func() { close(gate2); shutdownOK(t, e2) }()
+
+	v2, ok := e2.Get(v1.ID)
+	if !ok {
+		t.Fatalf("job %s lost across restart", v1.ID)
+	}
+	if v2.State != StateDone {
+		t.Fatalf("terminal job replayed as %s", v2.State)
+	}
+	if !bytes.Equal(v1.Result, v2.Result) {
+		t.Fatalf("replayed bytes differ:\n%s\n%s", v1.Result, v2.Result)
+	}
+}
+
+// TestCancelMidDrain: canceling a running job while Shutdown is
+// draining moves it to canceled and lets the drain complete — the
+// engine-level half of the daemon's DELETE-during-SIGTERM race.
+func TestCancelMidDrain(t *testing.T) {
+	reg, gate := fakeRegistry()
+	defer close(gate)
+	e := New(Config{Registry: reg, Workers: 1})
+
+	v, err := e.Submit(Request{Experiment: "block"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, e, v.ID, StateRunning)
+
+	shutdownErr := make(chan error, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		shutdownErr <- e.Shutdown(ctx)
+	}()
+	// The drain is now waiting on the blocked job; cancel it mid-drain.
+	time.Sleep(10 * time.Millisecond)
+	if _, err := e.Cancel(v.ID); err != nil {
+		t.Fatalf("Cancel during drain: %v", err)
+	}
+	if err := <-shutdownErr; err != nil {
+		t.Fatalf("Shutdown after mid-drain cancel: %v", err)
+	}
+	if got, _ := e.Get(v.ID); got.State != StateCanceled {
+		t.Fatalf("mid-drain-canceled job: %+v", got)
+	}
+}
+
+func newObsForTest() *obs.Registry { return obs.NewRegistry() }
 
 func waitState(t *testing.T, e *Engine, id string, want State) {
 	t.Helper()

@@ -1,0 +1,317 @@
+// Package journal is the job engine's write-ahead log: an append-only
+// NDJSON record stream that makes submissions durable across daemon
+// crashes. internal/jobs appends one record per lifecycle transition
+// (submitted, started, completed, failed, canceled, timed_out, plus
+// interrupted stamped at recovery time); on restart it replays the
+// stream and re-enqueues every job that never reached a terminal state.
+//
+// Durability discipline: every Append is written and fsynced before it
+// returns, so a record that Append acknowledged survives a kill -9.
+// The stream is segmented: appends go to an active file (current.ndjson)
+// and once it grows past the segment threshold it is fsynced, closed and
+// atomically renamed to a sealed seg-NNNNNNNN.ndjson — sealed segments
+// are never written again. Replay reads sealed segments in name order,
+// then the active file, and tolerates a torn final line (a crash can
+// interrupt a write mid-record; everything before the tear is intact by
+// construction).
+//
+// The journal deliberately stores no result payloads: results live in
+// the content-addressed store (internal/store), so replaying a job that
+// already completed is a cache hit and replaying an interrupted job
+// recomputes bit-identical bytes (internal/runner's determinism
+// guarantee).
+package journal
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Type tags one lifecycle record.
+type Type string
+
+const (
+	TypeSubmitted   Type = "submitted"
+	TypeStarted     Type = "started"
+	TypeInterrupted Type = "interrupted" // stamped during recovery for jobs running at crash time
+	TypeCompleted   Type = "completed"
+	TypeFailed      Type = "failed"
+	TypeCanceled    Type = "canceled"
+	TypeTimedOut    Type = "timed_out"
+)
+
+// Terminal reports whether the record type ends a job's lifecycle.
+func (t Type) Terminal() bool {
+	switch t {
+	case TypeCompleted, TypeFailed, TypeCanceled, TypeTimedOut:
+		return true
+	}
+	return false
+}
+
+// Record is one NDJSON line. Submitted records carry the full identity
+// of the job (canonical config JSON, seed, priority, deadline, cache
+// key); later records reference the job by ID only.
+type Record struct {
+	Type       Type            `json:"type"`
+	JobID      string          `json:"job_id"`
+	Experiment string          `json:"experiment,omitempty"`
+	Config     json.RawMessage `json:"config,omitempty"` // canonical config JSON (registry.CanonicalConfig)
+	Seed       uint64          `json:"seed,omitempty"`
+	Priority   int             `json:"priority,omitempty"`
+	DeadlineMS int64           `json:"deadline_ms,omitempty"`
+	Key        string          `json:"key,omitempty"` // content-address in internal/store
+	FromCache  bool            `json:"from_cache,omitempty"`
+	Error      string          `json:"error,omitempty"`
+	Time       time.Time       `json:"time"`
+}
+
+// FS is the journal's filesystem seam. The default is the real OS
+// filesystem; internal/chaos injects one that fails or freezes
+// deterministically.
+type FS interface {
+	MkdirAll(path string, perm os.FileMode) error
+	// OpenAppend opens (creating if needed) a file for appending.
+	OpenAppend(name string) (File, error)
+	Rename(oldpath, newpath string) error
+	Remove(name string) error
+	ReadFile(name string) ([]byte, error)
+	// ReadDir returns the names of the directory's entries.
+	ReadDir(name string) ([]string, error)
+}
+
+// File is the writable-file seam: *os.File satisfies it.
+type File interface {
+	io.Writer
+	Sync() error
+	Close() error
+}
+
+type osFS struct{}
+
+func (osFS) MkdirAll(path string, perm os.FileMode) error { return os.MkdirAll(path, perm) }
+func (osFS) OpenAppend(name string) (File, error) {
+	return os.OpenFile(name, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+}
+func (osFS) Rename(oldpath, newpath string) error { return os.Rename(oldpath, newpath) }
+func (osFS) Remove(name string) error             { return os.Remove(name) }
+func (osFS) ReadFile(name string) ([]byte, error) { return os.ReadFile(name) }
+func (osFS) ReadDir(name string) ([]string, error) {
+	ents, err := os.ReadDir(name)
+	if err != nil {
+		return nil, err
+	}
+	names := make([]string, 0, len(ents))
+	for _, e := range ents {
+		names = append(names, e.Name())
+	}
+	return names, nil
+}
+
+// OSFS returns the real-filesystem implementation of FS.
+func OSFS() FS { return osFS{} }
+
+// Options tunes Open.
+type Options struct {
+	// FS is the filesystem seam; nil means the real OS filesystem.
+	FS FS
+	// SegmentBytes seals the active file once it grows past this size;
+	// <= 0 means 1 MiB. Sealing is a durability boundary, not a
+	// correctness one — replay concatenates all segments.
+	SegmentBytes int
+}
+
+const (
+	activeName = "current.ndjson"
+	sealedGlob = "seg-"
+	sealedExt  = ".ndjson"
+)
+
+// Journal is an open write-ahead log. All methods are safe for
+// concurrent use; Append calls are serialized, so the on-disk record
+// order is the order Append calls returned.
+type Journal struct {
+	mu       sync.Mutex
+	dir      string
+	fs       FS
+	segBytes int
+	cur      File
+	curSize  int
+	sealed   int // count of sealed segments (next seal index)
+	replayed []Record
+	torn     int // records dropped during replay (torn tail / corrupt line)
+	closed   bool
+}
+
+// Open opens (creating if needed) the journal rooted at dir and replays
+// every intact record already on disk; Records returns them. A torn or
+// corrupt line ends replay of that file (everything before it is kept).
+func Open(dir string, opts Options) (*Journal, error) {
+	fsys := opts.FS
+	if fsys == nil {
+		fsys = osFS{}
+	}
+	segBytes := opts.SegmentBytes
+	if segBytes <= 0 {
+		segBytes = 1 << 20
+	}
+	if err := fsys.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("journal: %w", err)
+	}
+	j := &Journal{dir: dir, fs: fsys, segBytes: segBytes}
+
+	names, err := fsys.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("journal: %w", err)
+	}
+	var segs []string
+	for _, name := range names {
+		if strings.HasPrefix(name, sealedGlob) && strings.HasSuffix(name, sealedExt) {
+			segs = append(segs, name)
+		}
+	}
+	sort.Strings(segs) // seg-%08d sorts numerically
+	j.sealed = len(segs)
+	for _, name := range segs {
+		raw, err := fsys.ReadFile(filepath.Join(dir, name))
+		if err != nil {
+			return nil, fmt.Errorf("journal: %w", err)
+		}
+		recs, torn := parse(raw)
+		j.replayed = append(j.replayed, recs...)
+		j.torn += torn
+	}
+
+	active := filepath.Join(dir, activeName)
+	if raw, err := fsys.ReadFile(active); err == nil && len(raw) > 0 {
+		recs, torn := parse(raw)
+		j.replayed = append(j.replayed, recs...)
+		j.torn += torn
+		// Seal the pre-crash active file rather than appending after a
+		// possible torn tail: a new record written after a half-line
+		// would be unparseable on the next replay. Sealing is cheap and
+		// keeps the append path append-only.
+		sealed := filepath.Join(dir, fmt.Sprintf("%s%08d%s", sealedGlob, j.sealed, sealedExt))
+		if err := fsys.Rename(active, sealed); err != nil {
+			return nil, fmt.Errorf("journal: seal pre-crash active: %w", err)
+		}
+		j.sealed++
+	}
+
+	cur, err := fsys.OpenAppend(active)
+	if err != nil {
+		return nil, fmt.Errorf("journal: %w", err)
+	}
+	j.cur = cur
+	return j, nil
+}
+
+// parse splits NDJSON bytes into records, stopping at the first
+// malformed line (a torn tail from a crash mid-write). It returns the
+// intact records and how many lines were dropped.
+func parse(raw []byte) ([]Record, int) {
+	var recs []Record
+	lines := strings.Split(string(raw), "\n")
+	for i, line := range lines {
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		var r Record
+		if err := json.Unmarshal([]byte(line), &r); err != nil || r.Type == "" || r.JobID == "" {
+			// Everything after a tear is unreliable: the write that tore
+			// this line also gates every later write (appends are
+			// serialized and fsynced in order).
+			return recs, len(lines) - i
+		}
+		recs = append(recs, r)
+	}
+	return recs, 0
+}
+
+// Records returns the records replayed by Open, in journal order. The
+// returned slice is shared; treat it as read-only.
+func (j *Journal) Records() []Record { return j.replayed }
+
+// Torn reports how many trailing lines replay dropped as torn or
+// corrupt.
+func (j *Journal) Torn() int { return j.torn }
+
+// Dir returns the journal's root directory.
+func (j *Journal) Dir() string { return j.dir }
+
+// Append writes one record followed by a newline and fsyncs it. When it
+// returns nil the record is durable. The journal stamps Time if unset.
+func (j *Journal) Append(rec Record) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.closed {
+		return fmt.Errorf("journal: closed")
+	}
+	if rec.Time.IsZero() {
+		rec.Time = time.Now().UTC()
+	}
+	line, err := json.Marshal(rec)
+	if err != nil {
+		return fmt.Errorf("journal: %w", err)
+	}
+	line = append(line, '\n')
+	if _, err := j.cur.Write(line); err != nil {
+		return fmt.Errorf("journal: %w", err)
+	}
+	if err := j.cur.Sync(); err != nil {
+		return fmt.Errorf("journal: %w", err)
+	}
+	j.curSize += len(line)
+	if j.curSize >= j.segBytes {
+		if err := j.sealLocked(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// sealLocked rotates the active file into a sealed segment:
+// fsync (already done per append), close, rename, reopen a fresh active
+// file. Caller holds j.mu.
+func (j *Journal) sealLocked() error {
+	if err := j.cur.Close(); err != nil {
+		return fmt.Errorf("journal: seal close: %w", err)
+	}
+	sealed := filepath.Join(j.dir, fmt.Sprintf("%s%08d%s", sealedGlob, j.sealed, sealedExt))
+	if err := j.fs.Rename(filepath.Join(j.dir, activeName), sealed); err != nil {
+		return fmt.Errorf("journal: seal rename: %w", err)
+	}
+	j.sealed++
+	cur, err := j.fs.OpenAppend(filepath.Join(j.dir, activeName))
+	if err != nil {
+		return fmt.Errorf("journal: reopen active: %w", err)
+	}
+	j.cur = cur
+	j.curSize = 0
+	return nil
+}
+
+// Close fsyncs and closes the active file. Appends after Close fail.
+func (j *Journal) Close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.closed {
+		return nil
+	}
+	j.closed = true
+	if err := j.cur.Sync(); err != nil {
+		j.cur.Close()
+		return fmt.Errorf("journal: %w", err)
+	}
+	if err := j.cur.Close(); err != nil {
+		return fmt.Errorf("journal: %w", err)
+	}
+	return nil
+}

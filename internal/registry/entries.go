@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"strings"
 	"sync"
+	"time"
 
 	"repro/internal/experiments"
 	"repro/internal/stats"
@@ -54,6 +55,7 @@ func baseCfg(rc RunContext) experiments.Config {
 		Noise:   rc.Values.Float("noise"),
 		Seed:    rc.Seed,
 		Workers: rc.Workers,
+		Ctx:     rc.Ctx,
 		Obs:     rc.Obs,
 		Trace:   rc.Trace,
 	}
@@ -416,4 +418,12 @@ func registerAll(r *Registry) {
 			return &RobustnessSweepResult{Sweep: res}, nil
 		},
 	})
+
+	// Deadline defaults: every paper experiment at service-default
+	// parameters finishes in seconds, so ten minutes is a generous
+	// run-time budget that still unwedges a worker if a config blows up
+	// combinatorially. Submissions override per job via deadline_ms.
+	for _, e := range r.List() {
+		e.DefaultDeadline = 10 * time.Minute
+	}
 }

@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"time"
 
 	"repro/internal/obs"
 )
@@ -121,6 +122,11 @@ type Experiment struct {
 	Description string
 	Params      []Param
 	Run         func(rc RunContext) (Result, error)
+	// DefaultDeadline is the run-time budget the job engine applies
+	// when a submission names none (0 = unlimited). Like Workers it is
+	// an execution detail — never part of the config schema, the cache
+	// key, or the Result bytes.
+	DefaultDeadline time.Duration
 }
 
 // Defaults returns a fresh Values holding every parameter's default.

@@ -23,6 +23,7 @@
 package runner
 
 import (
+	"context"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -40,10 +41,29 @@ type Config struct {
 	// Seed is the base seed from which each task derives its private RNG
 	// stream (Task.Rand).
 	Seed uint64
+	// Ctx, when non-nil, is checked in every task loop before a worker
+	// claims the next index: a canceled or expired context stops the
+	// batch between tasks (in-flight tasks finish) and Map returns
+	// context.Cause(Ctx). This is how the job engine's per-job deadlines
+	// reach experiments that never check their RunContext themselves —
+	// any experiment built on Map/Each is cancelable at task
+	// granularity. Nil means never canceled.
+	Ctx context.Context
 	// TaskCounter, when non-nil, is incremented once per executed task
 	// (both the inline and the parallel path). Observation only: it has
 	// no effect on scheduling or results.
 	TaskCounter *obs.Counter
+}
+
+// ctxErr reports the cancellation cause, nil for a nil or live context.
+func (c Config) ctxErr() error {
+	if c.Ctx == nil {
+		return nil
+	}
+	if c.Ctx.Err() != nil {
+		return context.Cause(c.Ctx)
+	}
+	return nil
 }
 
 // WorkerCount resolves the effective worker count: Workers if positive,
@@ -91,6 +111,9 @@ func Map[T any](cfg Config, n int, fn func(Task) (T, error)) ([]T, error) {
 		// results by construction — the parallel path below computes the
 		// same per-index values into the same slots.
 		for i := 0; i < n; i++ {
+			if err := cfg.ctxErr(); err != nil {
+				return nil, err
+			}
 			cfg.TaskCounter.Inc()
 			v, err := fn(Task{Index: i, seed: cfg.Seed})
 			if err != nil {
@@ -103,15 +126,20 @@ func Map[T any](cfg Config, n int, fn func(Task) (T, error)) ([]T, error) {
 
 	errs := make([]error, n)
 	var (
-		next   atomic.Int64
-		failed atomic.Bool
-		wg     sync.WaitGroup
+		next     atomic.Int64
+		failed   atomic.Bool
+		canceled atomic.Bool
+		wg       sync.WaitGroup
 	)
 	wg.Add(w)
 	for k := 0; k < w; k++ {
 		go func() {
 			defer wg.Done()
 			for !failed.Load() {
+				if cfg.ctxErr() != nil {
+					canceled.Store(true)
+					return
+				}
 				i := int(next.Add(1)) - 1
 				if i >= n {
 					return
@@ -132,6 +160,9 @@ func Map[T any](cfg Config, n int, fn func(Task) (T, error)) ([]T, error) {
 		if err != nil {
 			return nil, err
 		}
+	}
+	if canceled.Load() {
+		return nil, cfg.ctxErr()
 	}
 	return out, nil
 }

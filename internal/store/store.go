@@ -19,6 +19,7 @@ import (
 	"crypto/sha256"
 	"encoding/hex"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"strings"
@@ -26,6 +27,35 @@ import (
 
 	"repro/internal/obs"
 )
+
+// FS is the disk tier's filesystem seam. Production uses the real OS
+// filesystem; internal/chaos injects one with deterministic faults.
+type FS interface {
+	MkdirAll(path string, perm os.FileMode) error
+	CreateTemp(dir, pattern string) (File, error)
+	Rename(oldpath, newpath string) error
+	Remove(name string) error
+	ReadFile(name string) ([]byte, error)
+}
+
+// File is the temp-file seam CreateTemp returns; *os.File satisfies it.
+type File interface {
+	io.Writer
+	Sync() error
+	Close() error
+	Name() string
+}
+
+type osFS struct{}
+
+func (osFS) MkdirAll(path string, perm os.FileMode) error { return os.MkdirAll(path, perm) }
+func (osFS) CreateTemp(dir, pattern string) (File, error) { return os.CreateTemp(dir, pattern) }
+func (osFS) Rename(oldpath, newpath string) error         { return os.Rename(oldpath, newpath) }
+func (osFS) Remove(name string) error                     { return os.Remove(name) }
+func (osFS) ReadFile(name string) ([]byte, error)         { return os.ReadFile(name) }
+
+// OSFS returns the real-filesystem implementation of FS.
+func OSFS() FS { return osFS{} }
 
 // Key derives the content address of a result cell. canonicalConfig
 // must be the canonical (sorted-key) JSON from
@@ -75,9 +105,24 @@ type Store struct {
 	ll    *list.List // front = most recently used
 	items map[string]*list.Element
 	dir   string // "" = memory-only
+	fs    FS
+	sync  bool
 	stats Stats
 	obs   storeObs
 }
+
+// Option tunes New beyond capacity and directory.
+type Option func(*Store)
+
+// WithFS replaces the disk tier's filesystem (fault injection in
+// internal/chaos; the default is the real OS filesystem).
+func WithFS(fsys FS) Option { return func(s *Store) { s.fs = fsys } }
+
+// WithSync sets the Sync option: when true (the default) the disk tier
+// fsyncs each data file before its atomic rename, so a committed entry
+// survives power loss, not just process death. Turning it off trades
+// that durability for write latency.
+func WithSync(enabled bool) Option { return func(s *Store) { s.sync = enabled } }
 
 // Instrument registers the store's counters with r and starts
 // mirroring every subsequent event into them. Call once, before
@@ -103,16 +148,20 @@ type memEntry struct {
 // New creates a store holding up to memCap entries in memory (memCap
 // <= 0 defaults to 1024). dir, when non-empty, enables the disk tier
 // rooted there (created if missing).
-func New(memCap int, dir string) (*Store, error) {
+func New(memCap int, dir string, opts ...Option) (*Store, error) {
 	if memCap <= 0 {
 		memCap = 1024
 	}
+	s := &Store{cap: memCap, ll: list.New(), items: make(map[string]*list.Element), dir: dir, fs: osFS{}, sync: true}
+	for _, opt := range opts {
+		opt(s)
+	}
 	if dir != "" {
-		if err := os.MkdirAll(dir, 0o755); err != nil {
+		if err := s.fs.MkdirAll(dir, 0o755); err != nil {
 			return nil, fmt.Errorf("store: %w", err)
 		}
 	}
-	return &Store{cap: memCap, ll: list.New(), items: make(map[string]*list.Element), dir: dir}, nil
+	return s, nil
 }
 
 // Get returns the cached result bytes for key. A disk-tier hit is
@@ -207,18 +256,24 @@ func (s *Store) path(key string) string {
 
 func (s *Store) diskPut(key string, val []byte) error {
 	shard := filepath.Join(s.dir, key[:2])
-	if err := os.MkdirAll(shard, 0o755); err != nil {
+	if err := s.fs.MkdirAll(shard, 0o755); err != nil {
 		return fmt.Errorf("store: %w", err)
 	}
 	sum := sha256.Sum256(val)
-	tmp, err := os.CreateTemp(s.dir, "tmp-*")
+	tmp, err := s.fs.CreateTemp(s.dir, "tmp-*")
 	if err != nil {
 		return fmt.Errorf("store: %w", err)
 	}
-	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	defer s.fs.Remove(tmp.Name()) // no-op after a successful rename
 	_, werr := fmt.Fprintf(tmp, "%s %s\n", diskMagic, hex.EncodeToString(sum[:]))
 	if werr == nil {
 		_, werr = tmp.Write(val)
+	}
+	// fsync before the rename: the rename alone makes the entry visible
+	// atomically but not durable — on power loss a renamed-but-unsynced
+	// file can come back empty or truncated.
+	if werr == nil && s.sync {
+		werr = tmp.Sync()
 	}
 	if cerr := tmp.Close(); werr == nil {
 		werr = cerr
@@ -226,7 +281,7 @@ func (s *Store) diskPut(key string, val []byte) error {
 	if werr != nil {
 		return fmt.Errorf("store: %w", werr)
 	}
-	if err := os.Rename(tmp.Name(), s.path(key)); err != nil {
+	if err := s.fs.Rename(tmp.Name(), s.path(key)); err != nil {
 		return fmt.Errorf("store: %w", err)
 	}
 	return nil
@@ -236,7 +291,7 @@ func (s *Store) diskPut(key string, val []byte) error {
 // checksum-failing entry is deleted (corrupt eviction) and reported as
 // a miss. Caller holds s.mu.
 func (s *Store) diskGet(key string) ([]byte, bool) {
-	raw, err := os.ReadFile(s.path(key))
+	raw, err := s.fs.ReadFile(s.path(key))
 	if err != nil {
 		return nil, false
 	}
@@ -255,7 +310,7 @@ func (s *Store) diskGet(key string) ([]byte, bool) {
 }
 
 func (s *Store) evictCorrupt(key string) {
-	os.Remove(s.path(key))
+	s.fs.Remove(s.path(key))
 	s.stats.CorruptEvicted++
 	s.obs.corruptEvictions.Inc()
 }

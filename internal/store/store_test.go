@@ -228,3 +228,84 @@ func TestConcurrentAccess(t *testing.T) {
 	}
 	wg.Wait()
 }
+
+// recordingFS wraps the real filesystem, counting Sync calls on data
+// files and optionally failing them — the fault-injectable fs seam the
+// Sync option is specified against.
+type recordingFS struct {
+	FS
+	mu       sync.Mutex
+	syncs    int
+	failSync bool
+}
+
+type recordingFile struct {
+	File
+	fs *recordingFS
+}
+
+func (r *recordingFS) CreateTemp(dir, pattern string) (File, error) {
+	f, err := r.FS.CreateTemp(dir, pattern)
+	if err != nil {
+		return nil, err
+	}
+	return &recordingFile{File: f, fs: r}, nil
+}
+
+func (f *recordingFile) Sync() error {
+	f.fs.mu.Lock()
+	f.fs.syncs++
+	fail := f.fs.failSync
+	f.fs.mu.Unlock()
+	if fail {
+		return fmt.Errorf("injected sync failure")
+	}
+	return f.File.Sync()
+}
+
+// TestSyncOption: with Sync on (the default) every disk write fsyncs
+// the data file before the rename; with Sync off it never does; a
+// failing fsync surfaces as a disk write failure while the memory tier
+// keeps serving the value.
+func TestSyncOption(t *testing.T) {
+	key := Key("fig2", []byte(`{"iters":3}`), 5, "v1")
+
+	rec := &recordingFS{FS: OSFS()}
+	s, err := New(4, t.TempDir(), WithFS(rec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put(key, []byte("durable")); err != nil {
+		t.Fatal(err)
+	}
+	if rec.syncs != 1 {
+		t.Fatalf("syncs = %d, want 1 (fsync before rename)", rec.syncs)
+	}
+
+	rec2 := &recordingFS{FS: OSFS()}
+	s2, err := New(4, t.TempDir(), WithFS(rec2), WithSync(false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s2.Put(key, []byte("fast")); err != nil {
+		t.Fatal(err)
+	}
+	if rec2.syncs != 0 {
+		t.Fatalf("syncs = %d with Sync disabled, want 0", rec2.syncs)
+	}
+
+	rec3 := &recordingFS{FS: OSFS(), failSync: true}
+	s3, err := New(4, t.TempDir(), WithFS(rec3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s3.Put(key, []byte("kept-in-memory")); err == nil {
+		t.Fatal("Put succeeded despite failing fsync")
+	}
+	if st := s3.Stats(); st.DiskWriteFailures != 1 {
+		t.Fatalf("stats %+v, want one disk write failure", st)
+	}
+	if got, ok := s3.Get(key); !ok || string(got) != "kept-in-memory" {
+		t.Fatalf("memory tier lost the value after disk failure: %q %v", got, ok)
+	}
+}

@@ -13,17 +13,22 @@ trap '[ -n "$DPID" ] && kill "$DPID" 2>/dev/null || true; rm -rf "$TMP"' EXIT
 
 go build -o "$TMP/nightvisiond" ./cmd/nightvisiond
 
+# wait_healthy polls /v1/healthz with exponential backoff (50ms .. 1s,
+# ~30s budget) until the daemon answers or its process dies.
+wait_healthy() {
+  local delay=0.05 up=0
+  for _ in $(seq 1 60); do
+    if curl -fsS "$BASE/v1/healthz" >/dev/null 2>&1; then up=1; break; fi
+    if ! kill -0 "$DPID" 2>/dev/null; then echo "daemon died during startup" >&2; exit 1; fi
+    sleep "$delay"
+    delay="$(awk -v d="$delay" 'BEGIN { m = d * 2; if (m > 1) m = 1; print m }')"
+  done
+  [ "$up" = 1 ] || { echo "daemon never became healthy" >&2; exit 1; }
+}
+
 "$TMP/nightvisiond" -addr "$ADDR" -cache-dir "$TMP/cache" -workers 2 &
 DPID=$!
-
-# Wait for the daemon to come up.
-up=0
-for _ in $(seq 1 50); do
-  if curl -fsS "$BASE/v1/healthz" >/dev/null 2>&1; then up=1; break; fi
-  if ! kill -0 "$DPID" 2>/dev/null; then echo "daemon died during startup" >&2; exit 1; fi
-  sleep 0.1
-done
-[ "$up" = 1 ] || { echo "daemon never became healthy" >&2; exit 1; }
+wait_healthy
 
 echo "== experiments =="
 curl -fsS "$BASE/v1/experiments" | jq -r '.[].name' | tr '\n' ' '; echo
@@ -84,6 +89,34 @@ curl -fsS "$BASE/v1/metrics?format=json" | jq -e 'length > 0' >/dev/null || { ec
 
 echo "== job trace =="
 curl -fsS "$BASE/v1/jobs/$ID/trace" | jq -e '.traceEvents | length >= 0' >/dev/null || { echo "job trace not loadable JSON" >&2; exit 1; }
+
+echo "== crash recovery (kill -9, restart, journal replay) =="
+# Submit a fresh job and kill the daemon hard before polling it: the
+# write-ahead journal under the cache dir must bring the job back after
+# a restart and drive it to done with a result — no resubmission.
+CRASH_BODY='{"experiment":"fig2","params":{"iters":30},"seed":43}'
+J3="$(curl -fsS -X POST -H 'Content-Type: application/json' -d "$CRASH_BODY" "$BASE/v1/jobs")"
+CID="$(echo "$J3" | jq -r .id)"
+[ "$CID" != null ] || { echo "no job id in: $J3" >&2; exit 1; }
+kill -9 "$DPID"
+wait "$DPID" 2>/dev/null || true
+
+"$TMP/nightvisiond" -addr "$ADDR" -cache-dir "$TMP/cache" -workers 2 &
+DPID=$!
+wait_healthy
+
+RSTATE=""
+RPOLL=""
+for _ in $(seq 1 100); do
+  RPOLL="$(curl -fsS "$BASE/v1/jobs/$CID" || true)"
+  RSTATE="$(echo "$RPOLL" | jq -r .state 2>/dev/null || true)"
+  [ "$RSTATE" = done ] && break
+  case "$RSTATE" in failed|canceled|timed_out) echo "replayed job ended $RSTATE: $RPOLL" >&2; exit 1;; esac
+  sleep 0.1
+done
+[ "$RSTATE" = done ] || { echo "journal replay never finished job $CID (state=$RSTATE)" >&2; exit 1; }
+[ "$(echo "$RPOLL" | jq -r .result)" != null ] || { echo "replayed job has no result: $RPOLL" >&2; exit 1; }
+echo "journal replay verified: $CID done after kill -9 (interrupted=$(echo "$RPOLL" | jq -r .interrupted))"
 
 echo "== graceful shutdown =="
 kill -TERM "$DPID"
