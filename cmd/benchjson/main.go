@@ -17,15 +17,19 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 )
 
-// Benchmark is one parsed result line.
+// Benchmark is one result: a parsed line, or — when `go test -count=N`
+// repeats a benchmark — the per-name median across the repeated lines,
+// with Samples recording how many runs it summarizes.
 type Benchmark struct {
 	Name    string             `json:"name"`
 	N       int64              `json:"n"`
 	NsPerOp float64            `json:"ns_per_op"`
+	Samples int                `json:"samples,omitempty"`
 	Metrics map[string]float64 `json:"metrics,omitempty"`
 }
 
@@ -47,6 +51,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
 	}
+	rep.Benchmarks = aggregate(rep.Benchmarks)
 	if len(rep.Benchmarks) == 0 {
 		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines on stdin")
 		os.Exit(1)
@@ -89,6 +94,57 @@ func parse(sc *bufio.Scanner) (*Report, error) {
 		}
 	}
 	return rep, sc.Err()
+}
+
+// aggregate collapses repeated runs of the same benchmark (`go test
+// -count=N` emits one line per run) into a single entry holding the
+// median ns/op and the median of every reported metric. Medians rather
+// than means keep one descheduled run from skewing the recorded figure.
+// Input order of first appearance is preserved.
+func aggregate(in []Benchmark) []Benchmark {
+	type acc struct {
+		n       int64
+		ns      []float64
+		metrics map[string][]float64
+	}
+	byName := map[string]*acc{}
+	var names []string
+	for _, b := range in {
+		a, ok := byName[b.Name]
+		if !ok {
+			a = &acc{n: b.N, metrics: map[string][]float64{}}
+			byName[b.Name] = a
+			names = append(names, b.Name)
+		}
+		a.ns = append(a.ns, b.NsPerOp)
+		for unit, v := range b.Metrics {
+			a.metrics[unit] = append(a.metrics[unit], v)
+		}
+	}
+	out := make([]Benchmark, 0, len(names))
+	for _, name := range names {
+		a := byName[name]
+		b := Benchmark{Name: name, N: a.n, NsPerOp: median(a.ns), Samples: len(a.ns)}
+		if len(a.metrics) > 0 {
+			b.Metrics = make(map[string]float64, len(a.metrics))
+			for unit, vs := range a.metrics {
+				b.Metrics[unit] = median(vs)
+			}
+		}
+		out = append(out, b)
+	}
+	return out
+}
+
+// median returns the middle value (mean of the middle two for even
+// counts). It sorts vs in place.
+func median(vs []float64) float64 {
+	sort.Float64s(vs)
+	n := len(vs)
+	if n%2 == 1 {
+		return vs[n/2]
+	}
+	return (vs[n/2-1] + vs[n/2]) / 2
 }
 
 // parseBenchLine parses the standard testing format:

@@ -1,0 +1,66 @@
+package main
+
+import (
+	"bufio"
+	"strings"
+	"testing"
+)
+
+func TestParseAndAggregateMedians(t *testing.T) {
+	// Three -count runs of one benchmark plus a single run of another,
+	// interleaved with the chatter go test emits around them.
+	input := `goos: linux
+goarch: amd64
+pkg: repro
+cpu: Test CPU
+figure 12: corpus accuracy 1.00
+BenchmarkCorpus/workers=1         	       1	500 ns/op	128 B/op	  4 allocs/op
+BenchmarkCorpus/workers=1         	       1	900 ns/op	128 B/op	  6 allocs/op
+BenchmarkCorpus/workers=1         	       1	700 ns/op	130 B/op	  5 allocs/op
+BenchmarkOther-8                  	       1	42 ns/op
+PASS
+`
+	rep, err := parse(bufio.NewScanner(strings.NewReader(input)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(rep.Benchmarks); got != 4 {
+		t.Fatalf("parsed %d lines, want 4", got)
+	}
+	if rep.GOOS != "linux" || rep.Pkg != "repro" {
+		t.Errorf("header: goos=%q pkg=%q", rep.GOOS, rep.Pkg)
+	}
+
+	aggs := aggregate(rep.Benchmarks)
+	if len(aggs) != 2 {
+		t.Fatalf("aggregated to %d entries, want 2", len(aggs))
+	}
+	c := aggs[0]
+	if c.Name != "BenchmarkCorpus/workers=1" {
+		t.Fatalf("first-appearance order lost: got %q", c.Name)
+	}
+	if c.Samples != 3 {
+		t.Errorf("samples = %d, want 3", c.Samples)
+	}
+	// Median of {500, 900, 700} is 700; one slow outlier must not move it.
+	if c.NsPerOp != 700 {
+		t.Errorf("ns/op median = %v, want 700", c.NsPerOp)
+	}
+	if got := c.Metrics["allocs/op"]; got != 5 {
+		t.Errorf("allocs/op median = %v, want 5", got)
+	}
+	if got := c.Metrics["B/op"]; got != 128 {
+		t.Errorf("B/op median = %v, want 128", got)
+	}
+
+	o := aggs[1]
+	if o.Samples != 1 || o.NsPerOp != 42 || o.Metrics != nil {
+		t.Errorf("single-run entry mangled: %+v", o)
+	}
+}
+
+func TestMedianEvenCount(t *testing.T) {
+	if got := median([]float64{10, 20, 40, 30}); got != 25 {
+		t.Errorf("median of 4 = %v, want 25", got)
+	}
+}

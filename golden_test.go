@@ -1,0 +1,339 @@
+package repro
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"hash"
+	"math"
+	"os"
+	"path/filepath"
+	"runtime"
+	"testing"
+
+	"repro/internal/asm"
+	"repro/internal/codegen"
+	"repro/internal/cpu"
+	"repro/internal/experiments"
+	"repro/internal/isa"
+	"repro/internal/mem"
+	"repro/internal/obs"
+	"repro/internal/stats"
+	"repro/internal/trace"
+	"repro/internal/victim"
+)
+
+// updateGolden rewrites testdata/golden.json from the current simulator
+// outputs. Run `go test -run TestGoldenEquivalence -update` ONLY when a
+// behavioral change is intended and reviewed; the whole point of the
+// file is to pin the fetch pipeline's observable behavior bit-for-bit
+// across pure refactors (e.g. the bundle-based fetch loop and the
+// flattened BTB layout).
+var updateGolden = flag.Bool("update", false, "rewrite golden digests in testdata/golden.json")
+
+const goldenPath = "testdata/golden.json"
+
+// digester canonically serializes simulation outputs into a SHA-256
+// stream. Every value is written in a fixed-width little-endian binary
+// form so digests are platform- and map-order-independent.
+type digester struct{ h hash.Hash }
+
+func newDigester() *digester { return &digester{h: sha256.New()} }
+
+func (d *digester) u64(v uint64) {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], v)
+	d.h.Write(b[:])
+}
+
+func (d *digester) i64(v int64)    { d.u64(uint64(v)) }
+func (d *digester) f64(v float64)  { d.u64(math.Float64bits(v)) }
+func (d *digester) boolean(v bool) { d.u64(map[bool]uint64{false: 0, true: 1}[v]) }
+
+func (d *digester) str(s string) {
+	d.u64(uint64(len(s)))
+	d.h.Write([]byte(s))
+}
+
+func (d *digester) sum() string { return hex.EncodeToString(d.h.Sum(nil)) }
+
+func (d *digester) series(s *stats.Series) {
+	d.str(s.Name)
+	d.u64(uint64(len(s.X)))
+	for i := range s.X {
+		d.f64(s.X[i])
+		d.f64(s.Y[i])
+	}
+}
+
+func (d *digester) pcsData(pcs []uint64, data []bool) {
+	d.u64(uint64(len(pcs)))
+	for _, pc := range pcs {
+		d.u64(pc)
+	}
+	d.u64(uint64(len(data)))
+	for _, v := range data {
+		d.boolean(v)
+	}
+}
+
+func (d *digester) fig12(results []experiments.Figure12Result) {
+	d.u64(uint64(len(results)))
+	for _, r := range results {
+		d.str(r.Reference)
+		d.f64(r.SelfSimilarity)
+		d.i64(int64(r.SelfRank))
+		d.f64(r.BestImpostor)
+		d.u64(uint64(len(r.Top)))
+		for _, s := range r.Top {
+			d.str(s.Label)
+			d.f64(s.Score)
+		}
+	}
+}
+
+// goldenFig2 digests the Takeaway-1 curve: dense false-hit deallocation
+// traffic through the fetch loop's re-prediction path.
+func goldenFig2(t *testing.T) string {
+	t.Helper()
+	with, without, err := experiments.Figure2(experiments.Config{Iters: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := newDigester()
+	d.series(with)
+	d.series(without)
+	return d.sum()
+}
+
+// goldenFig4 digests the Takeaway-2 curve: range-semantics lookups
+// across every intra-block offset.
+func goldenFig4(t *testing.T) string {
+	t.Helper()
+	with, without, err := experiments.Figure4(experiments.Config{Iters: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := newDigester()
+	d.series(with)
+	d.series(without)
+	return d.sum()
+}
+
+// goldenModelTraces digests the ideal-extraction model over victims that
+// exercise loops, conditionals, calls and rets.
+func goldenModelTraces(t *testing.T) string {
+	t.Helper()
+	d := newDigester()
+	for _, v := range []struct {
+		name string
+		fn   *codegen.Func
+		args []uint64
+	}{
+		{"gcd-3.0", victim.MustGCDVersion("3.0", false), []uint64{65537, 0xDEAD_BEEF_1234_5677}},
+		{"gcd-2.5", victim.MustGCDVersion("2.5", false), []uint64{12345, 67890}},
+		{"bn_cmp", victim.BnCmp(false), []uint64{0x0123_4567_89AB_CDEF, 0x0123_4567_89AB_0000}},
+	} {
+		pcs, data, err := experiments.ModelTrace(v.fn, codegen.Options{Opt: codegen.O2}, v.args)
+		if err != nil {
+			t.Fatalf("%s: %v", v.name, err)
+		}
+		d.str(v.name)
+		d.pcsData(pcs, data)
+	}
+	return d.sum()
+}
+
+// goldenNVS digests a full end-to-end NV-S extraction: attacker layout,
+// monitor probing, single-stepping, LBR reads and BTB churn all feed the
+// reconstructed PC stream.
+func goldenNVS(t *testing.T) string {
+	t.Helper()
+	pcs, data, runs, err := experiments.NVSTrace(experiments.Config{Iters: 1, Seed: 11},
+		victim.BnCmp(false), codegen.Options{Opt: codegen.O2},
+		[]uint64{0x0123_4567_89AB_CDEF, 0x0123_4567_89AB_0000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := newDigester()
+	d.pcsData(pcs, data)
+	d.i64(int64(runs))
+	return d.sum()
+}
+
+// goldenCoreRun digests a direct core-level run: the full retired trace
+// (PC, size, kind), the complete LBR ring with a noisy measurement
+// stream, the BTB event statistics and the core's cycle/retire/squash
+// counters. This is the finest-grained pin on the fetch+execute
+// pipeline's observable behavior.
+func goldenCoreRun(t *testing.T) string {
+	t.Helper()
+	d := newDigester()
+	for _, v := range []struct {
+		name string
+		fn   *codegen.Func
+		args []uint64
+	}{
+		{"gcd-3.0", victim.MustGCDVersion("3.0", false), []uint64{600, 238}},
+		{"bn_cmp", victim.BnCmp(false), []uint64{0xAAAA_BBBB_CCCC_DDDD, 0xAAAA_BBBB_0000_0000}},
+	} {
+		b := asm.NewBuilder(0x60_0000)
+		b.Label("entry")
+		b.Call(v.fn.Name)
+		b.Inst(isa.Hlt())
+		b.Space(0x40, byte(isa.OpNop))
+		if err := codegen.Emit(b, v.fn, codegen.Options{Opt: codegen.O2}); err != nil {
+			t.Fatalf("%s: %v", v.name, err)
+		}
+		prog, err := b.Build()
+		if err != nil {
+			t.Fatalf("%s: %v", v.name, err)
+		}
+		m := mem.New()
+		c := cpu.New(cpu.Config{}, m)
+		c.LBR.SetNoise(2.0, 99) // pin the noisy measurement stream too
+		rec := trace.NewRecorder(c, nil)
+		prog.LoadInto(m)
+		m.Map(0x7e_0000, 0x2000, mem.PermRW)
+		c.SetReg(isa.SP, 0x7e_2000)
+		for i, a := range v.args {
+			c.SetReg(isa.Reg(1+i), a)
+		}
+		c.SetPC(prog.MustLabel("entry"))
+		for steps := 0; ; steps++ {
+			if steps > 2_000_000 {
+				t.Fatalf("%s did not terminate", v.name)
+			}
+			info, serr := c.Step()
+			if serr == cpu.ErrHalted || (serr == nil && info.Inst.Op == isa.OpHlt) {
+				break
+			}
+			if serr != nil {
+				t.Fatalf("%s: %v", v.name, serr)
+			}
+		}
+		d.str(v.name)
+		d.u64(uint64(len(rec.T)))
+		for _, e := range rec.T {
+			d.u64(e.PC)
+			d.i64(int64(e.Size))
+			d.u64(uint64(e.Kind))
+		}
+		recs := c.LBR.Records()
+		d.u64(uint64(len(recs)))
+		for _, r := range recs {
+			d.u64(r.From)
+			d.u64(r.To)
+			d.boolean(r.Mispredicted)
+			d.boolean(r.MispredValid)
+			d.u64(r.Cycles)
+		}
+		st := c.BTB.Stats()
+		d.u64(st.Lookups)
+		d.u64(st.Hits)
+		d.u64(st.Allocs)
+		d.u64(st.Updates)
+		d.u64(st.Invalidates)
+		d.u64(st.Evictions)
+		d.u64(c.Cycle())
+		d.u64(c.Retired())
+		d.u64(c.Squashes())
+		d.u64(c.FalseHits())
+	}
+	return d.sum()
+}
+
+// goldenFig12 digests the fingerprinting fan-out with the given worker
+// count and observability wiring. Every combination must produce the
+// same digest: worker count and attached metrics must not perturb
+// results.
+func goldenFig12(t *testing.T, workers int, withObs bool) string {
+	t.Helper()
+	cfg := experiments.Config{Iters: 1, Seed: 13, Workers: workers}
+	if withObs {
+		cfg.Obs = obs.NewRegistry()
+		cfg.Trace = obs.NewTrace()
+	}
+	results, err := experiments.Figure12(cfg, 300, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := newDigester()
+	d.fig12(results)
+	return d.sum()
+}
+
+// TestGoldenEquivalence pins the observable behavior of the whole
+// simulator stack — retired traces, LBR contents, BTB statistics, the
+// Figure 2/4 measurement curves, a full NV-S extraction and the Figure
+// 12 fingerprinting results — against committed golden digests. A pure
+// performance refactor of the fetch/decode/BTB hot path must keep every
+// digest bit-identical; a diff here means behavior changed.
+func TestGoldenEquivalence(t *testing.T) {
+	got := map[string]string{
+		"fig2":         goldenFig2(t),
+		"fig4":         goldenFig4(t),
+		"model-traces": goldenModelTraces(t),
+		"nvs-bncmp":    goldenNVS(t),
+		"core-run":     goldenCoreRun(t),
+	}
+
+	// Figure 12 across workers 1/4 and obs off/on: all four runs must be
+	// bit-identical before any is compared against the golden digest.
+	parallel := 4
+	if n := runtime.GOMAXPROCS(0); n < parallel {
+		parallel = n
+	}
+	fig12 := map[string]string{
+		"workers=1":                             goldenFig12(t, 1, false),
+		"workers=1-obs":                         goldenFig12(t, 1, true),
+		fmt.Sprintf("workers=%d", parallel):     goldenFig12(t, parallel, false),
+		fmt.Sprintf("workers=%d-obs", parallel): goldenFig12(t, parallel, true),
+	}
+	for name, digest := range fig12 {
+		if digest != fig12["workers=1"] {
+			t.Errorf("Figure12 %s digest %s != workers=1 digest %s (worker count or obs wiring perturbed results)",
+				name, digest, fig12["workers=1"])
+		}
+	}
+	got["fig12"] = fig12["workers=1"]
+
+	if *updateGolden {
+		data, err := json.MarshalIndent(got, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.MkdirAll(filepath.Dir(goldenPath), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenPath, append(data, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s", goldenPath)
+		return
+	}
+
+	data, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("read %s: %v (run `go test -run TestGoldenEquivalence -update` to generate)", goldenPath, err)
+	}
+	var want map[string]string
+	if err := json.Unmarshal(data, &want); err != nil {
+		t.Fatalf("parse %s: %v", goldenPath, err)
+	}
+	for name, w := range want {
+		if g, ok := got[name]; !ok {
+			t.Errorf("golden %q no longer produced", name)
+		} else if g != w {
+			t.Errorf("%s: digest %s != golden %s — simulator behavior changed", name, g, w)
+		}
+	}
+	for name := range got {
+		if _, ok := want[name]; !ok {
+			t.Errorf("component %q missing from %s (regenerate with -update)", name, goldenPath)
+		}
+	}
+}

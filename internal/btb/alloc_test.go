@@ -1,0 +1,46 @@
+package btb
+
+import (
+	"testing"
+
+	"repro/internal/isa"
+)
+
+// TestLookupAllocs gates the flat banked layout: Lookup, FillBundle and
+// Update walk the [bank][set][way] array in place and must never
+// allocate, hit or miss. The pre-flattening map-of-slices layout
+// allocated on fill and forced pointer chasing on every probe.
+func TestLookupAllocs(t *testing.T) {
+	b := skylake()
+	// Populate a spread of sets so lookups exercise hits, misses and
+	// multi-candidate blocks.
+	for i := uint64(0); i < 4096; i++ {
+		b.Update(0x40_0000+i*96+31, 0x50_0000+i, isa.KindJump)
+	}
+
+	check := func(name string, f func()) {
+		t.Helper()
+		if avg := testing.AllocsPerRun(200, f); avg != 0 {
+			t.Errorf("%s allocates %v objects/op, want 0", name, avg)
+		}
+	}
+
+	var i uint64
+	check("BTB.Lookup", func() {
+		b.Lookup(0x40_0000 + (i%4096)*96)
+		i++
+	})
+	var bu Bundle
+	check("BTB.FillBundle", func() {
+		b.FillBundle(&bu, 0x40_0000+(i%4096)*96)
+		bu.Lookup(0x40_0000 + (i%4096)*96)
+		i++
+	})
+	check("BTB.Update", func() {
+		b.Update(0x40_0000+(i%4096)*96+31, 0x50_0000, isa.KindJump)
+		i++
+	})
+	check("BTB.Flush", func() {
+		b.Flush()
+	})
+}

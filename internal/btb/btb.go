@@ -26,6 +26,16 @@
 // The model also implements IBRS/IBPB with their documented semantics:
 // they constrain or flush only entries for *indirect* branches (§4.1),
 // which is why they do not stop NightVision.
+//
+// # Storage layout
+//
+// Entries live in a single flat array organized as [bank][set][way]:
+// consecutive prediction-window blocks map to consecutive banks
+// (bank = set index mod Banks), mirroring hardware that serves several
+// sequential fetch-block reads per cycle from distinct banks. The front
+// end reads a whole window's worth of candidates at once through
+// FillBundle and then consults the Bundle as decode walks the window,
+// instead of issuing an associative Lookup per decode step.
 package btb
 
 import (
@@ -40,6 +50,17 @@ import (
 // supervisor code, or different processes, can be modeled as different
 // domains.
 type Domain uint8
+
+// Banks is the bank count of the physical entry array. Four banks cover
+// the sequential blocks the front end can probe in one cycle (the
+// fetch-ahead windows plus the split-branch probe of the next block).
+// Geometries with fewer than Banks sets degrade to one bank per set.
+const Banks = 4
+
+// MaxWays is the largest supported associativity: a Bundle holds one
+// candidate per way in fixed storage so that window-granularity reads
+// never allocate.
+const MaxWays = 16
 
 // Config describes a BTB geometry. The zero value is invalid; use one of
 // the generation constructors or fill every field.
@@ -90,8 +111,8 @@ func (c Config) validate() error {
 	if c.Sets <= 0 || c.Sets&(c.Sets-1) != 0 {
 		return fmt.Errorf("btb: Sets must be a positive power of two, got %d", c.Sets)
 	}
-	if c.Ways <= 0 {
-		return fmt.Errorf("btb: Ways must be positive, got %d", c.Ways)
+	if c.Ways <= 0 || c.Ways > MaxWays {
+		return fmt.Errorf("btb: Ways must be in [1,%d], got %d", MaxWays, c.Ways)
 	}
 	if c.OffsetBits <= 0 || c.OffsetBits > 8 {
 		return fmt.Errorf("btb: OffsetBits must be in [1,8], got %d", c.OffsetBits)
@@ -113,6 +134,7 @@ type Entry struct {
 	Kind   isa.Kind
 	Domain Domain
 	lru    uint64
+	epoch  uint64 // entry is live only when this matches the BTB's epoch
 }
 
 // Hit describes the outcome of a successful Lookup.
@@ -153,9 +175,18 @@ type Obs struct {
 
 // BTB is the branch target buffer. Not safe for concurrent use.
 type BTB struct {
-	cfg      Config
-	sets     [][]Entry
+	cfg Config
+	// entries is the flat banked [bank][set/banks][way] store; rowBase
+	// maps a logical set index to its row.
+	entries  []Entry
 	setBits  int
+	bankBits int
+	bankSets int // sets per bank
+	// epoch implements O(1) Flush: an entry is live only when its epoch
+	// matches. Flush bumps the epoch instead of walking the array —
+	// experiment harnesses flush between every measurement, and pooled
+	// cores flush on every recycle.
+	epoch    uint64
 	lruClock uint64
 	ibrs     bool
 	domain   Domain
@@ -170,17 +201,37 @@ func New(cfg Config) *BTB {
 	if err := cfg.validate(); err != nil {
 		panic(err)
 	}
-	sets := make([][]Entry, cfg.Sets)
-	backing := make([]Entry, cfg.Sets*cfg.Ways)
-	for i := range sets {
-		sets[i], backing = backing[:cfg.Ways], backing[cfg.Ways:]
+	setBits := bits.TrailingZeros(uint(cfg.Sets))
+	bankBits := bits.TrailingZeros(Banks)
+	if setBits < bankBits {
+		bankBits = setBits
 	}
 	return &BTB{
-		cfg:     cfg,
-		sets:    sets,
-		setBits: bits.TrailingZeros(uint(cfg.Sets)),
+		cfg:      cfg,
+		entries:  make([]Entry, cfg.Sets*cfg.Ways),
+		setBits:  setBits,
+		bankBits: bankBits,
+		bankSets: cfg.Sets >> bankBits,
+		epoch:    1,
 	}
 }
+
+// rowBase returns the index into the flat entry array of the first way
+// of the given logical set. The low bits of the set select the bank, so
+// sequential blocks land in distinct banks.
+func (b *BTB) rowBase(set int) int {
+	bank := set & (1<<b.bankBits - 1)
+	return (bank*b.bankSets + set>>b.bankBits) * b.cfg.Ways
+}
+
+// row returns the entry slice of one logical set.
+func (b *BTB) row(set int) []Entry {
+	base := b.rowBase(set)
+	return b.entries[base : base+b.cfg.Ways]
+}
+
+// live reports whether the entry is valid in the current epoch.
+func (b *BTB) live(e *Entry) bool { return e.Valid && e.epoch == b.epoch }
 
 // Config returns the geometry the BTB was built with.
 func (b *BTB) Config() Config { return b.cfg }
@@ -227,14 +278,12 @@ func (b *BTB) Domain() Domain { return b.domain }
 // entries for indirect branches only. Direct-branch entries — the ones
 // NightVision uses — survive, matching the official security claims.
 func (b *BTB) IBPB() {
-	for s := range b.sets {
-		for w := range b.sets[s] {
-			e := &b.sets[s][w]
-			if e.Valid && e.Kind.IsIndirect() {
-				e.Valid = false
-				b.stats.Invalidates++
-				b.obs.Invalidates.Inc()
-			}
+	for i := range b.entries {
+		e := &b.entries[i]
+		if b.live(e) && e.Kind.IsIndirect() {
+			e.Valid = false
+			b.stats.Invalidates++
+			b.obs.Invalidates.Inc()
 		}
 	}
 }
@@ -254,13 +303,10 @@ func (b *BTB) Reset() {
 // Flush invalidates every entry. Real processors expose no such
 // instruction (the paper's flushBTB routine executes a jump slide to
 // evict entries; see internal/asm/snippets); Flush exists for experiment
-// setup and for the BTB-flushing defense ablation.
+// setup and for the BTB-flushing defense ablation. It runs in O(1) by
+// advancing the validity epoch.
 func (b *BTB) Flush() {
-	for s := range b.sets {
-		for w := range b.sets[s] {
-			b.sets[s][w].Valid = false
-		}
-	}
+	b.epoch++
 }
 
 // Lookup performs a fetch-time prediction lookup at fetchPC.
@@ -269,14 +315,21 @@ func (b *BTB) Flush() {
 // whose offset is >= the fetch PC's offset, preferring the smallest such
 // offset. The returned Hit reconstructs the predicted branch position
 // within the fetch block.
+//
+// Lookup does not refresh the winner's LRU stamp: a range hit may yet be
+// classified by decode as a false hit (and deallocated) or walked past
+// without being consumed. The front end stamps confirmed predictions via
+// Touch; stamping in Lookup let entries that only ever produced false
+// hits age genuinely live victims out of the set.
 func (b *BTB) Lookup(fetchPC uint64) (Hit, bool) {
 	b.stats.Lookups++
 	b.obs.Lookups.Inc()
 	set, tag, offset := b.index(fetchPC)
+	row := b.row(set)
 	best := -1
-	for w := range b.sets[set] {
-		e := &b.sets[set][w]
-		if !e.Valid || e.Tag != tag || e.Offset < offset {
+	for w := range row {
+		e := &row[w]
+		if !b.live(e) || e.Tag != tag || e.Offset < offset {
 			continue
 		}
 		if b.cfg.ExactMatch && e.Offset != offset {
@@ -285,7 +338,7 @@ func (b *BTB) Lookup(fetchPC uint64) (Hit, bool) {
 		if b.ibrs && e.Kind.IsIndirect() && e.Domain != b.domain {
 			continue // IBRS: cross-domain indirect predictions restricted
 		}
-		if best < 0 || e.Offset < b.sets[set][best].Offset {
+		if best < 0 || e.Offset < row[best].Offset {
 			best = w
 		}
 	}
@@ -294,9 +347,7 @@ func (b *BTB) Lookup(fetchPC uint64) (Hit, bool) {
 	}
 	b.stats.Hits++
 	b.obs.Hits.Inc()
-	e := &b.sets[set][best]
-	b.lruClock++
-	e.lru = b.lruClock
+	e := &row[best]
 	blockBase := fetchPC &^ (b.cfg.BlockSize() - 1)
 	return Hit{
 		BranchPC: blockBase | uint64(e.Offset),
@@ -307,16 +358,121 @@ func (b *BTB) Lookup(fetchPC uint64) (Hit, bool) {
 	}, true
 }
 
+// Bundle is the prediction-window-granularity read of the BTB: one
+// banked scan of the fetch block's set collects every candidate branch
+// in the window, sorted by offset. The front end fills it once per
+// 32-byte window (FillBundle) and consults it as decode walks the
+// window (Bundle.Lookup), which answers each consultation from the
+// fixed-size candidate list instead of re-scanning the set.
+//
+// A Bundle is a snapshot keyed to one walk of one window. Entries the
+// walk itself deallocates (decode-time false hits) are skipped at
+// consultation time; fetch never updates entries of the window it is
+// still walking, so no other mid-walk mutation exists.
+type Bundle struct {
+	btb     *BTB
+	base    uint64 // untruncated block base of the window
+	rowBase int
+	set     int
+	n       int
+	offs    [MaxWays]uint8
+	ways    [MaxWays]uint8
+}
+
+// FillBundle loads the candidate branches of fetchPC's prediction
+// window into bu. It performs the banked array read but no prediction:
+// accounting (Lookups/Hits) happens per consultation, which is what a
+// per-decode-step associative lookup would have counted.
+func (b *BTB) FillBundle(bu *Bundle, fetchPC uint64) {
+	set, tag, _ := b.index(fetchPC)
+	bu.btb = b
+	bu.base = fetchPC &^ (b.cfg.BlockSize() - 1)
+	bu.rowBase = b.rowBase(set)
+	bu.set = set
+	bu.n = 0
+	row := b.entries[bu.rowBase : bu.rowBase+b.cfg.Ways]
+	for w := range row {
+		e := &row[w]
+		if !b.live(e) || e.Tag != tag {
+			continue
+		}
+		if b.ibrs && e.Kind.IsIndirect() && e.Domain != b.domain {
+			continue
+		}
+		// Insertion sort ascending by offset; earlier ways win ties,
+		// matching Lookup's scan order. Offsets are unique per tag in
+		// practice (Update dedups), so ties cannot occur.
+		i := bu.n
+		for i > 0 && bu.offs[i-1] > e.Offset {
+			bu.offs[i] = bu.offs[i-1]
+			bu.ways[i] = bu.ways[i-1]
+			i--
+		}
+		bu.offs[i] = e.Offset
+		bu.ways[i] = uint8(w)
+		bu.n++
+	}
+}
+
+// Lookup consults the bundle at fetchPC, which must lie in the window
+// the bundle was filled for. Semantics and statistics accounting are
+// identical to BTB.Lookup at the same PC: the candidate with the
+// smallest offset >= the fetch offset wins, and candidates whose entry
+// has since been deallocated are skipped.
+func (bu *Bundle) Lookup(fetchPC uint64) (Hit, bool) {
+	b := bu.btb
+	b.stats.Lookups++
+	b.obs.Lookups.Inc()
+	offset := uint8(fetchPC & (b.cfg.BlockSize() - 1))
+	for i := 0; i < bu.n; i++ {
+		if bu.offs[i] < offset {
+			continue
+		}
+		if b.cfg.ExactMatch && bu.offs[i] != offset {
+			continue
+		}
+		w := int(bu.ways[i])
+		e := &b.entries[bu.rowBase+w]
+		if !b.live(e) {
+			continue // deallocated by this walk's own false hits
+		}
+		b.stats.Hits++
+		b.obs.Hits.Inc()
+		return Hit{
+			BranchPC: bu.base | uint64(bu.offs[i]),
+			Target:   e.Target,
+			Kind:     e.Kind,
+			set:      bu.set,
+			way:      w,
+		}, true
+	}
+	return Hit{}, false
+}
+
+// Touch refreshes the LRU stamp of the exact entry a Lookup returned.
+// The CPU front end calls this when it consumes the prediction — the
+// entry survived decode-time false-hit classification and steered fetch.
+// Touching a since-invalidated entry is a no-op.
+func (b *BTB) Touch(h Hit) {
+	e := &b.row(h.set)[h.way]
+	if !b.live(e) {
+		return
+	}
+	b.lruClock++
+	e.lru = b.lruClock
+}
+
 // Update allocates or refreshes the entry for a taken branch whose last
 // byte is at lastBytePC. The execution engine calls this when a taken
 // control transfer resolves without a correct BTB prediction.
 func (b *BTB) Update(lastBytePC, target uint64, kind isa.Kind) {
 	set, tag, offset := b.index(lastBytePC)
+	row := b.row(set)
 	b.lruClock++
 	// Exact re-use of an existing entry for this branch.
-	for w := range b.sets[set] {
-		e := &b.sets[set][w]
-		if e.Valid && e.Tag == tag && e.Offset == offset {
+	for w := range row {
+		e := &row[w]
+		if b.live(e) && e.Tag == tag && e.Offset == offset {
 			e.Target = target
 			e.Kind = kind
 			e.Domain = b.domain
@@ -329,14 +485,14 @@ func (b *BTB) Update(lastBytePC, target uint64, kind isa.Kind) {
 	// Allocate: first invalid way, else LRU victim.
 	victim := 0
 	foundInvalid := false
-	for w := range b.sets[set] {
-		e := &b.sets[set][w]
-		if !e.Valid {
+	for w := range row {
+		e := &row[w]
+		if !b.live(e) {
 			victim = w
 			foundInvalid = true
 			break
 		}
-		if e.lru < b.sets[set][victim].lru {
+		if e.lru < row[victim].lru {
 			victim = w
 		}
 	}
@@ -344,7 +500,7 @@ func (b *BTB) Update(lastBytePC, target uint64, kind isa.Kind) {
 		b.stats.Evictions++
 		b.obs.Evictions.Inc()
 	}
-	b.sets[set][victim] = Entry{
+	row[victim] = Entry{
 		Valid:  true,
 		Tag:    tag,
 		Offset: offset,
@@ -352,6 +508,7 @@ func (b *BTB) Update(lastBytePC, target uint64, kind isa.Kind) {
 		Kind:   kind,
 		Domain: b.domain,
 		lru:    b.lruClock,
+		epoch:  b.epoch,
 	}
 	b.stats.Allocs++
 	b.obs.Allocs.Inc()
@@ -362,9 +519,10 @@ func (b *BTB) Update(lastBytePC, target uint64, kind isa.Kind) {
 // decode-time false hits (Takeaway 1).
 func (b *BTB) Invalidate(lastBytePC uint64) bool {
 	set, tag, offset := b.index(lastBytePC)
-	for w := range b.sets[set] {
-		e := &b.sets[set][w]
-		if e.Valid && e.Tag == tag && e.Offset == offset {
+	row := b.row(set)
+	for w := range row {
+		e := &row[w]
+		if b.live(e) && e.Tag == tag && e.Offset == offset {
 			e.Valid = false
 			b.stats.Invalidates++
 			b.obs.Invalidates.Inc()
@@ -377,8 +535,8 @@ func (b *BTB) Invalidate(lastBytePC uint64) bool {
 // InvalidateHit deallocates the exact entry a Lookup returned. Equivalent
 // to Invalidate on the hit's entry key but immune to re-indexing races.
 func (b *BTB) InvalidateHit(h Hit) {
-	e := &b.sets[h.set][h.way]
-	if e.Valid {
+	e := &b.row(h.set)[h.way]
+	if b.live(e) {
 		e.Valid = false
 		b.stats.Invalidates++
 		b.obs.Invalidates.Inc()
@@ -389,10 +547,11 @@ func (b *BTB) InvalidateHit(h Hit) {
 // for tests and experiment instrumentation; attacks must not use it.
 func (b *BTB) EntryAt(lastBytePC uint64) (Entry, bool) {
 	set, tag, offset := b.index(lastBytePC)
-	for w := range b.sets[set] {
-		e := b.sets[set][w]
-		if e.Valid && e.Tag == tag && e.Offset == offset {
-			return e, true
+	row := b.row(set)
+	for w := range row {
+		e := &row[w]
+		if b.live(e) && e.Tag == tag && e.Offset == offset {
+			return *e, true
 		}
 	}
 	return Entry{}, false
@@ -401,11 +560,9 @@ func (b *BTB) EntryAt(lastBytePC uint64) (Entry, bool) {
 // ValidCount returns the number of valid entries; for tests.
 func (b *BTB) ValidCount() int {
 	n := 0
-	for s := range b.sets {
-		for w := range b.sets[s] {
-			if b.sets[s][w].Valid {
-				n++
-			}
+	for i := range b.entries {
+		if b.live(&b.entries[i]) {
+			n++
 		}
 	}
 	return n

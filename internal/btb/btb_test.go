@@ -176,10 +176,13 @@ func TestLRUEviction(t *testing.T) {
 	pcs := []uint64{0x1f, 0x1f + 64, 0x1f + 128}
 	b.Update(pcs[0], 1, isa.KindJump)
 	b.Update(pcs[1], 2, isa.KindJump)
-	// Touch pcs[0] so pcs[1] is LRU.
-	if _, ok := b.Lookup(pcs[0] &^ 0x1f); !ok {
+	// Confirm use of pcs[0] so pcs[1] is LRU. Lookup alone must not
+	// stamp: only the front end's confirmation (Touch) counts as use.
+	h, ok := b.Lookup(pcs[0] &^ 0x1f)
+	if !ok {
 		t.Fatal("expected hit on pcs[0]")
 	}
+	b.Touch(h)
 	b.Update(pcs[2], 3, isa.KindJump) // evicts pcs[1]
 	if _, ok := b.EntryAt(pcs[1]); ok {
 		t.Error("LRU entry should have been evicted")
@@ -189,6 +192,64 @@ func TestLRUEviction(t *testing.T) {
 	}
 	if b.Stats().Evictions != 1 {
 		t.Errorf("Evictions = %d, want 1", b.Stats().Evictions)
+	}
+}
+
+// TestFalseHitLookupsDoNotAgeOutLiveEntries pins the eviction order
+// under repeated false hits: a stale low-offset entry that wins every
+// range lookup — only for decode to classify each hit as false — must
+// not accumulate LRU stamps, or it ages genuinely live victims out of
+// the set. Only confirmed use (Touch) refreshes an entry.
+func TestFalseHitLookupsDoNotAgeOutLiveEntries(t *testing.T) {
+	cfg := Config{Sets: 2, Ways: 2, OffsetBits: 5, TagTopBit: 32}
+	b := New(cfg)
+	stale := uint64(0x05) // low offset: wins every range lookup from offset 0
+	live := uint64(0x1f)  // the genuinely live victim branch
+	b.Update(stale, 0x100, isa.KindJump)
+	b.Update(live, 0x200, isa.KindJump)
+
+	// The live branch is consumed once by the front end (fetch from its
+	// own offset, past the stale entry's).
+	h, ok := b.Lookup(live)
+	if !ok || h.BranchPC != live {
+		t.Fatalf("Lookup(live) = %+v, %v; want hit at %#x", h, ok, live)
+	}
+	b.Touch(h)
+
+	// Repeated fetches from the block base range-hit the stale entry;
+	// decode classifies every one a false hit, so none is a use.
+	for i := 0; i < 5; i++ {
+		fh, ok := b.Lookup(stale &^ 0x1f)
+		if !ok || fh.BranchPC != stale {
+			t.Fatalf("Lookup(base) = %+v, %v; want range hit at %#x", fh, ok, stale)
+		}
+	}
+
+	// Set pressure: a third branch allocates. The stale entry — never
+	// confirmed — must be the LRU victim, not the live one.
+	third := uint64(0x1f + 128) // same set (stride Sets*32 = 64), distinct tag
+	b.Update(third, 0x300, isa.KindJump)
+	if _, ok := b.EntryAt(live); !ok {
+		t.Error("live entry evicted: unconfirmed false-hit lookups aged it out")
+	}
+	if _, ok := b.EntryAt(stale); ok {
+		t.Error("stale entry survived: expected it to be the LRU victim")
+	}
+}
+
+// TestTouchOnInvalidatedHitIsNoop: a hit whose entry was deallocated
+// between Lookup and confirmation must not resurrect or stamp the way.
+func TestTouchOnInvalidatedHitIsNoop(t *testing.T) {
+	b := skylake()
+	b.Update(0x40_001f, 0x1000, isa.KindJump)
+	h, ok := b.Lookup(0x40_0000)
+	if !ok {
+		t.Fatal("expected hit")
+	}
+	b.InvalidateHit(h)
+	b.Touch(h)
+	if got := b.ValidCount(); got != 0 {
+		t.Fatalf("ValidCount = %d after Touch on invalidated hit, want 0", got)
 	}
 }
 

@@ -19,6 +19,7 @@
 package core
 
 import (
+	"encoding/binary"
 	"fmt"
 
 	"repro/internal/cpu"
@@ -62,6 +63,11 @@ type Attacker struct {
 	// monitorCache reuses monitors (and their calibration) keyed by
 	// their PW sets; see CachedMonitor.
 	monitorCache map[string]*Monitor
+
+	// Scratch reused by writeInst and CachedMonitor so laying out or
+	// re-keying a monitor does not allocate per call.
+	encBuf []byte
+	keyBuf []byte
 
 	// Interfere, when non-nil, injects faults into probe execution and
 	// LBR reads. Set it before creating monitors so calibration runs
@@ -154,8 +160,9 @@ func (a *Attacker) runSnippet(entry uint64) error {
 	var saved cpu.ArchState
 	st := cpu.ArchState{PC: entry}
 	a.Core.ContextSwitch(&saved, &st)
+	var info cpu.StepInfo
 	for {
-		_, err := a.Core.Step()
+		err := a.Core.StepInto(&info)
 		if err == cpu.ErrHalted {
 			break
 		}
@@ -172,8 +179,10 @@ func (a *Attacker) runSnippet(entry uint64) error {
 }
 
 // writeInst encodes in at addr as executable attacker code.
+// LoadProgram copies the bytes, so the encode buffer is safely reused.
 func (a *Attacker) writeInst(addr uint64, in isa.Inst) {
-	a.Core.Mem.LoadProgram(addr, in.Encode(nil))
+	a.encBuf = in.Encode(a.encBuf[:0])
+	a.Core.Mem.LoadProgram(addr, a.encBuf)
 }
 
 // CachedMonitor returns a monitor for the given PW set, reusing an
@@ -181,8 +190,15 @@ func (a *Attacker) writeInst(addr uint64, in isa.Inst) {
 // monitor may have overwritten shared blocks) but keeps the calibration,
 // which depends only on the layout.
 func (a *Attacker) CachedMonitor(pws []PW) (*Monitor, error) {
-	key := fmt.Sprint(pws)
-	if m, ok := a.monitorCache[key]; ok {
+	key := a.keyBuf[:0]
+	for _, p := range pws {
+		key = binary.LittleEndian.AppendUint64(key, p.Base)
+		key = binary.LittleEndian.AppendUint64(key, uint64(p.Len))
+	}
+	a.keyBuf = key
+	// map[string(bytes)] lookups do not allocate; only a cache miss
+	// pays for the permanent string key.
+	if m, ok := a.monitorCache[string(key)]; ok {
 		m.layout()
 		return m, nil
 	}
@@ -190,6 +206,6 @@ func (a *Attacker) CachedMonitor(pws []PW) (*Monitor, error) {
 	if err != nil {
 		return nil, err
 	}
-	a.monitorCache[key] = m
+	a.monitorCache[string(key)] = m
 	return m, nil
 }

@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"repro/internal/isa"
+	"repro/internal/lbr"
 )
 
 // ErrRecordLost reports that a probe's LBR read was missing an expected
@@ -67,6 +68,37 @@ type Monitor struct {
 	sentinel uint64   // sentinel jump address
 	baseline []uint64 // calibrated quiet-system probe deltas
 	margin   uint64   // cycles above baseline that count as a signal
+
+	// Scratch reused across probes so the measure loop never allocates:
+	recScratch []lbr.Record
+	deltas     []uint64
+	found      []bool
+
+	// spans caches the snippet bytes the first layout emitted, as
+	// coalesced (addr, code) runs: the chain depends only on the PW set,
+	// so re-laying-out a cached monitor replays raw bytes instead of
+	// re-encoding every instruction.
+	spans   []codeSpan
+	laidOut bool
+}
+
+// codeSpan is one contiguous run of encoded snippet bytes.
+type codeSpan struct {
+	addr uint64
+	code []byte
+}
+
+// emit writes in at addr and records its bytes for layout replay.
+func (m *Monitor) emit(addr uint64, in isa.Inst) {
+	a := m.a
+	a.writeInst(addr, in)
+	// writeInst leaves the encoding in a.encBuf; coalesce adjacent
+	// instructions into one span.
+	if n := len(m.spans); n > 0 && m.spans[n-1].addr+uint64(len(m.spans[n-1].code)) == addr {
+		m.spans[n-1].code = append(m.spans[n-1].code, a.encBuf...)
+	} else {
+		m.spans = append(m.spans, codeSpan{addr: addr, code: append([]byte(nil), a.encBuf...)})
+	}
 }
 
 // NewMonitor builds, lays out, calibrates and primes a monitor for the
@@ -149,8 +181,17 @@ func (a *Attacker) NewMonitor(pws []PW) (*Monitor, error) {
 
 // layout (re)writes the monitor's chain into attacker memory. Monitors
 // sharing address ranges overwrite each other's snippets; a cached
-// monitor is re-laid-out before reuse.
+// monitor is re-laid-out before reuse — which replays the byte spans
+// recorded by the first layout, since the chain depends only on the
+// (immutable) PW set.
 func (m *Monitor) layout() {
+	if m.laidOut {
+		for i := range m.spans {
+			m.a.Core.Mem.LoadProgram(m.spans[i].addr, m.spans[i].code)
+		}
+		return
+	}
+	m.laidOut = true
 	a := m.a
 	pws := m.PWs
 	m.jmpPCs = m.jmpPCs[:0]
@@ -163,14 +204,14 @@ func (m *Monitor) layout() {
 		p := pws[0]
 		addr := a.Alias(p.Base)
 		for i := 0; i < p.Len-2; i++ {
-			a.writeInst(addr, isa.Nop())
+			m.emit(addr, isa.Nop())
 			addr++
 		}
-		a.writeInst(addr, isa.Jmp8(0)) // falls through to addr+2 == alias(Hi)+1
+		m.emit(addr, isa.Jmp8(0)) // falls through to addr+2 == alias(Hi)+1
 		m.jmpPCs = append(m.jmpPCs, addr)
 		sentinel := addr + 2
-		a.writeInst(sentinel, isa.Jmp32(0))
-		a.writeInst(sentinel+5, isa.Hlt())
+		m.emit(sentinel, isa.Jmp32(0))
+		m.emit(sentinel+5, isa.Hlt())
 		m.jmpPCs = append(m.jmpPCs, sentinel)
 		m.entry = a.Alias(p.Base)
 	} else {
@@ -178,7 +219,7 @@ func (m *Monitor) layout() {
 		for i, p := range pws {
 			addr := a.Alias(p.Base)
 			for n := 0; n < p.Len-5; n++ {
-				a.writeInst(addr, isa.Nop())
+				m.emit(addr, isa.Nop())
 				addr++
 			}
 			target := sentinel
@@ -186,11 +227,11 @@ func (m *Monitor) layout() {
 				target = a.Alias(pws[i+1].Base)
 			}
 			rel := int64(target) - int64(addr) - 5
-			a.writeInst(addr, isa.Inst{Op: isa.OpJmp32, Imm: rel, Size: 5})
+			m.emit(addr, isa.Inst{Op: isa.OpJmp32, Imm: rel, Size: 5})
 			m.jmpPCs = append(m.jmpPCs, addr)
 		}
-		a.writeInst(sentinel, isa.Jmp32(0))
-		a.writeInst(sentinel+5, isa.Hlt())
+		m.emit(sentinel, isa.Jmp32(0))
+		m.emit(sentinel+5, isa.Hlt())
 		m.jmpPCs = append(m.jmpPCs, sentinel)
 		m.entry = a.Alias(pws[0].Base)
 	}
@@ -217,18 +258,30 @@ func (m *Monitor) Prime() error {
 // each jump record (PW jumps, then the sentinel). Records first pass
 // through the attacker's interference filter; a missing record returns
 // an error wrapping ErrRecordLost.
+//
+// The returned slice is monitor-owned scratch, valid until the next
+// runAndMeasure call; callers consume it before probing again.
 func (m *Monitor) runAndMeasure() ([]uint64, error) {
-	lbr := m.a.Core.LBR
-	lbr.Clear()
+	ring := m.a.Core.LBR
+	ring.Clear()
 	if err := m.a.runSnippet(m.entry); err != nil {
 		return nil, err
 	}
-	recs := lbr.Records()
+	m.recScratch = ring.RecordsAppend(m.recScratch[:0])
+	recs := m.recScratch
 	if m.a.Interfere != nil {
 		recs = m.a.Interfere.Records(recs)
 	}
-	deltas := make([]uint64, len(m.jmpPCs))
-	found := make([]bool, len(m.jmpPCs))
+	if cap(m.deltas) < len(m.jmpPCs) {
+		m.deltas = make([]uint64, len(m.jmpPCs))
+		m.found = make([]bool, len(m.jmpPCs))
+	}
+	deltas := m.deltas[:len(m.jmpPCs)]
+	found := m.found[:len(m.jmpPCs)]
+	for i := range deltas {
+		deltas[i] = 0
+		found[i] = false
+	}
 	for _, r := range recs {
 		for i, pc := range m.jmpPCs {
 			if r.From == pc && !found[i] {

@@ -1,0 +1,76 @@
+package cpu_test
+
+import (
+	"testing"
+)
+
+// TestStepSteadyStateAllocs gates the zero-allocation hot path: once
+// the decoded-instruction queue, RAS and LBR ring have warmed up,
+// retiring instructions must not allocate at all. A regression here
+// (a re-sliced queue, a per-step buffer, an escaping StepInfo) is what
+// turned the Figure 12 corpus run into a 22M-allocation benchmark
+// before the flat queue/bundle rework.
+func TestStepSteadyStateAllocs(t *testing.T) {
+	// Taken conditional, not-taken fall-through and an unconditional
+	// jump every iteration: the loop exercises BTB hits, LBR recording
+	// and macro-fusion, the allocation-prone paths.
+	c := newCore(t, `
+		.org 0x1000
+	start:
+		movi r1, 2
+	loop:
+		subi r1, 1
+		jnz loop
+		movi r1, 2
+		jmp loop
+	`)
+	for i := 0; i < 2000; i++ {
+		if _, err := c.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var stepErr error
+	avg := testing.AllocsPerRun(500, func() {
+		if _, err := c.Step(); err != nil {
+			stepErr = err
+		}
+	})
+	if stepErr != nil {
+		t.Fatal(stepErr)
+	}
+	if avg != 0 {
+		t.Fatalf("Core.Step allocates %v objects/op in steady state, want 0", avg)
+	}
+}
+
+// TestResetAllocsBounded guards the pooling story: recycling a warm
+// core must not rebuild its large structures. Reset is allowed a small
+// constant number of allocations (the bimodal predictor is rebuilt when
+// enabled; here it is off) but not per-entry work.
+func TestResetAllocsBounded(t *testing.T) {
+	c := newCore(t, `
+		.org 0x1000
+	start:
+	loop:
+		jmp loop
+	`)
+	for i := 0; i < 100; i++ {
+		if _, err := c.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	pc := c.PC()
+	c.Reset()
+	c.SetPC(pc)
+	avg := testing.AllocsPerRun(10, func() {
+		c.Reset()
+		c.SetPC(pc)
+	})
+	if avg != 0 {
+		t.Fatalf("Core.Reset allocates %v objects/op, want 0", avg)
+	}
+	// The recycled core must still run.
+	if _, err := c.Step(); err != nil {
+		t.Fatal(err)
+	}
+}

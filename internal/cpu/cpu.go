@@ -180,6 +180,24 @@ type slot struct {
 	fusedWithNext  bool   // macro-fused with the following slot
 }
 
+// decCacheSize is the number of direct-mapped decode-cache entries,
+// indexed by the low bits of the fetch pc. 4096 entries (~160 KiB per
+// core) cover the working set of the largest corpus functions without
+// conflict thrash; cores are pooled per worker, so the footprint is
+// paid once.
+const decCacheSize = 1 << 12
+
+// decEntry is one decode-cache line: the instruction decoded at pc while
+// memory was at generation gen, plus how many bytes the speculative
+// fetch could read (so a hit replays the same accessed-bit footprint).
+// gen==0 marks an empty line; mem.Memory generations start at 1.
+type decEntry struct {
+	pc    uint64
+	gen   uint64
+	in    isa.Inst
+	peekN uint8
+}
+
 // StepInfo describes one retired architectural step.
 type StepInfo struct {
 	PC          uint64
@@ -214,8 +232,13 @@ type Core struct {
 	fetchClock   uint64
 	fetchStalled bool // fetch hit a speculative fault/stop; retry when architectural
 	fetchStopped bool // fetch hit hlt or an unresolvable indirect; wait for execute
-	queue        []slot
-	nextPWID     uint64
+	// queue is the in-order decoded-instruction queue. Retirement
+	// advances qHead instead of re-slicing so the backing array keeps
+	// its front capacity; enqueue compacts when the consumed prefix
+	// dominates.
+	queue    []slot
+	qHead    int
+	nextPWID uint64
 
 	// Return-address prediction: specRAS tracks decode-time state,
 	// archRAS retirement state; squashes restore spec from arch.
@@ -224,6 +247,19 @@ type Core struct {
 
 	// Conditional direction predictor (optional).
 	dirPred *dirPredictor
+
+	// Scratch reused across fetches so the hot path never allocates:
+	// fetchBuf receives speculative fetch bytes, pwBundle holds the
+	// current prediction window's BTB read.
+	fetchBuf [isa.MaxLen]byte
+	pwBundle btb.Bundle
+
+	// decCache is a direct-mapped decode cache in front of the
+	// speculative-fetch + decode path. Entries are validated against the
+	// memory mutation generation (mem.Gen), so any write to executable
+	// bytes, protection change or remap invalidates the whole cache at
+	// once and no per-line snooping is needed.
+	decCache [decCacheSize]decEntry
 
 	// Retirement clock.
 	retireClock  uint64
@@ -305,6 +341,7 @@ func (c *Core) Reset() {
 	c.fetchStalled = false
 	c.fetchStopped = false
 	c.queue = c.queue[:0]
+	c.qHead = 0
 	c.nextPWID = 0
 	c.specRAS = c.specRAS[:0]
 	c.archRAS = c.archRAS[:0]
@@ -318,6 +355,12 @@ func (c *Core) Reset() {
 	c.falseHits = 0
 	c.decodeResteers = 0
 	c.obs = Obs{}
+	// Drop decode-cache contents: gen-keying already invalidates them
+	// against the paired Memory (whose Reset bumps the generation), but
+	// clearing here also covers a core re-pointed at a different Memory.
+	for i := range c.decCache {
+		c.decCache[i] = decEntry{}
+	}
 	c.BTB.Reset()
 	c.LBR.Reset()
 	if c.dirPred != nil {
@@ -405,6 +448,7 @@ type ArchState struct {
 // after penalty cycles.
 func (c *Core) squashTo(pc uint64, penalty uint64) {
 	c.queue = c.queue[:0]
+	c.qHead = 0
 	c.fetchPC = pc
 	c.fetchStalled = false
 	c.fetchStopped = false

@@ -11,38 +11,58 @@ import (
 // stepping behaves, and the source of the paper's §7.3 measurement
 // error). It returns a description of what retired.
 func (c *Core) Step() (StepInfo, error) {
+	var info StepInfo
+	err := c.StepInto(&info)
+	return info, err
+}
+
+// StepInto is Step writing its result through info instead of
+// returning it by value, so a stepping loop can reuse one StepInfo
+// across hundreds of millions of iterations instead of copying ~100
+// bytes out of every call. Every field is overwritten on success; on a
+// non-nil error *info is unspecified.
+func (c *Core) StepInto(info *StepInfo) error {
 	if c.halted {
-		return StepInfo{}, ErrHalted
+		return ErrHalted
 	}
 	if err := c.ensureHead(); err != nil {
-		return StepInfo{}, err
+		return err
 	}
-	head := c.queue[0]
+	// Pointers into the queue stay valid across execute: nothing inside
+	// it enqueues (squashTo only truncates, and the retirement hooks do
+	// not step the core), and the retired prefix is reclaimed only by
+	// the next enqueue.
+	head := &c.queue[c.qHead]
 
-	if head.fusedWithNext && len(c.queue) >= 2 {
+	if head.fusedWithNext && len(c.queue)-c.qHead >= 2 {
 		// Retire the fused pair atomically in one cycle slot.
-		lead, br := c.queue[0], c.queue[1]
-		c.queue = c.queue[2:]
-		retire := c.scheduleRetire(lead, 0)
-		info, err := c.execute(lead, retire)
-		if err != nil {
-			return info, err
+		br := &c.queue[c.qHead+1]
+		c.qHead += 2
+		retire := c.scheduleRetire(head, 0)
+		if err := c.execute(head, retire, info); err != nil {
+			return err
 		}
-		brInfo, err := c.execute(br, retire)
-		if err != nil {
-			return brInfo, err
+		leadPC, leadInst := info.PC, info.Inst
+		if err := c.execute(br, retire, info); err != nil {
+			return err
 		}
-		brInfo.Fused = true
-		brInfo.FusedPC = brInfo.PC
-		brInfo.FusedInst = brInfo.Inst
-		brInfo.PC = info.PC
-		brInfo.Inst = info.Inst
-		return brInfo, nil
+		info.Fused = true
+		info.FusedPC = info.PC
+		info.FusedInst = info.Inst
+		info.PC = leadPC
+		info.Inst = leadInst
+		return nil
 	}
 
-	c.queue = c.queue[1:]
+	c.qHead++
 	retire := c.scheduleRetire(head, c.execLatency(head.in))
-	return c.execute(head, retire)
+	if err := c.execute(head, retire, info); err != nil {
+		return err
+	}
+	info.Fused = false
+	info.FusedPC = 0
+	info.FusedInst = isa.Inst{}
+	return nil
 }
 
 // Run steps until the core halts, an error occurs, or maxSteps is
@@ -50,11 +70,12 @@ func (c *Core) Step() (StepInfo, error) {
 // steps taken.
 func (c *Core) Run(maxSteps uint64) (uint64, error) {
 	steps := uint64(0)
+	var info StepInfo
 	for {
 		if maxSteps > 0 && steps >= maxSteps {
 			return steps, fmt.Errorf("cpu: exceeded %d steps", maxSteps)
 		}
-		if _, err := c.Step(); err != nil {
+		if err := c.StepInto(&info); err != nil {
 			if err == ErrHalted {
 				return steps, nil
 			}
@@ -68,7 +89,7 @@ func (c *Core) Run(maxSteps uint64) (uint64, error) {
 // resolving architectural fetch faults if the front end stalled.
 func (c *Core) ensureHead() error {
 	c.fillQueue()
-	for len(c.queue) == 0 {
+	for len(c.queue) == c.qHead {
 		// The front end stalled before producing the next architectural
 		// instruction: resolve the stall architecturally (this is where
 		// real page faults are raised and controlled-channel handlers
@@ -101,8 +122,7 @@ func (c *Core) resolveArchFetch() error {
 			break
 		}
 		n++
-		if in, derr := isa.Decode(buf[:n]); derr == nil {
-			_ = in
+		if _, ok := isa.TryDecode(buf[:n]); ok {
 			c.fetchStalled = false
 			return nil
 		}
@@ -125,7 +145,7 @@ func (c *Core) execLatency(in isa.Inst) uint64 {
 
 // scheduleRetire assigns a retirement cycle to a slot, honoring pipeline
 // depth, execution latency and retire bandwidth.
-func (c *Core) scheduleRetire(s slot, extraLat uint64) uint64 {
+func (c *Core) scheduleRetire(s *slot, extraLat uint64) uint64 {
 	candidate := s.fetchCycle + c.cfg.PipeDepth + extraLat
 	switch {
 	case candidate > c.retireClock:
@@ -143,13 +163,13 @@ func (c *Core) scheduleRetire(s slot, extraLat uint64) uint64 {
 // execute runs one instruction's semantics, verifies the front end's
 // prediction, performs execute-time BTB updates and LBR recording, and
 // advances the architectural pc.
-func (c *Core) execute(s slot, retire uint64) (StepInfo, error) {
+func (c *Core) execute(s *slot, retire uint64, info *StepInfo) error {
 	in := s.in
 	pc := s.pc
 	if !in.Op.Valid() {
 		// A pseudo-instruction from undecodable bytes reached
 		// retirement: the architectural #UD.
-		return StepInfo{}, &InvalidInstError{PC: pc}
+		return &InvalidInstError{PC: pc}
 	}
 	fallthrough_ := pc + uint64(in.Size)
 	actualNext := fallthrough_
@@ -168,7 +188,7 @@ func (c *Core) execute(s slot, retire uint64) (StepInfo, error) {
 	case isa.OpSyscall:
 		if c.OnSyscall != nil {
 			if err := c.OnSyscall(uint8(in.Imm)); err != nil {
-				return StepInfo{}, err
+				return err
 			}
 		}
 
@@ -244,7 +264,7 @@ func (c *Core) execute(s slot, retire uint64) (StepInfo, error) {
 	case isa.OpDivRR:
 		d := c.regs[in.Src]
 		if d == 0 {
-			return StepInfo{}, fmt.Errorf("cpu: divide by zero at %#x", pc)
+			return fmt.Errorf("cpu: divide by zero at %#x", pc)
 		}
 		c.regs[in.Dst] /= d
 	case isa.OpShlI8:
@@ -273,22 +293,22 @@ func (c *Core) execute(s slot, retire uint64) (StepInfo, error) {
 	case isa.OpLd8, isa.OpLd32:
 		v, err := c.Mem.Read64(c.regs[in.Src] + uint64(in.Imm))
 		if err != nil {
-			return StepInfo{}, err
+			return err
 		}
 		c.regs[in.Dst] = v
 	case isa.OpSt8, isa.OpSt32:
 		if err := c.Mem.Write64(c.regs[in.Src]+uint64(in.Imm), c.regs[in.Dst]); err != nil {
-			return StepInfo{}, err
+			return err
 		}
 	case isa.OpPush:
 		c.regs[isa.SP] -= 8
 		if err := c.Mem.Write64(c.regs[isa.SP], c.regs[in.Dst]); err != nil {
-			return StepInfo{}, err
+			return err
 		}
 	case isa.OpPop:
 		v, err := c.Mem.Read64(c.regs[isa.SP])
 		if err != nil {
-			return StepInfo{}, err
+			return err
 		}
 		c.regs[in.Dst] = v
 		c.regs[isa.SP] += 8
@@ -299,7 +319,7 @@ func (c *Core) execute(s slot, retire uint64) (StepInfo, error) {
 	case isa.OpCall32:
 		c.regs[isa.SP] -= 8
 		if err := c.Mem.Write64(c.regs[isa.SP], fallthrough_); err != nil {
-			return StepInfo{}, err
+			return err
 		}
 		taken = true
 		target = in.BranchTarget(pc)
@@ -310,7 +330,7 @@ func (c *Core) execute(s slot, retire uint64) (StepInfo, error) {
 	case isa.OpCallReg:
 		c.regs[isa.SP] -= 8
 		if err := c.Mem.Write64(c.regs[isa.SP], fallthrough_); err != nil {
-			return StepInfo{}, err
+			return err
 		}
 		taken = true
 		target = c.regs[in.Dst]
@@ -318,7 +338,7 @@ func (c *Core) execute(s slot, retire uint64) (StepInfo, error) {
 	case isa.OpRet:
 		v, err := c.Mem.Read64(c.regs[isa.SP])
 		if err != nil {
-			return StepInfo{}, err
+			return err
 		}
 		c.regs[isa.SP] += 8
 		taken = true
@@ -332,7 +352,7 @@ func (c *Core) execute(s slot, retire uint64) (StepInfo, error) {
 				target = in.BranchTarget(pc)
 			}
 		} else {
-			return StepInfo{}, fmt.Errorf("cpu: unimplemented opcode %s at %#x", in.Op.Name(), pc)
+			return fmt.Errorf("cpu: unimplemented opcode %s at %#x", in.Op.Name(), pc)
 		}
 	}
 
@@ -377,17 +397,12 @@ func (c *Core) execute(s slot, retire uint64) (StepInfo, error) {
 		c.OnRetire(pc, in)
 	}
 
-	info := StepInfo{
-		PC:          pc,
-		Inst:        in,
-		RetireCycle: retire,
-		Taken:       taken,
-		Target:      target,
-	}
-	if c.halted {
-		info.Taken = false
-	}
-	return info, nil
+	info.PC = pc
+	info.Inst = in
+	info.RetireCycle = retire
+	info.Taken = taken && !c.halted
+	info.Target = target
+	return nil
 }
 
 func kindIsCond(in isa.Inst) bool { return in.Kind() == isa.KindCond }

@@ -3,7 +3,6 @@ package cpu
 import (
 	"repro/internal/btb"
 	"repro/internal/isa"
-	"repro/internal/mem"
 )
 
 // noPrediction marks a control transfer the front end could not predict
@@ -13,10 +12,10 @@ const noPrediction = ^uint64(0)
 
 // pwSpan returns how many prediction windows the queue currently spans.
 func (c *Core) pwSpan() int {
-	if len(c.queue) == 0 {
+	if len(c.queue) == c.qHead {
 		return 0
 	}
-	return int(c.queue[len(c.queue)-1].pwid - c.queue[0].pwid + 1)
+	return int(c.queue[len(c.queue)-1].pwid - c.queue[c.qHead].pwid + 1)
 }
 
 // fillQueue lets the front end run ahead until it spans FetchAheadPWs
@@ -27,58 +26,78 @@ func (c *Core) fillQueue() {
 	}
 }
 
-// specFetch reads up to isa.MaxLen instruction bytes at pc without
-// triggering architectural faults: page permissions are only probed.
-// It returns the bytes readable under execute permission (possibly
-// fewer than requested, possibly none).
-func (c *Core) specFetch(pc uint64) []byte {
-	var buf [isa.MaxLen]byte
-	n := 0
-	for n < isa.MaxLen {
-		perm, ok := c.Mem.PermAt(pc + uint64(n))
-		if !ok || perm&mem.PermX == 0 || perm&mem.PermR == 0 {
-			break
-		}
-		// Read the remainder of this page in one go.
-		pageEnd := ((pc + uint64(n)) | (mem.PageSize - 1)) + 1
-		take := int(pageEnd - (pc + uint64(n)))
-		if take > isa.MaxLen-n {
-			take = isa.MaxLen - n
-		}
-		if err := c.Mem.ReadBytes(pc+uint64(n), buf[n:n+take]); err != nil {
-			break
-		}
-		n += take
+// decodeAt speculatively fetches and decodes the instruction at pc,
+// consulting the direct-mapped decode cache first. A hit skips the page
+// probe and decode entirely; TouchExec replays the accessed bits the
+// real fetch would have set, so A/D-bit observers cannot distinguish a
+// cached decode from a fresh one. ok=false means the front end must
+// stall: nothing fetchable at pc, or a valid opcode truncated by a
+// permission boundary. Stalls are not cached — any change that unblocks
+// them bumps the memory generation anyway.
+func (c *Core) decodeAt(pc uint64) (isa.Inst, bool) {
+	gen := c.Mem.Gen()
+	e := &c.decCache[pc&(decCacheSize-1)]
+	if e.gen == gen && e.pc == pc {
+		c.Mem.TouchExec(pc, int(e.peekN))
+		return e.in, true
 	}
-	return buf[:n]
+	n := c.Mem.PeekExec(pc, c.fetchBuf[:])
+	if n == 0 {
+		return isa.Inst{}, false
+	}
+	buf := c.fetchBuf[:n]
+	in, decoded := isa.TryDecode(buf)
+	if !decoded {
+		if isa.Op(buf[0]).Valid() {
+			// Valid opcode truncated by a permission boundary: a genuine
+			// fetch stall.
+			return isa.Inst{}, false
+		}
+		// Undefined opcode: on x86 nearly every byte decodes to
+		// something, so the front end keeps walking. Model it as a
+		// 1-byte pseudo-instruction that faults if it ever reaches
+		// retirement. This keeps false-hit detection alive across
+		// padding and data bytes.
+		in = isa.Inst{Op: isa.Op(buf[0]), Size: 1}
+	}
+	*e = decEntry{pc: pc, gen: gen, in: in, peekN: uint8(n)}
+	return in, true
 }
 
 // fetchPW fetches and decodes one prediction window starting at
 // c.fetchPC, enqueueing decoded instructions. It implements the BTB
 // access semantics of §2.4 and the false-hit deallocation of §2.3.
 func (c *Core) fetchPW() {
+	// The PW occupies the decoders for a number of cycles proportional
+	// to its instruction count (decode width = retire width); resteer
+	// penalties accumulate on top inside fetchPWBody.
+	nDecoded := c.fetchPWBody()
+	w := c.cfg.RetireWidth
+	cycles := (nDecoded + w - 1) / w
+	if cycles < 1 {
+		cycles = 1
+	}
+	c.fetchClock += uint64(cycles)
+}
+
+// fetchPWBody walks one prediction window and returns how many
+// instructions it decoded.
+func (c *Core) fetchPWBody() (nDecoded int) {
 	c.obs.FetchWindows.Inc()
 	pc := c.fetchPC
 	pwid := c.nextPWID
 	c.nextPWID++
 	fetchCycle := c.fetchClock
-	// The PW occupies the decoders for a number of cycles proportional
-	// to its instruction count (decode width = retire width); resteer
-	// penalties accumulate on top inside the loop.
-	nDecoded := 0
-	defer func() {
-		w := c.cfg.RetireWidth
-		cycles := (nDecoded + w - 1) / w
-		if cycles < 1 {
-			cycles = 1
-		}
-		c.fetchClock += uint64(cycles)
-	}()
 
 	blockSize := c.BTB.Config().BlockSize()
 	blockEnd := (pc | (blockSize - 1)) + 1
 
-	hit, ok := c.BTB.Lookup(pc)
+	// One banked BTB read covers the whole window: the bundle holds
+	// every candidate branch of this block, and each consultation below
+	// (where the pre-bundle loop issued a fresh associative Lookup)
+	// answers from it with identical semantics and statistics.
+	c.BTB.FillBundle(&c.pwBundle, pc)
+	hit, ok := c.pwBundle.Lookup(pc)
 	cur := pc
 	for {
 		// A predicted branch byte strictly behind the decode point means
@@ -90,7 +109,7 @@ func (c *Core) fetchPW() {
 				c.fetchPC = cur
 				return
 			}
-			hit, ok = c.BTB.Lookup(cur)
+			hit, ok = c.pwBundle.Lookup(cur)
 			continue
 		}
 		if cur >= blockEnd {
@@ -99,26 +118,10 @@ func (c *Core) fetchPW() {
 			return
 		}
 
-		buf := c.specFetch(cur)
-		if len(buf) == 0 {
+		in, fetched := c.decodeAt(cur)
+		if !fetched {
 			c.fetchStalled = true
 			return
-		}
-		in, err := isa.Decode(buf)
-		if err != nil {
-			if len(buf) >= 1 && !isa.Op(buf[0]).Valid() {
-				// Undefined opcode: on x86 nearly every byte decodes to
-				// something, so the front end keeps walking. Model it as
-				// a 1-byte pseudo-instruction that faults if it ever
-				// reaches retirement. This keeps false-hit detection
-				// alive across padding and data bytes.
-				in = isa.Inst{Op: isa.Op(buf[0]), Size: 1}
-			} else {
-				// Valid opcode truncated by a permission boundary: a
-				// genuine fetch stall.
-				c.fetchStalled = true
-				return
-			}
 		}
 		last := in.LastByte(cur)
 
@@ -127,7 +130,7 @@ func (c *Core) fetchPW() {
 		// decode exposes the false hit.
 		if ok && last > hit.BranchPC {
 			c.falseHit(hit)
-			hit, ok = c.BTB.Lookup(cur)
+			hit, ok = c.pwBundle.Lookup(cur)
 			continue
 		}
 		// An instruction spilling past the block boundary has its last
@@ -161,22 +164,23 @@ func (c *Core) fetchPW() {
 				// resteer to the instruction's own fall-through.
 				c.falseHit(hit)
 				nDecoded++
-				c.enqueue(slot{pc: cur, in: in, pwid: pwid, fetchCycle: fetchCycle, nextPredicted: cur + uint64(in.Size)})
+				*c.enqueue() = slot{pc: cur, in: in, pwid: pwid, fetchCycle: fetchCycle, nextPredicted: cur + uint64(in.Size)}
 				cur += uint64(in.Size)
 				if cur >= blockEnd {
 					c.fetchPC = cur
 					return
 				}
-				hit, ok = c.BTB.Lookup(cur)
+				hit, ok = c.pwBundle.Lookup(cur)
 				continue
 			}
 			nDecoded++
-			c.enqueue(slot{pc: cur, in: in, pwid: pwid, fetchCycle: fetchCycle, nextPredicted: cur + uint64(in.Size)})
+			*c.enqueue() = slot{pc: cur, in: in, pwid: pwid, fetchCycle: fetchCycle, nextPredicted: cur + uint64(in.Size)}
 			cur += uint64(in.Size)
 
 		case isa.KindJump, isa.KindCall:
 			target := in.BranchTarget(cur)
 			if atPrediction {
+				c.BTB.Touch(hit) // prediction consumed: confirmed live
 				if hit.Target != target {
 					// Stale target: decode corrects it (direct targets
 					// resolve in decode) at resteer cost.
@@ -193,7 +197,7 @@ func (c *Core) fetchPW() {
 				c.rasPush(&c.specRAS, cur+uint64(in.Size))
 			}
 			nDecoded++
-			c.enqueue(slot{pc: cur, in: in, pwid: pwid, fetchCycle: fetchCycle, nextPredicted: target, predictedTaken: true, btbHit: atPrediction})
+			*c.enqueue() = slot{pc: cur, in: in, pwid: pwid, fetchCycle: fetchCycle, nextPredicted: target, predictedTaken: true, btbHit: atPrediction}
 			c.fetchPC = target
 			return
 
@@ -204,20 +208,21 @@ func (c *Core) fetchPW() {
 				atPrediction = false
 			}
 			if atPrediction {
+				c.BTB.Touch(hit) // prediction consumed: confirmed live
 				target := in.BranchTarget(cur)
 				if hit.Target != target {
 					c.decodeResteer()
 					c.BTB.Update(last, target, kind)
 				}
 				nDecoded++
-				c.enqueue(slot{pc: cur, in: in, pwid: pwid, fetchCycle: fetchCycle, nextPredicted: target, predictedTaken: true, btbHit: true})
+				*c.enqueue() = slot{pc: cur, in: in, pwid: pwid, fetchCycle: fetchCycle, nextPredicted: target, predictedTaken: true, btbHit: true}
 				c.fuseTail()
 				c.fetchPC = target
 				return
 			}
 			// No BTB entry: static not-taken, PW continues.
 			nDecoded++
-			c.enqueue(slot{pc: cur, in: in, pwid: pwid, fetchCycle: fetchCycle, nextPredicted: cur + uint64(in.Size)})
+			*c.enqueue() = slot{pc: cur, in: in, pwid: pwid, fetchCycle: fetchCycle, nextPredicted: cur + uint64(in.Size)}
 			c.fuseTail()
 			cur += uint64(in.Size)
 
@@ -229,6 +234,9 @@ func (c *Core) fetchPW() {
 				// return's position while the RAS provides the target.
 				c.falseHit(hit)
 				atPrediction = false
+			}
+			if atPrediction {
+				c.BTB.Touch(hit) // genuine ret entry consumed
 			}
 			pred, has := c.rasPop(&c.specRAS)
 			if !has {
@@ -247,7 +255,7 @@ func (c *Core) fetchPW() {
 				c.BTB.Update(last, tgt, isa.KindRet)
 			}
 			nDecoded++
-			c.enqueue(slot{pc: cur, in: in, pwid: pwid, fetchCycle: fetchCycle, nextPredicted: pred, predictedTaken: true, btbHit: atPrediction})
+			*c.enqueue() = slot{pc: cur, in: in, pwid: pwid, fetchCycle: fetchCycle, nextPredicted: pred, predictedTaken: true, btbHit: atPrediction}
 			if pred == noPrediction {
 				c.fetchStopped = true
 				return
@@ -261,10 +269,11 @@ func (c *Core) fetchPW() {
 			}
 			pred := noPrediction
 			if atPrediction {
+				c.BTB.Touch(hit) // indirect prediction consumed
 				pred = hit.Target
 			}
 			nDecoded++
-			c.enqueue(slot{pc: cur, in: in, pwid: pwid, fetchCycle: fetchCycle, nextPredicted: pred, predictedTaken: true, btbHit: atPrediction})
+			*c.enqueue() = slot{pc: cur, in: in, pwid: pwid, fetchCycle: fetchCycle, nextPredicted: pred, predictedTaken: true, btbHit: atPrediction}
 			if pred == noPrediction {
 				c.fetchStopped = true
 				return
@@ -295,16 +304,36 @@ func (c *Core) decodeResteer() {
 	c.fetchClock += c.cfg.DecodeResteerPenalty
 }
 
-// enqueue appends a decoded instruction to the in-order queue.
-func (c *Core) enqueue(s slot) {
-	c.queue = append(c.queue, s)
+// enqueue extends the in-order queue by one and returns a pointer to
+// the fresh tail slot, so callers construct the slot in place instead
+// of copying it through an argument and an append. It first reclaims
+// the retired prefix so the queue reuses one backing array for the
+// lifetime of the core instead of reallocating as the head index walks
+// forward. The pointer is valid until the next enqueue or squash.
+func (c *Core) enqueue() *slot {
+	if c.qHead > 0 {
+		if c.qHead == len(c.queue) {
+			c.queue = c.queue[:0]
+			c.qHead = 0
+		} else if c.qHead >= 64 && 2*c.qHead >= len(c.queue) {
+			n := copy(c.queue, c.queue[c.qHead:])
+			c.queue = c.queue[:n]
+			c.qHead = 0
+		}
+	}
+	if len(c.queue) == cap(c.queue) {
+		c.queue = append(c.queue, slot{})
+	} else {
+		c.queue = c.queue[:len(c.queue)+1]
+	}
+	return &c.queue[len(c.queue)-1]
 }
 
 // fuseTail marks the previous slot as macro-fused with the conditional
 // branch just enqueued, when fusion is enabled and the pair is a
 // cmp/test immediately followed by the branch in the same PW.
 func (c *Core) fuseTail() {
-	if c.cfg.NoMacroFusion || len(c.queue) < 2 {
+	if c.cfg.NoMacroFusion || len(c.queue)-c.qHead < 2 {
 		return
 	}
 	br := &c.queue[len(c.queue)-1]
@@ -321,12 +350,19 @@ func (c *Core) fuseTail() {
 	}
 }
 
-// rasPush pushes onto a bounded return-address stack.
+// rasPush pushes onto a bounded return-address stack. A full stack
+// drops its oldest entry by shifting in place: re-slicing the front off
+// instead would strand one capacity slot per overflow and make every
+// subsequent push reallocate.
 func (c *Core) rasPush(stack *[]uint64, v uint64) {
-	*stack = append(*stack, v)
-	if len(*stack) > c.cfg.RASDepth {
-		*stack = (*stack)[1:]
+	s := *stack
+	if len(s) >= c.cfg.RASDepth {
+		copy(s, s[1:])
+		s[len(s)-1] = v
+		*stack = s
+		return
 	}
+	*stack = append(s, v)
 }
 
 // rasPop pops a bounded return-address stack.

@@ -172,8 +172,9 @@ func (h *harness) callVia(target uint64) error {
 	st := cpu.ArchState{PC: slot.base}
 	st.Regs[isa.SP] = 0x7e_2000
 	h.core.ContextSwitch(&saved, &st)
+	var info cpu.StepInfo
 	for {
-		_, err := h.core.Step()
+		err := h.core.StepInto(&info)
 		if err == cpu.ErrHalted {
 			break
 		}

@@ -71,12 +71,27 @@ var modelSimPool = sync.Pool{New: func() any {
 // §7.3 limit). The calibration test validates this model against real
 // end-to-end NV-S runs. It is safe for concurrent use.
 func ModelTrace(fn *codegen.Func, opts codegen.Options, args []uint64) (pcs []uint64, data []bool, err error) {
-	return modelTrace(fn, opts, args, nil)
+	return modelTrace(fn, opts, args, nil, nil)
 }
+
+// traceBufs is a reusable pcs/data pair for modelTrace fan-outs: corpus
+// workers recycle them through a pool so each of the hundreds of
+// thousands of traces appends into grown-once buffers.
+type traceBufs struct {
+	pcs  []uint64
+	data []bool
+}
+
+var traceBufPool = sync.Pool{New: func() any { return new(traceBufs) }}
 
 // modelTrace is ModelTrace with an optional shard: the shard's counters
 // are attached after the pooled core's Reset (which detaches observers).
-func modelTrace(fn *codegen.Func, opts codegen.Options, args []uint64, sh *simShard) (pcs []uint64, data []bool, err error) {
+// When bufs is non-nil the returned slices share its backing arrays and
+// are only valid until the bufs is reused or returned to its pool.
+func modelTrace(fn *codegen.Func, opts codegen.Options, args []uint64, sh *simShard, bufs *traceBufs) (pcs []uint64, data []bool, err error) {
+	if bufs != nil {
+		pcs, data = bufs.pcs[:0], bufs.data[:0]
+	}
 	prog, err := buildVictimProgram(fn, opts)
 	if err != nil {
 		return nil, nil, err
@@ -94,11 +109,12 @@ func modelTrace(fn *codegen.Func, opts codegen.Options, args []uint64, sh *simSh
 		c.SetReg(isa.Reg(1+i), a)
 	}
 	c.SetPC(prog.MustLabel("entry"))
+	var info cpu.StepInfo
 	for steps := 0; ; steps++ {
 		if steps > 2_000_000 {
 			return nil, nil, fmt.Errorf("experiments: %s did not terminate", fn.Name)
 		}
-		info, serr := c.Step()
+		serr := c.StepInto(&info)
 		if serr == cpu.ErrHalted {
 			break
 		}
@@ -114,6 +130,9 @@ func modelTrace(fn *codegen.Func, opts codegen.Options, args []uint64, sh *simSh
 			touched = touched || stepTouchesData(info.FusedInst)
 		}
 		data = append(data, touched)
+	}
+	if bufs != nil {
+		bufs.pcs, bufs.data = pcs, data
 	}
 	return pcs, data, nil
 }
@@ -292,10 +311,14 @@ func Figure12(cfg Config, corpusN, topK int) ([]Figure12Result, error) {
 		for j := range args {
 			args[j] = (uint64(t.Index)*0x9E3779B9 + uint64(j)*12345) | 1
 		}
-		pcs, data, err := modelTrace(fn, opts, args, sh)
+		bufs := traceBufPool.Get().(*traceBufs)
+		defer traceBufPool.Put(bufs)
+		pcs, data, err := modelTrace(fn, opts, args, sh, bufs)
 		if err != nil {
 			return traced{}, fmt.Errorf("corpus %s: %w", fn.Name, err)
 		}
+		// sliceVictim copies what it keeps, so the pooled buffers are
+		// free for the next task once it returns.
 		ft, err := sliceVictim(pcs, data)
 		if err != nil {
 			return traced{}, fmt.Errorf("corpus %s: %w", fn.Name, err)
@@ -309,13 +332,20 @@ func Figure12(cfg Config, corpusN, topK int) ([]Figure12Result, error) {
 		victims[r.name] = r.ft
 	}
 
+	// Normalize each victim once: the set is reference-independent, and
+	// building it inside the reference loop doubled the map work.
+	sets := make(map[string]map[uint64]bool, len(victims))
+	for name, ft := range victims {
+		sets[name] = ft.NormalizedSet()
+	}
+
 	var out []Figure12Result
 	for _, ref := range []fingerprint.Reference{refGCD, refBn} {
 		scores := make([]stats.Scored, 0, len(victims))
-		for name, ft := range victims {
+		for name := range victims {
 			scores = append(scores, stats.Scored{
 				Label: name,
-				Score: fingerprint.Similarity(ft.NormalizedSet(), ref),
+				Score: fingerprint.Similarity(sets[name], ref),
 			})
 		}
 		res := Figure12Result{

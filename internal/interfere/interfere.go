@@ -368,8 +368,9 @@ func (inj *Injector) runPolluter() {
 	var saved cpu.ArchState
 	st := cpu.ArchState{PC: entry}
 	inj.core.ContextSwitch(&saved, &st)
+	var info cpu.StepInfo
 	for {
-		_, err := inj.core.Step()
+		err := inj.core.StepInto(&info)
 		if err != nil {
 			break // hlt (or a fault — the slice is over either way)
 		}

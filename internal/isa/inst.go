@@ -130,21 +130,42 @@ func (e *DecodeErr) Error() string {
 //
 // Decoding untrusted byte soup is normal operation for the simulator: the
 // front end may fetch from mid-instruction addresses after a BTB false
-// hit, exactly the situation the paper's attack manufactures.
+// hit, exactly the situation the paper's attack manufactures. The hot
+// fetch path therefore uses TryDecode, which reports failure without
+// constructing an error; Decode exists for callers that want one.
 func Decode(buf []byte) (Inst, error) {
-	if len(buf) == 0 {
+	in, ok := TryDecode(buf)
+	if ok {
+		return in, nil
+	}
+	switch {
+	case len(buf) == 0:
 		return Inst{}, &DecodeErr{0, "empty buffer"}
+	case !Op(buf[0]).Valid():
+		return Inst{}, &DecodeErr{buf[0], "undefined opcode"}
+	default:
+		return Inst{}, &DecodeErr{buf[0], "truncated instruction"}
+	}
+}
+
+// TryDecode is Decode without the error: it returns ok=false exactly
+// where Decode returns a *DecodeErr, and allocates nothing. Callers
+// distinguish undefined opcodes from truncation via Op(buf[0]).Valid(),
+// as the front end's false-hit walker does.
+func TryDecode(buf []byte) (Inst, bool) {
+	if len(buf) == 0 {
+		return Inst{}, false
 	}
 	op := Op(buf[0])
 	if !op.Valid() {
-		return Inst{}, &DecodeErr{buf[0], "undefined opcode"}
+		return Inst{}, false
 	}
-	size := op.Len()
+	size := int(opLen[op])
 	if len(buf) < size {
-		return Inst{}, &DecodeErr{buf[0], "truncated instruction"}
+		return Inst{}, false
 	}
 	in := Inst{Op: op, Size: size}
-	switch op.Format() {
+	switch opTable[op].fmt {
 	case FmtNone:
 	case FmtReg:
 		in.Dst = Reg(buf[1] & 0x0F)
@@ -175,7 +196,7 @@ func Decode(buf []byte) (Inst, error) {
 	case FmtImm8:
 		in.Imm = int64(buf[1])
 	}
-	return in, nil
+	return in, true
 }
 
 // Constructors. These cover the instruction shapes the code generator,

@@ -233,7 +233,13 @@ type opInfo struct {
 	cond Cond
 }
 
-var opTable = map[Op]opInfo{
+// opTable is indexed directly by the opcode byte. The opcode space is
+// sparse, so most entries are the zero opInfo; opValid distinguishes
+// defined opcodes. A flat array matters here: the CPU front end
+// classifies every fetched byte (including the byte soup behind BTB
+// false hits) through Valid/Kind/Len, and a map lookup plus hashing on
+// that path dominated the whole simulator's CPU profile.
+var opTable = [256]opInfo{
 	OpNop: {"nop", FmtNone, KindOther, CondNone},
 	OpRet: {"ret", FmtNone, KindRet, CondNone},
 	OpHlt: {"hlt", FmtNone, KindHalt, CondNone},
@@ -314,17 +320,32 @@ var opTable = map[Op]opInfo{
 	OpSyscall: {"syscall", FmtImm8, KindOther, CondNone},
 }
 
-// Valid reports whether op is a defined opcode.
-func (op Op) Valid() bool {
-	_, ok := opTable[op]
-	return ok
+// opValid and opLen are lookup tables derived from opTable at init:
+// validity and encoded length are the two properties the fetch loop
+// needs per byte, so each gets a single-index answer.
+var (
+	opValid [256]bool
+	opLen   [256]uint8
+)
+
+func init() {
+	for i := range opTable {
+		if opTable[i].name == "" {
+			continue
+		}
+		opValid[i] = true
+		opLen[i] = uint8(fmtLen[opTable[i].fmt])
+	}
 }
+
+// Valid reports whether op is a defined opcode.
+func (op Op) Valid() bool { return opValid[op] }
 
 // Name returns the canonical mnemonic for the opcode, or "op(0xNN)" if it
 // is not defined.
 func (op Op) Name() string {
-	if info, ok := opTable[op]; ok {
-		return info.name
+	if opValid[op] {
+		return opTable[op].name
 	}
 	return fmt.Sprintf("op(%#02x)", uint8(op))
 }
@@ -333,36 +354,32 @@ func (op Op) Name() string {
 // undefined opcode; callers must check Valid first when decoding
 // untrusted bytes.
 func (op Op) Format() Fmt {
-	info, ok := opTable[op]
-	if !ok {
+	if !opValid[op] {
 		panic(fmt.Sprintf("isa: format of undefined opcode %#02x", uint8(op)))
 	}
-	return info.fmt
+	return opTable[op].fmt
 }
 
 // Kind returns the control-flow classification of the opcode.
-func (op Op) Kind() Kind {
-	info, ok := opTable[op]
-	if !ok {
-		return KindOther
-	}
-	return info.kind
-}
+// Undefined opcodes classify as KindOther.
+func (op Op) Kind() Kind { return opTable[op].kind }
 
 // CondCode returns the condition evaluated by a conditional branch or
 // cmov opcode, or CondNone.
 func (op Op) CondCode() Cond {
-	info, ok := opTable[op]
-	if !ok {
+	if !opValid[op] {
 		return CondNone
 	}
-	return info.cond
+	return opTable[op].cond
 }
 
 // Len returns the encoded length in bytes of an instruction with this
 // opcode. It panics on undefined opcodes.
 func (op Op) Len() int {
-	return fmtLen[op.Format()]
+	if !opValid[op] {
+		panic(fmt.Sprintf("isa: format of undefined opcode %#02x", uint8(op)))
+	}
+	return int(opLen[op])
 }
 
 // IsControlTransfer reports whether the kind redirects the instruction

@@ -41,8 +41,13 @@ type LBR struct {
 	// added. Zero stddev (the default) models the near-noiseless LBR; a
 	// large value models an rdtsc-based channel.
 	noiseStd float64
+	seed     uint64 // configured RNG seed; survives Reset
 	rng      *nvrand.Rand
 }
+
+// defaultSeed seeds the noise generator of an LBR whose seed was never
+// configured through SetNoise.
+const defaultSeed = 0x1b2
 
 // New returns an enabled LBR with the given ring depth (DefaultDepth if
 // depth <= 0).
@@ -50,13 +55,16 @@ func New(depth int) *LBR {
 	if depth <= 0 {
 		depth = DefaultDepth
 	}
-	return &LBR{records: make([]Record, depth), enabled: true, rng: nvrand.New(0x1b2)}
+	return &LBR{records: make([]Record, depth), enabled: true, seed: defaultSeed, rng: nvrand.New(defaultSeed)}
 }
 
 // SetNoise configures the cycle measurement noise standard deviation and
-// the seed of its generator.
+// the seed of its generator. The seed is sticky: Reset re-seeds the
+// generator from it rather than the New default, so a pooled core
+// recycled mid-sweep keeps the fault stream it was configured with.
 func (l *LBR) SetNoise(stddev float64, seed uint64) {
 	l.noiseStd = stddev
+	l.seed = seed
 	l.rng = nvrand.New(seed)
 }
 
@@ -76,13 +84,20 @@ func (l *LBR) Unfreeze() { l.frozen = false }
 
 // Reset returns the LBR to its post-New state: ring empty, recording
 // enabled and unfrozen, noise model off with its generator re-seeded to
-// the New default. Used when a pooled simulator core is recycled.
+// the configured seed (the New default when SetNoise was never called).
+// Used when a pooled simulator core is recycled.
 func (l *LBR) Reset() {
 	l.Clear()
 	l.enabled = true
 	l.frozen = false
 	l.noiseStd = 0
-	l.rng = nvrand.New(0x1b2)
+	if l.rng == nil {
+		l.rng = nvrand.New(l.seed)
+	} else {
+		// Reseed in place: the temporary from New is inlined away, so
+		// resetting a pooled LBR stays allocation-free.
+		*l.rng = *nvrand.New(l.seed)
+	}
 }
 
 // Clear empties the ring.
@@ -127,17 +142,21 @@ func (l *LBR) RecordBranch(from, to, cycle uint64, mispredicted, mispredValid bo
 }
 
 // Records returns the ring contents oldest-first. The returned slice is
-// freshly allocated.
+// freshly allocated; hot paths use RecordsAppend with a reusable buffer.
 func (l *LBR) Records() []Record {
+	return l.RecordsAppend(nil)
+}
+
+// RecordsAppend appends the ring contents oldest-first to dst and
+// returns the extended slice, allocating only when dst lacks capacity.
+// Probe loops pass a scratch buffer (dst[:0]) so that reading the ring
+// — which happens once per measured victim step — costs nothing.
+func (l *LBR) RecordsAppend(dst []Record) []Record {
 	if !l.filled {
-		out := make([]Record, l.next)
-		copy(out, l.records[:l.next])
-		return out
+		return append(dst, l.records[:l.next]...)
 	}
-	out := make([]Record, len(l.records))
-	n := copy(out, l.records[l.next:])
-	copy(out[n:], l.records[:l.next])
-	return out
+	dst = append(dst, l.records[l.next:]...)
+	return append(dst, l.records[:l.next]...)
 }
 
 // Last returns the most recent record, or false if the ring is empty.
@@ -154,12 +173,21 @@ func (l *LBR) Last() (Record, bool) {
 
 // FindFrom returns the most recent record whose From equals pc, scanning
 // newest-first, and whether one was found. This is the primary probe
-// read used by the NightVision measurement harness.
+// read used by the NightVision measurement harness; it scans the ring
+// in place without materializing it.
 func (l *LBR) FindFrom(pc uint64) (Record, bool) {
-	recs := l.Records()
-	for i := len(recs) - 1; i >= 0; i-- {
-		if recs[i].From == pc {
-			return recs[i], true
+	count := l.next
+	if l.filled {
+		count = len(l.records)
+	}
+	idx := l.next
+	for i := 0; i < count; i++ {
+		idx--
+		if idx < 0 {
+			idx = len(l.records) - 1
+		}
+		if l.records[idx].From == pc {
+			return l.records[idx], true
 		}
 	}
 	return Record{}, false

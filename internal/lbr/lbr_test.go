@@ -148,6 +148,72 @@ func TestNoiseModel(t *testing.T) {
 	}
 }
 
+// TestResetPreservesConfiguredSeed: a pooled core recycled through
+// Reset must keep the noise seed configured via SetNoise — Reset used to
+// reinstall the New default (0x1b2), silently changing the fault stream
+// of a reused core mid-sweep.
+func TestResetPreservesConfiguredSeed(t *testing.T) {
+	record30 := func(l *LBR) []uint64 {
+		cycle := uint64(0)
+		out := make([]uint64, 0, 30)
+		for i := 0; i < 30; i++ {
+			cycle += 100
+			l.RecordBranch(uint64(i), uint64(i)+1, cycle, false, false)
+			r, _ := l.Last()
+			out = append(out, r.Cycles)
+		}
+		return out
+	}
+
+	l := New(DefaultDepth)
+	l.SetNoise(3.0, 42)
+	want := record30(l)
+
+	l.Reset()
+	if l.Enabled() != true {
+		t.Fatal("Reset must re-enable recording")
+	}
+	if l.seed != 42 {
+		t.Fatalf("Reset discarded the configured seed: got %#x, want 42", l.seed)
+	}
+	// Reset turns the noise magnitude off but must re-seed the generator
+	// from the configured seed, not the New default. Re-arm only the
+	// magnitude (white box) so the generator state itself is under test.
+	l.noiseStd = 3.0
+	if got := record30(l); !slicesEqual(got, want) {
+		t.Error("noise stream changed across Reset with the same configured seed")
+	}
+
+	l.Reset()
+	ref := New(DefaultDepth)
+	ref.SetNoise(3.0, 42)
+	refDeltas := record30(ref)
+	l.noiseStd = 3.0
+	if got := record30(l); !slicesEqual(got, refDeltas) {
+		t.Error("reused core's stream must be bit-identical to a fresh core with the same seed")
+	}
+
+	// An LBR that never had SetNoise called keeps the New default across
+	// Reset.
+	v := New(DefaultDepth)
+	v.Reset()
+	if v.seed != defaultSeed {
+		t.Errorf("unconfigured seed after Reset = %#x, want %#x", v.seed, defaultSeed)
+	}
+}
+
+func slicesEqual(a, b []uint64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
 func TestDefaultDepth(t *testing.T) {
 	if New(0).Depth() != DefaultDepth {
 		t.Errorf("Depth = %d", New(0).Depth())

@@ -8,7 +8,10 @@
 // observe the fault, learn the page number of the next fetch.
 package mem
 
-import "fmt"
+import (
+	"bytes"
+	"fmt"
+)
 
 // PageSize is the size of a virtual memory page in bytes.
 const PageSize = 4096
@@ -111,12 +114,31 @@ type Memory struct {
 	// (experiments reuse one Memory per worker via Reset) stops
 	// allocating 4 KiB backing stores on every run.
 	free []*page
+	// One-entry translation cache: fetch streams hit the same page for
+	// dozens of consecutive accesses, so this removes most map lookups
+	// from the hot path. Permission changes go through the cached *page
+	// and stay coherent; Unmap/Reset recycle pages and must invalidate.
+	lastPN    uint64
+	lastPage  *page
+	lastValid bool
+
+	// gen counts mutations of anything that can change what a fetch of
+	// given bytes observes: page data writes, permission changes, and
+	// map/unmap/reset. The CPU's decode cache keys on it, so it must be
+	// bumped by every such path. Starts at 1 so a zero-valued cache
+	// entry can never validate.
+	gen uint64
 }
 
 // New returns an empty address space.
 func New() *Memory {
-	return &Memory{pages: make(map[uint64]*page)}
+	return &Memory{pages: make(map[uint64]*page), gen: 1}
 }
+
+// Gen returns the current mutation generation: it changes whenever page
+// contents, permissions or mappings do, so cached derivations of memory
+// state (decoded instructions) are valid exactly while Gen is stable.
+func (m *Memory) Gen() uint64 { return m.gen }
 
 // Reset unmaps every page and removes the fault handler, returning the
 // address space to its post-New state. The page backing stores are
@@ -128,6 +150,8 @@ func (m *Memory) Reset() {
 	}
 	clear(m.pages)
 	m.handler = nil
+	m.lastValid = false
+	m.gen++
 }
 
 // newPage returns a zeroed page with the given permissions, reusing the
@@ -153,6 +177,7 @@ func (m *Memory) Map(addr, size uint64, perm Perm) {
 	if size == 0 {
 		return
 	}
+	m.gen++
 	first := addr >> PageShift
 	last := (addr + size - 1) >> PageShift
 	for pn := first; pn <= last; pn++ {
@@ -169,6 +194,7 @@ func (m *Memory) Unmap(addr, size uint64) {
 	if size == 0 {
 		return
 	}
+	m.gen++
 	first := addr >> PageShift
 	last := (addr + size - 1) >> PageShift
 	for pn := first; pn <= last; pn++ {
@@ -177,6 +203,7 @@ func (m *Memory) Unmap(addr, size uint64) {
 			delete(m.pages, pn)
 		}
 	}
+	m.lastValid = false
 }
 
 // Protect changes the permissions of every mapped page covering
@@ -185,6 +212,7 @@ func (m *Memory) Protect(addr, size uint64, perm Perm) {
 	if size == 0 {
 		return
 	}
+	m.gen++
 	first := addr >> PageShift
 	last := (addr + size - 1) >> PageShift
 	for pn := first; pn <= last; pn++ {
@@ -224,11 +252,66 @@ func (m *Memory) ClearAccessedDirty(addr uint64) {
 	}
 }
 
+// lookup resolves a page number through the one-entry translation
+// cache, falling back to (and refilling from) the page map.
+func (m *Memory) lookup(pn uint64) (*page, bool) {
+	if m.lastValid && pn == m.lastPN {
+		return m.lastPage, true
+	}
+	p, ok := m.pages[pn]
+	if ok {
+		m.lastPN, m.lastPage, m.lastValid = pn, p, true
+	}
+	return p, ok
+}
+
+// PeekExec copies up to len(dst) bytes starting at addr into dst,
+// stopping at the first page that is not mapped readable+executable.
+// It never raises a fault or consults the handler; accessed bits are
+// set exactly as a permitted read would set them. The CPU front end
+// uses this for speculative fetch, which on real hardware probes the
+// TLB without architecturally faulting.
+func (m *Memory) PeekExec(addr uint64, dst []byte) int {
+	n := 0
+	for n < len(dst) {
+		a := addr + uint64(n)
+		p, ok := m.lookup(a >> PageShift)
+		if !ok || p.perm&PermRX != PermRX {
+			break
+		}
+		p.accessed = true
+		off := a & (PageSize - 1)
+		take := min(len(dst)-n, PageSize-int(off))
+		copy(dst[n:n+take], p.data[off:])
+		n += take
+	}
+	return n
+}
+
+// TouchExec sets the accessed bit on the page(s) covering [addr, addr+n),
+// replicating the side effect a PeekExec of n bytes would have had. The
+// CPU's decode cache calls this on hits so A/D-bit observers (Wang et
+// al. [60]-style polling) cannot tell a cached decode from a real fetch.
+func (m *Memory) TouchExec(addr uint64, n int) {
+	if n <= 0 {
+		return
+	}
+	first := addr >> PageShift
+	if p, ok := m.lookup(first); ok {
+		p.accessed = true
+	}
+	if last := (addr + uint64(n) - 1) >> PageShift; last != first {
+		if p, ok := m.lookup(last); ok {
+			p.accessed = true
+		}
+	}
+}
+
 // check resolves the page for one access, invoking the fault handler as
 // needed. It returns the page or a *Fault.
 func (m *Memory) check(addr uint64, access Access, need Perm) (*page, error) {
 	for {
-		p, ok := m.pages[addr>>PageShift]
+		p, ok := m.lookup(addr >> PageShift)
 		if ok && p.perm&need == need {
 			p.accessed = true
 			if access == AccessWrite {
@@ -275,6 +358,13 @@ func (m *Memory) access(addr uint64, buf []byte, access Access, need Perm) error
 		off := addr & (PageSize - 1)
 		n := min(len(buf), PageSize-int(off))
 		if access == AccessWrite {
+			// Only stores to executable pages can change what a fetch
+			// observes; ordinary data stores (stack, heap) leave the
+			// decode generation alone. A page gaining X later goes
+			// through Protect/Map, which bump.
+			if p.perm&PermX != 0 {
+				m.gen++
+			}
 			copy(p.data[off:], buf[:n])
 		} else {
 			copy(buf[:n], p.data[off:])
@@ -314,6 +404,25 @@ func le64(b []byte) uint64 {
 // LoadProgram maps [addr, addr+len(code)) as RX and writes the code
 // bytes, bypassing the W permission (it models the loader, not a store).
 func (m *Memory) LoadProgram(addr uint64, code []byte) {
+	if len(code) == 0 {
+		return
+	}
+	// Fast path: the bytes land in one already-RX page — the common
+	// case when a cached monitor re-writes its snippet instructions.
+	// Re-writing identical bytes changes nothing a fetch can observe,
+	// so it keeps the generation (and the decode cache) intact.
+	pn := addr >> PageShift
+	if (addr+uint64(len(code))-1)>>PageShift == pn {
+		if p, ok := m.lookup(pn); ok && p.perm == PermRX {
+			dst := p.data[addr&(PageSize-1):][:len(code)]
+			if !bytes.Equal(dst, code) {
+				m.gen++
+				copy(dst, code)
+			}
+			return
+		}
+	}
+	m.gen++
 	m.Map(addr, uint64(len(code)), PermRX)
 	a := addr
 	rest := code
