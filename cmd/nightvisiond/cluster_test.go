@@ -1,0 +1,851 @@
+package main
+
+// Multi-node daemon tests: three full in-process nightvisiond stacks
+// (engine + journal-on-FaultFS + store + cluster node + HTTP server)
+// wired into one ring. Ports come from httptest's unstarted servers, so
+// the peer table is known before any node boots. The chaos test is the
+// PR's acceptance criterion: kill a random node at a random point
+// mid-sweep and prove every job reaches exactly one terminal state with
+// result bytes identical to a single-node run.
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"encoding/json"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/chaos"
+	"repro/internal/cluster"
+	"repro/internal/jobs"
+	"repro/internal/journal"
+	"repro/internal/nvrand"
+	"repro/internal/obs"
+	"repro/internal/registry"
+	"repro/internal/store"
+)
+
+type computeResult struct {
+	V uint64 `json:"v"`
+}
+
+func (c computeResult) Human() string { return fmt.Sprint(c.V) }
+
+// clusterRegistry builds the cluster tests' experiment set:
+//   - compute: instant, value derived only from (seed, n)
+//   - work:    same value after a few ms (builds real backlog; timing
+//     never enters the bytes)
+//   - block:   parks on the returned gate (honoring cancellation)
+func clusterRegistry() (*registry.Registry, chan struct{}) {
+	gate := make(chan struct{})
+	value := func(seed uint64, n int) uint64 {
+		return nvrand.SplitAt(seed, uint64(n)).Uint64()
+	}
+	nParam := []registry.Param{{Name: "n", Kind: registry.Int, Default: 0}}
+	r := registry.New()
+	r.Register(registry.Experiment{
+		Name: "compute", Params: nParam,
+		Run: func(rc registry.RunContext) (registry.Result, error) {
+			return computeResult{V: value(rc.Seed, rc.Values.Int("n"))}, nil
+		},
+	})
+	r.Register(registry.Experiment{
+		Name: "work", Params: nParam,
+		Run: func(rc registry.RunContext) (registry.Result, error) {
+			time.Sleep(3 * time.Millisecond)
+			return computeResult{V: value(rc.Seed, rc.Values.Int("n"))}, nil
+		},
+	})
+	r.Register(registry.Experiment{
+		Name: "block", Params: nParam,
+		Run: func(rc registry.RunContext) (registry.Result, error) {
+			select {
+			case <-gate:
+				return computeResult{V: 1}, nil
+			case <-rc.Ctx.Done():
+				return nil, rc.Ctx.Err()
+			}
+		},
+	})
+	return r, gate
+}
+
+// keyFor replicates the engine's key derivation for a request.
+func keyFor(t *testing.T, reg *registry.Registry, req jobs.Request) string {
+	t.Helper()
+	exp, ok := reg.Get(req.Experiment)
+	if !ok {
+		t.Fatalf("unknown experiment %q", req.Experiment)
+	}
+	values, err := exp.Resolve(req.Params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	canon, err := exp.CanonicalConfig(values)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return store.Key(exp.Name, canon, req.Seed, registry.CodeVersion)
+}
+
+// testNode is one in-process daemon stack.
+type testNode struct {
+	id      string
+	dir     string
+	fs      *chaos.FaultFS
+	jn      *journal.Journal
+	st      *store.Store
+	engine  *jobs.Engine
+	node    *cluster.Node
+	metrics *obs.Registry
+	srv     *httptest.Server
+	reg     *registry.Registry
+	gate    chan struct{}
+	killed  bool
+}
+
+func (n *testNode) url() string { return n.srv.URL }
+
+type clusterOpts struct {
+	workers        int
+	tick           time.Duration
+	stealThreshold int
+	segmentBytes   int
+}
+
+// startCluster boots len(ids) nodes into one ring and returns them
+// keyed by ID. Cleanup tears down every still-alive node.
+func startCluster(t *testing.T, ids []string, o clusterOpts) map[string]*testNode {
+	t.Helper()
+	if o.workers == 0 {
+		o.workers = 2
+	}
+	if o.tick == 0 {
+		o.tick = 25 * time.Millisecond
+	}
+	if o.segmentBytes == 0 {
+		o.segmentBytes = 512
+	}
+	servers := make(map[string]*httptest.Server, len(ids))
+	addrs := make(map[string]string, len(ids))
+	for _, id := range ids {
+		srv := httptest.NewUnstartedServer(nil)
+		servers[id] = srv
+		addrs[id] = srv.Listener.Addr().String()
+	}
+	nodes := make(map[string]*testNode, len(ids))
+	for _, id := range ids {
+		nodes[id] = bootNode(t, id, t.TempDir(), addrs, servers[id], o)
+	}
+	t.Cleanup(func() {
+		for _, n := range nodes {
+			if n.killed {
+				continue
+			}
+			n.node.Stop()
+			n.srv.Close()
+			select {
+			case <-n.gate:
+			default:
+				close(n.gate)
+			}
+			ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+			n.engine.Shutdown(ctx)
+			cancel()
+			n.jn.Close()
+		}
+	})
+	return nodes
+}
+
+// bootNode assembles one node over dir and starts its server + loops.
+func bootNode(t *testing.T, id, dir string, addrs map[string]string, srv *httptest.Server, o clusterOpts) *testNode {
+	t.Helper()
+	fs := chaos.NewFaultFS(nil)
+	jn, err := journal.Open(filepath.Join(dir, "journal"), journal.Options{FS: fs, SegmentBytes: o.segmentBytes})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := store.New(256, filepath.Join(dir, "cache"), store.WithFS(fs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg, gate := clusterRegistry()
+	metrics := obs.NewRegistry()
+	st.Instrument(metrics)
+	engine := jobs.New(jobs.Config{
+		Registry: reg, NodeID: id, Store: st, Journal: jn,
+		Workers: o.workers, QueueDepth: 64, Obs: metrics,
+	})
+	node, err := cluster.New(cluster.Config{
+		Self: id, Peers: addrs,
+		Engine: engine, Registry: reg, Store: st, Journal: jn,
+		ReplicaDir: filepath.Join(dir, "replica"), Obs: metrics,
+		HealthInterval: o.tick, ShipInterval: o.tick, StealInterval: o.tick,
+		StealThreshold: o.stealThreshold, StealTimeout: 40 * o.tick,
+		HTTPTimeout: 2 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	engine.SetRemoteGet(node.ReadThrough)
+	a := &api{engine: engine, reg: reg, store: st, metrics: metrics, cluster: node, start: time.Now()}
+	srv.Config.Handler = newHandler(a, 64, 30*time.Second)
+	srv.Start()
+	node.Start()
+	return &testNode{
+		id: id, dir: dir, fs: fs, jn: jn, st: st, engine: engine,
+		node: node, metrics: metrics, srv: srv, reg: reg, gate: gate,
+	}
+}
+
+// kill simulates kill -9: the filesystem freezes first (no further
+// durable writes, exactly as if the process died), then the HTTP
+// listener drops (peers see connection refused) and the in-process
+// goroutines are reaped for test hygiene.
+func (n *testNode) kill() {
+	n.killed = true
+	n.fs.SetHook(chaos.FreezeAfter(0))
+	n.node.Stop()
+	n.srv.CloseClientConnections()
+	n.srv.Close()
+	select {
+	case <-n.gate:
+	default:
+		close(n.gate)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 500*time.Millisecond)
+	n.engine.Shutdown(ctx) // best effort; the frozen journal saw none of it
+	cancel()
+	n.jn.Close()
+}
+
+// counterSum sums every series of a counter family.
+func counterSum(m *obs.Registry, name string) uint64 {
+	var sum uint64
+	for _, s := range m.Snapshot() {
+		if s.Name == name && s.Value != nil {
+			sum += *s.Value
+		}
+	}
+	return sum
+}
+
+// assertExactlyOnce: every job on the node is terminal and the
+// terminal-transition counter matches the job count — each job
+// transitioned exactly once.
+func assertExactlyOnce(t *testing.T, n *testNode) {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		views := n.engine.List()
+		allDone := true
+		for _, v := range views {
+			if !v.State.Terminal() {
+				allDone = false
+			}
+		}
+		if allDone {
+			if got, want := counterSum(n.metrics, "jobs_completed_total"), uint64(len(views)); got != want {
+				t.Fatalf("node %s: %d terminal transitions for %d jobs", n.id, got, want)
+			}
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("node %s: jobs never all terminal: %+v", n.id, views)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// getBody fetches a URL, returning status and raw body.
+func getBody(t *testing.T, url string) (int, []byte) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		return 0, nil
+	}
+	defer resp.Body.Close()
+	b, _ := io.ReadAll(resp.Body)
+	return resp.StatusCode, b
+}
+
+// referenceRun computes the sweep single-node: the byte-identity
+// ground truth every cluster scenario is compared against.
+func referenceRun(t *testing.T, reqs []jobs.Request) map[string][]byte {
+	t.Helper()
+	reg, gate := clusterRegistry()
+	defer close(gate)
+	e := jobs.New(jobs.Config{Registry: reg, Workers: 2})
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		e.Shutdown(ctx)
+	}()
+	out := make(map[string][]byte, len(reqs))
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	for _, req := range reqs {
+		v, err := e.Submit(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		final, err := e.Wait(ctx, v.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if final.State != jobs.StateDone {
+			t.Fatalf("reference job %+v: %s %s", req, final.State, final.Error)
+		}
+		out[final.Key] = append([]byte(nil), final.Result...)
+	}
+	return out
+}
+
+func TestClusterStatusEndpoint(t *testing.T) {
+	ids := []string{"n1", "n2", "n3"}
+	nodes := startCluster(t, ids, clusterOpts{})
+	for _, id := range ids {
+		var st struct {
+			Self      string `json:"self"`
+			Successor string `json:"successor"`
+			Peers     []struct {
+				ID    string `json:"id"`
+				Alive bool   `json:"alive"`
+				Self  bool   `json:"self"`
+			} `json:"peers"`
+		}
+		if code := getJSON(t, nodes[id].url()+"/v1/cluster", &st); code != http.StatusOK {
+			t.Fatalf("GET /v1/cluster on %s: status %d", id, code)
+		}
+		if st.Self != id || len(st.Peers) != 3 || st.Successor == "" {
+			t.Fatalf("cluster status on %s: %+v", id, st)
+		}
+		for _, p := range st.Peers {
+			if !p.Alive {
+				t.Fatalf("%s sees %s dead at boot", id, p.ID)
+			}
+		}
+	}
+}
+
+// TestClusterForwarding: a node that does not own a submission's key
+// proxies it to the ring owner; the job lives on the owner.
+func TestClusterForwarding(t *testing.T) {
+	ids := []string{"n1", "n2", "n3"}
+	nodes := startCluster(t, ids, clusterOpts{})
+	entry := nodes["n1"]
+
+	// Find a request n1 does NOT own.
+	var req jobs.Request
+	var owner string
+	for seed := uint64(1); ; seed++ {
+		req = jobs.Request{Experiment: "compute", Params: map[string]any{"n": 5}, Seed: seed}
+		owner = entry.node.Ring().Owner(keyFor(t, entry.reg, req))
+		if owner != "n1" {
+			break
+		}
+	}
+
+	body := fmt.Sprintf(`{"experiment":"compute","params":{"n":5},"seed":%d}`, req.Seed)
+	resp, err := http.Post(entry.url()+"/v1/jobs", "application/json", bytes.NewReader([]byte(body)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var v jobs.View
+	if err := jsonDecode(resp, &v); err != nil {
+		t.Fatal(err)
+	}
+	if got := resp.Header.Get("X-Nightvision-Forwarded-To"); got != owner {
+		t.Fatalf("forwarded-to header %q, want %q", got, owner)
+	}
+	if _, ok := nodes[owner].engine.Get(v.ID); !ok {
+		t.Fatalf("job %s not on owner %s", v.ID, owner)
+	}
+	if _, ok := entry.engine.Get(v.ID); ok && owner != "n1" {
+		t.Fatalf("job %s also on the forwarding node", v.ID)
+	}
+	final := pollDone(t, nodes[owner].url(), v.ID)
+	if final.State != jobs.StateDone {
+		t.Fatalf("forwarded job: %+v", final)
+	}
+	if got := counterSum(entry.metrics, "cluster_forwards_total"); got == 0 {
+		t.Fatal("forwarding left cluster_forwards_total at 0")
+	}
+}
+
+func jsonDecode(resp *http.Response, out any) error {
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	return json.Unmarshal(b, out)
+}
+
+// TestClusterReadThrough: a result computed on one node is served from
+// every node — over HTTP via GET /v1/results/{key}, and inside the
+// engine as a cache hit on Submit.
+func TestClusterReadThrough(t *testing.T) {
+	ids := []string{"n1", "n2", "n3"}
+	nodes := startCluster(t, ids, clusterOpts{})
+
+	req := jobs.Request{Experiment: "compute", Params: map[string]any{"n": 9}, Seed: 77}
+	key := keyFor(t, nodes["n1"].reg, req)
+	owner := nodes["n1"].node.Ring().Owner(key)
+
+	v, err := nodes[owner].engine.Submit(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	final, err := nodes[owner].engine.Wait(ctx, v.ID)
+	if err != nil || final.State != jobs.StateDone {
+		t.Fatalf("owner run: %v %+v", err, final)
+	}
+
+	for _, id := range ids {
+		if id == owner {
+			continue
+		}
+		code, body := getBody(t, nodes[id].url()+"/v1/results/"+key)
+		if code != http.StatusOK || !bytes.Equal(body, final.Result) {
+			t.Fatalf("read-through on %s: status %d, body %q (want %q)", id, code, body, final.Result)
+		}
+		// The remote hit filled this node's local LRU.
+		if cached, ok := nodes[id].st.Peek(key); !ok || !bytes.Equal(cached, final.Result) {
+			t.Fatalf("node %s store not filled after read-through", id)
+		}
+	}
+
+	// Engine-level read-through: submitting on a non-owner that has not
+	// cached the key is answered via the peer, born done-from-cache.
+	other := "n1"
+	if owner == "n1" {
+		other = "n2"
+	}
+	req2 := jobs.Request{Experiment: "compute", Params: map[string]any{"n": 9}, Seed: 77}
+	v2, err := nodes[other].engine.Submit(req2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v2.State.Terminal() || !v2.FromCache || !bytes.Equal(v2.Result, final.Result) {
+		t.Fatalf("engine read-through submit: %+v", v2)
+	}
+	hits := uint64(0)
+	for _, n := range nodes {
+		hits += counterSum(n.metrics, "cluster_readthrough_hits_total")
+	}
+	if hits == 0 {
+		t.Fatal("no cluster_readthrough_hits_total anywhere")
+	}
+}
+
+// TestClusterWorkStealing: an overloaded node's queue drains through
+// idle peers; every stolen job lands back on the victim as exactly one
+// terminal state with result bytes.
+func TestClusterWorkStealing(t *testing.T) {
+	ids := []string{"n1", "n2", "n3"}
+	nodes := startCluster(t, ids, clusterOpts{workers: 1, stealThreshold: 2})
+	victim := nodes["n1"]
+
+	// Park the victim's only worker, then queue a backlog.
+	blocker, err := victim.engine.Submit(jobs.Request{Experiment: "block"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitRunning(t, victim.engine, blocker.ID)
+	var queued []jobs.View
+	for i := 0; i < 6; i++ {
+		v, err := victim.engine.Submit(jobs.Request{Experiment: "compute", Params: map[string]any{"n": 100 + i}, Seed: 5})
+		if err != nil {
+			t.Fatal(err)
+		}
+		queued = append(queued, v)
+	}
+
+	// Idle peers must drain the backlog while the victim's worker stays
+	// parked: every queued job terminal on the victim, with bytes.
+	deadline := time.Now().Add(20 * time.Second)
+	for {
+		done := 0
+		for _, q := range queued {
+			v, _ := victim.engine.Get(q.ID)
+			if v.State == jobs.StateDone && len(v.Result) > 0 {
+				done++
+			}
+		}
+		if done == len(queued) {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("only %d/%d queued jobs done; victim depth %d", done, len(queued), victim.engine.Depth())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if got := counterSum(victim.metrics, "jobs_stolen_total"); got == 0 {
+		t.Fatal("victim journaled no steals")
+	}
+	thiefSteals := uint64(0)
+	for _, id := range []string{"n2", "n3"} {
+		thiefSteals += counterSum(nodes[id].metrics, "cluster_steals_total")
+	}
+	if thiefSteals == 0 {
+		t.Fatal("no thief counted cluster_steals_total")
+	}
+}
+
+func waitRunning(t *testing.T, e *jobs.Engine, id string) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if v, ok := e.Get(id); ok && v.State == jobs.StateRunning {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatalf("job %s never started", id)
+}
+
+// TestClusterAdoptionChaos: a node dies with journaled-but-unfinished
+// jobs; its ring successor replays the shipped WAL and finishes them
+// with reference-identical bytes. Steal is disabled (high threshold)
+// so adoption alone must recover the work.
+func TestClusterAdoptionChaos(t *testing.T) {
+	ids := []string{"n1", "n2", "n3"}
+	nodes := startCluster(t, ids, clusterOpts{workers: 1, stealThreshold: 1000})
+	victim := nodes["n2"]
+	adopter := nodes[victim.node.Ring().Successor("n2")]
+
+	reqs := []jobs.Request{
+		{Experiment: "compute", Params: map[string]any{"n": 201}, Seed: 31},
+		{Experiment: "compute", Params: map[string]any{"n": 202}, Seed: 31},
+		{Experiment: "compute", Params: map[string]any{"n": 203}, Seed: 32},
+	}
+	reference := referenceRun(t, reqs)
+
+	// Park the victim's worker so the jobs stay queued (journaled
+	// submitted, never terminal).
+	blocker, err := victim.engine.Submit(jobs.Request{Experiment: "block"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitRunning(t, victim.engine, blocker.ID)
+	for _, req := range reqs {
+		if _, err := victim.engine.Submit(req); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Wait until the victim's WAL (with all submit records) reached the
+	// adopter's replica dir.
+	replica := filepath.Join(adopter.dir, "replica", victim.id)
+	waitFor(t, 10*time.Second, "victim submits shipped to adopter", func() bool {
+		subs := 0
+		ents, err := os.ReadDir(replica)
+		if err != nil {
+			return false
+		}
+		for _, e := range ents {
+			if !journal.IsSegmentName(e.Name()) {
+				continue
+			}
+			raw, err := os.ReadFile(filepath.Join(replica, e.Name()))
+			if err != nil {
+				continue
+			}
+			recs, _ := journal.ParseRecords(raw)
+			for _, r := range recs {
+				if r.Type == journal.TypeSubmitted {
+					subs++
+				}
+			}
+		}
+		return subs >= len(reqs)+1 // the blocker ships too
+	})
+
+	victim.kill()
+	// The victim's parked blocker ships in its WAL too and is adopted
+	// alongside the computes; open the adopter's gate so it returns
+	// instead of pinning the adopter's only worker.
+	close(adopter.gate)
+
+	// The adopter detects the death, adopts, and completes the jobs;
+	// the results are then served cluster-wide with reference bytes.
+	for key, want := range reference {
+		want := want
+		key := key
+		waitFor(t, 30*time.Second, "adopted result for "+key[:12], func() bool {
+			code, body := getBody(t, adopter.url()+"/v1/results/"+key)
+			return code == http.StatusOK && bytes.Equal(body, want)
+		})
+	}
+	if got := counterSum(adopter.metrics, "cluster_adoptions_total"); got < uint64(len(reqs)) {
+		t.Fatalf("adopter counted %d adoptions, want >= %d", got, len(reqs))
+	}
+	assertExactlyOnce(t, adopter)
+}
+
+func waitFor(t *testing.T, timeout time.Duration, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(15 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+// chaosSweep is the Figure-12-style cell sweep the kill tests run: a
+// fixed request list so reference and cluster runs cover identical
+// keys.
+func chaosSweep() []jobs.Request {
+	var reqs []jobs.Request
+	for i := 0; i < 9; i++ {
+		reqs = append(reqs, jobs.Request{Experiment: "work", Params: map[string]any{"n": i}, Seed: 0xF12})
+	}
+	for i := 0; i < 9; i++ {
+		reqs = append(reqs, jobs.Request{Experiment: "compute", Params: map[string]any{"n": i}, Seed: 0xA11 + uint64(i%3)})
+	}
+	return reqs
+}
+
+// TestClusterChaosKillMidSweep is the acceptance criterion: run the
+// sweep against a 3-node fleet, kill -9 a randomly chosen node at a
+// randomly chosen point mid-sweep (seeded: reruns hit the same points),
+// retry the unacknowledged submissions on the survivors, and require
+// (a) every key's bytes identical to the single-node reference from
+// every surviving node, (b) exactly one terminal transition per job on
+// every survivor, and (c) the restarted victim replays its WAL to the
+// same bytes.
+func TestClusterChaosKillMidSweep(t *testing.T) {
+	reqs := chaosSweep()
+	reference := referenceRun(t, reqs)
+
+	for _, seed := range []int64{1, 7} {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(seed))
+			ids := []string{"n1", "n2", "n3"}
+			nodes := startCluster(t, ids, clusterOpts{workers: 2, stealThreshold: 2, segmentBytes: 384})
+
+			killAt := 3 + rng.Intn(len(reqs)-6)
+			victim := nodes[ids[rng.Intn(len(ids))]]
+			t.Logf("killing %s after %d/%d submissions", victim.id, killAt, len(reqs))
+
+			submit := func(n *testNode, req jobs.Request) {
+				body, err := json.Marshal(req)
+				if err != nil {
+					t.Fatal(err)
+				}
+				resp, err := http.Post(n.url()+"/v1/jobs", "application/json", bytes.NewReader(body))
+				if err != nil {
+					return // dead or dying node: the retry pass covers it
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+			}
+
+			var survivors []*testNode
+			for i, req := range reqs {
+				if i == killAt {
+					// If the victim has journaled any jobs, let at least one
+					// shipped segment precede the kill so failover has a WAL
+					// to adopt from (kill -9 loses the unshipped tail; client
+					// retries cover those, below). A victim that owns none of
+					// the prefix keys has nothing to ship — kill it cold.
+					if len(victim.engine.List()) > 0 {
+						succID := victim.node.Ring().Successor(victim.id)
+						replica := filepath.Join(nodes[succID].dir, "replica", victim.id)
+						waitFor(t, 10*time.Second, "first shipped segment", func() bool {
+							ents, err := os.ReadDir(replica)
+							return err == nil && len(ents) > 0
+						})
+					}
+					victim.kill()
+				}
+				target := nodes[ids[i%len(ids)]]
+				if target.killed {
+					target = nodes[ids[(i+1)%len(ids)]]
+				}
+				submit(target, req)
+			}
+			for _, id := range ids {
+				if !nodes[id].killed {
+					survivors = append(survivors, nodes[id])
+				}
+			}
+
+			// Client retry: any submission whose fate died with the victim
+			// is resubmitted to a survivor. Content-addressing makes this
+			// idempotent — already-computed cells come back from cache.
+			for _, req := range reqs {
+				submit(survivors[0], req)
+			}
+
+			// (a) Byte identity on every survivor for every key.
+			for _, n := range survivors {
+				for key, want := range reference {
+					n, key, want := n, key, want
+					waitFor(t, 30*time.Second, fmt.Sprintf("%s result %s", n.id, key[:12]), func() bool {
+						code, body := getBody(t, n.url()+"/v1/results/"+key)
+						return code == http.StatusOK && bytes.Equal(body, want)
+					})
+				}
+			}
+			// (b) Exactly-once terminal states on the survivors.
+			for _, n := range survivors {
+				assertExactlyOnce(t, n)
+			}
+
+			// (c) Restart the victim over its surviving (frozen-at-kill)
+			// directories with a healthy filesystem: WAL replay must bring
+			// every journaled job to a terminal state, done jobs matching
+			// the reference bytes, without double transitions.
+			restartVictimAndVerify(t, victim, reference)
+		})
+	}
+}
+
+// restartVictimAndVerify replays a killed node's journal single-node
+// and checks terminal convergence + byte identity against reference.
+func restartVictimAndVerify(t *testing.T, victim *testNode, reference map[string][]byte) {
+	t.Helper()
+	jn, err := journal.Open(filepath.Join(victim.dir, "journal"), journal.Options{})
+	if err != nil {
+		t.Fatalf("reopen victim journal: %v", err)
+	}
+	defer jn.Close()
+	// Jobs whose journal tail is already terminal replay without a new
+	// transition (unless their bytes died with the frozen store, in
+	// which case they recompute); everything else must transition now.
+	// So transitions ∈ [pending, total] — and never more than one per
+	// job.
+	tailTerminal := map[string]bool{}
+	for _, r := range jn.Records() {
+		switch r.Type {
+		case journal.TypeSubmitted, journal.TypeStarted, journal.TypeInterrupted,
+			journal.TypeStolen, journal.TypeReclaimed:
+			tailTerminal[r.JobID] = false
+		case journal.TypeCompleted, journal.TypeFailed, journal.TypeCanceled, journal.TypeTimedOut:
+			tailTerminal[r.JobID] = true
+		}
+	}
+	pending := 0
+	for _, term := range tailTerminal {
+		if !term {
+			pending++
+		}
+	}
+	st, err := store.New(256, filepath.Join(victim.dir, "cache"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg, gate := clusterRegistry()
+	close(gate) // replayed blockers must not park workers
+	metrics := obs.NewRegistry()
+	e := jobs.New(jobs.Config{Registry: reg, NodeID: victim.id, Store: st, Journal: jn, Workers: 2, Obs: metrics})
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		if err := e.Shutdown(ctx); err != nil {
+			t.Errorf("restarted victim drain: %v", err)
+		}
+	}()
+
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		views := e.List()
+		allDone := true
+		for _, v := range views {
+			if !v.State.Terminal() {
+				allDone = false
+			}
+		}
+		if allDone {
+			for _, v := range views {
+				if v.State != jobs.StateDone {
+					continue // canceled remnants of the kill are fine
+				}
+				want, known := reference[v.Key]
+				if !known {
+					t.Fatalf("restarted victim has job with unknown key %s", v.Key)
+				}
+				if !bytes.Equal(v.Result, want) {
+					t.Fatalf("restarted victim job %s bytes diverge from reference", v.ID)
+				}
+			}
+			got := counterSum(metrics, "jobs_completed_total")
+			if got < uint64(pending) || got > uint64(len(views)) {
+				t.Fatalf("restarted victim: %d transitions for %d jobs (%d pending at replay)", got, len(views), pending)
+			}
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("restarted victim never converged: %+v", views)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestClusterResultInvariance: the sweep's bytes are invariant across
+// worker counts and across single-node vs cluster execution — the
+// cluster-level analog of the simulator's golden tests.
+func TestClusterResultInvariance(t *testing.T) {
+	reqs := chaosSweep()[:8]
+	ref1 := referenceRun(t, reqs)
+
+	// Different worker count, same bytes.
+	reg, gate := clusterRegistry()
+	e4 := jobs.New(jobs.Config{Registry: reg, Workers: 4, Obs: obs.NewRegistry()})
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	for _, req := range reqs {
+		v, err := e4.Submit(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		final, err := e4.Wait(ctx, v.ID)
+		if err != nil || final.State != jobs.StateDone {
+			t.Fatalf("workers=4 run: %v %+v", err, final)
+		}
+		if !bytes.Equal(final.Result, ref1[final.Key]) {
+			t.Fatalf("workers=4 bytes diverge for %s", final.Key[:12])
+		}
+	}
+	close(gate)
+	e4.Shutdown(ctx)
+
+	// 3-node cluster, submissions spread over every node.
+	ids := []string{"n1", "n2", "n3"}
+	nodes := startCluster(t, ids, clusterOpts{})
+	for i, req := range reqs {
+		body, err := json.Marshal(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := http.Post(nodes[ids[i%3]].url()+"/v1/jobs", "application/json", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}
+	for key, want := range ref1 {
+		key, want := key, want
+		waitFor(t, 30*time.Second, "cluster result "+key[:12], func() bool {
+			code, body := getBody(t, nodes["n1"].url()+"/v1/results/"+key)
+			return code == http.StatusOK && bytes.Equal(body, want)
+		})
+	}
+}

@@ -25,7 +25,16 @@
 // recomputed to bit-identical results.
 //
 // Overload: submissions beyond the queue depth or the in-flight byte
-// budget are shed with HTTP 429 + Retry-After.
+// budget are shed with HTTP 429 + Retry-After derived from the queue's
+// drain rate (the same value rides in the JSON body).
+//
+// Clustering: with -node-id and -peers set, the daemon joins a static
+// fleet (internal/cluster): submissions are forwarded to the
+// consistent-hash ring owner of their cache key, GET /v1/results/{key}
+// serves any node's cached bytes via peer read-through, idle nodes
+// steal queued jobs from overloaded peers, and sealed journal segments
+// ship to the ring successor so a dead node's unfinished jobs are
+// adopted. GET /v1/cluster reports membership and liveness.
 //
 // SIGINT/SIGTERM drain gracefully: intake stops, queued jobs are
 // canceled, in-flight jobs finish (bounded by -drain-timeout), then the
@@ -44,9 +53,11 @@ import (
 	"os"
 	"os/signal"
 	"path/filepath"
+	"strings"
 	"syscall"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/jobs"
 	"repro/internal/journal"
 	"repro/internal/obs"
@@ -69,6 +80,9 @@ type daemonConfig struct {
 	reqTimeout    time.Duration
 	drainTimeout  time.Duration
 	traceJobs     bool
+	nodeID        string
+	peers         string
+	clusterTick   time.Duration
 }
 
 func main() {
@@ -86,6 +100,9 @@ func main() {
 	flag.DurationVar(&cfg.reqTimeout, "request-timeout", 30*time.Second, "per-request handler timeout")
 	flag.DurationVar(&cfg.drainTimeout, "drain-timeout", 2*time.Minute, "max wait for in-flight jobs on shutdown")
 	flag.BoolVar(&cfg.traceJobs, "trace-jobs", true, "record a per-job attack-pipeline trace (GET /v1/jobs/{id}/trace)")
+	flag.StringVar(&cfg.nodeID, "node-id", "", "this node's cluster member ID (requires -peers; empty = single-node)")
+	flag.StringVar(&cfg.peers, "peers", "", "static cluster membership as id=host:port[,id=host:port...]; must include -node-id")
+	flag.DurationVar(&cfg.clusterTick, "cluster-tick", 500*time.Millisecond, "base cluster cadence: health probes every tick, ship/steal every 2 ticks, steal reclaim after 60 ticks")
 	flag.Parse()
 	if err := run(cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "nightvisiond:", err)
@@ -120,6 +137,7 @@ func run(cfg daemonConfig) error {
 
 	engine := jobs.New(jobs.Config{
 		Registry:         reg,
+		NodeID:           cfg.nodeID,
 		Store:            st,
 		Journal:          jn,
 		Workers:          cfg.workers,
@@ -129,7 +147,42 @@ func run(cfg daemonConfig) error {
 		Obs:              metrics,
 		Tracing:          cfg.traceJobs,
 	})
-	a := &api{engine: engine, reg: reg, store: st, metrics: metrics, start: time.Now()}
+
+	var node *cluster.Node
+	if cfg.nodeID != "" || cfg.peers != "" {
+		peers, err := parsePeers(cfg.peers)
+		if err != nil {
+			return err
+		}
+		replicaDir := ""
+		if journalDir != "" {
+			replicaDir = filepath.Join(journalDir, "replica")
+		}
+		node, err = cluster.New(cluster.Config{
+			Self:           cfg.nodeID,
+			Peers:          peers,
+			Engine:         engine,
+			Registry:       reg,
+			Store:          st,
+			Journal:        jn,
+			ReplicaDir:     replicaDir,
+			Obs:            metrics,
+			HealthInterval: cfg.clusterTick,
+			ShipInterval:   2 * cfg.clusterTick,
+			StealInterval:  2 * cfg.clusterTick,
+			StealTimeout:   60 * cfg.clusterTick,
+		})
+		if err != nil {
+			return err
+		}
+		// The engine consults peers on local cache misses; attached after
+		// construction because node and engine reference each other.
+		engine.SetRemoteGet(node.ReadThrough)
+		node.Start()
+		log.Printf("cluster: node %q joined %d-member ring", cfg.nodeID, len(peers))
+	}
+
+	a := &api{engine: engine, reg: reg, store: st, metrics: metrics, cluster: node, start: time.Now()}
 
 	srv := &http.Server{
 		Addr:              cfg.addr,
@@ -159,6 +212,11 @@ func run(cfg daemonConfig) error {
 	// cut a hung job loose for the drain to finish in time). The engine
 	// rejects new submissions itself once Shutdown begins.
 	log.Printf("signal received; draining jobs (up to %v)", cfg.drainTimeout)
+	if node != nil {
+		// Stop the peer loops first: no stealing, shipping or adopting
+		// while the engine drains beneath them.
+		node.Stop()
+	}
 	drainCtx, cancel := context.WithTimeout(context.Background(), cfg.drainTimeout)
 	defer cancel()
 	if err := engine.Shutdown(drainCtx); err != nil {
@@ -171,4 +229,28 @@ func run(cfg daemonConfig) error {
 	// written during the drain is already on disk.
 	log.Printf("shutdown complete")
 	return nil
+}
+
+// parsePeers parses the -peers flag: "id=host:port,id=host:port,...".
+func parsePeers(s string) (map[string]string, error) {
+	out := make(map[string]string)
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		id, addr, ok := strings.Cut(part, "=")
+		id, addr = strings.TrimSpace(id), strings.TrimSpace(addr)
+		if !ok || id == "" || addr == "" {
+			return nil, fmt.Errorf("bad -peers entry %q (want id=host:port)", part)
+		}
+		if _, dup := out[id]; dup {
+			return nil, fmt.Errorf("duplicate node ID %q in -peers", id)
+		}
+		out[id] = addr
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("-node-id set but -peers is empty")
+	}
+	return out, nil
 }

@@ -1,0 +1,96 @@
+package main
+
+// Satellite 1: the 429 Retry-After value is derived from the queue's
+// actual depth and drain rate instead of the old hardcoded "1", and the
+// same number rides in the JSON body so clients need not parse headers.
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/jobs"
+	"repro/internal/obs"
+)
+
+func TestRetryAfterSecFormula(t *testing.T) {
+	cases := []struct {
+		depth int
+		rate  float64
+		want  int
+	}{
+		{0, 0, 1},     // empty queue: retry immediately
+		{1, 0, 5},     // no drain signal yet: rate floored at 0.2/s
+		{10, 2, 5},    // 10 queued at 2/s
+		{3, 10, 1},    // fast drain clamps up to the 1s floor
+		{10, 0.1, 50}, // sub-floor rates use the floor
+		{1000, 1, 60}, // pathological backlog clamps at 60s
+		{7, 0.5, 14},  // plain ceil(depth/rate)
+		{-3, 1, 1},    // defensive: negative depth never goes below 1
+	}
+	for _, c := range cases {
+		if got := retryAfterSec(c.depth, c.rate); got != c.want {
+			t.Errorf("retryAfterSec(%d, %v) = %d, want %d", c.depth, c.rate, got, c.want)
+		}
+	}
+}
+
+// TestShedRetryAfterDerived: with one job running, one queued, and no
+// completions yet (depth 1, rate 0 → floored to 0.2/s), the shed
+// response must say 5 seconds in both the header and the body.
+func TestShedRetryAfterDerived(t *testing.T) {
+	reg, gate := gateRegistry(t)
+	defer close(gate)
+	metrics := obs.NewRegistry()
+	engine := jobs.New(jobs.Config{Registry: reg, Workers: 1, QueueDepth: 1, Obs: metrics})
+	a := &api{engine: engine, reg: reg, metrics: metrics, start: time.Now()}
+	srv := httptest.NewServer(newHandler(a, 16, 30*time.Second))
+	t.Cleanup(func() {
+		srv.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		engine.Shutdown(ctx)
+	})
+
+	var v jobs.View
+	if code := postJSON(t, srv.URL+"/v1/jobs", `{"experiment":"block","params":{"n":1}}`, &v); code != http.StatusAccepted {
+		t.Fatalf("first submit: status %d", code)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		got, _ := engine.Get(v.ID)
+		if got.State == jobs.StateRunning {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("first job never started")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if code := postJSON(t, srv.URL+"/v1/jobs", `{"experiment":"block","params":{"n":2}}`, &v); code != http.StatusAccepted {
+		t.Fatalf("second submit: status %d", code)
+	}
+
+	resp, err := http.Post(srv.URL+"/v1/jobs", "application/json",
+		strings.NewReader(`{"experiment":"block","params":{"n":3}}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var e errorBody
+	json.NewDecoder(resp.Body).Decode(&e)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("shed submit: status %d, want 429 (%+v)", resp.StatusCode, e)
+	}
+	// Depth 1, zero completions so far → ceil(1/0.2) = 5, deterministic.
+	if ra := resp.Header.Get("Retry-After"); ra != "5" {
+		t.Fatalf("Retry-After header %q, want \"5\"", ra)
+	}
+	if e.RetryAfterSec != 5 {
+		t.Fatalf("retry_after_sec in body = %d, want 5 (%+v)", e.RetryAfterSec, e)
+	}
+}

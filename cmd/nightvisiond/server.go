@@ -7,11 +7,14 @@ package main
 import (
 	"encoding/json"
 	"errors"
+	"math"
 	"net/http"
 	"net/http/pprof"
 	"runtime/debug"
+	"strconv"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/jobs"
 	"repro/internal/obs"
 	"repro/internal/registry"
@@ -24,6 +27,7 @@ type api struct {
 	reg     *registry.Registry
 	store   *store.Store
 	metrics *obs.Registry
+	cluster *cluster.Node // nil when running single-node
 	start   time.Time
 }
 
@@ -46,6 +50,9 @@ type healthInfo struct {
 // errorBody is every non-2xx JSON payload.
 type errorBody struct {
 	Error string `json:"error"`
+	// RetryAfterSec mirrors the Retry-After header on 429 responses so
+	// JSON-only clients see the backoff hint too.
+	RetryAfterSec int `json:"retry_after_sec,omitempty"`
 }
 
 // newHandler builds the daemon's routed handler. maxConcurrent bounds
@@ -62,6 +69,9 @@ func newHandler(a *api, maxConcurrent int, reqTimeout time.Duration) http.Handle
 	mux.HandleFunc("GET /v1/jobs/{id}", a.handleJobGet)
 	mux.HandleFunc("GET /v1/jobs/{id}/trace", a.handleJobTrace)
 	mux.HandleFunc("DELETE /v1/jobs/{id}", a.handleJobCancel)
+	if a.cluster != nil {
+		a.cluster.RegisterRoutes(mux)
+	}
 
 	var limited http.Handler = a.instrument(mux)
 	if reqTimeout > 0 {
@@ -212,13 +222,29 @@ func (a *api) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusBadRequest, errorBody{Error: "bad request body: " + err.Error()})
 		return
 	}
+	// Cluster routing: hand the submission to its ring owner unless it
+	// already hopped once (?forwarded=1 caps the chain at one hop) or the
+	// owner is this node/unreachable, in which case local execution is
+	// the degraded-but-correct fallback.
+	if a.cluster != nil && r.URL.Query().Get("forwarded") == "" {
+		if status, body, peer, ok := a.cluster.ForwardSubmit(req); ok {
+			w.Header().Set("Content-Type", "application/json")
+			w.Header().Set("X-Nightvision-Forwarded-To", peer)
+			w.WriteHeader(status)
+			w.Write(body)
+			return
+		}
+	}
 	view, err := a.engine.Submit(req)
 	switch {
 	case jobs.Overloaded(err):
 		// Load shed (queue depth or in-flight byte budget): retryable,
-		// unlike the terminal 503 below for a draining daemon.
-		w.Header().Set("Retry-After", "1")
-		writeJSON(w, http.StatusTooManyRequests, errorBody{Error: err.Error()})
+		// unlike the terminal 503 below for a draining daemon. The
+		// backoff hint is the estimated backlog drain time, not a
+		// constant — a deep queue earns a longer retry.
+		sec := retryAfterSec(a.engine.Depth(), a.engine.DrainRate())
+		w.Header().Set("Retry-After", strconv.Itoa(sec))
+		writeJSON(w, http.StatusTooManyRequests, errorBody{Error: err.Error(), RetryAfterSec: sec})
 		return
 	case errors.Is(err, jobs.ErrShutdown):
 		writeJSON(w, http.StatusServiceUnavailable, errorBody{Error: err.Error()})
@@ -233,6 +259,25 @@ func (a *api) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		status = http.StatusOK // cache hit: already done
 	}
 	writeJSON(w, status, view)
+}
+
+// retryAfterSec estimates how long a shed client should wait before
+// retrying: the time to drain the current backlog at the recently
+// observed completion rate, clamped to [1, 60] seconds. A cold or
+// stalled engine (no recent completions) is floored at 0.2 jobs/s so
+// the hint stays finite and conservative rather than zero-dividing.
+func retryAfterSec(depth int, rate float64) int {
+	if rate < 0.2 {
+		rate = 0.2
+	}
+	sec := int(math.Ceil(float64(depth) / rate))
+	if sec < 1 {
+		sec = 1
+	}
+	if sec > 60 {
+		sec = 60
+	}
+	return sec
 }
 
 func (a *api) handleJobList(w http.ResponseWriter, r *http.Request) {

@@ -1,0 +1,138 @@
+package chaos
+
+// Satellite: journal segment rotation raced with replay. A cluster
+// peer replays sealed segments (Segments/ReadSegment/ParseRecords)
+// while the journal owner keeps appending and sealing. The FaultFS
+// rename hook parks each seal mid-rotation — after the active file
+// closed, before the rename lands — and lets the reader do a full
+// replay pass at exactly that point. Invariants: listed segments are
+// always readable, every sealed segment parses with zero torn lines,
+// and the final replay sees every appended record exactly once.
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/journal"
+)
+
+func TestSegmentSealRacesReplay(t *testing.T) {
+	dir := t.TempDir()
+	sealing := make(chan struct{}, 1)
+	readerDone := make(chan struct{})
+
+	fs := NewFaultFS(func(op Op, path string, idx int) error {
+		if op != OpRename {
+			return nil
+		}
+		// Mid-seal handshake: wake the reader, then hold the rename until
+		// its replay pass finishes (bounded so a failed reader cannot
+		// wedge the writer). Sealing itself is never failed — the race is
+		// the fault, not an error.
+		select {
+		case sealing <- struct{}{}:
+			select {
+			case <-readerDone:
+			case <-time.After(5 * time.Second):
+			}
+		default: // reader mid-pass or finished: rotation proceeds freely
+		}
+		return nil
+	})
+
+	// Tiny segments: every few appends trigger a rotation.
+	j, err := journal.Open(dir, journal.Options{FS: fs, SegmentBytes: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var (
+		readerErrs []string
+		readerMu   sync.Mutex
+		passes     int
+		wg         sync.WaitGroup
+	)
+	fail := func(format string, args ...any) {
+		readerMu.Lock()
+		readerErrs = append(readerErrs, fmt.Sprintf(format, args...))
+		readerMu.Unlock()
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for range sealing {
+			segs, err := j.Segments()
+			if err != nil {
+				fail("Segments during seal: %v", err)
+			}
+			seen := make(map[string]bool)
+			for _, name := range segs {
+				raw, err := j.ReadSegment(name)
+				if err != nil {
+					fail("ReadSegment(%s) during seal: %v", name, err)
+					continue
+				}
+				recs, torn := journal.ParseRecords(raw)
+				if torn != 0 {
+					fail("sealed segment %s has %d torn lines", name, torn)
+				}
+				for _, r := range recs {
+					if seen[r.JobID] {
+						fail("job %s appears twice across sealed segments", r.JobID)
+					}
+					seen[r.JobID] = true
+				}
+			}
+			readerMu.Lock()
+			passes++
+			readerMu.Unlock()
+			select {
+			case readerDone <- struct{}{}:
+			default:
+			}
+		}
+	}()
+
+	const total = 120
+	for i := 0; i < total; i++ {
+		if err := j.Append(journal.Record{Type: journal.TypeSubmitted, JobID: fmt.Sprintf("job-%d", i), Key: "k"}); err != nil {
+			t.Fatalf("append %d: %v", i, err)
+		}
+	}
+	close(sealing)
+	wg.Wait()
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	readerMu.Lock()
+	defer readerMu.Unlock()
+	for _, msg := range readerErrs {
+		t.Error(msg)
+	}
+	if passes == 0 {
+		t.Fatal("reader never replayed mid-seal: the race was not exercised")
+	}
+
+	// Post-race ground truth: a clean reopen replays every record, once,
+	// in order, with nothing torn.
+	j2, err := journal.Open(dir, journal.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	recs := j2.Records()
+	if len(recs) != total {
+		t.Fatalf("final replay has %d records, want %d", len(recs), total)
+	}
+	if j2.Torn() != 0 {
+		t.Fatalf("final replay dropped %d torn lines", j2.Torn())
+	}
+	for i, r := range recs {
+		if want := fmt.Sprintf("job-%d", i); r.JobID != want {
+			t.Fatalf("record %d is %q, want %q", i, r.JobID, want)
+		}
+	}
+}

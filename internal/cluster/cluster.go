@@ -1,0 +1,1022 @@
+// Package cluster turns a set of nightvisiond daemons into a fleet.
+//
+// Membership is static — every node is configured with the same
+// (id, address) peer table — and coordination is deliberately thin:
+//
+//   - Ownership. A consistent-hash ring (ring.go) over the
+//     content-addressed store keyspace assigns every result cell an
+//     owning node. Submissions for a cell a node does not own are
+//     forwarded to the owner; GET results are served from any node via
+//     peer read-through with a local LRU fill.
+//
+//   - Work stealing. An idle node polls peers' queue depths (the
+//     jobs_queue_depth gauge from /v1/metrics) and claims queued jobs
+//     through a journaled claim/ack handshake: the victim journals the
+//     handoff (TypeStolen) before releasing the job, the thief computes
+//     and acks the terminal state with the result bytes, and the victim
+//     reclaims (TypeReclaimed) if the thief goes silent. The terminal
+//     state lives solely on the victim, so a job reaches exactly one
+//     terminal state no matter how the handshake races.
+//
+//   - Failover. Each node ships its sealed WAL segments to its ring
+//     successor. When a peer dies (health-probe transitions), the first
+//     live successor replays the shipped segments and adopts every job
+//     that never reached a terminal state; adoptions are journaled
+//     (TypeAdopted) so an adopter restart does not re-adopt.
+//
+// None of this needs consensus because results are content-addressed
+// and bit-deterministic: any double execution — steal racing a
+// reclaim, an adopted job whose origin comes back — produces identical
+// bytes, so duplicates cost time, never correctness.
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/jobs"
+	"repro/internal/journal"
+	"repro/internal/obs"
+	"repro/internal/registry"
+	"repro/internal/store"
+)
+
+// Config wires a Node into a daemon.
+type Config struct {
+	// Self is this node's ID; it must appear in Peers.
+	Self string
+	// Peers maps node ID to base address ("host:port" or full URL) for
+	// every cluster member, including Self.
+	Peers map[string]string
+	// VNodes is the ring's virtual points per node (<= 0 means 64).
+	VNodes int
+
+	// Engine, Registry and Store are the daemon's own instances.
+	Engine   *jobs.Engine
+	Registry *registry.Registry
+	Store    *store.Store
+	// Journal is the daemon's WAL (segment source for shipping, sink
+	// for TypeAdopted dedup records). Nil disables shipping and makes
+	// adoptions non-durable across adopter restarts.
+	Journal *journal.Journal
+	// ReplicaDir is where peers' shipped segments land
+	// (<ReplicaDir>/<origin>/seg-*.ndjson). Empty disables receiving.
+	ReplicaDir string
+	// Obs receives the per-peer cluster metrics; nil disables them.
+	Obs *obs.Registry
+
+	// HealthInterval paces peer liveness probes (<= 0 means 2s); a peer
+	// is dead after two consecutive probe failures.
+	HealthInterval time.Duration
+	// ShipInterval paces WAL segment shipping to the ring successor
+	// (<= 0 means 2×HealthInterval). Each tick seals the active file
+	// (when non-empty) so pending records become shippable.
+	ShipInterval time.Duration
+	// StealInterval paces the idle-node steal poll (<= 0 means
+	// 2×HealthInterval).
+	StealInterval time.Duration
+	// StealThreshold is the minimum peer queue depth worth stealing
+	// from (<= 0 means 2).
+	StealThreshold int
+	// StealTimeout is how long a victim waits for a thief's ack before
+	// reclaiming the job (<= 0 means 30s).
+	StealTimeout time.Duration
+	// HTTPTimeout bounds every peer request (<= 0 means 5s).
+	HTTPTimeout time.Duration
+}
+
+// peerMetrics is the per-peer labeled instrument set; all fields are
+// nil-safe no-ops when Config.Obs was nil.
+type peerMetrics struct {
+	forwards    *obs.Counter
+	forwardErrs *obs.Counter
+	steals      *obs.Counter
+	rtHits      *obs.Counter
+	rtMisses    *obs.Counter
+	shipBytes   *obs.Counter
+	recvBytes   *obs.Counter
+	transitions *obs.Counter
+	adoptions   *obs.Counter
+	alive       *obs.Gauge
+}
+
+func newPeerMetrics(r *obs.Registry, peer string) peerMetrics {
+	l := obs.Labels{"peer": peer}
+	return peerMetrics{
+		forwards:    r.CounterL("cluster_forwards_total", "submissions forwarded to the ring owner, by peer", l),
+		forwardErrs: r.CounterL("cluster_forward_failures_total", "forward attempts that failed transport (ran locally instead), by peer", l),
+		steals:      r.CounterL("cluster_steals_total", "jobs stolen from a peer's queue by this node, by victim", l),
+		rtHits:      r.CounterL("cluster_readthrough_hits_total", "peer read-through probes answered from the peer's store, by peer", l),
+		rtMisses:    r.CounterL("cluster_readthrough_misses_total", "peer read-through probes the peer could not answer, by peer", l),
+		shipBytes:   r.CounterL("cluster_segment_ship_bytes_total", "WAL segment bytes shipped to the ring successor, by peer", l),
+		recvBytes:   r.CounterL("cluster_segment_recv_bytes_total", "WAL segment bytes received from peers, by origin", l),
+		transitions: r.CounterL("cluster_peer_health_transitions_total", "peer liveness flips observed (either direction), by peer", l),
+		adoptions:   r.CounterL("cluster_adoptions_total", "jobs adopted from a dead peer's shipped WAL, by origin", l),
+		alive:       r.GaugeL("cluster_peer_alive", "peer liveness as seen by this node (1 = alive)", l),
+	}
+}
+
+// Node is one cluster member's peer layer. Create with New, attach
+// routes with RegisterRoutes, start the background loops with Start.
+type Node struct {
+	cfg    Config
+	ring   *Ring
+	client *http.Client
+	peers  map[string]string // id -> normalized base URL (excludes self)
+	pm     map[string]peerMetrics
+
+	mu        sync.Mutex
+	alive     map[string]bool
+	failCount map[string]int
+	shippedTo map[string]string // sealed segment -> peer it reached
+	adopted   map[string]bool   // "origin/originJobID" dedup set
+
+	ctx    context.Context
+	cancel context.CancelFunc
+	wg     sync.WaitGroup
+	stop   chan struct{}
+	once   sync.Once
+}
+
+// New builds the node. It validates membership, normalizes peer
+// addresses, registers the per-peer metrics, and seeds the adoption
+// dedup set from the journal's replayed TypeAdopted records.
+func New(cfg Config) (*Node, error) {
+	if cfg.Self == "" {
+		return nil, fmt.Errorf("cluster: empty self node ID")
+	}
+	if _, ok := cfg.Peers[cfg.Self]; !ok {
+		return nil, fmt.Errorf("cluster: self %q not in peer table", cfg.Self)
+	}
+	if cfg.Engine == nil || cfg.Registry == nil {
+		return nil, fmt.Errorf("cluster: engine and registry are required")
+	}
+	if cfg.HealthInterval <= 0 {
+		cfg.HealthInterval = 2 * time.Second
+	}
+	if cfg.ShipInterval <= 0 {
+		cfg.ShipInterval = 2 * cfg.HealthInterval
+	}
+	if cfg.StealInterval <= 0 {
+		cfg.StealInterval = 2 * cfg.HealthInterval
+	}
+	if cfg.StealThreshold <= 0 {
+		cfg.StealThreshold = 2
+	}
+	if cfg.StealTimeout <= 0 {
+		cfg.StealTimeout = 30 * time.Second
+	}
+	if cfg.HTTPTimeout <= 0 {
+		cfg.HTTPTimeout = 5 * time.Second
+	}
+
+	ids := make([]string, 0, len(cfg.Peers))
+	for id := range cfg.Peers {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+
+	n := &Node{
+		cfg:       cfg,
+		ring:      NewRing(ids, cfg.VNodes),
+		client:    &http.Client{Timeout: cfg.HTTPTimeout},
+		peers:     make(map[string]string),
+		pm:        make(map[string]peerMetrics),
+		alive:     make(map[string]bool),
+		failCount: make(map[string]int),
+		shippedTo: make(map[string]string),
+		adopted:   make(map[string]bool),
+		stop:      make(chan struct{}),
+	}
+	n.ctx, n.cancel = context.WithCancel(context.Background())
+	for _, id := range ids {
+		if id == cfg.Self {
+			continue
+		}
+		addr := cfg.Peers[id]
+		if !strings.Contains(addr, "://") {
+			addr = "http://" + addr
+		}
+		n.peers[id] = strings.TrimRight(addr, "/")
+		n.pm[id] = newPeerMetrics(cfg.Obs, id)
+		// Optimistic start: peers boot in arbitrary order, and a node
+		// that has never been seen up has shipped us nothing to adopt.
+		n.alive[id] = true
+		n.pm[id].alive.Set(1)
+	}
+	if cfg.Journal != nil {
+		for _, rec := range cfg.Journal.Records() {
+			if rec.Type == journal.TypeAdopted && rec.Node != "" && rec.OriginJob != "" {
+				n.adopted[rec.Node+"/"+rec.OriginJob] = true
+			}
+		}
+	}
+	return n, nil
+}
+
+// Start launches the health, ship, steal and reclaim loops.
+func (n *Node) Start() {
+	loops := []struct {
+		every time.Duration
+		tick  func()
+	}{
+		{n.cfg.HealthInterval, n.healthTick},
+		{n.cfg.ShipInterval, n.shipTick},
+		{n.cfg.StealInterval, n.stealTick},
+		{n.cfg.StealInterval, n.reclaimTick},
+	}
+	for _, l := range loops {
+		n.wg.Add(1)
+		go func(every time.Duration, tick func()) {
+			defer n.wg.Done()
+			t := time.NewTicker(every)
+			defer t.Stop()
+			for {
+				select {
+				case <-n.stop:
+					return
+				case <-t.C:
+					tick()
+				}
+			}
+		}(l.every, l.tick)
+	}
+}
+
+// Stop halts the loops and waits for in-flight stolen-job runs to
+// either finish or observe cancellation.
+func (n *Node) Stop() {
+	n.once.Do(func() {
+		close(n.stop)
+		n.cancel()
+	})
+	n.wg.Wait()
+}
+
+// Ring exposes the membership ring (tests, status endpoint).
+func (n *Node) Ring() *Ring { return n.ring }
+
+// Alive reports this node's current liveness view of peer id (self is
+// always alive).
+func (n *Node) Alive(id string) bool {
+	if id == n.cfg.Self {
+		return true
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.alive[id]
+}
+
+// ---------------------------------------------------------------------
+// Peer HTTP plumbing.
+
+func (n *Node) peerURL(id, path string) (string, bool) {
+	base, ok := n.peers[id]
+	if !ok {
+		return "", false
+	}
+	return base + path, true
+}
+
+// getJSON fetches a peer endpoint and decodes its JSON body into out.
+func (n *Node) getJSON(id, path string, out any) error {
+	url, ok := n.peerURL(id, path)
+	if !ok {
+		return fmt.Errorf("cluster: unknown peer %q", id)
+	}
+	req, err := http.NewRequestWithContext(n.ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := n.client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("cluster: %s: HTTP %d", path, resp.StatusCode)
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// postJSON posts a JSON body to a peer endpoint, decoding the response
+// into out when non-nil.
+func (n *Node) postJSON(id, path string, in, out any) error {
+	url, ok := n.peerURL(id, path)
+	if !ok {
+		return fmt.Errorf("cluster: unknown peer %q", id)
+	}
+	body, err := json.Marshal(in)
+	if err != nil {
+		return err
+	}
+	req, err := http.NewRequestWithContext(n.ctx, http.MethodPost, url, bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := n.client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		return fmt.Errorf("cluster: %s: HTTP %d", path, resp.StatusCode)
+	}
+	if out != nil {
+		return json.NewDecoder(resp.Body).Decode(out)
+	}
+	return nil
+}
+
+// ---------------------------------------------------------------------
+// Forwarding (submit path).
+
+// ForwardSubmit routes a submission to its ring owner. ok=false means
+// "run it locally": this node owns the key, the owner is dead, or the
+// forward failed transport (degraded mode — local execution still
+// yields the canonical bytes). On success it returns the owner's HTTP
+// status and response body verbatim plus the owner's ID.
+func (n *Node) ForwardSubmit(req jobs.Request) (status int, body []byte, peer string, ok bool) {
+	exp, found := n.cfg.Registry.Get(req.Experiment)
+	if !found {
+		return 0, nil, "", false // local path reports the error
+	}
+	values, err := exp.Resolve(req.Params)
+	if err != nil {
+		return 0, nil, "", false
+	}
+	canon, err := exp.CanonicalConfig(values)
+	if err != nil {
+		return 0, nil, "", false
+	}
+	key := store.Key(exp.Name, canon, req.Seed, registry.CodeVersion)
+	owner := n.ring.Owner(key)
+	if owner == "" || owner == n.cfg.Self || !n.Alive(owner) {
+		return 0, nil, "", false
+	}
+	url, _ := n.peerURL(owner, "/v1/jobs?forwarded=1")
+	payload, err := json.Marshal(req)
+	if err != nil {
+		return 0, nil, "", false
+	}
+	hreq, err := http.NewRequestWithContext(n.ctx, http.MethodPost, url, bytes.NewReader(payload))
+	if err != nil {
+		return 0, nil, "", false
+	}
+	hreq.Header.Set("Content-Type", "application/json")
+	resp, err := n.client.Do(hreq)
+	if err != nil {
+		n.pm[owner].forwardErrs.Inc()
+		n.markDown(owner)
+		return 0, nil, "", false
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		n.pm[owner].forwardErrs.Inc()
+		return 0, nil, "", false
+	}
+	n.pm[owner].forwards.Inc()
+	return resp.StatusCode, buf.Bytes(), owner, true
+}
+
+// ---------------------------------------------------------------------
+// Read-through (result path).
+
+// ReadThrough fetches a result cell from peers: the ring owner first,
+// then the remaining live peers in sorted order. It is the engine's
+// RemoteGet hook — the caller has already missed its local store and
+// fills its LRU on a hit.
+func (n *Node) ReadThrough(key string) ([]byte, bool) {
+	owner := n.ring.Owner(key)
+	order := make([]string, 0, len(n.peers))
+	if owner != "" && owner != n.cfg.Self {
+		order = append(order, owner)
+	}
+	ids := make([]string, 0, len(n.peers))
+	for id := range n.peers {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		if id != owner {
+			order = append(order, id)
+		}
+	}
+	for _, id := range order {
+		if !n.Alive(id) {
+			continue
+		}
+		val, found := n.peerStoreGet(id, key)
+		if found {
+			n.pm[id].rtHits.Inc()
+			return val, true
+		}
+		n.pm[id].rtMisses.Inc()
+	}
+	return nil, false
+}
+
+// peerStoreGet probes one peer's local-only store endpoint.
+func (n *Node) peerStoreGet(id, key string) ([]byte, bool) {
+	url, ok := n.peerURL(id, "/v1/store/"+key)
+	if !ok {
+		return nil, false
+	}
+	req, err := http.NewRequestWithContext(n.ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return nil, false
+	}
+	resp, err := n.client.Do(req)
+	if err != nil {
+		return nil, false
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, false
+	}
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		return nil, false
+	}
+	return buf.Bytes(), true
+}
+
+// ---------------------------------------------------------------------
+// Health + failover.
+
+// healthTick probes every peer's /v1/healthz. A peer is dead after two
+// consecutive failures; an alive→dead transition triggers adoption if
+// this node is the dead peer's first live successor.
+func (n *Node) healthTick() {
+	for id := range n.peers {
+		err := func() error {
+			url, _ := n.peerURL(id, "/v1/healthz")
+			req, err := http.NewRequestWithContext(n.ctx, http.MethodGet, url, nil)
+			if err != nil {
+				return err
+			}
+			resp, err := n.client.Do(req)
+			if err != nil {
+				return err
+			}
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				return fmt.Errorf("HTTP %d", resp.StatusCode)
+			}
+			return nil
+		}()
+		if err != nil {
+			n.probeFailed(id)
+		} else {
+			n.probeOK(id)
+		}
+	}
+}
+
+func (n *Node) probeOK(id string) {
+	n.mu.Lock()
+	n.failCount[id] = 0
+	was := n.alive[id]
+	n.alive[id] = true
+	n.mu.Unlock()
+	if !was {
+		n.pm[id].transitions.Inc()
+		n.pm[id].alive.Set(1)
+	}
+}
+
+func (n *Node) probeFailed(id string) {
+	n.mu.Lock()
+	n.failCount[id]++
+	dead := n.failCount[id] >= 2 && n.alive[id]
+	if dead {
+		n.alive[id] = false
+	}
+	n.mu.Unlock()
+	if dead {
+		n.pm[id].transitions.Inc()
+		n.pm[id].alive.Set(0)
+		n.onPeerDeath(id)
+	}
+}
+
+// markDown records an observed transport failure immediately (the
+// forward path saw the peer down before the next health tick).
+func (n *Node) markDown(id string) {
+	n.mu.Lock()
+	n.failCount[id]++
+	n.mu.Unlock()
+}
+
+// onPeerDeath elects the adopter: the dead peer's first live successor
+// on the ring. Every live node computes this from its own health view;
+// with symmetric views exactly one node adopts. (A split view can
+// double-adopt — both copies produce identical bytes, so the overlap
+// costs compute, not correctness.)
+func (n *Node) onPeerDeath(dead string) {
+	adopter := n.ring.SuccessorAmong(dead, n.Alive)
+	if adopter != n.cfg.Self {
+		return
+	}
+	n.adoptFrom(dead)
+}
+
+// adoptFrom replays the dead peer's shipped WAL segments and resubmits
+// every job that never reached a terminal state. Each adoption is
+// journaled (TypeAdopted with the origin job ID) so restarts and
+// repeated death observations stay idempotent.
+func (n *Node) adoptFrom(dead string) {
+	if n.cfg.ReplicaDir == "" {
+		return
+	}
+	dir := filepath.Join(n.cfg.ReplicaDir, dead)
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return // nothing shipped: nothing to adopt
+	}
+	var names []string
+	for _, e := range ents {
+		if journal.IsSegmentName(e.Name()) {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+
+	type jobState struct {
+		rec      journal.Record
+		terminal bool
+	}
+	jobsByID := make(map[string]*jobState)
+	var order []string
+	for _, name := range names {
+		raw, err := os.ReadFile(filepath.Join(dir, name))
+		if err != nil {
+			continue
+		}
+		recs, _ := journal.ParseRecords(raw)
+		for _, rec := range recs {
+			switch {
+			case rec.Type == journal.TypeSubmitted:
+				if _, dup := jobsByID[rec.JobID]; !dup {
+					jobsByID[rec.JobID] = &jobState{rec: rec}
+					order = append(order, rec.JobID)
+				}
+			case rec.Type.Terminal():
+				if js, ok := jobsByID[rec.JobID]; ok {
+					js.terminal = true
+				}
+			}
+		}
+	}
+
+	for _, id := range order {
+		js := jobsByID[id]
+		if js.terminal {
+			continue
+		}
+		dedupKey := dead + "/" + id
+		n.mu.Lock()
+		seen := n.adopted[dedupKey]
+		if !seen {
+			n.adopted[dedupKey] = true
+		}
+		n.mu.Unlock()
+		if seen {
+			continue
+		}
+		var params map[string]any
+		if err := json.Unmarshal(js.rec.Config, &params); err != nil {
+			continue
+		}
+		dl := js.rec.DeadlineMS
+		if dl <= 0 {
+			dl = -1 // journaled deadline is resolved; 0 means none
+		}
+		view, err := n.cfg.Engine.Submit(jobs.Request{
+			Experiment: js.rec.Experiment,
+			Params:     params,
+			Seed:       js.rec.Seed,
+			Priority:   js.rec.Priority,
+			DeadlineMS: dl,
+		})
+		if err != nil {
+			// Shed or shutting down: un-mark so a later death observation
+			// (or restart) can retry the adoption.
+			n.mu.Lock()
+			delete(n.adopted, dedupKey)
+			n.mu.Unlock()
+			continue
+		}
+		n.pm[dead].adoptions.Inc()
+		if n.cfg.Journal != nil {
+			n.cfg.Journal.Append(journal.Record{
+				Type:      journal.TypeAdopted,
+				JobID:     view.ID,
+				Key:       js.rec.Key,
+				Node:      dead,
+				OriginJob: id,
+			})
+		}
+	}
+}
+
+// ---------------------------------------------------------------------
+// WAL segment shipping.
+
+// shipTick seals the active journal file and ships every sealed
+// segment not yet at the current successor. Re-ships after a successor
+// change; receivers overwrite idempotently.
+func (n *Node) shipTick() {
+	if n.cfg.Journal == nil {
+		return
+	}
+	succ := n.ring.Successor(n.cfg.Self)
+	if succ == "" || !n.Alive(succ) {
+		return
+	}
+	n.cfg.Journal.SealActive() // "" when empty: nothing new to seal
+	segs, err := n.cfg.Journal.Segments()
+	if err != nil {
+		return
+	}
+	for _, seg := range segs {
+		n.mu.Lock()
+		already := n.shippedTo[seg] == succ
+		n.mu.Unlock()
+		if already {
+			continue
+		}
+		raw, err := n.cfg.Journal.ReadSegment(seg)
+		if err != nil {
+			continue
+		}
+		if err := n.shipSegment(succ, seg, raw); err != nil {
+			continue // retried next tick
+		}
+		n.mu.Lock()
+		n.shippedTo[seg] = succ
+		n.mu.Unlock()
+		n.pm[succ].shipBytes.Add(uint64(len(raw)))
+	}
+}
+
+func (n *Node) shipSegment(peer, name string, raw []byte) error {
+	url, ok := n.peerURL(peer, "/v1/cluster/segments/"+n.cfg.Self+"/"+name)
+	if !ok {
+		return fmt.Errorf("cluster: unknown peer %q", peer)
+	}
+	req, err := http.NewRequestWithContext(n.ctx, http.MethodPost, url, bytes.NewReader(raw))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/x-ndjson")
+	resp, err := n.client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		return fmt.Errorf("cluster: ship %s: HTTP %d", name, resp.StatusCode)
+	}
+	return nil
+}
+
+// ---------------------------------------------------------------------
+// Work stealing.
+
+// peerDepth reads a peer's jobs_queue_depth gauge from its metrics
+// snapshot (-1 when unreachable or absent).
+func (n *Node) peerDepth(id string) int {
+	var snap []obs.MetricSnapshot
+	if err := n.getJSON(id, "/v1/metrics?format=json", &snap); err != nil {
+		return -1
+	}
+	for _, m := range snap {
+		if m.Name == "jobs_queue_depth" && len(m.Labels) == 0 && m.Level != nil {
+			return int(*m.Level)
+		}
+	}
+	return -1
+}
+
+// stealTick claims work from the deepest overloaded peer when this
+// node's own queue is empty, then runs each claimed job locally and
+// acks its terminal state (with result bytes) back to the victim.
+func (n *Node) stealTick() {
+	if n.cfg.Engine.Depth() > 0 {
+		return
+	}
+	victim, depth := "", 0
+	for id := range n.peers {
+		if !n.Alive(id) {
+			continue
+		}
+		if d := n.peerDepth(id); d > depth {
+			victim, depth = id, d
+		}
+	}
+	if victim == "" || depth < n.cfg.StealThreshold {
+		return
+	}
+	max := depth / 2
+	if max < 1 {
+		max = 1
+	}
+	if max > 8 {
+		max = 8
+	}
+	var stolen []jobs.StolenJob
+	if err := n.postJSON(victim, "/v1/cluster/steal", stealRequest{Thief: n.cfg.Self, Max: max}, &stolen); err != nil {
+		return
+	}
+	for _, sj := range stolen {
+		n.pm[victim].steals.Inc()
+		n.wg.Add(1)
+		go n.runStolen(victim, sj)
+	}
+}
+
+// runStolen executes one stolen job locally and acks the victim. A
+// missing ack (thief death, rejection, network) is covered by the
+// victim's reclaim timer.
+func (n *Node) runStolen(victim string, sj jobs.StolenJob) {
+	defer n.wg.Done()
+	ack := ackRequest{JobID: sj.ID}
+	var params map[string]any
+	if err := json.Unmarshal(sj.Config, &params); err != nil {
+		ack.State = string(jobs.StateFailed)
+		ack.Error = "thief: stolen config does not parse: " + err.Error()
+		n.postJSON(victim, "/v1/cluster/ack", ack, nil)
+		return
+	}
+	view, err := n.cfg.Engine.Submit(jobs.Request{
+		Experiment: sj.Experiment,
+		Params:     params,
+		Seed:       sj.Seed,
+		Priority:   sj.Priority,
+		DeadlineMS: sj.DeadlineMS,
+	})
+	if err != nil {
+		return // no ack: the victim reclaims after StealTimeout
+	}
+	final, err := n.cfg.Engine.Wait(n.ctx, view.ID)
+	if err != nil {
+		return
+	}
+	ack.State = string(final.State)
+	ack.Error = final.Error
+	if final.State == jobs.StateDone {
+		ack.Result = final.Result
+	}
+	n.postJSON(victim, "/v1/cluster/ack", ack, nil)
+}
+
+// reclaimTick is the victim side of steal liveness: jobs handed out
+// longer than StealTimeout ago with no ack come back to the queue.
+func (n *Node) reclaimTick() {
+	n.cfg.Engine.ReclaimStolen(n.cfg.StealTimeout)
+}
+
+// ---------------------------------------------------------------------
+// HTTP surface.
+
+type stealRequest struct {
+	Thief string `json:"thief"`
+	Max   int    `json:"max"`
+}
+
+type ackRequest struct {
+	JobID  string          `json:"job_id"`
+	State  string          `json:"state"`
+	Error  string          `json:"error,omitempty"`
+	Result json.RawMessage `json:"result,omitempty"`
+}
+
+// peerStatus is one row of GET /v1/cluster.
+type peerStatus struct {
+	ID    string `json:"id"`
+	Addr  string `json:"addr"`
+	Alive bool   `json:"alive"`
+	Self  bool   `json:"self,omitempty"`
+}
+
+// clusterStatus is GET /v1/cluster.
+type clusterStatus struct {
+	Self      string       `json:"self"`
+	Successor string       `json:"successor,omitempty"`
+	VNodes    int          `json:"vnodes"`
+	Peers     []peerStatus `json:"peers"`
+	Adopted   int          `json:"adopted_jobs"`
+}
+
+type clusterError struct {
+	Error string `json:"error"`
+}
+
+func respondJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+// RegisterRoutes attaches the cluster endpoints to the daemon's API
+// mux (Go 1.22 method patterns, same style as cmd/nightvisiond).
+func (n *Node) RegisterRoutes(mux *http.ServeMux) {
+	mux.HandleFunc("GET /v1/cluster", n.handleStatus)
+	mux.HandleFunc("POST /v1/cluster/steal", n.handleSteal)
+	mux.HandleFunc("POST /v1/cluster/ack", n.handleAck)
+	mux.HandleFunc("POST /v1/cluster/segments/{origin}/{name}", n.handleSegment)
+	mux.HandleFunc("GET /v1/store/{key}", n.handleStoreGet)
+	mux.HandleFunc("GET /v1/results/{key}", n.handleResult)
+}
+
+func (n *Node) handleStatus(w http.ResponseWriter, r *http.Request) {
+	vn := n.cfg.VNodes
+	if vn <= 0 {
+		vn = 64
+	}
+	n.mu.Lock()
+	adopted := len(n.adopted)
+	n.mu.Unlock()
+	st := clusterStatus{
+		Self:      n.cfg.Self,
+		Successor: n.ring.Successor(n.cfg.Self),
+		VNodes:    vn,
+		Adopted:   adopted,
+	}
+	for _, id := range n.ring.Nodes() {
+		st.Peers = append(st.Peers, peerStatus{
+			ID:    id,
+			Addr:  n.cfg.Peers[id],
+			Alive: n.Alive(id),
+			Self:  id == n.cfg.Self,
+		})
+	}
+	respondJSON(w, http.StatusOK, st)
+}
+
+func (n *Node) handleSteal(w http.ResponseWriter, r *http.Request) {
+	var req stealRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<16)).Decode(&req); err != nil {
+		respondJSON(w, http.StatusBadRequest, clusterError{Error: "bad steal request: " + err.Error()})
+		return
+	}
+	if req.Thief == "" || req.Thief == n.cfg.Self {
+		respondJSON(w, http.StatusBadRequest, clusterError{Error: "invalid thief"})
+		return
+	}
+	if _, known := n.peers[req.Thief]; !known {
+		respondJSON(w, http.StatusForbidden, clusterError{Error: "unknown thief"})
+		return
+	}
+	if req.Max <= 0 || req.Max > 64 {
+		req.Max = 1
+	}
+	stolen := n.cfg.Engine.StealQueued(req.Thief, req.Max)
+	if stolen == nil {
+		stolen = []jobs.StolenJob{}
+	}
+	respondJSON(w, http.StatusOK, stolen)
+}
+
+func (n *Node) handleAck(w http.ResponseWriter, r *http.Request) {
+	var req ackRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 32<<20)).Decode(&req); err != nil {
+		respondJSON(w, http.StatusBadRequest, clusterError{Error: "bad ack: " + err.Error()})
+		return
+	}
+	state := jobs.State(req.State)
+	if !state.Terminal() {
+		respondJSON(w, http.StatusBadRequest, clusterError{Error: fmt.Sprintf("ack with non-terminal state %q", req.State)})
+		return
+	}
+	if err := n.cfg.Engine.ResolveStolen(req.JobID, state, req.Error, req.Result); err != nil {
+		respondJSON(w, http.StatusNotFound, clusterError{Error: err.Error()})
+		return
+	}
+	respondJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// handleSegment receives one shipped WAL segment from a peer and
+// writes it atomically under the replica directory. Origin must be a
+// known member and the name a well-formed segment name — both checked
+// before any path is formed.
+func (n *Node) handleSegment(w http.ResponseWriter, r *http.Request) {
+	origin, name := r.PathValue("origin"), r.PathValue("name")
+	if _, known := n.peers[origin]; !known {
+		respondJSON(w, http.StatusForbidden, clusterError{Error: "unknown origin node"})
+		return
+	}
+	if !journal.IsSegmentName(name) {
+		respondJSON(w, http.StatusBadRequest, clusterError{Error: "invalid segment name"})
+		return
+	}
+	if n.cfg.ReplicaDir == "" {
+		respondJSON(w, http.StatusServiceUnavailable, clusterError{Error: "segment replication disabled"})
+		return
+	}
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(http.MaxBytesReader(w, r.Body, 64<<20)); err != nil {
+		respondJSON(w, http.StatusBadRequest, clusterError{Error: "read segment: " + err.Error()})
+		return
+	}
+	dir := filepath.Join(n.cfg.ReplicaDir, origin)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		respondJSON(w, http.StatusInternalServerError, clusterError{Error: err.Error()})
+		return
+	}
+	tmp, err := os.CreateTemp(dir, "tmp-*")
+	if err != nil {
+		respondJSON(w, http.StatusInternalServerError, clusterError{Error: err.Error()})
+		return
+	}
+	defer os.Remove(tmp.Name())
+	_, werr := tmp.Write(buf.Bytes())
+	if serr := tmp.Sync(); werr == nil {
+		werr = serr
+	}
+	if cerr := tmp.Close(); werr == nil {
+		werr = cerr
+	}
+	if werr == nil {
+		werr = os.Rename(tmp.Name(), filepath.Join(dir, name))
+	}
+	if werr != nil {
+		respondJSON(w, http.StatusInternalServerError, clusterError{Error: werr.Error()})
+		return
+	}
+	n.pm[origin].recvBytes.Add(uint64(buf.Len()))
+	respondJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// handleStoreGet serves this node's store only (Peek: no LRU
+// promotion, no stat skew) — the peer-facing half of read-through.
+// It never recurses into ReadThrough, so probe chains terminate.
+func (n *Node) handleStoreGet(w http.ResponseWriter, r *http.Request) {
+	key := r.PathValue("key")
+	if n.cfg.Store == nil || !validKey(key) {
+		respondJSON(w, http.StatusNotFound, clusterError{Error: "not found"})
+		return
+	}
+	val, ok := n.cfg.Store.Peek(key)
+	if !ok {
+		respondJSON(w, http.StatusNotFound, clusterError{Error: "not found"})
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	w.Write(val)
+}
+
+// handleResult is the client-facing read-through: local store first,
+// then peers, filling the local LRU on a remote hit. Any node can
+// serve any key.
+func (n *Node) handleResult(w http.ResponseWriter, r *http.Request) {
+	key := r.PathValue("key")
+	if !validKey(key) {
+		respondJSON(w, http.StatusBadRequest, clusterError{Error: "invalid key"})
+		return
+	}
+	if n.cfg.Store != nil {
+		if val, ok := n.cfg.Store.Get(key); ok {
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(http.StatusOK)
+			w.Write(val)
+			return
+		}
+	}
+	if val, ok := n.ReadThrough(key); ok {
+		if n.cfg.Store != nil {
+			n.cfg.Store.Put(key, val)
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusOK)
+		w.Write(val)
+		return
+	}
+	respondJSON(w, http.StatusNotFound, clusterError{Error: "not found"})
+}
+
+// validKey accepts exactly the store's key shape: 64 lowercase hex.
+func validKey(key string) bool {
+	if len(key) != 64 {
+		return false
+	}
+	for _, c := range key {
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,121 @@
+package cluster
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+	"sort"
+)
+
+// Ring is a consistent-hash ring over node IDs. Each node contributes
+// vnodes points (the first 8 bytes of SHA-256("id#i") as a big-endian
+// uint64); a store key's owner is the node whose point is the first at
+// or clockwise past the key's own point. Store keys are already
+// SHA-256 hex (internal/store.Key), so their leading 16 hex digits are
+// uniform ring input — no re-hashing needed.
+//
+// Membership is static: the ring is built once from the configured
+// peer set and never changes at runtime. Liveness is layered on top
+// (Node.alive); the ring answers "who owns", the health loop answers
+// "who can".
+type Ring struct {
+	points []ringPoint // sorted by hash
+	nodes  []string    // sorted node IDs (successor order)
+}
+
+type ringPoint struct {
+	hash uint64
+	node string
+}
+
+// NewRing builds a ring from the given node IDs with vnodes virtual
+// points per node (<= 0 means 64). Duplicate IDs collapse.
+func NewRing(nodes []string, vnodes int) *Ring {
+	if vnodes <= 0 {
+		vnodes = 64
+	}
+	seen := make(map[string]bool, len(nodes))
+	r := &Ring{}
+	for _, n := range nodes {
+		if n == "" || seen[n] {
+			continue
+		}
+		seen[n] = true
+		r.nodes = append(r.nodes, n)
+		for i := 0; i < vnodes; i++ {
+			sum := sha256.Sum256([]byte(fmt.Sprintf("%s#%d", n, i)))
+			r.points = append(r.points, ringPoint{hash: binary.BigEndian.Uint64(sum[:8]), node: n})
+		}
+	}
+	sort.Strings(r.nodes)
+	sort.Slice(r.points, func(i, k int) bool {
+		if r.points[i].hash != r.points[k].hash {
+			return r.points[i].hash < r.points[k].hash
+		}
+		// Hash ties (astronomically rare) break by node ID so every
+		// member computes the identical ring.
+		return r.points[i].node < r.points[k].node
+	})
+	return r
+}
+
+// Nodes returns the member IDs in sorted order.
+func (r *Ring) Nodes() []string { return append([]string(nil), r.nodes...) }
+
+// keyPoint maps a store key (SHA-256 hex) onto the ring. Malformed
+// keys hash to 0 — they still get a deterministic owner.
+func keyPoint(key string) uint64 {
+	if len(key) < 16 {
+		key = key + "0000000000000000"
+	}
+	raw, err := hex.DecodeString(key[:16])
+	if err != nil || len(raw) != 8 {
+		return 0
+	}
+	return binary.BigEndian.Uint64(raw)
+}
+
+// Owner returns the node owning key: the first ring point at or
+// clockwise past the key's point ("" on an empty ring).
+func (r *Ring) Owner(key string) string {
+	if len(r.points) == 0 {
+		return ""
+	}
+	h := keyPoint(key)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		i = 0 // wrap
+	}
+	return r.points[i].node
+}
+
+// Successor returns the node after id in sorted-ID order (wrapping),
+// which is where id ships its sealed WAL segments. Returns "" when id
+// is not a member or is the only member.
+func (r *Ring) Successor(id string) string {
+	i := sort.SearchStrings(r.nodes, id)
+	if i == len(r.nodes) || r.nodes[i] != id || len(r.nodes) < 2 {
+		return ""
+	}
+	return r.nodes[(i+1)%len(r.nodes)]
+}
+
+// SuccessorAmong returns the first successor of id (in sorted-ID
+// order, wrapping) for which alive returns true, skipping id itself.
+// Returns "" when none qualifies. Failover uses it to elect the
+// adopter of a dead node's shipped WAL: every live member computes the
+// same answer from the same health view.
+func (r *Ring) SuccessorAmong(id string, alive func(string) bool) string {
+	i := sort.SearchStrings(r.nodes, id)
+	if i == len(r.nodes) || r.nodes[i] != id {
+		return ""
+	}
+	for step := 1; step < len(r.nodes); step++ {
+		cand := r.nodes[(i+step)%len(r.nodes)]
+		if alive(cand) {
+			return cand
+		}
+	}
+	return ""
+}

@@ -1,0 +1,112 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/store"
+)
+
+// testKeys derives real store keys: the ring's production input shape.
+func testKeys(n int) []string {
+	keys := make([]string, n)
+	for i := range keys {
+		keys[i] = store.Key("fig12", []byte(fmt.Sprintf(`{"n":%d}`, i)), uint64(i), "nv3")
+	}
+	return keys
+}
+
+// TestRingOwnerDeterministic: every member builds the same ring from
+// the same membership, whatever order the IDs arrive in.
+func TestRingOwnerDeterministic(t *testing.T) {
+	a := NewRing([]string{"alpha", "beta", "gamma"}, 64)
+	b := NewRing([]string{"gamma", "alpha", "beta", "alpha"}, 64)
+	for _, key := range testKeys(500) {
+		if ao, bo := a.Owner(key), b.Owner(key); ao != bo {
+			t.Fatalf("owner diverges for %s: %q vs %q", key[:16], ao, bo)
+		}
+	}
+}
+
+// TestRingSpreadsOwnership: with default vnodes, a 3-node ring gives
+// every node a meaningful share of a uniform keyspace.
+func TestRingSpreadsOwnership(t *testing.T) {
+	r := NewRing([]string{"alpha", "beta", "gamma"}, 64)
+	counts := map[string]int{}
+	keys := testKeys(3000)
+	for _, key := range keys {
+		counts[r.Owner(key)]++
+	}
+	for _, id := range r.Nodes() {
+		if counts[id] < len(keys)/10 {
+			t.Fatalf("node %s owns only %d of %d keys: %v", id, counts[id], len(keys), counts)
+		}
+	}
+}
+
+// TestRingMinimalRemapping is the consistent-hashing property: removing
+// one node only remaps the keys that node owned.
+func TestRingMinimalRemapping(t *testing.T) {
+	full := NewRing([]string{"alpha", "beta", "gamma"}, 64)
+	reduced := NewRing([]string{"alpha", "beta"}, 64)
+	for _, key := range testKeys(1000) {
+		before := full.Owner(key)
+		after := reduced.Owner(key)
+		if before != "gamma" && after != before {
+			t.Fatalf("key %s moved %q -> %q though its owner stayed a member", key[:16], before, after)
+		}
+	}
+}
+
+func TestRingSuccessor(t *testing.T) {
+	r := NewRing([]string{"c", "a", "b"}, 8)
+	cases := map[string]string{"a": "b", "b": "c", "c": "a"}
+	for id, want := range cases {
+		if got := r.Successor(id); got != want {
+			t.Fatalf("Successor(%s) = %q, want %q", id, got, want)
+		}
+	}
+	if got := r.Successor("nope"); got != "" {
+		t.Fatalf("Successor of a non-member = %q, want empty", got)
+	}
+	if got := NewRing([]string{"solo"}, 8).Successor("solo"); got != "" {
+		t.Fatalf("Successor on a 1-node ring = %q, want empty", got)
+	}
+}
+
+func TestRingSuccessorAmongSkipsDead(t *testing.T) {
+	r := NewRing([]string{"a", "b", "c", "d"}, 8)
+	alive := func(live ...string) func(string) bool {
+		set := map[string]bool{}
+		for _, id := range live {
+			set[id] = true
+		}
+		return func(id string) bool { return set[id] }
+	}
+	if got := r.SuccessorAmong("b", alive("a", "c", "d")); got != "c" {
+		t.Fatalf("first live successor of b = %q, want c", got)
+	}
+	if got := r.SuccessorAmong("b", alive("a", "d")); got != "d" {
+		t.Fatalf("successor of b skipping dead c = %q, want d", got)
+	}
+	if got := r.SuccessorAmong("d", alive("a")); got != "a" {
+		t.Fatalf("wrapping successor of d = %q, want a", got)
+	}
+	if got := r.SuccessorAmong("b", alive()); got != "" {
+		t.Fatalf("successor with no live peers = %q, want empty", got)
+	}
+}
+
+// TestRingMalformedKeys: garbage keys still get a deterministic owner
+// rather than a panic or an empty answer.
+func TestRingMalformedKeys(t *testing.T) {
+	r := NewRing([]string{"a", "b"}, 8)
+	for _, key := range []string{"", "zz", "not-hex-at-all-but-quite-long-anyway"} {
+		if got := r.Owner(key); got == "" {
+			t.Fatalf("Owner(%q) empty on a non-empty ring", key)
+		}
+		if r.Owner(key) != r.Owner(key) {
+			t.Fatalf("Owner(%q) non-deterministic", key)
+		}
+	}
+}

@@ -48,6 +48,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/journal"
@@ -104,9 +105,17 @@ type View struct {
 	Progress   float64         `json:"progress"`
 	FromCache  bool            `json:"from_cache"`
 	// Interrupted marks a job that was running when a previous process
-	// crashed and was re-enqueued by journal replay.
-	Interrupted bool            `json:"interrupted,omitempty"`
-	Key         string          `json:"key"`
+	// crashed (or was stolen by a peer that went silent) and was
+	// re-enqueued by journal replay or reclaim.
+	Interrupted bool `json:"interrupted,omitempty"`
+	// RemoteNode names the peer currently executing this job after a
+	// steal; empty for locally queued/running jobs.
+	RemoteNode string `json:"remote_node,omitempty"`
+	// PrevNode names the node that last ran (or held) this job before it
+	// was interrupted, stolen, or reclaimed — adoption accounting for
+	// cluster failover. Empty in pre-cluster journals.
+	PrevNode string          `json:"prev_node,omitempty"`
+	Key      string          `json:"key"`
 	Error       string          `json:"error,omitempty"`
 	Result      json.RawMessage `json:"result,omitempty"`
 	EnqueuedAt  time.Time       `json:"enqueued_at"`
@@ -131,6 +140,9 @@ type job struct {
 	progress    float64
 	fromCache   bool
 	interrupted bool
+	remote      string    // peer executing this job after a steal ("" = local)
+	stolenAt    time.Time // when the job was handed out (reclaim clock)
+	prevNode    string    // node that last ran/held the job before interruption
 	errMsg      string
 	result      []byte
 	enqueuedAt  time.Time
@@ -147,6 +159,12 @@ type Config struct {
 	// Registry resolves experiment names; nil means the full default
 	// registry (registry.Experiments()).
 	Registry *registry.Registry
+	// NodeID names this engine's node in a cluster; it is stamped on
+	// started/interrupted journal records so replay (local or on an
+	// adopting peer) can account which node ran each job. Empty for
+	// single-node deployments — records then match the pre-cluster
+	// format byte for byte.
+	NodeID string
 	// Store caches results; nil disables caching (every submission
 	// computes).
 	Store *store.Store
@@ -204,6 +222,8 @@ type metrics struct {
 	abandoned       *obs.Counter
 	replayed        *obs.Counter
 	interrupted     *obs.Counter
+	stolen          *obs.Counter
+	reclaimed       *obs.Counter
 	journalFailures *obs.Counter
 	duration        *obs.Histogram
 	queueLatency    *obs.Histogram
@@ -229,6 +249,8 @@ func newMetrics(r *obs.Registry) metrics {
 		abandoned:       r.Counter("jobs_abandoned_total", "runs abandoned after ignoring cancellation past the grace period"),
 		replayed:        r.Counter("jobs_replayed_total", "jobs reconstructed from the journal at startup"),
 		interrupted:     r.Counter("jobs_interrupted_total", "jobs found running at crash time and re-enqueued"),
+		stolen:          r.Counter("jobs_stolen_total", "queued jobs handed to peer nodes (work stealing)"),
+		reclaimed:       r.Counter("jobs_reclaimed_total", "stolen jobs re-enqueued after the thief went silent"),
 		journalFailures: r.Counter("journal_append_failures_total", "journal appends that failed (job proceeds; durability degraded)"),
 		duration:        r.Histogram("job_duration_seconds", "wall time of executed jobs, start to terminal state", obs.DefaultDurationBuckets()),
 		queueLatency:    r.Histogram("job_queue_latency_seconds", "time jobs spent queued before a worker picked them up", obs.DefaultDurationBuckets()),
@@ -274,11 +296,18 @@ func Overloaded(err error) bool {
 // a user cancel.
 var errDeadline = errors.New("job deadline exceeded")
 
+// RemoteGet is the cluster read-through seam: given a cache key it
+// returns the result bytes from a peer's store (internal/cluster wires
+// it to the ring owner's /v1/store endpoint). It must be safe for
+// concurrent use and should fail fast when no peer can answer.
+type RemoteGet func(key string) ([]byte, bool)
+
 // Engine is the job service. Create with New, stop with Shutdown.
 type Engine struct {
 	reg          *registry.Registry
 	store        *store.Store
 	journal      *journal.Journal
+	nodeID       string
 	expWorkers   int
 	queueCap     int
 	maxBytes     int64
@@ -286,6 +315,7 @@ type Engine struct {
 	obs          *obs.Registry
 	m            metrics
 	tracing      bool
+	remoteGet    atomic.Pointer[RemoteGet]
 
 	mu            sync.Mutex
 	cond          *sync.Cond
@@ -294,6 +324,8 @@ type Engine struct {
 	nextID        uint64
 	nextSeq       uint64
 	inflightBytes int64
+	doneTimes     [128]time.Time // terminal-transition ring for DrainRate
+	doneIdx       int
 	closed        bool
 
 	pool         *runner.Pool
@@ -329,6 +361,7 @@ func New(cfg Config) *Engine {
 		reg:          reg,
 		store:        cfg.Store,
 		journal:      cfg.Journal,
+		nodeID:       cfg.NodeID,
 		expWorkers:   cfg.ExpWorkers,
 		queueCap:     cfg.QueueDepth,
 		maxBytes:     cfg.MaxInflightBytes,
@@ -409,11 +442,31 @@ func (e *Engine) replay(recs []journal.Record) {
 		case journal.TypeStarted:
 			if j, ok := e.jobs[rec.JobID]; ok && !j.state.Terminal() {
 				j.state = StateRunning
+				j.prevNode = rec.Node // which node ran it (empty pre-cluster)
 			}
 		case journal.TypeInterrupted:
 			if j, ok := e.jobs[rec.JobID]; ok && !j.state.Terminal() {
 				j.interrupted = true
 				j.state = StateQueued
+				if rec.Node != "" {
+					j.prevNode = rec.Node
+				}
+			}
+		case journal.TypeStolen:
+			if j, ok := e.jobs[rec.JobID]; ok && !j.state.Terminal() {
+				// Handed to a peer before the crash: re-enqueue (the thief's
+				// ack has nowhere to land on the pre-crash process) and keep
+				// the thief on record. Recomputation is bit-identical, so a
+				// double execution only costs time.
+				j.state = StateQueued
+				j.interrupted = true
+				j.prevNode = rec.Node
+			}
+		case journal.TypeReclaimed:
+			if j, ok := e.jobs[rec.JobID]; ok && !j.state.Terminal() {
+				j.state = StateQueued
+				j.interrupted = true
+				j.prevNode = rec.Node
 			}
 		case journal.TypeCompleted, journal.TypeFailed, journal.TypeCanceled, journal.TypeTimedOut:
 			j, ok := e.jobs[rec.JobID]
@@ -461,11 +514,13 @@ func (e *Engine) replay(recs []journal.Record) {
 			continue
 		}
 		if j.state == StateRunning {
-			// Running at crash time: mark interrupted, journal the fact.
+			// Running at crash time: mark interrupted, journal the fact —
+			// including which node had been running it, so adoption
+			// accounting survives the re-enqueue.
 			j.interrupted = true
 			j.state = StateQueued
 			e.m.interrupted.Inc()
-			e.appendJournal(journal.Record{Type: journal.TypeInterrupted, JobID: j.id, Key: j.key})
+			e.appendJournal(journal.Record{Type: journal.TypeInterrupted, JobID: j.id, Key: j.key, Node: j.prevNode})
 		}
 		if e.tracing {
 			j.trace = obs.NewTrace()
@@ -563,6 +618,18 @@ func (e *Engine) Submit(req Request) (View, error) {
 	if e.store != nil {
 		cached, _ = e.store.Get(key)
 	}
+	if cached == nil {
+		// Peer read-through: the ring owner may already hold this cell.
+		// A hit fills the local LRU so the next submission is a local hit.
+		if fn := e.remoteGet.Load(); fn != nil {
+			if val, ok := (*fn)(key); ok {
+				cached = val
+				if e.store != nil {
+					e.store.Put(key, val)
+				}
+			}
+		}
+	}
 
 	e.mu.Lock()
 	defer e.mu.Unlock()
@@ -633,6 +700,44 @@ func (e *Engine) Submit(req Request) (View, error) {
 	e.m.depth.Set(int64(e.queue.Len()))
 	e.cond.Signal()
 	return e.viewLocked(j), nil
+}
+
+// SetRemoteGet installs (or clears, with nil) the cluster read-through
+// hook consulted on local cache misses during Submit. It exists as a
+// setter because the cluster node and the engine reference each other:
+// the engine is built first, the hook attached once the node exists.
+func (e *Engine) SetRemoteGet(fn RemoteGet) {
+	if fn == nil {
+		e.remoteGet.Store(nil)
+		return
+	}
+	e.remoteGet.Store(&fn)
+}
+
+// Depth reports the number of queued-but-not-running jobs.
+func (e *Engine) Depth() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.queue.Len()
+}
+
+// DrainRate estimates recent completion throughput in jobs per second
+// over a sliding 10-second window (terminal transitions of jobs that
+// actually occupied the queue; cache hits don't count — they never
+// consumed a slot). The daemon derives Retry-After for shed
+// submissions from Depth()/DrainRate().
+func (e *Engine) DrainRate() float64 {
+	const window = 10 * time.Second
+	cutoff := time.Now().UTC().Add(-window)
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	n := 0
+	for _, ts := range e.doneTimes {
+		if !ts.IsZero() && ts.After(cutoff) {
+			n++
+		}
+	}
+	return float64(n) / window.Seconds()
 }
 
 // Get returns a job snapshot by ID.
@@ -722,6 +827,142 @@ func (e *Engine) Cancel(id string) (View, error) {
 	return e.viewLocked(j), nil
 }
 
+// StolenJob is the wire form of a queued job handed to a peer: enough
+// to resubmit it remotely (the canonical config JSON round-trips
+// through Resolve to the identical cache key) plus the victim-side ID
+// the ack handshake references.
+type StolenJob struct {
+	ID         string          `json:"id"`
+	Experiment string          `json:"experiment"`
+	Config     json.RawMessage `json:"config"` // canonical config JSON
+	Seed       uint64          `json:"seed"`
+	Priority   int             `json:"priority"`
+	DeadlineMS int64           `json:"deadline_ms"` // resolved: >0 ms, -1 none
+	Key        string          `json:"key"`
+}
+
+// StealQueued pops up to max queued jobs off the queue and hands them
+// to thief. Each handoff is journaled (TypeStolen) before the job is
+// returned, so a victim crash re-enqueues the job on replay rather
+// than losing it. The jobs stay registered here — state queued, off
+// the heap, RemoteNode set — until the thief acks via ResolveStolen or
+// ReclaimStolen takes them back.
+func (e *Engine) StealQueued(thief string, max int) []StolenJob {
+	if thief == "" || max <= 0 {
+		return nil
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed {
+		return nil
+	}
+	var out []StolenJob
+	for len(out) < max && e.queue.Len() > 0 {
+		j := heap.Pop(&e.queue).(*job)
+		j.remote = thief
+		j.stolenAt = time.Now().UTC()
+		e.m.stolen.Inc()
+		e.appendJournal(journal.Record{Type: journal.TypeStolen, JobID: j.id, Key: j.key, Node: thief})
+		dl := int64(j.deadline / time.Millisecond)
+		if j.deadline == 0 {
+			dl = -1 // resolved "no deadline"; 0 would re-apply the registry default
+		}
+		out = append(out, StolenJob{
+			ID:         j.id,
+			Experiment: j.expName(),
+			Config:     append(json.RawMessage(nil), j.canon...),
+			Seed:       j.seed,
+			Priority:   j.priority,
+			DeadlineMS: dl,
+			Key:        j.key,
+		})
+	}
+	e.m.depth.Set(int64(e.queue.Len()))
+	return out
+}
+
+// ResolveStolen lands a thief's ack: the stolen job moves to the acked
+// terminal state, a done payload is written through the store first so
+// the terminal journal record never precedes its bytes (the same
+// ordering local runs guarantee). Acking an already-terminal job is a
+// no-op — the call is idempotent, which is what makes the handshake
+// safe against reclaim races and duplicate delivery.
+func (e *Engine) ResolveStolen(id string, state State, errMsg string, payload []byte) error {
+	if !state.Terminal() {
+		return fmt.Errorf("jobs: ResolveStolen with non-terminal state %q", state)
+	}
+	e.mu.Lock()
+	j, ok := e.jobs[id]
+	if !ok {
+		e.mu.Unlock()
+		return fmt.Errorf("jobs: no job %q", id)
+	}
+	if j.state.Terminal() {
+		e.mu.Unlock()
+		return nil
+	}
+	key := j.key
+	e.mu.Unlock()
+
+	if state == StateDone && payload != nil && e.store != nil {
+		e.store.Put(key, payload)
+	}
+
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if j.state.Terminal() {
+		return nil
+	}
+	if j.heapIdx >= 0 {
+		// Reclaimed back into the queue meanwhile: the ack wins — the
+		// bytes are already computed.
+		heap.Remove(&e.queue, j.heapIdx)
+		e.m.depth.Set(int64(e.queue.Len()))
+	}
+	if j.state == StateRunning && j.cancel != nil {
+		// Reclaimed and re-running locally: stop the duplicate run; its
+		// late completion no-ops on the terminal guard.
+		j.cancel()
+	}
+	e.finishLocked(j, state, errMsg, payload)
+	return nil
+}
+
+// ReclaimStolen re-enqueues stolen jobs whose thief has been silent
+// for at least maxAge: the thief died, or its ack is lost. The reclaim
+// is journaled; a late ack after reclaim is resolved idempotently (the
+// first terminal transition wins, and results are content-addressed so
+// either path yields identical bytes). Returns how many jobs came back.
+func (e *Engine) ReclaimStolen(maxAge time.Duration) int {
+	now := time.Now().UTC()
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed {
+		return 0
+	}
+	n := 0
+	for _, j := range e.jobs {
+		if j.remote == "" || j.state.Terminal() || j.heapIdx >= 0 || j.state == StateRunning {
+			continue
+		}
+		if now.Sub(j.stolenAt) < maxAge {
+			continue
+		}
+		j.prevNode = j.remote
+		j.remote = ""
+		j.interrupted = true
+		e.m.reclaimed.Inc()
+		e.appendJournal(journal.Record{Type: journal.TypeReclaimed, JobID: j.id, Key: j.key, Node: j.prevNode})
+		heap.Push(&e.queue, j)
+		n++
+	}
+	if n > 0 {
+		e.m.depth.Set(int64(e.queue.Len()))
+		e.cond.Broadcast()
+	}
+	return n
+}
+
 // Shutdown stops intake, cancels all queued jobs, asks running jobs to
 // stop (cooperatively), and waits for the workers to drain in-flight
 // work. It returns ctx.Err if the drain outlives the context. The
@@ -733,6 +974,13 @@ func (e *Engine) Shutdown(ctx context.Context) error {
 		for e.queue.Len() > 0 {
 			j := heap.Pop(&e.queue).(*job)
 			e.finishLocked(j, StateCanceled, "engine shutdown", nil)
+		}
+		// Stolen jobs are off the heap but still non-terminal here; a
+		// shutting-down victim can no longer accept their acks.
+		for _, j := range e.jobs {
+			if j.remote != "" && !j.state.Terminal() {
+				e.finishLocked(j, StateCanceled, "engine shutdown", nil)
+			}
 		}
 		e.m.depth.Set(0)
 		e.cond.Broadcast()
@@ -804,7 +1052,7 @@ func (e *Engine) next() (func(), bool) {
 			e.m.depth.Set(int64(e.queue.Len()))
 			e.m.running.Inc()
 			e.m.queueLatency.Observe(j.startedAt.Sub(j.enqueuedAt).Seconds())
-			e.appendJournal(journal.Record{Type: journal.TypeStarted, JobID: j.id, Key: j.key})
+			e.appendJournal(journal.Record{Type: journal.TypeStarted, JobID: j.id, Key: j.key, Node: e.nodeID})
 			return func() { e.run(j, ctx, cleanup) }, true
 		}
 		if e.closed {
@@ -952,7 +1200,9 @@ func (e *Engine) finishLocked(j *job, state State, msg string, payload []byte) {
 	if !j.startedAt.IsZero() {
 		e.m.duration.Observe(j.finishedAt.Sub(j.startedAt).Seconds())
 	}
-	e.appendJournal(journal.Record{Type: typeForState(state), JobID: j.id, Key: j.key, FromCache: j.fromCache, Error: msg})
+	e.doneTimes[e.doneIdx%len(e.doneTimes)] = j.finishedAt
+	e.doneIdx++
+	e.appendJournal(journal.Record{Type: typeForState(state), JobID: j.id, Key: j.key, FromCache: j.fromCache, Error: msg, Node: j.remote})
 	close(j.done)
 }
 
@@ -968,6 +1218,8 @@ func (e *Engine) viewLocked(j *job) View {
 		Progress:    j.progress,
 		FromCache:   j.fromCache,
 		Interrupted: j.interrupted,
+		RemoteNode:  j.remote,
+		PrevNode:    j.prevNode,
 		Key:         j.key,
 		Error:       j.errMsg,
 		Result:      append(json.RawMessage(nil), j.result...),

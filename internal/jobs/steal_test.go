@@ -1,0 +1,298 @@
+package jobs
+
+// Work-stealing handshake tests: the victim-side claim/ack/reclaim
+// state machine that internal/cluster drives over HTTP. The invariant
+// under test everywhere: a stolen job reaches exactly one terminal
+// state no matter how acks, reclaims and crashes interleave.
+
+import (
+	"encoding/json"
+	"testing"
+	"time"
+
+	"repro/internal/journal"
+	"repro/internal/store"
+)
+
+// blockedEngine returns an engine whose single worker is parked on a
+// "block" job, plus n queued "echo" jobs ready to be stolen.
+func blockedEngine(t *testing.T, cfg Config, n int) (*Engine, []View, chan struct{}) {
+	t.Helper()
+	reg, gate := fakeRegistry()
+	cfg.Registry = reg
+	cfg.Workers = 1
+	e := New(cfg)
+	blocker, err := e.Submit(Request{Experiment: "block"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, e, blocker.ID, StateRunning)
+	queued := make([]View, 0, n)
+	for i := 0; i < n; i++ {
+		v, err := e.Submit(Request{Experiment: "echo", Params: map[string]any{"n": i + 10}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		queued = append(queued, v)
+	}
+	return e, queued, gate
+}
+
+func TestStealQueuedHandsOutJobs(t *testing.T) {
+	e, queued, gate := blockedEngine(t, Config{}, 3)
+	defer shutdownOK(t, e)
+	defer close(gate) // LIFO: release the worker, then drain
+
+	stolen := e.StealQueued("thief-1", 2)
+	if len(stolen) != 2 {
+		t.Fatalf("stole %d jobs, want 2", len(stolen))
+	}
+	if e.Depth() != 1 {
+		t.Fatalf("queue depth after steal = %d, want 1", e.Depth())
+	}
+	for _, sj := range stolen {
+		if sj.Experiment != "echo" || sj.Key == "" || len(sj.Config) == 0 {
+			t.Fatalf("stolen job missing identity: %+v", sj)
+		}
+		var params map[string]any
+		if err := json.Unmarshal(sj.Config, &params); err != nil {
+			t.Fatalf("stolen config does not parse: %v", err)
+		}
+		v, _ := e.Get(sj.ID)
+		if v.State != StateQueued || v.RemoteNode != "thief-1" {
+			t.Fatalf("victim-side stolen job view: %+v", v)
+		}
+	}
+	// The un-stolen job is still queued locally.
+	last, _ := e.Get(queued[2].ID)
+	if last.RemoteNode != "" || last.State != StateQueued {
+		t.Fatalf("unstolen job view: %+v", last)
+	}
+}
+
+// TestStealDeadlineEncoding: "no deadline" must survive the handoff as
+// -1 — a literal 0 would re-apply the registry default on resubmit.
+func TestStealDeadlineEncoding(t *testing.T) {
+	e, _, gate := blockedEngine(t, Config{}, 1)
+	defer shutdownOK(t, e)
+	defer close(gate)
+	stolen := e.StealQueued("thief", 1)
+	if len(stolen) != 1 || stolen[0].DeadlineMS != -1 {
+		t.Fatalf("deadline-free stolen job carries DeadlineMS %d, want -1", stolen[0].DeadlineMS)
+	}
+}
+
+func TestResolveStolenDonePutsStoreFirst(t *testing.T) {
+	st, err := store.New(16, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, _, gate := blockedEngine(t, Config{Store: st}, 1)
+	defer shutdownOK(t, e)
+	defer close(gate)
+
+	stolen := e.StealQueued("thief", 1)
+	payload := []byte(`{"v":"remote"}`)
+	if err := e.ResolveStolen(stolen[0].ID, StateDone, "", payload); err != nil {
+		t.Fatal(err)
+	}
+	v, _ := e.Get(stolen[0].ID)
+	if v.State != StateDone || string(v.Result) != string(payload) {
+		t.Fatalf("acked job: %+v", v)
+	}
+	if got, ok := st.Get(stolen[0].Key); !ok || string(got) != string(payload) {
+		t.Fatalf("acked payload not in store: ok=%v got=%q", ok, got)
+	}
+	// Idempotent: a duplicate ack (or a different verdict) is a no-op.
+	if err := e.ResolveStolen(stolen[0].ID, StateFailed, "dup", nil); err != nil {
+		t.Fatal(err)
+	}
+	v, _ = e.Get(stolen[0].ID)
+	if v.State != StateDone {
+		t.Fatalf("duplicate ack changed state to %s", v.State)
+	}
+}
+
+func TestResolveStolenRejectsNonTerminal(t *testing.T) {
+	e, _, gate := blockedEngine(t, Config{}, 1)
+	defer shutdownOK(t, e)
+	defer close(gate)
+	stolen := e.StealQueued("thief", 1)
+	if err := e.ResolveStolen(stolen[0].ID, StateRunning, "", nil); err == nil {
+		t.Fatal("ResolveStolen accepted a non-terminal state")
+	}
+	if err := e.ResolveStolen("job-999999", StateDone, "", nil); err == nil {
+		t.Fatal("ResolveStolen accepted an unknown job")
+	}
+}
+
+// TestReclaimThenLateAck: the thief goes silent, the victim reclaims
+// (job back on the queue, interrupted, prev_node set) — then the ack
+// arrives anyway. First terminal transition wins; the job ends exactly
+// once.
+func TestReclaimThenLateAck(t *testing.T) {
+	e, _, gate := blockedEngine(t, Config{Obs: newObsForTest()}, 1)
+	defer shutdownOK(t, e)
+	defer close(gate)
+
+	stolen := e.StealQueued("thief", 1)
+	if n := e.ReclaimStolen(0); n != 1 {
+		t.Fatalf("reclaimed %d jobs, want 1", n)
+	}
+	v, _ := e.Get(stolen[0].ID)
+	if v.State != StateQueued || !v.Interrupted || v.PrevNode != "thief" || v.RemoteNode != "" {
+		t.Fatalf("reclaimed job view: %+v", v)
+	}
+	// Late ack: the job is back on the heap (the single worker is still
+	// blocked, so it cannot have started). The ack wins and removes it.
+	payload := []byte(`{"v":"late"}`)
+	if err := e.ResolveStolen(stolen[0].ID, StateDone, "", payload); err != nil {
+		t.Fatal(err)
+	}
+	v, _ = e.Get(stolen[0].ID)
+	if v.State != StateDone || string(v.Result) != string(payload) {
+		t.Fatalf("late-acked job: %+v", v)
+	}
+	if e.Depth() != 0 {
+		t.Fatalf("queue depth after late ack = %d, want 0", e.Depth())
+	}
+}
+
+// TestReclaimRespectsMaxAge: a fresh handoff is not reclaimed.
+func TestReclaimRespectsMaxAge(t *testing.T) {
+	e, _, gate := blockedEngine(t, Config{}, 1)
+	defer shutdownOK(t, e)
+	defer close(gate)
+	e.StealQueued("thief", 1)
+	if n := e.ReclaimStolen(time.Hour); n != 0 {
+		t.Fatalf("reclaimed %d fresh jobs, want 0", n)
+	}
+}
+
+// TestStolenJournalReplay: a victim crash after the handoff re-enqueues
+// the stolen job on replay (interrupted, thief recorded as prev_node) —
+// the pre-crash process's ack channel died with it.
+func TestStolenJournalReplay(t *testing.T) {
+	dir := t.TempDir()
+	jn, err := journal.Open(dir, journal.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, queued, gate := blockedEngine(t, Config{Journal: jn, NodeID: "victim"}, 2)
+	stolen := e.StealQueued("thief", 1)
+	if len(stolen) != 1 {
+		t.Fatalf("stole %d, want 1", len(stolen))
+	}
+	// Crash: close the journal under the engine, then discard the
+	// engine. Post-crash appends (shutdown cancels) fail harmlessly.
+	jn.Close()
+	close(gate)
+	shutdownOK(t, e)
+
+	jn2, err := journal.Open(dir, journal.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer jn2.Close()
+	reg, gate2 := fakeRegistry()
+	close(gate2) // replayed blocker must not park the only worker
+	e2 := New(Config{Registry: reg, Journal: jn2, Workers: 1, NodeID: "victim"})
+	defer shutdownOK(t, e2)
+
+	v, ok := e2.Get(stolen[0].ID)
+	if !ok {
+		t.Fatalf("stolen job %s missing after replay", stolen[0].ID)
+	}
+	waitState(t, e2, v.ID, StateDone)
+	v, _ = e2.Get(v.ID)
+	if !v.Interrupted || v.PrevNode != "thief" {
+		t.Fatalf("replayed stolen job view: %+v", v)
+	}
+	// The other queued job replays and completes too.
+	waitState(t, e2, queued[1].ID, StateDone)
+}
+
+// TestStartedRecordsCarryNode: replay after a crash attributes the
+// interrupted job to the node that was running it (adoption
+// accounting, satellite 6) while pre-cluster journals (no node field)
+// still replay.
+func TestStartedRecordsCarryNode(t *testing.T) {
+	dir := t.TempDir()
+	jn, err := journal.Open(dir, journal.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg, gate := fakeRegistry()
+	e := New(Config{Registry: reg, Journal: jn, Workers: 1, NodeID: "node-a"})
+	v, err := e.Submit(Request{Experiment: "block"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, e, v.ID, StateRunning)
+	jn.Close() // crash point: job is journaled started on node-a
+	close(gate)
+	shutdownOK(t, e)
+
+	jn2, err := journal.Open(dir, journal.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer jn2.Close()
+	reg2, gate2 := fakeRegistry()
+	e2 := New(Config{Registry: reg2, Journal: jn2, Workers: 1, NodeID: "node-b"})
+	got, ok := e2.Get(v.ID)
+	if !ok || !got.Interrupted || got.PrevNode != "node-a" {
+		t.Fatalf("interrupted job after replay: ok=%v %+v", ok, got)
+	}
+	close(gate2)
+	waitState(t, e2, v.ID, StateDone)
+	shutdownOK(t, e2)
+}
+
+func TestDepthAndDrainRate(t *testing.T) {
+	e, _, gate := blockedEngine(t, Config{}, 2)
+	if e.Depth() != 2 {
+		t.Fatalf("Depth = %d, want 2", e.Depth())
+	}
+	if r := e.DrainRate(); r != 0 {
+		t.Fatalf("DrainRate with no completions = %v, want 0", r)
+	}
+	close(gate)
+	waitStateAll(t, e)
+	if r := e.DrainRate(); r <= 0 {
+		t.Fatalf("DrainRate after completions = %v, want > 0", r)
+	}
+	shutdownOK(t, e)
+}
+
+func waitStateAll(t *testing.T, e *Engine) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		done := true
+		for _, v := range e.List() {
+			if !v.State.Terminal() {
+				done = false
+			}
+		}
+		if done {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatal("jobs never all finished")
+}
+
+// TestShutdownCancelsStolen: a draining victim can no longer accept
+// acks, so outstanding handoffs resolve to canceled rather than
+// dangling forever.
+func TestShutdownCancelsStolen(t *testing.T) {
+	e, _, gate := blockedEngine(t, Config{}, 1)
+	stolen := e.StealQueued("thief", 1)
+	close(gate) // release the worker so the drain completes
+	shutdownOK(t, e)
+	v, _ := e.Get(stolen[0].ID)
+	if v.State != StateCanceled {
+		t.Fatalf("stolen job after shutdown: %+v", v)
+	}
+}

@@ -45,6 +45,13 @@ const (
 	TypeFailed      Type = "failed"
 	TypeCanceled    Type = "canceled"
 	TypeTimedOut    Type = "timed_out"
+
+	// Cluster lifecycle records (PR 7). Journals written before these
+	// types existed replay unchanged: replay switches ignore unknown
+	// types, and the new Node/OriginJob fields are omitempty.
+	TypeStolen    Type = "stolen"    // victim side: job handed to a peer (Node = thief)
+	TypeReclaimed Type = "reclaimed" // victim side: stolen job re-enqueued after the thief went silent
+	TypeAdopted   Type = "adopted"   // adopter side: job resubmitted from a dead peer's shipped WAL
 )
 
 // Terminal reports whether the record type ends a job's lifecycle.
@@ -70,7 +77,15 @@ type Record struct {
 	Key        string          `json:"key,omitempty"` // content-address in internal/store
 	FromCache  bool            `json:"from_cache,omitempty"`
 	Error      string          `json:"error,omitempty"`
-	Time       time.Time       `json:"time"`
+	// Node names the peer involved in this transition: the node running
+	// the job for started/interrupted records, the thief for stolen
+	// records, the origin node for adopted records. Empty in pre-cluster
+	// journals, which keeps them backward-readable.
+	Node string `json:"node,omitempty"`
+	// OriginJob is the job's ID on the origin node (adopted records
+	// only), so an adopter can dedupe adoptions across its own restarts.
+	OriginJob string    `json:"origin_job,omitempty"`
+	Time      time.Time `json:"time"`
 }
 
 // FS is the journal's filesystem seam. The default is the real OS
@@ -213,6 +228,11 @@ func Open(dir string, opts Options) (*Journal, error) {
 	return j, nil
 }
 
+// ParseRecords splits NDJSON bytes into records, stopping at the first
+// malformed line, exactly as replay does. Cluster peers use it to
+// replay a dead node's shipped segments (internal/cluster failover).
+func ParseRecords(raw []byte) ([]Record, int) { return parse(raw) }
+
 // parse splits NDJSON bytes into records, stopping at the first
 // malformed line (a torn tail from a crash mid-write). It returns the
 // intact records and how many lines were dropped.
@@ -296,6 +316,77 @@ func (j *Journal) sealLocked() error {
 	j.cur = cur
 	j.curSize = 0
 	return nil
+}
+
+// SealActive force-rotates a non-empty active file into a sealed
+// segment so its records become shippable (sealed segments are
+// immutable; the WAL shipper never reads the active file). It returns
+// the sealed segment's name, or "" when the active file held no
+// records and nothing was sealed.
+func (j *Journal) SealActive() (string, error) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.closed {
+		return "", fmt.Errorf("journal: closed")
+	}
+	if j.curSize == 0 {
+		return "", nil
+	}
+	name := fmt.Sprintf("%s%08d%s", sealedGlob, j.sealed, sealedExt)
+	if err := j.sealLocked(); err != nil {
+		return "", err
+	}
+	return name, nil
+}
+
+// Segments lists the sealed segment names in replay (name) order. The
+// active file is excluded: only sealed segments are immutable and safe
+// to read while appends continue.
+func (j *Journal) Segments() ([]string, error) {
+	names, err := j.fs.ReadDir(j.dir)
+	if err != nil {
+		return nil, fmt.Errorf("journal: %w", err)
+	}
+	var segs []string
+	for _, name := range names {
+		if strings.HasPrefix(name, sealedGlob) && strings.HasSuffix(name, sealedExt) {
+			segs = append(segs, name)
+		}
+	}
+	sort.Strings(segs)
+	return segs, nil
+}
+
+// IsSegmentName reports whether name is a well-formed sealed-segment
+// file name (no path elements). Peers validate shipped names with it
+// before touching their replica directories.
+func IsSegmentName(name string) bool {
+	if !strings.HasPrefix(name, sealedGlob) || !strings.HasSuffix(name, sealedExt) {
+		return false
+	}
+	mid := strings.TrimSuffix(strings.TrimPrefix(name, sealedGlob), sealedExt)
+	if len(mid) != 8 {
+		return false
+	}
+	for _, c := range mid {
+		if c < '0' || c > '9' {
+			return false
+		}
+	}
+	return true
+}
+
+// ReadSegment returns a sealed segment's raw bytes. Sealed segments
+// never change, so the read needs no coordination with appends.
+func (j *Journal) ReadSegment(name string) ([]byte, error) {
+	if !IsSegmentName(name) {
+		return nil, fmt.Errorf("journal: invalid segment name %q", name)
+	}
+	raw, err := j.fs.ReadFile(filepath.Join(j.dir, name))
+	if err != nil {
+		return nil, fmt.Errorf("journal: %w", err)
+	}
+	return raw, nil
 }
 
 // Close fsyncs and closes the active file. Appends after Close fail.

@@ -1,0 +1,50 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestGaugeLabeledSeries: GaugeL keeps one independent series per
+// label set under a shared family name (per-peer liveness in
+// internal/cluster), upserts to the same instrument on re-registration,
+// and renders each series on its own Prometheus line.
+func TestGaugeLabeledSeries(t *testing.T) {
+	r := NewRegistry()
+	a := r.GaugeL("cluster_peer_alive", "peer liveness", Labels{"peer": "a"})
+	b := r.GaugeL("cluster_peer_alive", "peer liveness", Labels{"peer": "b"})
+	if a == b {
+		t.Fatal("distinct label sets share one gauge")
+	}
+	a.Set(1)
+	b.Set(0)
+	if again := r.GaugeL("cluster_peer_alive", "peer liveness", Labels{"peer": "a"}); again != a {
+		t.Fatal("re-registration did not upsert to the existing series")
+	}
+
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	text := sb.String()
+	for _, want := range []string{
+		`cluster_peer_alive{peer="a"} 1`,
+		`cluster_peer_alive{peer="b"} 0`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, text)
+		}
+	}
+	// One HELP/TYPE header for the family, not one per series.
+	if strings.Count(text, "# TYPE cluster_peer_alive gauge") != 1 {
+		t.Fatalf("family header repeated:\n%s", text)
+	}
+
+	// Nil-registry and nil-gauge paths stay no-ops.
+	var nilReg *Registry
+	g := nilReg.GaugeL("x", "y", Labels{"peer": "z"})
+	if g != nil {
+		t.Fatal("nil registry returned a non-nil gauge")
+	}
+	g.Set(7) // must not panic
+}

@@ -264,10 +264,16 @@ func (r *Registry) CounterL(name, help string, labels Labels) *Counter {
 
 // Gauge registers (or retrieves) an unlabeled gauge.
 func (r *Registry) Gauge(name, help string) *Gauge {
+	return r.GaugeL(name, help, nil)
+}
+
+// GaugeL registers (or retrieves) a gauge with constant labels (e.g.
+// per-peer health in internal/cluster).
+func (r *Registry) GaugeL(name, help string, labels Labels) *Gauge {
 	if r == nil {
 		return nil
 	}
-	return r.upsert(name, help, kindGauge, nil).g
+	return r.upsert(name, help, kindGauge, labels).g
 }
 
 // Histogram registers (or retrieves) a histogram with the given bucket

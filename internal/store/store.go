@@ -190,6 +190,26 @@ func (s *Store) Get(key string) ([]byte, bool) {
 	return nil, false
 }
 
+// Peek returns the cached bytes for key without touching LRU order or
+// the hit/miss statistics. It is the peer-facing lookup path
+// (GET /v1/store/{key} in internal/cluster): a remote read-through
+// probe should neither skew this node's cache accounting nor promote
+// entries its own traffic never asked for. A disk-tier hit is returned
+// without promotion; corrupt entries are still evicted.
+func (s *Store) Peek(key string) ([]byte, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if el, ok := s.items[key]; ok {
+		return clone(el.Value.(*memEntry).val), true
+	}
+	if s.dir != "" {
+		if val, ok := s.diskGet(key); ok {
+			return clone(val), true
+		}
+	}
+	return nil, false
+}
+
 // Put stores the result bytes for key in both tiers. The value is
 // copied; the disk write is atomic (temp file + rename).
 func (s *Store) Put(key string, val []byte) error {

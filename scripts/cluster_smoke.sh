@@ -1,0 +1,159 @@
+#!/usr/bin/env bash
+# Cluster chaos smoke test: boot a 3-node nightvisiond fleet (race
+# detector on), run a Figure-12-subset sweep round-robin across the
+# nodes, kill -9 one node mid-run, retry its submissions on the
+# survivors, and assert (a) every cell's result is served by every
+# survivor with identical bytes and (b) each survivor's terminal jobs
+# were counted exactly once. Run by CI's cluster-chaos job. Needs
+# curl + jq.
+set -euo pipefail
+
+HOST="${NIGHTVISION_HOST:-127.0.0.1}"
+P1="${NIGHTVISION_P1:-7811}"
+P2="${NIGHTVISION_P2:-7812}"
+P3="${NIGHTVISION_P3:-7813}"
+PEERS="nv1=$HOST:$P1,nv2=$HOST:$P2,nv3=$HOST:$P3"
+TMP="$(mktemp -d)"
+PIDS=()
+trap 'for p in "${PIDS[@]:-}"; do kill "$p" 2>/dev/null || true; done; rm -rf "$TMP"' EXIT
+
+# The race detector rides along: any data race in the cluster layers
+# (forwarding, stealing, shipping, adoption) fails the smoke test.
+go build -race -o "$TMP/nightvisiond" ./cmd/nightvisiond
+
+start_node() { # id port
+  "$TMP/nightvisiond" -addr "$HOST:$2" -cache-dir "$TMP/$1" -workers 2 \
+    -node-id "$1" -peers "$PEERS" -cluster-tick 100ms &
+  PIDS+=($!)
+}
+
+wait_healthy() { # port
+  local delay=0.05
+  for _ in $(seq 1 60); do
+    curl -fsS "http://$HOST:$1/v1/healthz" >/dev/null 2>&1 && return 0
+    sleep "$delay"
+    delay="$(awk -v d="$delay" 'BEGIN { m = d * 2; if (m > 1) m = 1; print m }')"
+  done
+  echo "node on port $1 never became healthy" >&2
+  return 1
+}
+
+start_node nv1 "$P1"
+start_node nv2 "$P2"
+start_node nv3 "$P3"
+wait_healthy "$P1"; wait_healthy "$P2"; wait_healthy "$P3"
+
+echo "== ring membership =="
+for port in "$P1" "$P2" "$P3"; do
+  CST="$(curl -fsS "http://$HOST:$port/v1/cluster")"
+  echo "$CST" | jq -c '{self, successor, peers: [.peers[] | {id, alive}]}'
+  [ "$(echo "$CST" | jq '[.peers[] | select(.alive)] | length')" -eq 3 ] \
+    || { echo "node on $port does not see 3 alive peers" >&2; exit 1; }
+done
+
+# Figure-12-subset sweep: 2 corpus sizes x 3 seeds, submitted
+# round-robin across the fleet. Forwarding routes each cell to its ring
+# owner regardless of the entry node.
+BODIES=()
+for corpus in 2 3; do
+  for seed in 41 42 43; do
+    BODIES+=("{\"experiment\":\"fig12\",\"params\":{\"iters\":3,\"corpus\":$corpus,\"top\":2},\"seed\":$seed}")
+  done
+done
+PORTS=("$P1" "$P2" "$P3")
+
+echo "== sweep (kill -9 nv2 mid-run) =="
+KEYS=()
+i=0
+for body in "${BODIES[@]}"; do
+  if [ "$i" -eq 3 ]; then
+    # Mid-sweep murder: nv2 goes away without any shutdown path running.
+    kill -9 "${PIDS[1]}"
+    wait "${PIDS[1]}" 2>/dev/null || true
+    echo "killed nv2 (pid ${PIDS[1]}) after $i submissions"
+    PORTS=("$P1" "$P3")
+  fi
+  port="${PORTS[$((i % ${#PORTS[@]}))]}"
+  RESP="$(curl -fsS -X POST -H 'Content-Type: application/json' -d "$body" "http://$HOST:$port/v1/jobs" || true)"
+  KEY="$(echo "$RESP" | jq -r '.key // empty' 2>/dev/null || true)"
+  [ -n "$KEY" ] && KEYS+=("$KEY")
+  i=$((i + 1))
+done
+
+# Client retry: resubmit every cell to a survivor. Content addressing
+# makes this idempotent — anything already computed (or adopted from
+# nv2's shipped WAL) comes back from cache; anything lost with nv2's
+# unshipped journal tail is recomputed, bit-identically.
+for body in "${BODIES[@]}"; do
+  RESP="$(curl -fsS -X POST -H 'Content-Type: application/json' -d "$body" "http://$HOST:$P1/v1/jobs")"
+  KEYS+=("$(echo "$RESP" | jq -r .key)")
+done
+UNIQUE_KEYS="$(printf '%s\n' "${KEYS[@]}" | sort -u)"
+N_KEYS="$(echo "$UNIQUE_KEYS" | wc -l | tr -d ' ')"
+[ "$N_KEYS" -eq ${#BODIES[@]} ] || { echo "sweep produced $N_KEYS unique keys, want ${#BODIES[@]}" >&2; exit 1; }
+
+echo "== byte identity across survivors ($N_KEYS cells) =="
+for key in $UNIQUE_KEYS; do
+  ok=0
+  for _ in $(seq 1 600); do
+    if curl -fsS -o "$TMP/r1" "http://$HOST:$P1/v1/results/$key" 2>/dev/null; then ok=1; break; fi
+    sleep 0.2
+  done
+  [ "$ok" = 1 ] || { echo "cell $key never materialized on nv1" >&2; exit 1; }
+  curl -fsS -o "$TMP/r3" "http://$HOST:$P3/v1/results/$key" || { echo "cell $key missing on nv3" >&2; exit 1; }
+  H1="$(sha256sum "$TMP/r1" | cut -d' ' -f1)"
+  H3="$(sha256sum "$TMP/r3" | cut -d' ' -f1)"
+  [ "$H1" = "$H3" ] || { echo "cell $key differs across survivors: $H1 vs $H3" >&2; exit 1; }
+done
+echo "all $N_KEYS cells byte-identical on both survivors"
+
+echo "== exactly-once terminal accounting =="
+for port in "$P1" "$P3"; do
+  # Every job terminal...
+  for _ in $(seq 1 600); do
+    PENDING="$(curl -fsS "http://$HOST:$port/v1/jobs" | jq '[.[] | select(.state == "queued" or .state == "running")] | length')"
+    [ "$PENDING" -eq 0 ] && break
+    sleep 0.2
+  done
+  [ "$PENDING" -eq 0 ] || { echo "node on $port still has $PENDING non-terminal jobs" >&2; exit 1; }
+  # ...and exactly one terminal transition per job: the summed
+  # jobs_completed_total counter equals the job count.
+  JOBS="$(curl -fsS "http://$HOST:$port/v1/jobs" | jq 'length')"
+  DONE="$(curl -fsS "http://$HOST:$port/v1/metrics" | awk '$1 ~ /^jobs_completed_total/ { s += $2 } END { print s+0 }')"
+  [ "$JOBS" -eq "$DONE" ] || { echo "node on $port: $DONE terminal transitions for $JOBS jobs" >&2; exit 1; }
+  echo "port $port: $JOBS jobs, $DONE terminal transitions"
+done
+
+echo "== survivors noticed the death =="
+TRANS="$(curl -fsS "http://$HOST:$P1/v1/metrics" | awk '$1 ~ /^cluster_peer_health_transitions_total\{peer="nv2"\}/ { print $2 }')"
+[ -n "$TRANS" ] && [ "$TRANS" -ge 1 ] || { echo "nv1 never recorded nv2's death" >&2; exit 1; }
+ALIVE2="$(curl -fsS "http://$HOST:$P1/v1/metrics" | awk '$1 ~ /^cluster_peer_alive\{peer="nv2"\}/ { print $2 }')"
+[ "$ALIVE2" = 0 ] || { echo "nv1 still thinks nv2 is alive ($ALIVE2)" >&2; exit 1; }
+
+echo "== restart nv2: WAL replay over the surviving dirs =="
+start_node nv2 "$P2"
+wait_healthy "$P2"
+for _ in $(seq 1 600); do
+  PENDING="$(curl -fsS "http://$HOST:$P2/v1/jobs" | jq '[.[] | select(.state == "queued" or .state == "running")] | length')"
+  [ "$PENDING" -eq 0 ] && break
+  sleep 0.2
+done
+[ "$PENDING" -eq 0 ] || { echo "restarted nv2 never drained its replayed jobs" >&2; exit 1; }
+# Replayed-then-recomputed cells must agree with the survivors' bytes.
+for key in $(curl -fsS "http://$HOST:$P2/v1/jobs" | jq -r '[.[] | select(.state == "done")] | .[].key' | sort -u); do
+  H2="$(curl -fsS "http://$HOST:$P2/v1/results/$key" | sha256sum | cut -d' ' -f1)"
+  H1="$(curl -fsS "http://$HOST:$P1/v1/results/$key" | sha256sum | cut -d' ' -f1)"
+  [ "$H2" = "$H1" ] || { echo "restarted nv2 cell $key diverges: $H2 vs $H1" >&2; exit 1; }
+done
+echo "restarted nv2 replayed its journal to survivor-identical bytes"
+
+echo "== graceful shutdown =="
+for p in "${PIDS[@]}"; do kill -TERM "$p" 2>/dev/null || true; done
+for p in "${PIDS[@]}"; do
+  for _ in $(seq 1 100); do
+    kill -0 "$p" 2>/dev/null || break
+    sleep 0.1
+  done
+done
+PIDS=()
+echo "cluster chaos smoke test passed"
