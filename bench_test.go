@@ -28,12 +28,16 @@ import (
 	"sync"
 	"testing"
 
+	"repro/internal/asm"
 	"repro/internal/btb"
 	"repro/internal/codegen"
+	"repro/internal/cpu"
 	"repro/internal/experiments"
 	"repro/internal/isa"
+	"repro/internal/mem"
 	"repro/internal/obs"
 	"repro/internal/stats"
+	"repro/internal/uarch"
 	"repro/internal/victim"
 )
 
@@ -375,21 +379,69 @@ func BenchmarkBTBLookup(b *testing.B) {
 	}
 }
 
+// BenchmarkCoreStepThroughput times the instrumented model-extraction
+// trace (the ModelTrace path every corpus experiment rides) and then
+// the raw step loop per microarch backend over the same GCD victim: the
+// arm backend's folded set-index hash and branch-only update policy
+// must stay on the zero-allocation hot path (the alloc gates in
+// internal/cpu enforce the zero; this records the cycle cost into
+// BENCH_runner.json).
 func BenchmarkCoreStepThroughput(b *testing.B) {
-	pcs, _, err := experiments.ModelTrace(victim.MustGCDVersion("3.0", false),
-		codegen.Options{Opt: codegen.O2}, []uint64{65537, 0xDEAD_BEEF_1234_5677})
-	if err != nil {
-		b.Fatal(err)
-	}
-	steps := len(pcs)
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		if _, _, err := experiments.ModelTrace(victim.MustGCDVersion("3.0", false),
-			codegen.Options{Opt: codegen.O2}, []uint64{65537, 0xDEAD_BEEF_1234_5677}); err != nil {
+	b.Run("modeltrace", func(b *testing.B) {
+		pcs, _, err := experiments.ModelTrace(victim.MustGCDVersion("3.0", false),
+			codegen.Options{Opt: codegen.O2}, []uint64{65537, 0xDEAD_BEEF_1234_5677})
+		if err != nil {
 			b.Fatal(err)
 		}
+		steps := len(pcs)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, _, err := experiments.ModelTrace(victim.MustGCDVersion("3.0", false),
+				codegen.Options{Opt: codegen.O2}, []uint64{65537, 0xDEAD_BEEF_1234_5677}); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(steps), "steps/op")
+	})
+	for _, name := range uarch.Names() {
+		b.Run("backend="+name, func(b *testing.B) {
+			bld := asm.NewBuilder(0x60_0000)
+			bld.Label("entry")
+			fn := victim.MustGCDVersion("3.0", false)
+			bld.Call(fn.Name)
+			bld.Inst(isa.Hlt())
+			bld.Space(0x40, byte(isa.OpNop))
+			if err := codegen.Emit(bld, fn, codegen.Options{Opt: codegen.O2}); err != nil {
+				b.Fatal(err)
+			}
+			prog, err := bld.Build()
+			if err != nil {
+				b.Fatal(err)
+			}
+			m := mem.New()
+			prog.LoadInto(m)
+			m.Map(0x7e_0000, 0x2000, mem.PermRW)
+			c := cpu.New(cpu.ConfigFor(uarch.MustGet(name)), m)
+			steps := 0
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				c.Reset()
+				c.SetReg(isa.SP, 0x7e_2000)
+				c.SetReg(isa.Reg(1), 600)
+				c.SetReg(isa.Reg(2), 238)
+				c.SetPC(prog.MustLabel("entry"))
+				for {
+					if _, serr := c.Step(); serr == cpu.ErrHalted {
+						break
+					} else if serr != nil {
+						b.Fatal(serr)
+					}
+					steps++
+				}
+			}
+			b.ReportMetric(float64(steps)/float64(b.N), "steps/op")
+		})
 	}
-	b.ReportMetric(float64(steps), "steps/op")
 }
 
 func BenchmarkCorpusGeneration(b *testing.B) {

@@ -23,7 +23,12 @@
 //	pressure BTB eviction vs victim fragment length (§4.2)
 //	baseline fingerprinting vs observation granularity + §8.3 sequences
 //	robustness leakage accuracy vs injected interference (also -robustness)
+//	ret2spec RSB-steered speculative control flow (any backend)
 //	all     everything above
+//
+// Every experiment takes -backend to select the modeled
+// microarchitecture (intel-skylake by default; see `nightvision -list`
+// for the full set).
 package main
 
 import (
@@ -36,6 +41,7 @@ import (
 
 	"repro/internal/obs"
 	"repro/internal/registry"
+	"repro/internal/uarch"
 )
 
 func main() {
@@ -47,6 +53,9 @@ func main() {
 		seed     = flag.Uint64("seed", 0, "experiment seed (unset = default 0xA11; 0 itself is rejected)")
 		topK     = flag.Int("top", 10, "entries of the fig12 ranking to print")
 		parallel = flag.Int("parallel", 0, "experiment engine workers (0 = GOMAXPROCS, 1 = serial; results identical)")
+		backend  = flag.String("backend", uarch.DefaultName, "microarchitecture backend: "+strings.Join(uarch.Names(), ", "))
+		depth    = flag.Int("depth", 24, "deepest call chain of the ret2spec overflow sweep (0 = RSB depth + 4)")
+		rsbDepth = flag.Int("rsb-depth", 0, "modeled RSB entries for ret2spec (0 = backend native depth)")
 		robust   = flag.Bool("robustness", false, "run the interference robustness sweep (same as the robustness experiment)")
 		list     = flag.Bool("list", false, "list registered experiments and exit")
 		asJSON   = flag.Bool("json", false, "emit results as JSON (the registry result types) instead of tables")
@@ -83,11 +92,14 @@ func main() {
 	// experiment declares the parameter; entries without it ignore the
 	// flag, exactly like the old per-experiment dispatch did.
 	overrides := map[string]any{
-		"iters":  *iters,
-		"runs":   *runs,
-		"corpus": *corpus,
-		"noise":  *noise,
-		"top":    *topK,
+		"iters":     *iters,
+		"runs":      *runs,
+		"corpus":    *corpus,
+		"noise":     *noise,
+		"top":       *topK,
+		"backend":   *backend,
+		"depth":     *depth,
+		"rsb_depth": *rsbDepth,
 	}
 
 	name := "robustness"

@@ -19,6 +19,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/registry"
 	"repro/internal/store"
+	"repro/internal/uarch"
 )
 
 // api bundles the daemon's dependencies.
@@ -36,6 +37,22 @@ type experimentInfo struct {
 	Name        string           `json:"name"`
 	Description string           `json:"description"`
 	Params      []registry.Param `json:"params"`
+}
+
+// backendInfo is one row of GET /v1/backends.
+type backendInfo struct {
+	Name        string `json:"name"`
+	Description string `json:"description"`
+	Default     bool   `json:"default,omitempty"`
+	// BTB geometry: entries = sets*ways, window = 2^offset_bits bytes,
+	// aliasing distance = 2^tag_top_bit bytes.
+	BTBSets         int  `json:"btb_sets"`
+	BTBWays         int  `json:"btb_ways"`
+	TagTopBit       int  `json:"tag_top_bit"`
+	FalseHitDealloc bool `json:"false_hit_dealloc"`
+	// RSBDepth is the native return-stack-buffer depth, 0 when the
+	// backend models none.
+	RSBDepth int `json:"rsb_depth,omitempty"`
 }
 
 // healthInfo is GET /v1/healthz.
@@ -64,6 +81,7 @@ func newHandler(a *api, maxConcurrent int, reqTimeout time.Duration) http.Handle
 	mux.HandleFunc("GET /v1/version", a.handleVersion)
 	mux.HandleFunc("GET /v1/metrics", a.handleMetrics)
 	mux.HandleFunc("GET /v1/experiments", a.handleExperiments)
+	mux.HandleFunc("GET /v1/backends", a.handleBackends)
 	mux.HandleFunc("POST /v1/jobs", a.handleSubmit)
 	mux.HandleFunc("GET /v1/jobs", a.handleJobList)
 	mux.HandleFunc("GET /v1/jobs/{id}", a.handleJobGet)
@@ -210,6 +228,27 @@ func (a *api) handleExperiments(w http.ResponseWriter, r *http.Request) {
 	out := make([]experimentInfo, 0, len(list))
 	for _, e := range list {
 		out = append(out, experimentInfo{Name: e.Name, Description: e.Description, Params: e.Params})
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (a *api) handleBackends(w http.ResponseWriter, r *http.Request) {
+	list := uarch.List()
+	out := make([]backendInfo, 0, len(list))
+	for _, b := range list {
+		info := backendInfo{
+			Name:            b.Name(),
+			Description:     b.Description(),
+			Default:         b.Name() == uarch.DefaultName,
+			BTBSets:         b.BTB().Sets,
+			BTBWays:         b.BTB().Ways,
+			TagTopBit:       b.BTB().TagTopBit,
+			FalseHitDealloc: b.FalseHitDealloc(),
+		}
+		if rc, ok := b.RSB(); ok {
+			info.RSBDepth = rc.Depth
+		}
+		out = append(out, info)
 	}
 	writeJSON(w, http.StatusOK, out)
 }

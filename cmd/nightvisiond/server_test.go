@@ -20,6 +20,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/registry"
 	"repro/internal/store"
+	"repro/internal/uarch"
 )
 
 func newTestServer(t *testing.T) (*httptest.Server, *jobs.Engine, *store.Store) {
@@ -108,6 +109,69 @@ func TestHealthzAndExperiments(t *testing.T) {
 		if e.Name == "" || e.Description == "" || len(e.Params) == 0 {
 			t.Fatalf("incomplete experiment row: %+v", e)
 		}
+	}
+}
+
+// TestBackendsEndpoint: GET /v1/backends lists every registered
+// microarchitecture backend with its geometry, and flags the default.
+func TestBackendsEndpoint(t *testing.T) {
+	srv, _, _ := newTestServer(t)
+	var rows []backendInfo
+	if code := getJSON(t, srv.URL+"/v1/backends", &rows); code != http.StatusOK {
+		t.Fatalf("backends: status %d", code)
+	}
+	if len(rows) != len(uarch.Names()) {
+		t.Fatalf("backends listed %d, want %d", len(rows), len(uarch.Names()))
+	}
+	var sawDefault bool
+	for _, b := range rows {
+		if b.Name == "" || b.Description == "" || b.BTBSets == 0 || b.BTBWays == 0 {
+			t.Fatalf("incomplete backend row: %+v", b)
+		}
+		if b.Default {
+			if b.Name != uarch.DefaultName {
+				t.Fatalf("default flag on %q, want %q", b.Name, uarch.DefaultName)
+			}
+			sawDefault = true
+		}
+	}
+	if !sawDefault {
+		t.Fatal("no backend flagged as default")
+	}
+}
+
+// TestSubmitBackendKeys: the backend parameter separates cache keys —
+// the same experiment/config/seed on intel-skylake vs arm resolves to
+// distinct store keys, while resubmitting the same backend is a cache
+// hit. An unknown backend is rejected with 400 listing the known names.
+func TestSubmitBackendKeys(t *testing.T) {
+	srv, _, _ := newTestServer(t)
+	submit := func(backend string) jobs.View {
+		t.Helper()
+		body := fmt.Sprintf(`{"experiment":"fig2","params":{"iters":2,"backend":%q},"seed":23}`, backend)
+		var v jobs.View
+		code := postJSON(t, srv.URL+"/v1/jobs", body, &v)
+		if code != http.StatusAccepted && code != http.StatusOK {
+			t.Fatalf("submit backend=%s: status %d", backend, code)
+		}
+		return pollDone(t, srv.URL, v.ID)
+	}
+	sky := submit("intel-skylake")
+	arm := submit("arm")
+	if sky.Key == arm.Key {
+		t.Fatalf("intel-skylake and arm share store key %s", sky.Key)
+	}
+	if again := submit("arm"); !again.FromCache || again.Key != arm.Key {
+		t.Fatalf("arm resubmit not a cache hit: %+v", again)
+	}
+
+	var e errorBody
+	body := `{"experiment":"fig2","params":{"iters":2,"backend":"m88k"},"seed":23}`
+	if code := postJSON(t, srv.URL+"/v1/jobs", body, &e); code != http.StatusBadRequest {
+		t.Fatalf("unknown backend: status %d", code)
+	}
+	if !strings.Contains(e.Error, "intel-skylake") || !strings.Contains(e.Error, "arm") {
+		t.Fatalf("unknown-backend error does not list backends: %q", e.Error)
 	}
 }
 

@@ -246,6 +246,42 @@ func goldenCoreRun(t *testing.T) string {
 	return d.sum()
 }
 
+// goldenFig2Arm digests the Takeaway-1 curve on the arm backend: the
+// folded set-index hash and the branch-only update policy (no false-hit
+// deallocation) both feed the measurement, pinning the non-Intel BTB
+// model's observable behavior.
+func goldenFig2Arm(t *testing.T) string {
+	t.Helper()
+	with, without, err := experiments.Figure2(experiments.Config{Iters: 5, Backend: "arm"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := newDigester()
+	d.series(with)
+	d.series(without)
+	return d.sum()
+}
+
+// goldenRet2Spec digests the RSB-enabled configuration: the overflow
+// squash sweep and the cross-process underflow steering counters on the
+// named backend. This pins the return-stack-buffer model (push/pop wrap,
+// squash copy-back, context-switch persistence) bit-for-bit.
+func goldenRet2Spec(t *testing.T, backend string) string {
+	t.Helper()
+	res, err := experiments.Ret2Spec(experiments.Config{Backend: backend, Workers: 1}, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := newDigester()
+	d.str(res.Backend)
+	d.i64(int64(res.RSBDepth))
+	d.series(res.Squashes)
+	d.i64(int64(res.InferredDepth))
+	d.f64(res.PoisonedWindows)
+	d.f64(res.CleanWindows)
+	return d.sum()
+}
+
 // goldenFig12 digests the fingerprinting fan-out with the given worker
 // count and observability wiring. Every combination must produce the
 // same digest: worker count and attached metrics must not perturb
@@ -279,6 +315,9 @@ func TestGoldenEquivalence(t *testing.T) {
 		"model-traces": goldenModelTraces(t),
 		"nvs-bncmp":    goldenNVS(t),
 		"core-run":     goldenCoreRun(t),
+		"fig2-arm":     goldenFig2Arm(t),
+		"ret2spec":     goldenRet2Spec(t, "intel-skylake"),
+		"ret2spec-arm": goldenRet2Spec(t, "arm"),
 	}
 
 	// Figure 12 across workers 1/4 and obs off/on: all four runs must be

@@ -44,3 +44,36 @@ func TestLookupAllocs(t *testing.T) {
 		b.Flush()
 	})
 }
+
+// TestLookupAllocsArm runs the same gates on the Arm geometry: the fold
+// hash is pure integer arithmetic inside index(), so the backend switch
+// must not reintroduce allocations anywhere on the lookup/Bundle path.
+func TestLookupAllocsArm(t *testing.T) {
+	b := New(ConfigArm())
+	for i := uint64(0); i < 4096; i++ {
+		b.Update(0x40_0000+i*96+31, 0x50_0000+i, isa.KindJump)
+	}
+
+	check := func(name string, f func()) {
+		t.Helper()
+		if avg := testing.AllocsPerRun(200, f); avg != 0 {
+			t.Errorf("%s allocates %v objects/op, want 0", name, avg)
+		}
+	}
+
+	var i uint64
+	check("BTB.Lookup/arm", func() {
+		b.Lookup(0x40_0000 + (i%4096)*96)
+		i++
+	})
+	var bu Bundle
+	check("BTB.FillBundle/arm", func() {
+		b.FillBundle(&bu, 0x40_0000+(i%4096)*96)
+		bu.Lookup(0x40_0000 + (i%4096)*96)
+		i++
+	})
+	check("BTB.Update/arm", func() {
+		b.Update(0x40_0000+(i%4096)*96+31, 0x50_0000, isa.KindJump)
+		i++
+	})
+}

@@ -62,6 +62,25 @@ const Banks = 4
 // never allocate.
 const MaxWays = 16
 
+// IndexHash selects how a (last-byte) PC's block number is folded into
+// a set index. The choice is a per-backend microarchitectural property
+// (internal/uarch): Intel generations use the low block bits directly,
+// while the Arm cores reverse-engineered in arXiv 2412.05413 XOR higher
+// PC bits into the index.
+type IndexHash uint8
+
+const (
+	// HashModulo is the Intel scheme: set = block mod Sets. The zero
+	// value, so every pre-backend Config keeps its exact behavior.
+	HashModulo IndexHash = iota
+	// HashFold is the Arm scheme: the next setBits-wide field of the
+	// block number is XOR-folded into the low bits before the modulo,
+	// so congruent blocks 2^setBits apart land in different sets. The
+	// (set, tag) pair still uniquely identifies a block — folding
+	// permutes set placement without introducing model-level aliasing.
+	HashFold
+)
+
 // Config describes a BTB geometry. The zero value is invalid; use one of
 // the generation constructors or fill every field.
 type Config struct {
@@ -75,6 +94,8 @@ type Config struct {
 	// TagTopBit is the lowest ignored address bit: lookup uses address
 	// bits [0, TagTopBit). 32 → 4 GiB aliasing, 33 → 8 GiB aliasing.
 	TagTopBit int
+	// IndexHash selects the set-index derivation (see the constants).
+	IndexHash IndexHash
 	// ExactMatch disables the range-query semantics: a lookup hits only
 	// an entry whose offset equals the fetch offset. No real processor
 	// works this way (superscalar fetch needs range queries); the flag
@@ -94,6 +115,18 @@ func ConfigSkyLake() Config {
 // ConfigIceLake returns the IceLake geometry: 8 GiB aliasing distance.
 func ConfigIceLake() Config {
 	return Config{Sets: 1024, Ways: 8, OffsetBits: 5, TagTopBit: 33}
+}
+
+// ConfigArm returns the geometry modeled after the Cortex-class cores
+// reverse-engineered in "Branch Target Buffer Reverse Engineering on
+// Arm" (arXiv 2412.05413): more sets at lower associativity than the
+// Intel parts, an XOR-folded set index, and 4 GiB tag truncation. The
+// prediction window stays 32 bytes — the attack machinery in
+// internal/core assumes that block size. The matching non-branch-update
+// policy difference (no decode-time false-hit deallocation) lives in
+// cpu.Config.NoFalseHitDealloc, wired up by internal/uarch.
+func ConfigArm() Config {
+	return Config{Sets: 2048, Ways: 4, OffsetBits: 5, TagTopBit: 32, IndexHash: HashFold}
 }
 
 // ConfigFullTag returns a SkyLake-sized BTB whose tag covers the entire
@@ -256,7 +289,15 @@ func (b *BTB) index(pc uint64) (set int, tag uint64, offset uint8) {
 	}
 	offset = uint8(truncated & (b.cfg.BlockSize() - 1))
 	block := truncated >> b.cfg.OffsetBits
-	set = int(block & uint64(b.cfg.Sets-1))
+	indexed := block
+	if b.cfg.IndexHash == HashFold {
+		// Arm scheme: XOR the next setBits-wide field into the low bits.
+		// The tag stays block>>setBits, so the original low bits are
+		// recoverable as set ^ (tag & (Sets-1)): no information is lost
+		// and (set, tag) still uniquely identifies a block.
+		indexed ^= block >> b.setBits
+	}
+	set = int(indexed & uint64(b.cfg.Sets-1))
 	tag = block >> b.setBits
 	return set, tag, offset
 }

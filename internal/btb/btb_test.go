@@ -29,7 +29,7 @@ func TestConfigValidate(t *testing.T) {
 		}()
 	}
 	// Good configs must not panic.
-	for _, cfg := range []Config{ConfigSkyLake(), ConfigIceLake(), ConfigFullTag()} {
+	for _, cfg := range []Config{ConfigSkyLake(), ConfigIceLake(), ConfigFullTag(), ConfigArm()} {
 		New(cfg)
 	}
 }
@@ -362,5 +362,79 @@ func TestQuickAliasing(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
 		t.Error(err)
+	}
+}
+
+// TestFoldHashPlacement encodes the Arm set-index scheme: two blocks
+// congruent modulo Sets (which the Intel modulo scheme maps to the same
+// set) land in *different* sets under HashFold, while intra-block
+// behavior and tag truncation are untouched.
+func TestFoldHashPlacement(t *testing.T) {
+	cfg := ConfigArm()
+	b := New(cfg)
+	stride := uint64(cfg.Sets) * cfg.BlockSize() // congruent blocks, modulo scheme
+	s0, t0, _ := b.index(0x40_0000)
+	s1, t1, _ := b.index(0x40_0000 + stride)
+	if s0 == s1 {
+		t.Errorf("HashFold placed congruent blocks in the same set %d", s0)
+	}
+	if t0 == t1 {
+		t.Errorf("distinct blocks share tag %#x", t0)
+	}
+	// Modulo control: same addresses on SkyLake share a set.
+	m := skylake()
+	ms0, _, _ := m.index(uint64(0x40_0000))
+	ms1, _, _ := m.index(0x40_0000 + uint64(m.cfg.Sets)*m.cfg.BlockSize())
+	if ms0 != ms1 {
+		t.Errorf("HashModulo control: sets %d != %d", ms0, ms1)
+	}
+}
+
+// TestQuickFoldInjective property-tests that the fold hash loses no
+// information: (set, tag) uniquely recovers the block number, so two
+// different blocks below the truncation bit can never collide on both.
+func TestQuickFoldInjective(t *testing.T) {
+	b := New(ConfigArm())
+	mask := uint64(1)<<b.cfg.TagTopBit - 1
+	f := func(pcA, pcB uint64) bool {
+		pcA &= mask
+		pcB &= mask
+		sa, ta, _ := b.index(pcA)
+		sb, tb, _ := b.index(pcB)
+		sameBlock := pcA>>b.cfg.OffsetBits == pcB>>b.cfg.OffsetBits
+		return sameBlock == (sa == sb && ta == tb)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickFoldAliasing is TestQuickAliasing on the Arm geometry: the
+// fold hash operates on truncated addresses, so 4 GiB aliasing survives.
+func TestQuickFoldAliasing(t *testing.T) {
+	f := func(pc uint64, hiBits uint32) bool {
+		b := New(ConfigArm())
+		b.Update(pc, 0x1234, isa.KindJump)
+		alias := (pc & ((1 << 32) - 1)) | uint64(hiBits)<<32
+		h, ok := b.Lookup(alias &^ 0x1f)
+		return ok && h.Target == 0x1234
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestFoldUpdateLookupInvalidate runs the basic entry lifecycle on the
+// Arm geometry: range-semantics lookup, Touch, Invalidate.
+func TestFoldUpdateLookupInvalidate(t *testing.T) {
+	b := New(ConfigArm())
+	b.Update(0x40_001f, 0x40_1000, isa.KindJump)
+	h, ok := b.Lookup(0x40_0000)
+	if !ok || h.BranchPC != 0x40_001f || h.Target != 0x40_1000 {
+		t.Fatalf("fold lookup = %+v ok=%v", h, ok)
+	}
+	b.Touch(h)
+	if !b.Invalidate(0x40_001f) || b.ValidCount() != 0 {
+		t.Fatal("fold Invalidate failed")
 	}
 }

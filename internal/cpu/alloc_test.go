@@ -2,6 +2,10 @@ package cpu_test
 
 import (
 	"testing"
+
+	"repro/internal/cpu"
+	"repro/internal/rsb"
+	"repro/internal/uarch"
 )
 
 // TestStepSteadyStateAllocs gates the zero-allocation hot path: once
@@ -72,5 +76,56 @@ func TestResetAllocsBounded(t *testing.T) {
 	// The recycled core must still run.
 	if _, err := c.Step(); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestStepSteadyStateAllocsBackends re-runs the steady-state gate on
+// the Arm backend and on an RSB-enabled core: backend dispatch happens
+// at construction and the RSB is a fixed array, so neither may put an
+// allocation back on the step loop. The call/ret loop keeps the return
+// predictor (RAS or RSB) exercised every iteration.
+func TestStepSteadyStateAllocsBackends(t *testing.T) {
+	armCfg := cpu.ConfigFor(uarch.MustGet("arm"))
+	rsbCfg := cpu.DefaultConfig()
+	rsbCfg.RSB = rsb.Config{Depth: 8}
+	for _, tc := range []struct {
+		name string
+		cfg  cpu.Config
+	}{
+		{"backend=arm", armCfg},
+		{"rsb=8", rsbCfg},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			c := newCoreWith(t, tc.cfg, `
+				.org 0x1000
+			start:
+				movi r1, 2
+			loop:
+				call f
+				subi r1, 1
+				jnz loop
+				movi r1, 2
+				jmp loop
+			f:
+				ret
+			`)
+			for i := 0; i < 2000; i++ {
+				if _, err := c.Step(); err != nil {
+					t.Fatal(err)
+				}
+			}
+			var stepErr error
+			avg := testing.AllocsPerRun(500, func() {
+				if _, err := c.Step(); err != nil {
+					stepErr = err
+				}
+			})
+			if stepErr != nil {
+				t.Fatal(stepErr)
+			}
+			if avg != 0 {
+				t.Fatalf("Core.Step (%s) allocates %v objects/op in steady state, want 0", tc.name, avg)
+			}
+		})
 	}
 }

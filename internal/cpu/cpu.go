@@ -37,6 +37,8 @@ import (
 	"repro/internal/lbr"
 	"repro/internal/mem"
 	"repro/internal/obs"
+	"repro/internal/rsb"
+	"repro/internal/uarch"
 )
 
 // Config holds the core's microarchitectural parameters. Zero fields are
@@ -84,24 +86,44 @@ type Config struct {
 	MulLatency  uint64
 	DivLatency  uint64
 	LoadLatency uint64
+	// RSB, when Depth > 0, replaces the idealized bounded RAS with the
+	// circular return-stack-buffer model (internal/rsb): overflow
+	// overwrites the oldest return, underflow re-serves stale slots, and
+	// contents survive context switches — the ret2spec attack surface.
+	// The zero value keeps the legacy RAS, so every pre-existing config
+	// (and golden digest) is untouched.
+	RSB rsb.Config
 }
 
 // DefaultConfig returns the configuration used by the paper-reproduction
-// experiments: SkyLake-like BTB and a deep, 4-wide pipeline.
+// experiments: the intel-skylake backend's BTB and deep 4-wide pipeline.
 func DefaultConfig() Config {
+	return ConfigFor(uarch.MustGet(uarch.DefaultName))
+}
+
+// ConfigFor translates a microarchitecture backend into a core
+// configuration. Dispatch happens here, once, at construction time; the
+// resulting Config is plain data and the step hot path never consults
+// the backend again. The RSB model stays opt-in (zero) even for
+// backends that advertise one — experiments enable it explicitly so
+// that default-config behavior is bit-identical to the pre-backend
+// simulator.
+func ConfigFor(b uarch.Backend) Config {
+	p := b.Pipeline()
 	return Config{
-		BTB:                   btb.ConfigSkyLake(),
-		RetireWidth:           4,
-		PipeDepth:             12,
-		FalseHitPenalty:       9,
-		DecodeResteerPenalty:  8,
-		ExecMispredictPenalty: 17,
-		InterruptCost:         60,
-		FetchAheadPWs:         2,
-		RASDepth:              16,
-		MulLatency:            3,
-		DivLatency:            20,
-		LoadLatency:           4,
+		BTB:                   b.BTB(),
+		RetireWidth:           p.RetireWidth,
+		PipeDepth:             p.PipeDepth,
+		FalseHitPenalty:       p.FalseHitPenalty,
+		DecodeResteerPenalty:  p.DecodeResteerPenalty,
+		ExecMispredictPenalty: p.ExecMispredictPenalty,
+		InterruptCost:         p.InterruptCost,
+		FetchAheadPWs:         p.FetchAheadPWs,
+		RASDepth:              p.RASDepth,
+		MulLatency:            p.MulLatency,
+		DivLatency:            p.DivLatency,
+		LoadLatency:           p.LoadLatency,
+		NoFalseHitDealloc:     !b.FalseHitDealloc(),
 	}
 }
 
@@ -241,9 +263,17 @@ type Core struct {
 	nextPWID uint64
 
 	// Return-address prediction: specRAS tracks decode-time state,
-	// archRAS retirement state; squashes restore spec from arch.
+	// archRAS retirement state; squashes restore spec from arch. When
+	// cfg.RSB.Depth > 0 the RSB pair below replaces the RAS pair and
+	// these slices stay empty.
 	specRAS []uint64
 	archRAS []uint64
+
+	// Return stack buffers (circular, wrap-on-over/underflow); nil when
+	// the RSB model is disabled. Same spec/arch split and squash-restore
+	// discipline as the RAS.
+	specRSB *rsb.RSB
+	archRSB *rsb.RSB
 
 	// Conditional direction predictor (optional).
 	dirPred *dirPredictor
@@ -280,6 +310,7 @@ type Core struct {
 	squashes       uint64
 	falseHits      uint64
 	decodeResteers uint64
+	fetchWindows   uint64
 
 	obs Obs
 }
@@ -310,6 +341,10 @@ func New(cfg Config, m *mem.Memory) *Core {
 	}
 	if cfg.DirPredictor {
 		c.dirPred = newDirPredictor()
+	}
+	if cfg.RSB.Depth > 0 {
+		c.specRSB = rsb.New(cfg.RSB)
+		c.archRSB = rsb.New(cfg.RSB)
 	}
 	return c
 }
@@ -345,6 +380,10 @@ func (c *Core) Reset() {
 	c.nextPWID = 0
 	c.specRAS = c.specRAS[:0]
 	c.archRAS = c.archRAS[:0]
+	if c.specRSB != nil {
+		c.specRSB.Reset()
+		c.archRSB.Reset()
+	}
 	c.retireClock = 0
 	c.retiredInCyc = 0
 	c.OnRetire = nil
@@ -354,6 +393,7 @@ func (c *Core) Reset() {
 	c.squashes = 0
 	c.falseHits = 0
 	c.decodeResteers = 0
+	c.fetchWindows = 0
 	c.obs = Obs{}
 	// Drop decode-cache contents: gen-keying already invalidates them
 	// against the paired Memory (whose Reset bumps the generation), but
@@ -402,6 +442,12 @@ func (c *Core) Squashes() uint64 { return c.squashes }
 // deallocations) observed.
 func (c *Core) FalseHits() uint64 { return c.falseHits }
 
+// FetchWindows returns the number of prediction windows the front end
+// has fetched, wrong-path included. Speculative fetch volume is the
+// observable the ret2spec experiment measures: stale RSB predictions
+// steer extra windows down paths the program already left.
+func (c *Core) FetchWindows() uint64 { return c.fetchWindows }
+
 // Halted reports whether the core has executed hlt.
 func (c *Core) Halted() bool { return c.halted }
 
@@ -419,7 +465,10 @@ func (c *Core) Interrupt() {
 // ContextSwitch saves the current architectural register state into old
 // and installs next, squashing the pipeline and charging interrupt cost.
 // The BTB and LBR are per-core shared state and persist — this is what
-// makes cross-process BTB attacks possible.
+// makes cross-process BTB attacks possible. The RAS is modeled as
+// saved/restored by the OS (cleared here), but an enabled RSB persists
+// like the BTB: hardware has no RSB save instruction, and that
+// persistence is the cross-process half of the ret2spec surface.
 func (c *Core) ContextSwitch(old, next *ArchState) {
 	if old != nil {
 		old.Regs = c.regs
@@ -455,6 +504,50 @@ func (c *Core) squashTo(pc uint64, penalty uint64) {
 	c.squashes++
 	c.obs.Squashes.Inc()
 	c.fetchClock = c.retireClock + penalty
-	// Restore decode-time RAS from retirement state.
+	// Restore decode-time return prediction from retirement state
+	// (hardware checkpoint recovery).
 	c.specRAS = append(c.specRAS[:0], c.archRAS...)
+	if c.specRSB != nil {
+		c.specRSB.CopyFrom(c.archRSB)
+	}
+}
+
+// Return-predictor dispatch: the spec/arch push and pop sites in
+// fetch and execute go through these, selecting the circular RSB model
+// when it is enabled and the legacy bounded RAS otherwise. The branch
+// is on a pointer fixed at construction — no per-call dispatch cost.
+
+func (c *Core) specReturnPush(v uint64) {
+	if c.specRSB != nil {
+		c.specRSB.Push(v)
+		return
+	}
+	c.rasPush(&c.specRAS, v)
+}
+
+func (c *Core) archReturnPush(v uint64) {
+	if c.archRSB != nil {
+		c.archRSB.Push(v)
+		return
+	}
+	c.rasPush(&c.archRAS, v)
+}
+
+// specReturnPop returns the predicted return target, ok=false meaning
+// no prediction (empty RAS, or a never-written RSB slot whose 0 the
+// front end must not fetch from).
+func (c *Core) specReturnPop() (uint64, bool) {
+	if c.specRSB != nil {
+		v := c.specRSB.Pop()
+		return v, v != 0
+	}
+	return c.rasPop(&c.specRAS)
+}
+
+func (c *Core) archReturnPop() {
+	if c.archRSB != nil {
+		c.archRSB.Pop()
+		return
+	}
+	c.rasPop(&c.archRAS)
 }

@@ -323,7 +323,7 @@ func (c *Core) execute(s *slot, retire uint64, info *StepInfo) error {
 		}
 		taken = true
 		target = in.BranchTarget(pc)
-		c.rasPush(&c.archRAS, fallthrough_)
+		c.archReturnPush(fallthrough_)
 	case isa.OpJmpReg:
 		taken = true
 		target = c.regs[in.Dst]
@@ -334,7 +334,7 @@ func (c *Core) execute(s *slot, retire uint64, info *StepInfo) error {
 		}
 		taken = true
 		target = c.regs[in.Dst]
-		c.rasPush(&c.archRAS, fallthrough_)
+		c.archReturnPush(fallthrough_)
 	case isa.OpRet:
 		v, err := c.Mem.Read64(c.regs[isa.SP])
 		if err != nil {
@@ -343,7 +343,7 @@ func (c *Core) execute(s *slot, retire uint64, info *StepInfo) error {
 		c.regs[isa.SP] += 8
 		taken = true
 		target = v
-		c.rasPop(&c.archRAS)
+		c.archReturnPop()
 
 	default:
 		if in.Kind() == isa.KindCond {

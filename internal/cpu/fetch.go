@@ -83,6 +83,7 @@ func (c *Core) fetchPW() {
 // fetchPWBody walks one prediction window and returns how many
 // instructions it decoded.
 func (c *Core) fetchPWBody() (nDecoded int) {
+	c.fetchWindows++
 	c.obs.FetchWindows.Inc()
 	pc := c.fetchPC
 	pwid := c.nextPWID
@@ -194,7 +195,7 @@ func (c *Core) fetchPWBody() (nDecoded int) {
 				c.BTB.Update(last, target, kind)
 			}
 			if kind == isa.KindCall {
-				c.rasPush(&c.specRAS, cur+uint64(in.Size))
+				c.specReturnPush(cur + uint64(in.Size))
 			}
 			nDecoded++
 			*c.enqueue() = slot{pc: cur, in: in, pwid: pwid, fetchCycle: fetchCycle, nextPredicted: target, predictedTaken: true, btbHit: atPrediction}
@@ -238,7 +239,7 @@ func (c *Core) fetchPWBody() (nDecoded int) {
 			if atPrediction {
 				c.BTB.Touch(hit) // genuine ret entry consumed
 			}
-			pred, has := c.rasPop(&c.specRAS)
+			pred, has := c.specReturnPop()
 			if !has {
 				pred = noPrediction
 			}
@@ -265,7 +266,7 @@ func (c *Core) fetchPWBody() (nDecoded int) {
 
 		case isa.KindIndJump, isa.KindIndCall:
 			if kind == isa.KindIndCall {
-				c.rasPush(&c.specRAS, cur+uint64(in.Size))
+				c.specReturnPush(cur + uint64(in.Size))
 			}
 			pred := noPrediction
 			if atPrediction {

@@ -1,0 +1,221 @@
+package cpu_test
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/asm"
+	"repro/internal/cpu"
+	"repro/internal/isa"
+	"repro/internal/mem"
+	"repro/internal/rsb"
+	"repro/internal/uarch"
+)
+
+// newCoreWith is newCore with an explicit configuration.
+func newCoreWith(t *testing.T, cfg cpu.Config, src string) *cpu.Core {
+	t.Helper()
+	p, err := asm.Assemble(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := mem.New()
+	p.LoadInto(m)
+	m.Map(stackTop-stackSize, stackSize, mem.PermRW)
+	c := cpu.New(cfg, m)
+	c.SetReg(isa.SP, stackTop)
+	c.SetPC(p.MustLabel("start"))
+	return c
+}
+
+// chainProgram emits start: call f0; hlt, then a chain of depth
+// functions f0..f{depth-1} where each calls the next and returns —
+// depth nested live return addresses at the deepest point, every return
+// address distinct.
+func chainProgram(depth int) string {
+	var b strings.Builder
+	b.WriteString(".org 0x1000\nstart:\n\tcall f0\n\thlt\n")
+	for i := 0; i < depth; i++ {
+		fmt.Fprintf(&b, "f%d:\n", i)
+		if i < depth-1 {
+			fmt.Fprintf(&b, "\tcall f%d\n", i+1)
+		}
+		b.WriteString("\tret\n")
+	}
+	return b.String()
+}
+
+// TestRSBOverflowMispredicts is ret2spec's overflow half at core level:
+// a call chain deeper than the RSB overwrites the oldest return
+// addresses, so the outermost returns pop stale targets and squash,
+// where the idealized RAS (deep enough to hold the chain) predicts
+// every return. Architectural results must be identical — only the
+// speculative signal differs.
+func TestRSBOverflowMispredicts(t *testing.T) {
+	const depth = 12
+	src := chainProgram(depth)
+
+	ras := newCoreWith(t, cpu.Config{}, src) // RASDepth 16 > depth
+	run(t, ras)
+	rsbc := newCoreWith(t, cpu.Config{RSB: rsb.Config{Depth: 4}}, src)
+	run(t, rsbc)
+
+	if ras.PC() != rsbc.PC() || ras.Retired() != rsbc.Retired() {
+		t.Fatalf("architectural divergence: RAS pc=%#x retired=%d, RSB pc=%#x retired=%d",
+			ras.PC(), ras.Retired(), rsbc.PC(), rsbc.Retired())
+	}
+	if !ras.Halted() || !rsbc.Halted() {
+		t.Fatal("cores did not halt")
+	}
+	if rsbc.Squashes() <= ras.Squashes() {
+		t.Errorf("overflowed RSB squashes = %d, want > RAS squashes %d",
+			rsbc.Squashes(), ras.Squashes())
+	}
+	if rsbc.Cycle() <= ras.Cycle() {
+		t.Errorf("overflowed RSB cycles = %d, want > RAS cycles %d",
+			rsbc.Cycle(), ras.Cycle())
+	}
+}
+
+// TestRSBWithinDepthMatchesRAS: a chain that fits in the RSB behaves
+// exactly like the RAS — same squash count, same cycle count. The model
+// change is invisible until a failure mode is actually provoked.
+func TestRSBWithinDepthMatchesRAS(t *testing.T) {
+	src := chainProgram(6)
+	ras := newCoreWith(t, cpu.Config{}, src)
+	run(t, ras)
+	rsbc := newCoreWith(t, cpu.Config{RSB: rsb.Config{Depth: 16}}, src)
+	run(t, rsbc)
+	if ras.Squashes() != rsbc.Squashes() || ras.Cycle() != rsbc.Cycle() {
+		t.Errorf("in-depth RSB diverged: squashes %d vs %d, cycles %d vs %d",
+			ras.Squashes(), rsbc.Squashes(), ras.Cycle(), rsbc.Cycle())
+	}
+}
+
+// TestRSBUnderflowServesStale is the underflow half: a ret with no
+// matching call pops a stale, already-consumed slot and steers
+// speculative fetch there, where the RAS reports no prediction and
+// fetch simply waits for execution. Both resolve architecturally to the
+// pushed target.
+func TestRSBUnderflowServesStale(t *testing.T) {
+	// The depth-4 chain writes every slot of a depth-4 RSB and its
+	// returns consume them, leaving the top pointer back at its start
+	// with all slots stale. The manual push/ret then underflows: the
+	// wrapped top pointer re-serves the last chain return address
+	// instead of reporting emptiness.
+	src := `
+		.org 0x1000
+	start:
+		call f0
+		movabs r2, dest
+		push r2
+		ret
+	f0:
+		call f1
+		ret
+	f1:
+		call f2
+		ret
+	f2:
+		call f3
+		ret
+	f3:
+		ret
+	dest:
+		hlt
+	`
+	ras := newCoreWith(t, cpu.Config{}, src)
+	run(t, ras)
+	rsbc := newCoreWith(t, cpu.Config{RSB: rsb.Config{Depth: 4}}, src)
+	run(t, rsbc)
+
+	if ras.PC() != rsbc.PC() || !rsbc.Halted() {
+		t.Fatalf("architectural divergence: pc %#x vs %#x", ras.PC(), rsbc.PC())
+	}
+	// The stale prediction steers fetch down a wrong path the stopped
+	// RAS front end never fetches.
+	if rsbc.FetchWindows() <= ras.FetchWindows() {
+		t.Errorf("underflowing RSB fetched %d windows, want > RAS %d",
+			rsbc.FetchWindows(), ras.FetchWindows())
+	}
+}
+
+// TestRSBSurvivesContextSwitch: the RSB, like the BTB, is not saved or
+// restored by the OS model — process B's first ret pops a return
+// address process A pushed, steering wrong-path fetch from B's context
+// (cross-process ret2spec). The cleared RAS instead stops fetch.
+func TestRSBSurvivesContextSwitch(t *testing.T) {
+	src := `
+		.org 0x1000
+	start:
+		call f
+	spin:
+		jmp spin
+	f:
+		movabs r2, bdest
+		push r2
+		ret
+	bstart:
+		movabs r3, bdest
+		push r3
+		ret
+	bdest:
+		hlt
+	`
+	measure := func(cfg cpu.Config) uint64 {
+		p, err := asm.Assemble(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m := mem.New()
+		p.LoadInto(m)
+		m.Map(stackTop-stackSize, stackSize, mem.PermRW)
+		c := cpu.New(cfg, m)
+		c.SetReg(isa.SP, stackTop)
+		c.SetPC(p.MustLabel("start"))
+		// Run process A far enough to execute the call (pushing f's
+		// return address into the return predictor).
+		for i := 0; i < 3; i++ {
+			if _, err := c.Step(); err != nil {
+				t.Fatal(err)
+			}
+		}
+		next := &cpu.ArchState{PC: p.MustLabel("bstart")}
+		next.Regs[isa.SP] = stackTop
+		c.ContextSwitch(nil, next)
+		before := c.FetchWindows()
+		run(t, c)
+		if !c.Halted() {
+			t.Fatal("process B did not halt")
+		}
+		return c.FetchWindows() - before
+	}
+
+	rasWindows := measure(cpu.Config{})
+	rsbWindows := measure(cpu.Config{RSB: rsb.Config{Depth: 8}})
+	if rsbWindows <= rasWindows {
+		t.Errorf("post-switch RSB fetched %d windows, want > cleared-RAS %d (stale cross-process prediction)",
+			rsbWindows, rasWindows)
+	}
+}
+
+// TestConfigForBackends: every registered backend yields a runnable
+// core, and the default backend is exactly DefaultConfig (the pinned
+// pre-backend parameters).
+func TestConfigForBackends(t *testing.T) {
+	if got, want := cpu.ConfigFor(uarch.MustGet(uarch.DefaultName)), cpu.DefaultConfig(); got != want {
+		t.Errorf("ConfigFor(default) = %+v, want DefaultConfig %+v", got, want)
+	}
+	for _, b := range uarch.List() {
+		c := newCoreWith(t, cpu.ConfigFor(b), chainProgram(4))
+		run(t, c)
+		if !c.Halted() {
+			t.Errorf("backend %s: core did not halt", b.Name())
+		}
+	}
+	arm := cpu.ConfigFor(uarch.MustGet("arm"))
+	if !arm.NoFalseHitDealloc {
+		t.Error("arm config must set NoFalseHitDealloc (branch-only BTB updates)")
+	}
+}

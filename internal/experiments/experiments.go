@@ -20,6 +20,7 @@ import (
 	"repro/internal/mem"
 	"repro/internal/obs"
 	"repro/internal/runner"
+	"repro/internal/uarch"
 )
 
 // Config holds common experiment knobs.
@@ -45,8 +46,14 @@ type Config struct {
 	// is an execution detail: it never changes the bytes of a completed
 	// result, only whether the run completes.
 	Ctx context.Context
+	// Backend names the microarchitecture backend (internal/uarch) that
+	// supplies the core configuration when CPU is zero. Empty means
+	// uarch.DefaultName (intel-skylake, the paper's target). Registry
+	// entries validate the name against the backend enum before it gets
+	// here; an unknown name at this level falls back to the default.
+	Backend string
 	// CPU optionally overrides the core configuration (zero value =
-	// defaults, SkyLake-like).
+	// derive from Backend).
 	CPU cpu.Config
 	// NVSBlocksPerCall overrides N of Figure 10 for NV-S runs (0 =
 	// the SupervisorConfig default of 8).
@@ -79,6 +86,16 @@ type Config struct {
 func (c Config) withDefaults() Config {
 	if c.Iters == 0 {
 		c.Iters = 1000
+	}
+	if c.Backend == "" {
+		c.Backend = uarch.DefaultName
+	}
+	if c.CPU == (cpu.Config{}) {
+		if b, ok := uarch.Get(c.Backend); ok {
+			c.CPU = cpu.ConfigFor(b)
+		}
+		// Unknown names leave CPU zero: cpu.New's own defaulting takes
+		// over (intel-skylake), same behavior as before backends existed.
 	}
 	if c.Seed == 0 {
 		c.Seed = 0xA11

@@ -14,14 +14,14 @@ import (
 // given instrumentation and returns the JSON-marshaled results.
 // Instrumentation is write-only, so these bytes must be identical
 // whether or not reg/tr are set and for any worker count.
-func obsProbe(t *testing.T, workers int, reg *obs.Registry, tr *obs.Trace) []byte {
+func obsProbe(t *testing.T, backend string, workers int, reg *obs.Registry, tr *obs.Trace) []byte {
 	t.Helper()
-	fig := Config{Iters: 3, Seed: 29, Workers: workers, Obs: reg, Trace: tr}
+	fig := Config{Iters: 3, Seed: 29, Workers: workers, Obs: reg, Trace: tr, Backend: backend}
 	withF2, withoutF2, err := Figure2(fig)
 	if err != nil {
 		t.Fatal(err)
 	}
-	uc := Config{Iters: 1, Seed: 5, Workers: workers, Obs: reg, Trace: tr}
+	uc := Config{Iters: 1, Seed: 5, Workers: workers, Obs: reg, Trace: tr, Backend: backend}
 	uc.Interference = interfere.Config{
 		InterruptRate:  0.002,
 		RecordLossRate: 0.05,
@@ -59,31 +59,51 @@ func metricValues(reg *obs.Registry) map[string]uint64 {
 // TestObsDeterminism is the observability layer's core guarantee:
 // attaching a metrics registry and a tracer changes no result byte, for
 // any worker count, and the metric totals themselves are identical
-// across worker counts (shard sums are order-independent).
+// across worker counts (shard sums are order-independent). The
+// guarantee is per backend: the arm model (folded set hash, no
+// false-hit deallocation) rides the same shard plumbing as the Intel
+// default.
 func TestObsDeterminism(t *testing.T) {
-	baseline := obsProbe(t, 1, nil, nil)
+	for _, backend := range []string{"intel-skylake", "arm"} {
+		t.Run("backend="+backend, func(t *testing.T) { testObsDeterminism(t, backend) })
+	}
+}
+
+func testObsDeterminism(t *testing.T, backend string) {
+	baseline := obsProbe(t, backend, 1, nil, nil)
 
 	var prev map[string]uint64
 	for _, workers := range []int{1, 4} {
-		if got := obsProbe(t, workers, nil, nil); !bytes.Equal(got, baseline) {
+		if got := obsProbe(t, backend, workers, nil, nil); !bytes.Equal(got, baseline) {
 			t.Fatalf("uninstrumented Workers=%d diverges from baseline", workers)
 		}
 		reg := obs.NewRegistry()
 		tr := obs.NewTrace()
-		if got := obsProbe(t, workers, reg, tr); !bytes.Equal(got, baseline) {
+		if got := obsProbe(t, backend, workers, reg, tr); !bytes.Equal(got, baseline) {
 			t.Fatalf("instrumented Workers=%d changed result bytes", workers)
 		}
 
 		vals := metricValues(reg)
-		for _, name := range []string{
-			"btb_lookups_total", "btb_hits_total", "btb_invalidates_total",
+		names := []string{
+			"btb_lookups_total", "btb_hits_total",
 			"cpu_fetch_windows_total", "cpu_squashes_total", "cpu_false_hits_total",
 			"cpu_retired_total", "probe_primes_total", "probe_rounds_total",
 			"runner_tasks_total",
-		} {
+		}
+		if backend != "arm" {
+			// Arm updates BTB state only for actual branches: false hits
+			// cost the resteer but never invalidate, so the counter staying
+			// at zero is the policy working, not missing instrumentation.
+			names = append(names, "btb_invalidates_total")
+		}
+		for _, name := range names {
 			if vals[name] == 0 {
 				t.Errorf("Workers=%d: %s = 0, want > 0", workers, name)
 			}
+		}
+		if backend == "arm" && vals["btb_invalidates_total"] != 0 {
+			t.Errorf("Workers=%d: arm recorded %d BTB invalidates, want 0 (branch-only update policy)",
+				workers, vals["btb_invalidates_total"])
 		}
 		// The degraded UseCase1 run must have delivered classed faults.
 		var faults uint64

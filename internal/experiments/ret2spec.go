@@ -1,0 +1,220 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/asm"
+	"repro/internal/cpu"
+	"repro/internal/isa"
+	"repro/internal/mem"
+	"repro/internal/rsb"
+	"repro/internal/runner"
+	"repro/internal/stats"
+	"repro/internal/uarch"
+)
+
+// Ret2SpecResult is the RSB-steered speculative control flow
+// demonstration (arXiv 1807.10364), the backend subsystem's headline
+// experiment: unlike the BTB-deallocation figures it exercises the
+// return stack buffer, so it runs meaningfully on every backend —
+// including arm, whose branch-only BTB updates suppress the
+// NightVision false-hit signal.
+type Ret2SpecResult struct {
+	// Backend and RSBDepth are the configuration under test.
+	Backend  string `json:"backend"`
+	RSBDepth int    `json:"rsb_depth"`
+	// Squashes is the warm-pipeline squash count per call-chain depth.
+	// Flat while the chain fits the RSB; +1 per extra frame beyond it
+	// (each overflowed return pops a stale target and squashes).
+	Squashes *stats.Series `json:"squashes"`
+	// InferredDepth is the RSB depth the squash knee reveals: the
+	// attacker-side calibration measurement.
+	InferredDepth int `json:"inferred_depth"`
+	// PoisonedWindows and CleanWindows are the prediction windows the
+	// attacker's underflowing returns fetch after a victim ran
+	// (poisoned: stale victim return addresses steer wrong-path fetch
+	// across the context switch) and on a cold RSB (clean: never-written
+	// slots predict nothing). PoisonedWindows > CleanWindows is the
+	// cross-process ret2spec signal.
+	PoisonedWindows float64 `json:"poisoned_windows"`
+	CleanWindows    float64 `json:"clean_windows"`
+}
+
+func (r *Ret2SpecResult) String() string {
+	return fmt.Sprintf("backend=%s rsb=%d inferred=%d windows poisoned=%.0f clean=%.0f",
+		r.Backend, r.RSBDepth, r.InferredDepth, r.PoisonedWindows, r.CleanWindows)
+}
+
+// chainSource emits a call chain: start calls f0, each f_i calls
+// f_{i+1} and returns, so depth return addresses (all distinct) are
+// live at the deepest point.
+func chainSource(depth int) string {
+	var b strings.Builder
+	b.WriteString(".org 0x40_0000\nstart:\n\tcall f0\n\thlt\n")
+	for i := 0; i < depth; i++ {
+		fmt.Fprintf(&b, "f%d:\n", i)
+		if i < depth-1 {
+			fmt.Fprintf(&b, "\tcall f%d\n", i+1)
+		}
+		b.WriteString("\tret\n")
+	}
+	return b.String()
+}
+
+const ret2specStackTop = uint64(0x7e_2000)
+
+// ret2specCore assembles src and builds a core with the RSB model
+// enabled at the given depth.
+func ret2specCore(cfg Config, rsbDepth int, src string, sh *simShard) (*cpu.Core, *asm.Program, error) {
+	prog, err := asm.Assemble(src)
+	if err != nil {
+		return nil, nil, err
+	}
+	m := mem.New()
+	prog.LoadInto(m)
+	m.Map(ret2specStackTop-0x2000, 0x2000, mem.PermRW)
+	cpuCfg := cfg.CPU
+	cpuCfg.RSB = rsb.Config{Depth: rsbDepth}
+	c := cpu.New(cpuCfg, m)
+	if cfg.Noise > 0 {
+		c.LBR.SetNoise(cfg.Noise, cfg.Seed)
+	}
+	sh.attachCore(c)
+	return c, prog, nil
+}
+
+// runToHalt runs the core from the "start" label until hlt.
+func runToHalt(c *cpu.Core, prog *asm.Program) error {
+	c.SetReg(isa.SP, ret2specStackTop)
+	c.SetPC(prog.MustLabel("start"))
+	_, err := c.Run(1_000_000)
+	return err
+}
+
+// ret2specNativeDepth resolves the RSB depth to model: an explicit
+// rsbDepth wins; 0 means the backend's native depth.
+func ret2specNativeDepth(cfg Config, rsbDepth int) int {
+	if rsbDepth > 0 {
+		return rsbDepth
+	}
+	if b, ok := uarch.Get(cfg.Backend); ok {
+		if rc, has := b.RSB(); has {
+			return rc.Depth
+		}
+	}
+	return 16
+}
+
+// Ret2Spec runs the two halves of the ret2spec surface on the RSB
+// model:
+//
+//  1. Depth extraction (overflow): for each call-chain depth in
+//     [1, maxDepth], run the chain cold (training the BTB), then
+//     measure pipeline squashes over a warm re-run. Chains within the
+//     RSB capacity predict every return; each frame beyond it pops a
+//     stale target and squashes, so the squash-vs-depth curve has a
+//     knee exactly at the RSB depth — the attacker's calibration step.
+//
+//  2. Cross-process steering (underflow): a victim fills the RSB with
+//     a depth-matching call chain and the OS switches to an attacker
+//     that executes returns with no matching calls. The wrapped top
+//     pointer re-serves the victim's stale return addresses, steering
+//     the attacker's speculative fetch into victim code — observable
+//     as extra prediction windows versus the same attacker on a cold
+//     RSB.
+//
+// Both measurements read deterministic pipeline counters (squashes,
+// fetch windows), not the noisy LBR channel, so Iters/Noise do not
+// enter; results are bit-identical for any worker count.
+func Ret2Spec(cfg Config, maxDepth, rsbDepth int) (*Ret2SpecResult, error) {
+	cfg = cfg.withDefaults()
+	depth := ret2specNativeDepth(cfg, rsbDepth)
+	if maxDepth <= depth {
+		maxDepth = depth + 4 // the knee must be inside the sweep
+	}
+	eo := cfg.obsCtx()
+
+	// Phase 1: squash count per chain depth, fanned out on the engine.
+	squashes, err := runner.Map(cfg.engine(), maxDepth, func(t runner.Task) (float64, error) {
+		sh := eo.shard(int64(t.Index))
+		defer sh.flush(nil)
+		d := t.Index + 1
+		c, prog, err := ret2specCore(cfg, depth, chainSource(d), sh)
+		if err != nil {
+			return 0, err
+		}
+		if err := runToHalt(c, prog); err != nil { // cold: trains the BTB
+			return 0, err
+		}
+		before := c.Squashes()
+		if err := runToHalt(c, prog); err != nil { // warm: the measurement
+			return 0, err
+		}
+		return float64(c.Squashes() - before), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	series := &stats.Series{Name: "squashes"}
+	for i, s := range squashes {
+		series.Add(float64(i+1), s)
+	}
+	// The knee: the last depth before the squash count starts growing.
+	inferred := maxDepth
+	for d := 2; d <= maxDepth; d++ {
+		if squashes[d-1] > squashes[d-2] {
+			inferred = d - 1
+			break
+		}
+	}
+
+	// Phase 2: cross-process steering. The victim chain matches the RSB
+	// depth so every slot holds a victim return address; the attacker
+	// then underflows with manual push/ret pairs.
+	attacker := func(runVictim bool) (float64, error) {
+		sh := eo.shard(int64(maxDepth) + 1)
+		defer sh.flush(nil)
+		var b strings.Builder
+		b.WriteString(chainSource(depth))
+		b.WriteString("astart:\n")
+		for i := 0; i < depth; i++ {
+			fmt.Fprintf(&b, "\tmovabs r2, a%d\n\tpush r2\n\tret\na%d:\n", i, i)
+		}
+		b.WriteString("\thlt\n")
+		c, prog, err := ret2specCore(cfg, depth, b.String(), sh)
+		if err != nil {
+			return 0, err
+		}
+		if runVictim {
+			if err := runToHalt(c, prog); err != nil {
+				return 0, err
+			}
+		}
+		st := cpu.ArchState{PC: prog.MustLabel("astart")}
+		st.Regs[isa.SP] = ret2specStackTop
+		c.ContextSwitch(nil, &st)
+		before := c.FetchWindows()
+		if _, err := c.Run(1_000_000); err != nil {
+			return 0, err
+		}
+		return float64(c.FetchWindows() - before), nil
+	}
+	poisoned, err := attacker(true)
+	if err != nil {
+		return nil, err
+	}
+	clean, err := attacker(false)
+	if err != nil {
+		return nil, err
+	}
+
+	return &Ret2SpecResult{
+		Backend:         cfg.Backend,
+		RSBDepth:        depth,
+		Squashes:        series,
+		InferredDepth:   inferred,
+		PoisonedWindows: poisoned,
+		CleanWindows:    clean,
+	}, nil
+}

@@ -1,0 +1,66 @@
+package experiments
+
+import "testing"
+
+// TestRet2SpecKnee: the squash-vs-depth knee lands exactly on the
+// modeled RSB depth, and the attacker's post-switch returns fetch more
+// wrong-path windows from a poisoned RSB than a cold one.
+func TestRet2SpecKnee(t *testing.T) {
+	for _, backend := range []string{"intel-skylake", "arm"} {
+		t.Run("backend="+backend, func(t *testing.T) {
+			res, err := Ret2Spec(Config{Backend: backend, Workers: 1}, 0, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := 16
+			if backend == "arm" {
+				want = 8
+			}
+			if res.RSBDepth != want {
+				t.Errorf("native RSBDepth = %d, want %d", res.RSBDepth, want)
+			}
+			if res.InferredDepth != res.RSBDepth {
+				t.Errorf("inferred depth %d != modeled depth %d\nseries: %v",
+					res.InferredDepth, res.RSBDepth, res.Squashes)
+			}
+			if res.PoisonedWindows <= res.CleanWindows {
+				t.Errorf("poisoned windows %.0f <= clean %.0f: no cross-process steering signal",
+					res.PoisonedWindows, res.CleanWindows)
+			}
+		})
+	}
+}
+
+// TestRet2SpecExplicitDepth: an explicit rsb_depth overrides the
+// backend native depth and moves the knee with it.
+func TestRet2SpecExplicitDepth(t *testing.T) {
+	res, err := Ret2Spec(Config{Workers: 2}, 10, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.RSBDepth != 5 || res.InferredDepth != 5 {
+		t.Errorf("depth=5 run: modeled %d, inferred %d, want 5/5\nseries: %v",
+			res.RSBDepth, res.InferredDepth, res.Squashes)
+	}
+}
+
+// TestRet2SpecWorkerDeterminism: bit-identical for any worker count
+// (the repo-wide runner guarantee).
+func TestRet2SpecWorkerDeterminism(t *testing.T) {
+	a, err := Ret2Spec(Config{Workers: 1}, 20, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Ret2Spec(Config{Workers: 8}, 20, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.InferredDepth != b.InferredDepth || len(a.Squashes.Y) != len(b.Squashes.Y) {
+		t.Fatalf("worker-count divergence: %+v vs %+v", a, b)
+	}
+	for i := range a.Squashes.Y {
+		if a.Squashes.Y[i] != b.Squashes.Y[i] {
+			t.Fatalf("squash series diverges at %d: %v vs %v", i, a.Squashes.Y[i], b.Squashes.Y[i])
+		}
+	}
+}

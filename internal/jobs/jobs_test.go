@@ -5,6 +5,7 @@ import (
 	"context"
 	"fmt"
 	"runtime"
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -133,6 +134,63 @@ func TestCacheHitByteIdentical(t *testing.T) {
 	}
 	if _, err := e.Wait(ctx, v3.ID); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestBackendSeparatesCacheKeys: the backend parameter is part of the
+// canonical config, so the same (experiment, params, seed) on
+// intel-skylake and arm occupy distinct store cells — results from one
+// microarchitecture model can never be served for another — while
+// resubmitting the same backend is an ordinary cache hit.
+func TestBackendSeparatesCacheKeys(t *testing.T) {
+	st, err := store.New(16, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := New(Config{Store: st, Workers: 2})
+	defer shutdownOK(t, e)
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+
+	run := func(backend string) View {
+		t.Helper()
+		v, err := e.Submit(Request{Experiment: "fig2",
+			Params: map[string]any{"iters": 2, "backend": backend}, Seed: 7})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !v.FromCache {
+			if v, err = e.Wait(ctx, v.ID); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if v.State != StateDone || len(v.Result) == 0 {
+			t.Fatalf("backend=%s job: %+v", backend, v)
+		}
+		return v
+	}
+
+	sky := run("intel-skylake")
+	arm := run("arm")
+	if sky.Key == arm.Key {
+		t.Fatalf("intel-skylake and arm share store key %s", sky.Key)
+	}
+	if bytes.Equal(sky.Result, arm.Result) {
+		t.Fatal("intel-skylake and arm produced identical result bytes")
+	}
+	again := run("arm")
+	if !again.FromCache || again.Key != arm.Key {
+		t.Fatalf("arm resubmit not a cache hit: %+v", again)
+	}
+	if !bytes.Equal(again.Result, arm.Result) {
+		t.Fatal("arm cache hit returned different bytes")
+	}
+
+	// An unknown backend is rejected at submit with the known names.
+	_, err = e.Submit(Request{Experiment: "fig2",
+		Params: map[string]any{"iters": 2, "backend": "vax"}, Seed: 7})
+	if err == nil || !strings.Contains(err.Error(), "intel-skylake") {
+		t.Fatalf("unknown backend error %v, want the backend list", err)
 	}
 }
 

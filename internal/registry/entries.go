@@ -15,6 +15,7 @@ import (
 
 	"repro/internal/experiments"
 	"repro/internal/stats"
+	"repro/internal/uarch"
 )
 
 var (
@@ -45,6 +46,22 @@ func runsParam(def int, what string) Param {
 	return Param{Name: "runs", Kind: Int, Default: def, Description: what}
 }
 
+// backendParam is on every experiment: the microarchitecture backend
+// (internal/uarch) the simulator models. Because it is a schema
+// parameter it lands in the canonical config JSON, so cache keys
+// (internal/store) distinguish backends with no further plumbing; the
+// enum makes Resolve reject unknown names with the backend list, which
+// the CLI prints and the daemon returns as a 400.
+func backendParam() Param {
+	return Param{
+		Name:        "backend",
+		Kind:        Str,
+		Default:     uarch.DefaultName,
+		Enum:        uarch.Names(),
+		Description: "microarchitecture backend (BTB geometry/hash, update policy, RSB)",
+	}
+}
+
 // baseCfg translates a RunContext into the experiments.Config every
 // entry starts from. Workers deliberately rides outside the schema: it
 // never changes results (internal/runner's determinism guarantee), so
@@ -54,6 +71,7 @@ func baseCfg(rc RunContext) experiments.Config {
 		Iters:   rc.Values.Int("iters"),
 		Noise:   rc.Values.Float("noise"),
 		Seed:    rc.Seed,
+		Backend: rc.Values.Str("backend"),
 		Workers: rc.Workers,
 		Ctx:     rc.Ctx,
 		Obs:     rc.Obs,
@@ -247,6 +265,25 @@ func (r *RobustnessSweepResult) Human() string {
 		"real-machine equivalents with repetition and majority voting (§7)"
 }
 
+// ---- ret2spec ----
+
+// Ret2SpecRegResult wraps the RSB depth-extraction and cross-process
+// steering measurements.
+type Ret2SpecRegResult struct {
+	Res *experiments.Ret2SpecResult `json:"ret2spec"`
+}
+
+func (r *Ret2SpecRegResult) Human() string {
+	return "== ret2spec: RSB-steered speculative control flow ==\n" +
+		stats.Table("chain depth", r.Res.Squashes) +
+		fmt.Sprintf("backend %s: modeled RSB depth %d, squash knee infers %d\n",
+			r.Res.Backend, r.Res.RSBDepth, r.Res.InferredDepth) +
+		fmt.Sprintf("cross-process steering: %.0f wrong-path windows poisoned vs %.0f clean\n",
+			r.Res.PoisonedWindows, r.Res.CleanWindows) +
+		"ret2spec (arXiv 1807.10364): overflow pops stale targets; contents survive\n" +
+		"context switches, steering the next process's speculative fetch"
+}
+
 // clamp caps a parameter the way the old CLI did (the noise sweep and
 // baselines are quadratic-ish in these knobs). The cap is part of the
 // experiment's semantics, so two configs that clamp to the same
@@ -263,7 +300,7 @@ func registerAll(r *Registry) {
 	r.Register(Experiment{
 		Name:        "fig2",
 		Description: "BTB deallocation by non-branches (Figure 2)",
-		Params:      []Param{itersParam(100), noiseParam()},
+		Params:      []Param{backendParam(), itersParam(100), noiseParam()},
 		Run: func(rc RunContext) (Result, error) {
 			with, without, err := experiments.Figure2(baseCfg(rc))
 			if err != nil {
@@ -277,7 +314,7 @@ func registerAll(r *Registry) {
 	r.Register(Experiment{
 		Name:        "fig4",
 		Description: "prediction-window range semantics (Figure 4)",
-		Params:      []Param{itersParam(100), noiseParam()},
+		Params:      []Param{backendParam(), itersParam(100), noiseParam()},
 		Run: func(rc RunContext) (Result, error) {
 			with, without, err := experiments.Figure4(baseCfg(rc))
 			if err != nil {
@@ -291,7 +328,7 @@ func registerAll(r *Registry) {
 	r.Register(Experiment{
 		Name:        "leak",
 		Description: "control-flow leakage on defended GCD (§7.2)",
-		Params:      []Param{itersParam(100), noiseParam(), runsParam(100, "victim runs (paper: 100)")},
+		Params:      []Param{backendParam(), itersParam(100), noiseParam(), runsParam(100, "victim runs (paper: 100)")},
 		Run: func(rc RunContext) (Result, error) {
 			res, err := experiments.UseCase1GCD(baseCfg(rc), rc.Values.Int("runs"), experiments.AllDefenses())
 			if err != nil {
@@ -304,7 +341,7 @@ func registerAll(r *Registry) {
 	r.Register(Experiment{
 		Name:        "bncmp",
 		Description: "control-flow leakage on bn_cmp (§7.2)",
-		Params:      []Param{itersParam(100), noiseParam(), runsParam(100, "victim runs (paper: 100)")},
+		Params:      []Param{backendParam(), itersParam(100), noiseParam(), runsParam(100, "victim runs (paper: 100)")},
 		Run: func(rc RunContext) (Result, error) {
 			res, err := experiments.UseCase1BnCmp(baseCfg(rc), rc.Values.Int("runs"), experiments.AllDefenses())
 			if err != nil {
@@ -318,7 +355,7 @@ func registerAll(r *Registry) {
 		Name:        "fig12",
 		Description: "function fingerprinting vs corpus (Figure 12)",
 		Params: []Param{
-			itersParam(100), noiseParam(),
+			backendParam(), itersParam(100), noiseParam(),
 			{Name: "corpus", Kind: Int, Default: 2000, Description: "corpus size (paper: 175168)"},
 			{Name: "top", Kind: Int, Default: 10, Description: "entries of the ranking to report"},
 		},
@@ -335,7 +372,7 @@ func registerAll(r *Registry) {
 	r.Register(Experiment{
 		Name:        "fig13",
 		Description: "fingerprint robustness across versions/flags (Figure 13)",
-		Params:      []Param{itersParam(100), noiseParam()},
+		Params:      []Param{backendParam(), itersParam(100), noiseParam()},
 		Run: func(rc RunContext) (Result, error) {
 			vers, err := experiments.Figure13Versions(baseCfg(rc))
 			if err != nil {
@@ -356,7 +393,7 @@ func registerAll(r *Registry) {
 	r.Register(Experiment{
 		Name:        "noise",
 		Description: "leakage accuracy vs measurement noise (footnote 2)",
-		Params:      []Param{itersParam(100), noiseParam(), runsParam(10, "victim runs per sigma (clamped to 10)")},
+		Params:      []Param{backendParam(), itersParam(100), noiseParam(), runsParam(10, "victim runs per sigma (clamped to 10)")},
 		Run: func(rc RunContext) (Result, error) {
 			runs := clamp(rc.Values.Int("runs"), 10)
 			acc, err := experiments.NoiseSweep(baseCfg(rc), []float64{0, 1, 2, 4, 8, 16, 32}, runs)
@@ -370,7 +407,7 @@ func registerAll(r *Registry) {
 	r.Register(Experiment{
 		Name:        "pressure",
 		Description: "BTB eviction vs victim fragment length (§4.2)",
-		Params:      []Param{itersParam(100), noiseParam()},
+		Params:      []Param{backendParam(), itersParam(100), noiseParam()},
 		Run: func(rc RunContext) (Result, error) {
 			hit, fp, err := experiments.FragmentPressure(baseCfg(rc), []int{0, 64, 256, 1024, 2048, 4096, 8192}, 8)
 			if err != nil {
@@ -384,7 +421,7 @@ func registerAll(r *Registry) {
 		Name:        "baseline",
 		Description: "fingerprinting vs observation granularity + §8.3 sequences",
 		Params: []Param{
-			itersParam(100), noiseParam(),
+			backendParam(), itersParam(100), noiseParam(),
 			{Name: "corpus", Kind: Int, Default: 1000, Description: "corpus size (clamped to 1000)"},
 		},
 		Run: func(rc RunContext) (Result, error) {
@@ -408,7 +445,7 @@ func registerAll(r *Registry) {
 	r.Register(Experiment{
 		Name:        "robustness",
 		Description: "leakage accuracy vs injected interference",
-		Params:      []Param{itersParam(100), noiseParam(), runsParam(25, "victim runs per sweep cell (clamped to 25)")},
+		Params:      []Param{backendParam(), itersParam(100), noiseParam(), runsParam(25, "victim runs per sweep cell (clamped to 25)")},
 		Run: func(rc RunContext) (Result, error) {
 			runs := clamp(rc.Values.Int("runs"), 25)
 			res, err := experiments.RobustnessSweep(baseCfg(rc), nil, runs)
@@ -416,6 +453,23 @@ func registerAll(r *Registry) {
 				return nil, err
 			}
 			return &RobustnessSweepResult{Sweep: res}, nil
+		},
+	})
+
+	r.Register(Experiment{
+		Name:        "ret2spec",
+		Description: "RSB-steered speculative control flow (ret2spec, any backend)",
+		Params: []Param{
+			backendParam(), itersParam(100), noiseParam(),
+			{Name: "depth", Kind: Int, Default: 24, Description: "deepest call chain of the overflow sweep (0 = RSB depth + 4)"},
+			{Name: "rsb_depth", Kind: Int, Default: 0, Description: "modeled RSB entries (0 = backend native depth)"},
+		},
+		Run: func(rc RunContext) (Result, error) {
+			res, err := experiments.Ret2Spec(baseCfg(rc), rc.Values.Int("depth"), rc.Values.Int("rsb_depth"))
+			if err != nil {
+				return nil, err
+			}
+			return &Ret2SpecRegResult{Res: res}, nil
 		},
 	})
 

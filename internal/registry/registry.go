@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"strings"
 	"time"
 
 	"repro/internal/obs"
@@ -30,14 +31,20 @@ const (
 	Int   Kind = "int"
 	Float Kind = "float"
 	Bool  Kind = "bool"
+	Str   Kind = "string"
 )
 
 // Param is one entry of an experiment's config schema.
 type Param struct {
 	Name        string `json:"name"`
 	Kind        Kind   `json:"kind"`
-	Default     any    `json:"default"` // int for Int, float64 for Float, bool for Bool
+	Default     any    `json:"default"` // int for Int, float64 for Float, bool for Bool, string for Str
 	Description string `json:"description"`
+	// Enum, for Str params, is the closed set of accepted values;
+	// Resolve rejects anything else with an error that lists them. The
+	// backend parameter uses this so the CLI and daemon reject unknown
+	// backend names for free.
+	Enum []string `json:"enum,omitempty"`
 }
 
 // Values is a resolved parameter set: every schema parameter present,
@@ -68,6 +75,15 @@ func (v Values) Bool(name string) bool {
 	x, ok := v[name].(bool)
 	if !ok {
 		panic(fmt.Sprintf("registry: no bool param %q", name))
+	}
+	return x
+}
+
+// Str returns a string parameter.
+func (v Values) Str(name string) string {
+	x, ok := v[name].(string)
+	if !ok {
+		panic(fmt.Sprintf("registry: no string param %q", name))
 	}
 	return x
 }
@@ -214,6 +230,20 @@ func coerce(p Param, val any) (any, error) {
 		if x, ok := val.(bool); ok {
 			return x, nil
 		}
+	case Str:
+		x, ok := val.(string)
+		if !ok {
+			break
+		}
+		if len(p.Enum) == 0 {
+			return x, nil
+		}
+		for _, allowed := range p.Enum {
+			if x == allowed {
+				return x, nil
+			}
+		}
+		return nil, fmt.Errorf("unknown value %q, want one of %s", x, strings.Join(p.Enum, ", "))
 	}
 	return nil, fmt.Errorf("want %s, got %T", p.Kind, val)
 }

@@ -1,0 +1,110 @@
+// Package rsb models a Return Stack Buffer: the fixed-depth circular
+// predictor structure that supplies return targets to the front end.
+//
+// Real RSBs are arrays indexed by a wrapping top-of-stack pointer with
+// no occupancy tracking, and both documented failure modes of that
+// design are what ret2spec (arXiv 1807.10364) exploits:
+//
+//   - Overflow: a call chain deeper than the buffer silently overwrites
+//     the oldest entries. The overwritten returns later pop *stale*
+//     targets — the predictor steers fetch into code the program
+//     already left.
+//
+//   - Underflow: popping more returns than were pushed wraps the top
+//     pointer back over previously consumed slots, re-serving their
+//     stale contents instead of reporting emptiness.
+//
+// The simulated core (internal/cpu) keeps two instances — a speculative
+// one advanced at decode and an architectural one advanced at retire —
+// and restores the speculative from the architectural on every squash,
+// mirroring hardware checkpoint recovery. Contents deliberately survive
+// context switches: cross-process RSB poisoning is the other half of
+// the ret2spec attack surface.
+//
+// The structure is allocation-free after construction: Push, Pop,
+// CopyFrom and Reset touch only the fixed backing array, so it rides
+// the zero-allocation steady-state step loop (PR 6) untouched.
+package rsb
+
+import "fmt"
+
+// Config describes an RSB geometry. Depth must be positive; backends
+// (internal/uarch) supply their reverse-engineered depths.
+type Config struct {
+	// Depth is the number of entries. Typical values: 16 on Intel
+	// SkyLake-class cores (ret2spec §4), 8 on the Arm cores modeled by
+	// internal/uarch.
+	Depth int
+}
+
+func (c Config) validate() error {
+	if c.Depth <= 0 {
+		return fmt.Errorf("rsb: Depth must be positive, got %d", c.Depth)
+	}
+	return nil
+}
+
+// RSB is the circular return stack buffer. Not safe for concurrent use.
+type RSB struct {
+	entries []uint64
+	top     int // index of the most recently pushed entry
+}
+
+// New returns an RSB with every slot zeroed. It panics on an invalid
+// configuration (depths are compile-time backend constants in
+// practice, like btb.New geometries).
+func New(cfg Config) *RSB {
+	if err := cfg.validate(); err != nil {
+		panic(err)
+	}
+	return &RSB{entries: make([]uint64, cfg.Depth)}
+}
+
+// Depth returns the entry count.
+func (r *RSB) Depth() int { return len(r.entries) }
+
+// Push records a return address, advancing the top pointer with wrap:
+// past capacity it silently overwrites the oldest live entry
+// (overflow semantics).
+func (r *RSB) Push(addr uint64) {
+	r.top++
+	if r.top == len(r.entries) {
+		r.top = 0
+	}
+	r.entries[r.top] = addr
+}
+
+// Pop returns the predicted return target and retreats the top pointer
+// with wrap. It never reports emptiness: past the live entries it
+// re-serves stale slot contents (underflow semantics). A slot that was
+// never written predicts 0, which the front end treats as
+// no-prediction — a cold RSB stalls rather than steering fetch to the
+// zero page.
+func (r *RSB) Pop() uint64 {
+	v := r.entries[r.top]
+	r.top--
+	if r.top < 0 {
+		r.top = len(r.entries) - 1
+	}
+	return v
+}
+
+// CopyFrom makes r an exact copy of src, which must have the same
+// depth; the simulated core uses it to restore the speculative RSB
+// from the architectural one on a squash. It never allocates.
+func (r *RSB) CopyFrom(src *RSB) {
+	if len(r.entries) != len(src.entries) {
+		panic(fmt.Sprintf("rsb: CopyFrom depth mismatch %d != %d", len(r.entries), len(src.entries)))
+	}
+	copy(r.entries, src.entries)
+	r.top = src.top
+}
+
+// Reset zeroes every slot and the top pointer, returning the RSB to its
+// post-New state (pooled-core recycling, like btb.Reset).
+func (r *RSB) Reset() {
+	for i := range r.entries {
+		r.entries[i] = 0
+	}
+	r.top = 0
+}

@@ -1,0 +1,97 @@
+package rsb
+
+import "testing"
+
+func TestLIFOWithinDepth(t *testing.T) {
+	r := New(Config{Depth: 4})
+	r.Push(0x10)
+	r.Push(0x20)
+	r.Push(0x30)
+	for _, want := range []uint64{0x30, 0x20, 0x10} {
+		if got := r.Pop(); got != want {
+			t.Fatalf("Pop = %#x, want %#x", got, want)
+		}
+	}
+}
+
+func TestOverflowOverwritesOldest(t *testing.T) {
+	r := New(Config{Depth: 4})
+	for i := uint64(1); i <= 6; i++ { // two pushes past capacity
+		r.Push(i * 0x100)
+	}
+	// The four most recent pushes pop correctly...
+	for _, want := range []uint64{0x600, 0x500, 0x400, 0x300} {
+		if got := r.Pop(); got != want {
+			t.Fatalf("Pop = %#x, want %#x", got, want)
+		}
+	}
+	// ...then the buffer re-serves stale slots instead of the
+	// overwritten 0x200/0x100: this is the ret2spec overflow signal.
+	if got := r.Pop(); got == 0x200 {
+		t.Fatalf("Pop returned overwritten entry %#x; want stale wrap", got)
+	}
+}
+
+func TestUnderflowWrapsToStale(t *testing.T) {
+	r := New(Config{Depth: 4})
+	r.Push(0xAA)
+	if got := r.Pop(); got != 0xAA {
+		t.Fatalf("Pop = %#x, want 0xAA", got)
+	}
+	// Underflow: wrap over never-written slots (predict 0 = cold), then
+	// back onto the consumed 0xAA slot.
+	seen := []uint64{r.Pop(), r.Pop(), r.Pop(), r.Pop()}
+	if seen[3] != 0xAA {
+		t.Fatalf("wrapped pops = %#x, want final re-served stale 0xAA", seen)
+	}
+	for _, v := range seen[:3] {
+		if v != 0 {
+			t.Fatalf("cold slot popped %#x, want 0", v)
+		}
+	}
+}
+
+func TestCopyFromAndReset(t *testing.T) {
+	a := New(Config{Depth: 8})
+	b := New(Config{Depth: 8})
+	for i := uint64(0); i < 5; i++ {
+		a.Push(0x1000 + i)
+	}
+	b.CopyFrom(a)
+	if ga, gb := a.Pop(), b.Pop(); ga != gb {
+		t.Fatalf("CopyFrom diverged: %#x vs %#x", ga, gb)
+	}
+	a.Reset()
+	if got := a.Pop(); got != 0 {
+		t.Fatalf("post-Reset Pop = %#x, want 0", got)
+	}
+}
+
+func TestInvalidConfigPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New(Depth:0) did not panic")
+		}
+	}()
+	New(Config{Depth: 0})
+}
+
+// TestPushPopAllocs gates the RSB's zero-allocation contract: the
+// structure rides the core's steady-state step loop, so Push, Pop,
+// CopyFrom and Reset must never allocate (mirrors btb.TestLookupAllocs
+// for the backend subsystem's other fixed-storage structure).
+func TestPushPopAllocs(t *testing.T) {
+	r := New(Config{Depth: 16})
+	other := New(Config{Depth: 16})
+	var i uint64
+	check := func(name string, f func()) {
+		t.Helper()
+		if avg := testing.AllocsPerRun(200, f); avg != 0 {
+			t.Errorf("%s allocates %v objects/op, want 0", name, avg)
+		}
+	}
+	check("RSB.Push", func() { r.Push(0x4000 + i); i++ })
+	check("RSB.Pop", func() { r.Pop() })
+	check("RSB.CopyFrom", func() { other.CopyFrom(r) })
+	check("RSB.Reset", func() { r.Reset() })
+}

@@ -1,0 +1,61 @@
+package uarch
+
+import (
+	"repro/internal/btb"
+	"repro/internal/rsb"
+)
+
+// armBackend models the Cortex-class cores reverse-engineered in
+// "Branch Target Buffer Reverse Engineering on Arm" (arXiv 2412.05413).
+// Three modeled differences from the Intel backends matter to attacks:
+//
+//   - Set indexing XOR-folds higher PC bits into the index
+//     (btb.HashFold), so the Intel congruent-set eviction patterns do
+//     not transfer.
+//
+//   - The BTB updates only for instructions that are actually branches:
+//     a decode-time false hit pays the resteer bubble but does NOT
+//     deallocate the entry (FalseHitDealloc false → the core sets
+//     cpu.Config.NoFalseHitDealloc). NightVision's deallocation signal
+//     is therefore absent; the ret2spec RSB surface is what remains.
+//
+//   - A shallower 8-entry return stack, overflowed by proportionally
+//     shorter call chains.
+type armBackend struct{}
+
+func (armBackend) Name() string { return "arm" }
+func (armBackend) Description() string {
+	return "Arm Cortex-class: 2048x4 BTB, XOR-folded index, branch-only updates, 8-entry RSB"
+}
+
+func (armBackend) BTB() btb.Config { return btb.ConfigArm() }
+
+// Pipeline uses a slightly shallower, resteer-cheaper pipeline than the
+// Intel model, in line with the mid-range Cortex parts the paper
+// measures. Every field is non-zero so cpu.Config.withDefaults never
+// silently substitutes an Intel value.
+func (armBackend) Pipeline() Pipeline {
+	return Pipeline{
+		RetireWidth:           4,
+		PipeDepth:             11,
+		FalseHitPenalty:       8,
+		DecodeResteerPenalty:  7,
+		ExecMispredictPenalty: 14,
+		InterruptCost:         70,
+		FetchAheadPWs:         2,
+		RASDepth:              8,
+		MulLatency:            3,
+		DivLatency:            18,
+		LoadLatency:           4,
+	}
+}
+
+// FalseHitDealloc is false: BTB state changes only on actual branches.
+func (armBackend) FalseHitDealloc() bool { return false }
+
+// RSB advertises the 8-entry return stack.
+func (armBackend) RSB() (rsb.Config, bool) { return rsb.Config{Depth: 8}, true }
+
+func init() {
+	Register(armBackend{})
+}

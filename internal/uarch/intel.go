@@ -1,0 +1,59 @@
+package uarch
+
+import (
+	"repro/internal/btb"
+	"repro/internal/rsb"
+)
+
+// intelBackend covers the Intel generations the paper reverse-engineers
+// (footnote 1): identical pipeline model, per-generation BTB geometry.
+type intelBackend struct {
+	name string
+	desc string
+	btb  btb.Config
+}
+
+func (b intelBackend) Name() string        { return b.name }
+func (b intelBackend) Description() string { return b.desc }
+func (b intelBackend) BTB() btb.Config     { return b.btb }
+
+// Pipeline returns the numbers the paper-reproduction experiments have
+// always used. These are the historical cpu.DefaultConfig values —
+// cpu.DefaultConfig now delegates here, and every pre-backend golden
+// digest is pinned to them, so they must not drift.
+func (intelBackend) Pipeline() Pipeline {
+	return Pipeline{
+		RetireWidth:           4,
+		PipeDepth:             12,
+		FalseHitPenalty:       9,
+		DecodeResteerPenalty:  8,
+		ExecMispredictPenalty: 17,
+		InterruptCost:         60,
+		FetchAheadPWs:         2,
+		RASDepth:              16,
+		MulLatency:            3,
+		DivLatency:            20,
+		LoadLatency:           4,
+	}
+}
+
+// FalseHitDealloc is true: decode-time false hits deallocate the entry
+// (Takeaway 1), the effect NightVision's PC extraction is built on.
+func (intelBackend) FalseHitDealloc() bool { return true }
+
+// RSB advertises the 16-entry return stack buffer ret2spec (§4,
+// arXiv 1807.10364) measured on SkyLake-class cores.
+func (intelBackend) RSB() (rsb.Config, bool) { return rsb.Config{Depth: 16}, true }
+
+func init() {
+	Register(intelBackend{
+		name: DefaultName,
+		desc: "Intel SkyLake..CascadeLake: 512x8 BTB, 4 GiB tag truncation, false-hit dealloc",
+		btb:  btb.ConfigSkyLake(),
+	})
+	Register(intelBackend{
+		name: "intel-icelake",
+		desc: "Intel IceLake: 1024x8 BTB, 8 GiB tag truncation, false-hit dealloc",
+		btb:  btb.ConfigIceLake(),
+	})
+}

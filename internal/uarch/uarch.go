@@ -1,0 +1,138 @@
+// Package uarch is the microarchitecture backend registry: the single
+// place where a backend name ("intel-skylake", "arm", ...) resolves to
+// the bundle of model parameters the simulator needs — BTB geometry and
+// set-index hash (internal/btb), pipeline/decode-window timing, the
+// non-control-transfer update policy (whether decode-time false hits
+// deallocate, the paper's Takeaway 1), and an optional return-stack-
+// buffer model (internal/rsb).
+//
+// Backends are resolved by name exactly once, when a core is
+// constructed (cpu.ConfigFor) or an experiment config is defaulted
+// (experiments.Config.Backend); the resulting cpu.Config is plain data,
+// so the zero-allocation fetch/step hot path never dispatches through
+// this package.
+//
+// The package deliberately imports only internal/btb and internal/rsb:
+// internal/cpu imports uarch (DefaultConfig delegates to the
+// intel-skylake backend), so uarch must not import cpu back.
+package uarch
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/btb"
+	"repro/internal/rsb"
+)
+
+// DefaultName is the backend every config that does not say otherwise
+// resolves to: the paper's Intel SkyLake-class target. Pre-backend
+// results (golden digests, cache keys with an explicit backend param)
+// are all pinned to it.
+const DefaultName = "intel-skylake"
+
+// Pipeline holds the decode-window and timing parameters a backend
+// supplies to the core model. Field meanings match cpu.Config exactly;
+// every field must be non-zero (cpu.Config.withDefaults treats zero as
+// "use the default", which would silently cross-wire backends).
+type Pipeline struct {
+	// RetireWidth is instructions retired (and decoded) per cycle.
+	RetireWidth int
+	// PipeDepth is the fetch-to-retire latency in cycles.
+	PipeDepth uint64
+	// FalseHitPenalty is the front-end bubble after a decode-time BTB
+	// false hit.
+	FalseHitPenalty uint64
+	// DecodeResteerPenalty is the bubble for a decode-time redirect.
+	DecodeResteerPenalty uint64
+	// ExecMispredictPenalty is the bubble for an execute-time squash.
+	ExecMispredictPenalty uint64
+	// InterruptCost is the cycle cost of interrupt delivery and resume.
+	InterruptCost uint64
+	// FetchAheadPWs is the speculation window in prediction windows.
+	FetchAheadPWs int
+	// RASDepth is the return-address-stack depth of the legacy
+	// unbounded-accuracy RAS used when the RSB model is not enabled.
+	RASDepth int
+	// MulLatency, DivLatency, LoadLatency are extra retire latencies.
+	MulLatency  uint64
+	DivLatency  uint64
+	LoadLatency uint64
+}
+
+// Backend describes one modeled microarchitecture. Implementations are
+// immutable value types registered at init time.
+type Backend interface {
+	// Name is the registry key, used in config JSON, CLI flags and
+	// store cache keys.
+	Name() string
+	// Description is a one-line summary for listings.
+	Description() string
+	// BTB returns the branch-target-buffer geometry, including the
+	// set-index hash scheme.
+	BTB() btb.Config
+	// Pipeline returns the decode-window and timing parameters.
+	Pipeline() Pipeline
+	// FalseHitDealloc reports whether decode-time false hits deallocate
+	// the BTB entry (Takeaway 1). Intel cores do; the Arm cores of
+	// arXiv 2412.05413 update BTB state only for actual branches, so a
+	// false hit costs the resteer but leaves the entry live.
+	FalseHitDealloc() bool
+	// RSB returns the backend's return-stack-buffer geometry and
+	// whether the backend models one. The RSB is opt-in per experiment
+	// (cpu.Config.RSB); backends only advertise the native depth.
+	RSB() (rsb.Config, bool)
+}
+
+var backends = map[string]Backend{}
+
+// Register adds a backend to the registry. It panics on a duplicate or
+// empty name; backends register from init functions, so both are
+// programming errors.
+func Register(b Backend) {
+	name := b.Name()
+	if name == "" {
+		panic("uarch: Register with empty name")
+	}
+	if _, dup := backends[name]; dup {
+		panic(fmt.Sprintf("uarch: duplicate backend %q", name))
+	}
+	backends[name] = b
+}
+
+// Get returns the backend registered under name.
+func Get(name string) (Backend, bool) {
+	b, ok := backends[name]
+	return b, ok
+}
+
+// MustGet returns the backend registered under name, panicking with the
+// list of known backends when it is absent. Callers that took the name
+// from user input must use Get and surface the error instead.
+func MustGet(name string) Backend {
+	b, ok := backends[name]
+	if !ok {
+		panic(fmt.Sprintf("uarch: unknown backend %q (have %v)", name, Names()))
+	}
+	return b
+}
+
+// Names returns the sorted names of all registered backends.
+func Names() []string {
+	names := make([]string, 0, len(backends))
+	for n := range backends {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// List returns all registered backends sorted by name.
+func List() []Backend {
+	names := Names()
+	out := make([]Backend, len(names))
+	for i, n := range names {
+		out[i] = backends[n]
+	}
+	return out
+}

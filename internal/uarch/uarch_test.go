@@ -1,0 +1,95 @@
+package uarch
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/btb"
+)
+
+func TestRegisteredBackends(t *testing.T) {
+	want := []string{"arm", "intel-icelake", "intel-skylake"}
+	if got := Names(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("Names() = %v, want %v", got, want)
+	}
+	if _, ok := Get(DefaultName); !ok {
+		t.Fatalf("default backend %q not registered", DefaultName)
+	}
+	if _, ok := Get("no-such-core"); ok {
+		t.Fatal("Get of unknown backend reported ok")
+	}
+	if got := List(); len(got) != len(want) || got[0].Name() != "arm" {
+		t.Fatalf("List() order wrong: %v", got)
+	}
+}
+
+// TestDefaultMatchesSkyLake pins the default backend to the exact
+// pre-backend simulator parameters: every golden digest depends on it.
+func TestDefaultMatchesSkyLake(t *testing.T) {
+	b := MustGet(DefaultName)
+	if got, want := b.BTB(), btb.ConfigSkyLake(); got != want {
+		t.Errorf("BTB = %+v, want %+v", got, want)
+	}
+	if !b.FalseHitDealloc() {
+		t.Error("intel-skylake must deallocate on false hits (Takeaway 1)")
+	}
+	p := b.Pipeline()
+	want := Pipeline{
+		RetireWidth: 4, PipeDepth: 12, FalseHitPenalty: 9,
+		DecodeResteerPenalty: 8, ExecMispredictPenalty: 17,
+		InterruptCost: 60, FetchAheadPWs: 2, RASDepth: 16,
+		MulLatency: 3, DivLatency: 20, LoadLatency: 4,
+	}
+	if p != want {
+		t.Errorf("Pipeline = %+v, want %+v", p, want)
+	}
+	r, ok := b.RSB()
+	if !ok || r.Depth != 16 {
+		t.Errorf("RSB = %+v ok=%v, want depth 16", r, ok)
+	}
+}
+
+func TestArmDiffers(t *testing.T) {
+	a := MustGet("arm")
+	if a.FalseHitDealloc() {
+		t.Error("arm must not deallocate on false hits (branch-only updates)")
+	}
+	if cfg := a.BTB(); cfg.IndexHash != btb.HashFold {
+		t.Errorf("arm IndexHash = %v, want HashFold", cfg.IndexHash)
+	}
+	if r, ok := a.RSB(); !ok || r.Depth != 8 {
+		t.Errorf("arm RSB = %+v ok=%v, want depth 8", r, ok)
+	}
+}
+
+// TestPipelinesFullySpecified guards the cpu.Config zero-means-default
+// trap: a backend field left zero would be silently replaced by the
+// Intel default at core construction.
+func TestPipelinesFullySpecified(t *testing.T) {
+	for _, b := range List() {
+		p := reflect.ValueOf(b.Pipeline())
+		for i := 0; i < p.NumField(); i++ {
+			if p.Field(i).IsZero() {
+				t.Errorf("%s: Pipeline field %s is zero", b.Name(), p.Type().Field(i).Name)
+			}
+		}
+	}
+}
+
+func TestMustGetPanicsWithNames(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustGet(unknown) did not panic")
+		}
+	}()
+	MustGet("m88k")
+}
+
+func TestRegisterRejectsDuplicates(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate Register did not panic")
+		}
+	}()
+	Register(armBackend{})
+}
