@@ -1,6 +1,6 @@
 # NightVision build/test/bench entry points.
 
-.PHONY: build test race bench smoke
+.PHONY: build test race bench smoke obs-gate
 
 build:
 	go build ./...
@@ -18,6 +18,11 @@ race:
 # BENCH_runner.json holds stable numbers instead of n=1 one-offs.
 bench:
 	go test -run '^$$' -bench . -short -benchtime 1x -count 5 -benchmem | go run ./cmd/benchjson -o BENCH_runner.json
+
+# obs-gate asserts the instrumented Figure-12 corpus run (metrics +
+# tracer + profiler + SLO tracker) stays within 10% of uninstrumented.
+obs-gate:
+	./scripts/obs_overhead_gate.sh
 
 # smoke starts nightvisiond, submits a Figure 2 job, polls it to
 # completion and verifies the cache-hit path — the same flow CI runs.

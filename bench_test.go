@@ -27,6 +27,7 @@ import (
 	"runtime"
 	"sync"
 	"testing"
+	"time"
 
 	"repro/internal/asm"
 	"repro/internal/btb"
@@ -159,8 +160,12 @@ func BenchmarkFigure12(b *testing.B) {
 // workers=GOMAXPROCS the bounded pool. Both produce bit-identical
 // results (TestFigure12ParallelDeterminism); this benchmark tracks the
 // wall-clock speedup, which should be >=2x on 4+ cores. The obs=on
-// variants run with a live metrics registry and tracer attached — the
-// observability budget is <=10% over the uninstrumented run.
+// variants run the FULL observability surface — live metrics registry,
+// tracer, continuous profiler sampling into the same registry, and an
+// SLO tracker ticking over its histograms — so the medians recorded in
+// BENCH_runner.json price the whole PR-9 stack. The observability
+// budget is <=10% over the uninstrumented run, enforced by
+// scripts/obs_overhead_gate.sh in CI.
 func BenchmarkRunnerFigure12Corpus(b *testing.B) {
 	workersList := []int{1}
 	if n := runtime.GOMAXPROCS(0); n > 1 {
@@ -176,10 +181,21 @@ func BenchmarkRunnerFigure12Corpus(b *testing.B) {
 			}
 		})
 		b.Run(fmt.Sprintf("workers=%d-obs", workers), func(b *testing.B) {
+			reg := obs.NewRegistry()
+			prof := obs.NewProfiler(reg, 10*time.Millisecond, 32)
+			prof.Start()
+			defer prof.Stop()
+			slo := obs.NewSLOTracker(reg, time.Hour, 0)
+			slo.Add(obs.LatencyObjective("bench_probe",
+				reg.Histogram("bench_probe_seconds", "benchmark probe wall time", obs.DefaultDurationBuckets()),
+				1, 0.99))
+			slo.Start()
+			defer slo.Stop()
 			cfg := experiments.Config{
 				Iters: 1, Seed: 13, Workers: workers,
-				Obs: obs.NewRegistry(), Trace: obs.NewTrace(),
+				Obs: reg, Trace: obs.NewTrace(),
 			}
+			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				if _, err := experiments.Figure12(cfg, 2000, 10); err != nil {
 					b.Fatal(err)

@@ -1,0 +1,422 @@
+package main
+
+// Cluster observability tests: cross-node trace assembly (forward and
+// steal hops merged into one timeline, served from any node), the
+// trace proxy on accepted-and-forwarded nodes, metrics federation
+// arithmetic, the profiling/SLO endpoints, and the invariance proof
+// that none of it changes result bytes.
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/jobs"
+	"repro/internal/obs"
+)
+
+// requestOwnedBy finds a compute request whose cache key the ring
+// assigns to owner.
+func requestOwnedBy(t *testing.T, n *testNode, owner string, param int) jobs.Request {
+	t.Helper()
+	for seed := uint64(1); seed < 10_000; seed++ {
+		req := jobs.Request{Experiment: "compute", Params: map[string]any{"n": param}, Seed: seed}
+		if n.node.Ring().Owner(keyFor(t, n.reg, req)) == owner {
+			return req
+		}
+	}
+	t.Fatalf("no seed found with owner %s", owner)
+	return jobs.Request{}
+}
+
+// postJob submits a request over HTTP and returns the accepted view.
+func postJob(t *testing.T, n *testNode, req jobs.Request) jobs.View {
+	t.Helper()
+	body, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(n.url()+"/v1/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var v jobs.View
+	if err := jsonDecode(resp, &v); err != nil {
+		t.Fatal(err)
+	}
+	if v.ID == "" {
+		t.Fatalf("submission returned no job ID (status %d)", resp.StatusCode)
+	}
+	return v
+}
+
+// mergedTrace fetches GET /v1/jobs/{id}/trace from one node and
+// returns the parsed Chrome file: event names and pid→node names.
+type mergedChrome struct {
+	names map[string]int  // event name → count
+	nodes map[string]bool // process_name metadata values
+	raw   string
+}
+
+func fetchMergedTrace(t *testing.T, base, id string) (mergedChrome, int) {
+	t.Helper()
+	code, body := getBody(t, base+"/v1/jobs/"+id+"/trace")
+	out := mergedChrome{names: map[string]int{}, nodes: map[string]bool{}, raw: string(body)}
+	if code != http.StatusOK {
+		return out, code
+	}
+	var f struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Ph   string         `json:"ph"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(body, &f); err != nil {
+		t.Fatalf("merged trace from %s not valid JSON: %v\n%s", base, err, body)
+	}
+	for _, ev := range f.TraceEvents {
+		out.names[ev.Name]++
+		if ev.Ph == "M" && ev.Name == "process_name" {
+			if n, ok := ev.Args["name"].(string); ok {
+				out.nodes[n] = true
+			}
+		}
+	}
+	return out, code
+}
+
+// TestClusterTraceProxyForwarded is the satellite-1 regression: the
+// node that accepted a submission and forwarded it to the ring owner
+// must serve GET /v1/jobs/{id}/trace by proxying to the owner, not
+// 404. Two-node pair, entry != owner.
+func TestClusterTraceProxyForwarded(t *testing.T) {
+	ids := []string{"n1", "n2"}
+	nodes := startCluster(t, ids, clusterOpts{})
+	entry := nodes["n1"]
+
+	req := requestOwnedBy(t, entry, "n2", 41)
+	v := postJob(t, entry, req)
+	if want := "job-n2-"; !strings.HasPrefix(v.ID, want) {
+		t.Fatalf("forwarded job ID %q does not carry the owner node (want prefix %q)", v.ID, want)
+	}
+	final := pollDone(t, nodes["n2"].url(), v.ID)
+	if final.State != jobs.StateDone {
+		t.Fatalf("forwarded job: %+v", final)
+	}
+
+	// The entry node does not hold the job...
+	if _, ok := entry.engine.Get(v.ID); ok {
+		t.Fatalf("job %s unexpectedly local to the entry node", v.ID)
+	}
+	// ...yet its trace endpoint serves the merged timeline via proxy.
+	resp, err := http.Get(entry.url() + "/v1/jobs/" + v.ID + "/trace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("trace on entry node: status %d, want 200", resp.StatusCode)
+	}
+	if got := resp.Header.Get("X-Nightvision-Trace-Via"); got != "n1" {
+		t.Fatalf("proxy Via header %q, want n1", got)
+	}
+	tr, _ := fetchMergedTrace(t, entry.url(), v.ID)
+	if tr.names["forward"] == 0 {
+		t.Fatalf("merged trace lacks the forward hop span:\n%s", tr.raw)
+	}
+	if !tr.nodes["n1"] || !tr.nodes["n2"] {
+		t.Fatalf("merged trace lacks per-node attribution (got %v)", tr.nodes)
+	}
+}
+
+// TestClusterMergedTraceForwardSteal is the PR's acceptance criterion:
+// a job submitted to A, forwarded to its owner B, and stolen by an
+// idle peer yields ONE merged timeline — with the forward and steal
+// hop spans attributed to the right nodes — from GET
+// /v1/jobs/{id}/trace on ANY of the three nodes.
+func TestClusterMergedTraceForwardSteal(t *testing.T) {
+	ids := []string{"n1", "n2", "n3"}
+	nodes := startCluster(t, ids, clusterOpts{workers: 1, stealThreshold: 1})
+	entry, owner := nodes["n1"], nodes["n2"]
+
+	// Park the owner's only worker so everything it accepts stays
+	// queued until a peer steals it.
+	blocker, err := owner.engine.Submit(jobs.Request{Experiment: "block"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitRunning(t, owner.engine, blocker.ID)
+
+	// Submit via A a batch of jobs owned by B; each is forwarded.
+	var views []jobs.View
+	for i := 0; i < 4; i++ {
+		req := requestOwnedBy(t, entry, "n2", 300+i)
+		views = append(views, postJob(t, entry, req))
+	}
+	for _, v := range views {
+		if final := pollDone(t, owner.url(), v.ID); final.State != jobs.StateDone {
+			t.Fatalf("job %s: %+v", v.ID, final)
+		}
+	}
+	if got := counterSum(owner.metrics, "jobs_stolen_total"); got == 0 {
+		t.Fatal("owner journaled no steals; the scenario never exercised the steal hop")
+	}
+
+	// Find a job whose merged trace shows BOTH hops, then demand the
+	// identical story from every node in the fleet.
+	var acceptedID string
+	for _, v := range views {
+		tr, code := fetchMergedTrace(t, owner.url(), v.ID)
+		if code == http.StatusOK && tr.names["forward"] > 0 && tr.names["steal"] > 0 {
+			acceptedID = v.ID
+			break
+		}
+	}
+	if acceptedID == "" {
+		t.Fatal("no job's merged trace contains both a forward and a steal hop span")
+	}
+	for _, id := range ids {
+		tr, code := fetchMergedTrace(t, nodes[id].url(), acceptedID)
+		if code != http.StatusOK {
+			t.Fatalf("merged trace from %s: status %d", id, code)
+		}
+		if tr.names["forward"] == 0 || tr.names["steal"] == 0 || tr.names["stolen"] == 0 {
+			t.Fatalf("merged trace from %s lacks hop spans (events %v):\n%s", id, tr.names, tr.raw)
+		}
+		// Attribution: the entry node and the owner are distinct
+		// processes in the merged file, plus whichever peer stole it.
+		if !tr.nodes["n1"] || !tr.nodes["n2"] || len(tr.nodes) < 3 {
+			t.Fatalf("merged trace from %s misattributes nodes: %v", id, tr.nodes)
+		}
+		if tr.names["submit"] == 0 || tr.names["run"] == 0 {
+			t.Fatalf("merged trace from %s lacks the job lifecycle events: %v", id, tr.names)
+		}
+	}
+}
+
+// snapshotValue sums a counter family in a JSON metrics snapshot,
+// optionally filtered by one label.
+func snapshotValue(snap []obs.MetricSnapshot, name, labelKey, labelVal string) uint64 {
+	var sum uint64
+	for _, m := range snap {
+		if m.Name != name || m.Value == nil {
+			continue
+		}
+		if labelKey != "" && m.Labels[labelKey] != labelVal {
+			continue
+		}
+		sum += *m.Value
+	}
+	return sum
+}
+
+// TestClusterMetricsFederation: the federated totals on /v1/cluster/
+// metrics equal the sum of the per-node scrapes, and every node's
+// series appears under its node label.
+func TestClusterMetricsFederation(t *testing.T) {
+	ids := []string{"n1", "n2", "n3"}
+	nodes := startCluster(t, ids, clusterOpts{})
+
+	// A little traffic on every node, bypassing forwarding so each node
+	// definitely owns local jobs.
+	for i, id := range ids {
+		for j := 0; j < 2+i; j++ {
+			v, err := nodes[id].engine.Submit(jobs.Request{
+				Experiment: "compute", Params: map[string]any{"n": 500 + 10*i + j}, Seed: 7,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			pollDone(t, nodes[id].url(), v.ID)
+		}
+	}
+
+	// Per-node ground truth from the same endpoint federation scrapes.
+	var wantSubmitted, wantDone uint64
+	for _, id := range ids {
+		var snap []obs.MetricSnapshot
+		if code := getJSON(t, nodes[id].url()+"/v1/metrics?format=json", &snap); code != http.StatusOK {
+			t.Fatalf("scrape %s: status %d", id, code)
+		}
+		wantSubmitted += snapshotValue(snap, "jobs_submitted_total", "", "")
+		wantDone += snapshotValue(snap, "jobs_completed_total", "state", "done")
+	}
+
+	var fed []obs.MetricSnapshot
+	if code := getJSON(t, nodes["n1"].url()+"/v1/cluster/metrics?format=json", &fed); code != http.StatusOK {
+		t.Fatalf("federated scrape: status %d", code)
+	}
+	if got := snapshotValue(fed, "cluster_jobs_submitted_total", "", ""); got != wantSubmitted {
+		t.Fatalf("cluster_jobs_submitted_total = %d, per-node sum = %d", got, wantSubmitted)
+	}
+	if got := snapshotValue(fed, "cluster_jobs_total", "state", "done"); got != wantDone {
+		t.Fatalf(`cluster_jobs_total{state="done"} = %d, per-node sum = %d`, got, wantDone)
+	}
+	// The same series federated under node labels must re-sum to the
+	// aggregate — absorption neither loses nor double-counts.
+	var perNode uint64
+	seen := map[string]bool{}
+	for _, m := range fed {
+		if m.Name == "jobs_submitted_total" && m.Value != nil {
+			perNode += *m.Value
+			seen[m.Labels["node"]] = true
+		}
+	}
+	if perNode != wantSubmitted {
+		t.Fatalf("node-labeled jobs_submitted_total sums to %d, want %d", perNode, wantSubmitted)
+	}
+	for _, id := range ids {
+		if !seen[id] {
+			t.Fatalf("federation lost node %s (saw %v)", id, seen)
+		}
+	}
+	// Scrape accounting gauges.
+	if got := snapshotGauge(fed, "cluster_nodes_scraped"); got != 3 {
+		t.Fatalf("cluster_nodes_scraped = %d, want 3", got)
+	}
+	// Prometheus exposition must also serve (default format).
+	code, body := getBody(t, nodes["n2"].url()+"/v1/cluster/metrics")
+	if code != http.StatusOK || !strings.Contains(string(body), "cluster_jobs_submitted_total") {
+		t.Fatalf("prometheus federation: status %d\n%s", code, body)
+	}
+}
+
+func snapshotGauge(snap []obs.MetricSnapshot, name string) int64 {
+	for _, m := range snap {
+		if m.Name == name && m.Level != nil {
+			return *m.Level
+		}
+	}
+	return -1
+}
+
+// TestClusterProfilezAndSLO: the continuous-profiling ring and the SLO
+// report are served on every node, and healthz reflects SLO state
+// without changing its HTTP status.
+func TestClusterProfilezAndSLO(t *testing.T) {
+	nodes := startCluster(t, []string{"n1", "n2"}, clusterOpts{})
+	n := nodes["n1"]
+
+	v, err := n.engine.Submit(jobs.Request{Experiment: "compute", Params: map[string]any{"n": 777}, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pollDone(t, n.url(), v.ID)
+
+	var prof struct {
+		IntervalSec float64 `json:"interval_sec"`
+		Current     struct {
+			Goroutines     int64  `json:"goroutines"`
+			HeapAllocBytes uint64 `json:"heap_alloc_bytes"`
+		} `json:"current"`
+	}
+	if code := getJSON(t, n.url()+"/v1/profilez", &prof); code != http.StatusOK {
+		t.Fatalf("profilez: status %d", code)
+	}
+	if prof.Current.Goroutines <= 0 || prof.Current.HeapAllocBytes == 0 {
+		t.Fatalf("profilez sample looks dead: %+v", prof)
+	}
+
+	var slo sloInfo
+	if code := getJSON(t, n.url()+"/v1/slo", &slo); code != http.StatusOK {
+		t.Fatalf("slo: status %d", code)
+	}
+	if len(slo.Objectives) != 2 || !slo.Healthy {
+		t.Fatalf("slo report: %+v", slo)
+	}
+	for _, o := range slo.Objectives {
+		if o.BurnRate > 0.5 {
+			t.Fatalf("objective %s burning with no bad events: %+v", o.Name, o)
+		}
+	}
+
+	var h healthInfo
+	if code := getJSON(t, n.url()+"/v1/healthz", &h); code != http.StatusOK {
+		t.Fatalf("healthz: status %d", code)
+	}
+	if h.SLOHealthy == nil || !*h.SLOHealthy || h.Status != "ok" {
+		t.Fatalf("healthz SLO fields: %+v", h)
+	}
+}
+
+// TestClusterObsInvariance is satellite 3's cluster half: the full
+// sweep executed on a 3-node fleet with every observability surface ON
+// (tracing, federation scrapes mid-run, profiling, SLO) and again with
+// everything OFF must produce bit-identical result bytes under
+// identical store keys.
+func TestClusterObsInvariance(t *testing.T) {
+	reqs := chaosSweep()[:8]
+	reference := referenceRun(t, reqs)
+
+	run := func(obsOff bool) map[string][]byte {
+		ids := []string{"n1", "n2", "n3"}
+		nodes := startCluster(t, ids, clusterOpts{obsOff: obsOff})
+		for i, req := range reqs {
+			postJob(t, nodes[ids[i%3]], req)
+		}
+		if !obsOff {
+			// Exercise every observability surface while jobs run: none
+			// of this may leak into the bytes.
+			var fed []obs.MetricSnapshot
+			getJSON(t, nodes["n1"].url()+"/v1/cluster/metrics?format=json", &fed)
+			var prof map[string]any
+			getJSON(t, nodes["n2"].url()+"/v1/profilez", &prof)
+			var slo sloInfo
+			getJSON(t, nodes["n3"].url()+"/v1/slo", &slo)
+		}
+		out := make(map[string][]byte, len(reference))
+		for key := range reference {
+			key := key
+			waitFor(t, 30*time.Second, "cluster result "+key[:12], func() bool {
+				code, body := getBody(t, nodes["n1"].url()+"/v1/results/"+key)
+				if code != http.StatusOK {
+					return false
+				}
+				out[key] = body
+				return true
+			})
+		}
+		return out
+	}
+
+	for _, obsOff := range []bool{false, true} {
+		got := run(obsOff)
+		for key, want := range reference {
+			if !bytes.Equal(got[key], want) {
+				t.Fatalf("obsOff=%v: bytes diverge from reference for key %s", obsOff, key[:12])
+			}
+		}
+	}
+}
+
+// TestSubmitMintsTraceID: every accepted submission carries a trace
+// ID end to end, and the single-node trace endpoint still serves the
+// classic Chrome file (the engine half of the backward-compat replay
+// story lives in internal/jobs).
+func TestSubmitMintsTraceID(t *testing.T) {
+	srv, engine, _ := newTestServer(t)
+
+	var v jobs.View
+	code := postJSON(t, srv.URL+"/v1/jobs", `{"experiment":"fig2","params":{"iters":2},"seed":9}`, &v)
+	if code != http.StatusAccepted && code != http.StatusOK {
+		t.Fatalf("submit: status %d", code)
+	}
+	if v.TraceID == "" {
+		t.Fatalf("accepted view lacks a trace ID: %+v", v)
+	}
+	final := pollDone(t, srv.URL, v.ID)
+	if final.TraceID != v.TraceID {
+		t.Fatalf("trace ID changed across lifecycle: %q -> %q", v.TraceID, final.TraceID)
+	}
+	if _, ok := engine.Get(v.ID); !ok {
+		t.Fatal("job vanished")
+	}
+	code, body := getBody(t, srv.URL+"/v1/jobs/"+v.ID+"/trace")
+	if code != http.StatusOK || !strings.Contains(string(body), "traceEvents") {
+		t.Fatalf("single-node trace: status %d\n%s", code, body)
+	}
+}

@@ -118,6 +118,10 @@ type clusterOpts struct {
 	tick           time.Duration
 	stealThreshold int
 	segmentBytes   int
+	// obsOff boots the fleet with every observability surface disabled
+	// (no tracing, no profiler, no SLO tracker) — the invariance tests
+	// prove result bytes are identical either way.
+	obsOff bool
 }
 
 // startCluster boots len(ids) nodes into one ring and returns them
@@ -183,6 +187,7 @@ func bootNode(t *testing.T, id, dir string, addrs map[string]string, srv *httpte
 	engine := jobs.New(jobs.Config{
 		Registry: reg, NodeID: id, Store: st, Journal: jn,
 		Workers: o.workers, QueueDepth: 64, Obs: metrics,
+		Tracing: !o.obsOff,
 	})
 	node, err := cluster.New(cluster.Config{
 		Self: id, Peers: addrs,
@@ -196,7 +201,24 @@ func bootNode(t *testing.T, id, dir string, addrs map[string]string, srv *httpte
 		t.Fatal(err)
 	}
 	engine.SetRemoteGet(node.ReadThrough)
-	a := &api{engine: engine, reg: reg, store: st, metrics: metrics, cluster: node, start: time.Now()}
+	a := &api{engine: engine, reg: reg, store: st, metrics: metrics, cluster: node, nodeID: id, start: time.Now()}
+	if !o.obsOff {
+		// The full observability surface rides along in every cluster
+		// test: profiling and SLO tracking must never change job bytes.
+		a.profiler = obs.NewProfiler(metrics, time.Second, 16)
+		a.profiler.Start()
+		t.Cleanup(a.profiler.Stop)
+		a.slo = obs.NewSLOTracker(metrics, time.Hour, 0)
+		a.slo.Add(obs.LatencyObjective("queue_latency_p99",
+			metrics.Histogram("job_queue_latency_seconds", "time jobs spent queued before a worker picked them up", obs.DefaultDurationBuckets()),
+			5, 0.99))
+		a.slo.Add(obs.ErrorRateObjective("job_success",
+			metrics.CounterL("jobs_completed_total", "jobs reaching a terminal state, by state", obs.Labels{"state": "failed"}),
+			metrics.Counter("jobs_submitted_total", "job submissions accepted (including cache hits)"),
+			0.95))
+		a.slo.Start()
+		t.Cleanup(a.slo.Stop)
+	}
 	srv.Config.Handler = newHandler(a, 64, 30*time.Second)
 	srv.Start()
 	node.Start()

@@ -15,6 +15,9 @@
 //	GET    /v1/healthz      liveness + cache statistics
 //	GET    /v1/version      code version + build info
 //	GET    /v1/metrics      Prometheus text exposition (?format=json)
+//	GET    /v1/cluster/metrics  federated fleet-wide metrics (clustered only)
+//	GET    /v1/profilez     continuous-profiling sample ring (runtime/metrics deltas)
+//	GET    /v1/slo          rolling-window SLO attainment + burn rates
 //	GET    /debug/pprof/    standard Go profiling
 //
 // Durability: with -cache-dir set (or -journal-dir explicitly), every
@@ -83,6 +86,11 @@ type daemonConfig struct {
 	nodeID        string
 	peers         string
 	clusterTick   time.Duration
+	profileEvery  time.Duration
+	sloWindow     time.Duration
+	sloQueueP99   time.Duration
+	sloTarget     float64
+	sloErrBudget  float64
 }
 
 func main() {
@@ -103,6 +111,11 @@ func main() {
 	flag.StringVar(&cfg.nodeID, "node-id", "", "this node's cluster member ID (requires -peers; empty = single-node)")
 	flag.StringVar(&cfg.peers, "peers", "", "static cluster membership as id=host:port[,id=host:port...]; must include -node-id")
 	flag.DurationVar(&cfg.clusterTick, "cluster-tick", 500*time.Millisecond, "base cluster cadence: health probes every tick, ship/steal every 2 ticks, steal reclaim after 60 ticks")
+	flag.DurationVar(&cfg.profileEvery, "profile-interval", 10*time.Second, "continuous-profiling sample interval for GET /v1/profilez (0 = disabled)")
+	flag.DurationVar(&cfg.sloWindow, "slo-window", time.Hour, "rolling window for SLO burn-rate tracking (0 = disabled)")
+	flag.DurationVar(&cfg.sloQueueP99, "slo-queue-p99", 5*time.Second, "queue-latency SLO threshold: this much or less, slo-target of the time")
+	flag.Float64Var(&cfg.sloTarget, "slo-target", 0.99, "fraction of jobs that must meet the latency objectives")
+	flag.Float64Var(&cfg.sloErrBudget, "slo-error-budget", 0.05, "tolerated fraction of failed jobs over the SLO window")
 	flag.Parse()
 	if err := run(cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "nightvisiond:", err)
@@ -182,7 +195,34 @@ func run(cfg daemonConfig) error {
 		log.Printf("cluster: node %q joined %d-member ring", cfg.nodeID, len(peers))
 	}
 
-	a := &api{engine: engine, reg: reg, store: st, metrics: metrics, cluster: node, start: time.Now()}
+	// Continuous profiling and SLO tracking are write-only observers of
+	// the same metrics registry: they never influence job execution, so
+	// result bytes and cache keys are identical with them on or off.
+	var profiler *obs.Profiler
+	if cfg.profileEvery > 0 {
+		profiler = obs.NewProfiler(metrics, cfg.profileEvery, 0)
+		profiler.Start()
+		defer profiler.Stop()
+	}
+	var slo *obs.SLOTracker
+	if cfg.sloWindow > 0 {
+		slo = obs.NewSLOTracker(metrics, cfg.sloWindow, 0)
+		slo.Add(obs.LatencyObjective("queue_latency_p99",
+			metrics.Histogram("job_queue_latency_seconds", "time jobs spent queued before a worker picked them up", obs.DefaultDurationBuckets()),
+			cfg.sloQueueP99.Seconds(), cfg.sloTarget))
+		slo.Add(obs.ErrorRateObjective("job_success",
+			metrics.CounterL("jobs_completed_total", "jobs reaching a terminal state, by state", obs.Labels{"state": "failed"}),
+			metrics.Counter("jobs_submitted_total", "job submissions accepted (including cache hits)"),
+			1-cfg.sloErrBudget))
+		slo.Start()
+		defer slo.Stop()
+	}
+
+	a := &api{
+		engine: engine, reg: reg, store: st, metrics: metrics,
+		cluster: node, profiler: profiler, slo: slo,
+		nodeID: cfg.nodeID, start: time.Now(),
+	}
 
 	srv := &http.Server{
 		Addr:              cfg.addr,

@@ -24,12 +24,23 @@ import (
 
 // api bundles the daemon's dependencies.
 type api struct {
-	engine  *jobs.Engine
-	reg     *registry.Registry
-	store   *store.Store
-	metrics *obs.Registry
-	cluster *cluster.Node // nil when running single-node
-	start   time.Time
+	engine   *jobs.Engine
+	reg      *registry.Registry
+	store    *store.Store
+	metrics  *obs.Registry
+	cluster  *cluster.Node    // nil when running single-node
+	profiler *obs.Profiler    // nil when continuous profiling is disabled
+	slo      *obs.SLOTracker  // nil when SLO tracking is disabled
+	nodeID   string           // cluster node name ("" single-node)
+	start    time.Time
+}
+
+// nodeName labels locally recorded trace fragments.
+func (a *api) nodeName() string {
+	if a.nodeID != "" {
+		return a.nodeID
+	}
+	return "local"
 }
 
 // experimentInfo is one row of GET /v1/experiments.
@@ -55,13 +66,20 @@ type backendInfo struct {
 	RSBDepth int `json:"rsb_depth,omitempty"`
 }
 
-// healthInfo is GET /v1/healthz.
+// healthInfo is GET /v1/healthz. The HTTP status is always 200 while
+// the daemon is up — cluster liveness probes key off the status code —
+// so SLO burn is reported in the body, never as a 5xx.
 type healthInfo struct {
 	Status      string      `json:"status"`
 	UptimeSec   float64     `json:"uptime_sec"`
 	CodeVersion string      `json:"code_version"`
 	Jobs        int         `json:"jobs"`
 	Cache       store.Stats `json:"cache"`
+	// SLOHealthy is present only when SLO tracking is enabled; Status
+	// degrades to "burning" when any objective's budget is exhausted or
+	// fast-burning.
+	SLOHealthy *bool    `json:"slo_healthy,omitempty"`
+	SLOBurning []string `json:"slo_burning,omitempty"`
 }
 
 // errorBody is every non-2xx JSON payload.
@@ -87,6 +105,8 @@ func newHandler(a *api, maxConcurrent int, reqTimeout time.Duration) http.Handle
 	mux.HandleFunc("GET /v1/jobs/{id}", a.handleJobGet)
 	mux.HandleFunc("GET /v1/jobs/{id}/trace", a.handleJobTrace)
 	mux.HandleFunc("DELETE /v1/jobs/{id}", a.handleJobCancel)
+	mux.HandleFunc("GET /v1/profilez", a.handleProfilez)
+	mux.HandleFunc("GET /v1/slo", a.handleSLO)
 	if a.cluster != nil {
 		a.cluster.RegisterRoutes(mux)
 	}
@@ -145,13 +165,22 @@ func (a *api) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	if a.store != nil {
 		cs = a.store.Stats()
 	}
-	writeJSON(w, http.StatusOK, healthInfo{
+	h := healthInfo{
 		Status:      "ok",
 		UptimeSec:   time.Since(a.start).Seconds(),
 		CodeVersion: registry.CodeVersion,
 		Jobs:        len(a.engine.List()),
 		Cache:       cs,
-	})
+	}
+	if a.slo != nil {
+		ok := a.slo.Healthy()
+		h.SLOHealthy = &ok
+		if !ok {
+			h.Status = "burning"
+			h.SLOBurning = a.slo.Burning()
+		}
+	}
+	writeJSON(w, http.StatusOK, h)
 }
 
 // versionInfo is GET /v1/version: enough to correlate a running binary
@@ -200,12 +229,25 @@ func (a *api) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	a.metrics.WritePrometheus(w)
 }
 
-// handleJobTrace serves a completed (or running) job's attack-pipeline
-// trace: Chrome trace_event JSON by default (load at chrome://tracing),
-// NDJSON with ?format=ndjson.
+// handleJobTrace serves a job's attack-pipeline trace: Chrome
+// trace_event JSON by default (load at chrome://tracing), NDJSON with
+// ?format=ndjson.
+//
+// Clustered, the job's trace ID keys fragments on every node that
+// touched the job (submit/forward/steal/adopt), so the handler
+// assembles one merged timeline via the cluster trace collector. A
+// node that does not hold the job locally — e.g. the entry node that
+// accepted-and-forwarded it — proxies the request one hop to the node
+// that does (?proxied=1 caps the chain, no loops).
 func (a *api) handleJobTrace(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
-	if _, ok := a.engine.Get(id); !ok {
+	view, ok := a.engine.Get(id)
+	if !ok {
+		if a.cluster != nil && r.URL.Query().Get("proxied") == "" {
+			if peer, routed := a.cluster.RouteJob(id); routed && a.cluster.ProxyJobTrace(w, r, peer, id) {
+				return
+			}
+		}
 		writeJSON(w, http.StatusNotFound, errorBody{Error: "no such job"})
 		return
 	}
@@ -214,13 +256,69 @@ func (a *api) handleJobTrace(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusNotFound, errorBody{Error: "no trace for job (tracing disabled, or job served from cache)"})
 		return
 	}
+	var frags []obs.TraceFragment
+	if a.cluster != nil && view.TraceID != "" {
+		frags = a.cluster.CollectTrace(view.TraceID)
+	}
+	if len(frags) == 0 {
+		frags = []obs.TraceFragment{tr.Fragment(a.nodeName(), view.TraceID)}
+	}
 	if r.URL.Query().Get("format") == "ndjson" {
 		w.Header().Set("Content-Type", "application/x-ndjson")
-		tr.WriteNDJSON(w)
+		obs.WriteNDJSONMerged(w, frags)
 		return
 	}
 	w.Header().Set("Content-Type", "application/json")
-	tr.WriteChrome(w)
+	obs.WriteChromeMerged(w, frags)
+}
+
+// profilezInfo is GET /v1/profilez: the live sample plus the ring of
+// recent interval deltas from the continuous profiler.
+type profilezInfo struct {
+	IntervalSec float64             `json:"interval_sec"`
+	Current     obs.ProfileSample   `json:"current"`
+	Samples     []obs.ProfileSample `json:"samples"`
+}
+
+func (a *api) handleProfilez(w http.ResponseWriter, r *http.Request) {
+	if a.profiler == nil {
+		writeJSON(w, http.StatusNotFound, errorBody{Error: "continuous profiling disabled"})
+		return
+	}
+	n := 0 // 0 = everything retained in the ring
+	if s := r.URL.Query().Get("n"); s != "" {
+		v, err := strconv.Atoi(s)
+		if err != nil || v < 0 {
+			writeJSON(w, http.StatusBadRequest, errorBody{Error: "n must be a non-negative integer"})
+			return
+		}
+		n = v
+	}
+	writeJSON(w, http.StatusOK, profilezInfo{
+		IntervalSec: a.profiler.Interval().Seconds(),
+		Current:     a.profiler.Peek(),
+		Samples:     a.profiler.Samples(n),
+	})
+}
+
+// sloInfo is GET /v1/slo: every objective's rolling-window attainment
+// and burn rates.
+type sloInfo struct {
+	WindowSec  float64         `json:"window_sec"`
+	Healthy    bool            `json:"healthy"`
+	Objectives []obs.SLOStatus `json:"objectives"`
+}
+
+func (a *api) handleSLO(w http.ResponseWriter, r *http.Request) {
+	if a.slo == nil {
+		writeJSON(w, http.StatusNotFound, errorBody{Error: "SLO tracking disabled"})
+		return
+	}
+	writeJSON(w, http.StatusOK, sloInfo{
+		WindowSec:  a.slo.Window().Seconds(),
+		Healthy:    a.slo.Healthy(),
+		Objectives: a.slo.Report(),
+	})
 }
 
 func (a *api) handleExperiments(w http.ResponseWriter, r *http.Request) {
@@ -260,6 +358,11 @@ func (a *api) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	if err := dec.Decode(&req); err != nil {
 		writeJSON(w, http.StatusBadRequest, errorBody{Error: "bad request body: " + err.Error()})
 		return
+	}
+	// Join a distributed trace started elsewhere: the forwarding hop
+	// (and any tracing-aware client) carries the trace ID in a header.
+	if t := r.Header.Get(cluster.TraceHeader); t != "" && req.TraceID == "" {
+		req.TraceID = t
 	}
 	// Cluster routing: hand the submission to its ring owner unless it
 	// already hopped once (?forwarded=1 caps the chain at one hop) or the

@@ -139,6 +139,11 @@ type Node struct {
 	failCount map[string]int
 	shippedTo map[string]string // sealed segment -> peer it reached
 	adopted   map[string]bool   // "origin/originJobID" dedup set
+	// forwarded remembers which peer accepted each forwarded submission
+	// (job ID -> owner), bounded FIFO, so GET /v1/jobs/{id}/trace on the
+	// accepting node can proxy to the node that actually ran the job.
+	forwarded    map[string]string
+	forwardOrder []string
 
 	ctx    context.Context
 	cancel context.CancelFunc
@@ -195,6 +200,7 @@ func New(cfg Config) (*Node, error) {
 		failCount: make(map[string]int),
 		shippedTo: make(map[string]string),
 		adopted:   make(map[string]bool),
+		forwarded: make(map[string]string),
 		stop:      make(chan struct{}),
 	}
 	n.ctx, n.cancel = context.WithCancel(context.Background())
@@ -364,6 +370,16 @@ func (n *Node) ForwardSubmit(req jobs.Request) (status int, body []byte, peer st
 	if owner == "" || owner == n.cfg.Self || !n.Alive(owner) {
 		return 0, nil, "", false
 	}
+	// The accepting node is the job's first submission point: mint the
+	// distributed trace ID here so the forward hop itself is part of the
+	// timeline, and carry it in both the request body and the
+	// X-Nightvision-Trace header (the header survives intermediaries
+	// that re-encode the body).
+	if req.TraceID == "" {
+		req.TraceID = obs.NewTraceID()
+	}
+	span := n.hub().Fragment(req.TraceID).Begin("hop", "forward", 0,
+		map[string]any{"from": n.cfg.Self, "to": owner, "experiment": req.Experiment})
 	url, _ := n.peerURL(owner, "/v1/jobs?forwarded=1")
 	payload, err := json.Marshal(req)
 	if err != nil {
@@ -374,20 +390,78 @@ func (n *Node) ForwardSubmit(req jobs.Request) (status int, body []byte, peer st
 		return 0, nil, "", false
 	}
 	hreq.Header.Set("Content-Type", "application/json")
+	hreq.Header.Set(TraceHeader, req.TraceID)
 	resp, err := n.client.Do(hreq)
 	if err != nil {
 		n.pm[owner].forwardErrs.Inc()
 		n.markDown(owner)
+		span.EndWith(map[string]any{"error": "transport: " + err.Error()})
 		return 0, nil, "", false
 	}
 	defer resp.Body.Close()
 	var buf bytes.Buffer
 	if _, err := buf.ReadFrom(resp.Body); err != nil {
 		n.pm[owner].forwardErrs.Inc()
+		span.EndWith(map[string]any{"error": "read body: " + err.Error()})
 		return 0, nil, "", false
 	}
 	n.pm[owner].forwards.Inc()
+	// Remember where the job landed so a trace request arriving here —
+	// the node the client actually talked to — can be proxied to the
+	// owner instead of 404ing.
+	var accepted struct {
+		ID string `json:"id"`
+	}
+	if resp.StatusCode == http.StatusOK && json.Unmarshal(buf.Bytes(), &accepted) == nil && accepted.ID != "" {
+		n.rememberForward(accepted.ID, owner)
+	}
+	span.EndWith(map[string]any{"status": resp.StatusCode, "job": accepted.ID})
 	return resp.StatusCode, buf.Bytes(), owner, true
+}
+
+// TraceHeader carries the distributed trace ID on forwarded
+// submissions.
+const TraceHeader = "X-Nightvision-Trace"
+
+// forwardMemory bounds the forwarded-job routing map.
+const forwardMemory = 4096
+
+// hub returns the engine's trace hub (nil-safe when tracing is off).
+func (n *Node) hub() *obs.TraceHub {
+	return n.cfg.Engine.TraceHub()
+}
+
+// rememberForward records jobID -> owner, evicting oldest past the cap.
+func (n *Node) rememberForward(jobID, owner string) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if _, dup := n.forwarded[jobID]; !dup {
+		n.forwardOrder = append(n.forwardOrder, jobID)
+		for len(n.forwardOrder) > forwardMemory {
+			delete(n.forwarded, n.forwardOrder[0])
+			n.forwardOrder = n.forwardOrder[1:]
+		}
+	}
+	n.forwarded[jobID] = owner
+}
+
+// RouteJob names the peer that holds jobID, for jobs this node does not
+// hold itself: first the forwarded-submission memory, then the node
+// segment of a node-qualified job ID ("job-n2-17" names n2's engine).
+// ok=false means the job is unknown here and unroutable.
+func (n *Node) RouteJob(jobID string) (peer string, ok bool) {
+	n.mu.Lock()
+	owner, found := n.forwarded[jobID]
+	n.mu.Unlock()
+	if found && owner != n.cfg.Self {
+		return owner, true
+	}
+	if minted := jobs.NodeForJobID(jobID); minted != "" && minted != n.cfg.Self {
+		if _, known := n.peers[minted]; known {
+			return minted, true
+		}
+	}
+	return "", false
 }
 
 // ---------------------------------------------------------------------
@@ -603,12 +677,15 @@ func (n *Node) adoptFrom(dead string) {
 		if dl <= 0 {
 			dl = -1 // journaled deadline is resolved; 0 means none
 		}
+		// Keep the origin's distributed trace ID (pre-PR-9 shipped WALs
+		// have none; the local Submit then mints a fresh one).
 		view, err := n.cfg.Engine.Submit(jobs.Request{
 			Experiment: js.rec.Experiment,
 			Params:     params,
 			Seed:       js.rec.Seed,
 			Priority:   js.rec.Priority,
 			DeadlineMS: dl,
+			TraceID:    js.rec.TraceID,
 		})
 		if err != nil {
 			// Shed or shutting down: un-mark so a later death observation
@@ -619,6 +696,8 @@ func (n *Node) adoptFrom(dead string) {
 			continue
 		}
 		n.pm[dead].adoptions.Inc()
+		n.hub().Fragment(view.TraceID).Event("hop", "adopt", 0,
+			map[string]any{"origin": dead, "origin_job": id, "adopter": n.cfg.Self, "local_job": view.ID})
 		if n.cfg.Journal != nil {
 			n.cfg.Journal.Append(journal.Record{
 				Type:      journal.TypeAdopted,
@@ -626,6 +705,7 @@ func (n *Node) adoptFrom(dead string) {
 				Key:       js.rec.Key,
 				Node:      dead,
 				OriginJob: id,
+				TraceID:   view.TraceID,
 			})
 		}
 	}
@@ -752,12 +832,17 @@ func (n *Node) stealTick() {
 // victim's reclaim timer.
 func (n *Node) runStolen(victim string, sj jobs.StolenJob) {
 	defer n.wg.Done()
+	// The steal hop span lives in the thief's fragment of the victim
+	// job's trace: claim -> local run -> ack, attributed to this node.
+	span := n.hub().Fragment(sj.TraceID).Begin("hop", "steal", 0,
+		map[string]any{"victim": victim, "thief": n.cfg.Self, "origin_job": sj.ID})
 	ack := ackRequest{JobID: sj.ID}
 	var params map[string]any
 	if err := json.Unmarshal(sj.Config, &params); err != nil {
 		ack.State = string(jobs.StateFailed)
 		ack.Error = "thief: stolen config does not parse: " + err.Error()
 		n.postJSON(victim, "/v1/cluster/ack", ack, nil)
+		span.EndWith(map[string]any{"error": ack.Error})
 		return
 	}
 	view, err := n.cfg.Engine.Submit(jobs.Request{
@@ -766,12 +851,15 @@ func (n *Node) runStolen(victim string, sj jobs.StolenJob) {
 		Seed:       sj.Seed,
 		Priority:   sj.Priority,
 		DeadlineMS: sj.DeadlineMS,
+		TraceID:    sj.TraceID,
 	})
 	if err != nil {
+		span.EndWith(map[string]any{"error": err.Error()})
 		return // no ack: the victim reclaims after StealTimeout
 	}
 	final, err := n.cfg.Engine.Wait(n.ctx, view.ID)
 	if err != nil {
+		span.EndWith(map[string]any{"error": err.Error()})
 		return
 	}
 	ack.State = string(final.State)
@@ -780,6 +868,7 @@ func (n *Node) runStolen(victim string, sj jobs.StolenJob) {
 		ack.Result = final.Result
 	}
 	n.postJSON(victim, "/v1/cluster/ack", ack, nil)
+	span.EndWith(map[string]any{"state": ack.State, "local_job": view.ID})
 }
 
 // reclaimTick is the victim side of steal liveness: jobs handed out
@@ -834,6 +923,8 @@ func respondJSON(w http.ResponseWriter, status int, v any) {
 // mux (Go 1.22 method patterns, same style as cmd/nightvisiond).
 func (n *Node) RegisterRoutes(mux *http.ServeMux) {
 	mux.HandleFunc("GET /v1/cluster", n.handleStatus)
+	mux.HandleFunc("GET /v1/cluster/metrics", n.handleFederatedMetrics)
+	mux.HandleFunc("GET /v1/cluster/trace/{tid}", n.handleTraceFragment)
 	mux.HandleFunc("POST /v1/cluster/steal", n.handleSteal)
 	mux.HandleFunc("POST /v1/cluster/ack", n.handleAck)
 	mux.HandleFunc("POST /v1/cluster/segments/{origin}/{name}", n.handleSegment)

@@ -1,0 +1,217 @@
+package cluster
+
+// Cluster observability: the peer-facing trace-fragment endpoint, the
+// cross-node trace collector behind GET /v1/jobs/{id}/trace, and the
+// metrics-federation endpoint GET /v1/cluster/metrics.
+//
+// The trace collector follows the store-peek pattern from PR 7: the
+// peer endpoint (GET /v1/cluster/trace/{tid}) serves only this node's
+// local fragment and never recurses, so the node assembling a merged
+// timeline fans out one hop to its live peers and cannot create
+// forwarding loops. Federation likewise scrapes each live peer's plain
+// /v1/metrics JSON snapshot — the same endpoint the work-stealing loop
+// already polls — and merges the snapshots into a fresh registry with
+// per-node labels plus cluster-level aggregates.
+
+import (
+	"io"
+	"net/http"
+	"sort"
+
+	"repro/internal/obs"
+)
+
+// ---------------------------------------------------------------------
+// Distributed traces.
+
+// validTraceID accepts the IDs obs.NewTraceID mints (16 lowercase hex
+// chars) with slack for longer client-supplied correlation IDs, and
+// rejects anything that could not have been a trace ID before it is
+// spliced into a peer URL.
+func validTraceID(id string) bool {
+	if len(id) == 0 || len(id) > 64 {
+		return false
+	}
+	for i := 0; i < len(id); i++ {
+		c := id[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') && c != '-' {
+			return false
+		}
+	}
+	return true
+}
+
+// handleTraceFragment serves this node's local fragment of a
+// distributed trace. Local-only by design (no recursion): the merger
+// on the assembling node queries every peer itself.
+func (n *Node) handleTraceFragment(w http.ResponseWriter, r *http.Request) {
+	tid := r.PathValue("tid")
+	if !validTraceID(tid) {
+		respondJSON(w, http.StatusBadRequest, clusterError{Error: "malformed trace ID"})
+		return
+	}
+	tr, ok := n.hub().Get(tid)
+	if !ok || tr.Len() == 0 {
+		respondJSON(w, http.StatusNotFound, clusterError{Error: "no local fragment for trace " + tid})
+		return
+	}
+	respondJSON(w, http.StatusOK, tr.Fragment(n.cfg.Self, tid))
+}
+
+// CollectTrace gathers every reachable fragment of a distributed
+// trace: this node's own hub plus one read-through hop to each live
+// peer. Fragments come back attributed to their recording node, ready
+// for obs.WriteChromeMerged.
+func (n *Node) CollectTrace(tid string) []obs.TraceFragment {
+	var frags []obs.TraceFragment
+	if tr, ok := n.hub().Get(tid); ok && tr.Len() > 0 {
+		frags = append(frags, tr.Fragment(n.cfg.Self, tid))
+	}
+	for _, id := range n.sortedPeerIDs() {
+		if !n.Alive(id) {
+			continue
+		}
+		var f obs.TraceFragment
+		if err := n.getJSON(id, "/v1/cluster/trace/"+tid, &f); err != nil {
+			continue // dead, pre-PR-9, or no fragment: skip
+		}
+		if f.Node == "" {
+			f.Node = id
+		}
+		frags = append(frags, f)
+	}
+	return frags
+}
+
+// ProxyJobTrace forwards a trace request for a job this node does not
+// hold to the peer that does, streaming the peer's response through
+// verbatim. The forwarded request carries ?proxied=1 so the peer never
+// proxies again (one hop, no loops). Returns false when the peer is
+// unknown or unreachable; the caller then 404s.
+func (n *Node) ProxyJobTrace(w http.ResponseWriter, r *http.Request, peer, jobID string) bool {
+	if !n.Alive(peer) {
+		return false
+	}
+	q := r.URL.Query()
+	q.Set("proxied", "1")
+	url, ok := n.peerURL(peer, "/v1/jobs/"+jobID+"/trace?"+q.Encode())
+	if !ok {
+		return false
+	}
+	req, err := http.NewRequestWithContext(r.Context(), http.MethodGet, url, nil)
+	if err != nil {
+		return false
+	}
+	resp, err := n.client.Do(req)
+	if err != nil {
+		return false
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "" {
+		w.Header().Set("Content-Type", ct)
+	}
+	w.Header().Set("X-Nightvision-Trace-Via", n.cfg.Self)
+	w.WriteHeader(resp.StatusCode)
+	io.Copy(w, resp.Body)
+	return true
+}
+
+// sortedPeerIDs returns the peer IDs (excluding self) in sorted order.
+func (n *Node) sortedPeerIDs() []string {
+	ids := make([]string, 0, len(n.peers))
+	for id := range n.peers {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// ---------------------------------------------------------------------
+// Metrics federation.
+
+// handleFederatedMetrics is GET /v1/cluster/metrics: it scrapes every
+// live peer's JSON metrics snapshot, merges them (with this node's
+// own) into a fresh registry under per-node labels, adds cluster-level
+// aggregates, and serves the result as Prometheus text (default) or
+// JSON (?format=json). The federated registry is rebuilt per request —
+// it holds sums of cumulative counters, which must never be absorbed
+// twice.
+func (n *Node) handleFederatedMetrics(w http.ResponseWriter, r *http.Request) {
+	fed, scraped, total := n.Federate()
+	nodes := fed.Gauge("cluster_nodes_total", "cluster membership size")
+	nodes.Set(int64(total))
+	fed.Gauge("cluster_nodes_scraped", "nodes whose snapshot this federation merged").Set(int64(scraped))
+	switch r.URL.Query().Get("format") {
+	case "", "prometheus":
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		fed.WritePrometheus(w)
+	case "json":
+		w.Header().Set("Content-Type", "application/json")
+		fed.WriteJSON(w)
+	default:
+		respondJSON(w, http.StatusBadRequest, clusterError{Error: "unknown format (want prometheus or json)"})
+	}
+}
+
+// Federate builds the federated registry: every scraped node's metrics
+// under a node label, plus cluster aggregates. Returns the registry,
+// how many nodes were scraped (including self), and the membership
+// size.
+func (n *Node) Federate() (fed *obs.Registry, scraped, total int) {
+	fed = obs.NewRegistry()
+	agg := clusterAggregates{
+		depth:     fed.Gauge("cluster_queue_depth_total", "queued jobs across all scraped nodes"),
+		running:   fed.Gauge("cluster_running_total", "in-flight jobs across all scraped nodes"),
+		submitted: fed.Counter("cluster_jobs_submitted_total", "submissions accepted across all scraped nodes"),
+		reg:       fed,
+	}
+
+	absorb := func(node string, snap []obs.MetricSnapshot) {
+		fed.AbsorbSnapshot(snap, obs.Labels{"node": node})
+		agg.add(snap)
+		scraped++
+	}
+	absorb(n.cfg.Self, n.cfg.Obs.Snapshot())
+	for _, id := range n.sortedPeerIDs() {
+		if !n.Alive(id) {
+			continue
+		}
+		var snap []obs.MetricSnapshot
+		if err := n.getJSON(id, "/v1/metrics?format=json", &snap); err != nil {
+			continue
+		}
+		absorb(id, snap)
+	}
+	return fed, scraped, len(n.peers) + 1
+}
+
+// clusterAggregates accumulates the fleet-level rollups the federation
+// endpoint promises: total queue depth, fleet in-flight, per-state job
+// totals.
+type clusterAggregates struct {
+	depth     *obs.Gauge
+	running   *obs.Gauge
+	submitted *obs.Counter
+	reg       *obs.Registry
+}
+
+func (a *clusterAggregates) add(snap []obs.MetricSnapshot) {
+	for _, m := range snap {
+		switch {
+		case m.Name == "jobs_queue_depth" && len(m.Labels) == 0 && m.Level != nil:
+			a.depth.Add(*m.Level)
+		case m.Name == "jobs_running" && len(m.Labels) == 0 && m.Level != nil:
+			a.running.Add(*m.Level)
+		case m.Name == "jobs_submitted_total" && len(m.Labels) == 0 && m.Value != nil:
+			a.submitted.Add(*m.Value)
+		case m.Name == "jobs_completed_total" && m.Value != nil:
+			state := m.Labels["state"]
+			if state == "" {
+				state = "unknown"
+			}
+			a.reg.CounterL("cluster_jobs_total",
+				"terminal jobs across all scraped nodes, by state",
+				obs.Labels{"state": state}).Add(*m.Value)
+		}
+	}
+}

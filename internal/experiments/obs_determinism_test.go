@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"encoding/json"
 	"testing"
+	"time"
 
 	"repro/internal/interfere"
 	"repro/internal/obs"
@@ -141,5 +142,34 @@ func testObsDeterminism(t *testing.T, backend string) {
 				t.Errorf("Workers=%d: trace missing %q events", workers, want)
 			}
 		}
+	}
+
+	// The cluster-observability surfaces (PR 9) are write-only too: a
+	// continuous profiler sampling runtime state into the SAME registry
+	// the pipeline instruments, and an SLO tracker reading its
+	// histograms, run concurrently with the probe — and the result
+	// bytes still match the uninstrumented baseline exactly.
+	reg := obs.NewRegistry()
+	prof := obs.NewProfiler(reg, 2*time.Millisecond, 8)
+	prof.Start()
+	defer prof.Stop()
+	slo := obs.NewSLOTracker(reg, time.Hour, 0)
+	slo.Add(obs.LatencyObjective("probe_latency",
+		reg.Histogram("obs_probe_latency_seconds", "probe wall time (test-only objective)", obs.DefaultDurationBuckets()),
+		1, 0.99))
+	slo.Start()
+	defer slo.Stop()
+	tr := obs.NewTrace()
+	got := obsProbe(t, backend, 4, reg, tr)
+	slo.Tick()
+	prof.Sample()
+	if !bytes.Equal(got, baseline) {
+		t.Fatal("profiler+SLO instrumentation changed result bytes")
+	}
+	if !slo.Healthy() {
+		t.Fatalf("idle SLO tracker unhealthy: %+v", slo.Report())
+	}
+	if s := prof.Peek(); s.Goroutines <= 0 {
+		t.Fatalf("profiler sample looks dead: %+v", s)
 	}
 }

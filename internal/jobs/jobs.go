@@ -91,6 +91,12 @@ type Request struct {
 	// from the moment a worker starts it. 0 uses the experiment's
 	// registry default; negative means no deadline.
 	DeadlineMS int64 `json:"deadline_ms"`
+	// TraceID joins this job to an existing distributed trace (set on
+	// forwarded/stolen/adopted resubmissions, or by a client correlating
+	// jobs). Empty mints a fresh ID at submission — the "first
+	// submission" of the tentpole's trace-propagation story. Trace IDs
+	// never enter cache keys or result bytes.
+	TraceID string `json:"trace_id,omitempty"`
 }
 
 // View is an externally visible job snapshot (the daemon's JSON).
@@ -114,8 +120,11 @@ type View struct {
 	// PrevNode names the node that last ran (or held) this job before it
 	// was interrupted, stolen, or reclaimed — adoption accounting for
 	// cluster failover. Empty in pre-cluster journals.
-	PrevNode string          `json:"prev_node,omitempty"`
-	Key      string          `json:"key"`
+	PrevNode string `json:"prev_node,omitempty"`
+	// TraceID names the distributed trace the job's timeline fragments
+	// are recorded under, across every node the job touched.
+	TraceID string          `json:"trace_id,omitempty"`
+	Key     string          `json:"key"`
 	Error       string          `json:"error,omitempty"`
 	Result      json.RawMessage `json:"result,omitempty"`
 	EnqueuedAt  time.Time       `json:"enqueued_at"`
@@ -151,6 +160,7 @@ type job struct {
 	cancel      context.CancelFunc
 	done        chan struct{} // closed on any terminal state
 	heapIdx     int           // -1 when not queued
+	traceID     string        // distributed trace ID (minted at first submission)
 	trace       *obs.Trace    // non-nil when Config.Tracing, for jobs that run
 }
 
@@ -203,6 +213,9 @@ type Config struct {
 	Obs *obs.Registry
 	// Tracing, when true, records a per-job attack-pipeline trace
 	// (retrievable via Engine.Trace) for every job that actually runs.
+	// Traces live in a bounded TraceHub keyed by distributed trace ID,
+	// so fragments of one cross-node job share a key on every node that
+	// touched it (Engine.TraceHub exposes the hub to the cluster layer).
 	Tracing bool
 }
 
@@ -315,6 +328,7 @@ type Engine struct {
 	obs          *obs.Registry
 	m            metrics
 	tracing      bool
+	hub          *obs.TraceHub // non-nil when tracing
 	remoteGet    atomic.Pointer[RemoteGet]
 
 	mu            sync.Mutex
@@ -373,6 +387,9 @@ func New(cfg Config) *Engine {
 		watchdogStop: make(chan struct{}),
 		watchdogDone: make(chan struct{}),
 	}
+	if cfg.Tracing {
+		e.hub = obs.NewTraceHub(0)
+	}
 	e.cond = sync.NewCond(&e.mu)
 	if e.journal != nil {
 		e.replay(e.journal.Records())
@@ -407,6 +424,7 @@ func (e *Engine) replay(recs []journal.Record) {
 				state:      StateQueued,
 				done:       make(chan struct{}),
 				heapIdx:    -1,
+				traceID:    rec.TraceID, // empty in pre-PR-9 journals
 			}
 			if rec.DeadlineMS > 0 {
 				j.deadline = time.Duration(rec.DeadlineMS) * time.Millisecond
@@ -522,8 +540,15 @@ func (e *Engine) replay(recs []journal.Record) {
 			e.m.interrupted.Inc()
 			e.appendJournal(journal.Record{Type: journal.TypeInterrupted, JobID: j.id, Key: j.key, Node: j.prevNode})
 		}
+		if j.traceID == "" {
+			// Pre-PR-9 journal record (no trace_id field): mint a fresh
+			// distributed trace ID for the re-enqueued job rather than
+			// dropping it from tracing entirely.
+			j.traceID = obs.NewTraceID()
+		}
 		if e.tracing {
-			j.trace = obs.NewTrace()
+			j.trace = e.hub.Fragment(j.traceID)
+			j.trace.Event("job", "replayed", 0, map[string]any{"job": j.id, "node": e.nodeID, "interrupted": j.interrupted})
 		}
 		j.cost = int64(len(j.canon)) + jobOverhead
 		e.inflightBytes += j.cost
@@ -538,8 +563,31 @@ func parseID(id string) (uint64, bool) {
 	if !ok {
 		return 0, false
 	}
+	// Node-qualified IDs ("job-n1-17") carry the minting node between
+	// the prefix and the sequence number; bare "job-17" is the
+	// single-node (and pre-cluster journal) form.
+	if i := strings.LastIndexByte(s, '-'); i >= 0 {
+		s = s[i+1:]
+	}
 	n, err := strconv.ParseUint(s, 10, 64)
 	return n, err == nil
+}
+
+// NodeForJobID extracts the minting node from a node-qualified job ID
+// ("job-n2-17" -> "n2"). Returns "" for bare single-node IDs. Job IDs
+// are per-node sequences, so the node segment is what makes an ID
+// cluster-unique — and lets any node route a trace request for a job
+// it has never seen to the node that owns it.
+func NodeForJobID(id string) string {
+	s, ok := strings.CutPrefix(id, "job-")
+	if !ok {
+		return ""
+	}
+	i := strings.LastIndexByte(s, '-')
+	if i < 0 {
+		return ""
+	}
+	return s[:i]
 }
 
 func stateForType(t journal.Type) State {
@@ -652,8 +700,20 @@ func (e *Engine) Submit(req Request) (View, error) {
 	}
 	e.nextID++
 	e.nextSeq++
+	// Node-qualified IDs ("job-n1-17") keep per-node sequences globally
+	// unique in a cluster, which is what lets any node route a job's
+	// trace request to its minting node. Single-node engines keep the
+	// bare pre-cluster form.
+	id := fmt.Sprintf("job-%d", e.nextID)
+	if e.nodeID != "" {
+		id = fmt.Sprintf("job-%s-%d", e.nodeID, e.nextID)
+	}
+	traceID := req.TraceID
+	if traceID == "" {
+		traceID = obs.NewTraceID()
+	}
 	j := &job{
-		id:         fmt.Sprintf("job-%d", e.nextID),
+		id:         id,
 		seq:        e.nextSeq,
 		exp:        exp,
 		values:     values,
@@ -665,6 +725,7 @@ func (e *Engine) Submit(req Request) (View, error) {
 		enqueuedAt: time.Now().UTC(),
 		done:       make(chan struct{}),
 		heapIdx:    -1,
+		traceID:    traceID,
 	}
 	e.jobs[j.id] = j
 	e.m.submitted.Inc()
@@ -677,6 +738,7 @@ func (e *Engine) Submit(req Request) (View, error) {
 		Priority:   req.Priority,
 		DeadlineMS: int64(deadline / time.Millisecond),
 		Key:        key,
+		TraceID:    traceID,
 	})
 	if cached != nil {
 		j.state = StateDone
@@ -694,7 +756,8 @@ func (e *Engine) Submit(req Request) (View, error) {
 	e.inflightBytes += cost
 	e.m.inflightBytes.Set(e.inflightBytes)
 	if e.tracing {
-		j.trace = obs.NewTrace()
+		j.trace = e.hub.Fragment(j.traceID)
+		j.trace.Event("job", "submit", 0, map[string]any{"job": j.id, "experiment": exp.Name, "node": e.nodeID})
 	}
 	heap.Push(&e.queue, j)
 	e.m.depth.Set(int64(e.queue.Len()))
@@ -782,6 +845,13 @@ func (e *Engine) Trace(id string) (*obs.Trace, bool) {
 	return j.trace, true
 }
 
+// TraceHub returns the engine's trace-fragment hub (nil when tracing
+// is disabled, which the hub's nil-safe methods absorb). The cluster
+// layer records hop spans into it and serves its fragments to peers.
+func (e *Engine) TraceHub() *obs.TraceHub {
+	return e.hub
+}
+
 // Wait blocks until the job reaches a terminal state (or the context
 // expires), then returns its final snapshot.
 func (e *Engine) Wait(ctx context.Context, id string) (View, error) {
@@ -839,6 +909,10 @@ type StolenJob struct {
 	Priority   int             `json:"priority"`
 	DeadlineMS int64           `json:"deadline_ms"` // resolved: >0 ms, -1 none
 	Key        string          `json:"key"`
+	// TraceID carries the victim job's distributed trace through the
+	// steal handshake so the thief's execution lands in the same
+	// cross-node timeline.
+	TraceID string `json:"trace_id,omitempty"`
 }
 
 // StealQueued pops up to max queued jobs off the queue and hands them
@@ -862,7 +936,8 @@ func (e *Engine) StealQueued(thief string, max int) []StolenJob {
 		j.remote = thief
 		j.stolenAt = time.Now().UTC()
 		e.m.stolen.Inc()
-		e.appendJournal(journal.Record{Type: journal.TypeStolen, JobID: j.id, Key: j.key, Node: thief})
+		e.appendJournal(journal.Record{Type: journal.TypeStolen, JobID: j.id, Key: j.key, Node: thief, TraceID: j.traceID})
+		j.trace.Event("hop", "stolen", 0, map[string]any{"job": j.id, "from": e.nodeID, "to": thief})
 		dl := int64(j.deadline / time.Millisecond)
 		if j.deadline == 0 {
 			dl = -1 // resolved "no deadline"; 0 would re-apply the registry default
@@ -875,6 +950,7 @@ func (e *Engine) StealQueued(thief string, max int) []StolenJob {
 			Priority:   j.priority,
 			DeadlineMS: dl,
 			Key:        j.key,
+			TraceID:    j.traceID,
 		})
 	}
 	e.m.depth.Set(int64(e.queue.Len()))
@@ -952,7 +1028,8 @@ func (e *Engine) ReclaimStolen(maxAge time.Duration) int {
 		j.remote = ""
 		j.interrupted = true
 		e.m.reclaimed.Inc()
-		e.appendJournal(journal.Record{Type: journal.TypeReclaimed, JobID: j.id, Key: j.key, Node: j.prevNode})
+		e.appendJournal(journal.Record{Type: journal.TypeReclaimed, JobID: j.id, Key: j.key, Node: j.prevNode, TraceID: j.traceID})
+		j.trace.Event("hop", "reclaimed", 0, map[string]any{"job": j.id, "node": e.nodeID, "thief": j.prevNode})
 		heap.Push(&e.queue, j)
 		n++
 	}
@@ -1052,7 +1129,7 @@ func (e *Engine) next() (func(), bool) {
 			e.m.depth.Set(int64(e.queue.Len()))
 			e.m.running.Inc()
 			e.m.queueLatency.Observe(j.startedAt.Sub(j.enqueuedAt).Seconds())
-			e.appendJournal(journal.Record{Type: journal.TypeStarted, JobID: j.id, Key: j.key, Node: e.nodeID})
+			e.appendJournal(journal.Record{Type: journal.TypeStarted, JobID: j.id, Key: j.key, Node: e.nodeID, TraceID: j.traceID})
 			return func() { e.run(j, ctx, cleanup) }, true
 		}
 		if e.closed {
@@ -1075,6 +1152,11 @@ type outcome struct {
 // it exits. Panics in the experiment fail only this job.
 func (e *Engine) run(j *job, ctx context.Context, cleanup func()) {
 	defer cleanup()
+	// The run span brackets this node's execution of the job in the
+	// distributed timeline; hop spans (forward/steal/adopt) recorded by
+	// the cluster layer connect run spans across nodes.
+	span := j.trace.Begin("job", "run", 0, map[string]any{"job": j.id, "node": e.nodeID, "experiment": j.expName()})
+	defer span.End()
 	outc := make(chan outcome, 1)
 	go func() { outc <- e.execute(j, ctx) }()
 
@@ -1220,6 +1302,7 @@ func (e *Engine) viewLocked(j *job) View {
 		Interrupted: j.interrupted,
 		RemoteNode:  j.remote,
 		PrevNode:    j.prevNode,
+		TraceID:     j.traceID,
 		Key:         j.key,
 		Error:       j.errMsg,
 		Result:      append(json.RawMessage(nil), j.result...),

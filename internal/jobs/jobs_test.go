@@ -791,3 +791,93 @@ func waitState(t *testing.T, e *Engine, id string, want State) {
 	v, _ := e.Get(id)
 	t.Fatalf("job %s never reached %s (now %s)", id, want, v.State)
 }
+
+// TestReplayMintsTraceIDForLegacyRecords is the backward-compat half
+// of distributed tracing (PR 9, satellite 6): a journal written before
+// trace IDs existed — its records carry no trace_id field — must
+// replay cleanly, and every re-enqueued job is minted a fresh,
+// distinct trace ID so its timeline endpoint works after the upgrade.
+func TestReplayMintsTraceIDForLegacyRecords(t *testing.T) {
+	dir := t.TempDir()
+	jn, err := journal.Open(dir, journal.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Hand-write the legacy journal exactly as a pre-PR-9 binary
+	// serialized it: submitted/started records, TraceID zero-valued.
+	reg, gate := fakeRegistry()
+	close(gate)
+	exp, ok := reg.Get("echo")
+	if !ok {
+		t.Fatal("echo not registered")
+	}
+	values, err := exp.Resolve(map[string]any{"n": 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	canon, err := exp.CanonicalConfig(values)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, id := range []string{"job-1", "job-2"} {
+		rec := journal.Record{
+			Type: journal.TypeSubmitted, JobID: id, Experiment: "echo",
+			Config: canon, Seed: uint64(i), Time: time.Now(),
+		}
+		if err := jn.Append(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := jn.Append(journal.Record{Type: journal.TypeStarted, JobID: "job-1", Time: time.Now()}); err != nil {
+		t.Fatal(err)
+	}
+	if err := jn.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	jn2, err := journal.Open(dir, journal.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer jn2.Close()
+	reg2, gate2 := fakeRegistry()
+	close(gate2)
+	e := New(Config{Registry: reg2, Journal: jn2, Workers: 1, Tracing: true})
+
+	seen := map[string]bool{}
+	for _, id := range []string{"job-1", "job-2"} {
+		waitState(t, e, id, StateDone)
+		v, _ := e.Get(id)
+		if v.TraceID == "" {
+			t.Fatalf("legacy job %s replayed without a minted trace ID: %+v", id, v)
+		}
+		if seen[v.TraceID] {
+			t.Fatalf("legacy jobs share trace ID %s", v.TraceID)
+		}
+		seen[v.TraceID] = true
+		tr, ok := e.Trace(id)
+		if !ok || tr.Len() == 0 {
+			t.Fatalf("legacy job %s has no trace fragment after replay", id)
+		}
+	}
+	// New trace IDs also land on the journal's post-replay records, so
+	// the NEXT restart keeps the minted identity.
+	shutdownOK(t, e)
+	if err := jn2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	jn3, err := journal.Open(dir, journal.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer jn3.Close()
+	started := 0
+	for _, rec := range jn3.Records() {
+		if rec.Type == journal.TypeStarted && rec.TraceID != "" {
+			started++
+		}
+	}
+	if started == 0 {
+		t.Fatal("no post-replay started record carries a trace ID")
+	}
+}

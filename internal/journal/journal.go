@@ -84,8 +84,13 @@ type Record struct {
 	Node string `json:"node,omitempty"`
 	// OriginJob is the job's ID on the origin node (adopted records
 	// only), so an adopter can dedupe adoptions across its own restarts.
-	OriginJob string    `json:"origin_job,omitempty"`
-	Time      time.Time `json:"time"`
+	OriginJob string `json:"origin_job,omitempty"`
+	// TraceID is the distributed trace the job belongs to (PR 9),
+	// carried on submitted/started/stolen/adopted records so a replayed
+	// or adopted job keeps writing into the same cross-node timeline.
+	// Empty in pre-PR-9 journals; replay mints a fresh ID then.
+	TraceID string    `json:"trace_id,omitempty"`
+	Time    time.Time `json:"time"`
 }
 
 // FS is the journal's filesystem seam. The default is the real OS

@@ -1,0 +1,384 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestHistogramQuantileEmpty(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("h", "", DefaultDurationBuckets())
+	for _, q := range []float64{0, 0.5, 0.99, 1} {
+		if got := h.Quantile(q); got != 0 {
+			t.Errorf("empty histogram Quantile(%g) = %g, want 0", q, got)
+		}
+	}
+	var nilH *Histogram
+	if got := nilH.Quantile(0.5); got != 0 {
+		t.Errorf("nil histogram Quantile = %g, want 0", got)
+	}
+	// Empty histograms must not emit p50/p90/p99 in the JSON snapshot.
+	snap := r.Snapshot()
+	if len(snap) != 1 {
+		t.Fatalf("snapshot len = %d", len(snap))
+	}
+	if snap[0].P50 != nil || snap[0].P90 != nil || snap[0].P99 != nil {
+		t.Errorf("empty histogram snapshot carries quantiles: %+v", snap[0])
+	}
+}
+
+func TestHistogramQuantileSingleBucket(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("h", "", []float64{10})
+	for i := 0; i < 100; i++ {
+		h.Observe(5)
+	}
+	// All observations sit in [0,10]; the median interpolates to the
+	// middle of the bucket.
+	if got := h.Quantile(0.5); math.Abs(got-5) > 1e-9 {
+		t.Errorf("Quantile(0.5) = %g, want 5", got)
+	}
+	if got := h.Quantile(1); math.Abs(got-10) > 1e-9 {
+		t.Errorf("Quantile(1) = %g, want 10", got)
+	}
+	// An observation past the last bound lands in +Inf and clamps to
+	// the largest finite bound.
+	h.Observe(1e9)
+	if got := h.Quantile(1); got != 10 {
+		t.Errorf("Quantile(1) with +Inf tail = %g, want clamp to 10", got)
+	}
+}
+
+func TestHistogramQuantileInterpolation(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("h", "", []float64{1, 2, 4})
+	// 50 obs in (0,1], 30 in (1,2], 20 in (2,4].
+	for i := 0; i < 50; i++ {
+		h.Observe(0.5)
+	}
+	for i := 0; i < 30; i++ {
+		h.Observe(1.5)
+	}
+	for i := 0; i < 20; i++ {
+		h.Observe(3)
+	}
+	// p90: rank 90 of 100 -> 10 into the (2,4] bucket of 20 -> 3.0.
+	if got := h.Quantile(0.9); math.Abs(got-3) > 1e-9 {
+		t.Errorf("Quantile(0.9) = %g, want 3", got)
+	}
+	// p50: rank 50 lands exactly at the top of the first bucket.
+	if got := h.Quantile(0.5); math.Abs(got-1) > 1e-9 {
+		t.Errorf("Quantile(0.5) = %g, want 1", got)
+	}
+	snap := r.Snapshot()
+	if snap[0].P90 == nil || math.Abs(*snap[0].P90-3) > 1e-9 {
+		t.Errorf("snapshot P90 = %v, want 3", snap[0].P90)
+	}
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `h_quantile{quantile="0.99"}`) {
+		t.Errorf("Prometheus exposition missing quantile series:\n%s", buf.String())
+	}
+}
+
+func TestHistogramCountBelow(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("h", "", []float64{1, 2})
+	for i := 0; i < 10; i++ {
+		h.Observe(1.5) // (1,2] bucket
+	}
+	if got := h.CountBelow(1); got != 0 {
+		t.Errorf("CountBelow(1) = %g, want 0", got)
+	}
+	if got := h.CountBelow(1.5); math.Abs(got-5) > 1e-9 {
+		t.Errorf("CountBelow(1.5) = %g, want 5 (midpoint interpolation)", got)
+	}
+	if got := h.CountBelow(2); got != 10 {
+		t.Errorf("CountBelow(2) = %g, want 10", got)
+	}
+}
+
+func TestAbsorbSnapshotFederates(t *testing.T) {
+	mk := func(submitted uint64, depth int64, obsv []float64) []MetricSnapshot {
+		r := NewRegistry()
+		r.Counter("jobs_submitted_total", "").Add(submitted)
+		r.Gauge("jobs_queue_depth", "").Set(depth)
+		h := r.Histogram("job_duration_seconds", "", []float64{1, 10})
+		for _, v := range obsv {
+			h.Observe(v)
+		}
+		return r.Snapshot()
+	}
+	fed := NewRegistry()
+	fed.AbsorbSnapshot(mk(5, 2, []float64{0.5, 3}), Labels{"node": "n1"})
+	fed.AbsorbSnapshot(mk(7, 1, []float64{20}), Labels{"node": "n2"})
+
+	if got := fed.CounterL("jobs_submitted_total", "", Labels{"node": "n1"}).Value(); got != 5 {
+		t.Errorf("n1 submitted = %d, want 5", got)
+	}
+	if got := fed.CounterL("jobs_submitted_total", "", Labels{"node": "n2"}).Value(); got != 7 {
+		t.Errorf("n2 submitted = %d, want 7", got)
+	}
+	if got := fed.GaugeL("jobs_queue_depth", "", Labels{"node": "n2"}).Value(); got != 1 {
+		t.Errorf("n2 depth = %d, want 1", got)
+	}
+	// Histogram reconstruction: n2's single observation of 20 must land
+	// in the +Inf bucket with sum/count intact.
+	h := fed.HistogramL("job_duration_seconds", "", []float64{1, 10}, Labels{"node": "n2"})
+	if h.Count() != 1 || math.Abs(h.Sum()-20) > 1e-9 {
+		t.Errorf("n2 histogram count=%d sum=%g, want 1/20", h.Count(), h.Sum())
+	}
+	if got := h.CountBelow(10); got != 0 {
+		t.Errorf("n2 histogram CountBelow(10) = %g, want 0 (obs in +Inf)", got)
+	}
+	h1 := fed.HistogramL("job_duration_seconds", "", []float64{1, 10}, Labels{"node": "n1"})
+	if h1.Count() != 2 || math.Abs(h1.Sum()-3.5) > 1e-9 {
+		t.Errorf("n1 histogram count=%d sum=%g, want 2/3.5", h1.Count(), h1.Sum())
+	}
+	// Absorbed snapshots must round-trip through the JSON exposition.
+	var buf bytes.Buffer
+	if err := fed.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var snaps []MetricSnapshot
+	if err := json.Unmarshal(buf.Bytes(), &snaps); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTraceHubBoundedAndKeyed(t *testing.T) {
+	h := NewTraceHub(2)
+	a := h.Fragment("aaaa")
+	if a == nil {
+		t.Fatal("Fragment returned nil on live hub")
+	}
+	if got := h.Fragment("aaaa"); got != a {
+		t.Error("Fragment not idempotent per ID")
+	}
+	h.Fragment("bbbb")
+	h.Fragment("cccc") // evicts aaaa
+	if _, ok := h.Get("aaaa"); ok {
+		t.Error("oldest trace not evicted at cap")
+	}
+	if _, ok := h.Get("cccc"); !ok {
+		t.Error("newest trace missing")
+	}
+	if h.Len() != 2 {
+		t.Errorf("Len = %d, want 2", h.Len())
+	}
+	// Evicted fragments stay writable via retained pointers.
+	a.Event("job", "late", 0, nil)
+	if a.Len() != 1 {
+		t.Error("evicted fragment not writable")
+	}
+	var nilHub *TraceHub
+	if tr := nilHub.Fragment("x"); tr != nil {
+		t.Error("nil hub must hand out nil traces")
+	}
+	nilHub.Fragment("x").Event("a", "b", 0, nil) // must not panic
+}
+
+func TestNewTraceIDShape(t *testing.T) {
+	seen := map[string]bool{}
+	for i := 0; i < 64; i++ {
+		id := NewTraceID()
+		if len(id) != 16 {
+			t.Fatalf("trace ID %q length %d, want 16", id, len(id))
+		}
+		for _, c := range id {
+			if !strings.ContainsRune("0123456789abcdef", c) {
+				t.Fatalf("trace ID %q not lowercase hex", id)
+			}
+		}
+		if seen[id] {
+			t.Fatalf("duplicate trace ID %q in 64 draws", id)
+		}
+		seen[id] = true
+	}
+}
+
+func TestWriteChromeMergedAnchorsEpochs(t *testing.T) {
+	frags := []TraceFragment{
+		{Node: "n2", EpochUS: 1500, Events: []TraceEvent{{Name: "run", Cat: "job", Ph: "X", TS: 10, Dur: 5}}},
+		{Node: "n1", EpochUS: 1000, Events: []TraceEvent{{Name: "forward", Cat: "hop", Ph: "X", TS: 100, Dur: 50}}},
+	}
+	var buf bytes.Buffer
+	if err := WriteChromeMerged(&buf, frags); err != nil {
+		t.Fatal(err)
+	}
+	var out struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Ph   string         `json:"ph"`
+			TS   int64          `json:"ts"`
+			PID  int64          `json:"pid"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &out); err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string][]int64{}
+	pids := map[int64]string{}
+	for _, ev := range out.TraceEvents {
+		if ev.Ph == "M" {
+			pids[ev.PID] = ev.Args["name"].(string)
+			continue
+		}
+		byName[ev.Name] = append(byName[ev.Name], ev.TS, ev.PID)
+	}
+	if len(pids) != 2 {
+		t.Fatalf("want 2 process_name rows, got %v", pids)
+	}
+	// n1 has the earliest epoch: its events keep TS; n2's shift by 500.
+	if got := byName["forward"]; len(got) != 2 || got[0] != 100 {
+		t.Errorf("forward TS = %v, want [100 pid]", got)
+	}
+	if got := byName["run"]; len(got) != 2 || got[0] != 510 {
+		t.Errorf("run TS = %v, want 510 (10 + epoch offset 500)", got)
+	}
+	if pids[byName["forward"][1]] != "n1" || pids[byName["run"][1]] != "n2" {
+		t.Errorf("node attribution wrong: pids=%v", pids)
+	}
+}
+
+func TestProfilerSamplesAndMetrics(t *testing.T) {
+	r := NewRegistry()
+	p := NewProfiler(r, time.Hour, 4)
+	first := p.Sample()
+	if first.Goroutines <= 0 || first.HeapAllocBytes == 0 {
+		t.Errorf("first sample implausible: %+v", first)
+	}
+	// Allocate between samples so the delta is visible.
+	waste := make([][]byte, 64)
+	for i := range waste {
+		waste[i] = make([]byte, 4096)
+	}
+	second := p.Sample()
+	_ = waste
+	if second.AllocBytesDelta == 0 {
+		t.Error("second sample recorded no alloc delta")
+	}
+	if got := r.Counter("profile_samples_total", "").Value(); got != 2 {
+		t.Errorf("profile_samples_total = %d, want 2", got)
+	}
+	if got := r.Gauge("go_goroutines", "").Value(); got <= 0 {
+		t.Errorf("go_goroutines gauge = %d", got)
+	}
+	// Ring wraps at cap and returns chronological order.
+	for i := 0; i < 5; i++ {
+		p.Sample()
+	}
+	all := p.Samples(0)
+	if len(all) != 4 {
+		t.Fatalf("ring retained %d samples, want cap 4", len(all))
+	}
+	for i := 1; i < len(all); i++ {
+		if all[i].Time.Before(all[i-1].Time) {
+			t.Fatal("samples out of chronological order")
+		}
+	}
+	if got := p.Samples(2); len(got) != 2 || !got[1].Time.Equal(all[3].Time) {
+		t.Fatal("Samples(2) did not return the newest two")
+	}
+	// Peek must not advance the ring.
+	p.Peek()
+	if len(p.Samples(0)) != 4 {
+		t.Fatal("Peek advanced the ring")
+	}
+	p.Stop() // never Started: must not hang
+}
+
+func TestProfilerStartStop(t *testing.T) {
+	r := NewRegistry()
+	p := NewProfiler(r, time.Millisecond, 8)
+	p.Start()
+	deadline := time.Now().Add(2 * time.Second)
+	for r.Counter("profile_samples_total", "").Value() < 2 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	p.Stop()
+	if got := r.Counter("profile_samples_total", "").Value(); got < 2 {
+		t.Errorf("sampler recorded %d ticks, want >= 2", got)
+	}
+	p.Stop() // idempotent
+}
+
+func TestSLOTrackerLatencyBurn(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat", "", []float64{1, 10})
+	tr := NewSLOTracker(r, time.Hour, time.Minute)
+	tr.Add(LatencyObjective("p99_lat", h, 1, 0.99))
+	tr.Tick() // baseline: empty
+
+	// 100 observations, 2 over threshold: bad fraction 2% vs 1% budget.
+	for i := 0; i < 98; i++ {
+		h.Observe(0.5)
+	}
+	h.Observe(5)
+	h.Observe(5)
+	tr.Tick()
+
+	rep := tr.Report()
+	if len(rep) != 1 {
+		t.Fatalf("Report len = %d", len(rep))
+	}
+	st := rep[0]
+	if st.WindowTotal != 100 {
+		t.Errorf("WindowTotal = %g, want 100", st.WindowTotal)
+	}
+	if math.Abs(st.WindowBad-2) > 0.01 {
+		t.Errorf("WindowBad = %g, want 2", st.WindowBad)
+	}
+	if math.Abs(st.BurnRate-2) > 0.01 {
+		t.Errorf("BurnRate = %g, want 2 (2%% bad / 1%% budget)", st.BurnRate)
+	}
+	if st.BudgetRemaining != 0 {
+		t.Errorf("BudgetRemaining = %g, want 0 (overspent)", st.BudgetRemaining)
+	}
+	if st.Healthy || tr.Healthy() {
+		t.Error("objective burning 2x must be unhealthy")
+	}
+	if b := tr.Burning(); len(b) != 1 || b[0] != "p99_lat" {
+		t.Errorf("Burning = %v", b)
+	}
+	if got := r.GaugeL("slo_healthy", "", Labels{"objective": "p99_lat"}).Value(); got != 0 {
+		t.Errorf("slo_healthy gauge = %d, want 0", got)
+	}
+}
+
+func TestSLOTrackerErrorRateHealthy(t *testing.T) {
+	r := NewRegistry()
+	bad := r.Counter("failed", "")
+	total := r.Counter("submitted", "")
+	tr := NewSLOTracker(r, time.Hour, time.Minute)
+	tr.Add(ErrorRateObjective("errors", bad, total, 0.95))
+	tr.Tick()
+	total.Add(100)
+	bad.Add(2) // 2% errors vs 5% budget
+	tr.Tick()
+	st := tr.Report()[0]
+	if !st.Healthy || !tr.Healthy() {
+		t.Errorf("2%% errors under a 5%% budget must be healthy: %+v", st)
+	}
+	if math.Abs(st.BurnRate-0.4) > 0.01 {
+		t.Errorf("BurnRate = %g, want 0.4", st.BurnRate)
+	}
+	if math.Abs(st.Attainment-0.98) > 1e-9 {
+		t.Errorf("Attainment = %g, want 0.98", st.Attainment)
+	}
+	// Empty tracker and nil tracker are healthy.
+	if !NewSLOTracker(r, 0, 0).Healthy() {
+		t.Error("empty tracker unhealthy")
+	}
+	var nilT *SLOTracker
+	if !nilT.Healthy() {
+		t.Error("nil tracker unhealthy")
+	}
+}

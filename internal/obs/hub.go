@@ -1,0 +1,101 @@
+package obs
+
+// TraceHub indexes trace fragments by trace ID. In a cluster, a job
+// that hops between nodes (forward, steal, adopt) leaves events on
+// every node it touched; each node writes into its *local* hub under
+// the job's trace ID, and the merged-trace endpoint collects the
+// per-node fragments and stitches them (trace.go WriteChromeMerged).
+//
+// The hub is bounded FIFO: past the cap the oldest trace is evicted.
+// An evicted fragment stays writable through any *Trace pointer a
+// running job still holds — it just can no longer be retrieved — so a
+// paper-scale sweep cannot exhaust memory through its telemetry while
+// in-flight jobs keep working.
+//
+// Like every obs type, a nil hub is inert: Fragment returns a nil
+// *Trace whose methods are no-ops.
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"sync"
+	"time"
+)
+
+// DefaultHubCap bounds the distinct trace IDs one hub retains.
+const DefaultHubCap = 1024
+
+// NewTraceID mints a random 16-hex-character trace ID. IDs never enter
+// cache keys, result bytes, or experiment decisions, so randomness here
+// cannot perturb determinism.
+func NewTraceID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		// crypto/rand failing is essentially fatal elsewhere; a
+		// time-derived ID keeps tracing alive rather than panicking.
+		now := uint64(time.Now().UnixNano())
+		for i := range b {
+			b[i] = byte(now >> (8 * i))
+		}
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// TraceHub is a bounded map of trace ID -> local trace fragment.
+type TraceHub struct {
+	mu    sync.Mutex
+	frags map[string]*Trace
+	order []string // insertion order, for FIFO eviction
+	cap   int
+}
+
+// NewTraceHub returns a hub retaining at most cap traces (cap <= 0
+// means DefaultHubCap).
+func NewTraceHub(cap int) *TraceHub {
+	if cap <= 0 {
+		cap = DefaultHubCap
+	}
+	return &TraceHub{frags: make(map[string]*Trace), cap: cap}
+}
+
+// Fragment returns the local trace for id, creating it on first use.
+// Returns nil (an inert trace) on a nil hub or empty id.
+func (h *TraceHub) Fragment(id string) *Trace {
+	if h == nil || id == "" {
+		return nil
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if t, ok := h.frags[id]; ok {
+		return t
+	}
+	for len(h.order) >= h.cap {
+		delete(h.frags, h.order[0])
+		h.order = h.order[1:]
+	}
+	t := NewTrace()
+	h.frags[id] = t
+	h.order = append(h.order, id)
+	return t
+}
+
+// Get returns the local trace for id without creating one.
+func (h *TraceHub) Get(id string) (*Trace, bool) {
+	if h == nil {
+		return nil, false
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	t, ok := h.frags[id]
+	return t, ok
+}
+
+// Len returns the number of retained traces.
+func (h *TraceHub) Len() int {
+	if h == nil {
+		return 0
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return len(h.frags)
+}

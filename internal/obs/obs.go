@@ -132,6 +132,72 @@ func (h *Histogram) Observe(v float64) {
 	}
 }
 
+// Quantile estimates the q-quantile (0 <= q <= 1) by linear
+// interpolation inside the fixed buckets, the same estimate
+// Prometheus' histogram_quantile produces. Within the bucket holding
+// the target rank the value is interpolated between the previous
+// bound (or 0 for the first bucket) and the bucket's own bound; a rank
+// falling in the +Inf bucket clamps to the largest finite bound.
+// Returns 0 for an empty (or nil) histogram.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h == nil {
+		return 0
+	}
+	total := h.count.Load()
+	if total == 0 || len(h.bounds) == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(total)
+	var cum uint64
+	for i, bound := range h.bounds {
+		c := h.counts[i].Load()
+		if c > 0 && float64(cum)+float64(c) >= rank {
+			lo := 0.0
+			if i > 0 {
+				lo = h.bounds[i-1]
+			}
+			frac := (rank - float64(cum)) / float64(c)
+			if frac < 0 {
+				frac = 0
+			}
+			return lo + (bound-lo)*frac
+		}
+		cum += c
+	}
+	return h.bounds[len(h.bounds)-1]
+}
+
+// CountBelow estimates how many observations were <= v, interpolating
+// within the bucket that straddles v. Used by the SLO tracker to turn
+// "p99 <= threshold" objectives into a bad-event count.
+func (h *Histogram) CountBelow(v float64) float64 {
+	if h == nil || len(h.bounds) == 0 {
+		return 0
+	}
+	var cum float64
+	lo := 0.0
+	for i, bound := range h.bounds {
+		c := float64(h.counts[i].Load())
+		if v < bound {
+			if v > lo && bound > lo {
+				cum += c * (v - lo) / (bound - lo)
+			}
+			return cum
+		}
+		cum += c
+		lo = bound
+	}
+	// v is at or past the largest finite bound: everything outside the
+	// +Inf bucket counts, plus nothing interpolable from +Inf itself.
+	return cum
+}
+
 // Count returns the number of observations.
 func (h *Histogram) Count() uint64 {
 	if h == nil {
@@ -280,10 +346,17 @@ func (r *Registry) GaugeL(name, help string, labels Labels) *Gauge {
 // upper bounds (sorted ascending; +Inf is implicit). Buckets are fixed
 // by the first registration of the name.
 func (r *Registry) Histogram(name, help string, buckets []float64) *Histogram {
+	return r.HistogramL(name, help, buckets, nil)
+}
+
+// HistogramL registers (or retrieves) a histogram with constant labels
+// (e.g. per-node series in the federated cluster registry). Buckets are
+// fixed by the first registration of the (name, labels) pair.
+func (r *Registry) HistogramL(name, help string, buckets []float64, labels Labels) *Histogram {
 	if r == nil {
 		return nil
 	}
-	m := r.upsert(name, help, kindHistogram, nil)
+	m := r.upsert(name, help, kindHistogram, labels)
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if m.h.counts == nil {
@@ -336,11 +409,14 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 			var cum uint64
 			for i, bound := range m.h.bounds {
 				cum += m.h.counts[i].Load()
-				fmt.Fprintf(&b, "%s_bucket{le=%q} %d\n", m.name, formatBound(bound), cum)
+				fmt.Fprintf(&b, "%s_bucket%s %d\n", m.name, mergeLabelKey(m.labels, "le", formatBound(bound)), cum)
 			}
-			fmt.Fprintf(&b, "%s_bucket{le=\"+Inf\"} %d\n", m.name, m.h.Count())
-			fmt.Fprintf(&b, "%s_sum %g\n", m.name, m.h.Sum())
-			fmt.Fprintf(&b, "%s_count %d\n", m.name, m.h.Count())
+			fmt.Fprintf(&b, "%s_bucket%s %d\n", m.name, mergeLabelKey(m.labels, "le", "+Inf"), m.h.Count())
+			fmt.Fprintf(&b, "%s_sum%s %g\n", m.name, lk, m.h.Sum())
+			fmt.Fprintf(&b, "%s_count%s %d\n", m.name, lk, m.h.Count())
+			for _, q := range snapshotQuantiles {
+				fmt.Fprintf(&b, "%s_quantile%s %g\n", m.name, mergeLabelKey(m.labels, "quantile", formatBound(q)), m.h.Quantile(q))
+			}
 		}
 	}
 	_, err := io.WriteString(w, b.String())
@@ -349,6 +425,21 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 
 func formatBound(v float64) string {
 	return strings.TrimRight(strings.TrimRight(fmt.Sprintf("%f", v), "0"), ".")
+}
+
+// snapshotQuantiles are the percentile estimates exported alongside
+// every histogram in both the JSON and Prometheus expositions.
+var snapshotQuantiles = []float64{0.5, 0.9, 0.99}
+
+// mergeLabelKey renders the metric's constant labels plus one extra
+// pair (le for buckets, quantile for percentile gauges).
+func mergeLabelKey(l Labels, k, v string) string {
+	merged := make(Labels, len(l)+1)
+	for kk, vv := range l {
+		merged[kk] = vv
+	}
+	merged[k] = v
+	return labelKey(merged)
 }
 
 // MetricSnapshot is one metric in the JSON exposition
@@ -363,6 +454,11 @@ type MetricSnapshot struct {
 	Sum    *float64         `json:"sum,omitempty"`
 	Count  *uint64          `json:"count,omitempty"`
 	Bucket []BucketSnapshot `json:"buckets,omitempty"`
+	// P50/P90/P99 are interpolated quantile estimates (histograms with
+	// at least one observation only).
+	P50 *float64 `json:"p50,omitempty"`
+	P90 *float64 `json:"p90,omitempty"`
+	P99 *float64 `json:"p99,omitempty"`
 }
 
 // BucketSnapshot is one cumulative histogram bucket.
@@ -398,6 +494,10 @@ func (r *Registry) Snapshot() []MetricSnapshot {
 				cum += m.h.counts[i].Load()
 				s.Bucket = append(s.Bucket, BucketSnapshot{LE: bound, Count: cum})
 			}
+			if count > 0 {
+				p50, p90, p99 := m.h.Quantile(0.5), m.h.Quantile(0.9), m.h.Quantile(0.99)
+				s.P50, s.P90, s.P99 = &p50, &p90, &p99
+			}
 		}
 		out = append(out, s)
 	}
@@ -409,4 +509,78 @@ func (r *Registry) WriteJSON(w io.Writer) error {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	return enc.Encode(r.Snapshot())
+}
+
+// AbsorbSnapshot merges a metrics snapshot (typically one scraped from
+// a peer's /v1/metrics?format=json) into the registry, adding extra
+// labels over each metric's own so one federated registry can hold the
+// same family from many nodes side by side. Counters and gauges add
+// their values; histograms are reconstructed by de-cumulating the
+// bucket snapshot (bucket i's increment = cum[i] - cum[i-1], the +Inf
+// bucket = count - cum[last]) into a histogram with the same bounds.
+// Absorbing the same snapshot twice double-counts; callers build a
+// fresh registry per federation scrape.
+func (r *Registry) AbsorbSnapshot(snap []MetricSnapshot, extra Labels) {
+	if r == nil {
+		return
+	}
+	for _, m := range snap {
+		labels := make(Labels, len(m.Labels)+len(extra))
+		for k, v := range m.Labels {
+			labels[k] = v
+		}
+		for k, v := range extra {
+			labels[k] = v
+		}
+		if len(labels) == 0 {
+			labels = nil
+		}
+		switch m.Type {
+		case "counter":
+			if m.Value != nil {
+				r.CounterL(m.Name, m.Help, labels).Add(*m.Value)
+			}
+		case "gauge":
+			if m.Level != nil {
+				r.GaugeL(m.Name, m.Help, labels).Add(*m.Level)
+			}
+		case "histogram":
+			if m.Count == nil {
+				continue
+			}
+			bounds := make([]float64, len(m.Bucket))
+			for i, b := range m.Bucket {
+				bounds[i] = b.LE
+			}
+			h := r.HistogramL(m.Name, m.Help, bounds, labels)
+			if len(h.counts) != len(m.Bucket)+1 {
+				continue // bucket layout clash with an earlier registration
+			}
+			var prev uint64
+			for i, b := range m.Bucket {
+				if b.Count >= prev {
+					h.counts[i].Add(b.Count - prev)
+				}
+				prev = b.Count
+			}
+			if *m.Count >= prev {
+				h.counts[len(h.counts)-1].Add(*m.Count - prev)
+			}
+			h.count.Add(*m.Count)
+			if m.Sum != nil {
+				h.addSum(*m.Sum)
+			}
+		}
+	}
+}
+
+// addSum CAS-adds v to the histogram's float64-bits sum.
+func (h *Histogram) addSum(v float64) {
+	for {
+		old := h.sum.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sum.CompareAndSwap(old, next) {
+			return
+		}
+	}
 }

@@ -1,0 +1,396 @@
+package obs
+
+// Continuous profiling: a sampler goroutine that exports Go runtime
+// health — heap, GC pauses, goroutine count, scheduler latency — into
+// the metrics registry and keeps a bounded ring of per-interval deltas
+// retrievable via GET /v1/profilez. The point is to make the
+// zero-allocation hot-path claims continuously verifiable on a live
+// daemon (alloc-rate and GC-pause deltas under real traffic) rather
+// than only under go test alloc gates.
+//
+// Sampling reads ONLY runtime/metrics — never runtime.ReadMemStats,
+// whose stop-the-world pause would tax the very hot path the profiler
+// exists to watch. Metrics this runtime does not expose are skipped
+// gracefully (probed once at construction), so the profiler works
+// across Go releases. Like every obs surface, the profiler only
+// observes: nothing it records feeds experiment decisions, cache keys,
+// or result bytes.
+
+import (
+	"math"
+	"runtime"
+	rtm "runtime/metrics"
+	"sync"
+	"time"
+)
+
+// DefaultProfileRing bounds the samples one Profiler retains.
+const DefaultProfileRing = 360
+
+// The runtime/metrics names the profiler samples. Indexes into
+// Profiler.samples — keep the two lists aligned.
+const (
+	schedLatencyMetric = "/sched/latencies:seconds"
+	heapBytesMetric    = "/memory/classes/heap/objects:bytes"
+	heapObjectsMetric  = "/gc/heap/objects:objects"
+	allocBytesMetric   = "/gc/heap/allocs:bytes"
+	allocObjectsMetric = "/gc/heap/allocs:objects"
+	gcCyclesMetric     = "/gc/cycles/total:gc-cycles"
+	gcPauseMetric      = "/sched/pauses/total/gc:seconds"
+)
+
+var profileMetricNames = []string{
+	heapBytesMetric,
+	heapObjectsMetric,
+	allocBytesMetric,
+	allocObjectsMetric,
+	gcCyclesMetric,
+	gcPauseMetric,
+	schedLatencyMetric,
+}
+
+// ProfileSample is one sampler tick: absolute levels plus deltas since
+// the previous tick.
+type ProfileSample struct {
+	Time            time.Time `json:"time"`
+	Goroutines      int       `json:"goroutines"`
+	HeapAllocBytes  uint64    `json:"heap_alloc_bytes"`
+	HeapObjects     uint64    `json:"heap_objects"`
+	AllocBytesDelta uint64    `json:"alloc_bytes_delta"`
+	MallocsDelta    uint64    `json:"mallocs_delta"`
+	GCCyclesDelta   uint64    `json:"gc_cycles_delta"`
+	GCPauseDelta    float64   `json:"gc_pause_seconds_delta"`
+	SchedLatencyP50 float64   `json:"sched_latency_p50_seconds"`
+	SchedLatencyP99 float64   `json:"sched_latency_p99_seconds"`
+}
+
+// prevCumulative is the delta baseline from the last advancing read.
+type prevCumulative struct {
+	allocBytes   uint64
+	allocObjects uint64
+	gcCycles     uint64
+	gcPauseSec   float64
+	sched        rtm.Float64Histogram
+}
+
+// Profiler samples runtime state on a fixed interval into a bounded
+// ring and a set of registry instruments.
+type Profiler struct {
+	reg      *Registry
+	interval time.Duration
+
+	goroutines   *Gauge
+	heapAlloc    *Gauge
+	heapObjects  *Gauge
+	allocBytes   *Counter
+	mallocs      *Counter
+	gcCycles     *Counter
+	gcPauseUS    *Counter
+	schedP99US   *Gauge
+	samplesTotal *Counter
+
+	mu        sync.Mutex
+	ring      []ProfileSample
+	next      int
+	filled    bool
+	samples   []rtm.Sample // reused batch read buffer, one per profileMetricNames
+	supported []bool       // per samples index: this runtime exposes it
+	prev      prevCumulative
+	havePrev  bool
+
+	startOnce sync.Once
+	stop      chan struct{}
+	done      chan struct{}
+}
+
+// NewProfiler returns a profiler exporting into reg every interval,
+// retaining ringCap samples (<= 0 means DefaultProfileRing). The
+// profiler is idle until Start.
+func NewProfiler(reg *Registry, interval time.Duration, ringCap int) *Profiler {
+	if interval <= 0 {
+		interval = 10 * time.Second
+	}
+	if ringCap <= 0 {
+		ringCap = DefaultProfileRing
+	}
+	p := &Profiler{
+		reg:      reg,
+		interval: interval,
+		ring:     make([]ProfileSample, ringCap),
+		stop:     make(chan struct{}),
+		done:     make(chan struct{}),
+
+		goroutines:   reg.Gauge("go_goroutines", "live goroutines at last profile sample"),
+		heapAlloc:    reg.Gauge("go_heap_alloc_bytes", "heap bytes in use at last profile sample"),
+		heapObjects:  reg.Gauge("go_heap_objects", "live heap objects at last profile sample"),
+		allocBytes:   reg.Counter("go_alloc_bytes_total", "cumulative bytes allocated (sampled)"),
+		mallocs:      reg.Counter("go_mallocs_total", "cumulative heap allocations (sampled)"),
+		gcCycles:     reg.Counter("go_gc_cycles_total", "completed GC cycles (sampled)"),
+		gcPauseUS:    reg.Counter("go_gc_pause_micros_total", "cumulative GC stop-the-world pause (sampled)"),
+		schedP99US:   reg.Gauge("go_sched_latency_p99_micros", "p99 goroutine scheduling latency over the last interval"),
+		samplesTotal: reg.Counter("profile_samples_total", "profiler ticks recorded"),
+	}
+	// Probe once which metrics this runtime exposes; unsupported ones
+	// read as KindBad forever and their fields stay zero.
+	p.samples = make([]rtm.Sample, len(profileMetricNames))
+	for i, name := range profileMetricNames {
+		p.samples[i].Name = name
+	}
+	rtm.Read(p.samples)
+	p.supported = make([]bool, len(p.samples))
+	for i := range p.samples {
+		p.supported[i] = p.samples[i].Value.Kind() != rtm.KindBad
+	}
+	return p
+}
+
+// Interval returns the sampling cadence.
+func (p *Profiler) Interval() time.Duration {
+	if p == nil {
+		return 0
+	}
+	return p.interval
+}
+
+// Start launches the sampler goroutine (idempotent).
+func (p *Profiler) Start() {
+	if p == nil {
+		return
+	}
+	p.startOnce.Do(func() {
+		go func() {
+			defer close(p.done)
+			tick := time.NewTicker(p.interval)
+			defer tick.Stop()
+			p.Sample()
+			for {
+				select {
+				case <-p.stop:
+					return
+				case <-tick.C:
+					p.Sample()
+				}
+			}
+		}()
+	})
+}
+
+// Stop halts the sampler and waits for it to exit. Safe to call
+// without Start and more than once.
+func (p *Profiler) Stop() {
+	if p == nil {
+		return
+	}
+	select {
+	case <-p.stop:
+	default:
+		close(p.stop)
+	}
+	p.startOnce.Do(func() { close(p.done) })
+	<-p.done
+}
+
+// Sample takes one sample immediately, records it in the ring and the
+// registry, and returns it. The background loop calls this on every
+// tick; tests call it directly for a deterministic cadence.
+func (p *Profiler) Sample() ProfileSample {
+	if p == nil {
+		return ProfileSample{}
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	s := p.readLocked(true)
+	p.ring[p.next] = s
+	p.next++
+	if p.next == len(p.ring) {
+		p.next = 0
+		p.filled = true
+	}
+
+	p.goroutines.Set(int64(s.Goroutines))
+	p.heapAlloc.Set(int64(s.HeapAllocBytes))
+	p.heapObjects.Set(int64(s.HeapObjects))
+	p.allocBytes.Add(s.AllocBytesDelta)
+	p.mallocs.Add(s.MallocsDelta)
+	p.gcCycles.Add(s.GCCyclesDelta)
+	p.gcPauseUS.Add(uint64(s.GCPauseDelta * 1e6))
+	p.schedP99US.Set(int64(s.SchedLatencyP99 * 1e6))
+	p.samplesTotal.Inc()
+	return s
+}
+
+// Peek takes a live reading (deltas measured against the last recorded
+// sample) without storing it or advancing the baseline.
+func (p *Profiler) Peek() ProfileSample {
+	if p == nil {
+		return ProfileSample{}
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.readLocked(false)
+}
+
+// uint64At returns the sampled value of profileMetricNames[i], 0 when
+// the runtime does not expose it.
+func (p *Profiler) uint64At(i int) uint64 {
+	if !p.supported[i] || p.samples[i].Value.Kind() != rtm.KindUint64 {
+		return 0
+	}
+	return p.samples[i].Value.Uint64()
+}
+
+// histAt returns the sampled histogram of profileMetricNames[i], nil
+// when unsupported.
+func (p *Profiler) histAt(i int) *rtm.Float64Histogram {
+	if !p.supported[i] || p.samples[i].Value.Kind() != rtm.KindFloat64Histogram {
+		return nil
+	}
+	return p.samples[i].Value.Float64Histogram()
+}
+
+// readLocked batch-reads the runtime/metrics set and computes deltas
+// against the previous advancing read. When advance is true the new
+// reading becomes the delta baseline.
+func (p *Profiler) readLocked(advance bool) ProfileSample {
+	rtm.Read(p.samples)
+	s := ProfileSample{
+		Time:           time.Now(),
+		Goroutines:     runtime.NumGoroutine(),
+		HeapAllocBytes: p.uint64At(0),
+		HeapObjects:    p.uint64At(1),
+	}
+	allocBytes, allocObjects := p.uint64At(2), p.uint64At(3)
+	gcCycles := p.uint64At(4)
+	gcPauseSec := 0.0
+	if h := p.histAt(5); h != nil {
+		gcPauseSec = histApproxSum(h)
+	}
+	if p.havePrev {
+		s.AllocBytesDelta = allocBytes - p.prev.allocBytes
+		s.MallocsDelta = allocObjects - p.prev.allocObjects
+		s.GCCyclesDelta = gcCycles - p.prev.gcCycles
+		if d := gcPauseSec - p.prev.gcPauseSec; d > 0 {
+			s.GCPauseDelta = d
+		}
+	}
+
+	if cur := p.histAt(6); cur != nil {
+		delta := cur.Counts
+		if p.havePrev && len(p.prev.sched.Counts) == len(cur.Counts) {
+			delta = make([]uint64, len(cur.Counts))
+			for i, c := range cur.Counts {
+				delta[i] = c - p.prev.sched.Counts[i]
+			}
+		}
+		s.SchedLatencyP50 = float64HistQuantile(delta, cur.Buckets, 0.5)
+		s.SchedLatencyP99 = float64HistQuantile(delta, cur.Buckets, 0.99)
+		if advance {
+			p.prev.sched = rtm.Float64Histogram{
+				Counts:  append([]uint64(nil), cur.Counts...),
+				Buckets: cur.Buckets,
+			}
+		}
+	}
+	if advance {
+		p.prev.allocBytes = allocBytes
+		p.prev.allocObjects = allocObjects
+		p.prev.gcCycles = gcCycles
+		p.prev.gcPauseSec = gcPauseSec
+		p.havePrev = true
+	}
+	return s
+}
+
+// Samples returns up to n of the most recent samples in chronological
+// order (n <= 0 means all retained).
+func (p *Profiler) Samples(n int) []ProfileSample {
+	if p == nil {
+		return nil
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	var out []ProfileSample
+	if p.filled {
+		out = append(out, p.ring[p.next:]...)
+		out = append(out, p.ring[:p.next]...)
+	} else {
+		out = append(out, p.ring[:p.next]...)
+	}
+	if n > 0 && len(out) > n {
+		out = out[len(out)-n:]
+	}
+	return out
+}
+
+// histApproxSum estimates the cumulative sum of a runtime/metrics
+// histogram's observations: count × bucket midpoint (unbounded edges
+// clamp to their finite side). Used for the GC pause total, where the
+// runtime exposes a distribution rather than a running sum.
+func histApproxSum(h *rtm.Float64Histogram) float64 {
+	var sum float64
+	for i, c := range h.Counts {
+		if c == 0 || i+1 >= len(h.Buckets) {
+			continue
+		}
+		lo, hi := h.Buckets[i], h.Buckets[i+1]
+		mid := 0.0
+		switch {
+		case isInf(lo) && isInf(hi):
+			continue
+		case isInf(lo):
+			mid = hi
+		case isInf(hi):
+			mid = lo
+		default:
+			mid = (lo + hi) / 2
+		}
+		sum += float64(c) * mid
+	}
+	return sum
+}
+
+// float64HistQuantile interpolates the q-quantile of a
+// runtime/metrics-style histogram: counts[i] holds observations in
+// [buckets[i], buckets[i+1]). Unbounded edge buckets clamp to their
+// finite side.
+func float64HistQuantile(counts []uint64, buckets []float64, q float64) float64 {
+	var total uint64
+	for _, c := range counts {
+		total += c
+	}
+	if total == 0 || len(buckets) < 2 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(total)
+	var cum uint64
+	for i, c := range counts {
+		if c > 0 && float64(cum)+float64(c) >= rank {
+			lo, hi := buckets[i], buckets[i+1]
+			if isInf(lo) {
+				return hi
+			}
+			if isInf(hi) {
+				return lo
+			}
+			frac := (rank - float64(cum)) / float64(c)
+			if frac < 0 {
+				frac = 0
+			}
+			return lo + (hi-lo)*frac
+		}
+		cum += c
+	}
+	last := buckets[len(buckets)-1]
+	if isInf(last) {
+		last = buckets[len(buckets)-2]
+	}
+	return last
+}
+
+func isInf(v float64) bool { return math.IsInf(v, 0) }

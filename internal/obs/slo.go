@@ -1,0 +1,332 @@
+package obs
+
+// SLO burn-rate tracking over the registry's own instruments. An
+// objective declares what fraction of events may be "bad" (a latency
+// observation over its threshold, or a failed job); the tracker
+// samples the underlying cumulative histogram/counters on a fixed
+// cadence into a bounded ring, computes windowed deltas, and reports
+// burn rates: badFraction / budget, where 1.0 means the error budget
+// is being consumed exactly as fast as the window allows. Two windows
+// are reported — the full rolling window (slow burn, "are we meeting
+// the SLO") and the most recent twelfth of it (fast burn, "are we
+// burning budget right now") — the standard multi-window alerting
+// shape, scaled down to one process.
+//
+// Like every obs surface the tracker only reads instruments; it never
+// feeds experiment decisions, cache keys, or result bytes.
+
+import (
+	"sync"
+	"time"
+)
+
+// Objective is one service-level objective. Build with
+// LatencyObjective or ErrorRateObjective.
+type Objective struct {
+	// Name identifies the objective in reports and metrics labels.
+	Name string
+	// Kind is "latency" or "error_rate".
+	Kind string
+	// Threshold is the latency bound in seconds (latency kind only).
+	Threshold float64
+	// Target is the attainment target in (0,1): the fraction of events
+	// that must be good. Budget = 1 - Target.
+	Target float64
+
+	hist       *Histogram
+	bad, total *Counter
+}
+
+// LatencyObjective declares "a fraction target of observations in h
+// must be <= threshold seconds" (e.g. p99 queue latency under 5s is
+// target 0.99, threshold 5).
+func LatencyObjective(name string, h *Histogram, threshold, target float64) Objective {
+	return Objective{Name: name, Kind: "latency", Threshold: threshold, Target: target, hist: h}
+}
+
+// ErrorRateObjective declares "bad/total must stay under 1-target"
+// (e.g. target 0.95 tolerates a 5% failure rate).
+func ErrorRateObjective(name string, bad, total *Counter, target float64) Objective {
+	return Objective{Name: name, Kind: "error_rate", Target: target, bad: bad, total: total}
+}
+
+// SLOStatus is one objective's state over the rolling window, the wire
+// form of GET /v1/slo.
+type SLOStatus struct {
+	Name             string  `json:"name"`
+	Kind             string  `json:"kind"`
+	ThresholdSeconds float64 `json:"threshold_seconds,omitempty"`
+	Target           float64 `json:"target"`
+	WindowSeconds    float64 `json:"window_seconds"`
+	WindowTotal      float64 `json:"window_total"`
+	WindowBad        float64 `json:"window_bad"`
+	Attainment       float64 `json:"attainment"`
+	BudgetRemaining  float64 `json:"budget_remaining"`
+	BurnRate         float64 `json:"burn_rate"`
+	BurnRateFast     float64 `json:"burn_rate_fast"`
+	Healthy          bool    `json:"healthy"`
+}
+
+// sloSample is one tick's cumulative (bad, total) reading.
+type sloSample struct {
+	t          time.Time
+	bad, total float64
+}
+
+// sloState is one tracked objective plus its sample ring.
+type sloState struct {
+	obj      Objective
+	ring     []sloSample
+	burnG    *Gauge
+	healthyG *Gauge
+}
+
+// fastBurnAlert is the fast-window burn rate past which an objective
+// reports unhealthy even before the slow window exhausts: budget
+// burning >= 12x sustainable means the full window's budget would be
+// gone within one fast window.
+const fastBurnAlert = 12.0
+
+// SLOTracker samples a set of objectives on a fixed cadence.
+type SLOTracker struct {
+	reg      *Registry
+	window   time.Duration
+	interval time.Duration
+
+	mu   sync.Mutex
+	objs []*sloState
+
+	startOnce sync.Once
+	stop      chan struct{}
+	done      chan struct{}
+}
+
+// NewSLOTracker returns a tracker with the given rolling window and
+// sampling interval (window <= 0 means 1h; interval <= 0 means
+// window/60). The tracker is idle until Start; Tick may be called
+// directly for a deterministic cadence.
+func NewSLOTracker(reg *Registry, window, interval time.Duration) *SLOTracker {
+	if window <= 0 {
+		window = time.Hour
+	}
+	if interval <= 0 {
+		interval = window / 60
+	}
+	if interval <= 0 {
+		interval = time.Second
+	}
+	return &SLOTracker{
+		reg:      reg,
+		window:   window,
+		interval: interval,
+		stop:     make(chan struct{}),
+		done:     make(chan struct{}),
+	}
+}
+
+// Window returns the rolling window length.
+func (s *SLOTracker) Window() time.Duration {
+	if s == nil {
+		return 0
+	}
+	return s.window
+}
+
+// Add registers an objective. Not safe to call after Start.
+func (s *SLOTracker) Add(obj Objective) {
+	if s == nil {
+		return
+	}
+	ringCap := int(s.window/s.interval) + 1
+	if ringCap < 2 {
+		ringCap = 2
+	}
+	st := &sloState{
+		obj:      obj,
+		ring:     make([]sloSample, 0, ringCap),
+		burnG:    s.reg.GaugeL("slo_burn_rate_milli", "slow-window burn rate x1000", Labels{"objective": obj.Name}),
+		healthyG: s.reg.GaugeL("slo_healthy", "1 when the objective's budget is intact", Labels{"objective": obj.Name}),
+	}
+	s.mu.Lock()
+	s.objs = append(s.objs, st)
+	s.mu.Unlock()
+}
+
+// Start launches the sampling goroutine (idempotent).
+func (s *SLOTracker) Start() {
+	if s == nil {
+		return
+	}
+	s.startOnce.Do(func() {
+		go func() {
+			defer close(s.done)
+			tick := time.NewTicker(s.interval)
+			defer tick.Stop()
+			s.Tick()
+			for {
+				select {
+				case <-s.stop:
+					return
+				case <-tick.C:
+					s.Tick()
+				}
+			}
+		}()
+	})
+}
+
+// Stop halts sampling and waits for the goroutine to exit. Safe to
+// call without Start and more than once.
+func (s *SLOTracker) Stop() {
+	if s == nil {
+		return
+	}
+	select {
+	case <-s.stop:
+	default:
+		close(s.stop)
+	}
+	s.startOnce.Do(func() { close(s.done) })
+	<-s.done
+}
+
+// Tick records one cumulative sample per objective and refreshes the
+// burn-rate gauges.
+func (s *SLOTracker) Tick() {
+	if s == nil {
+		return
+	}
+	now := time.Now()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, st := range s.objs {
+		st.ring = append(st.ring, sloSample{t: now, bad: st.cumBad(), total: st.cumTotal()})
+		// Trim samples that fell out of the window (keep one anchor just
+		// outside it so the slow delta spans the full window).
+		cut := 0
+		for cut < len(st.ring)-1 && now.Sub(st.ring[cut+1].t) >= s.window {
+			cut++
+		}
+		st.ring = st.ring[cut:]
+		status := s.statusLocked(st)
+		st.burnG.Set(int64(status.BurnRate * 1000))
+		if status.Healthy {
+			st.healthyG.Set(1)
+		} else {
+			st.healthyG.Set(0)
+		}
+	}
+}
+
+// cumBad returns the objective's cumulative bad-event count.
+func (st *sloState) cumBad() float64 {
+	switch st.obj.Kind {
+	case "latency":
+		h := st.obj.hist
+		return float64(h.Count()) - h.CountBelow(st.obj.Threshold)
+	case "error_rate":
+		return float64(st.obj.bad.Value())
+	}
+	return 0
+}
+
+// cumTotal returns the objective's cumulative event count.
+func (st *sloState) cumTotal() float64 {
+	switch st.obj.Kind {
+	case "latency":
+		return float64(st.obj.hist.Count())
+	case "error_rate":
+		return float64(st.obj.total.Value())
+	}
+	return 0
+}
+
+// statusLocked computes the objective's report from its ring.
+func (s *SLOTracker) statusLocked(st *sloState) SLOStatus {
+	out := SLOStatus{
+		Name:             st.obj.Name,
+		Kind:             st.obj.Kind,
+		ThresholdSeconds: st.obj.Threshold,
+		Target:           st.obj.Target,
+		WindowSeconds:    s.window.Seconds(),
+		Attainment:       1,
+		BudgetRemaining:  1,
+		Healthy:          true,
+	}
+	if len(st.ring) == 0 {
+		return out
+	}
+	newest := st.ring[len(st.ring)-1]
+	oldest := st.ring[0]
+	budget := 1 - st.obj.Target
+	if budget <= 0 {
+		budget = 1e-9
+	}
+	burn := func(from sloSample) (bad, total, rate float64) {
+		bad = newest.bad - from.bad
+		total = newest.total - from.total
+		if bad < 0 {
+			bad = 0
+		}
+		if total <= 0 {
+			return 0, 0, 0
+		}
+		return bad, total, (bad / total) / budget
+	}
+	out.WindowBad, out.WindowTotal, out.BurnRate = burn(oldest)
+	if out.WindowTotal > 0 {
+		out.Attainment = 1 - out.WindowBad/out.WindowTotal
+		out.BudgetRemaining = 1 - out.BurnRate
+		if out.BudgetRemaining < 0 {
+			out.BudgetRemaining = 0
+		}
+	}
+	// Fast window: the newest twelfth of the rolling window.
+	fastFrom := oldest
+	fastCut := newest.t.Add(-s.window / 12)
+	for i := len(st.ring) - 1; i >= 0; i-- {
+		if st.ring[i].t.Before(fastCut) || i == 0 {
+			fastFrom = st.ring[i]
+			break
+		}
+	}
+	_, _, out.BurnRateFast = burn(fastFrom)
+	out.Healthy = out.BudgetRemaining > 0 && out.BurnRateFast < fastBurnAlert
+	return out
+}
+
+// Report returns every objective's current status, in Add order.
+func (s *SLOTracker) Report() []SLOStatus {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]SLOStatus, 0, len(s.objs))
+	for _, st := range s.objs {
+		out = append(out, s.statusLocked(st))
+	}
+	return out
+}
+
+// Healthy reports whether every objective is healthy (true with no
+// objectives, and on a nil tracker).
+func (s *SLOTracker) Healthy() bool {
+	for _, st := range s.Report() {
+		if !st.Healthy {
+			return false
+		}
+	}
+	return true
+}
+
+// Burning returns the names of unhealthy objectives.
+func (s *SLOTracker) Burning() []string {
+	var out []string
+	for _, st := range s.Report() {
+		if !st.Healthy {
+			out = append(out, st.Name)
+		}
+	}
+	return out
+}

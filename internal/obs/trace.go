@@ -15,6 +15,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"sort"
 	"sync"
 	"time"
 )
@@ -49,6 +50,7 @@ type TraceEvent struct {
 type Trace struct {
 	mu      sync.Mutex
 	start   time.Time
+	epoch   int64 // wall clock at creation, microseconds since the Unix epoch
 	events  []TraceEvent
 	cap     int
 	dropped uint64
@@ -56,7 +58,7 @@ type Trace struct {
 
 // NewTrace returns an empty trace with the default event cap.
 func NewTrace() *Trace {
-	return &Trace{start: time.Now(), cap: DefaultTraceCap}
+	return NewTraceCap(0)
 }
 
 // NewTraceCap returns an empty trace retaining at most cap events
@@ -65,7 +67,19 @@ func NewTraceCap(cap int) *Trace {
 	if cap <= 0 {
 		cap = DefaultTraceCap
 	}
-	return &Trace{start: time.Now(), cap: cap}
+	now := time.Now()
+	return &Trace{start: now, epoch: now.UnixMicro(), cap: cap}
+}
+
+// Epoch returns the trace's creation wall-clock time in microseconds
+// since the Unix epoch. Event TS values are relative to it; the merged
+// cross-node trace writer uses epochs to re-anchor fragments recorded
+// on different nodes onto one shared timeline.
+func (t *Trace) Epoch() int64 {
+	if t == nil {
+		return 0
+	}
+	return t.epoch
 }
 
 // sinceMicros returns the current trace-relative timestamp.
@@ -199,6 +213,93 @@ func (t *Trace) WriteChrome(w io.Writer) error {
 	}
 	enc := json.NewEncoder(w)
 	return enc.Encode(out)
+}
+
+// TraceFragment is one node's share of a distributed trace: the events
+// its local hub recorded under a trace ID, plus the node name and the
+// fragment's wall-clock epoch so a merger can re-anchor timestamps.
+// It is the wire form of GET /v1/cluster/trace/{tid}.
+type TraceFragment struct {
+	Node    string       `json:"node"`
+	TraceID string       `json:"trace_id"`
+	EpochUS int64        `json:"epoch_us"`
+	Dropped uint64       `json:"dropped,omitempty"`
+	Events  []TraceEvent `json:"events"`
+}
+
+// Fragment snapshots the trace as a TraceFragment attributed to node.
+func (t *Trace) Fragment(node, traceID string) TraceFragment {
+	return TraceFragment{
+		Node:    node,
+		TraceID: traceID,
+		EpochUS: t.Epoch(),
+		Dropped: t.Dropped(),
+		Events:  t.Events(),
+	}
+}
+
+// WriteChromeMerged renders fragments gathered from multiple nodes as
+// one Chrome trace_event file: each node becomes its own process (with
+// a process_name metadata row), and every fragment's trace-relative
+// timestamps are shifted by (fragment epoch - earliest epoch) so
+// cross-node hops line up on a common timeline. Wall-clock skew between
+// real machines shifts whole lanes relative to each other but never
+// reorders events within one node's fragment.
+func WriteChromeMerged(w io.Writer, frags []TraceFragment) error {
+	sorted := append([]TraceFragment(nil), frags...)
+	sort.SliceStable(sorted, func(i, j int) bool { return sorted[i].Node < sorted[j].Node })
+	var minEpoch int64
+	for i, f := range sorted {
+		if i == 0 || f.EpochUS < minEpoch {
+			minEpoch = f.EpochUS
+		}
+	}
+	out := chromeFile{Metadata: map[string]any{"producer": "nightvision/internal/obs"}}
+	var dropped uint64
+	for i, f := range sorted {
+		pid := int64(i + 1)
+		out.TraceEvents = append(out.TraceEvents, chromeEvent{
+			TraceEvent: TraceEvent{Name: "process_name", Ph: "M", Args: map[string]any{"name": f.Node}},
+			PID:        pid,
+		})
+		offset := f.EpochUS - minEpoch
+		for _, ev := range f.Events {
+			ev.TS += offset
+			out.TraceEvents = append(out.TraceEvents, chromeEvent{TraceEvent: ev, PID: pid})
+		}
+		dropped += f.Dropped
+	}
+	if dropped > 0 {
+		out.Metadata["dropped_events"] = dropped
+	}
+	return json.NewEncoder(w).Encode(out)
+}
+
+// WriteNDJSONMerged writes the merged trace as one JSON object per
+// line, each event carrying its node and epoch-aligned timestamp.
+func WriteNDJSONMerged(w io.Writer, frags []TraceFragment) error {
+	sorted := append([]TraceFragment(nil), frags...)
+	sort.SliceStable(sorted, func(i, j int) bool { return sorted[i].Node < sorted[j].Node })
+	var minEpoch int64
+	for i, f := range sorted {
+		if i == 0 || f.EpochUS < minEpoch {
+			minEpoch = f.EpochUS
+		}
+	}
+	enc := json.NewEncoder(w)
+	for _, f := range sorted {
+		offset := f.EpochUS - minEpoch
+		for _, ev := range f.Events {
+			ev.TS += offset
+			if err := enc.Encode(struct {
+				Node string `json:"node"`
+				TraceEvent
+			}{Node: f.Node, TraceEvent: ev}); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
 }
 
 // WriteNDJSON writes one JSON object per line per event, the grep- and

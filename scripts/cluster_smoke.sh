@@ -51,6 +51,73 @@ for port in "$P1" "$P2" "$P3"; do
     || { echo "node on $port does not see 3 alive peers" >&2; exit 1; }
 done
 
+port_of() { # node id -> port
+  case "$1" in nv1) echo "$P1" ;; nv2) echo "$P2" ;; nv3) echo "$P3" ;; esac
+}
+
+echo "== cluster observability: merged trace, federation, SLO, profilez =="
+# Find a submission nv1 forwards (distinct seeds: with 3 ring owners at
+# least one of six cells lands off-node) and demand the merged
+# cross-node timeline — with the forward hop span and per-node process
+# attribution — from the ENTRY node, which does not hold the job and
+# must proxy.
+TRACE_JOB=""
+FWD=""
+for seed in 141 142 143 144 145 146; do
+  RESP="$(curl -fsS -D "$TMP/hdrs" -X POST -H 'Content-Type: application/json' \
+    -d "{\"experiment\":\"fig12\",\"params\":{\"iters\":2,\"corpus\":2,\"top\":1},\"seed\":$seed}" \
+    "http://$HOST:$P1/v1/jobs")"
+  FWD="$(awk -F': ' 'tolower($1) == "x-nightvision-forwarded-to" { gsub(/\r/, "", $2); print $2 }' "$TMP/hdrs")"
+  if [ -n "$FWD" ]; then
+    TRACE_JOB="$(echo "$RESP" | jq -r .id)"
+    echo "seed $seed forwarded nv1 -> $FWD (job $TRACE_JOB)"
+    break
+  fi
+done
+[ -n "$TRACE_JOB" ] || { echo "no submission was forwarded; trace proxy unexercised" >&2; exit 1; }
+OWNER_PORT="$(port_of "$FWD")"
+for _ in $(seq 1 600); do
+  STATE="$(curl -fsS "http://$HOST:$OWNER_PORT/v1/jobs/$TRACE_JOB" | jq -r .state)"
+  [ "$STATE" = "done" ] && break
+  sleep 0.1
+done
+[ "$STATE" = "done" ] || { echo "forwarded job $TRACE_JOB never finished ($STATE)" >&2; exit 1; }
+TR="$(curl -fsS "http://$HOST:$P1/v1/jobs/$TRACE_JOB/trace")"
+echo "$TR" | jq -e '[.traceEvents[] | select(.name == "forward")] | length >= 1' >/dev/null \
+  || { echo "merged trace lacks the forward hop span" >&2; exit 1; }
+echo "$TR" | jq -e '[.traceEvents[] | select(.ph == "M" and .name == "process_name")] | length >= 2' >/dev/null \
+  || { echo "merged trace lacks per-node process attribution" >&2; exit 1; }
+echo "merged cross-node trace served via proxy from the entry node"
+
+# Metrics federation: the fleet is quiescent, so the federated
+# aggregate must equal the sum of the per-node scrapes.
+SUM=0
+for port in "$P1" "$P2" "$P3"; do
+  V="$(curl -fsS "http://$HOST:$port/v1/metrics?format=json" \
+    | jq '[.[] | select(.name == "jobs_submitted_total")][0].value // 0')"
+  SUM=$((SUM + V))
+done
+FED="$(curl -fsS "http://$HOST:$P2/v1/cluster/metrics?format=json")"
+AGG="$(echo "$FED" | jq '[.[] | select(.name == "cluster_jobs_submitted_total")][0].value // 0')"
+[ "$AGG" -eq "$SUM" ] || { echo "federated submissions $AGG != per-node sum $SUM" >&2; exit 1; }
+SCRAPED="$(echo "$FED" | jq '[.[] | select(.name == "cluster_nodes_scraped")][0].level // 0')"
+[ "$SCRAPED" -eq 3 ] || { echo "federation scraped $SCRAPED nodes, want 3" >&2; exit 1; }
+# Capture before grepping: grep -q exits at first match, and the EPIPE
+# it hands curl reads as pipeline failure under pipefail.
+PROM="$(curl -fsS "http://$HOST:$P3/v1/cluster/metrics")"
+grep -q '^cluster_jobs_submitted_total' <<<"$PROM" \
+  || { echo "prometheus federation exposition missing aggregate" >&2; exit 1; }
+echo "federated metrics: $AGG submissions across 3 scraped nodes"
+
+# SLO + continuous profiling surfaces.
+curl -fsS "http://$HOST:$P1/v1/slo" | jq -e '.healthy and (.objectives | length >= 2)' >/dev/null \
+  || { echo "SLO report unhealthy or incomplete on a healthy fleet" >&2; exit 1; }
+curl -fsS "http://$HOST:$P1/v1/profilez" | jq -e '.current.goroutines > 0' >/dev/null \
+  || { echo "profilez served no live sample" >&2; exit 1; }
+curl -fsS "http://$HOST:$P1/v1/healthz" | jq -e '.slo_healthy == true' >/dev/null \
+  || { echo "healthz does not reflect SLO health" >&2; exit 1; }
+echo "SLO healthy, profiler live"
+
 # Figure-12-subset sweep: 2 corpus sizes x 3 seeds, submitted
 # round-robin across the fleet. Forwarding routes each cell to its ring
 # owner regardless of the entry node.

@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# Observability overhead gate: the instrumented Figure-12 corpus run
+# (metrics registry + tracer + continuous profiler + SLO tracker, the
+# workers=1-obs benchmark variant) must stay within OBS_OVERHEAD_PCT
+# (default 10) percent of the uninstrumented workers=1 run. Medians of
+# OBS_GATE_COUNT (default 5) repetitions via cmd/benchjson smooth over
+# scheduler noise. Run by CI's benchmark-smoke job; the same medians
+# land in BENCH_runner.json whenever `make bench` refreshes it. Needs
+# jq.
+set -euo pipefail
+
+PCT="${OBS_OVERHEAD_PCT:-10}"
+COUNT="${OBS_GATE_COUNT:-5}"
+OUT="${OBS_GATE_OUT:-$(mktemp)}"
+
+go test -run '^$' -bench 'BenchmarkRunnerFigure12Corpus/^workers=1(-obs)?$' \
+  -short -benchtime 1x -count "$COUNT" -benchmem . \
+  | go run ./cmd/benchjson -o "$OUT"
+
+base="$(jq -r '.benchmarks[] | select(.name | test("workers=1$")) | .ns_per_op' "$OUT")"
+inst="$(jq -r '.benchmarks[] | select(.name | test("workers=1-obs$")) | .ns_per_op' "$OUT")"
+[ -n "$base" ] && [ -n "$inst" ] || { echo "gate: benchmark medians missing from $OUT" >&2; exit 1; }
+
+overhead="$(awk -v b="$base" -v i="$inst" 'BEGIN { printf "%.2f", (i - b) / b * 100 }')"
+echo "obs overhead gate: uninstrumented ${base} ns/op, instrumented ${inst} ns/op, overhead ${overhead}% (budget ${PCT}%)"
+awk -v o="$overhead" -v p="$PCT" 'BEGIN { exit !(o <= p) }' \
+  || { echo "observability overhead ${overhead}% exceeds the ${PCT}% budget" >&2; exit 1; }
