@@ -122,6 +122,13 @@ type clusterOpts struct {
 	// (no tracing, no profiler, no SLO tracker) — the invariance tests
 	// prove result bytes are identical either way.
 	obsOff bool
+	// base, when set, supplies each node's peer-traffic RoundTripper —
+	// the partition-chaos tests inject a netchaos transport here.
+	base func(id string) http.RoundTripper
+	// seed feeds each node's deterministic retry-backoff jitter.
+	seed uint64
+	// retries overrides the transport retry count (0 keeps the default).
+	retries int
 }
 
 // startCluster boots len(ids) nodes into one ring and returns them
@@ -189,13 +196,19 @@ func bootNode(t *testing.T, id, dir string, addrs map[string]string, srv *httpte
 		Workers: o.workers, QueueDepth: 64, Obs: metrics,
 		Tracing: !o.obsOff,
 	})
+	var base http.RoundTripper
+	if o.base != nil {
+		base = o.base(id)
+	}
 	node, err := cluster.New(cluster.Config{
 		Self: id, Peers: addrs,
 		Engine: engine, Registry: reg, Store: st, Journal: jn,
 		ReplicaDir: filepath.Join(dir, "replica"), Obs: metrics,
 		HealthInterval: o.tick, ShipInterval: o.tick, StealInterval: o.tick,
 		StealThreshold: o.stealThreshold, StealTimeout: 40 * o.tick,
-		HTTPTimeout: 2 * time.Second,
+		AttemptTimeout: 2 * time.Second,
+		BackoffBase:    5 * time.Millisecond, BackoffMax: 50 * time.Millisecond,
+		Retries: o.retries, Seed: o.seed, Base: base,
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -219,7 +232,7 @@ func bootNode(t *testing.T, id, dir string, addrs map[string]string, srv *httpte
 		a.slo.Start()
 		t.Cleanup(a.slo.Stop)
 	}
-	srv.Config.Handler = newHandler(a, 64, 30*time.Second)
+	srv.Config.Handler = newHandler(a, 64, 30*time.Second, time.Minute)
 	srv.Start()
 	node.Start()
 	return &testNode{

@@ -62,6 +62,7 @@ import (
 
 	"repro/internal/cluster"
 	"repro/internal/jobs"
+	"repro/internal/netchaos"
 	"repro/internal/journal"
 	"repro/internal/obs"
 	"repro/internal/registry"
@@ -81,11 +82,22 @@ type daemonConfig struct {
 	journalDir    string
 	maxConc       int
 	reqTimeout    time.Duration
+	readTimeout   time.Duration
 	drainTimeout  time.Duration
 	traceJobs     bool
 	nodeID        string
 	peers         string
 	clusterTick   time.Duration
+	netAttempt    time.Duration
+	netBudget     time.Duration
+	netRetries    int
+	chaosSeed     uint64
+	chaosDrop     float64
+	chaosLatency  time.Duration
+	netBackoff    time.Duration
+	breakerThresh int
+	phiThreshold  float64
+	hedgeDelay    time.Duration
 	profileEvery  time.Duration
 	sloWindow     time.Duration
 	sloQueueP99   time.Duration
@@ -111,6 +123,17 @@ func main() {
 	flag.StringVar(&cfg.nodeID, "node-id", "", "this node's cluster member ID (requires -peers; empty = single-node)")
 	flag.StringVar(&cfg.peers, "peers", "", "static cluster membership as id=host:port[,id=host:port...]; must include -node-id")
 	flag.DurationVar(&cfg.clusterTick, "cluster-tick", 500*time.Millisecond, "base cluster cadence: health probes every tick, ship/steal every 2 ticks, steal reclaim after 60 ticks")
+	flag.DurationVar(&cfg.netAttempt, "net-attempt-timeout", 15*time.Second, "per-attempt idle deadline for peer requests (resets while bytes move; upload allowance scales with body size)")
+	flag.DurationVar(&cfg.netBudget, "net-budget", 2*time.Minute, "overall wall-clock budget per peer call across all retry attempts")
+	flag.IntVar(&cfg.netRetries, "net-retries", 3, "re-attempts per peer request after a retryable failure (-1 disables retries)")
+	flag.DurationVar(&cfg.netBackoff, "net-backoff", 50*time.Millisecond, "base of the jittered exponential backoff between peer-request attempts")
+	flag.IntVar(&cfg.breakerThresh, "breaker-threshold", 5, "consecutive peer failures that open the circuit breaker")
+	flag.Float64Var(&cfg.phiThreshold, "phi-threshold", 8, "phi-accrual suspicion score at which a peer is declared dead")
+	flag.DurationVar(&cfg.hedgeDelay, "hedge-delay", 0, "stagger between hedged read-through legs (0 = derive from observed p99 attempt latency)")
+	flag.DurationVar(&cfg.readTimeout, "read-timeout", 2*time.Minute, "per-request body read deadline (bounds slow-loris request bodies; 0 disables)")
+	flag.Uint64Var(&cfg.chaosSeed, "chaos-net-seed", 0, "TESTING: inject deterministic network chaos on peer links, seeded here (0 = off)")
+	flag.Float64Var(&cfg.chaosDrop, "chaos-net-drop", 0, "TESTING: per-attempt drop probability on outgoing peer requests (with -chaos-net-seed)")
+	flag.DurationVar(&cfg.chaosLatency, "chaos-net-latency", 0, "TESTING: max injected latency per outgoing peer request (with -chaos-net-seed)")
 	flag.DurationVar(&cfg.profileEvery, "profile-interval", 10*time.Second, "continuous-profiling sample interval for GET /v1/profilez (0 = disabled)")
 	flag.DurationVar(&cfg.sloWindow, "slo-window", time.Hour, "rolling window for SLO burn-rate tracking (0 = disabled)")
 	flag.DurationVar(&cfg.sloQueueP99, "slo-queue-p99", 5*time.Second, "queue-latency SLO threshold: this much or less, slo-target of the time")
@@ -171,6 +194,23 @@ func run(cfg daemonConfig) error {
 		if journalDir != "" {
 			replicaDir = filepath.Join(journalDir, "replica")
 		}
+		// Deterministic chaos injection for smoke tests: wrap this node's
+		// outgoing peer traffic in a seeded netchaos transport. Every
+		// drop/delay decision is a pure function of (seed, link, attempt),
+		// so a failing chaos run reproduces from its seed.
+		var base http.RoundTripper
+		if cfg.chaosSeed != 0 {
+			chz := netchaos.New(cfg.chaosSeed)
+			for id, addr := range peers {
+				chz.MapAddr(addr, id)
+			}
+			chz.SetRule(cfg.nodeID, "*", netchaos.Rule{
+				DropProb:     cfg.chaosDrop,
+				LatencyMaxMS: int(cfg.chaosLatency / time.Millisecond),
+			})
+			base = chz.Transport(cfg.nodeID, nil)
+			log.Printf("netchaos enabled: seed=%d drop=%.2f latency<=%s", cfg.chaosSeed, cfg.chaosDrop, cfg.chaosLatency)
+		}
 		node, err = cluster.New(cluster.Config{
 			Self:           cfg.nodeID,
 			Peers:          peers,
@@ -184,6 +224,15 @@ func run(cfg daemonConfig) error {
 			ShipInterval:   2 * cfg.clusterTick,
 			StealInterval:  2 * cfg.clusterTick,
 			StealTimeout:   60 * cfg.clusterTick,
+
+			Base:             base,
+			AttemptTimeout:   cfg.netAttempt,
+			TotalBudget:      cfg.netBudget,
+			Retries:          cfg.netRetries,
+			BackoffBase:      cfg.netBackoff,
+			BreakerThreshold: cfg.breakerThresh,
+			PhiThreshold:     cfg.phiThreshold,
+			HedgeDelay:       cfg.hedgeDelay,
 		})
 		if err != nil {
 			return err
@@ -226,7 +275,7 @@ func run(cfg daemonConfig) error {
 
 	srv := &http.Server{
 		Addr:              cfg.addr,
-		Handler:           newHandler(a, cfg.maxConc, cfg.reqTimeout),
+		Handler:           newHandler(a, cfg.maxConc, cfg.reqTimeout, cfg.readTimeout),
 		ReadHeaderTimeout: 10 * time.Second,
 		IdleTimeout:       2 * time.Minute,
 	}

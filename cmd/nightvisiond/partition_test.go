@@ -1,0 +1,303 @@
+package main
+
+// Partition-tolerance acceptance tests (PR 10): a 3-node fleet runs
+// the chaos sweep through a seeded netchaos transport — per-link
+// latency, an asymmetric partition, a flapping link, duplicated
+// deliveries, and a deterministically truncated WAL segment ship —
+// and must still converge to reference-identical bytes with
+// exactly-once terminal states. Plus HTTP-level duplicate-delivery
+// idempotency and the slow-loris handler-pinning regression.
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/jobs"
+	"repro/internal/netchaos"
+	"repro/internal/obs"
+)
+
+// fleetCounter sums one counter family across every node's registry.
+func fleetCounter(nodes map[string]*testNode, name string) uint64 {
+	var sum uint64
+	for _, n := range nodes {
+		sum += counterSum(n.metrics, name)
+	}
+	return sum
+}
+
+// TestClusterPartitionChaos is the PR's acceptance criterion: the
+// sweep runs against a 3-node fleet whose peer links are perturbed by
+// a seeded netchaos schedule — base latency and duplicate deliveries
+// everywhere, the first WAL segment ship on every link truncated in
+// transit, an asymmetric partition n1->n2 and a flapping n3->n1 link
+// installed mid-sweep and later healed. Afterwards every node must
+// serve every key with bytes identical to the single-node reference,
+// every job must reach exactly one terminal state, the fleet must
+// have retried (>= 1), opened a breaker (>= 1), and rejected +
+// re-shipped a damaged segment (>= 1 each) — and no corrupt segment
+// may ever have reached adoption replay (== 0).
+func TestClusterPartitionChaos(t *testing.T) {
+	reqs := chaosSweep()
+	reference := referenceRun(t, reqs)
+
+	for _, seed := range []uint64{1, 2, 3} {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			chz := netchaos.New(seed)
+			ids := []string{"n1", "n2", "n3"}
+			nodes := startCluster(t, ids, clusterOpts{
+				workers: 2, stealThreshold: 2, segmentBytes: 384,
+				seed: seed,
+				base: func(id string) http.RoundTripper { return chz.Transport(id, nil) },
+			})
+			for _, id := range ids {
+				chz.MapAddr(nodes[id].srv.Listener.Addr().String(), id)
+			}
+			// Base chaos on every link: small latency, occasional duplicate
+			// delivery. The segment-ship truncation is deterministic
+			// (FirstN), guaranteeing at least one checksum reject + re-ship
+			// without probability tuning.
+			for _, from := range ids {
+				chz.SetRule(from, "*", netchaos.Rule{
+					LatencyMinMS: 1, LatencyMaxMS: 3, DuplicateProb: 0.1,
+				})
+				for _, to := range ids {
+					if to != from {
+						chz.SetRule(from, to, netchaos.Rule{
+							PathPrefix: "/v1/cluster/segments/", TruncateRequestFirstN: 1,
+						})
+					}
+				}
+			}
+
+			submit := func(n *testNode, req jobs.Request) {
+				body, err := json.Marshal(req)
+				if err != nil {
+					t.Fatal(err)
+				}
+				resp, err := http.Post(n.url()+"/v1/jobs", "application/json", bytes.NewReader(body))
+				if err != nil {
+					return // the retry pass below covers it
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+			}
+
+			for i, req := range reqs {
+				switch i {
+				case len(reqs) / 3:
+					// Mid-sweep: asymmetric partition (n1 cannot reach n2;
+					// n2->n1 untouched) plus a flapping n3->n1 link. Hold the
+					// partition until n1's breaker for n2 actually opens —
+					// health probes keep recording failures right through it.
+					chz.BlockOneWay("n1", "n2")
+					chz.SetRule("n3", "n1", netchaos.Rule{FlapPeriod: 3})
+					waitFor(t, 10*time.Second, "n1's breaker for n2 to open", func() bool {
+						return counterSum(nodes["n1"].metrics, "cluster_breaker_opens_total") >= 1
+					})
+				case 2 * len(reqs) / 3:
+					chz.Heal("n1", "n2")
+					chz.Heal("n3", "n1")
+				}
+				submit(nodes[ids[i%len(ids)]], req)
+			}
+
+			// Client retry pass (content-addressing makes it idempotent),
+			// then a clean network for convergence.
+			chz.HealAll()
+			for _, req := range reqs {
+				submit(nodes["n3"], req)
+			}
+
+			// (a) Byte identity with the single-node reference, everywhere.
+			for _, id := range ids {
+				n := nodes[id]
+				for key, want := range reference {
+					key, want := key, want
+					waitFor(t, 30*time.Second, fmt.Sprintf("%s result %s", n.id, key[:12]), func() bool {
+						code, body := getBody(t, n.url()+"/v1/results/"+key)
+						return code == http.StatusOK && bytes.Equal(body, want)
+					})
+				}
+			}
+			// (b) Exactly one terminal transition per job on every node,
+			// despite duplicated deliveries, retries, partition and flap.
+			for _, id := range ids {
+				assertExactlyOnce(t, nodes[id])
+			}
+			// (c) The fault machinery demonstrably engaged.
+			if got := fleetCounter(nodes, "cluster_net_retries_total"); got < 1 {
+				t.Fatalf("fleet recorded %d retries, want >= 1", got)
+			}
+			if got := fleetCounter(nodes, "cluster_breaker_opens_total"); got < 1 {
+				t.Fatalf("fleet recorded %d breaker opens, want >= 1", got)
+			}
+			if got := fleetCounter(nodes, "cluster_segment_checksum_rejects_total"); got < 1 {
+				t.Fatalf("fleet recorded %d checksum rejects, want >= 1", got)
+			}
+			if got := fleetCounter(nodes, "cluster_segment_reships_total"); got < 1 {
+				t.Fatalf("fleet recorded %d segment re-ships, want >= 1", got)
+			}
+			// (d) A torn segment must be rejected at receive, never written
+			// where adoption could replay it.
+			if got := fleetCounter(nodes, "cluster_segment_corrupt_replay_skips_total"); got != 0 {
+				t.Fatalf("fleet replay-skipped %d corrupt segments, want 0 (rejects must happen at receive)", got)
+			}
+			if dropped := chz.TotalDropped(); dropped == 0 {
+				t.Fatal("chaos layer dropped nothing: the scenario did not engage")
+			}
+		})
+	}
+}
+
+// postJSONBody posts raw JSON to a node path, returning status + body.
+func postJSONBody(t *testing.T, n *testNode, path, body string) (int, []byte) {
+	t.Helper()
+	resp, err := http.Post(n.url()+path, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatalf("POST %s: %v", path, err)
+	}
+	defer resp.Body.Close()
+	b, _ := io.ReadAll(resp.Body)
+	return resp.StatusCode, b
+}
+
+// TestClusterDuplicateDeliveryHTTP drives the three peer handshakes
+// through their HTTP endpoints with duplicated deliveries: a steal
+// claim re-delivered with the same claim ID, a steal ack re-delivered
+// (then contradicted), and a forwarded submission re-delivered with
+// the same idempotency key. Each must be processed exactly once.
+func TestClusterDuplicateDeliveryHTTP(t *testing.T) {
+	ids := []string{"n1", "n2"}
+	nodes := startCluster(t, ids, clusterOpts{workers: 1, stealThreshold: 1000})
+	victim := nodes["n1"]
+
+	// Park the victim's only worker so queued jobs stay stealable.
+	blocker, err := victim.engine.Submit(jobs.Request{Experiment: "block"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitRunning(t, victim.engine, blocker.ID)
+	for i := 0; i < 3; i++ {
+		if _, err := victim.engine.Submit(jobs.Request{
+			Experiment: "compute", Params: map[string]any{"n": 900 + i}, Seed: 77,
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Duplicate steal claim: same claim ID -> byte-identical job set,
+	// nothing stolen twice.
+	claim := `{"thief":"n2","max":2,"claim_id":"dup-claim-1"}`
+	code1, body1 := postJSONBody(t, victim, "/v1/cluster/steal", claim)
+	code2, body2 := postJSONBody(t, victim, "/v1/cluster/steal", claim)
+	if code1 != http.StatusOK || code2 != http.StatusOK {
+		t.Fatalf("steal claims: HTTP %d, %d", code1, code2)
+	}
+	if !bytes.Equal(body1, body2) {
+		t.Fatalf("duplicate claim returned a different job set:\n%s\nvs\n%s", body1, body2)
+	}
+	var stolen []jobs.StolenJob
+	if err := json.Unmarshal(body1, &stolen); err != nil || len(stolen) != 2 {
+		t.Fatalf("claim returned %d jobs (%v), want 2", len(stolen), err)
+	}
+	if got := victim.engine.Depth(); got != 1 {
+		t.Fatalf("victim depth after duplicate claim = %d, want 1", got)
+	}
+
+	// Duplicate ack (and a conflicting late one): first terminal wins.
+	ack := fmt.Sprintf(`{"job_id":%q,"state":"done","result":{"v":"remote"}}`, stolen[0].ID)
+	for i := 0; i < 2; i++ {
+		if code, body := postJSONBody(t, victim, "/v1/cluster/ack", ack); code != http.StatusOK {
+			t.Fatalf("ack delivery %d: HTTP %d %s", i+1, code, body)
+		}
+	}
+	late := fmt.Sprintf(`{"job_id":%q,"state":"failed","error":"late"}`, stolen[0].ID)
+	if code, body := postJSONBody(t, victim, "/v1/cluster/ack", late); code != http.StatusOK {
+		t.Fatalf("conflicting late ack: HTTP %d %s", code, body)
+	}
+	v, ok := victim.engine.Get(stolen[0].ID)
+	if !ok || v.State != jobs.StateDone || v.Error != "" {
+		t.Fatalf("job after duplicate acks: %+v", v)
+	}
+
+	// Duplicate forwarded submission: same idempotency key -> same job.
+	fwd := `{"experiment":"compute","params":{"n":1234},"seed":9,"idempotency_key":"dup-fwd-1"}`
+	var jid [2]string
+	for i := range jid {
+		code, body := postJSONBody(t, nodes["n2"], "/v1/jobs?forwarded=1", fwd)
+		if code != http.StatusAccepted && code != http.StatusOK {
+			t.Fatalf("forwarded submit %d: HTTP %d %s", i+1, code, body)
+		}
+		var acc struct {
+			ID string `json:"id"`
+		}
+		if err := json.Unmarshal(body, &acc); err != nil || acc.ID == "" {
+			t.Fatalf("forwarded submit %d response: %s", i+1, body)
+		}
+		jid[i] = acc.ID
+	}
+	if jid[0] != jid[1] {
+		t.Fatalf("duplicate forwarded submit created a second job: %s vs %s", jid[0], jid[1])
+	}
+}
+
+// TestSlowLorisRequestDoesNotPinHandler is the S2 regression: a peer
+// that opens a request and then stalls its body forever must not pin a
+// handler goroutine (and with it a concurrency-semaphore slot). The
+// server is built with maxConcurrent=1 and no handler timeout, so
+// without the read deadline the stalled body would wedge the whole API
+// permanently; with it the handler frees the slot at the deadline.
+func TestSlowLorisRequestDoesNotPinHandler(t *testing.T) {
+	reg, gate := clusterRegistry()
+	defer close(gate)
+	e := jobs.New(jobs.Config{Registry: reg, Workers: 1})
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		e.Shutdown(ctx)
+	}()
+	a := &api{engine: e, reg: reg, metrics: obs.NewRegistry(), start: time.Now()}
+	srv := httptest.NewServer(newHandler(a, 1, 0, 300*time.Millisecond))
+	defer srv.Close()
+
+	conn, err := net.Dial("tcp", srv.Listener.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	// Headers promise a large body; then the sender goes silent with the
+	// handler blocked mid-read.
+	if _, err := fmt.Fprintf(conn, "POST /v1/jobs HTTP/1.1\r\nHost: t\r\nContent-Type: application/json\r\nContent-Length: 100000\r\n\r\n{"); err != nil {
+		t.Fatal(err)
+	}
+
+	probe := func() int {
+		c := &http.Client{Timeout: time.Second}
+		resp, err := c.Get(srv.URL + "/v1/healthz")
+		if err != nil {
+			return 0
+		}
+		defer resp.Body.Close()
+		io.Copy(io.Discard, resp.Body)
+		return resp.StatusCode
+	}
+	// First the stalled body visibly occupies the only handler slot...
+	waitFor(t, 5*time.Second, "slow-loris to occupy the handler slot", func() bool {
+		return probe() == http.StatusServiceUnavailable
+	})
+	// ...then the read deadline fires and the slot comes back for good.
+	waitFor(t, 5*time.Second, "read deadline to free the handler slot", func() bool {
+		return probe() == http.StatusOK
+	})
+}

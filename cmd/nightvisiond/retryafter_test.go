@@ -48,7 +48,7 @@ func TestShedRetryAfterDerived(t *testing.T) {
 	metrics := obs.NewRegistry()
 	engine := jobs.New(jobs.Config{Registry: reg, Workers: 1, QueueDepth: 1, Obs: metrics})
 	a := &api{engine: engine, reg: reg, metrics: metrics, start: time.Now()}
-	srv := httptest.NewServer(newHandler(a, 16, 30*time.Second))
+	srv := httptest.NewServer(newHandler(a, 16, 30*time.Second, time.Minute))
 	t.Cleanup(func() {
 		srv.Close()
 		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)

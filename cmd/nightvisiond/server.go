@@ -92,8 +92,9 @@ type errorBody struct {
 
 // newHandler builds the daemon's routed handler. maxConcurrent bounds
 // simultaneously served API requests (pprof is exempt so profiling
-// stays possible under saturation); reqTimeout bounds API handler time.
-func newHandler(a *api, maxConcurrent int, reqTimeout time.Duration) http.Handler {
+// stays possible under saturation); reqTimeout bounds API handler time;
+// readTimeout bounds how long a request body may take to arrive.
+func newHandler(a *api, maxConcurrent int, reqTimeout, readTimeout time.Duration) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /v1/healthz", a.handleHealthz)
 	mux.HandleFunc("GET /v1/version", a.handleVersion)
@@ -126,6 +127,20 @@ func newHandler(a *api, maxConcurrent int, reqTimeout time.Duration) http.Handle
 			default:
 				writeJSON(w, http.StatusServiceUnavailable, errorBody{Error: "server at concurrency limit"})
 			}
+		})
+	}
+	// The read deadline must be the OUTERMOST wrapper: it reaches the
+	// connection through ResponseController, and http.TimeoutHandler's
+	// writer does not implement Unwrap, so setting it any deeper fails
+	// silently. With it in place a slow-loris peer trickling a request
+	// body is cut off at the deadline instead of pinning a handler
+	// goroutine (and one slot of the concurrency semaphore) forever.
+	if readTimeout > 0 {
+		inner := limited
+		limited = http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			rc := http.NewResponseController(w)
+			rc.SetReadDeadline(time.Now().Add(readTimeout))
+			inner.ServeHTTP(w, r)
 		})
 	}
 

@@ -34,7 +34,7 @@ func newTestServer(t *testing.T) (*httptest.Server, *jobs.Engine, *store.Store) 
 	st.Instrument(metrics)
 	engine := jobs.New(jobs.Config{Registry: reg, Store: st, Workers: 2, Obs: metrics, Tracing: true})
 	a := &api{engine: engine, reg: reg, store: st, metrics: metrics, start: time.Now()}
-	srv := httptest.NewServer(newHandler(a, 16, 30*time.Second))
+	srv := httptest.NewServer(newHandler(a, 16, 30*time.Second, time.Minute))
 	t.Cleanup(func() {
 		srv.Close()
 		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
@@ -441,7 +441,7 @@ func TestConcurrencyLimit(t *testing.T) {
 	// request would deadlock, so instead saturate with a slow-reading
 	// client. Simpler: limit 0 disables the limiter; limit 1 plus two
 	// parallel requests must never 500 — one may 503.
-	srv := httptest.NewServer(newHandler(a, 1, time.Second))
+	srv := httptest.NewServer(newHandler(a, 1, time.Second, time.Minute))
 	defer srv.Close()
 
 	errs := make(chan int, 2)

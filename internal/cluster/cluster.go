@@ -35,6 +35,7 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"math"
 	"net/http"
 	"os"
 	"path/filepath"
@@ -90,23 +91,61 @@ type Config struct {
 	// StealTimeout is how long a victim waits for a thief's ack before
 	// reclaiming the job (<= 0 means 30s).
 	StealTimeout time.Duration
-	// HTTPTimeout bounds every peer request (<= 0 means 5s).
-	HTTPTimeout time.Duration
+
+	// Base is the underlying RoundTripper for all peer traffic; nil
+	// means http.DefaultTransport. Tests inject a netchaos fault
+	// transport here.
+	Base http.RoundTripper
+	// AttemptTimeout is the per-attempt *idle* deadline on peer
+	// requests (<= 0 means 5s): an attempt dies only after this long
+	// with no bytes moving, so a multi-megabyte WAL segment crawling
+	// over a slow link survives where the old flat whole-request
+	// timeout killed it.
+	AttemptTimeout time.Duration
+	// TotalBudget bounds one logical call's retry loop
+	// (<= 0 means 6×AttemptTimeout).
+	TotalBudget time.Duration
+	// Retries is the number of re-attempts after a retryable failure
+	// (0 means 3, -1 disables retries).
+	Retries int
+	// BackoffBase/BackoffMax shape the jittered exponential backoff
+	// between attempts (<= 0 means 50ms base, 2s cap). The jitter is
+	// drawn from a seeded nvrand stream, never math/rand.
+	BackoffBase time.Duration
+	BackoffMax  time.Duration
+	// BreakerThreshold consecutive failures open a peer's circuit
+	// breaker (<= 0 means 5); BreakerCooldown later a single half-open
+	// trial is admitted (<= 0 means 2s).
+	BreakerThreshold int
+	BreakerCooldown  time.Duration
+	// PhiThreshold is the phi-accrual suspicion score at which a peer
+	// is declared dead (<= 0 means 8 — roughly 18 silent probe
+	// intervals on a historically fast link, more on a slow one).
+	PhiThreshold float64
+	// HedgeDelay staggers hedged read-through legs (0 derives the
+	// stagger from the observed p99 attempt latency).
+	HedgeDelay time.Duration
+	// Seed feeds the transport's deterministic backoff jitter.
+	Seed uint64
 }
 
 // peerMetrics is the per-peer labeled instrument set; all fields are
 // nil-safe no-ops when Config.Obs was nil.
 type peerMetrics struct {
-	forwards    *obs.Counter
-	forwardErrs *obs.Counter
-	steals      *obs.Counter
-	rtHits      *obs.Counter
-	rtMisses    *obs.Counter
-	shipBytes   *obs.Counter
-	recvBytes   *obs.Counter
-	transitions *obs.Counter
-	adoptions   *obs.Counter
-	alive       *obs.Gauge
+	forwards     *obs.Counter
+	forwardErrs  *obs.Counter
+	steals       *obs.Counter
+	rtHits       *obs.Counter
+	rtMisses     *obs.Counter
+	shipBytes    *obs.Counter
+	recvBytes    *obs.Counter
+	transitions  *obs.Counter
+	adoptions    *obs.Counter
+	alive        *obs.Gauge
+	phiX100      *obs.Gauge
+	ckRejects    *obs.Counter
+	reships      *obs.Counter
+	corruptSkips *obs.Counter
 }
 
 func newPeerMetrics(r *obs.Registry, peer string) peerMetrics {
@@ -122,21 +161,28 @@ func newPeerMetrics(r *obs.Registry, peer string) peerMetrics {
 		transitions: r.CounterL("cluster_peer_health_transitions_total", "peer liveness flips observed (either direction), by peer", l),
 		adoptions:   r.CounterL("cluster_adoptions_total", "jobs adopted from a dead peer's shipped WAL, by origin", l),
 		alive:       r.GaugeL("cluster_peer_alive", "peer liveness as seen by this node (1 = alive)", l),
+		phiX100:     r.GaugeL("cluster_peer_phi_x100", "phi-accrual suspicion score ×100, by peer", l),
+		ckRejects: r.CounterL("cluster_segment_checksum_rejects_total",
+			"received WAL segments rejected for a digest or trailer mismatch, by origin", l),
+		reships: r.CounterL("cluster_segment_reships_total",
+			"WAL segment re-ship attempts after a checksum reject or transport failure, by peer", l),
+		corruptSkips: r.CounterL("cluster_segment_corrupt_replay_skips_total",
+			"replica segments skipped at adoption because their trailer failed verification, by origin", l),
 	}
 }
 
 // Node is one cluster member's peer layer. Create with New, attach
 // routes with RegisterRoutes, start the background loops with Start.
 type Node struct {
-	cfg    Config
-	ring   *Ring
-	client *http.Client
-	peers  map[string]string // id -> normalized base URL (excludes self)
-	pm     map[string]peerMetrics
+	cfg   Config
+	ring  *Ring
+	tp    *Transport   // hardened peer HTTP layer (retries, breakers, hedging)
+	phi   *phiDetector // phi-accrual liveness scoring
+	peers map[string]string // id -> normalized base URL (excludes self)
+	pm    map[string]peerMetrics
 
 	mu        sync.Mutex
 	alive     map[string]bool
-	failCount map[string]int
 	shippedTo map[string]string // sealed segment -> peer it reached
 	adopted   map[string]bool   // "origin/originJobID" dedup set
 	// forwarded remembers which peer accepted each forwarded submission
@@ -180,8 +226,8 @@ func New(cfg Config) (*Node, error) {
 	if cfg.StealTimeout <= 0 {
 		cfg.StealTimeout = 30 * time.Second
 	}
-	if cfg.HTTPTimeout <= 0 {
-		cfg.HTTPTimeout = 5 * time.Second
+	if cfg.PhiThreshold <= 0 {
+		cfg.PhiThreshold = 8
 	}
 
 	ids := make([]string, 0, len(cfg.Peers))
@@ -191,19 +237,32 @@ func New(cfg Config) (*Node, error) {
 	sort.Strings(ids)
 
 	n := &Node{
-		cfg:       cfg,
-		ring:      NewRing(ids, cfg.VNodes),
-		client:    &http.Client{Timeout: cfg.HTTPTimeout},
+		cfg:  cfg,
+		ring: NewRing(ids, cfg.VNodes),
+		tp: NewTransport(TransportConfig{
+			Base:             cfg.Base,
+			AttemptTimeout:   cfg.AttemptTimeout,
+			TotalBudget:      cfg.TotalBudget,
+			Retries:          cfg.Retries,
+			BackoffBase:      cfg.BackoffBase,
+			BackoffMax:       cfg.BackoffMax,
+			BreakerThreshold: cfg.BreakerThreshold,
+			BreakerCooldown:  cfg.BreakerCooldown,
+			HedgeDelay:       cfg.HedgeDelay,
+			Seed:             cfg.Seed,
+			Obs:              cfg.Obs,
+		}),
+		phi:       newPhiDetector(cfg.HealthInterval),
 		peers:     make(map[string]string),
 		pm:        make(map[string]peerMetrics),
 		alive:     make(map[string]bool),
-		failCount: make(map[string]int),
 		shippedTo: make(map[string]string),
 		adopted:   make(map[string]bool),
 		forwarded: make(map[string]string),
 		stop:      make(chan struct{}),
 	}
 	n.ctx, n.cancel = context.WithCancel(context.Background())
+	now := time.Now()
 	for _, id := range ids {
 		if id == cfg.Self {
 			continue
@@ -216,8 +275,11 @@ func New(cfg Config) (*Node, error) {
 		n.pm[id] = newPeerMetrics(cfg.Obs, id)
 		// Optimistic start: peers boot in arbitrary order, and a node
 		// that has never been seen up has shipped us nothing to adopt.
+		// The phi window is seeded now so the grace period before a
+		// never-seen peer is condemned starts at boot.
 		n.alive[id] = true
 		n.pm[id].alive.Set(1)
+		n.phi.boot(id, now)
 	}
 	if cfg.Journal != nil {
 		for _, rec := range cfg.Journal.Records() {
@@ -293,17 +355,18 @@ func (n *Node) peerURL(id, path string) (string, bool) {
 	return base + path, true
 }
 
+// Transport exposes the node's hardened peer HTTP layer (tests,
+// breaker inspection).
+func (n *Node) Transport() *Transport { return n.tp }
+
 // getJSON fetches a peer endpoint and decodes its JSON body into out.
+// Goes through the hardened transport: retries, breaker, idle deadline.
 func (n *Node) getJSON(id, path string, out any) error {
 	url, ok := n.peerURL(id, path)
 	if !ok {
 		return fmt.Errorf("cluster: unknown peer %q", id)
 	}
-	req, err := http.NewRequestWithContext(n.ctx, http.MethodGet, url, nil)
-	if err != nil {
-		return err
-	}
-	resp, err := n.client.Do(req)
+	resp, err := n.tp.Do(n.ctx, Call{Peer: id, Method: http.MethodGet, URL: url})
 	if err != nil {
 		return err
 	}
@@ -315,7 +378,9 @@ func (n *Node) getJSON(id, path string, out any) error {
 }
 
 // postJSON posts a JSON body to a peer endpoint, decoding the response
-// into out when non-nil.
+// into out when non-nil. Retries ride on the handlers' idempotency:
+// steal claims carry claim IDs, acks are first-terminal-wins, segment
+// receives overwrite atomically.
 func (n *Node) postJSON(id, path string, in, out any) error {
 	url, ok := n.peerURL(id, path)
 	if !ok {
@@ -325,12 +390,9 @@ func (n *Node) postJSON(id, path string, in, out any) error {
 	if err != nil {
 		return err
 	}
-	req, err := http.NewRequestWithContext(n.ctx, http.MethodPost, url, bytes.NewReader(body))
-	if err != nil {
-		return err
-	}
-	req.Header.Set("Content-Type", "application/json")
-	resp, err := n.client.Do(req)
+	hdr := make(http.Header)
+	hdr.Set("Content-Type", "application/json")
+	resp, err := n.tp.Do(n.ctx, Call{Peer: id, Method: http.MethodPost, URL: url, Header: hdr, Body: body})
 	if err != nil {
 		return err
 	}
@@ -374,9 +436,14 @@ func (n *Node) ForwardSubmit(req jobs.Request) (status int, body []byte, peer st
 	// distributed trace ID here so the forward hop itself is part of the
 	// timeline, and carry it in both the request body and the
 	// X-Nightvision-Trace header (the header survives intermediaries
-	// that re-encode the body).
+	// that re-encode the body). The idempotency key makes the transport's
+	// retries safe: a duplicate delivery of the same forward collapses to
+	// the first accepted job on the owner.
 	if req.TraceID == "" {
 		req.TraceID = obs.NewTraceID()
+	}
+	if req.IdempotencyKey == "" {
+		req.IdempotencyKey = "fwd-" + obs.NewTraceID()
 	}
 	span := n.hub().Fragment(req.TraceID).Begin("hop", "forward", 0,
 		map[string]any{"from": n.cfg.Self, "to": owner, "experiment": req.Experiment})
@@ -385,16 +452,12 @@ func (n *Node) ForwardSubmit(req jobs.Request) (status int, body []byte, peer st
 	if err != nil {
 		return 0, nil, "", false
 	}
-	hreq, err := http.NewRequestWithContext(n.ctx, http.MethodPost, url, bytes.NewReader(payload))
-	if err != nil {
-		return 0, nil, "", false
-	}
-	hreq.Header.Set("Content-Type", "application/json")
-	hreq.Header.Set(TraceHeader, req.TraceID)
-	resp, err := n.client.Do(hreq)
+	hdr := make(http.Header)
+	hdr.Set("Content-Type", "application/json")
+	hdr.Set(TraceHeader, req.TraceID)
+	resp, err := n.tp.Do(n.ctx, Call{Peer: owner, Method: http.MethodPost, URL: url, Header: hdr, Body: payload})
 	if err != nil {
 		n.pm[owner].forwardErrs.Inc()
-		n.markDown(owner)
 		span.EndWith(map[string]any{"error": "transport: " + err.Error()})
 		return 0, nil, "", false
 	}
@@ -467,100 +530,80 @@ func (n *Node) RouteJob(jobID string) (peer string, ok bool) {
 // ---------------------------------------------------------------------
 // Read-through (result path).
 
-// ReadThrough fetches a result cell from peers: the ring owner first,
-// then the remaining live peers in sorted order. It is the engine's
-// RemoteGet hook — the caller has already missed its local store and
-// fills its LRU on a hit.
+// ReadThrough fetches a result cell from peers as a hedged read: the
+// ring owner is leg 0, the remaining live peers follow in sorted
+// order, each next leg launching after the transport's hedge delay
+// (p99 of observed attempt latency) or immediately when the previous
+// leg missed. The first 200 wins; slower legs are cancelled. It is
+// the engine's RemoteGet hook — the caller has already missed its
+// local store and fills its LRU on a hit.
 func (n *Node) ReadThrough(key string) ([]byte, bool) {
 	owner := n.ring.Owner(key)
 	order := make([]string, 0, len(n.peers))
-	if owner != "" && owner != n.cfg.Self {
+	if owner != "" && owner != n.cfg.Self && n.Alive(owner) {
 		order = append(order, owner)
 	}
-	ids := make([]string, 0, len(n.peers))
-	for id := range n.peers {
-		ids = append(ids, id)
-	}
-	sort.Strings(ids)
-	for _, id := range ids {
-		if id != owner {
+	for _, id := range n.sortedPeerIDs() {
+		if id != owner && n.Alive(id) {
 			order = append(order, id)
 		}
 	}
+	targets := make([]HedgeTarget, 0, len(order))
 	for _, id := range order {
-		if !n.Alive(id) {
-			continue
+		if url, ok := n.peerURL(id, "/v1/store/"+key); ok {
+			targets = append(targets, HedgeTarget{Peer: id, URL: url})
 		}
-		val, found := n.peerStoreGet(id, key)
-		if found {
-			n.pm[id].rtHits.Inc()
-			return val, true
-		}
-		n.pm[id].rtMisses.Inc()
 	}
-	return nil, false
-}
-
-// peerStoreGet probes one peer's local-only store endpoint.
-func (n *Node) peerStoreGet(id, key string) ([]byte, bool) {
-	url, ok := n.peerURL(id, "/v1/store/"+key)
-	if !ok {
+	if len(targets) == 0 {
 		return nil, false
 	}
-	req, err := http.NewRequestWithContext(n.ctx, http.MethodGet, url, nil)
+	resp, winner, err := n.tp.HedgedGet(n.ctx, nil, targets)
 	if err != nil {
-		return nil, false
-	}
-	resp, err := n.client.Do(req)
-	if err != nil {
+		for _, tgt := range targets {
+			n.pm[tgt.Peer].rtMisses.Inc()
+		}
 		return nil, false
 	}
 	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		return nil, false
-	}
 	var buf bytes.Buffer
 	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		n.pm[winner].rtMisses.Inc()
 		return nil, false
 	}
+	n.pm[winner].rtHits.Inc()
 	return buf.Bytes(), true
 }
 
 // ---------------------------------------------------------------------
 // Health + failover.
 
-// healthTick probes every peer's /v1/healthz. A peer is dead after two
-// consecutive failures; an alive→dead transition triggers adoption if
-// this node is the dead peer's first live successor.
+// healthTick probes every peer's /v1/healthz and feeds the phi-accrual
+// detector: a successful probe is a heartbeat; silence accrues
+// suspicion scaled by the peer's historical inter-arrival times, so a
+// consistently slow link needs proportionally longer silence before
+// its peer is condemned. A peer whose phi crosses PhiThreshold is
+// declared dead; an alive→dead transition triggers adoption if this
+// node is the dead peer's first live successor. Probes bypass the
+// circuit breaker — they are how an open breaker learns the peer
+// recovered.
 func (n *Node) healthTick() {
 	for id := range n.peers {
-		err := func() error {
-			url, _ := n.peerURL(id, "/v1/healthz")
-			req, err := http.NewRequestWithContext(n.ctx, http.MethodGet, url, nil)
-			if err != nil {
-				return err
-			}
-			resp, err := n.client.Do(req)
-			if err != nil {
-				return err
-			}
-			resp.Body.Close()
-			if resp.StatusCode != http.StatusOK {
-				return fmt.Errorf("HTTP %d", resp.StatusCode)
-			}
-			return nil
-		}()
-		if err != nil {
-			n.probeFailed(id)
-		} else {
+		url, _ := n.peerURL(id, "/v1/healthz")
+		if err := n.tp.Probe(n.ctx, id, url); err == nil {
 			n.probeOK(id)
+		}
+		now := time.Now()
+		phi := n.phi.phi(id, now)
+		n.pm[id].phiX100.Set(int64(math.Min(phi, 1000) * 100))
+		if phi > n.cfg.PhiThreshold {
+			n.suspectDead(id)
 		}
 	}
 }
 
 func (n *Node) probeOK(id string) {
+	n.phi.heartbeat(id, time.Now())
 	n.mu.Lock()
-	n.failCount[id] = 0
 	was := n.alive[id]
 	n.alive[id] = true
 	n.mu.Unlock()
@@ -570,10 +613,12 @@ func (n *Node) probeOK(id string) {
 	}
 }
 
-func (n *Node) probeFailed(id string) {
+// suspectDead flips a peer to dead once its suspicion score crossed
+// the threshold. Only the alive→dead edge acts; repeated suspicion of
+// an already-dead peer is a no-op (adoption stays edge-triggered).
+func (n *Node) suspectDead(id string) {
 	n.mu.Lock()
-	n.failCount[id]++
-	dead := n.failCount[id] >= 2 && n.alive[id]
+	dead := n.alive[id]
 	if dead {
 		n.alive[id] = false
 	}
@@ -583,14 +628,6 @@ func (n *Node) probeFailed(id string) {
 		n.pm[id].alive.Set(0)
 		n.onPeerDeath(id)
 	}
-}
-
-// markDown records an observed transport failure immediately (the
-// forward path saw the peer down before the next health tick).
-func (n *Node) markDown(id string) {
-	n.mu.Lock()
-	n.failCount[id]++
-	n.mu.Unlock()
 }
 
 // onPeerDeath elects the adopter: the dead peer's first live successor
@@ -636,6 +673,13 @@ func (n *Node) adoptFrom(dead string) {
 	for _, name := range names {
 		raw, err := os.ReadFile(filepath.Join(dir, name))
 		if err != nil {
+			continue
+		}
+		// A replica segment whose integrity trailer does not verify is
+		// torn or corrupt: skip it rather than replay damaged records.
+		// The origin (or its successor chain) re-ships intact bytes.
+		if err := journal.VerifySegment(raw); err != nil {
+			n.pm[dead].corruptSkips.Inc()
 			continue
 		}
 		recs, _ := journal.ParseRecords(raw)
@@ -751,17 +795,29 @@ func (n *Node) shipTick() {
 	}
 }
 
+// SegmentDigestHeader carries the SHA-256 of the shipped segment bytes
+// so the receiver can detect in-transit damage (truncation, bit flips)
+// independently of the embedded seal trailer.
+const SegmentDigestHeader = "X-Nightvision-Segment-SHA256"
+
+// shipSegment POSTs one sealed segment to peer with its digest. A 422
+// from the receiver (digest or trailer mismatch — the bytes were
+// damaged in transit) is retryable: the transport re-sends the intact
+// local bytes and counts the re-ship.
 func (n *Node) shipSegment(peer, name string, raw []byte) error {
 	url, ok := n.peerURL(peer, "/v1/cluster/segments/"+n.cfg.Self+"/"+name)
 	if !ok {
 		return fmt.Errorf("cluster: unknown peer %q", peer)
 	}
-	req, err := http.NewRequestWithContext(n.ctx, http.MethodPost, url, bytes.NewReader(raw))
-	if err != nil {
-		return err
-	}
-	req.Header.Set("Content-Type", "application/x-ndjson")
-	resp, err := n.client.Do(req)
+	hdr := make(http.Header)
+	hdr.Set("Content-Type", "application/x-ndjson")
+	hdr.Set(SegmentDigestHeader, journal.SHA256Hex(raw))
+	resp, err := n.tp.Do(n.ctx, Call{
+		Peer: peer, Method: http.MethodPost, URL: url, Header: hdr, Body: raw,
+		OnRetry: func(status int, err error) {
+			n.pm[peer].reships.Inc()
+		},
+	})
 	if err != nil {
 		return err
 	}
@@ -816,8 +872,12 @@ func (n *Node) stealTick() {
 	if max > 8 {
 		max = 8
 	}
+	// The claim ID makes the handshake idempotent under duplicate
+	// delivery: a retried or network-duplicated claim returns the same
+	// job set instead of stealing twice.
+	claim := "claim-" + obs.NewTraceID()
 	var stolen []jobs.StolenJob
-	if err := n.postJSON(victim, "/v1/cluster/steal", stealRequest{Thief: n.cfg.Self, Max: max}, &stolen); err != nil {
+	if err := n.postJSON(victim, "/v1/cluster/steal", stealRequest{Thief: n.cfg.Self, Max: max, ClaimID: claim}, &stolen); err != nil {
 		return
 	}
 	for _, sj := range stolen {
@@ -883,6 +943,9 @@ func (n *Node) reclaimTick() {
 type stealRequest struct {
 	Thief string `json:"thief"`
 	Max   int    `json:"max"`
+	// ClaimID deduplicates retried/duplicated deliveries of the same
+	// claim (empty from pre-PR-10 thieves: every delivery steals).
+	ClaimID string `json:"claim_id,omitempty"`
 }
 
 type ackRequest struct {
@@ -974,7 +1037,7 @@ func (n *Node) handleSteal(w http.ResponseWriter, r *http.Request) {
 	if req.Max <= 0 || req.Max > 64 {
 		req.Max = 1
 	}
-	stolen := n.cfg.Engine.StealQueued(req.Thief, req.Max)
+	stolen := n.cfg.Engine.StealQueuedClaim(req.ClaimID, req.Thief, req.Max)
 	if stolen == nil {
 		stolen = []jobs.StolenJob{}
 	}
@@ -1020,6 +1083,22 @@ func (n *Node) handleSegment(w http.ResponseWriter, r *http.Request) {
 	var buf bytes.Buffer
 	if _, err := buf.ReadFrom(http.MaxBytesReader(w, r.Body, 64<<20)); err != nil {
 		respondJSON(w, http.StatusBadRequest, clusterError{Error: "read segment: " + err.Error()})
+		return
+	}
+	// Two integrity layers before any byte is persisted: the shipper's
+	// digest header catches in-transit damage (truncated or flipped
+	// bytes arrive with a consistent Content-Length, so only the digest
+	// sees them), and the embedded seal trailer catches at-rest damage
+	// on the shipper side. A 422 tells the shipper to re-send; a torn
+	// segment is never written where adoption could replay it.
+	if want := r.Header.Get(SegmentDigestHeader); want != "" && want != journal.SHA256Hex(buf.Bytes()) {
+		n.pm[origin].ckRejects.Inc()
+		respondJSON(w, http.StatusUnprocessableEntity, clusterError{Error: "segment digest mismatch"})
+		return
+	}
+	if err := journal.VerifySegment(buf.Bytes()); err != nil {
+		n.pm[origin].ckRejects.Inc()
+		respondJSON(w, http.StatusUnprocessableEntity, clusterError{Error: "segment trailer: " + err.Error()})
 		return
 	}
 	dir := filepath.Join(n.cfg.ReplicaDir, origin)

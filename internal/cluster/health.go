@@ -1,0 +1,97 @@
+package cluster
+
+import (
+	"math"
+	"sync"
+	"time"
+)
+
+// phiDetector is a simplified phi-accrual failure detector (Hayashibara
+// et al.): instead of a binary strike counter, each peer accumulates a
+// suspicion score phi that grows continuously with the time since its
+// last successful health probe, scaled by the inter-arrival times the
+// peer has historically shown. A slow or lossy link raises the peer's
+// mean inter-arrival, which *lowers* phi for the same silence — slow
+// links degrade the score gradually instead of flipping alive→dead and
+// triggering spurious failover adoption.
+//
+// The model is exponential: with mean inter-arrival m, the probability
+// a live peer stays silent for t is exp(-t/m), so
+//
+//	phi(t) = -log10(exp(-t/m)) = t / (m·ln10)
+//
+// A peer is declared dead when phi exceeds the configured threshold;
+// with regular probes every interval and threshold 8 that is roughly
+// 18 missed intervals of silence, and proportionally sooner when the
+// link has been consistently fast.
+type phiDetector struct {
+	mu       sync.Mutex
+	interval float64            // floor for the mean inter-arrival, seconds
+	last     map[string]time.Time
+	mean     map[string]float64 // EWMA of inter-arrival, seconds
+}
+
+func newPhiDetector(interval time.Duration) *phiDetector {
+	return &phiDetector{
+		interval: interval.Seconds(),
+		last:     make(map[string]time.Time),
+		mean:     make(map[string]float64),
+	}
+}
+
+// boot seeds a peer's window at startup so a node that boots first does
+// not instantly condemn peers that are still coming up.
+func (p *phiDetector) boot(id string, now time.Time) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.last[id] = now
+	p.mean[id] = p.interval
+}
+
+// heartbeat records a successful probe of id at time now, updating the
+// EWMA of inter-arrival times. The mean is floored at the configured
+// probe interval: arrivals can never be expected faster than we probe.
+func (p *phiDetector) heartbeat(id string, now time.Time) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if prev, ok := p.last[id]; ok {
+		sample := now.Sub(prev).Seconds()
+		m := p.mean[id]
+		if m <= 0 {
+			m = p.interval
+		}
+		m = 0.8*m + 0.2*sample
+		if m < p.interval {
+			m = p.interval
+		}
+		p.mean[id] = m
+	} else {
+		p.mean[id] = p.interval
+	}
+	p.last[id] = now
+}
+
+// phi returns id's current suspicion score at time now. An unknown peer
+// scores +Inf.
+func (p *phiDetector) phi(id string, now time.Time) float64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	prev, ok := p.last[id]
+	if !ok {
+		return math.Inf(1)
+	}
+	m := p.mean[id]
+	if m <= 0 {
+		m = p.interval
+	}
+	elapsed := now.Sub(prev).Seconds()
+	if elapsed < 0 {
+		elapsed = 0
+	}
+	return elapsed / (m * math.Ln10)
+}
+
+// suspect reports whether id's phi exceeds threshold at time now.
+func (p *phiDetector) suspect(id string, now time.Time, threshold float64) bool {
+	return p.phi(id, now) > threshold
+}

@@ -1,0 +1,75 @@
+package cluster
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+func TestPhiGrowsWithSilence(t *testing.T) {
+	base := time.Unix(1000, 0)
+	p := newPhiDetector(100 * time.Millisecond)
+	p.boot("b", base)
+	for i := 1; i <= 5; i++ {
+		p.heartbeat("b", base.Add(time.Duration(i)*100*time.Millisecond))
+	}
+	at := func(d time.Duration) float64 { return p.phi("b", base.Add(500*time.Millisecond+d)) }
+
+	if phi := at(0); phi != 0 {
+		t.Fatalf("phi right after heartbeat = %v, want 0", phi)
+	}
+	if at(200*time.Millisecond) >= at(2*time.Second) {
+		t.Fatal("phi must grow monotonically with silence")
+	}
+	// Regular 100ms heartbeats, threshold 8: dead after ~8*ln10*100ms ≈ 1.84s.
+	if p.suspect("b", base.Add(500*time.Millisecond+time.Second), 8) {
+		t.Fatal("1s of silence should not exceed phi 8")
+	}
+	if !p.suspect("b", base.Add(500*time.Millisecond+3*time.Second), 8) {
+		t.Fatal("3s of silence should exceed phi 8")
+	}
+}
+
+func TestPhiToleratesSlowLinks(t *testing.T) {
+	base := time.Unix(1000, 0)
+	interval := 100 * time.Millisecond
+
+	fast := newPhiDetector(interval)
+	fast.boot("b", base)
+	slow := newPhiDetector(interval)
+	slow.boot("b", base)
+	now := base
+	for i := 1; i <= 20; i++ {
+		fast.heartbeat("b", base.Add(time.Duration(i)*interval))
+		// The slow link delivers every probe, but each one takes 4x the
+		// interval: its mean inter-arrival window widens.
+		now = base.Add(time.Duration(i) * 4 * interval)
+		slow.heartbeat("b", now)
+	}
+	fastNow := base.Add(20 * interval)
+	silence := 2 * time.Second
+	if fast.phi("b", fastNow.Add(silence)) <= slow.phi("b", now.Add(silence)) {
+		t.Fatal("the same silence must look more suspicious on a historically fast link")
+	}
+}
+
+func TestPhiUnknownPeerIsInfinite(t *testing.T) {
+	p := newPhiDetector(time.Second)
+	if !math.IsInf(p.phi("ghost", time.Now()), 1) {
+		t.Fatal("unknown peer should score +Inf")
+	}
+}
+
+func TestPhiRecoversAfterHeartbeat(t *testing.T) {
+	base := time.Unix(1000, 0)
+	p := newPhiDetector(100 * time.Millisecond)
+	p.boot("b", base)
+	long := base.Add(time.Minute)
+	if !p.suspect("b", long, 8) {
+		t.Fatal("a minute of silence should be fatal")
+	}
+	p.heartbeat("b", long)
+	if p.suspect("b", long.Add(50*time.Millisecond), 8) {
+		t.Fatal("a fresh heartbeat must reset suspicion")
+	}
+}

@@ -98,11 +98,9 @@ func (n *Node) ProxyJobTrace(w http.ResponseWriter, r *http.Request, peer, jobID
 	if !ok {
 		return false
 	}
-	req, err := http.NewRequestWithContext(r.Context(), http.MethodGet, url, nil)
-	if err != nil {
-		return false
-	}
-	resp, err := n.client.Do(req)
+	// Single attempt, no retries: the response streams through to the
+	// caller verbatim, so a half-written retry would corrupt it.
+	resp, err := n.tp.Do(r.Context(), Call{Peer: peer, Method: http.MethodGet, URL: url, single: true})
 	if err != nil {
 		return false
 	}

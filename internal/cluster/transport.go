@@ -1,0 +1,567 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"time"
+
+	"repro/internal/nvrand"
+	"repro/internal/obs"
+)
+
+// TransportConfig tunes the hardened peer-to-peer HTTP layer. Zero
+// values get production defaults from NewTransport.
+type TransportConfig struct {
+	// Base is the underlying RoundTripper (nil = http.DefaultTransport).
+	// Tests inject a netchaos transport here.
+	Base http.RoundTripper
+
+	// AttemptTimeout is the per-attempt *idle* deadline: an attempt is
+	// aborted only after this long with no progress (no connect, no
+	// request-body byte sent, no response byte received). A large WAL
+	// segment crawling over a slow link keeps resetting the clock and is
+	// never killed mid-transfer; a stalled one dies promptly.
+	AttemptTimeout time.Duration
+
+	// MinThroughput (bytes/sec) scales the deadline for request uploads:
+	// an attempt carrying a body gets AttemptTimeout + len(body)/MinThroughput
+	// before it is considered stalled, so a multi-megabyte WAL segment on
+	// a slow link is never aborted by the flat per-attempt timeout (the
+	// kernel can buffer a whole upload, hiding its progress from us).
+	MinThroughput int64
+
+	// TotalBudget bounds the retry loop: once this much wall time has
+	// elapsed since the first attempt, no further retries are scheduled
+	// (an in-flight attempt making progress is allowed to finish).
+	TotalBudget time.Duration
+
+	// Retries is the number of re-attempts after the first try
+	// (0 = default of 3; -1 = retries disabled).
+	Retries int
+
+	// BackoffBase/BackoffMax shape the jittered exponential backoff
+	// between attempts: attempt k sleeps in [d/2, d] for
+	// d = min(BackoffBase·2^(k-1), BackoffMax), jitter drawn from a
+	// seeded nvrand stream so test runs replay identically.
+	BackoffBase time.Duration
+	BackoffMax  time.Duration
+
+	// BreakerThreshold consecutive failures open a peer's circuit
+	// breaker; BreakerCooldown later it admits a single half-open probe.
+	BreakerThreshold int
+	BreakerCooldown  time.Duration
+
+	// HedgeDelay staggers hedged read legs. Zero derives it from the
+	// observed p99 attempt latency (falling back to AttemptTimeout/8
+	// until enough samples exist).
+	HedgeDelay time.Duration
+
+	// Seed feeds the backoff jitter stream.
+	Seed uint64
+
+	// Obs receives transport metrics (nil = private registry).
+	Obs *obs.Registry
+}
+
+// ErrBreakerOpen is returned (wrapped, with the peer name) when a
+// request is refused because the peer's circuit breaker is open.
+var ErrBreakerOpen = errors.New("cluster: circuit breaker open")
+
+// Breaker states, exported through the cluster_breaker_state gauge.
+const (
+	BreakerClosed   = 0
+	BreakerOpen     = 1
+	BreakerHalfOpen = 2
+)
+
+type breaker struct {
+	state    int
+	fails    int
+	openedAt time.Time
+	probing  bool // a half-open trial request is in flight
+}
+
+type netMetrics struct {
+	retries   *obs.Counter
+	opens     *obs.Counter
+	state     *obs.Gauge
+	hedged    *obs.Counter
+	hedgeWins *obs.Counter
+}
+
+// Transport is the fault-tolerant peer HTTP layer: per-attempt idle
+// deadlines, bounded jittered retries, per-peer circuit breakers, and
+// hedged reads. Safe for concurrent use.
+type Transport struct {
+	cfg  TransportConfig
+	base http.RoundTripper
+
+	mu       sync.Mutex // guards breakers
+	breakers map[string]*breaker
+
+	nmMu sync.Mutex // guards nm
+	nm   map[string]*netMetrics
+
+	jmu    sync.Mutex // guards jitter
+	jitter *nvrand.Rand
+
+	lat *obs.Histogram // time-to-response-headers, feeds hedge p99
+}
+
+// NewTransport builds a Transport with defaults filled in.
+func NewTransport(cfg TransportConfig) *Transport {
+	if cfg.Base == nil {
+		cfg.Base = http.DefaultTransport
+	}
+	if cfg.AttemptTimeout <= 0 {
+		cfg.AttemptTimeout = 5 * time.Second
+	}
+	if cfg.MinThroughput <= 0 {
+		cfg.MinThroughput = 1 << 20
+	}
+	if cfg.TotalBudget <= 0 {
+		cfg.TotalBudget = 6 * cfg.AttemptTimeout
+	}
+	if cfg.Retries < 0 {
+		cfg.Retries = 0
+	} else if cfg.Retries == 0 {
+		cfg.Retries = 3
+	}
+	if cfg.BackoffBase <= 0 {
+		cfg.BackoffBase = 50 * time.Millisecond
+	}
+	if cfg.BackoffMax <= 0 {
+		cfg.BackoffMax = 2 * time.Second
+	}
+	if cfg.BreakerThreshold <= 0 {
+		cfg.BreakerThreshold = 5
+	}
+	if cfg.BreakerCooldown <= 0 {
+		cfg.BreakerCooldown = 2 * time.Second
+	}
+	if cfg.Obs == nil {
+		cfg.Obs = obs.NewRegistry()
+	}
+	return &Transport{
+		cfg:      cfg,
+		base:     cfg.Base,
+		breakers: make(map[string]*breaker),
+		nm:       make(map[string]*netMetrics),
+		jitter:   nvrand.New(cfg.Seed),
+		lat: cfg.Obs.Histogram("cluster_net_attempt_seconds",
+			"peer request time to response headers, per attempt", obs.DefaultDurationBuckets()),
+	}
+}
+
+// Call describes one logical peer request; Do retries it.
+type Call struct {
+	Peer   string
+	Method string
+	URL    string
+	Header http.Header
+	Body   []byte
+
+	// OnRetry, if set, is invoked before each re-attempt with the
+	// previous attempt's HTTP status (0 for transport errors) and error.
+	OnRetry func(status int, err error)
+
+	single bool // exactly one attempt (hedge legs, probes)
+	bypass bool // skip the breaker admission check (health probes)
+}
+
+func (t *Transport) metricsFor(peer string) *netMetrics {
+	t.nmMu.Lock()
+	defer t.nmMu.Unlock()
+	m, ok := t.nm[peer]
+	if !ok {
+		l := obs.Labels{"peer": peer}
+		m = &netMetrics{
+			retries:   t.cfg.Obs.CounterL("cluster_net_retries_total", "peer request re-attempts after a retryable failure, by peer", l),
+			opens:     t.cfg.Obs.CounterL("cluster_breaker_opens_total", "circuit breaker open transitions, by peer", l),
+			state:     t.cfg.Obs.GaugeL("cluster_breaker_state", "circuit breaker state (0 closed, 1 open, 2 half-open), by peer", l),
+			hedged:    t.cfg.Obs.CounterL("cluster_hedged_requests_total", "extra hedge legs launched for peer reads, by peer", l),
+			hedgeWins: t.cfg.Obs.CounterL("cluster_hedge_wins_total", "hedged reads won by a non-primary leg, by peer", l),
+		}
+		t.nm[peer] = m
+	}
+	return m
+}
+
+// allow applies breaker admission for one attempt against peer.
+func (t *Transport) allow(peer string) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	b := t.breakers[peer]
+	if b == nil {
+		b = &breaker{}
+		t.breakers[peer] = b
+	}
+	switch b.state {
+	case BreakerClosed:
+		return nil
+	case BreakerOpen:
+		if time.Since(b.openedAt) >= t.cfg.BreakerCooldown {
+			b.state = BreakerHalfOpen
+			b.probing = true
+			t.metricsFor(peer).state.Set(BreakerHalfOpen)
+			return nil
+		}
+		return fmt.Errorf("%w (peer %s)", ErrBreakerOpen, peer)
+	default: // half-open: one trial at a time
+		if b.probing {
+			return fmt.Errorf("%w (peer %s: trial in flight)", ErrBreakerOpen, peer)
+		}
+		b.probing = true
+		return nil
+	}
+}
+
+// record feeds one attempt outcome into peer's breaker. A response with
+// any status below 500 counts as success: a 4xx peer is alive, and a
+// checksum reject (422) must not open the breaker that would block the
+// re-ship that fixes it.
+func (t *Transport) record(peer string, ok bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	b := t.breakers[peer]
+	if b == nil {
+		b = &breaker{}
+		t.breakers[peer] = b
+	}
+	if ok {
+		if b.state != BreakerClosed {
+			t.metricsFor(peer).state.Set(BreakerClosed)
+		}
+		b.state = BreakerClosed
+		b.fails = 0
+		b.probing = false
+		return
+	}
+	b.fails++
+	b.probing = false
+	if b.state == BreakerHalfOpen || (b.state == BreakerClosed && b.fails >= t.cfg.BreakerThreshold) {
+		b.state = BreakerOpen
+		b.openedAt = time.Now()
+		m := t.metricsFor(peer)
+		m.opens.Inc()
+		m.state.Set(BreakerOpen)
+	}
+}
+
+// BreakerState reports peer's breaker state (BreakerClosed if unknown).
+func (t *Transport) BreakerState(peer string) int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if b := t.breakers[peer]; b != nil {
+		return b.state
+	}
+	return BreakerClosed
+}
+
+// backoff returns the jittered sleep before re-attempt k (k >= 1).
+func (t *Transport) backoff(k int) time.Duration {
+	d := t.cfg.BackoffBase
+	for i := 1; i < k && d < t.cfg.BackoffMax; i++ {
+		d *= 2
+	}
+	if d > t.cfg.BackoffMax {
+		d = t.cfg.BackoffMax
+	}
+	t.jmu.Lock()
+	f := t.jitter.Float64()
+	t.jmu.Unlock()
+	return d/2 + time.Duration(f*float64(d/2))
+}
+
+// retryableStatus reports whether an HTTP status warrants a re-attempt:
+// 5xx (server-side trouble) and 422 (the receiver rejected a damaged
+// payload — resending the intact body can succeed).
+func retryableStatus(code int) bool {
+	return code >= 500 || code == http.StatusUnprocessableEntity
+}
+
+// Do performs the call with breaker admission, per-attempt idle
+// deadlines, and bounded jittered retries. The returned response body
+// remains under the attempt's idle watchdog; callers must Close it.
+func (t *Transport) Do(ctx context.Context, c Call) (*http.Response, error) {
+	start := time.Now()
+	attempts := t.cfg.Retries + 1
+	if c.single {
+		attempts = 1
+	}
+	var lastErr error
+	lastStatus := 0
+	for i := 0; i < attempts; i++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		if i > 0 {
+			if time.Since(start) > t.cfg.TotalBudget {
+				break
+			}
+			if c.OnRetry != nil {
+				c.OnRetry(lastStatus, lastErr)
+			}
+			t.metricsFor(c.Peer).retries.Inc()
+			select {
+			case <-time.After(t.backoff(i)):
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			}
+		}
+		if !c.bypass {
+			if err := t.allow(c.Peer); err != nil {
+				if lastErr != nil {
+					return nil, fmt.Errorf("%w (last failure: %v)", err, lastErr)
+				}
+				return nil, err
+			}
+		}
+		resp, err := t.attempt(ctx, &c)
+		t.record(c.Peer, err == nil && resp.StatusCode < 500)
+		if err != nil {
+			lastErr = err
+			lastStatus = 0
+			continue
+		}
+		if retryableStatus(resp.StatusCode) {
+			lastErr = fmt.Errorf("cluster: %s %s: HTTP %d", c.Method, c.URL, resp.StatusCode)
+			lastStatus = resp.StatusCode
+			io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+			resp.Body.Close()
+			continue
+		}
+		return resp, nil
+	}
+	return nil, lastErr
+}
+
+// Probe issues a single breaker-bypassing GET and reports whether the
+// peer answered 200. Health probes must bypass the breaker: they are
+// how an open breaker learns the peer recovered.
+func (t *Transport) Probe(ctx context.Context, peer, url string) error {
+	resp, err := t.Do(ctx, Call{Peer: peer, Method: http.MethodGet, URL: url, single: true, bypass: true})
+	if err != nil {
+		return err
+	}
+	io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<20))
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("cluster: probe %s: HTTP %d", url, resp.StatusCode)
+	}
+	return nil
+}
+
+// attempt runs one request under an idle watchdog: a timer that cancels
+// the attempt after AttemptTimeout without progress, reset by every
+// request-body byte sent and response-body byte received.
+func (t *Transport) attempt(ctx context.Context, c *Call) (*http.Response, error) {
+	actx, cancel := context.WithCancel(ctx)
+	idle := t.cfg.AttemptTimeout
+	window := idle
+	if len(c.Body) > 0 {
+		window += time.Duration(len(c.Body)) * time.Second / time.Duration(t.cfg.MinThroughput)
+	}
+	wd := time.AfterFunc(window, cancel)
+
+	var bodyReader io.Reader
+	if c.Body != nil {
+		bodyReader = &progressReader{r: bytes.NewReader(c.Body), wd: wd, idle: window}
+	}
+	req, err := http.NewRequestWithContext(actx, c.Method, c.URL, bodyReader)
+	if err != nil {
+		wd.Stop()
+		cancel()
+		return nil, err
+	}
+	if c.Body != nil {
+		req.ContentLength = int64(len(c.Body))
+	}
+	for k, vs := range c.Header {
+		for _, v := range vs {
+			req.Header.Add(k, v)
+		}
+	}
+	t0 := time.Now()
+	resp, err := t.base.RoundTrip(req)
+	t.lat.Observe(time.Since(t0).Seconds())
+	if err != nil {
+		wd.Stop()
+		cancel()
+		return nil, err
+	}
+	wd.Reset(idle)
+	resp.Body = &watchedBody{rc: resp.Body, wd: wd, idle: idle, cancel: cancel}
+	return resp, nil
+}
+
+// hedgeDelay picks the stagger between hedge legs: configured value, or
+// observed p99 attempt latency clamped to [1ms, AttemptTimeout/2].
+func (t *Transport) hedgeDelay() time.Duration {
+	if t.cfg.HedgeDelay > 0 {
+		return t.cfg.HedgeDelay
+	}
+	if t.lat.Count() >= 16 {
+		d := time.Duration(t.lat.Quantile(0.99) * float64(time.Second))
+		if lo := time.Millisecond; d < lo {
+			d = lo
+		}
+		if hi := t.cfg.AttemptTimeout / 2; d > hi {
+			d = hi
+		}
+		return d
+	}
+	return t.cfg.AttemptTimeout / 8
+}
+
+// HedgeTarget is one candidate replica for a hedged read.
+type HedgeTarget struct {
+	Peer string
+	URL  string
+}
+
+// HedgedGet races single-attempt GETs against the targets in order:
+// leg 0 immediately, each further leg after hedgeDelay (or sooner, when
+// the previous leg finished without a hit). The first 200 wins and the
+// other legs are cancelled. Returns the winning response and peer.
+func (t *Transport) HedgedGet(ctx context.Context, hdr http.Header, targets []HedgeTarget) (*http.Response, string, error) {
+	if len(targets) == 0 {
+		return nil, "", errors.New("cluster: hedged read with no targets")
+	}
+	type legResult struct {
+		i    int
+		resp *http.Response
+		err  error
+	}
+	results := make(chan legResult, len(targets))
+	cancels := make([]context.CancelFunc, len(targets))
+	launch := func(i int) {
+		lctx, lcancel := context.WithCancel(ctx)
+		cancels[i] = lcancel
+		if i > 0 {
+			t.metricsFor(targets[i].Peer).hedged.Inc()
+		}
+		go func() {
+			resp, err := t.Do(lctx, Call{
+				Peer: targets[i].Peer, Method: http.MethodGet,
+				URL: targets[i].URL, Header: hdr, single: true,
+			})
+			results <- legResult{i, resp, err}
+		}()
+	}
+	drainRest := func(pending int) {
+		go func() {
+			for ; pending > 0; pending-- {
+				r := <-results
+				if r.err == nil {
+					io.Copy(io.Discard, io.LimitReader(r.resp.Body, 4096))
+					r.resp.Body.Close()
+				}
+			}
+		}()
+	}
+
+	delay := t.hedgeDelay()
+	next := 0
+	launch(next)
+	next++
+	pending := 1
+	var lastErr error
+	for pending > 0 {
+		var stagger <-chan time.Time
+		if next < len(targets) {
+			stagger = time.After(delay)
+		}
+		select {
+		case r := <-results:
+			pending--
+			if r.err == nil && r.resp.StatusCode == http.StatusOK {
+				if r.i > 0 {
+					t.metricsFor(targets[r.i].Peer).hedgeWins.Inc()
+				}
+				for j, cf := range cancels {
+					if cf != nil && j != r.i {
+						cf()
+					}
+				}
+				drainRest(pending)
+				return r.resp, targets[r.i].Peer, nil
+			}
+			if r.err != nil {
+				lastErr = r.err
+			} else {
+				lastErr = fmt.Errorf("cluster: peer %s: HTTP %d", targets[r.i].Peer, r.resp.StatusCode)
+				io.Copy(io.Discard, io.LimitReader(r.resp.Body, 4096))
+				r.resp.Body.Close()
+			}
+			if next < len(targets) {
+				launch(next)
+				next++
+				pending++
+			}
+		case <-stagger:
+			launch(next)
+			next++
+			pending++
+		case <-ctx.Done():
+			for _, cf := range cancels {
+				if cf != nil {
+					cf()
+				}
+			}
+			drainRest(pending)
+			return nil, "", ctx.Err()
+		}
+	}
+	return nil, "", lastErr
+}
+
+// progressReader resets the idle watchdog on every request-body read,
+// so a slow upload that is still moving is never killed.
+type progressReader struct {
+	r    io.Reader
+	wd   *time.Timer
+	idle time.Duration
+}
+
+func (p *progressReader) Read(b []byte) (int, error) {
+	n, err := p.r.Read(b)
+	if n > 0 {
+		p.wd.Reset(p.idle)
+	}
+	return n, err
+}
+
+// watchedBody resets the idle watchdog on every response-body read and
+// releases the attempt's resources on Close.
+type watchedBody struct {
+	rc     io.ReadCloser
+	wd     *time.Timer
+	idle   time.Duration
+	cancel context.CancelFunc
+	closed bool
+}
+
+func (w *watchedBody) Read(b []byte) (int, error) {
+	n, err := w.rc.Read(b)
+	if n > 0 {
+		w.wd.Reset(w.idle)
+	}
+	return n, err
+}
+
+func (w *watchedBody) Close() error {
+	if w.closed {
+		return nil
+	}
+	w.closed = true
+	err := w.rc.Close()
+	w.wd.Stop()
+	w.cancel()
+	return err
+}

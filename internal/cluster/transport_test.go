@@ -1,0 +1,333 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/netchaos"
+	"repro/internal/obs"
+)
+
+func newTestTransport(t *testing.T, cfg TransportConfig) *Transport {
+	t.Helper()
+	if cfg.Obs == nil {
+		cfg.Obs = obs.NewRegistry()
+	}
+	return NewTransport(cfg)
+}
+
+func TestTransportRetriesThenSucceeds(t *testing.T) {
+	var hits atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if hits.Add(1) <= 2 {
+			http.Error(w, "transient", http.StatusInternalServerError)
+			return
+		}
+		io.WriteString(w, "ok")
+	}))
+	defer srv.Close()
+
+	reg := obs.NewRegistry()
+	tr := newTestTransport(t, TransportConfig{
+		AttemptTimeout: time.Second, Retries: 3,
+		BackoffBase: time.Millisecond, BackoffMax: 4 * time.Millisecond,
+		Obs: reg,
+	})
+	var notified int
+	resp, err := tr.Do(context.Background(), Call{
+		Peer: "b", Method: http.MethodGet, URL: srv.URL,
+		OnRetry: func(status int, err error) {
+			notified++
+			if status != http.StatusInternalServerError {
+				t.Errorf("OnRetry status = %d", status)
+			}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if string(b) != "ok" {
+		t.Fatalf("body = %q", b)
+	}
+	if hits.Load() != 3 {
+		t.Fatalf("attempts = %d, want 3", hits.Load())
+	}
+	if notified != 2 {
+		t.Fatalf("OnRetry calls = %d, want 2", notified)
+	}
+	if got := reg.CounterL("cluster_net_retries_total", "", obs.Labels{"peer": "b"}).Value(); got != 2 {
+		t.Fatalf("retries counter = %d, want 2", got)
+	}
+}
+
+func TestTransportBreakerOpensAndRecovers(t *testing.T) {
+	var healthy atomic.Bool
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if !healthy.Load() {
+			http.Error(w, "down", http.StatusInternalServerError)
+			return
+		}
+		io.WriteString(w, "ok")
+	}))
+	defer srv.Close()
+
+	reg := obs.NewRegistry()
+	tr := newTestTransport(t, TransportConfig{
+		AttemptTimeout: time.Second, Retries: -1,
+		BreakerThreshold: 2, BreakerCooldown: 40 * time.Millisecond,
+		Obs: reg,
+	})
+	call := Call{Peer: "b", Method: http.MethodGet, URL: srv.URL}
+
+	for i := 0; i < 2; i++ {
+		if _, err := tr.Do(context.Background(), call); err == nil {
+			t.Fatal("want failure")
+		}
+	}
+	if st := tr.BreakerState("b"); st != BreakerOpen {
+		t.Fatalf("state = %d, want open", st)
+	}
+	if _, err := tr.Do(context.Background(), call); !errors.Is(err, ErrBreakerOpen) {
+		t.Fatalf("want ErrBreakerOpen, got %v", err)
+	}
+
+	// Cooldown elapses; the half-open trial still fails -> open again.
+	time.Sleep(50 * time.Millisecond)
+	if _, err := tr.Do(context.Background(), call); err == nil || errors.Is(err, ErrBreakerOpen) {
+		t.Fatalf("half-open trial should reach the server and fail: %v", err)
+	}
+	if st := tr.BreakerState("b"); st != BreakerOpen {
+		t.Fatalf("state after failed trial = %d, want open", st)
+	}
+
+	// Peer recovers; next half-open trial closes the breaker.
+	healthy.Store(true)
+	time.Sleep(50 * time.Millisecond)
+	resp, err := tr.Do(context.Background(), call)
+	if err != nil {
+		t.Fatalf("recovered trial: %v", err)
+	}
+	resp.Body.Close()
+	if st := tr.BreakerState("b"); st != BreakerClosed {
+		t.Fatalf("state after recovery = %d, want closed", st)
+	}
+	if got := reg.CounterL("cluster_breaker_opens_total", "", obs.Labels{"peer": "b"}).Value(); got < 2 {
+		t.Fatalf("breaker opens = %d, want >= 2", got)
+	}
+}
+
+func TestTransportProbeBypassesOpenBreaker(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, "ok")
+	}))
+	defer srv.Close()
+
+	tr := newTestTransport(t, TransportConfig{
+		AttemptTimeout: time.Second, Retries: -1,
+		BreakerThreshold: 1, BreakerCooldown: time.Hour,
+	})
+	// Open the breaker against an unreachable address.
+	tr.record("b", false)
+	if st := tr.BreakerState("b"); st != BreakerOpen {
+		t.Fatalf("state = %d, want open", st)
+	}
+	// A probe still goes through, and its success closes the breaker.
+	if err := tr.Probe(context.Background(), "b", srv.URL); err != nil {
+		t.Fatalf("probe: %v", err)
+	}
+	if st := tr.BreakerState("b"); st != BreakerClosed {
+		t.Fatalf("state after probe = %d, want closed", st)
+	}
+}
+
+func TestTransportIdleDeadlineKillsStalledPeer(t *testing.T) {
+	release := make(chan struct{})
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		<-release // never write anything until the test ends
+	}))
+	defer srv.Close()
+	defer close(release)
+
+	tr := newTestTransport(t, TransportConfig{AttemptTimeout: 80 * time.Millisecond, Retries: -1})
+	start := time.Now()
+	_, err := tr.Do(context.Background(), Call{Peer: "b", Method: http.MethodGet, URL: srv.URL})
+	if err == nil {
+		t.Fatal("stalled peer should time out")
+	}
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Fatalf("took %v, idle deadline did not fire", elapsed)
+	}
+}
+
+// TestTransportSlowTransferSurvives is the regression test for the flat
+// http.Client{Timeout} bug: a multi-MB transfer over a slow link takes
+// far longer than the per-attempt timeout but keeps making progress, so
+// it must complete in both directions.
+func TestTransportSlowTransferSurvives(t *testing.T) {
+	payload := bytes.Repeat([]byte{0xAB}, 4<<20) // 4 MiB
+
+	// Upload: the server drains the body deliberately slowly.
+	uploadSrv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		buf := make([]byte, 128<<10)
+		var total int
+		for {
+			n, err := io.ReadFull(r.Body, buf)
+			total += n
+			time.Sleep(10 * time.Millisecond)
+			if err != nil {
+				break
+			}
+		}
+		if total != len(payload) {
+			http.Error(w, "short body", http.StatusBadRequest)
+			return
+		}
+		io.WriteString(w, "stored")
+	}))
+	defer uploadSrv.Close()
+
+	attempt := 150 * time.Millisecond
+	tr := newTestTransport(t, TransportConfig{AttemptTimeout: attempt, Retries: -1})
+	start := time.Now()
+	resp, err := tr.Do(context.Background(), Call{
+		Peer: "b", Method: http.MethodPost, URL: uploadSrv.URL, Body: payload,
+	})
+	if err != nil {
+		t.Fatalf("slow upload aborted: %v", err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("upload status = %d", resp.StatusCode)
+	}
+	resp.Body.Close()
+	if elapsed := time.Since(start); elapsed < attempt {
+		t.Fatalf("upload finished in %v — the slow server should force the transfer past the %v attempt timeout", elapsed, attempt)
+	}
+
+	// Download: netchaos trickles the response out in slow chunks.
+	downloadSrv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Write(payload)
+	}))
+	defer downloadSrv.Close()
+	u, _ := url.Parse(downloadSrv.URL)
+	nc := netchaos.New(1)
+	nc.MapAddr(u.Host, "b")
+	nc.SetRule("a", "b", netchaos.Rule{SlowChunk: 128 << 10, SlowPauseMS: 6})
+	trc := newTestTransport(t, TransportConfig{
+		Base: nc.Transport("a", nil), AttemptTimeout: attempt, Retries: -1,
+	})
+	start = time.Now()
+	resp, err = trc.Do(context.Background(), Call{Peer: "b", Method: http.MethodGet, URL: downloadSrv.URL})
+	if err != nil {
+		t.Fatalf("slow download aborted: %v", err)
+	}
+	got, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatalf("slow download read: %v", err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatalf("download corrupted: %d bytes", len(got))
+	}
+	if elapsed := time.Since(start); elapsed < attempt {
+		t.Fatalf("download finished in %v — the netchaos slow link should force the transfer past the %v attempt timeout", elapsed, attempt)
+	}
+}
+
+func TestTransportHedgedGetPrefersFastReplica(t *testing.T) {
+	slow := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		time.Sleep(400 * time.Millisecond)
+		io.WriteString(w, "slow")
+	}))
+	defer slow.Close()
+	fast := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, "fast")
+	}))
+	defer fast.Close()
+
+	reg := obs.NewRegistry()
+	tr := newTestTransport(t, TransportConfig{
+		AttemptTimeout: 2 * time.Second, Retries: -1,
+		HedgeDelay: 20 * time.Millisecond, Obs: reg,
+	})
+	start := time.Now()
+	resp, winner, err := tr.HedgedGet(context.Background(), nil, []HedgeTarget{
+		{Peer: "slow", URL: slow.URL},
+		{Peer: "fast", URL: fast.URL},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if winner != "fast" || string(b) != "fast" {
+		t.Fatalf("winner = %q body = %q", winner, b)
+	}
+	if elapsed := time.Since(start); elapsed > 300*time.Millisecond {
+		t.Fatalf("hedged read took %v, should not wait for the slow leg", elapsed)
+	}
+	if got := reg.CounterL("cluster_hedge_wins_total", "", obs.Labels{"peer": "fast"}).Value(); got != 1 {
+		t.Fatalf("hedge wins = %d, want 1", got)
+	}
+}
+
+func TestTransportHedgedGetFallsThroughMisses(t *testing.T) {
+	miss := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.NotFound(w, r)
+	}))
+	defer miss.Close()
+	hit := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, "value")
+	}))
+	defer hit.Close()
+
+	tr := newTestTransport(t, TransportConfig{
+		AttemptTimeout: time.Second, Retries: -1, HedgeDelay: time.Hour,
+	})
+	resp, winner, err := tr.HedgedGet(context.Background(), nil, []HedgeTarget{
+		{Peer: "m", URL: miss.URL},
+		{Peer: "h", URL: hit.URL},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if winner != "h" {
+		t.Fatalf("winner = %q, want h (miss leg should fall through immediately)", winner)
+	}
+}
+
+func TestTransportBackoffIsSeedDeterministic(t *testing.T) {
+	mk := func(seed uint64) []time.Duration {
+		tr := newTestTransport(t, TransportConfig{Seed: seed, BackoffBase: 10 * time.Millisecond})
+		var out []time.Duration
+		for k := 1; k <= 6; k++ {
+			out = append(out, tr.backoff(k))
+		}
+		return out
+	}
+	a, b := mk(99), mk(99)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at %d: %v vs %v", i, a, b)
+		}
+	}
+	for i, d := range a {
+		base := 10 * time.Millisecond << i
+		if base > 2*time.Second {
+			base = 2 * time.Second
+		}
+		if d < base/2 || d > base {
+			t.Fatalf("backoff %d = %v outside [%v, %v]", i+1, d, base/2, base)
+		}
+	}
+}

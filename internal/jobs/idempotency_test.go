@@ -1,0 +1,164 @@
+package jobs
+
+// Duplicate-delivery idempotency tests (PR 10): a retried or
+// network-duplicated steal claim, steal ack, or forwarded submission
+// must be processed exactly once, asserted down to the journal records.
+
+import (
+	"path/filepath"
+	"testing"
+
+	"repro/internal/journal"
+	"repro/internal/obs"
+	"repro/internal/store"
+)
+
+func countJournalRecords(t *testing.T, dir string, typ journal.Type, jobID string) int {
+	t.Helper()
+	fsys := journal.OSFS()
+	names, err := fsys.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	for _, name := range names {
+		raw, err := fsys.ReadFile(filepath.Join(dir, name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		recs, _ := journal.ParseRecords(raw)
+		for _, r := range recs {
+			if r.Type == typ && (jobID == "" || r.JobID == jobID) {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+func TestDuplicateStealClaimIsIdempotent(t *testing.T) {
+	dir := t.TempDir()
+	jn, err := journal.Open(dir, journal.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer jn.Close()
+	reg := obs.NewRegistry()
+	e, _, gate := blockedEngine(t, Config{Journal: jn, Obs: reg}, 3)
+	defer shutdownOK(t, e)
+	defer close(gate)
+
+	first := e.StealQueuedClaim("claim-abc", "thief-1", 2)
+	if len(first) != 2 {
+		t.Fatalf("first delivery stole %d, want 2", len(first))
+	}
+	// Duplicate delivery of the same claim: identical job set, nothing
+	// further stolen, queue depth unchanged.
+	dup := e.StealQueuedClaim("claim-abc", "thief-1", 2)
+	if len(dup) != 2 || dup[0].ID != first[0].ID || dup[1].ID != first[1].ID {
+		t.Fatalf("duplicate claim returned %+v, want the original set %+v", dup, first)
+	}
+	if e.Depth() != 1 {
+		t.Fatalf("queue depth after duplicate = %d, want 1 (no double steal)", e.Depth())
+	}
+	// A different claim ID is a genuine new steal.
+	second := e.StealQueuedClaim("claim-def", "thief-1", 2)
+	if len(second) != 1 || second[0].ID == first[0].ID {
+		t.Fatalf("new claim = %+v", second)
+	}
+	// Exactly one TypeStolen journal record per stolen job.
+	for _, sj := range first {
+		if got := countJournalRecords(t, dir, journal.TypeStolen, sj.ID); got != 1 {
+			t.Fatalf("job %s has %d stolen records, want 1", sj.ID, got)
+		}
+	}
+	if got := reg.Counter("jobs_steal_claim_dups_total", "").Value(); got != 1 {
+		t.Fatalf("dup claim counter = %d, want 1", got)
+	}
+}
+
+func TestDuplicateStealAckIsIdempotent(t *testing.T) {
+	dir := t.TempDir()
+	jn, err := journal.Open(dir, journal.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer jn.Close()
+	st, err := store.New(16, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, _, gate := blockedEngine(t, Config{Journal: jn, Store: st}, 1)
+	defer shutdownOK(t, e)
+	defer close(gate)
+
+	stolen := e.StealQueuedClaim("c1", "thief", 1)
+	if len(stolen) != 1 {
+		t.Fatal("steal failed")
+	}
+	id := stolen[0].ID
+	payload := []byte(`{"v":"remote"}`)
+	if err := e.ResolveStolen(id, StateDone, "", payload); err != nil {
+		t.Fatal(err)
+	}
+	// The ack is delivered again (and once more with a conflicting
+	// state): the first terminal transition must win both times.
+	if err := e.ResolveStolen(id, StateDone, "", payload); err != nil {
+		t.Fatalf("duplicate ack: %v", err)
+	}
+	if err := e.ResolveStolen(id, StateFailed, "late failure", nil); err != nil {
+		t.Fatalf("conflicting late ack: %v", err)
+	}
+	v, _ := e.Get(id)
+	if v.State != StateDone || v.Error != "" {
+		t.Fatalf("view after duplicate acks: %+v", v)
+	}
+	if got := countJournalRecords(t, dir, journal.TypeCompleted, id); got != 1 {
+		t.Fatalf("job %s has %d completed records, want 1", id, got)
+	}
+	if got := countJournalRecords(t, dir, journal.TypeFailed, id); got != 0 {
+		t.Fatalf("job %s has %d failed records, want 0", id, got)
+	}
+}
+
+func TestDuplicateSubmitWithIdempotencyKey(t *testing.T) {
+	dir := t.TempDir()
+	jn, err := journal.Open(dir, journal.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer jn.Close()
+	exps, gate := fakeRegistry()
+	defer close(gate)
+	reg := obs.NewRegistry()
+	e := New(Config{Registry: exps, Workers: 1, Journal: jn, Obs: reg})
+	defer shutdownOK(t, e)
+
+	req := Request{Experiment: "echo", Params: map[string]any{"n": 5}, IdempotencyKey: "fwd-123"}
+	v1, err := e.Submit(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v2, err := e.Submit(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v2.ID != v1.ID {
+		t.Fatalf("duplicate submission created a second job: %s vs %s", v2.ID, v1.ID)
+	}
+	// A distinct key (or none) is a genuinely new submission even with
+	// identical parameters.
+	v3, err := e.Submit(Request{Experiment: "echo", Params: map[string]any{"n": 5}, IdempotencyKey: "fwd-456"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v3.ID == v1.ID {
+		t.Fatalf("distinct key deduplicated: %s", v3.ID)
+	}
+	if got := countJournalRecords(t, dir, journal.TypeSubmitted, v1.ID); got != 1 {
+		t.Fatalf("job %s has %d submitted records, want 1", v1.ID, got)
+	}
+	if got := reg.Counter("jobs_idempotent_submit_dups_total", "").Value(); got != 1 {
+		t.Fatalf("dup submit counter = %d, want 1", got)
+	}
+}

@@ -97,6 +97,13 @@ type Request struct {
 	// submission" of the tentpole's trace-propagation story. Trace IDs
 	// never enter cache keys or result bytes.
 	TraceID string `json:"trace_id,omitempty"`
+	// IdempotencyKey dedupes duplicate deliveries of the same
+	// submission: a resubmission carrying a key the engine has already
+	// accepted returns the original job's view instead of enqueueing a
+	// second job. Cluster forwarding mints one per forwarded request so
+	// a network-duplicated forward runs exactly once. Empty disables
+	// deduplication (every submission is distinct).
+	IdempotencyKey string `json:"idempotency_key,omitempty"`
 }
 
 // View is an externally visible job snapshot (the daemon's JSON).
@@ -237,6 +244,8 @@ type metrics struct {
 	interrupted     *obs.Counter
 	stolen          *obs.Counter
 	reclaimed       *obs.Counter
+	dupSubmits      *obs.Counter
+	dupClaims       *obs.Counter
 	journalFailures *obs.Counter
 	duration        *obs.Histogram
 	queueLatency    *obs.Histogram
@@ -264,6 +273,8 @@ func newMetrics(r *obs.Registry) metrics {
 		interrupted:     r.Counter("jobs_interrupted_total", "jobs found running at crash time and re-enqueued"),
 		stolen:          r.Counter("jobs_stolen_total", "queued jobs handed to peer nodes (work stealing)"),
 		reclaimed:       r.Counter("jobs_reclaimed_total", "stolen jobs re-enqueued after the thief went silent"),
+		dupSubmits:      r.Counter("jobs_idempotent_submit_dups_total", "submissions deduplicated by idempotency key (duplicate delivery)"),
+		dupClaims:       r.Counter("jobs_steal_claim_dups_total", "steal claims answered from the claim memo (duplicate delivery)"),
 		journalFailures: r.Counter("journal_append_failures_total", "journal appends that failed (job proceeds; durability degraded)"),
 		duration:        r.Histogram("job_duration_seconds", "wall time of executed jobs, start to terminal state", obs.DefaultDurationBuckets()),
 		queueLatency:    r.Histogram("job_queue_latency_seconds", "time jobs spent queued before a worker picked them up", obs.DefaultDurationBuckets()),
@@ -335,6 +346,10 @@ type Engine struct {
 	cond          *sync.Cond
 	queue         jobHeap
 	jobs          map[string]*job
+	idem          map[string]string      // IdempotencyKey -> job ID (bounded FIFO)
+	idemOrder     []string
+	claims        map[string][]StolenJob // steal claim ID -> handed jobs (bounded FIFO)
+	claimOrder    []string
 	nextID        uint64
 	nextSeq       uint64
 	inflightBytes int64
@@ -384,6 +399,8 @@ func New(cfg Config) *Engine {
 		m:            newMetrics(cfg.Obs),
 		tracing:      cfg.Tracing,
 		jobs:         make(map[string]*job),
+		idem:         make(map[string]string),
+		claims:       make(map[string][]StolenJob),
 		watchdogStop: make(chan struct{}),
 		watchdogDone: make(chan struct{}),
 	}
@@ -684,6 +701,16 @@ func (e *Engine) Submit(req Request) (View, error) {
 	if e.closed {
 		return View{}, ErrShutdown
 	}
+	if req.IdempotencyKey != "" {
+		if id, ok := e.idem[req.IdempotencyKey]; ok {
+			if j, ok := e.jobs[id]; ok {
+				// Duplicate delivery of a submission already accepted:
+				// return the original job, enqueue nothing.
+				e.m.dupSubmits.Inc()
+				return e.viewLocked(j), nil
+			}
+		}
+	}
 	cost := int64(len(canon)) + jobOverhead
 	if cached == nil {
 		// Admission control: shed before the queue or the byte account
@@ -728,6 +755,14 @@ func (e *Engine) Submit(req Request) (View, error) {
 		traceID:    traceID,
 	}
 	e.jobs[j.id] = j
+	if req.IdempotencyKey != "" {
+		e.idem[req.IdempotencyKey] = j.id
+		e.idemOrder = append(e.idemOrder, req.IdempotencyKey)
+		if len(e.idemOrder) > maxDedupMemo {
+			delete(e.idem, e.idemOrder[0])
+			e.idemOrder = e.idemOrder[1:]
+		}
+	}
 	e.m.submitted.Inc()
 	e.appendJournal(journal.Record{
 		Type:       journal.TypeSubmitted,
@@ -915,13 +950,28 @@ type StolenJob struct {
 	TraceID string `json:"trace_id,omitempty"`
 }
 
+// maxDedupMemo bounds the idempotency-key and steal-claim memos; the
+// oldest entries are evicted FIFO. Duplicate deliveries arrive within
+// a retry budget of the original, so a bounded window is sufficient.
+const maxDedupMemo = 4096
+
 // StealQueued pops up to max queued jobs off the queue and hands them
-// to thief. Each handoff is journaled (TypeStolen) before the job is
-// returned, so a victim crash re-enqueues the job on replay rather
-// than losing it. The jobs stay registered here — state queued, off
-// the heap, RemoteNode set — until the thief acks via ResolveStolen or
-// ReclaimStolen takes them back.
+// to thief, with no duplicate-delivery protection. Prefer
+// StealQueuedClaim for anything that crosses the network.
 func (e *Engine) StealQueued(thief string, max int) []StolenJob {
+	return e.StealQueuedClaim("", thief, max)
+}
+
+// StealQueuedClaim is StealQueued keyed by a thief-minted claim ID:
+// the first delivery of a claim pops jobs off the queue; any duplicate
+// delivery of the same claim (a network-level retry or duplication)
+// returns the identical job set without stealing anything further —
+// the handshake is idempotent on the wire. Each handoff is journaled
+// (TypeStolen) before the job is returned, so a victim crash
+// re-enqueues the job on replay rather than losing it. The jobs stay
+// registered here — state queued, off the heap, RemoteNode set — until
+// the thief acks via ResolveStolen or ReclaimStolen takes them back.
+func (e *Engine) StealQueuedClaim(claimID, thief string, max int) []StolenJob {
 	if thief == "" || max <= 0 {
 		return nil
 	}
@@ -929,6 +979,12 @@ func (e *Engine) StealQueued(thief string, max int) []StolenJob {
 	defer e.mu.Unlock()
 	if e.closed {
 		return nil
+	}
+	if claimID != "" {
+		if jobs, ok := e.claims[claimID]; ok {
+			e.m.dupClaims.Inc()
+			return append([]StolenJob(nil), jobs...)
+		}
 	}
 	var out []StolenJob
 	for len(out) < max && e.queue.Len() > 0 {
@@ -952,6 +1008,14 @@ func (e *Engine) StealQueued(thief string, max int) []StolenJob {
 			Key:        j.key,
 			TraceID:    j.traceID,
 		})
+	}
+	if claimID != "" {
+		e.claims[claimID] = append([]StolenJob(nil), out...)
+		e.claimOrder = append(e.claimOrder, claimID)
+		if len(e.claimOrder) > maxDedupMemo {
+			delete(e.claims, e.claimOrder[0])
+			e.claimOrder = e.claimOrder[1:]
+		}
 	}
 	e.m.depth.Set(int64(e.queue.Len()))
 	return out

@@ -1,0 +1,114 @@
+package journal
+
+// Tests for the sealed-segment SHA-256 integrity trailer (PR 10): WAL
+// segments shipped between cluster peers must be verifiable on receive
+// and at adoption time, while pre-trailer journals stay readable.
+
+import (
+	"strings"
+	"testing"
+)
+
+func sealOneSegment(t *testing.T, n int) (j *Journal, raw []byte) {
+	t.Helper()
+	j, err := Open(t.TempDir(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { j.Close() })
+	for i := 0; i < n; i++ {
+		if err := j.Append(segRec(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	name, err := j.SealActive()
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err = j.ReadSegment(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return j, raw
+}
+
+func TestVerifySegmentAcceptsIntactAndRejectsFlippedByte(t *testing.T) {
+	_, raw := sealOneSegment(t, 5)
+	if err := VerifySegment(raw); err != nil {
+		t.Fatalf("intact segment: %v", err)
+	}
+	// Flip one byte inside the first record's job ID.
+	i := strings.Index(string(raw), "job-0")
+	if i < 0 {
+		t.Fatal("payload not found")
+	}
+	mut := append([]byte(nil), raw...)
+	mut[i] ^= 0x01
+	if err := VerifySegment(mut); err == nil {
+		t.Fatal("flipped byte not detected")
+	}
+}
+
+func TestVerifySegmentRejectsBytesAfterTrailer(t *testing.T) {
+	_, raw := sealOneSegment(t, 2)
+	mut := append(append([]byte(nil), raw...), []byte(`{"type":"submitted","job_id":"late","time":"2026-01-01T00:00:00Z"}`+"\n")...)
+	if err := VerifySegment(mut); err == nil {
+		t.Fatal("appended bytes after the trailer not detected")
+	}
+}
+
+func TestVerifySegmentLegacyNoTrailerPasses(t *testing.T) {
+	legacy := []byte(`{"type":"submitted","job_id":"a","time":"2026-01-01T00:00:00Z"}` + "\n" +
+		`{"type":"completed","job_id":"a","time":"2026-01-01T00:00:01Z"}` + "\n")
+	if err := VerifySegment(legacy); err != nil {
+		t.Fatalf("legacy segment must verify as nil, got %v", err)
+	}
+	if err := VerifySegment(nil); err != nil {
+		t.Fatalf("empty segment: %v", err)
+	}
+}
+
+func TestTrailerNeverReachesReplay(t *testing.T) {
+	dir := t.TempDir()
+	j, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		if err := j.Append(segRec(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := j.SealActive(); err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+
+	j2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	for _, r := range j2.Records() {
+		if r.Type == TypeSealSHA256 {
+			t.Fatal("seal trailer leaked into replayed records")
+		}
+	}
+	if got := len(j2.Records()); got != 4 {
+		t.Fatalf("replayed %d records, want 4", got)
+	}
+}
+
+func TestSHA256HexMatchesTrailer(t *testing.T) {
+	_, raw := sealOneSegment(t, 1)
+	recs, _ := ParseRecords(raw)
+	tr := recs[len(recs)-1]
+	if tr.Type != TypeSealSHA256 {
+		t.Fatalf("last record type = %s", tr.Type)
+	}
+	// The trailer digest covers everything before the trailer line.
+	i := strings.LastIndex(strings.TrimRight(string(raw), "\n"), "\n")
+	if got := SHA256Hex(raw[:i+1]); got != tr.Key {
+		t.Fatalf("digest %s != trailer %s", got, tr.Key)
+	}
+}

@@ -23,8 +23,11 @@
 package journal
 
 import (
+	"crypto/sha256"
+	"encoding/hex"
 	"encoding/json"
 	"fmt"
+	"hash"
 	"io"
 	"os"
 	"path/filepath"
@@ -52,7 +55,19 @@ const (
 	TypeStolen    Type = "stolen"    // victim side: job handed to a peer (Node = thief)
 	TypeReclaimed Type = "reclaimed" // victim side: stolen job re-enqueued after the thief went silent
 	TypeAdopted   Type = "adopted"   // adopter side: job resubmitted from a dead peer's shipped WAL
+
+	// TypeSealSHA256 is the integrity trailer written as the last record
+	// of every sealed segment (PR 10): its Key field holds the hex
+	// SHA-256 of all segment bytes before the trailer line. Its JobID is
+	// the sentinel SealJobID so pre-trailer parsers (which require a
+	// non-empty job ID) keep reading it, and replay switches ignore the
+	// unknown type. Segments sealed before this existed have no trailer
+	// and verify as legacy.
+	TypeSealSHA256 Type = "seal_sha256"
 )
+
+// SealJobID is the sentinel JobID carried by TypeSealSHA256 trailers.
+const SealJobID = "_seal"
 
 // Terminal reports whether the record type ends a job's lifecycle.
 func (t Type) Terminal() bool {
@@ -164,7 +179,8 @@ type Journal struct {
 	segBytes int
 	cur      File
 	curSize  int
-	sealed   int // count of sealed segments (next seal index)
+	curHash  hash.Hash // SHA-256 of the active file's bytes so far
+	sealed   int       // count of sealed segments (next seal index)
 	replayed []Record
 	torn     int // records dropped during replay (torn tail / corrupt line)
 	closed   bool
@@ -185,7 +201,7 @@ func Open(dir string, opts Options) (*Journal, error) {
 	if err := fsys.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("journal: %w", err)
 	}
-	j := &Journal{dir: dir, fs: fsys, segBytes: segBytes}
+	j := &Journal{dir: dir, fs: fsys, segBytes: segBytes, curHash: sha256.New()}
 
 	names, err := fsys.ReadDir(dir)
 	if err != nil {
@@ -205,14 +221,14 @@ func Open(dir string, opts Options) (*Journal, error) {
 			return nil, fmt.Errorf("journal: %w", err)
 		}
 		recs, torn := parse(raw)
-		j.replayed = append(j.replayed, recs...)
+		j.replayed = append(j.replayed, dropTrailers(recs)...)
 		j.torn += torn
 	}
 
 	active := filepath.Join(dir, activeName)
 	if raw, err := fsys.ReadFile(active); err == nil && len(raw) > 0 {
 		recs, torn := parse(raw)
-		j.replayed = append(j.replayed, recs...)
+		j.replayed = append(j.replayed, dropTrailers(recs)...)
 		j.torn += torn
 		// Seal the pre-crash active file rather than appending after a
 		// possible torn tail: a new record written after a half-line
@@ -260,6 +276,19 @@ func parse(raw []byte) ([]Record, int) {
 	return recs, 0
 }
 
+// dropTrailers filters TypeSealSHA256 integrity trailers out of a
+// record stream: they describe segment bytes, not job lifecycles, so
+// replay never sees them.
+func dropTrailers(recs []Record) []Record {
+	out := recs[:0]
+	for _, r := range recs {
+		if r.Type != TypeSealSHA256 {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
 // Records returns the records replayed by Open, in journal order. The
 // returned slice is shared; treat it as read-only.
 func (j *Journal) Records() []Record { return j.replayed }
@@ -293,6 +322,7 @@ func (j *Journal) Append(rec Record) error {
 	if err := j.cur.Sync(); err != nil {
 		return fmt.Errorf("journal: %w", err)
 	}
+	j.curHash.Write(line)
 	j.curSize += len(line)
 	if j.curSize >= j.segBytes {
 		if err := j.sealLocked(); err != nil {
@@ -302,10 +332,27 @@ func (j *Journal) Append(rec Record) error {
 	return nil
 }
 
-// sealLocked rotates the active file into a sealed segment:
-// fsync (already done per append), close, rename, reopen a fresh active
+// sealLocked rotates the active file into a sealed segment: append the
+// SHA-256 trailer record, fsync, close, rename, reopen a fresh active
 // file. Caller holds j.mu.
 func (j *Journal) sealLocked() error {
+	trailer := Record{
+		Type:  TypeSealSHA256,
+		JobID: SealJobID,
+		Key:   hex.EncodeToString(j.curHash.Sum(nil)),
+		Time:  time.Now().UTC(),
+	}
+	line, err := json.Marshal(trailer)
+	if err != nil {
+		return fmt.Errorf("journal: seal trailer: %w", err)
+	}
+	line = append(line, '\n')
+	if _, err := j.cur.Write(line); err != nil {
+		return fmt.Errorf("journal: seal trailer: %w", err)
+	}
+	if err := j.cur.Sync(); err != nil {
+		return fmt.Errorf("journal: seal trailer: %w", err)
+	}
 	if err := j.cur.Close(); err != nil {
 		return fmt.Errorf("journal: seal close: %w", err)
 	}
@@ -320,6 +367,7 @@ func (j *Journal) sealLocked() error {
 	}
 	j.cur = cur
 	j.curSize = 0
+	j.curHash = sha256.New()
 	return nil
 }
 
@@ -392,6 +440,53 @@ func (j *Journal) ReadSegment(name string) ([]byte, error) {
 		return nil, fmt.Errorf("journal: %w", err)
 	}
 	return raw, nil
+}
+
+// SHA256Hex returns the hex SHA-256 digest of b. Cluster peers stamp it
+// on shipped segments (X-Nightvision-Segment-SHA256 header) and
+// receivers recompute it before accepting the bytes.
+func SHA256Hex(b []byte) string {
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:])
+}
+
+// VerifySegment checks a sealed segment's embedded SHA-256 trailer
+// against its bytes: the trailer's Key must equal the digest of
+// everything before the trailer line, and nothing may follow it.
+// Segments with no trailer (sealed before trailers existed, or a
+// pre-crash active file sealed by Open without a chance to stamp one)
+// verify as legacy and return nil — the journal stays
+// backward-readable. Torn or corrupt segments whose damage removed the
+// trailer also pass here; the transport-level digest header covers
+// in-transit damage, this trailer covers at-rest damage to segments
+// that were sealed intact.
+func VerifySegment(raw []byte) error {
+	off := 0
+	for off < len(raw) {
+		end := off
+		for end < len(raw) && raw[end] != '\n' {
+			end++
+		}
+		line := raw[off:end]
+		next := end
+		if next < len(raw) {
+			next++ // consume the newline
+		}
+		if len(strings.TrimSpace(string(line))) > 0 {
+			var r Record
+			if err := json.Unmarshal(line, &r); err == nil && r.Type == TypeSealSHA256 {
+				if got := SHA256Hex(raw[:off]); got != r.Key {
+					return fmt.Errorf("journal: segment checksum mismatch: trailer %s, computed %s", r.Key, got)
+				}
+				if strings.TrimSpace(string(raw[next:])) != "" {
+					return fmt.Errorf("journal: segment has bytes after its checksum trailer")
+				}
+				return nil
+			}
+		}
+		off = next
+	}
+	return nil // no trailer: legacy segment
 }
 
 // Close fsyncs and closes the active file. Appends after Close fail.

@@ -46,19 +46,26 @@ func TestSealActiveRotates(t *testing.T) {
 		t.Fatalf("Segments = %v, want [%s]", segs, name)
 	}
 
-	// The sealed bytes parse back to exactly the appended records.
+	// The sealed bytes parse back to exactly the appended records plus
+	// the SHA-256 integrity trailer, and the trailer verifies.
 	raw, err := j.ReadSegment(name)
 	if err != nil {
 		t.Fatal(err)
 	}
 	recs, torn := ParseRecords(raw)
-	if torn != 0 || len(recs) != 3 {
-		t.Fatalf("sealed segment parsed to %d records (%d torn), want 3", len(recs), torn)
+	if torn != 0 || len(recs) != 4 {
+		t.Fatalf("sealed segment parsed to %d records (%d torn), want 3 + trailer", len(recs), torn)
 	}
-	for i, r := range recs {
+	for i, r := range recs[:3] {
 		if r.JobID != fmt.Sprintf("job-%d", i) {
 			t.Fatalf("record %d is %q", i, r.JobID)
 		}
+	}
+	if tr := recs[3]; tr.Type != TypeSealSHA256 || tr.JobID != SealJobID {
+		t.Fatalf("last record = %+v, want a seal trailer", recs[3])
+	}
+	if err := VerifySegment(raw); err != nil {
+		t.Fatalf("VerifySegment on a freshly sealed segment: %v", err)
 	}
 
 	// Appends continue on a fresh active file; a second seal produces

@@ -1,0 +1,425 @@
+// Package netchaos is a seeded, deterministic fault-injecting
+// http.RoundTripper for cluster tests and smoke runs. It sits between a
+// node's outbound HTTP client and the real network and perturbs traffic
+// per directed peer pair: latency sampled from a per-link distribution,
+// probabilistic drops, hard one-way partitions, flapping links that
+// alternate up/down windows, slow-loris responses trickled out in tiny
+// chunks, truncated request or response bodies, and duplicated
+// deliveries.
+//
+// Every decision is a pure function of (seed, link, attempt index):
+// attempt n on link "a->b" draws from nvrand.SplitAt(linkSeed, n), so a
+// run with the same seed and the same per-link attempt interleaving
+// replays the same fault schedule bit-for-bit. Concurrent attempts on
+// different links never perturb each other's streams.
+//
+// The zero fault set is a no-op: traffic to hosts that were never mapped
+// with MapAddr passes through untouched, so test-harness traffic (the
+// client driving the fleet) is never chaos-injected by accident.
+package netchaos
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/nvrand"
+)
+
+// Rule describes the faults injected on one directed link. The zero Rule
+// injects nothing. Probabilities are in [0,1]; counts of the form FirstN
+// fire deterministically on the first N attempts crossing the link after
+// the rule is installed, which is how tests guarantee "at least one"
+// fault without probability tuning.
+type Rule struct {
+	// PathPrefix restricts the rule to request URLs whose path starts
+	// with the prefix. Empty matches every path.
+	PathPrefix string
+
+	// Block drops every matching request (hard one-way partition).
+	Block bool
+
+	// FlapPeriod > 0 makes the link alternate availability in windows of
+	// FlapPeriod attempts: attempts in odd-numbered windows are dropped.
+	// Attempt 0..P-1 pass, P..2P-1 drop, and so on.
+	FlapPeriod int
+
+	// DropProb drops a matching request with the given probability.
+	DropProb float64
+	// DropFirstN drops the first N matching attempts outright.
+	DropFirstN int
+
+	// LatencyMinMS/LatencyMaxMS delay the request by a uniform sample
+	// from [min,max] milliseconds before it is forwarded.
+	LatencyMinMS int
+	LatencyMaxMS int
+
+	// DuplicateProb delivers the request twice (back to back, same
+	// body); the caller sees the second response. DuplicateFirstN
+	// duplicates the first N matching attempts deterministically.
+	DuplicateProb  float64
+	DuplicateFirstN int
+
+	// TruncateRequestProb cuts the request body roughly in half before
+	// it reaches the peer, simulating a torn upload. TruncateRequestFirstN
+	// truncates the first N matching attempts deterministically.
+	TruncateRequestProb   float64
+	TruncateRequestFirstN int
+
+	// TruncateResponseProb cuts the response body roughly in half on the
+	// way back, simulating a torn download.
+	TruncateResponseProb float64
+
+	// SlowChunk > 0 rewraps the response body so reads trickle out in
+	// SlowChunk-byte pieces with SlowPauseMS milliseconds between them
+	// (slow-loris). The total transfer still completes; it is the
+	// per-read stall that exercises idle deadlines.
+	SlowChunk   int
+	SlowPauseMS int
+}
+
+// link carries the mutable state for one directed peer pair.
+type link struct {
+	rule     Rule
+	attempts uint64 // total matching attempts crossing this link
+	seed     uint64 // stream seed: attempt n draws from SplitAt(seed, n)
+}
+
+// Stats counts what the chaos layer actually did, per directed link.
+type Stats struct {
+	Attempts   uint64
+	Dropped    uint64
+	Delayed    uint64
+	Duplicated uint64
+	TruncReq   uint64
+	TruncResp  uint64
+	Slowed     uint64
+}
+
+// Chaos holds the fault topology for a fleet. Safe for concurrent use.
+type Chaos struct {
+	mu    sync.Mutex
+	seed  uint64
+	links map[string]*link // "from->to" (to == "*" matches any mapped destination)
+	addrs map[string]string // "host:port" -> node id
+	stats map[string]*Stats
+}
+
+// New returns an empty chaos topology with the given schedule seed.
+func New(seed uint64) *Chaos {
+	return &Chaos{
+		seed:  seed,
+		links: make(map[string]*link),
+		addrs: make(map[string]string),
+		stats: make(map[string]*Stats),
+	}
+}
+
+// MapAddr registers hostport (as it appears in request URLs) as node id.
+// Requests to unmapped hosts bypass chaos entirely.
+func (c *Chaos) MapAddr(hostport, id string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.addrs[hostport] = id
+}
+
+func linkKey(from, to string) string { return from + "->" + to }
+
+// linkSeed derives a per-link stream seed from the chaos seed and the
+// link name, so distinct links get independent deterministic schedules.
+func (c *Chaos) linkSeed(key string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(key))
+	return nvrand.SplitAt(c.seed, h.Sum64()).Uint64()
+}
+
+// SetRule installs (replacing) the rule for the directed link from->to
+// and resets its attempt counter, so FirstN counts restart. to may be
+// "*" to match every mapped destination.
+func (c *Chaos) SetRule(from, to string, r Rule) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	key := linkKey(from, to)
+	c.links[key] = &link{rule: r, seed: c.linkSeed(key)}
+}
+
+// BlockOneWay installs an asymmetric partition: from can no longer reach
+// to, while to->from is untouched.
+func (c *Chaos) BlockOneWay(from, to string) { c.SetRule(from, to, Rule{Block: true}) }
+
+// Heal removes any rule on the directed link from->to.
+func (c *Chaos) Heal(from, to string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	delete(c.links, linkKey(from, to))
+}
+
+// HealAll removes every rule, leaving a fault-free network.
+func (c *Chaos) HealAll() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.links = make(map[string]*link)
+}
+
+// Stats returns a copy of the per-link fault counters.
+func (c *Chaos) StatsSnapshot() map[string]Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make(map[string]Stats, len(c.stats))
+	for k, s := range c.stats {
+		out[k] = *s
+	}
+	return out
+}
+
+// TotalDropped sums drops across all links (partition + flap + prob).
+func (c *Chaos) TotalDropped() uint64 {
+	var n uint64
+	for _, s := range c.StatsSnapshot() {
+		n += s.Dropped
+	}
+	return n
+}
+
+// decision is the fault plan for one attempt, fully determined before
+// any I/O happens so the schedule cannot depend on network timing.
+type decision struct {
+	drop      bool
+	delay     time.Duration
+	duplicate bool
+	truncReq  bool
+	truncResp bool
+	slowChunk int
+	slowPause time.Duration
+}
+
+// plan matches req against the rules for from-> and computes the fault
+// decision for this attempt. It must be called with c.mu held.
+func (c *Chaos) plan(from, to string, req *http.Request) (decision, *Stats, bool) {
+	var d decision
+	// Specific link first, then wildcard; first matching rule wins so
+	// schedules stay attributable to a single stream.
+	for _, key := range []string{linkKey(from, to), linkKey(from, "*")} {
+		l, ok := c.links[key]
+		if !ok {
+			continue
+		}
+		r := l.rule
+		if r.PathPrefix != "" && !strings.HasPrefix(req.URL.Path, r.PathPrefix) {
+			continue
+		}
+		n := l.attempts
+		l.attempts++
+		st := c.stats[key]
+		if st == nil {
+			st = &Stats{}
+			c.stats[key] = st
+		}
+		st.Attempts++
+		rng := nvrand.SplitAt(l.seed, n)
+		if r.Block {
+			d.drop = true
+			return d, st, true
+		}
+		if r.FlapPeriod > 0 && (n/uint64(r.FlapPeriod))%2 == 1 {
+			d.drop = true
+			return d, st, true
+		}
+		if n < uint64(r.DropFirstN) || (r.DropProb > 0 && rng.Float64() < r.DropProb) {
+			d.drop = true
+			return d, st, true
+		}
+		if r.LatencyMaxMS > 0 {
+			span := r.LatencyMaxMS - r.LatencyMinMS + 1
+			d.delay = time.Duration(r.LatencyMinMS+rng.Intn(span)) * time.Millisecond
+		}
+		d.duplicate = n < uint64(r.DuplicateFirstN) ||
+			(r.DuplicateProb > 0 && rng.Float64() < r.DuplicateProb)
+		d.truncReq = n < uint64(r.TruncateRequestFirstN) ||
+			(r.TruncateRequestProb > 0 && rng.Float64() < r.TruncateRequestProb)
+		d.truncResp = r.TruncateResponseProb > 0 && rng.Float64() < r.TruncateResponseProb
+		if r.SlowChunk > 0 {
+			d.slowChunk = r.SlowChunk
+			d.slowPause = time.Duration(r.SlowPauseMS) * time.Millisecond
+		}
+		return d, st, true
+	}
+	return d, nil, false
+}
+
+// ErrInjected is the error type returned for injected drops, so callers
+// and tests can distinguish chaos from genuine transport failures.
+type ErrInjected struct{ Link string }
+
+func (e *ErrInjected) Error() string {
+	return fmt.Sprintf("netchaos: dropped on link %s", e.Link)
+}
+
+// transport implements http.RoundTripper for one source node.
+type transport struct {
+	c     *Chaos
+	from  string
+	inner http.RoundTripper
+}
+
+// Transport wraps inner (nil means http.DefaultTransport) with chaos
+// injection for traffic originating at node from.
+func (c *Chaos) Transport(from string, inner http.RoundTripper) http.RoundTripper {
+	if inner == nil {
+		inner = http.DefaultTransport
+	}
+	return &transport{c: c, from: from, inner: inner}
+}
+
+func (t *transport) RoundTrip(req *http.Request) (*http.Response, error) {
+	t.c.mu.Lock()
+	to, mapped := t.c.addrs[req.URL.Host]
+	if !mapped {
+		t.c.mu.Unlock()
+		return t.inner.RoundTrip(req)
+	}
+	d, st, matched := t.c.plan(t.from, to, req)
+	t.c.mu.Unlock()
+	if !matched {
+		return t.inner.RoundTrip(req)
+	}
+
+	lk := linkKey(t.from, to)
+	if d.drop {
+		t.c.count(st, func(s *Stats) { s.Dropped++ })
+		// Consume the body as a real failed send would, then fail fast.
+		if req.Body != nil {
+			io.Copy(io.Discard, req.Body)
+			req.Body.Close()
+		}
+		return nil, &ErrInjected{Link: lk}
+	}
+
+	// Buffer the body once: delays, duplication and truncation all need
+	// a rewindable copy, and Content-Length must match what we send.
+	var body []byte
+	if req.Body != nil {
+		var err error
+		body, err = io.ReadAll(req.Body)
+		req.Body.Close()
+		if err != nil {
+			return nil, err
+		}
+	}
+	if d.truncReq && len(body) > 1 {
+		body = body[:len(body)/2]
+		t.c.count(st, func(s *Stats) { s.TruncReq++ })
+	}
+
+	if d.delay > 0 {
+		t.c.count(st, func(s *Stats) { s.Delayed++ })
+		select {
+		case <-time.After(d.delay):
+		case <-req.Context().Done():
+			return nil, req.Context().Err()
+		}
+	}
+
+	send := func() (*http.Response, error) {
+		r2 := req.Clone(req.Context())
+		if body != nil {
+			r2.Body = io.NopCloser(bytes.NewReader(body))
+			r2.ContentLength = int64(len(body))
+		}
+		return t.inner.RoundTrip(r2)
+	}
+
+	if d.duplicate {
+		t.c.count(st, func(s *Stats) { s.Duplicated++ })
+		if resp, err := send(); err == nil {
+			// First delivery: drain and discard, the peer has processed it.
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+		}
+	}
+	resp, err := send()
+	if err != nil || resp == nil {
+		return resp, err
+	}
+
+	if d.truncResp {
+		t.c.count(st, func(s *Stats) { s.TruncResp++ })
+		resp.Body = &truncBody{rc: resp.Body, remain: maxInt64(resp.ContentLength/2, 1)}
+		if resp.ContentLength > 0 {
+			resp.ContentLength /= 2
+		}
+	}
+	if d.slowChunk > 0 {
+		t.c.count(st, func(s *Stats) { s.Slowed++ })
+		resp.Body = &slowBody{rc: resp.Body, chunk: d.slowChunk, pause: d.slowPause, ctx: req.Context()}
+	}
+	return resp, nil
+}
+
+func (c *Chaos) count(st *Stats, f func(*Stats)) {
+	c.mu.Lock()
+	f(st)
+	c.mu.Unlock()
+}
+
+func maxInt64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// truncBody cuts a response body off after remain bytes, then reports
+// an abrupt EOF the way a torn connection would.
+type truncBody struct {
+	rc     io.ReadCloser
+	remain int64
+}
+
+func (t *truncBody) Read(p []byte) (int, error) {
+	if t.remain <= 0 {
+		return 0, io.ErrUnexpectedEOF
+	}
+	if int64(len(p)) > t.remain {
+		p = p[:t.remain]
+	}
+	n, err := t.rc.Read(p)
+	t.remain -= int64(n)
+	if t.remain <= 0 && err == nil {
+		err = io.ErrUnexpectedEOF
+	}
+	return n, err
+}
+
+func (t *truncBody) Close() error { return t.rc.Close() }
+
+// slowBody trickles reads out chunk bytes at a time with a pause before
+// each chunk, honoring the request context so deadlines still fire.
+type slowBody struct {
+	rc    io.ReadCloser
+	chunk int
+	pause time.Duration
+	ctx   context.Context
+}
+
+func (s *slowBody) Read(p []byte) (int, error) {
+	if s.pause > 0 {
+		select {
+		case <-time.After(s.pause):
+		case <-s.ctx.Done():
+			return 0, s.ctx.Err()
+		}
+	}
+	if len(p) > s.chunk {
+		p = p[:s.chunk]
+	}
+	return s.rc.Read(p)
+}
+
+func (s *slowBody) Close() error { return s.rc.Close() }

@@ -1,0 +1,258 @@
+package netchaos
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// testServer returns a server that echoes request bodies and counts hits.
+func testServer(t *testing.T) (*httptest.Server, *atomic.Int64, *atomic.Int64) {
+	t.Helper()
+	var hits, bodyBytes atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits.Add(1)
+		b, _ := io.ReadAll(r.Body)
+		bodyBytes.Add(int64(len(b)))
+		w.Write(b)
+	}))
+	t.Cleanup(srv.Close)
+	return srv, &hits, &bodyBytes
+}
+
+func hostOf(t *testing.T, srv *httptest.Server) string {
+	t.Helper()
+	u, err := url.Parse(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return u.Host
+}
+
+func TestUnmappedHostPassesThrough(t *testing.T) {
+	srv, hits, _ := testServer(t)
+	c := New(1)
+	c.SetRule("a", "*", Rule{Block: true})
+	client := &http.Client{Transport: c.Transport("a", nil)}
+	resp, err := client.Get(srv.URL)
+	if err != nil {
+		t.Fatalf("unmapped host should pass through: %v", err)
+	}
+	resp.Body.Close()
+	if hits.Load() != 1 {
+		t.Fatalf("hits = %d, want 1", hits.Load())
+	}
+}
+
+func TestBlockOneWayIsAsymmetric(t *testing.T) {
+	srv, hits, _ := testServer(t)
+	c := New(1)
+	c.MapAddr(hostOf(t, srv), "b")
+	c.BlockOneWay("a", "b")
+
+	ca := &http.Client{Transport: c.Transport("a", nil)}
+	if _, err := ca.Get(srv.URL); err == nil {
+		t.Fatal("a->b should be blocked")
+	} else {
+		var inj *ErrInjected
+		if !errors.As(err, &inj) {
+			t.Fatalf("want ErrInjected, got %v", err)
+		}
+	}
+	// The reverse direction (a different source node) is untouched.
+	cc := &http.Client{Transport: c.Transport("c", nil)}
+	resp, err := cc.Get(srv.URL)
+	if err != nil {
+		t.Fatalf("c->b should pass: %v", err)
+	}
+	resp.Body.Close()
+
+	c.Heal("a", "b")
+	resp, err = ca.Get(srv.URL)
+	if err != nil {
+		t.Fatalf("after Heal a->b should pass: %v", err)
+	}
+	resp.Body.Close()
+	if hits.Load() != 2 {
+		t.Fatalf("hits = %d, want 2", hits.Load())
+	}
+}
+
+func TestFlapWindows(t *testing.T) {
+	srv, _, _ := testServer(t)
+	c := New(7)
+	c.MapAddr(hostOf(t, srv), "b")
+	c.SetRule("a", "b", Rule{FlapPeriod: 3})
+	client := &http.Client{Transport: c.Transport("a", nil)}
+
+	var got []bool
+	for i := 0; i < 12; i++ {
+		resp, err := client.Get(srv.URL)
+		if err == nil {
+			resp.Body.Close()
+		}
+		got = append(got, err == nil)
+	}
+	// Windows of 3: up, down, up, down.
+	want := []bool{true, true, true, false, false, false, true, true, true, false, false, false}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("attempt %d: ok=%v, want %v (%v)", i, got[i], want[i], got)
+		}
+	}
+}
+
+func TestDropScheduleIsSeedDeterministic(t *testing.T) {
+	run := func(seed uint64) []bool {
+		srv, _, _ := testServer(t)
+		c := New(seed)
+		c.MapAddr(hostOf(t, srv), "b")
+		c.SetRule("a", "b", Rule{DropProb: 0.5})
+		client := &http.Client{Transport: c.Transport("a", nil)}
+		var outcomes []bool
+		for i := 0; i < 40; i++ {
+			resp, err := client.Get(srv.URL)
+			if err == nil {
+				resp.Body.Close()
+			}
+			outcomes = append(outcomes, err == nil)
+		}
+		return outcomes
+	}
+	a, b := run(42), run(42)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at attempt %d: %v vs %v", i, a, b)
+		}
+	}
+	other := run(43)
+	same := true
+	for i := range a {
+		if a[i] != other[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical 40-attempt schedules")
+	}
+}
+
+func TestDuplicateDeliversTwice(t *testing.T) {
+	srv, hits, _ := testServer(t)
+	c := New(3)
+	c.MapAddr(hostOf(t, srv), "b")
+	c.SetRule("a", "b", Rule{DuplicateFirstN: 1})
+	client := &http.Client{Transport: c.Transport("a", nil)}
+
+	resp, err := client.Post(srv.URL, "text/plain", strings.NewReader("payload"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if string(b) != "payload" {
+		t.Fatalf("body = %q", b)
+	}
+	if hits.Load() != 2 {
+		t.Fatalf("duplicate delivery: hits = %d, want 2", hits.Load())
+	}
+	// Second attempt is past FirstN: delivered once.
+	resp, err = client.Post(srv.URL, "text/plain", strings.NewReader("x"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if hits.Load() != 3 {
+		t.Fatalf("hits = %d, want 3", hits.Load())
+	}
+}
+
+func TestTruncateRequestHalvesBody(t *testing.T) {
+	srv, _, bodyBytes := testServer(t)
+	c := New(5)
+	c.MapAddr(hostOf(t, srv), "b")
+	c.SetRule("a", "b", Rule{TruncateRequestFirstN: 1})
+	client := &http.Client{Transport: c.Transport("a", nil)}
+
+	payload := bytes.Repeat([]byte("x"), 1000)
+	resp, err := client.Post(srv.URL, "application/octet-stream", bytes.NewReader(payload))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if got := bodyBytes.Load(); got != 500 {
+		t.Fatalf("server received %d bytes, want 500", got)
+	}
+}
+
+func TestPathPrefixScopesRule(t *testing.T) {
+	srv, _, _ := testServer(t)
+	c := New(9)
+	c.MapAddr(hostOf(t, srv), "b")
+	c.SetRule("a", "b", Rule{PathPrefix: "/v1/cluster/segments/", Block: true})
+	client := &http.Client{Transport: c.Transport("a", nil)}
+
+	resp, err := client.Get(srv.URL + "/v1/store/abc")
+	if err != nil {
+		t.Fatalf("non-matching path should pass: %v", err)
+	}
+	resp.Body.Close()
+	if _, err := client.Get(srv.URL + "/v1/cluster/segments/n1/seg-1"); err == nil {
+		t.Fatal("matching path should be blocked")
+	}
+}
+
+func TestSlowLorisTrickles(t *testing.T) {
+	srv, _, _ := testServer(t)
+	c := New(11)
+	c.MapAddr(hostOf(t, srv), "b")
+	c.SetRule("a", "b", Rule{SlowChunk: 4, SlowPauseMS: 5})
+	client := &http.Client{Transport: c.Transport("a", nil)}
+
+	payload := strings.Repeat("y", 64)
+	start := time.Now()
+	resp, err := client.Post(srv.URL, "text/plain", strings.NewReader(payload))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(b) != payload {
+		t.Fatalf("slow body corrupted: %q", b)
+	}
+	// 64 bytes / 4-byte chunks with 5ms pauses: at least ~16 pauses.
+	if elapsed := time.Since(start); elapsed < 50*time.Millisecond {
+		t.Fatalf("slow-loris completed too fast: %v", elapsed)
+	}
+}
+
+func TestStatsCount(t *testing.T) {
+	srv, _, _ := testServer(t)
+	c := New(13)
+	c.MapAddr(hostOf(t, srv), "b")
+	c.SetRule("a", "b", Rule{DropFirstN: 2})
+	client := &http.Client{Transport: c.Transport("a", nil)}
+	for i := 0; i < 4; i++ {
+		if resp, err := client.Get(srv.URL); err == nil {
+			resp.Body.Close()
+		}
+	}
+	st := c.StatsSnapshot()["a->b"]
+	if st.Attempts != 4 || st.Dropped != 2 {
+		t.Fatalf("stats = %+v, want 4 attempts / 2 drops", st)
+	}
+	if c.TotalDropped() != 2 {
+		t.Fatalf("TotalDropped = %d", c.TotalDropped())
+	}
+}

@@ -223,4 +223,101 @@ for p in "${PIDS[@]}"; do
   done
 done
 PIDS=()
+
+echo "== netchaos leg: lossy links + partition that heals =="
+# A fresh fleet whose every peer request rides a seeded netchaos
+# transport (deterministic drops + latency), with a mid-sweep
+# "partition" (SIGSTOP freezes nv2 without killing it: peers see pure
+# silence, exactly like a network split). After SIGCONT the fleet must
+# reconverge, serve every cell byte-identically from all three nodes,
+# and the federated metrics must show the retry machinery engaged
+# (retries > 0) with zero checksum rejects — lossy-but-untampered
+# links must never trip the segment integrity check.
+start_chaos_node() { # id port
+  "$TMP/nightvisiond" -addr "$HOST:$2" -cache-dir "$TMP/chaos-$1" -workers 2 \
+    -node-id "$1" -peers "$PEERS" -cluster-tick 100ms \
+    -chaos-net-seed 7 -chaos-net-drop 0.15 -chaos-net-latency 5ms \
+    -net-backoff 20ms &
+  PIDS+=($!)
+}
+start_chaos_node nv1 "$P1"
+start_chaos_node nv2 "$P2"
+start_chaos_node nv3 "$P3"
+wait_healthy "$P1"; wait_healthy "$P2"; wait_healthy "$P3"
+
+CBODIES=()
+for corpus in 2 3; do
+  for seed in 61 62 63; do
+    CBODIES+=("{\"experiment\":\"fig12\",\"params\":{\"iters\":2,\"corpus\":$corpus,\"top\":1},\"seed\":$seed}")
+  done
+done
+CPORTS=("$P1" "$P3")
+i=0
+for body in "${CBODIES[@]}"; do
+  if [ "$i" -eq 3 ]; then
+    kill -STOP "${PIDS[1]}"
+    echo "SIGSTOP nv2 (pid ${PIDS[1]}): one-sided silence, the process survives"
+    # The survivors' phi-accrual detectors must cross the threshold.
+    for _ in $(seq 1 200); do
+      ALIVE2="$(curl -fsS "http://$HOST:$P1/v1/metrics" | awk '$1 ~ /^cluster_peer_alive\{peer="nv2"\}/ { print $2 }')"
+      [ "$ALIVE2" = 0 ] && break
+      sleep 0.1
+    done
+    [ "$ALIVE2" = 0 ] || { echo "nv1 never suspected the partitioned nv2" >&2; exit 1; }
+    echo "nv1 declared nv2 dead via phi accrual"
+  fi
+  port="${CPORTS[$((i % ${#CPORTS[@]}))]}"
+  curl -fsS -X POST -H 'Content-Type: application/json' -d "$body" \
+    "http://$HOST:$port/v1/jobs" >/dev/null || true
+  i=$((i + 1))
+done
+
+kill -CONT "${PIDS[1]}"
+echo "SIGCONT nv2: partition heals"
+for _ in $(seq 1 200); do
+  ALIVE2="$(curl -fsS "http://$HOST:$P1/v1/metrics" | awk '$1 ~ /^cluster_peer_alive\{peer="nv2"\}/ { print $2 }')"
+  [ "$ALIVE2" = 1 ] && break
+  sleep 0.1
+done
+[ "$ALIVE2" = 1 ] || { echo "nv1 never revived nv2 after the heal" >&2; exit 1; }
+echo "nv2 revived on nv1's failure detector"
+
+# Client retry pass on the healed fleet (idempotent by content
+# addressing), then byte identity on all three nodes.
+CKEYS=()
+for body in "${CBODIES[@]}"; do
+  RESP="$(curl -fsS -X POST -H 'Content-Type: application/json' -d "$body" "http://$HOST:$P2/v1/jobs")"
+  CKEYS+=("$(echo "$RESP" | jq -r .key)")
+done
+for key in $(printf '%s\n' "${CKEYS[@]}" | sort -u); do
+  ok=0
+  for _ in $(seq 1 600); do
+    if curl -fsS -o "$TMP/c1" "http://$HOST:$P1/v1/results/$key" 2>/dev/null; then ok=1; break; fi
+    sleep 0.2
+  done
+  [ "$ok" = 1 ] || { echo "chaos cell $key never materialized on nv1" >&2; exit 1; }
+  H1="$(sha256sum "$TMP/c1" | cut -d' ' -f1)"
+  for port in "$P2" "$P3"; do
+    HX="$(curl -fsS "http://$HOST:$port/v1/results/$key" | sha256sum | cut -d' ' -f1)"
+    [ "$HX" = "$H1" ] || { echo "chaos cell $key differs on port $port: $HX vs $H1" >&2; exit 1; }
+  done
+done
+echo "all chaos cells byte-identical on all three nodes"
+
+FED="$(curl -fsS "http://$HOST:$P1/v1/cluster/metrics?format=json")"
+RETRIES="$(echo "$FED" | jq '[.[] | select(.name == "cluster_net_retries_total") | .value // 0] | add // 0')"
+[ "$RETRIES" -ge 1 ] || { echo "federated cluster_net_retries_total is $RETRIES on a lossy network, want >= 1" >&2; exit 1; }
+REJECTS="$(echo "$FED" | jq '[.[] | select(.name == "cluster_segment_checksum_rejects_total") | .value // 0] | add // 0')"
+[ "$REJECTS" -eq 0 ] || { echo "lossy-but-untampered links produced $REJECTS checksum rejects, want 0" >&2; exit 1; }
+echo "federated: $RETRIES retries, 0 checksum rejects"
+
+echo "== netchaos leg graceful shutdown =="
+for p in "${PIDS[@]}"; do kill -TERM "$p" 2>/dev/null || true; done
+for p in "${PIDS[@]}"; do
+  for _ in $(seq 1 100); do
+    kill -0 "$p" 2>/dev/null || break
+    sleep 0.1
+  done
+done
+PIDS=()
 echo "cluster chaos smoke test passed"
